@@ -1,0 +1,68 @@
+"""Ablation (Section 4.3.1): decision-tree design space partitioning.
+
+Runs the S2FA engine with and without static partitioning on kernels with
+large and small spaces.  The paper's observation to reproduce: partitioning
+helps the big spaces, while for KMeans "the design space is relatively
+small, so the benefit of design space partition is marginal" (vanilla
+OpenTuner reaches the same design there).
+"""
+
+import math
+import statistics
+
+from common import APP_NAMES, FIG3_SEEDS, compiled, design_space
+
+from repro.dse import Evaluator, S2FAEngine
+from repro.report import format_table
+
+APPS = ["KMeans", "LR", "AES", "S-W"]
+
+
+def _run(name: str, seed: int, use_partitioning: bool):
+    engine = S2FAEngine(Evaluator(compiled(name)), design_space(name),
+                        seed=seed, use_partitioning=use_partitioning)
+    return engine.run()
+
+
+def test_ablation_partitioning(benchmark):
+    def run():
+        outcomes = {}
+        for name in APPS:
+            with_p, without_p = [], []
+            for seed in FIG3_SEEDS:
+                with_p.append(_run(name, seed, True).best_qor)
+                without_p.append(_run(name, seed, False).best_qor)
+            outcomes[name] = (statistics.median(with_p),
+                              statistics.median(without_p))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name in APPS:
+        with_p, without_p = outcomes[name]
+        gain = without_p / with_p if math.isfinite(with_p) else math.nan
+        rows.append([
+            name,
+            f"{design_space(name).size():.1e}",
+            f"{with_p:.3e}",
+            f"{without_p:.3e}",
+            f"{gain:.2f}x",
+        ])
+    print()
+    print(format_table(
+        ["Kernel", "Space size", "With partitioning (median)",
+         "Without (median)", "Partitioning gain"],
+        rows, title="Ablation: static design-space partitioning"))
+
+    # Partitioning must never be catastrophic, and it must help at least
+    # one of the large-space kernels clearly.
+    gains = {name: outcomes[name][1] / outcomes[name][0]
+             for name in APPS}
+    assert max(gains[n] for n in ("LR", "AES", "S-W")) >= 1.0
+    assert all(g > 0.4 for g in gains.values() if math.isfinite(g))
+    # KMeans has the smallest space, so partitioning helps it the least
+    # ("the benefit of design space partition is marginal", Section 5.2).
+    assert gains["KMeans"] <= min(gains[n] for n in ("LR", "AES", "S-W")), (
+        f"KMeans should benefit least from partitioning, got {gains}")
+    benchmark.extra_info["gains"] = {
+        k: (v if math.isfinite(v) else None) for k, v in gains.items()}

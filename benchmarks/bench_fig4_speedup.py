@@ -1,0 +1,162 @@
+"""Fig. 4: manual and S2FA-generated designs vs the JVM baseline.
+
+For every kernel, measures (on the models):
+
+* the single-threaded Spark/JVM executor time per task (bytecode
+  interpreter with the calibrated cost model, sampled and extrapolated),
+* the S2FA-generated design's end-to-end task time (kernel at achieved
+  clock + PCIe + generated serialization),
+* the expert manual design's task time.
+
+Paper claims reproduced as shape: S2FA designs reach a large fraction of
+manual performance (~85% average) except LR, where the manual pipeline
+splitting beats the II=13 exp-bound automatic design; string kernels gain
+orders of magnitude more than ML kernels; PR gains least.
+"""
+
+import math
+import statistics
+
+from common import (
+    APP_NAMES,
+    best_design,
+    jvm_seconds_per_task,
+    manual_design,
+    speedup_over_jvm,
+)
+
+from repro.report import format_table, log_bar_chart, speedup_summary
+
+
+def _collect() -> dict:
+    from common import compiled
+
+    data = {}
+    for name in APP_NAMES:
+        _, auto_hls = best_design(name)
+        _, man_hls = manual_design(name)
+        batch = compiled(name).batch_size
+        data[name] = {
+            "jvm_us": jvm_seconds_per_task(name) * 1e6,
+            "s2fa": speedup_over_jvm(name, auto_hls),
+            "manual": speedup_over_jvm(name, man_hls),
+            # Kernel-only comparison ("system-level overhead is
+            # transparent to Blaze", Section 5.2).
+            "s2fa_kernel": auto_hls.normalized_cycles / batch,
+            "manual_kernel": man_hls.normalized_cycles / batch,
+            "s2fa_ii": auto_hls.ii_top,
+            "manual_ii": man_hls.ii_top,
+        }
+    return data
+
+
+def test_fig4_speedups(benchmark):
+    data = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    fractions = []
+    for name in APP_NAMES:
+        d = data[name]
+        fraction = d["s2fa"] / d["manual"] if d["manual"] else math.nan
+        fractions.append(fraction)
+        rows.append([
+            name,
+            f"{d['jvm_us']:.2f} us",
+            f"{d['manual']:.1f}x",
+            f"{d['s2fa']:.1f}x",
+            f"{100 * fraction:.0f}%",
+            f"{d['manual_kernel']:.1f} / {d['s2fa_kernel']:.1f}",
+        ])
+    print()
+    print(format_table(
+        ["Kernel", "JVM / task", "Manual speedup", "S2FA speedup",
+         "S2FA/manual", "kernel cyc/task (man/S2FA)"],
+        rows, title="Fig. 4: speedup over the single-thread JVM executor"))
+    print()
+    print(log_bar_chart(
+        APP_NAMES,
+        {"manual": [data[n]["manual"] for n in APP_NAMES],
+         "S2FA": [data[n]["s2fa"] for n in APP_NAMES]},
+        title="Fig. 4 (log scale)"))
+    print()
+    print(speedup_summary(APP_NAMES,
+                          [data[n]["s2fa"] for n in APP_NAMES], "S2FA"))
+    print(speedup_summary(APP_NAMES,
+                          [data[n]["manual"] for n in APP_NAMES],
+                          "manual"))
+    ml = [data[n]["s2fa"] for n in ("KMeans", "KNN", "LR", "SVM", "LLS")]
+    strings = [data[n]["s2fa"] for n in ("AES", "S-W")]
+    print(f"ML kernels      : up to {max(ml):.1f}x   "
+          f"[paper: up to 49.9x]")
+    print(f"string kernels  : up to {max(strings):.1f}x   "
+          f"[paper: up to ~1225x]")
+    print(f"mean S2FA/manual: "
+          f"{100 * statistics.mean(f for f in fractions if math.isfinite(f)):.0f}%"
+          f"   [paper: ~85%]")
+
+    # --- shape assertions -------------------------------------------------
+    # String processing dwarfs machine learning; PR gains least.
+    assert min(strings) > max(ml), (
+        "string kernels must beat every ML kernel")
+    assert data["PR"]["s2fa"] == min(d["s2fa"] for d in data.values()), (
+        "PR should benefit least (bandwidth-bound, trivial compute)")
+    # Everything still beats the JVM.
+    assert all(d["s2fa"] > 1.0 for d in data.values())
+    # Most S2FA designs are competitive with manual ones.
+    competitive = [f for f in fractions if f >= 0.6]
+    assert len(competitive) >= 5
+
+    benchmark.extra_info["speedups"] = {
+        n: {"s2fa": data[n]["s2fa"], "manual": data[n]["manual"]}
+        for n in APP_NAMES}
+
+
+def test_fig4_lr_stage_split_story(benchmark):
+    """Section 5.2's LR discussion, as a controlled comparison.
+
+    "The core computation of LR ... involves floating point
+    multiplication and exponential calculation so the minimal initial
+    interval is still 13.  The LR manual design splits the computation
+    statement to multiple stages to form a highly efficient pipeline."
+
+    Compare the same LR pipeline configuration with one compute unit,
+    with and without the manual-only stage splitting: the automatic
+    design is stuck at II = 13 (the exp core), the split pipeline
+    accepts a task every couple of cycles.
+    """
+    from dataclasses import replace
+
+    from common import compiled, manual_design
+
+    from repro.hls import estimate
+    from repro.merlin import DesignConfig, LoopConfig
+
+    def run():
+        ck = compiled("LR")
+        base_config, _ = manual_design("LR")
+        loops = dict(base_config.loops)
+        loops["L0"] = LoopConfig(tile=loops["L0"].tile, parallel=1,
+                                 pipeline="on")
+        single_cu = DesignConfig(loops=loops,
+                                 bitwidths=dict(base_config.bitwidths))
+        auto = estimate(ck.kernel, single_cu)
+        manual = DesignConfig(loops=loops,
+                              bitwidths=dict(base_config.bitwidths),
+                              stage_split=True)
+        split = estimate(ck.kernel, manual)
+        return auto, split
+
+    auto, split = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"LR single-CU pipeline, automatic : II = {auto.ii_top}, "
+          f"{auto.cycles} cycles/batch")
+    print(f"LR single-CU pipeline, stage-split (manual-only): II = "
+          f"{split.ii_top}, {split.cycles} cycles/batch")
+    # The unsplit pipeline is held up by the sigmoid stage (>= the
+    # 13-cycle exp core); splitting the statement brings the II down by
+    # several times and the batch latency with it.
+    assert auto.ii_top is not None and auto.ii_top >= 13, (
+        f"the exp-bearing stage should pin the automatic II at >= 13, "
+        f"got {auto.ii_top}")
+    assert split.ii_top is not None and split.ii_top * 4 <= auto.ii_top
+    assert split.cycles * 2 < auto.cycles

@@ -1,0 +1,93 @@
+"""Table 1: the identified design space, per kernel.
+
+Regenerates the Table 1 factor inventory and the per-application space
+sizes the paper quotes ("the design space of the S-W example contains
+more than a thousand trillion design points" — sizes depend on loop
+structure; the harness prints the factor breakdown so the magnitudes can
+be compared).
+"""
+
+from common import APP_NAMES, compiled, design_space
+
+from repro.report import format_table
+
+
+def _space_report() -> str:
+    rows = []
+    for name in APP_NAMES:
+        space = design_space(name)
+        by_kind: dict[str, int] = {}
+        for p in space.parameters:
+            by_kind[p.kind] = by_kind.get(p.kind, 0) + 1
+        loops = by_kind.get("pipeline", 0)
+        rows.append([
+            name,
+            loops,
+            by_kind.get("tile", 0),
+            by_kind.get("parallel", 0),
+            by_kind.get("bitwidth", 0),
+            len(space.parameters),
+            f"{space.size():.3e}",
+        ])
+    return format_table(
+        ["Kernel", "Loops", "Tile", "Parallel", "Bit-width",
+         "Factors", "Space size"],
+        rows,
+        title="Table 1 (instantiated): design-space factors per kernel",
+    )
+
+
+def test_table1_design_space(benchmark):
+    report = {}
+
+    def run():
+        for name in APP_NAMES:
+            report[name] = design_space(name).size()
+        return report
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(_space_report())
+    factor_table = format_table(
+        ["Factor", "Values"],
+        [
+            ["Buffer bit-width",
+             "powers of two, element width .. 512"],
+            ["Loop tiling", "powers of two, 1 .. trip count"],
+            ["Loop parallel (coarse/fine)",
+             "powers of two, 1 .. min(trip count, 256)"],
+            ["Loop pipeline (coarse/fine)", "off / on / flatten"],
+        ],
+        title="\nTable 1 (factors)",
+    )
+    print(factor_table)
+
+    # The S-W space must dwarf the simple kernels' spaces, as the paper
+    # highlights for its motivating example.
+    assert result["S-W"] > 1e11
+    assert result["S-W"] > 100 * result["PR"]
+    # Every space is too large for exhaustive search.
+    assert all(size > 1e5 for size in result.values())
+    benchmark.extra_info["space_sizes"] = {
+        name: float(size) for name, size in result.items()}
+
+
+def test_design_space_matches_loop_structure(benchmark):
+    """Factor counts follow the kernel's loop tree (3 factors per loop,
+    1 per interface buffer)."""
+
+    def run():
+        checks = {}
+        for name in APP_NAMES:
+            ck = compiled(name)
+            space = design_space(name)
+            loops = len(ck.loop_labels)
+            buffers = len(ck.layout.leaves)
+            checks[name] = (loops, buffers, len(space.parameters))
+        return checks
+
+    checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, (loops, buffers, params) in checks.items():
+        assert params == 3 * loops + buffers, (
+            f"{name}: {params} parameters for {loops} loops and "
+            f"{buffers} buffers")

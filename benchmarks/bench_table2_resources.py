@@ -1,0 +1,72 @@
+"""Table 2: resource utilization and clock frequency per generated design.
+
+Estimates the DSE-chosen design of every kernel on the VU9P model and
+prints our BRAM/DSP/FF/LUT percentages and achieved frequency next to the
+paper's Table 2 numbers.  Exact percentages depend on the authors' RTL
+and our operator models; the shape claims asserted below are the ones the
+paper's discussion leans on:
+
+* utilization never exceeds the 75% usable envelope,
+* bandwidth-bound kernels (AES, PR) leave compute resources idle,
+* S-W's placed design misses the 250 MHz target by the widest margin.
+"""
+
+from common import APP_NAMES, best_design, compiled
+
+from repro.apps import get_app
+from repro.report import format_table
+
+
+def _collect() -> dict:
+    table = {}
+    for name in APP_NAMES:
+        config, hls = best_design(name)
+        table[name] = hls
+    return table
+
+
+def test_table2_resources(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for name in APP_NAMES:
+        spec = get_app(name)
+        hls = results[name]
+        paper = spec.table2
+        rows.append([
+            name,
+            spec.kind,
+            f"{hls.utilization_percent('bram')}% ({paper['bram']}%)",
+            f"{hls.utilization_percent('dsp')}% ({paper['dsp']}%)",
+            f"{hls.utilization_percent('ff')}% ({paper['ff']}%)",
+            f"{hls.utilization_percent('lut')}% ({paper['lut']}%)",
+            f"{hls.freq_mhz:.0f} ({paper['freq']})",
+            "yes" if hls.memory_bound else "no",
+        ])
+    print()
+    print(format_table(
+        ["Kernel", "Type", "BRAM", "DSP", "FF", "LUT",
+         "Freq MHz", "BW-bound"],
+        rows,
+        title="Table 2: ours (paper's value in parentheses), "
+              "DSE-selected designs"))
+
+    # 75% usable-envelope cap (footnote 5): every deployed design fits.
+    for name, hls in results.items():
+        assert hls.feasible, f"{name} design infeasible"
+        for kind in ("bram", "dsp", "ff", "lut"):
+            assert hls.utilization[kind] <= 1.0, (
+                f"{name} exceeds the usable {kind.upper()} envelope")
+
+    # Frequency: designs miss the 250 MHz target when big; S-W worst.
+    freqs = {name: hls.freq_mhz for name, hls in results.items()}
+    assert min(freqs.values()) == freqs["S-W"], (
+        f"S-W should have the lowest clock, got {freqs}")
+    assert freqs["S-W"] <= 160
+
+    # Bandwidth-bound kernels do not saturate compute resources.
+    for name in ("PR", "AES"):
+        hls = results[name]
+        assert hls.memory_bound, f"{name} should be bandwidth-bound"
+
+    benchmark.extra_info["frequencies"] = freqs

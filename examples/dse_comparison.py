@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""S2FA DSE vs vanilla OpenTuner on one kernel (a single Fig. 3 panel).
+
+Runs both explorers on the LR kernel with the same virtual 8-core budget
+and draws their best-QoR-over-time trajectories, annotating the three
+S2FA optimizations (seeds, partitioning, entropy stopping).
+
+Run:  python examples/dse_comparison.py [app-name]
+"""
+
+import sys
+
+from repro.apps import get_app
+from repro.dse import Evaluator, OpenTunerRuntime, S2FAEngine, build_space
+from repro.report import trace_chart
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "LR"
+    spec = get_app(name)
+    compiled = spec.compile()
+    space = build_space(compiled)
+    print(f"{name}: design space of {space.size():,} points, "
+          f"{len(space.parameters)} factors")
+
+    s2fa = S2FAEngine(Evaluator(compiled), space, seed=2).run()
+    opentuner = OpenTunerRuntime(Evaluator(compiled), space, seed=2).run()
+
+    print(trace_chart(
+        {
+            "S2FA": [(p.minutes, p.best_qor) for p in s2fa.trace.points],
+            "OpenTuner": [(p.minutes, p.best_qor)
+                          for p in opentuner.trace.points],
+        },
+        title=f"Fig.3-style DSE trajectory: {name} "
+              f"(y: normalized cycles, log scale)",
+    ))
+    print()
+    print(f"S2FA      : best {s2fa.best_qor:12.0f}, terminated at "
+          f"{s2fa.termination_minutes:.0f} min "
+          f"({s2fa.evaluations} HLS runs, first point "
+          f"{s2fa.first_qor:.2e})")
+    print(f"OpenTuner : best {opentuner.best_qor:12.0f}, terminated at "
+          f"{opentuner.termination_minutes:.0f} min "
+          f"({opentuner.evaluations} HLS runs, first point "
+          f"{opentuner.first_qor:.2e})")
+    print()
+    print("S2FA partitions (decision-tree rules, FCFS on 8 workers):")
+    for p in s2fa.partitions:
+        flag = "entropy-stop" if p.stopped_early else "time-limit"
+        print(f"  #{p.index}: {p.evaluations:3d} evals, best "
+              f"{p.best_qor:12.0f}, {p.start_minutes:5.0f}->"
+              f"{p.end_minutes:5.0f} min [{flag}]")
+        print(f"      {p.description}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""KMeans on Spark with Blaze FPGA offload (the paper's Code 1 pattern).
+
+Builds the KMeans accelerator with the full S2FA flow, registers it with
+the Blaze runtime, and runs a Spark job twice: on the accelerator and on
+the JVM software fallback — checking the results agree and reporting the
+modelled speedup.
+
+Run:  python examples/kmeans_spark_blaze.py
+"""
+
+from repro.apps import get_app
+from repro.blaze import BlazeRuntime
+from repro.dse import Evaluator, S2FAEngine, build_space
+from repro.merlin import DesignConfig
+from repro.spark import SparkContext
+
+
+def main() -> None:
+    spec = get_app("KMeans")
+    compiled = spec.compile()
+
+    print("Exploring the design space (virtual clock)...")
+    run = S2FAEngine(Evaluator(compiled), build_space(compiled),
+                     seed=3).run()
+    config = DesignConfig.from_point(run.best_point)
+    print(f"  best design after {run.evaluations} HLS evaluations "
+          f"({run.termination_minutes:.0f} virtual minutes): "
+          f"{run.best_qor:.0f} normalized cycles")
+
+    sc = SparkContext("kmeans-blaze", default_parallelism=4)
+    points = spec.workload(8192, seed=1)
+    rdd = sc.parallelize(points).cache()
+
+    # Accelerated path: blaze.wrap(rdd).map(new KMeans()).
+    accel = BlazeRuntime(sc)
+    accel.register(compiled, config)
+    assignments = accel.wrap(rdd).map_acc(compiled.accel_id).collect()
+
+    # Software fallback path (no bitstream registered).
+    soft = BlazeRuntime(sc)
+    soft.register(spec.compile(force=True))
+    expected = soft.wrap(rdd).map_acc(compiled.accel_id).collect()
+
+    assert assignments == expected, "FPGA and JVM paths disagree!"
+    print(f"  {len(points)} points clustered; FPGA and JVM agree")
+
+    fpga_s = accel.metrics.accel_seconds
+    jvm_s = soft.metrics.fallback_seconds
+    print(f"  accelerator time : {fpga_s * 1e3:8.3f} ms")
+    print(f"  JVM executor time: {jvm_s * 1e3:8.3f} ms")
+    print(f"  kernel speedup   : {jvm_s / fpga_s:.1f}x")
+
+    counts: dict[int, int] = {}
+    for assignment in assignments:
+        counts[assignment] = counts.get(assignment, 0) + 1
+    print("  cluster histogram:", dict(sorted(counts.items())))
+
+
+if __name__ == "__main__":
+    main()

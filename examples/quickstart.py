@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: Scala kernel in, optimized FPGA accelerator design out.
+
+Runs the complete S2FA flow of the paper's Fig. 1 on a small vector-scale
+kernel: mini-Scala -> JVM bytecode -> HLS C -> design space exploration ->
+chosen configuration + HLS report, all on the simulated toolchain.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_accelerator, generate_hls_c
+from repro.compiler import LayoutConfig
+
+KERNEL = """
+class Saxpy extends Accelerator[(Float, Array[Float]), Array[Float]] {
+  val id: String = "saxpy"
+  val alpha: Float = 2.5f
+  def call(in: (Float, Array[Float])): Array[Float] = {
+    val bias = in._1
+    val x = in._2
+    val out = new Array[Float](32)
+    for (i <- 0 until 32) {
+      out(i) = alpha * x(i) + bias
+    }
+    out
+  }
+}
+"""
+
+
+def main() -> None:
+    layout = LayoutConfig(lengths={"in._2": 32, "out": 32})
+
+    print("=" * 72)
+    print("Step 1: bytecode-to-C compilation (no optimization yet)")
+    print("=" * 72)
+    print(generate_hls_c(KERNEL, layout_config=layout))
+
+    print("=" * 72)
+    print("Step 2: learning-based design space exploration")
+    print("=" * 72)
+    build = build_accelerator(KERNEL, layout_config=layout,
+                              batch_size=2048, seed=7)
+    run = build.dse
+    print(f"design space size : {build.space.size():,} points")
+    print(f"points evaluated  : {run.evaluations} "
+          f"(virtual {run.termination_minutes:.0f} minutes on 8 workers)")
+    print(f"partitions        : {len(run.partitions)}")
+    print(f"best design       : {build.config.describe()}")
+
+    print()
+    print("=" * 72)
+    print("Step 3: the chosen design (Merlin pragmas inserted)")
+    print("=" * 72)
+    print(build.hls_c_source())
+
+    hls = build.hls
+    print("=" * 72)
+    print("HLS report")
+    print("=" * 72)
+    print(f"cycles / {build.compiled.batch_size}-task batch : {hls.cycles}")
+    print(f"clock             : {hls.freq_mhz:.0f} MHz")
+    print(f"utilization       : "
+          + ", ".join(f"{k.upper()} {hls.utilization_percent(k)}%"
+                      for k in ("bram", "dsp", "ff", "lut")))
+    print(f"memory bound      : {hls.memory_bound}")
+
+
+if __name__ == "__main__":
+    main()

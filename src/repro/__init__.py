@@ -1,0 +1,24 @@
+"""S2FA reproduction: Spark-to-FPGA-Accelerator automation framework.
+
+The package mirrors the paper's architecture (Fig. 1):
+
+* :mod:`repro.scala` — mini-Scala frontend producing JVM bytecode.
+* :mod:`repro.jvm` — JVM classfile/bytecode substrate and interpreter.
+* :mod:`repro.compiler` — the bytecode-to-C compiler (APARAPI-derived stage).
+* :mod:`repro.hlsc` — the HLS-C intermediate representation.
+* :mod:`repro.merlin` — Merlin-style source-to-source transformation library.
+* :mod:`repro.hls` — simulated Xilinx SDx HLS estimation backend.
+* :mod:`repro.dse` — learning-based parallel design space exploration.
+* :mod:`repro.spark` / :mod:`repro.blaze` / :mod:`repro.fpga` — the runtime
+  integration substrate (RDDs, accelerator service, device simulator).
+* :mod:`repro.apps` — the eight evaluation kernels of Section 5.
+
+The top-level convenience entry point is :func:`repro.s2fa.compile_kernel`
+(exported here as :func:`compile_kernel`), which runs the complete
+Scala-source-to-optimized-accelerator flow.
+"""
+
+__version__ = "1.0.0"
+
+from .errors import S2FAError  # noqa: F401
+from .s2fa import AcceleratorBuild, build_accelerator, generate_hls_c  # noqa: F401,E501

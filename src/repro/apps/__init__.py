@@ -1,0 +1,4 @@
+"""The evaluation applications of the paper (Table 2 / Fig. 3 / Fig. 4)."""
+
+from .base import AppSpec  # noqa: F401
+from .registry import ALL_APPS, APPS_BY_NAME, get_app  # noqa: F401

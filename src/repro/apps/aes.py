@@ -1,0 +1,187 @@
+"""AES-128 ECB encryption (Table 2: string processing).
+
+Real FIPS-197 AES: baked S-box and expanded round keys, 10 rounds of
+SubBytes/ShiftRows/MixColumns/AddRoundKey per 16-byte block.  All integer
+xor/shift/table work — a *simple computational pattern* in the paper's
+sense, which is why very large coarse-grained parallel factors remain
+routable for AES (the Section 4.3.2 argument against heuristic pruning),
+yet the design stays bandwidth-bound end to end (Table 2).
+"""
+
+from __future__ import annotations
+
+from ..compiler.driver import CompiledKernel
+from ..compiler.interface import LayoutConfig
+from ..merlin.config import DesignConfig, LoopConfig
+from ..workloads.generators import random_blocks
+from .base import AppSpec
+
+SBOX = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+    0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+    0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+    0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+    0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17,
+    0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88,
+    0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9,
+    0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6,
+    0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94,
+    0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68,
+    0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+]
+
+#: Fixed AES-128 key (the FIPS-197 example key).
+KEY = list(range(16))
+
+
+def _xtime(b: int) -> int:
+    return ((b << 1) ^ (0x1B if b & 0x80 else 0)) & 0xFF
+
+
+def expand_key(key: list[int]) -> list[int]:
+    """FIPS-197 key schedule: 16-byte key -> 176 round-key bytes."""
+    if len(key) != 16:
+        raise ValueError("AES-128 key must be 16 bytes")
+    w = list(key)
+    rcon = 1
+    for i in range(16, 176, 4):
+        t = w[i - 4:i]
+        if i % 16 == 0:
+            t = [SBOX[t[1]] ^ rcon, SBOX[t[2]], SBOX[t[3]], SBOX[t[0]]]
+            rcon = _xtime(rcon)
+        w += [w[i - 16 + j] ^ t[j] for j in range(4)]
+    return w
+
+
+ROUND_KEYS = expand_key(KEY)
+
+
+def encrypt_block(block: list[int]) -> list[int]:
+    """Reference AES-128 ECB single-block encryption (column-major
+    state: ``s[4c + r]`` is row r of column c)."""
+    s = [(block[i] ^ ROUND_KEYS[i]) & 0xFF for i in range(16)]
+    for rnd in range(1, 10):
+        t = [0] * 16
+        for c in range(4):
+            for r in range(4):
+                t[c * 4 + r] = SBOX[s[((c + r) % 4) * 4 + r]]
+        for c in range(4):
+            a0, a1, a2, a3 = t[c * 4:c * 4 + 4]
+            k = rnd * 16 + c * 4
+            s[c * 4 + 0] = (_xtime(a0) ^ (_xtime(a1) ^ a1) ^ a2 ^ a3
+                            ^ ROUND_KEYS[k + 0]) & 0xFF
+            s[c * 4 + 1] = (a0 ^ _xtime(a1) ^ (_xtime(a2) ^ a2) ^ a3
+                            ^ ROUND_KEYS[k + 1]) & 0xFF
+            s[c * 4 + 2] = (a0 ^ a1 ^ _xtime(a2) ^ (_xtime(a3) ^ a3)
+                            ^ ROUND_KEYS[k + 2]) & 0xFF
+            s[c * 4 + 3] = ((_xtime(a0) ^ a0) ^ a1 ^ a2 ^ _xtime(a3)
+                            ^ ROUND_KEYS[k + 3]) & 0xFF
+    out = [0] * 16
+    for c in range(4):
+        for r in range(4):
+            out[c * 4 + r] = (SBOX[s[((c + r) % 4) * 4 + r]]
+                              ^ ROUND_KEYS[160 + c * 4 + r]) & 0xFF
+    return out
+
+
+def _scala_source() -> str:
+    sbox_lits = ", ".join(str(v) for v in SBOX)
+    rk_lits = ", ".join(str(v) for v in ROUND_KEYS)
+    return f"""
+class AES extends Accelerator[Array[Int], Array[Int]] {{
+  val id: String = "AES"
+  val sbox: Array[Int] = Array({sbox_lits})
+  val rk: Array[Int] = Array({rk_lits})
+  def xtime(b: Int): Int = ((b << 1) ^ (if ((b & 128) != 0) 27 else 0)) & 255
+  def call(in: Array[Int]): Array[Int] = {{
+    val s = new Array[Int](16)
+    for (i <- 0 until 16) {{
+      s(i) = (in(i) ^ rk(i)) & 255
+    }}
+    for (round <- 1 to 9) {{
+      val t = new Array[Int](16)
+      for (c <- 0 until 4) {{
+        for (r <- 0 until 4) {{
+          t(c * 4 + r) = sbox(s(((c + r) % 4) * 4 + r))
+        }}
+      }}
+      for (c <- 0 until 4) {{
+        val a0 = t(c * 4)
+        val a1 = t(c * 4 + 1)
+        val a2 = t(c * 4 + 2)
+        val a3 = t(c * 4 + 3)
+        s(c * 4)     = (xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3 ^ rk(round * 16 + c * 4)) & 255
+        s(c * 4 + 1) = (a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3 ^ rk(round * 16 + c * 4 + 1)) & 255
+        s(c * 4 + 2) = (a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3) ^ rk(round * 16 + c * 4 + 2)) & 255
+        s(c * 4 + 3) = ((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3) ^ rk(round * 16 + c * 4 + 3)) & 255
+      }}
+    }}
+    val outArr = new Array[Int](16)
+    for (c <- 0 until 4) {{
+      for (r <- 0 until 4) {{
+        outArr(c * 4 + r) = (sbox(s(((c + r) % 4) * 4 + r)) ^ rk(160 + c * 4 + r)) & 255
+      }}
+    }}
+    outArr
+  }}
+}}
+"""
+
+
+def reference(block: list[int]) -> list[int]:
+    return encrypt_block(block)
+
+
+def workload(n: int, seed: int = 0) -> list[list[int]]:
+    return random_blocks(n, 16, seed=seed)
+
+
+def manual_config(compiled: CompiledKernel) -> DesignConfig:
+    """Expert design: many block engines, streaming ports — bandwidth
+    does the rest."""
+    return DesignConfig(
+        loops={
+            "L0": LoopConfig(tile=64, parallel=32, pipeline="on"),
+            "call_L1": LoopConfig(pipeline="flatten"),
+            "call_L0": LoopConfig(parallel=16, pipeline="on"),
+            "call_L2": LoopConfig(pipeline="flatten"),
+        },
+        bitwidths={leaf.name: 512 for leaf in compiled.layout.leaves},
+    )
+
+
+SPEC = AppSpec(
+    name="AES",
+    kind="string proc.",
+    scala_source=_scala_source(),
+    layout_config=LayoutConfig(lengths={"in": 16, "out": 16}),
+    workload=workload,
+    reference=reference,
+    manual_config=manual_config,
+    batch_size=8192,
+    fig4_tasks=1 << 20,
+    jvm_sample=24,
+    functional_tasks=8,
+    table2={"bram": 36, "dsp": 0, "ff": 3, "lut": 6, "freq": 250},
+)

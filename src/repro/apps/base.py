@@ -1,0 +1,56 @@
+"""Application specification shared by the eight evaluation kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..compiler.driver import CompiledKernel, compile_kernel
+from ..compiler.interface import LayoutConfig
+from ..merlin.config import DesignConfig
+
+
+@dataclass
+class AppSpec:
+    """Everything the benches and tests need about one application.
+
+    * ``scala_source`` — the user-written Spark kernel (mini-Scala),
+    * ``layout_config`` / ``batch_size`` — interface capacities,
+    * ``workload`` — ``workload(n, seed)`` produces task objects,
+    * ``reference`` — a pure-Python oracle per task (functional tests),
+    * ``manual_config`` — the expert HLS design of Fig. 4 as a
+      :class:`DesignConfig` (``stage_split`` marks manual-only pipeline
+      restructuring, like LR's),
+    * ``table2`` — the paper's Table 2 row (for side-by-side reports),
+    * ``fig4_tasks`` / ``jvm_sample`` — workload size used for the
+      speedup benches and how many tasks to actually interpret on the
+      JVM before extrapolating.
+    """
+
+    name: str
+    kind: str                       # Table 2 "Type" column
+    scala_source: str
+    layout_config: LayoutConfig
+    workload: Callable[[int, int], list]
+    reference: Callable[[object], object]
+    manual_config: Callable[[CompiledKernel], DesignConfig]
+    batch_size: int = 1024
+    pattern: str = "map"
+    fig4_tasks: int = 65536
+    jvm_sample: int = 64
+    functional_tasks: int = 24      # tasks for JVM-vs-FPGA equivalence
+    table2: dict = field(default_factory=dict)
+    #: paper-reported speedups (for EXPERIMENTS.md comparisons)
+    paper_speedup_s2fa: Optional[float] = None
+    paper_speedup_manual: Optional[float] = None
+    _compiled: Optional[CompiledKernel] = None
+
+    def compile(self, force: bool = False) -> CompiledKernel:
+        """Compile (once) through the full S2FA frontend."""
+        if self._compiled is None or force:
+            self._compiled = compile_kernel(
+                self.scala_source,
+                layout_config=self.layout_config,
+                pattern=self.pattern,
+                batch_size=self.batch_size)
+        return self._compiled

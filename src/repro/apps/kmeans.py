@@ -1,0 +1,94 @@
+"""KMeans: nearest-centroid assignment (Table 2: classification).
+
+The Spark driver broadcasts the current centroids each iteration; S2FA
+bakes the broadcast into the accelerator as an on-chip constant table and
+the map assigns each point to its nearest centroid.
+"""
+
+from __future__ import annotations
+
+from ..compiler.driver import CompiledKernel
+from ..compiler.interface import LayoutConfig
+from ..merlin.config import DesignConfig, LoopConfig
+from ..workloads.generators import cluster_centers, clustered_points
+from .base import AppSpec
+
+DIMS = 16
+CLUSTERS = 8
+
+#: The broadcast centroids baked into the kernel (deterministic).
+CENTERS = cluster_centers(DIMS, CLUSTERS, seed=7)
+
+
+def _scala_source() -> str:
+    flat = [c for center in CENTERS for c in center]
+    literals = ", ".join(f"{value!r}f" for value in flat)
+    return f"""
+class KMeans extends Accelerator[Array[Float], Int] {{
+  val id: String = "KMeans"
+  val centers: Array[Float] = Array({literals})
+  def call(in: Array[Float]): Int = {{
+    var bestId = 0
+    var bestDist = 3.0e38f
+    for (k <- 0 until {CLUSTERS}) {{
+      var dist = 0.0f
+      for (j <- 0 until {DIMS}) {{
+        val d = in(j) - centers(k * {DIMS} + j)
+        dist = dist + d * d
+      }}
+      if (dist < bestDist) {{
+        bestDist = dist
+        bestId = k
+      }}
+    }}
+    bestId
+  }}
+}}
+"""
+
+
+def reference(point: list[float]) -> int:
+    """Pure-Python oracle with the same operation order as the kernel."""
+    best_id = 0
+    best_dist = 3.0e38
+    for k in range(CLUSTERS):
+        dist = 0.0
+        for j in range(DIMS):
+            d = point[j] - CENTERS[k][j]
+            dist = dist + d * d
+        if dist < best_dist:
+            best_dist = dist
+            best_id = k
+    return best_id
+
+
+def workload(n: int, seed: int = 0) -> list[list[float]]:
+    return clustered_points(n, DIMS, CLUSTERS, seed=seed)
+
+
+def manual_config(compiled: CompiledKernel) -> DesignConfig:
+    """Expert design: flatten the distance nest, 8 compute units, double
+    buffering on the task loop, widest ports."""
+    return DesignConfig(
+        loops={
+            "L0": LoopConfig(tile=16, parallel=8, pipeline="on"),
+            "call_L0": LoopConfig(pipeline="flatten"),
+            "call_L0_0": LoopConfig(parallel=DIMS),
+        },
+        bitwidths={leaf.name: 512 for leaf in compiled.layout.leaves},
+    )
+
+
+SPEC = AppSpec(
+    name="KMeans",
+    kind="classification",
+    scala_source=_scala_source(),
+    layout_config=LayoutConfig(lengths={"in": DIMS}),
+    workload=workload,
+    reference=reference,
+    manual_config=manual_config,
+    batch_size=4096,
+    fig4_tasks=262144,
+    jvm_sample=128,
+    table2={"bram": 73, "dsp": 6, "ff": 10, "lut": 14, "freq": 230},
+)

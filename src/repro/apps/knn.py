@@ -1,0 +1,103 @@
+"""KNN: nearest-neighbor classification (Table 2: classification).
+
+The (small) training set is broadcast and baked on chip; each task scans
+all training points and returns the label of the closest one.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..compiler.driver import CompiledKernel
+from ..compiler.interface import LayoutConfig
+from ..merlin.config import DesignConfig, LoopConfig
+from ..workloads.generators import clustered_points
+from .base import AppSpec
+
+DIMS = 8
+TRAIN = 64
+CLASSES = 4
+
+
+def _training_set() -> tuple[list[list[float]], list[int]]:
+    rng = random.Random(0xC1A55)
+    points = clustered_points(TRAIN, DIMS, CLASSES, seed=0xC1A55)
+    labels = [rng.randrange(CLASSES) for _ in range(TRAIN)]
+    return points, labels
+
+
+TRAIN_POINTS, TRAIN_LABELS = _training_set()
+
+
+def _scala_source() -> str:
+    flat = [c for p in TRAIN_POINTS for c in p]
+    train_lits = ", ".join(f"{v!r}f" for v in flat)
+    label_lits = ", ".join(str(v) for v in TRAIN_LABELS)
+    return f"""
+class KNN extends Accelerator[Array[Float], Int] {{
+  val id: String = "KNN"
+  val train: Array[Float] = Array({train_lits})
+  val labels: Array[Int] = Array({label_lits})
+  def call(in: Array[Float]): Int = {{
+    var best = 3.0e38f
+    var bestLabel = 0
+    for (t <- 0 until {TRAIN}) {{
+      var dist = 0.0f
+      for (j <- 0 until {DIMS}) {{
+        val d = in(j) - train(t * {DIMS} + j)
+        dist = dist + d * d
+      }}
+      if (dist < best) {{
+        best = dist
+        bestLabel = labels(t)
+      }}
+    }}
+    bestLabel
+  }}
+}}
+"""
+
+
+def reference(point: list[float]) -> int:
+    best = 3.0e38
+    best_label = 0
+    for t in range(TRAIN):
+        dist = 0.0
+        for j in range(DIMS):
+            d = point[j] - TRAIN_POINTS[t][j]
+            dist = dist + d * d
+        if dist < best:
+            best = dist
+            best_label = TRAIN_LABELS[t]
+    return best_label
+
+
+def workload(n: int, seed: int = 0) -> list[list[float]]:
+    return clustered_points(n, DIMS, CLASSES, seed=seed + 1)
+
+
+def manual_config(compiled: CompiledKernel) -> DesignConfig:
+    """Expert design: pipeline the training scan with a wide unrolled
+    distance computation."""
+    return DesignConfig(
+        loops={
+            "L0": LoopConfig(tile=16, parallel=4, pipeline="on"),
+            "call_L0": LoopConfig(pipeline="flatten"),
+        },
+        bitwidths={leaf.name: 512 for leaf in compiled.layout.leaves},
+    )
+
+
+SPEC = AppSpec(
+    name="KNN",
+    kind="classification",
+    scala_source=_scala_source(),
+    layout_config=LayoutConfig(lengths={"in": DIMS}),
+    workload=workload,
+    reference=reference,
+    manual_config=manual_config,
+    batch_size=4096,
+    fig4_tasks=131072,
+    jvm_sample=64,
+    table2={"bram": 75, "dsp": 6, "ff": 50, "lut": 50, "freq": 240},
+)

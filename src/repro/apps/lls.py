@@ -1,0 +1,84 @@
+"""LLS: least linear squares gradient (Table 2: regression)."""
+
+from __future__ import annotations
+
+import random
+
+from ..compiler.driver import CompiledKernel
+from ..compiler.interface import LayoutConfig
+from ..merlin.config import DesignConfig, LoopConfig
+from ..workloads.generators import labeled_points
+from .base import AppSpec
+
+DIMS = 16
+
+
+def _weights() -> list[float]:
+    rng = random.Random(0x115)
+    return [rng.uniform(-1.0, 1.0) for _ in range(DIMS)]
+
+
+WEIGHTS = _weights()
+
+
+def _scala_source() -> str:
+    literals = ", ".join(f"{v!r}f" for v in WEIGHTS)
+    return f"""
+class LLS extends Accelerator[(Float, Array[Float]), Array[Float]] {{
+  val id: String = "LLS"
+  val w: Array[Float] = Array({literals})
+  def call(in: (Float, Array[Float])): Array[Float] = {{
+    val y = in._1
+    val x = in._2
+    val out = new Array[Float]({DIMS})
+    var dot = 0.0f
+    for (j <- 0 until {DIMS}) {{
+      dot = dot + w(j) * x(j)
+    }}
+    val err = dot - y
+    for (j <- 0 until {DIMS}) {{
+      out(j) = err * x(j)
+    }}
+    out
+  }}
+}}
+"""
+
+
+def reference(task: tuple[float, list[float]]) -> list[float]:
+    y, x = task
+    dot = 0.0
+    for j in range(DIMS):
+        dot = dot + WEIGHTS[j] * x[j]
+    err = dot - y
+    return [err * x[j] for j in range(DIMS)]
+
+
+def workload(n: int, seed: int = 0) -> list[tuple[float, list[float]]]:
+    return labeled_points(n, DIMS, seed=seed + 23)
+
+
+def manual_config(compiled: CompiledKernel) -> DesignConfig:
+    return DesignConfig(
+        loops={
+            "L0": LoopConfig(tile=16, parallel=8, pipeline="flatten"),
+            "call_L0": LoopConfig(parallel=DIMS),
+            "call_L0_1": LoopConfig(parallel=DIMS),
+        },
+        bitwidths={leaf.name: 512 for leaf in compiled.layout.leaves},
+    )
+
+
+SPEC = AppSpec(
+    name="LLS",
+    kind="regression",
+    scala_source=_scala_source(),
+    layout_config=LayoutConfig(lengths={"in._2": DIMS, "out": DIMS}),
+    workload=workload,
+    reference=reference,
+    manual_config=manual_config,
+    batch_size=4096,
+    fig4_tasks=131072,
+    jvm_sample=64,
+    table2={"bram": 74, "dsp": 3, "ff": 45, "lut": 21, "freq": 230},
+)

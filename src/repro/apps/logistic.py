@@ -1,0 +1,97 @@
+"""LR: logistic regression gradient (Table 2: regression).
+
+Each task computes one sample's gradient contribution for the broadcast
+weight vector.  The sigmoid's ``exp`` is the reason the paper reports a
+minimal initiation interval of 13 for the S2FA design — the manual design
+splits the computation into pipeline stages (``stage_split``) to beat it
+(Fig. 4 discussion).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..compiler.driver import CompiledKernel
+from ..compiler.interface import LayoutConfig
+from ..merlin.config import DesignConfig, LoopConfig
+from ..workloads.generators import labeled_points
+from .base import AppSpec
+
+DIMS = 16
+
+
+def _weights() -> list[float]:
+    rng = random.Random(0x10617)
+    return [rng.uniform(-1.0, 1.0) for _ in range(DIMS)]
+
+
+WEIGHTS = _weights()
+
+
+def _scala_source() -> str:
+    literals = ", ".join(f"{v!r}f" for v in WEIGHTS)
+    return f"""
+class LR extends Accelerator[(Float, Array[Float]), Array[Float]] {{
+  val id: String = "LR"
+  val w: Array[Float] = Array({literals})
+  def call(in: (Float, Array[Float])): Array[Float] = {{
+    val label = in._1
+    val x = in._2
+    val out = new Array[Float]({DIMS})
+    var dot = 0.0f
+    for (j <- 0 until {DIMS}) {{
+      dot = dot + w(j) * x(j)
+    }}
+    val y01 = (label + 1.0f) / 2.0f
+    val coef = (1.0 / (1.0 + math.exp(-dot)) - y01).toFloat
+    for (j <- 0 until {DIMS}) {{
+      out(j) = coef * x(j)
+    }}
+    out
+  }}
+}}
+"""
+
+
+def reference(task: tuple[float, list[float]]) -> list[float]:
+    label, x = task
+    dot = 0.0
+    for j in range(DIMS):
+        dot = dot + WEIGHTS[j] * x[j]
+    y01 = (label + 1.0) / 2.0
+    coef = 1.0 / (1.0 + math.exp(-dot)) - y01
+    return [coef * x[j] for j in range(DIMS)]
+
+
+def workload(n: int, seed: int = 0) -> list[tuple[float, list[float]]]:
+    return labeled_points(n, DIMS, seed=seed)
+
+
+def manual_config(compiled: CompiledKernel) -> DesignConfig:
+    """Expert design: the statement-splitting dataflow pipeline the paper
+    credits the manual LR implementation with (``stage_split=True``)."""
+    return DesignConfig(
+        loops={
+            "L0": LoopConfig(tile=16, parallel=4, pipeline="flatten"),
+            "call_L0": LoopConfig(parallel=DIMS),
+            "call_L0_1": LoopConfig(parallel=DIMS),
+        },
+        bitwidths={leaf.name: 512 for leaf in compiled.layout.leaves},
+        stage_split=True,
+    )
+
+
+SPEC = AppSpec(
+    name="LR",
+    kind="regression",
+    scala_source=_scala_source(),
+    layout_config=LayoutConfig(lengths={"in._2": DIMS, "out": DIMS}),
+    workload=workload,
+    reference=reference,
+    manual_config=manual_config,
+    batch_size=4096,
+    fig4_tasks=131072,
+    jvm_sample=64,
+    table2={"bram": 74, "dsp": 3, "ff": 49, "lut": 74, "freq": 220},
+)

@@ -1,0 +1,81 @@
+"""PR: PageRank contribution scatter (Table 2: graph processing).
+
+The map receives a page's rank and its padded neighbor list and emits the
+per-neighbor contribution.  Almost no arithmetic per byte moved — this is
+the application the paper calls out as bandwidth-bound ("the computational
+pattern of PR is too simple to hide the communication latency"), so even
+the manual design gains little.
+"""
+
+from __future__ import annotations
+
+from ..compiler.driver import CompiledKernel
+from ..compiler.interface import LayoutConfig
+from ..merlin.config import DesignConfig, LoopConfig
+from ..workloads.generators import page_rank_entries
+from .base import AppSpec
+
+MAX_DEGREE = 16
+
+
+def _scala_source() -> str:
+    return f"""
+class PR extends Accelerator[(Float, Array[Int]), Array[Float]] {{
+  val id: String = "PR"
+  def call(in: (Float, Array[Int])): Array[Float] = {{
+    val rank = in._1
+    val links = in._2
+    val out = new Array[Float]({MAX_DEGREE})
+    var degree = 0
+    for (j <- 0 until {MAX_DEGREE}) {{
+      if (links(j) >= 0) {{
+        degree = degree + 1
+      }}
+    }}
+    val contrib = rank / degree.toFloat
+    for (j <- 0 until {MAX_DEGREE}) {{
+      out(j) = if (links(j) >= 0) contrib else 0.0f
+    }}
+    out
+  }}
+}}
+"""
+
+
+def reference(task: tuple[float, list[int]]) -> list[float]:
+    rank, links = task
+    degree = sum(1 for link in links if link >= 0)
+    contrib = rank / float(degree)
+    return [contrib if link >= 0 else 0.0 for link in links]
+
+
+def workload(n: int, seed: int = 0) -> list[tuple[float, list[int]]]:
+    return page_rank_entries(n, MAX_DEGREE, seed=seed)
+
+
+def manual_config(compiled: CompiledKernel) -> DesignConfig:
+    """Even the expert can only widen ports and double-buffer."""
+    return DesignConfig(
+        loops={
+            "L0": LoopConfig(tile=32, parallel=4, pipeline="flatten"),
+            "call_L0": LoopConfig(parallel=MAX_DEGREE),
+            "call_L0_1": LoopConfig(parallel=MAX_DEGREE),
+        },
+        bitwidths={leaf.name: 512 for leaf in compiled.layout.leaves},
+    )
+
+
+SPEC = AppSpec(
+    name="PR",
+    kind="graph proc.",
+    scala_source=_scala_source(),
+    layout_config=LayoutConfig(
+        lengths={"in._2": MAX_DEGREE, "out": MAX_DEGREE}),
+    workload=workload,
+    reference=reference,
+    manual_config=manual_config,
+    batch_size=4096,
+    fig4_tasks=262144,
+    jvm_sample=128,
+    table2={"bram": 25, "dsp": 2, "ff": 16, "lut": 18, "freq": 250},
+)

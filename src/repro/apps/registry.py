@@ -1,0 +1,31 @@
+"""Registry of the eight evaluation applications (Section 5)."""
+
+from __future__ import annotations
+
+from .aes import SPEC as AES
+from .base import AppSpec
+from .kmeans import SPEC as KMEANS
+from .knn import SPEC as KNN
+from .lls import SPEC as LLS
+from .logistic import SPEC as LR
+from .pagerank import SPEC as PR
+from .smith_waterman import SPEC as SW
+from .svm import SPEC as SVM
+
+#: Table 2 order.
+ALL_APPS: list[AppSpec] = [PR, KMEANS, KNN, LR, SVM, LLS, AES, SW]
+
+APPS_BY_NAME: dict[str, AppSpec] = {spec.name: spec for spec in ALL_APPS}
+
+#: Applications cheap enough to execute functionally at scale.
+FAST_FUNCTIONAL = [spec.name for spec in ALL_APPS if spec.name != "S-W"]
+
+
+def get_app(name: str) -> AppSpec:
+    """Look up a built-in application spec by its Table 2 name."""
+    try:
+        return APPS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(APPS_BY_NAME))
+        raise KeyError(f"unknown app {name!r}; known apps: {known}") \
+            from None

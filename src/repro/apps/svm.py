@@ -1,0 +1,86 @@
+"""SVM: hinge-loss gradient via SGD (Table 2: regression)."""
+
+from __future__ import annotations
+
+import random
+
+from ..compiler.driver import CompiledKernel
+from ..compiler.interface import LayoutConfig
+from ..merlin.config import DesignConfig, LoopConfig
+from ..workloads.generators import labeled_points
+from .base import AppSpec
+
+DIMS = 16
+
+
+def _weights() -> list[float]:
+    rng = random.Random(0x5436)
+    return [rng.uniform(-1.0, 1.0) for _ in range(DIMS)]
+
+
+WEIGHTS = _weights()
+
+
+def _scala_source() -> str:
+    literals = ", ".join(f"{v!r}f" for v in WEIGHTS)
+    return f"""
+class SVM extends Accelerator[(Float, Array[Float]), Array[Float]] {{
+  val id: String = "SVM"
+  val w: Array[Float] = Array({literals})
+  def call(in: (Float, Array[Float])): Array[Float] = {{
+    val label = in._1
+    val x = in._2
+    val out = new Array[Float]({DIMS})
+    var dot = 0.0f
+    for (j <- 0 until {DIMS}) {{
+      dot = dot + w(j) * x(j)
+    }}
+    val margin = label * dot
+    for (j <- 0 until {DIMS}) {{
+      out(j) = if (margin < 1.0f) -label * x(j) else 0.0f
+    }}
+    out
+  }}
+}}
+"""
+
+
+def reference(task: tuple[float, list[float]]) -> list[float]:
+    label, x = task
+    dot = 0.0
+    for j in range(DIMS):
+        dot = dot + WEIGHTS[j] * x[j]
+    margin = label * dot
+    if margin < 1.0:
+        return [-label * x[j] for j in range(DIMS)]
+    return [0.0] * DIMS
+
+
+def workload(n: int, seed: int = 0) -> list[tuple[float, list[float]]]:
+    return labeled_points(n, DIMS, seed=seed + 11)
+
+
+def manual_config(compiled: CompiledKernel) -> DesignConfig:
+    return DesignConfig(
+        loops={
+            "L0": LoopConfig(tile=16, parallel=8, pipeline="flatten"),
+            "call_L0": LoopConfig(parallel=DIMS),
+            "call_L0_1": LoopConfig(parallel=DIMS),
+        },
+        bitwidths={leaf.name: 512 for leaf in compiled.layout.leaves},
+    )
+
+
+SPEC = AppSpec(
+    name="SVM",
+    kind="regression",
+    scala_source=_scala_source(),
+    layout_config=LayoutConfig(lengths={"in._2": DIMS, "out": DIMS}),
+    workload=workload,
+    reference=reference,
+    manual_config=manual_config,
+    batch_size=4096,
+    fig4_tasks=131072,
+    jvm_sample=64,
+    table2={"bram": 74, "dsp": 4, "ff": 48, "lut": 72, "freq": 250},
+)

@@ -1,0 +1,12 @@
+"""Blaze runtime substrate: accelerator-as-a-service for the mini-Spark."""
+
+from .jvm_bridge import from_jvm, to_jvm  # noqa: F401
+from .manager import AcceleratorManager, RegisteredAccelerator  # noqa: F401
+from .runtime import (  # noqa: F401
+    AccRDD,
+    BlazeMetrics,
+    BlazeRuntime,
+    FilterAccRDD,
+    ShellRDD,
+)
+from .serialization import make_deserializer, make_serializer  # noqa: F401

@@ -1,0 +1,96 @@
+"""Conversions between host Python values and JVM-interpreter values.
+
+Used by the Blaze software fallback (and by tests that cross-check the
+JVM and FPGA paths): host task objects become JVM arrays/strings/tuple
+instances and back.
+"""
+
+from __future__ import annotations
+
+from ..errors import BlazeError
+from ..jvm.interpreter import Interpreter, JArray, JObject
+from ..scala import types as st
+
+
+def to_jvm(value, tpe: st.Type, interp: Interpreter,
+           records: dict | None = None):
+    """Host Python value -> JVM value of mini-Scala type ``tpe``.
+
+    ``records`` maps record-class names to ordered (field, type) pairs;
+    record values are accepted as tuples/lists (positional) or dicts.
+    """
+    records = records or {}
+    if isinstance(tpe, st.Primitive):
+        if tpe.is_floating:
+            return float(value)
+        if tpe == st.BOOLEAN:
+            return 1 if value else 0
+        if tpe == st.CHAR and isinstance(value, str):
+            return ord(value)
+        return int(value)
+    if isinstance(tpe, st.StringType):
+        if not isinstance(value, str):
+            raise BlazeError(f"expected str, got {value!r}")
+        return value
+    if isinstance(tpe, st.ArrayType):
+        elem_desc = tpe.elem.descriptor()
+        return JArray(elem_desc,
+                      [to_jvm(v, tpe.elem, interp, records)
+                       for v in value])
+    if isinstance(tpe, st.TupleType):
+        obj = JObject(tpe.class_name())
+        for i, (elem_value, elem_type) in enumerate(
+                zip(value, tpe.elems), start=1):
+            obj.fields[f"_{i}"] = to_jvm(elem_value, elem_type, interp,
+                                         records)
+        return obj
+    if isinstance(tpe, st.ClassType) and tpe.name in records:
+        fields = records[tpe.name]
+        if isinstance(value, dict):
+            values = [value[name] for name, _ in fields]
+        else:
+            values = list(value)
+        if len(values) != len(fields):
+            raise BlazeError(
+                f"record {tpe.name} expects {len(fields)} fields, "
+                f"got {value!r}")
+        obj = JObject(tpe.name)
+        for field_value, (name, field_type) in zip(values, fields):
+            obj.fields[name] = to_jvm(field_value, field_type, interp,
+                                      records)
+        return obj
+    raise BlazeError(f"cannot convert {value!r} to JVM type {tpe}")
+
+
+def from_jvm(value, tpe: st.Type, records: dict | None = None):
+    """JVM value -> host Python value (records come back as tuples)."""
+    records = records or {}
+    if isinstance(tpe, st.Primitive):
+        if tpe.is_floating:
+            return float(value)
+        return int(value)
+    if isinstance(tpe, st.StringType):
+        if isinstance(value, JArray):
+            # A char buffer used as a String: decode, dropping padding.
+            chars = list(value.values)
+            while chars and chars[-1] == 0:
+                chars.pop()
+            return "".join(chr(int(c)) for c in chars)
+        return value
+    if isinstance(tpe, st.ArrayType):
+        if not isinstance(value, JArray):
+            raise BlazeError(f"expected JArray, got {value!r}")
+        return [from_jvm(v, tpe.elem, records) for v in value.values]
+    if isinstance(tpe, st.TupleType):
+        if not isinstance(value, JObject):
+            raise BlazeError(f"expected tuple object, got {value!r}")
+        return tuple(
+            from_jvm(value.fields[f"_{i}"], elem_type, records)
+            for i, elem_type in enumerate(tpe.elems, start=1))
+    if isinstance(tpe, st.ClassType) and tpe.name in records:
+        if not isinstance(value, JObject):
+            raise BlazeError(f"expected record object, got {value!r}")
+        return tuple(
+            from_jvm(value.fields[name], field_type, records)
+            for name, field_type in records[tpe.name])
+    raise BlazeError(f"cannot convert JVM value of type {tpe}")

@@ -1,0 +1,76 @@
+"""The Blaze accelerator manager: registration and lookup by id."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..compiler.driver import CompiledKernel
+from ..errors import BlazeError
+from ..fpga.board import FPGABoard
+from ..hls.device import Device, VU9P
+from ..hls.estimator import estimate
+from ..hls.result import HLSResult
+from ..merlin.config import DesignConfig
+
+
+@dataclass
+class RegisteredAccelerator:
+    """One accelerator service entry."""
+
+    accel_id: str
+    compiled: CompiledKernel
+    config: Optional[DesignConfig] = None
+    hls: Optional[HLSResult] = None
+    board: Optional[FPGABoard] = None
+
+    @property
+    def has_hardware(self) -> bool:
+        return self.board is not None
+
+
+class AcceleratorManager:
+    """Node accelerator manager (one per Blaze deployment)."""
+
+    def __init__(self, device: Device = VU9P):
+        self.device = device
+        self._accelerators: dict[str, RegisteredAccelerator] = {}
+
+    def register(self, compiled: CompiledKernel,
+                 config: Optional[DesignConfig] = None,
+                 ) -> RegisteredAccelerator:
+        """Register a compiled kernel, deploying it when a design config
+        is supplied (software-fallback-only otherwise)."""
+        accel_id = compiled.accel_id
+        if accel_id in self._accelerators:
+            raise BlazeError(f"accelerator {accel_id!r} already registered")
+        entry = RegisteredAccelerator(accel_id=accel_id, compiled=compiled,
+                                      config=config)
+        if config is not None:
+            hls = estimate(compiled.kernel, config, self.device)
+            if not hls.feasible:
+                raise BlazeError(
+                    f"design for {accel_id!r} is infeasible: "
+                    f"{hls.infeasible_reason}")
+            bytes_per_task = (
+                compiled.kernel.metadata.get("bytes_in_per_task", 0)
+                + compiled.kernel.metadata.get("bytes_out_per_task", 0))
+            entry.hls = hls
+            entry.board = FPGABoard(
+                kernel=compiled.kernel, hls=hls,
+                batch_size=compiled.batch_size,
+                bytes_per_task=bytes_per_task)
+        self._accelerators[accel_id] = entry
+        return entry
+
+    def lookup(self, accel_id: str) -> Optional[RegisteredAccelerator]:
+        return self._accelerators.get(accel_id)
+
+    def require(self, accel_id: str) -> RegisteredAccelerator:
+        entry = self.lookup(accel_id)
+        if entry is None:
+            raise BlazeError(f"no accelerator registered as {accel_id!r}")
+        return entry
+
+    def ids(self) -> list[str]:
+        return sorted(self._accelerators)

@@ -1,0 +1,137 @@
+"""Generated (de)serialization between host objects and FPGA buffers.
+
+The paper's "data processing method generator" emits Scala methods (via
+reflection + templates) that reorganize object fields into the flat
+accelerator interface.  Here the same role is played by closures generated
+from the :class:`~repro.compiler.interface.InterfaceLayout`: one packer
+and one unpacker per kernel, derived mechanically from the layout, with
+no per-application code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..compiler.interface import InterfaceLayout, Leaf
+from ..errors import BlazeError
+from ..scala import types as st
+
+
+def _leaf_values(value, tpe: st.Type, out: list, records: dict) -> None:
+    """Decompose one task object into leaf values, layout order."""
+    if isinstance(tpe, st.TupleType):
+        if not isinstance(value, tuple) or len(value) != len(tpe.elems):
+            raise BlazeError(
+                f"expected a {len(tpe.elems)}-tuple, got {value!r}")
+        for elem_value, elem_type in zip(value, tpe.elems):
+            _leaf_values(elem_value, elem_type, out, records)
+        return
+    if isinstance(tpe, st.ClassType) and tpe.name in records:
+        fields = records[tpe.name]
+        if isinstance(value, dict):
+            values = [value[field_name] for field_name, _ in fields]
+        elif isinstance(value, (tuple, list)) \
+                and len(value) == len(fields):
+            values = list(value)
+        else:
+            raise BlazeError(
+                f"expected a {len(fields)}-field {tpe.name} record "
+                f"(tuple or dict), got {value!r}")
+        for field_value, (_, field_type) in zip(values, fields):
+            _leaf_values(field_value, field_type, out, records)
+        return
+    out.append(value)
+
+
+def _pack_leaf(leaf: Leaf, value, buffer: list) -> None:
+    if leaf.is_scalar:
+        buffer.append(_as_element(leaf, value))
+        return
+    if isinstance(value, str):
+        codes = [ord(c) for c in value[:leaf.elem_count]]
+    else:
+        codes = list(value)
+        if len(codes) > leaf.elem_count:
+            raise BlazeError(
+                f"task value for {leaf.path} has {len(codes)} elements "
+                f"but the interface buffer holds {leaf.elem_count}")
+    codes = [_as_element(leaf, v) for v in codes]
+    codes.extend([_zero(leaf)] * (leaf.elem_count - len(codes)))
+    buffer.extend(codes)
+
+
+def _as_element(leaf: Leaf, value):
+    if leaf.ctype.is_float:
+        return float(value)
+    if isinstance(value, str):
+        if len(value) != 1:
+            raise BlazeError(
+                f"expected a single char for {leaf.path}, got {value!r}")
+        return ord(value)
+    return int(value)
+
+
+def _zero(leaf: Leaf):
+    return 0.0 if leaf.ctype.is_float else 0
+
+
+def make_serializer(layout: InterfaceLayout) -> Callable[[list], dict]:
+    """Build the host-to-FPGA packer for a kernel's input layout."""
+
+    def serialize(tasks: list) -> dict[str, list]:
+        buffers: dict[str, list] = {leaf.name: [] for leaf in layout.leaves}
+        for task in tasks:
+            values: list = []
+            _leaf_values(task, layout.input_type, values, layout.records)
+            if len(values) != len(layout.inputs):
+                raise BlazeError(
+                    f"task decomposed into {len(values)} leaves; layout "
+                    f"expects {len(layout.inputs)}")
+            for leaf, value in zip(layout.inputs, values):
+                _pack_leaf(leaf, value, buffers[leaf.name])
+        for leaf in layout.outputs:
+            buffers[leaf.name] = [_zero(leaf)] * (
+                leaf.elem_count * len(tasks))
+        return buffers
+
+    return serialize
+
+
+def _unpack_leaf(leaf: Leaf, buffer: list, task: int):
+    if leaf.is_scalar:
+        return buffer[task]
+    start = task * leaf.elem_count
+    return list(buffer[start:start + leaf.elem_count])
+
+
+def make_deserializer(layout: InterfaceLayout) -> Callable[[dict, int], list]:
+    """Build the FPGA-to-host unpacker for a kernel's output layout."""
+
+    def rebuild(tpe: st.Type, leaf_iter) -> object:
+        if isinstance(tpe, st.TupleType):
+            return tuple(rebuild(elem, leaf_iter) for elem in tpe.elems)
+        if isinstance(tpe, st.ClassType) and tpe.name in layout.records:
+            return tuple(rebuild(field_type, leaf_iter)
+                         for _, field_type in layout.records[tpe.name])
+        leaf, values = next(leaf_iter)
+        if isinstance(tpe, st.StringType):
+            chars = [v for v in values]
+            while chars and chars[-1] == 0:
+                chars.pop()
+            return "".join(chr(int(c)) for c in chars)
+        if isinstance(tpe, st.ArrayType):
+            return list(values)
+        return values  # scalar
+
+    def deserialize(buffers: dict[str, list], n_tasks: int) -> list:
+        results = []
+        for task in range(n_tasks):
+            extracted = [
+                (leaf, _unpack_leaf(leaf, buffers[leaf.name], task))
+                for leaf in layout.outputs
+            ]
+            results.append(
+                rebuild(layout.output_type, iter(extracted)))
+        return results
+
+    return deserialize

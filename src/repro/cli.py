@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro.cli`` (or the ``s2fa`` script).
+
+Subcommands
+-----------
+
+``compile KERNEL.scala``
+    Run the bytecode-to-C compiler and print the generated HLS C.
+
+``explore KERNEL.scala``
+    Run the full flow (compile + design space exploration) and print the
+    DSE summary, the chosen configuration, and the annotated C.
+
+``apps``
+    List the built-in evaluation applications.
+
+``report APP``
+    Compile a built-in application, estimate its expert manual design, and
+    print the HLS report.
+
+Layout capacities for variable-length leaves are given as repeated
+``--length path=N`` options, e.g. ``--length in._2=16 --length out=16``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .compiler.interface import LayoutConfig
+from .errors import S2FAError
+
+
+def _parse_lengths(pairs: list[str]) -> LayoutConfig:
+    lengths: dict[str, int] = {}
+    string_length = 128
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--length expects path=N, got {pair!r}")
+        path, _, value = pair.partition("=")
+        if path == "string":
+            string_length = int(value)
+        else:
+            lengths[path] = int(value)
+    return LayoutConfig(lengths=lengths,
+                        default_string_length=string_length)
+
+
+def _read_source(path: str) -> str:
+    source = Path(path)
+    if not source.exists():
+        raise SystemExit(f"no such kernel file: {path}")
+    return source.read_text()
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """``s2fa compile``: Scala kernel file -> generated HLS C."""
+    from .s2fa import generate_hls_c
+
+    source = _read_source(args.kernel)
+    print(generate_hls_c(
+        source,
+        layout_config=_parse_lengths(args.length),
+        pattern=args.pattern,
+        batch_size=args.batch_size))
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """``s2fa explore``: compile + DSE, print the chosen design."""
+    from .s2fa import build_accelerator
+
+    source = _read_source(args.kernel)
+    build = build_accelerator(
+        source,
+        layout_config=_parse_lengths(args.length),
+        pattern=args.pattern,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        time_limit_minutes=args.time_limit)
+    run = build.dse
+    print(f"accelerator id    : {build.accel_id}")
+    print(f"design space      : {build.space.size():,} points")
+    print(f"HLS evaluations   : {run.evaluations} "
+          f"({run.termination_minutes:.0f} virtual minutes, "
+          f"{len(run.partitions)} partitions)")
+    print(f"best design       : {build.config.describe()}")
+    hls = build.hls
+    print(f"cycles/batch      : {hls.cycles} @ {hls.freq_mhz:.0f} MHz")
+    print("utilization       : "
+          + ", ".join(f"{k.upper()} {hls.utilization_percent(k)}%"
+                      for k in ("bram", "dsp", "ff", "lut")))
+    if args.emit_c:
+        print()
+        print(build.hls_c_source())
+    if args.json:
+        Path(args.json).write_text(run.to_json())
+        print(f"DSE run written to {args.json}")
+    return 0
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    """``s2fa apps``: list the built-in evaluation applications."""
+    from .apps import ALL_APPS
+
+    for spec in ALL_APPS:
+        print(f"{spec.name:8s} {spec.kind:15s} batch={spec.batch_size:<6d} "
+              f"pattern={spec.pattern}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``s2fa report``: HLS report of a built-in app's manual design."""
+    from .apps import get_app
+    from .hls import estimate
+
+    try:
+        spec = get_app(args.app)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    compiled = spec.compile()
+    result = estimate(compiled.kernel, spec.manual_config(compiled))
+    print(f"{spec.name} ({spec.kind}), expert manual design:")
+    print(f"  feasible : {result.feasible} {result.infeasible_reason}")
+    print(f"  cycles   : {result.cycles} per {compiled.batch_size}-task "
+          f"batch")
+    print(f"  clock    : {result.freq_mhz:.0f} MHz")
+    print(f"  BRAM/DSP/FF/LUT : "
+          + "/".join(f"{result.utilization_percent(k)}%"
+                     for k in ("bram", "dsp", "ff", "lut")))
+    print(f"  memory bound    : {result.memory_bound}")
+    for loop in result.loops:
+        ii = f"II={loop.ii}" if loop.ii is not None else "no pipeline"
+        print(f"    {loop.label:12s} trip={loop.trip_count} "
+              f"x{loop.parallel} {ii:8s} lat={loop.latency} ({loop.note})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="s2fa",
+        description="S2FA: Spark-to-FPGA-Accelerator automation "
+                    "(DAC'18 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = sub.add_parser("compile",
+                               help="Scala kernel -> HLS C")
+    compile_p.add_argument("kernel")
+    compile_p.add_argument("--length", action="append", metavar="PATH=N")
+    compile_p.add_argument("--pattern", default="map",
+                           choices=("map", "reduce", "filter"))
+    compile_p.add_argument("--batch-size", type=int, default=1024)
+    compile_p.set_defaults(func=cmd_compile)
+
+    explore_p = sub.add_parser("explore",
+                               help="compile + design space exploration")
+    explore_p.add_argument("kernel")
+    explore_p.add_argument("--length", action="append", metavar="PATH=N")
+    explore_p.add_argument("--pattern", default="map",
+                           choices=("map", "reduce", "filter"))
+    explore_p.add_argument("--batch-size", type=int, default=1024)
+    explore_p.add_argument("--seed", type=int, default=0)
+    explore_p.add_argument("--time-limit", type=float, default=240.0,
+                           help="virtual minutes (default 240)")
+    explore_p.add_argument("--emit-c", action="store_true",
+                           help="print the annotated HLS C")
+    explore_p.add_argument("--json", metavar="FILE",
+                           help="write the DSE run (trace, partitions, "
+                                "best design) as JSON")
+    explore_p.set_defaults(func=cmd_explore)
+
+    apps_p = sub.add_parser("apps", help="list built-in applications")
+    apps_p.set_defaults(func=cmd_apps)
+
+    report_p = sub.add_parser("report",
+                              help="HLS report of a built-in app")
+    report_p.add_argument("app")
+    report_p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except S2FAError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

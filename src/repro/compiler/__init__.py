@@ -1,0 +1,17 @@
+"""Bytecode-to-C compiler: the S2FA code-generation stage (Fig. 1)."""
+
+from .driver import (  # noqa: F401
+    DEFAULT_BATCH_SIZE,
+    CompiledKernel,
+    KernelCompiler,
+    compile_kernel,
+)
+from .interface import (  # noqa: F401
+    InterfaceLayout,
+    LayoutConfig,
+    Leaf,
+    build_layout,
+)
+from .lift import Lifter  # noqa: F401
+from .passes import recover_for_loops, rename_var  # noqa: F401
+from .templates import map_template, reduce_template  # noqa: F401

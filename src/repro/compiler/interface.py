@@ -1,0 +1,166 @@
+"""Accelerator interface layout: flattening composite types to C buffers.
+
+This reproduces the object-flattening half of the paper's Challenge 1 and
+the data-layout contract of Challenge 3: a Scala kernel type like
+``(String, String)`` becomes two flat ``char`` buffers with a fixed
+per-task element count, and the same :class:`InterfaceLayout` drives
+
+* the C function signature of the generated ``call``/``kernel`` (Code 3),
+* the Blaze (de)serialization methods (Section 3.2, "data processing
+  method generator"),
+* the HLS bandwidth model (bytes per task on each port).
+
+Because FPGA buffers are statically sized, every variable-length leaf
+(arrays, strings) needs a fixed per-task capacity.  The paper fixes these
+from the application configuration (e.g. 128-char reads in Code 3); here
+they come from :class:`LayoutConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import UnsupportedConstructError
+from ..hlsc.ast import CHAR, CType, DOUBLE, FLOAT, INT, LONG, SHORT
+from ..scala import types as st
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """Per-kernel capacities for variable-length leaves.
+
+    ``lengths`` maps a leaf path (e.g. ``in._1`` or ``out``) to its fixed
+    per-task element count.  ``default_string_length`` applies to string
+    leaves without an explicit entry.
+    """
+
+    lengths: dict = field(default_factory=dict)
+    default_string_length: int = 128
+
+    def length_for(self, path: str, is_string: bool) -> Optional[int]:
+        if path in self.lengths:
+            return self.lengths[path]
+        if is_string:
+            return self.default_string_length
+        return None
+
+
+@dataclass
+class Leaf:
+    """One flattened buffer of the accelerator interface."""
+
+    name: str          # C parameter name, e.g. "in_1"
+    path: str          # source path, e.g. "in._2"
+    ctype: CType       # element type
+    elem_count: int    # elements *per task* (1 for scalar leaves)
+    direction: str     # "in" | "out"
+    is_scalar: bool    # True when the Scala leaf is a plain primitive
+
+    @property
+    def bytes_per_task(self) -> int:
+        return self.elem_count * (self.ctype.width_bits // 8)
+
+
+@dataclass
+class InterfaceLayout:
+    """Flattened input/output layout of one kernel.
+
+    ``records`` maps record-class names to their ordered
+    (field name, type) pairs so the serializer can decompose custom
+    composite types the same way it decomposes tuples.
+    """
+
+    inputs: list[Leaf]
+    outputs: list[Leaf]
+    input_type: st.Type
+    output_type: st.Type
+    records: dict = field(default_factory=dict)
+
+    @property
+    def leaves(self) -> list[Leaf]:
+        return self.inputs + self.outputs
+
+    def leaf(self, name: str) -> Leaf:
+        for leaf in self.leaves:
+            if leaf.name == name:
+                return leaf
+        raise KeyError(f"no interface leaf named {name!r}")
+
+    @property
+    def bytes_in_per_task(self) -> int:
+        return sum(leaf.bytes_per_task for leaf in self.inputs)
+
+    @property
+    def bytes_out_per_task(self) -> int:
+        return sum(leaf.bytes_per_task for leaf in self.outputs)
+
+
+_SCALAR_CTYPES = {
+    "Int": INT, "Long": LONG, "Float": FLOAT, "Double": DOUBLE,
+    "Char": CHAR, "Short": SHORT, "Boolean": INT,
+}
+
+
+def _scalar_ctype(tpe: st.Type) -> CType:
+    if isinstance(tpe, st.Primitive) and tpe.name in _SCALAR_CTYPES:
+        return _SCALAR_CTYPES[tpe.name]
+    raise UnsupportedConstructError(
+        f"type {tpe} has no C scalar mapping")
+
+
+def _flatten(tpe: st.Type, path: str, prefix: str, direction: str,
+             config: LayoutConfig, out: list[Leaf],
+             records: Optional[dict] = None) -> None:
+    records = records or {}
+    index = len(out) + 1
+    name = f"{prefix}_{index}"
+    if isinstance(tpe, st.TupleType):
+        for i, elem in enumerate(tpe.elems, start=1):
+            _flatten(elem, f"{path}._{i}", prefix, direction, config, out,
+                     records)
+        return
+    if isinstance(tpe, st.ClassType) and tpe.name in records:
+        for field_name, field_type in records[tpe.name]:
+            _flatten(field_type, f"{path}.{field_name}", prefix,
+                     direction, config, out, records)
+        return
+    if isinstance(tpe, st.StringType):
+        length = config.length_for(path, is_string=True)
+        out.append(Leaf(name=name, path=path, ctype=CHAR,
+                        elem_count=length, direction=direction,
+                        is_scalar=False))
+        return
+    if isinstance(tpe, st.ArrayType):
+        if not isinstance(tpe.elem, st.Primitive):
+            raise UnsupportedConstructError(
+                f"nested composite array {tpe} cannot be flattened")
+        length = config.length_for(path, is_string=False)
+        if length is None:
+            raise UnsupportedConstructError(
+                f"no fixed capacity configured for array leaf {path!r}; "
+                f"add it to LayoutConfig.lengths")
+        out.append(Leaf(name=name, path=path, ctype=_scalar_ctype(tpe.elem),
+                        elem_count=length, direction=direction,
+                        is_scalar=False))
+        return
+    if isinstance(tpe, (st.Primitive, st.ClassType)):
+        out.append(Leaf(name=name, path=path, ctype=_scalar_ctype(tpe),
+                        elem_count=1, direction=direction, is_scalar=True))
+        return
+    raise UnsupportedConstructError(f"cannot flatten type {tpe}")
+
+
+def build_layout(input_type: st.Type, output_type: st.Type,
+                 config: Optional[LayoutConfig] = None,
+                 records: Optional[dict] = None) -> InterfaceLayout:
+    """Flatten the kernel's Scala I/O types into buffer leaves."""
+    config = config or LayoutConfig()
+    records = records or {}
+    inputs: list[Leaf] = []
+    outputs: list[Leaf] = []
+    _flatten(input_type, "in", "in", "in", config, inputs, records)
+    _flatten(output_type, "out", "out", "out", config, outputs, records)
+    return InterfaceLayout(inputs=inputs, outputs=outputs,
+                           input_type=input_type, output_type=output_type,
+                           records=records)

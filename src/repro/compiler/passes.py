@@ -1,0 +1,280 @@
+"""Post-lift cleanup passes on the generated C AST.
+
+* :func:`rename_var` / :func:`remove_decl` implement the paper's
+  "accesses of local variables out1, out2 are replaced by the function
+  arguments" rewrite.
+* :func:`recover_for_loops` turns the lifter's ``while`` shapes back into
+  canonical counted ``for`` loops (with hoisted bound temporaries inlined),
+  which is what the design-space analysis needs for trip counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hlsc.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Cast,
+    CFunction,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    IntLit,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+    VarDecl,
+    While,
+)
+
+
+def _map_expr(expr: Expr, fn) -> Expr:
+    """Rebuild an expression bottom-up through ``fn``."""
+    if isinstance(expr, ArrayRef):
+        expr = ArrayRef(_map_expr(expr.array, fn), _map_expr(expr.index, fn))
+    elif isinstance(expr, BinOp):
+        expr = BinOp(expr.op, _map_expr(expr.lhs, fn), _map_expr(expr.rhs, fn))
+    elif isinstance(expr, UnOp):
+        expr = UnOp(expr.op, _map_expr(expr.operand, fn))
+    elif isinstance(expr, Call):
+        expr = Call(expr.name, [_map_expr(a, fn) for a in expr.args])
+    elif isinstance(expr, Cast):
+        expr = Cast(expr.ctype, _map_expr(expr.expr, fn))
+    elif isinstance(expr, Ternary):
+        expr = Ternary(_map_expr(expr.cond, fn), _map_expr(expr.then, fn),
+                       _map_expr(expr.other, fn))
+    return fn(expr)
+
+
+def map_exprs_in_block(block: Block, fn) -> None:
+    """Apply ``fn`` bottom-up to every expression in a block, in place."""
+    for stmt in block.stmts:
+        _map_stmt(stmt, fn)
+
+
+def _map_stmt(stmt: Stmt, fn) -> None:
+    if isinstance(stmt, VarDecl):
+        if stmt.init is not None:
+            stmt.init = _map_expr(stmt.init, fn)
+    elif isinstance(stmt, Assign):
+        stmt.lhs = _map_expr(stmt.lhs, fn)
+        stmt.rhs = _map_expr(stmt.rhs, fn)
+    elif isinstance(stmt, ExprStmt):
+        stmt.expr = _map_expr(stmt.expr, fn)
+    elif isinstance(stmt, If):
+        stmt.cond = _map_expr(stmt.cond, fn)
+        map_exprs_in_block(stmt.then, fn)
+        if stmt.orelse is not None:
+            map_exprs_in_block(stmt.orelse, fn)
+    elif isinstance(stmt, (For,)):
+        stmt.start = _map_expr(stmt.start, fn)
+        stmt.bound = _map_expr(stmt.bound, fn)
+        map_exprs_in_block(stmt.body, fn)
+    elif isinstance(stmt, While):
+        stmt.cond = _map_expr(stmt.cond, fn)
+        map_exprs_in_block(stmt.body, fn)
+    elif isinstance(stmt, Return):
+        if stmt.value is not None:
+            stmt.value = _map_expr(stmt.value, fn)
+
+
+def rename_var(block: Block, old: str, new: str) -> None:
+    """Rename every reference to variable ``old`` (decls included)."""
+
+    def fn(expr: Expr) -> Expr:
+        if isinstance(expr, Var) and expr.name == old:
+            return Var(new)
+        return expr
+
+    map_exprs_in_block(block, fn)
+    for stmt in _walk_stmts(block):
+        if isinstance(stmt, VarDecl) and stmt.name == old:
+            stmt.name = new
+        if isinstance(stmt, (For, While)) and getattr(stmt, "var", None) == old:
+            stmt.var = new
+
+
+def remove_decl(block: Block, name: str) -> bool:
+    """Remove the declaration of ``name`` (searching nested blocks)."""
+    for i, stmt in enumerate(block.stmts):
+        if isinstance(stmt, VarDecl) and stmt.name == name:
+            del block.stmts[i]
+            return True
+        for child in _child_blocks(stmt):
+            if remove_decl(child, name):
+                return True
+    return False
+
+
+def _child_blocks(stmt: Stmt) -> list[Block]:
+    if isinstance(stmt, If):
+        return [stmt.then] + ([stmt.orelse] if stmt.orelse else [])
+    if isinstance(stmt, (For, While)):
+        return [stmt.body]
+    return []
+
+
+def _walk_stmts(block: Block):
+    for stmt in block.stmts:
+        yield stmt
+        for child in _child_blocks(stmt):
+            yield from _walk_stmts(child)
+
+
+def count_var_uses(block: Block, name: str) -> int:
+    """Number of ``Var`` references to ``name`` in the block."""
+    count = 0
+
+    def fn(expr: Expr) -> Expr:
+        nonlocal count
+        if isinstance(expr, Var) and expr.name == name:
+            count += 1
+        return expr
+
+    map_exprs_in_block(block, fn)
+    return count
+
+
+# ---------------------------------------------------------------------------
+# For-loop recovery
+# ---------------------------------------------------------------------------
+
+
+def _increment_step(body: Block, var: str) -> Optional[int]:
+    """If the loop body ends with ``var = var + c``, return c."""
+    if not body.stmts:
+        return None
+    last = body.stmts[-1]
+    if not (isinstance(last, Assign) and isinstance(last.lhs, Var)
+            and last.lhs.name == var):
+        return None
+    rhs = last.rhs
+    if isinstance(rhs, BinOp) and isinstance(rhs.lhs, Var) \
+            and rhs.lhs.name == var and isinstance(rhs.rhs, IntLit):
+        if rhs.op == "+" and rhs.rhs.value > 0:
+            return rhs.rhs.value
+        if rhs.op == "-" and rhs.rhs.value < 0:
+            return -rhs.rhs.value
+    return None
+
+
+def _var_assigned_in(body: Block, var: str, skip_last: bool) -> bool:
+    stmts = body.stmts[:-1] if skip_last else body.stmts
+    for stmt in stmts:
+        if isinstance(stmt, Assign) and isinstance(stmt.lhs, Var) \
+                and stmt.lhs.name == var:
+            return True
+        for child in _child_blocks(stmt):
+            if _var_assigned_in(child, var, skip_last=False):
+                return True
+    return False
+
+
+def recover_for_loops(func: CFunction) -> None:
+    """Rewrite induction ``while`` loops into canonical ``for`` loops."""
+    _recover_in_block(func.body)
+
+
+def _recover_in_block(block: Block) -> None:
+    i = 0
+    while i < len(block.stmts):
+        stmt = block.stmts[i]
+        for child in _child_blocks(stmt):
+            _recover_in_block(child)
+        if isinstance(stmt, While):
+            replacement = _try_recover(block, i, stmt)
+            if replacement is not None:
+                # _try_recover may have removed decls before the loop, so
+                # re-locate the while by identity before replacing it.
+                i = block.stmts.index(stmt)
+                block.stmts[i] = replacement
+                _recover_in_block(replacement.body)
+        i += 1
+
+
+def _try_recover(block: Block, index: int, loop: While) -> Optional[For]:
+    cond = loop.cond
+    if not (isinstance(cond, BinOp) and cond.op in ("<", "<=")
+            and isinstance(cond.lhs, Var)):
+        return None
+    var = cond.lhs.name
+    step = _increment_step(loop.body, var)
+    if step is None:
+        return None
+    if _var_assigned_in(loop.body, var, skip_last=True):
+        return None
+    # The induction variable must be declared immediately before the loop
+    # (possibly with a hoisted bound temp in between).
+    decl_index = None
+    for j in range(index - 1, -1, -1):
+        stmt = block.stmts[j]
+        if isinstance(stmt, VarDecl) and stmt.name == var:
+            decl_index = j
+            break
+        if not isinstance(stmt, VarDecl):
+            break
+    if decl_index is None:
+        return None
+    decl = block.stmts[decl_index]
+    if decl.init is None or decl.is_array:
+        return None
+    start = decl.init
+
+    bound = cond.rhs
+    if cond.op == "<=":
+        bound = BinOp("+", bound, IntLit(1)) \
+            if not isinstance(bound, IntLit) else IntLit(bound.value + 1)
+
+    body = Block(loop.body.stmts[:-1])  # drop the increment
+
+    # The variable must not be used after the loop (scalac's loop counters
+    # never are); otherwise keep the while form.
+    after = Block(block.stmts[index + 1:])
+    if count_var_uses(after, var) > 0:
+        return None
+
+    # Inline a hoisted bound temp: `int t = expr; for (.. i < t ..)`.
+    # Inclusive ranges arrive as `t + 1`, so peel a constant addend first.
+    addend = 0
+    bound_var = bound
+    if isinstance(bound, BinOp) and bound.op == "+" \
+            and isinstance(bound.lhs, Var) and isinstance(bound.rhs, IntLit):
+        bound_var = bound.lhs
+        addend = bound.rhs.value
+    if isinstance(bound_var, Var):
+        for j in range(index - 1, -1, -1):
+            stmt = block.stmts[j]
+            if isinstance(stmt, VarDecl) and stmt.name == bound_var.name \
+                    and stmt.init is not None and not stmt.is_array:
+                uses_elsewhere = (
+                    count_var_uses(Block([loop]), bound_var.name)
+                    + count_var_uses(after, bound_var.name))
+                if uses_elsewhere == 1:
+                    inlined = stmt.init
+                    if addend:
+                        if isinstance(inlined, IntLit):
+                            inlined = IntLit(inlined.value + addend)
+                        else:
+                            inlined = BinOp("+", inlined, IntLit(addend))
+                    bound = inlined
+                    del block.stmts[j]
+                    if j < index:
+                        index -= 1
+                break
+            if not isinstance(stmt, VarDecl):
+                break
+
+    # Remove the induction variable declaration.
+    for j, stmt in enumerate(block.stmts):
+        if isinstance(stmt, VarDecl) and stmt.name == var:
+            del block.stmts[j]
+            break
+
+    return For(var=var, start=start, bound=bound, step=step, body=body)

@@ -1,0 +1,137 @@
+"""RDD-transformation templates wrapping ``call`` into a batch kernel.
+
+The bytecode-to-C compiler only translates the user's lambda; the
+semantics of the enclosing RDD operator (``map``, ``reduce``) are realized
+by inserting a predefined template (Section 3.2 / Code 3 of the paper):
+the ``kernel`` top function iterates over the task batch and invokes
+``call`` with per-task buffer slices.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnsupportedConstructError
+from ..hlsc.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    CFunction,
+    Expr,
+    ExprStmt,
+    For,
+    INT,
+    IntLit,
+    Param,
+    Var,
+    VarDecl,
+    VOID,
+)
+from .interface import InterfaceLayout, Leaf
+
+#: Name of the batch-size parameter in the generated top function.
+TASK_COUNT_PARAM = "N"
+TASK_LOOP_VAR = "i"
+
+
+def _slice_arg(leaf: Leaf, task: Expr) -> Expr:
+    """Argument passed to ``call`` for one leaf at task index ``task``.
+
+    Buffers are sliced by pointer arithmetic (``in_1 + i * 128``); scalar
+    inputs are loaded (``in_2[i]``); scalar outputs pass the element
+    address (``out_1 + i``).
+    """
+    base = Var(leaf.name)
+    if leaf.is_scalar and leaf.direction == "in":
+        return ArrayRef(base, task)
+    if leaf.elem_count == 1:
+        return BinOp("+", base, task)
+    return BinOp("+", base, BinOp("*", task, IntLit(leaf.elem_count)))
+
+
+def _call_params(layout: InterfaceLayout) -> list[Param]:
+    """Parameter list of the per-task ``call`` function."""
+    params: list[Param] = []
+    for leaf in layout.inputs:
+        params.append(Param(
+            name=leaf.name, ctype=leaf.ctype,
+            is_pointer=not leaf.is_scalar,
+            elem_count=None if leaf.is_scalar else leaf.elem_count,
+            direction="in"))
+    for leaf in layout.outputs:
+        params.append(Param(
+            name=leaf.name, ctype=leaf.ctype, is_pointer=True,
+            elem_count=leaf.elem_count, direction="out"))
+    return params
+
+
+def _kernel_params(layout: InterfaceLayout) -> list[Param]:
+    """Parameter list of the batch ``kernel`` wrapper (all buffers)."""
+    params = [Param(name=TASK_COUNT_PARAM, ctype=INT)]
+    for leaf in layout.leaves:
+        params.append(Param(
+            name=leaf.name, ctype=leaf.ctype, is_pointer=True,
+            elem_count=leaf.elem_count, direction=leaf.direction))
+    return params
+
+
+def make_call_function(name: str, layout: InterfaceLayout,
+                       body: Block) -> CFunction:
+    """Wrap the lifted body into the per-task ``call`` function."""
+    return CFunction(name=name, return_type=VOID,
+                     params=_call_params(layout), body=body)
+
+
+def map_template(layout: InterfaceLayout, call_name: str = "call",
+                 top_name: str = "kernel") -> CFunction:
+    """``map``: one independent ``call`` per task (Code 3 of the paper)."""
+    task = Var(TASK_LOOP_VAR)
+    args: list[Expr] = [_slice_arg(leaf, task) for leaf in layout.inputs]
+    args += [_slice_arg(leaf, task) for leaf in layout.outputs]
+    loop = For(
+        var=TASK_LOOP_VAR,
+        start=IntLit(0),
+        bound=Var(TASK_COUNT_PARAM),
+        body=Block([ExprStmt(Call(call_name, args))]),
+    )
+    return CFunction(name=top_name, return_type=VOID,
+                     params=_kernel_params(layout), body=Block([loop]))
+
+
+def reduce_template(layout: InterfaceLayout, call_name: str = "call",
+                    top_name: str = "kernel") -> CFunction:
+    """``reduce``: sequential fold ``acc = call(acc, in[i])``.
+
+    Only scalar element types are supported (the combiner's signature is
+    ``(T, T) => T``); the Merlin tree-reduction transform can later
+    parallelize this loop.
+    """
+    if len(layout.inputs) != 1 or len(layout.outputs) != 1:
+        raise UnsupportedConstructError(
+            "reduce kernels must have scalar (T, T) => T combiners")
+    in_leaf = layout.inputs[0]
+    out_leaf = layout.outputs[0]
+    if not (in_leaf.is_scalar and out_leaf.is_scalar):
+        raise UnsupportedConstructError(
+            "reduce over composite element types is not supported")
+    acc = VarDecl(name="acc", ctype=in_leaf.ctype,
+                  init=ArrayRef(Var(in_leaf.name), IntLit(0)))
+    loop = For(
+        var=TASK_LOOP_VAR,
+        start=IntLit(1),
+        bound=Var(TASK_COUNT_PARAM),
+        body=Block([
+            Assign(Var("acc"),
+                   Call(call_name,
+                        [Var("acc"),
+                         ArrayRef(Var(in_leaf.name), Var(TASK_LOOP_VAR))])),
+        ]),
+    )
+    store = Assign(ArrayRef(Var(out_leaf.name), IntLit(0)), Var("acc"))
+    params = [Param(name=TASK_COUNT_PARAM, ctype=INT),
+              Param(name=in_leaf.name, ctype=in_leaf.ctype, is_pointer=True,
+                    elem_count=in_leaf.elem_count, direction="in"),
+              Param(name=out_leaf.name, ctype=out_leaf.ctype,
+                    is_pointer=True, elem_count=1, direction="out")]
+    return CFunction(name=top_name, return_type=VOID, params=params,
+                     body=Block([acc, loop, store]))

@@ -1,0 +1,130 @@
+"""Multi-armed bandit meta-technique (the OpenTuner core).
+
+OpenTuner lets several search techniques run simultaneously and uses a
+sliding-window AUC bandit [Fialho et al.] to allocate the next design
+point to the technique that has recently produced new global bests.  The
+same machinery serves both our vanilla-OpenTuner baseline and the S2FA
+per-partition tuners.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from .evaluator import Evaluation
+from .space import DesignSpace
+from .techniques.base import BestTracker, SearchTechnique
+from .techniques.de import DifferentialEvolution
+from .techniques.greedy import UniformGreedyMutation
+from .techniques.pso import ParticleSwarm
+from .techniques.sa import SimulatedAnnealing
+
+
+def default_techniques(space: DesignSpace,
+                       rng: random.Random) -> list[SearchTechnique]:
+    """The paper's technique portfolio (Section 4.2)."""
+    return [
+        UniformGreedyMutation(space, rng),
+        DifferentialEvolution(space, rng),
+        ParticleSwarm(space, rng),
+        SimulatedAnnealing(space, rng),
+    ]
+
+
+@dataclass
+class _WindowEntry:
+    technique: str
+    improved: bool
+
+
+class AUCBandit:
+    """Sliding-window area-under-curve credit assignment.
+
+    A technique earns credit when its proposal improves the global best;
+    recent improvements weigh more (AUC over the window).  Selection adds
+    an exploration bonus so starved techniques are retried.
+    """
+
+    def __init__(self, names: list[str], window: int = 50,
+                 exploration: float = 0.3):
+        self.names = list(names)
+        self.window = deque(maxlen=window)
+        self.exploration = exploration
+        self.uses = {name: 0 for name in self.names}
+        self.total = 0
+
+    def credit(self, name: str) -> float:
+        auc = 0.0
+        weight = 0
+        for rank, entry in enumerate(self.window, start=1):
+            if entry.technique == name:
+                weight += rank
+                if entry.improved:
+                    auc += rank
+        return auc / weight if weight else 0.0
+
+    def select(self, rng: random.Random) -> str:
+        self.total += 1
+        scores = {}
+        for name in self.names:
+            uses = self.uses[name]
+            if uses == 0:
+                scores[name] = float("inf")
+            else:
+                bonus = self.exploration * math.sqrt(
+                    2.0 * math.log(self.total) / uses)
+                scores[name] = self.credit(name) + bonus
+        top = max(scores.values())
+        candidates = [n for n, s in scores.items() if s == top]
+        choice = rng.choice(candidates)
+        self.uses[choice] += 1
+        return choice
+
+    def report(self, name: str, improved: bool) -> None:
+        self.window.append(_WindowEntry(technique=name, improved=improved))
+
+
+class BanditTuner:
+    """One sequential tuner: a bandit over the four techniques.
+
+    ``step()`` proposes one point; ``feed()`` returns the evaluation to
+    the owning technique and the bandit.  This is the unit both runtimes
+    are built from.
+    """
+
+    def __init__(self, space: DesignSpace, rng: random.Random,
+                 techniques: list[SearchTechnique] | None = None):
+        self.space = space
+        self.rng = rng
+        self.techniques = techniques or default_techniques(space, rng)
+        self.bandit = AUCBandit([t.name for t in self.techniques])
+        self.best = BestTracker()
+        self._by_name = {t.name: t for t in self.techniques}
+        self._seed_queue: list[dict] = []
+
+    def add_seed(self, point: dict) -> None:
+        """Queue a seed point to be proposed before any technique runs."""
+        self._seed_queue.append(self.space.project(point))
+
+    def step(self) -> tuple[str, dict]:
+        """Pick a technique and get its proposal (or a queued seed)."""
+        if self._seed_queue:
+            return ("seed", self._seed_queue.pop(0))
+        name = self.bandit.select(self.rng)
+        point = self._by_name[name].propose(self.best)
+        return (name, self.space.project(point))
+
+    def feed(self, technique: str, evaluation: Evaluation) -> bool:
+        """Report a finished evaluation; returns True on a new best."""
+        improved = self.best.update(evaluation)
+        if technique != "seed":
+            self._by_name[technique].observe(evaluation)
+            self.bandit.report(technique, improved)
+        else:
+            # Seeds prime every population-based technique.
+            for t in self.techniques:
+                t.observe(evaluation)
+        return improved

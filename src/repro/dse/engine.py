@@ -1,0 +1,183 @@
+"""The S2FA parallel learning-based DSE engine (Fig. 2, solid lines in
+Fig. 3).
+
+Pipeline per run:
+
+1. identify the design space (Table 1),
+2. statically partition it with the decision tree (Section 4.3.1),
+3. give each partition its own bandit tuner with the two generated seeds
+   (Section 4.3.2),
+4. schedule partitions onto the eight workers first-come-first-served on
+   the virtual clock (each partition's tuner is inherently sequential, so
+   one partition occupies one worker),
+5. terminate each partition by the Shannon-entropy criterion
+   (Section 4.3.3) or the global time limit, whichever first.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..hls.estimator import estimate
+from ..merlin.config import DesignConfig
+from .bandit import BanditTuner
+from .evaluator import Evaluator, ExplorationTrace
+from .partition import Partition, build_partitions
+from .result import DSERun, PartitionReport
+from .seeds import seeds_for
+from .space import DesignSpace
+from .stopping import EntropyStopping, StoppingCriterion
+from .vclock import WorkerPool
+
+DEFAULT_TIME_LIMIT_MINUTES = 240.0
+
+
+@dataclass
+class _PartitionState:
+    partition: Partition
+    tuner: BanditTuner
+    stopping: StoppingCriterion
+    evaluations: int = 0
+    stopped_early: bool = False
+    start_minutes: float = 0.0
+    end_minutes: float = 0.0
+    started: bool = False
+
+
+class S2FAEngine:
+    """Runs the full S2FA DSE for one compiled kernel."""
+
+    def __init__(self, evaluator: Evaluator, space: DesignSpace, *,
+                 seed: int = 0, workers: int = 8,
+                 time_limit_minutes: float = DEFAULT_TIME_LIMIT_MINUTES,
+                 max_partitions: int = 8,
+                 use_partitioning: bool = True,
+                 use_seeds: bool = True,
+                 stopping_factory: Optional[
+                     Callable[[], StoppingCriterion]] = None):
+        self.evaluator = evaluator
+        self.space = space
+        self.rng = random.Random(seed)
+        self.workers = workers
+        self.time_limit = time_limit_minutes
+        self.max_partitions = max_partitions
+        self.use_partitioning = use_partitioning
+        self.use_seeds = use_seeds
+        self.stopping_factory = stopping_factory or EntropyStopping
+
+    # ------------------------------------------------------------------
+
+    def _probe(self, point: dict) -> float:
+        """Offline rule characterization: model-only, no virtual time."""
+        config = DesignConfig.from_point(point)
+        result = estimate(self.evaluator.compiled.kernel, config,
+                          self.evaluator.device)
+        return result.normalized_cycles
+
+    def _make_partitions(self) -> list[Partition]:
+        if not self.use_partitioning:
+            return [Partition(constraints={}, predicted_qor=0.0, index=0)]
+        return build_partitions(
+            self.space, self._probe, self.rng,
+            max_partitions=self.max_partitions,
+            samples=max(96, 12 * self.max_partitions))
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> DSERun:
+        partitions = self._make_partitions()
+        states: list[_PartitionState] = []
+        for partition in partitions:
+            subspace = partition.subspace(self.space)
+            tuner = BanditTuner(subspace, random.Random(
+                self.rng.randrange(2**31)))
+            if self.use_seeds:
+                for seed_point in seeds_for(subspace):
+                    tuner.add_seed(seed_point)
+            else:
+                tuner.add_seed(subspace.random_point(self.rng))
+            states.append(_PartitionState(
+                partition=partition, tuner=tuner,
+                stopping=self.stopping_factory()))
+
+        trace = ExplorationTrace()
+        pool = WorkerPool(self.workers)
+        pending = deque(states)
+        global_best = {"qor": float("inf"), "point": None, "eval": None}
+        first = {"qor": float("inf"), "seen": False}
+
+        def start_next_partition() -> None:
+            if pending:
+                state = pending.popleft()
+                state.started = True
+                state.start_minutes = pool.now
+                submit_step(state)
+
+        def submit_step(state: _PartitionState) -> None:
+            def job():
+                name, point = state.tuner.step()
+                evaluation = self.evaluator.evaluate(point)
+                duration = 0.05 if evaluation.cached else evaluation.minutes
+
+                def on_done(now: float) -> None:
+                    state.evaluations += 1
+                    if not first["seen"]:
+                        first["qor"] = evaluation.qor
+                        first["seen"] = True
+                    state.tuner.feed(name, evaluation)
+                    if evaluation.qor < global_best["qor"]:
+                        global_best["qor"] = evaluation.qor
+                        global_best["point"] = dict(evaluation.point)
+                        global_best["eval"] = evaluation
+                    trace.record(now, global_best["qor"],
+                                 self.evaluator.evaluations)
+                    should_stop = state.stopping.observe(
+                        evaluation.point, evaluation.qor)
+                    if should_stop:
+                        state.stopped_early = True
+                    if should_stop or now >= self.time_limit:
+                        state.end_minutes = now
+                        start_next_partition()
+                    else:
+                        submit_step(state)
+
+                return duration, on_done
+
+            pool.submit(job)
+
+        for _ in range(min(self.workers, len(pending))):
+            start_next_partition()
+        end = pool.run(until=self.time_limit)
+
+        for state in states:
+            if state.started and state.end_minutes == 0.0:
+                state.end_minutes = end
+
+        reports = [
+            PartitionReport(
+                index=state.partition.index,
+                description=state.partition.describe(),
+                evaluations=state.evaluations,
+                best_qor=state.tuner.best.qor,
+                stopped_early=state.stopped_early,
+                start_minutes=state.start_minutes,
+                end_minutes=state.end_minutes,
+            )
+            for state in states if state.started
+        ]
+        best_eval = global_best["eval"]
+        return DSERun(
+            name="s2fa",
+            trace=trace,
+            best_point=global_best["point"],
+            best_qor=global_best["qor"],
+            best_result=best_eval.result if best_eval else None,
+            evaluations=self.evaluator.evaluations,
+            termination_minutes=end,
+            first_qor=first["qor"],
+            partitions=reports,
+            space_size=self.space.size(),
+        )

@@ -1,0 +1,124 @@
+"""Design-point evaluation: Merlin transform + HLS estimation, cached.
+
+The evaluator is shared by every tuner (S2FA and the OpenTuner baseline):
+it turns a flat point into a :class:`DesignConfig`, invokes the HLS
+estimator, and reports both the QoR (normalized execution cycles — lower
+is better; infeasible points score infinity) and the synthesis minutes the
+evaluation costs on the virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..compiler.driver import CompiledKernel
+from ..hls.device import Device, VU9P
+from ..hls.estimator import estimate
+from ..hls.result import HLSResult
+from ..merlin.config import DesignConfig
+
+
+@dataclass
+class Evaluation:
+    """One evaluated design point."""
+
+    point: dict
+    qor: float                  # normalized cycles; inf when infeasible
+    result: HLSResult
+    minutes: float              # synthesis cost charged to the clock
+    cached: bool = False
+
+
+@dataclass
+class Evaluator:
+    """Caches HLS estimates per unique point.
+
+    ``frequency_aware`` selects the QoR metric.  The paper's DSE optimizes
+    raw cycle counts and leaves frequency modelling to future work
+    (Section 5.2); with ``frequency_aware=True`` (our default, implementing
+    that future work) the QoR is the cycle count rescaled to the target
+    clock, so a design that only closes timing at 150 MHz is penalized
+    accordingly.
+    """
+
+    compiled: CompiledKernel
+    device: Device = VU9P
+    frequency_aware: bool = True
+    evaluations: int = 0
+    cache_hits: int = 0
+    _cache: dict = field(default_factory=dict)
+
+    def _qor(self, result) -> float:
+        if not result.feasible:
+            return float("inf")
+        if self.frequency_aware:
+            return result.normalized_cycles
+        return float(result.cycles)
+
+    def evaluate(self, point: dict) -> Evaluation:
+        key = frozenset(point.items())
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return Evaluation(point=dict(point), qor=hit.qor,
+                              result=hit.result, minutes=hit.minutes,
+                              cached=True)
+        config = DesignConfig.from_point(point)
+        result = estimate(self.compiled.kernel, config, self.device)
+        evaluation = Evaluation(point=dict(point), qor=self._qor(result),
+                                result=result,
+                                minutes=result.synthesis_minutes)
+        self._cache[key] = evaluation
+        self.evaluations += 1
+        return evaluation
+
+    def evaluate_config(self, config: DesignConfig) -> Evaluation:
+        return self.evaluate(config.to_point())
+
+
+@dataclass
+class TracePoint:
+    """One sample of the best-so-far trajectory."""
+
+    minutes: float
+    best_qor: float
+    evaluations: int
+
+
+@dataclass
+class ExplorationTrace:
+    """Best-QoR-over-virtual-time record of one DSE run."""
+
+    points: list[TracePoint] = field(default_factory=list)
+
+    def record(self, minutes: float, best_qor: float,
+               evaluations: int) -> None:
+        self.points.append(TracePoint(minutes, best_qor, evaluations))
+
+    @property
+    def final_qor(self) -> float:
+        finite = [p.best_qor for p in self.points
+                  if p.best_qor != float("inf")]
+        return finite[-1] if finite else float("inf")
+
+    @property
+    def end_minutes(self) -> float:
+        return self.points[-1].minutes if self.points else 0.0
+
+    def best_at(self, minutes: float) -> float:
+        """Best QoR achieved by the given virtual time."""
+        best = float("inf")
+        for p in self.points:
+            if p.minutes <= minutes:
+                best = min(best, p.best_qor)
+        return best
+
+    def merged_with(self, other: "ExplorationTrace") -> "ExplorationTrace":
+        merged = ExplorationTrace(sorted(
+            self.points + other.points, key=lambda p: p.minutes))
+        # Re-normalize to a monotone best-so-far curve.
+        best = float("inf")
+        out = ExplorationTrace()
+        for p in merged.points:
+            best = min(best, p.best_qor)
+            out.record(p.minutes, best, p.evaluations)
+        return out

@@ -1,0 +1,200 @@
+"""Static design-space partitioning with a decision tree (Section 4.3.1).
+
+S2FA partitions the space *before* exploration ("some-for-all" static
+rules) instead of DATuner's per-run dynamic sampling.  Rules come from two
+methodologies the paper describes:
+
+* loop hierarchy — the same loop level tends to impact performance the
+  same way across applications, so structural factors (pipeline modes and
+  parallel factors, outermost first) are the split candidates;
+* RDD transformation semantics — the outermost (task) loop was inserted by
+  the compiler for the ``map``/``reduce`` pattern, so its scheduling is
+  ranked first.
+
+The tree greedily maximizes information gain (Eq. 1) with variance as the
+impurity function (the target is regressed latency).  A root-to-leaf path
+conjoins its rules into one partition; partitions are disjoint and cover
+the space, preserving optimality.
+
+Training data comes from the analytical model on a rule-characterization
+sample.  The paper's rules are established offline from applications with
+similar loop hierarchies, so this characterization charges *no* DSE
+virtual time — that is exactly the "avoid set-up time" advantage over
+DATuner that Section 4.3 claims.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .space import DesignSpace, Parameter
+
+
+@dataclass
+class Partition:
+    """A conjunction of rules restricting some parameters."""
+
+    constraints: dict[str, tuple]
+    predicted_qor: float
+    rules: list[str] = field(default_factory=list)
+    index: int = 0
+
+    def subspace(self, space: DesignSpace) -> DesignSpace:
+        return space.restrict(self.constraints)
+
+    def describe(self) -> str:
+        return " AND ".join(self.rules) if self.rules else "(whole space)"
+
+
+@dataclass
+class _Sample:
+    point: dict
+    qor: float
+
+
+def _variance(samples: list[_Sample]) -> float:
+    if len(samples) < 2:
+        return 0.0
+    values = [s.qor for s in samples]
+    mean = sum(values) / len(values)
+    return sum((v - mean) ** 2 for v in values) / len(values)
+
+
+def _information_gain(parent: list[_Sample], left: list[_Sample],
+                      right: list[_Sample]) -> float:
+    """Eq. 1 with variance impurity."""
+    n = len(parent)
+    if not left or not right:
+        return 0.0
+    return (_variance(parent)
+            - len(left) / n * _variance(left)
+            - len(right) / n * _variance(right))
+
+
+def _candidate_splits(param: Parameter):
+    """Yield (predicate, left_values, right_values, rule_text)."""
+    values = param.values
+    if param.kind == "pipeline":
+        for mode in values:
+            left = tuple(v for v in values if v == mode)
+            right = tuple(v for v in values if v != mode)
+            if left and right:
+                yield (left, right, f"{param.name} == {mode}")
+        return
+    # Numeric: thresholds between consecutive values.
+    for i in range(len(values) - 1):
+        threshold = values[i]
+        left = tuple(values[:i + 1])
+        right = tuple(values[i + 1:])
+        yield (left, right, f"{param.name} <= {threshold}")
+
+
+def _structural_parameters(space: DesignSpace) -> list[Parameter]:
+    """Split candidates: pipeline/parallel factors, outermost loops first.
+
+    Loop depth is approximated by label length (labels are hierarchical:
+    ``L0`` is the task loop, ``call_L0_0`` is nested deeper).
+    """
+    params = [p for p in space.parameters
+              if p.kind in ("pipeline", "parallel") and p.cardinality > 1]
+
+    def depth_key(p: Parameter) -> tuple:
+        label = p.loop or ""
+        is_task = 0 if label.startswith("L") and "_" not in label else 1
+        return (is_task, label.count("_"), label, p.kind)
+
+    return sorted(params, key=depth_key)
+
+
+def characterize(space: DesignSpace, probe: Callable[[dict], float],
+                 rng: random.Random, samples: int = 64) -> list[_Sample]:
+    """Draw the rule-characterization sample through ``probe``.
+
+    Infeasible points (inf QoR) are kept at a large finite surrogate so
+    the tree learns to isolate infeasible regions rather than ignoring
+    them.
+    """
+    data: list[_Sample] = []
+    for _ in range(samples):
+        point = space.random_point(rng)
+        qor = probe(point)
+        data.append(_Sample(point=point, qor=qor))
+    finite = [s.qor for s in data if math.isfinite(s.qor)]
+    surrogate = (max(finite) * 10 if finite else 1.0)
+    for s in data:
+        if not math.isfinite(s.qor):
+            s.qor = surrogate
+    return data
+
+
+def build_partitions(space: DesignSpace, probe: Callable[[dict], float],
+                     rng: random.Random, max_partitions: int = 8,
+                     samples: int = 64,
+                     min_leaf: int = 4) -> list[Partition]:
+    """Grow the decision tree and return ranked leaf partitions."""
+    data = characterize(space, probe, rng, samples)
+    candidates = _structural_parameters(space)
+    if not candidates:
+        return [Partition(constraints={}, predicted_qor=0.0, index=0)]
+
+    max_depth = max(1, math.ceil(math.log2(max_partitions)))
+    leaves: list[Partition] = []
+
+    def grow(samples_here: list[_Sample], constraints: dict,
+             rules: list[str], depth: int) -> None:
+        if depth >= max_depth or len(samples_here) < 2 * min_leaf:
+            _emit_leaf(samples_here, constraints, rules)
+            return
+        best = None
+        # RDD-semantics rule (Section 4.3.1): the scheduling (pipeline
+        # mode) of the compiler-inserted loops is ranked ahead of the
+        # numeric factors for the first split levels.
+        level_candidates = [p for p in candidates if p.kind == "pipeline"] \
+            if depth < 2 else candidates
+        if not any(len(constraints.get(p.name, p.values)) > 1
+                   for p in level_candidates):
+            level_candidates = candidates
+        for param in level_candidates:
+            allowed = constraints.get(param.name, param.values)
+            if len(allowed) < 2:
+                continue
+            restricted = Parameter(name=param.name, values=tuple(allowed),
+                                   kind=param.kind, loop=param.loop)
+            for left_vals, right_vals, rule in _candidate_splits(restricted):
+                left = [s for s in samples_here
+                        if s.point[param.name] in left_vals]
+                right = [s for s in samples_here
+                         if s.point[param.name] in right_vals]
+                if len(left) < min_leaf or len(right) < min_leaf:
+                    continue
+                gain = _information_gain(samples_here, left, right)
+                if best is None or gain > best[0]:
+                    best = (gain, param, left_vals, right_vals, rule,
+                            left, right)
+        if best is None or best[0] <= 0:
+            _emit_leaf(samples_here, constraints, rules)
+            return
+        _, param, left_vals, right_vals, rule, left, right = best
+        left_constraints = dict(constraints)
+        left_constraints[param.name] = left_vals
+        right_constraints = dict(constraints)
+        right_constraints[param.name] = right_vals
+        grow(left, left_constraints, rules + [rule], depth + 1)
+        grow(right, right_constraints, rules + [f"NOT({rule})"], depth + 1)
+
+    def _emit_leaf(samples_here: list[_Sample], constraints: dict,
+                   rules: list[str]) -> None:
+        mean = (sum(s.qor for s in samples_here) / len(samples_here)
+                if samples_here else float("inf"))
+        leaves.append(Partition(constraints=dict(constraints),
+                                predicted_qor=mean, rules=list(rules)))
+
+    grow(data, {}, [], 0)
+    # Rank by predicted quality (best first) and index them.
+    leaves.sort(key=lambda p: p.predicted_qor)
+    for i, leaf in enumerate(leaves):
+        leaf.index = i
+    return leaves

@@ -1,0 +1,46 @@
+"""Seed generation for each partition (Section 4.3.2).
+
+Two seeds per partition:
+
+* the **performance-driven** seed enables pipelining on every loop, sets
+  every parallel factor to 32, and maxes out buffer bit-widths — it may
+  fail synthesis for some designs but slashes iteration counts for the
+  rest;
+* the **area-driven (conservative)** seed disables every optimization and
+  uses minimum widths — guaranteed to start the learner in the feasible
+  region, so a partition can never be trapped in an infeasible zone from
+  the first step.
+"""
+
+from __future__ import annotations
+
+from .space import DesignSpace
+
+PERFORMANCE_PARALLEL = 32
+
+
+def performance_seed(space: DesignSpace) -> dict:
+    """Pipeline everything, parallel factor 32, widest buffers."""
+    point = {}
+    for p in space.parameters:
+        if p.kind == "pipeline":
+            point[p.name] = "on" if "on" in p.values else p.values[-1]
+        elif p.kind == "parallel":
+            candidates = [v for v in p.values
+                          if v <= PERFORMANCE_PARALLEL]
+            point[p.name] = candidates[-1] if candidates else p.values[0]
+        elif p.kind == "bitwidth":
+            point[p.name] = p.values[-1]
+        else:  # tile
+            point[p.name] = p.values[0]
+    return point
+
+
+def area_seed(space: DesignSpace) -> dict:
+    """All optimizations off, minimum bit-widths (always feasible)."""
+    return space.default_point()
+
+
+def seeds_for(space: DesignSpace) -> list[dict]:
+    """Both seeds, performance-driven first."""
+    return [performance_seed(space), area_seed(space)]

@@ -1,0 +1,125 @@
+"""Early-stopping criteria for the DSE process (Section 4.3.3).
+
+:class:`EntropyStopping` implements Eq. 2: track, per design factor, the
+experimental probability that mutating the factor produced an "uphill"
+(improving) result; terminate when the Shannon entropy of that
+distribution stabilizes (|H_i - H_{i-1}| <= theta for N consecutive
+iterations) — low uncertainty that the next iteration finds anything new.
+
+:class:`NoImprovementStopping` is the trivial criterion the paper
+evaluates against (stop after K idle iterations); it terminates about an
+hour later for ~4% QoR in their measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class StoppingCriterion:
+    """Interface: observe evaluations, say when to stop."""
+
+    def observe(self, point: dict, qor: float) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class EntropyStopping(StoppingCriterion):
+    """Shannon-entropy convergence over per-factor uphill probabilities."""
+
+    theta: float = 0.03
+    consecutive: int = 3
+    min_iterations: int = 16
+    #: a partition whose mutations never produce an uphill result is
+    #: abandoned after this many iterations (H is identically zero there,
+    #: which Eq. 2 reads as "certain that nothing better will come")
+    hopeless_iterations: int = 20
+
+    _mutations: dict[str, int] = field(default_factory=dict)
+    _uphill: dict[str, int] = field(default_factory=dict)
+    _prev_point: Optional[dict] = None
+    _prev_qor: float = float("inf")
+    _prev_entropy: Optional[float] = None
+    _streak: int = 0
+    iterations: int = 0
+
+    def entropy(self) -> float:
+        probabilities = []
+        for factor, count in self._mutations.items():
+            if count:
+                probabilities.append(self._uphill.get(factor, 0) / count)
+        total = sum(probabilities)
+        if total <= 0:
+            return 0.0
+        h = 0.0
+        for p in probabilities:
+            q = p / total
+            if q > 0:
+                h -= q * math.log(q)
+        return h
+
+    def observe(self, point: dict, qor: float) -> bool:
+        self.iterations += 1
+        if self._prev_point is not None:
+            changed = [name for name, value in point.items()
+                       if self._prev_point.get(name) != value]
+            improved = qor < self._prev_qor
+            for factor in changed:
+                self._mutations[factor] = \
+                    self._mutations.get(factor, 0) + 1
+                if improved:
+                    self._uphill[factor] = self._uphill.get(factor, 0) + 1
+        self._prev_point = dict(point)
+        self._prev_qor = min(self._prev_qor, qor)
+
+        h = self.entropy()
+        stop = False
+        uphill_total = sum(self._uphill.values())
+        if self._prev_entropy is not None:
+            if abs(h - self._prev_entropy) <= self.theta:
+                self._streak += 1
+            else:
+                self._streak = 0
+            if uphill_total > 0:
+                # The uphill distribution is informed: stop once its
+                # entropy has stabilized (Eq. 2).
+                stop = (self._streak >= self.consecutive
+                        and self.iterations >= self.min_iterations)
+            else:
+                # No mutation has ever improved anything here: H == 0
+                # with certainty — abandon after a grace period.
+                stop = self.iterations >= self.hopeless_iterations
+        self._prev_entropy = h
+        return stop
+
+
+@dataclass
+class NoImprovementStopping(StoppingCriterion):
+    """Stop after ``patience`` iterations without a new best."""
+
+    patience: int = 10
+    min_iterations: int = 5
+
+    _best: float = float("inf")
+    _idle: int = 0
+    iterations: int = 0
+
+    def observe(self, point: dict, qor: float) -> bool:
+        self.iterations += 1
+        if qor < self._best:
+            self._best = qor
+            self._idle = 0
+        else:
+            self._idle += 1
+        return (self._idle >= self.patience
+                and self.iterations >= self.min_iterations)
+
+
+@dataclass
+class NeverStop(StoppingCriterion):
+    """Vanilla OpenTuner: only the external time limit terminates."""
+
+    def observe(self, point: dict, qor: float) -> bool:
+        return False

@@ -1,0 +1,7 @@
+"""Reinforcement-learning search techniques (Section 4.2)."""
+
+from .base import BestTracker, SearchTechnique  # noqa: F401
+from .de import DifferentialEvolution  # noqa: F401
+from .greedy import UniformGreedyMutation  # noqa: F401
+from .pso import ParticleSwarm  # noqa: F401
+from .sa import SimulatedAnnealing  # noqa: F401

@@ -1,0 +1,62 @@
+"""Common machinery for search techniques.
+
+Techniques operate on *index vectors*: each parameter's value is its index
+into the parameter's discrete value list, giving every algorithm a uniform
+integer box to move in regardless of whether the factor is a power-of-two
+range or a categorical pipeline mode.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..evaluator import Evaluation
+from ..space import DesignSpace
+
+
+def point_to_indices(space: DesignSpace, point: dict) -> list[int]:
+    return [p.index_of(point[p.name]) for p in space.parameters]
+
+
+def indices_to_point(space: DesignSpace, indices: list[int]) -> dict:
+    return {
+        p.name: p.values[p.clamp_index(index)]
+        for p, index in zip(space.parameters, indices)
+    }
+
+
+def random_indices(space: DesignSpace, rng: random.Random) -> list[int]:
+    return [rng.randrange(p.cardinality) for p in space.parameters]
+
+
+@dataclass
+class BestTracker:
+    """Shared best-so-far state handed to every technique."""
+
+    point: dict | None = None
+    qor: float = float("inf")
+
+    def update(self, evaluation: Evaluation) -> bool:
+        if evaluation.qor < self.qor:
+            self.qor = evaluation.qor
+            self.point = dict(evaluation.point)
+            return True
+        return False
+
+
+class SearchTechnique:
+    """Interface every search technique implements."""
+
+    name = "base"
+
+    def __init__(self, space: DesignSpace, rng: random.Random):
+        self.space = space
+        self.rng = rng
+
+    def propose(self, best: BestTracker) -> dict:
+        """Produce the next point to evaluate."""
+        raise NotImplementedError
+
+    def observe(self, evaluation: Evaluation) -> None:
+        """Feed back the result of a point this technique proposed."""

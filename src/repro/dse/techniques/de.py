@@ -1,0 +1,86 @@
+"""Differential evolution genetic algorithm."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..evaluator import Evaluation
+from ..space import DesignSpace
+from .base import (
+    BestTracker,
+    SearchTechnique,
+    indices_to_point,
+    point_to_indices,
+    random_indices,
+)
+
+
+@dataclass
+class _Member:
+    indices: list[int]
+    qor: float = float("inf")
+    pending: dict | None = None
+
+
+class DifferentialEvolution(SearchTechnique):
+    """DE/rand/1/bin over the parameter index space."""
+
+    name = "differential-evolution"
+
+    def __init__(self, space: DesignSpace, rng: random.Random,
+                 population: int = 6, f: float = 0.8, cr: float = 0.8):
+        super().__init__(space, rng)
+        self.f = f
+        self.cr = cr
+        self.members = [
+            _Member(indices=random_indices(space, rng))
+            for _ in range(max(4, population))
+        ]
+        self._cursor = 0
+        self._initializing = len(self.members)
+
+    def propose(self, best: BestTracker) -> dict:
+        if self._initializing > 0:
+            member = self.members[len(self.members) - self._initializing]
+            self._initializing -= 1
+            point = indices_to_point(self.space, member.indices)
+            member.pending = point
+            return point
+        target = self.members[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.members)
+        a, b, c = self.rng.sample(
+            [m for m in self.members if m is not target], 3)
+        mutant = [
+            round(ai + self.f * (bi - ci))
+            for ai, bi, ci in zip(a.indices, b.indices, c.indices)
+        ]
+        trial = []
+        force = self.rng.randrange(len(mutant))
+        for i, p in enumerate(self.space.parameters):
+            if self.rng.random() < self.cr or i == force:
+                trial.append(p.clamp_index(mutant[i]))
+            else:
+                trial.append(target.indices[i])
+        point = indices_to_point(self.space, trial)
+        target.pending = point
+        return point
+
+    def observe(self, evaluation: Evaluation) -> None:
+        for member in self.members:
+            if member.pending is not None \
+                    and member.pending == evaluation.point:
+                if evaluation.qor <= member.qor:
+                    member.qor = evaluation.qor
+                    member.indices = point_to_indices(
+                        self.space, self.space.project(evaluation.point))
+                member.pending = None
+                return
+        # Unsolicited result (a seed or another technique's point):
+        # adopt it when it beats the current worst member, so the
+        # population benefits from everything the tuner has seen.
+        worst = max(self.members, key=lambda m: m.qor)
+        if evaluation.qor < worst.qor:
+            worst.qor = evaluation.qor
+            worst.indices = point_to_indices(
+                self.space, self.space.project(evaluation.point))

@@ -1,0 +1,37 @@
+"""Uniform greedy mutation (one of the paper's four RL techniques)."""
+
+from __future__ import annotations
+
+import random
+
+from ..space import DesignSpace
+from .base import BestTracker, SearchTechnique
+
+
+class UniformGreedyMutation(SearchTechnique):
+    """Mutate the best known point, each parameter with equal probability.
+
+    Before any feasible point exists it explores uniformly at random.
+    """
+
+    name = "greedy-mutation"
+
+    def __init__(self, space: DesignSpace, rng: random.Random,
+                 mutation_rate: float = 0.15):
+        super().__init__(space, rng)
+        self.mutation_rate = mutation_rate
+
+    def propose(self, best: BestTracker) -> dict:
+        if best.point is None:
+            return self.space.random_point(self.rng)
+        point = dict(self.space.project(best.point))
+        params = self.space.parameters
+        mutated = False
+        for p in params:
+            if self.rng.random() < self.mutation_rate:
+                point[p.name] = self.rng.choice(p.values)
+                mutated = True
+        if not mutated:
+            p = self.rng.choice(params)
+            point[p.name] = self.rng.choice(p.values)
+        return point

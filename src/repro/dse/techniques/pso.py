@@ -1,0 +1,96 @@
+"""Particle swarm optimization."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..evaluator import Evaluation
+from ..space import DesignSpace
+from .base import (
+    BestTracker,
+    SearchTechnique,
+    indices_to_point,
+    point_to_indices,
+    random_indices,
+)
+
+
+@dataclass
+class _Particle:
+    position: list[float]
+    velocity: list[float]
+    best_position: list[float] = field(default_factory=list)
+    best_qor: float = float("inf")
+    pending: dict | None = None
+
+
+class ParticleSwarm(SearchTechnique):
+    """Canonical PSO with inertia/cognitive/social terms in index space."""
+
+    name = "particle-swarm"
+
+    def __init__(self, space: DesignSpace, rng: random.Random,
+                 swarm: int = 5, inertia: float = 0.6,
+                 cognitive: float = 1.4, social: float = 1.4):
+        super().__init__(space, rng)
+        self.inertia = inertia
+        self.cognitive = cognitive
+        self.social = social
+        self.particles = []
+        for _ in range(max(3, swarm)):
+            position = [float(i) for i in random_indices(space, rng)]
+            velocity = [rng.uniform(-1.0, 1.0) for _ in space.parameters]
+            self.particles.append(_Particle(
+                position=position, velocity=velocity,
+                best_position=list(position)))
+        self._cursor = 0
+        self._initializing = len(self.particles)
+
+    def propose(self, best: BestTracker) -> dict:
+        if self._initializing > 0:
+            particle = self.particles[
+                len(self.particles) - self._initializing]
+            self._initializing -= 1
+            point = indices_to_point(
+                self.space, [int(round(x)) for x in particle.position])
+            particle.pending = point
+            return point
+        particle = self.particles[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.particles)
+        if best.point is not None:
+            global_best = [float(i) for i in point_to_indices(
+                self.space, self.space.project(best.point))]
+        else:
+            global_best = list(particle.best_position)
+        for i in range(len(particle.position)):
+            r1, r2 = self.rng.random(), self.rng.random()
+            particle.velocity[i] = (
+                self.inertia * particle.velocity[i]
+                + self.cognitive * r1 * (particle.best_position[i]
+                                         - particle.position[i])
+                + self.social * r2 * (global_best[i]
+                                      - particle.position[i]))
+            cap = max(1.0, self.space.parameters[i].cardinality / 2)
+            particle.velocity[i] = max(-cap, min(cap, particle.velocity[i]))
+            particle.position[i] += particle.velocity[i]
+            particle.position[i] = max(
+                0.0, min(self.space.parameters[i].cardinality - 1,
+                         particle.position[i]))
+        point = indices_to_point(
+            self.space, [int(round(x)) for x in particle.position])
+        particle.pending = point
+        return point
+
+    def observe(self, evaluation: Evaluation) -> None:
+        for particle in self.particles:
+            if particle.pending is not None \
+                    and particle.pending == evaluation.point:
+                if evaluation.qor < particle.best_qor:
+                    particle.best_qor = evaluation.qor
+                    particle.best_position = [
+                        float(i) for i in point_to_indices(
+                            self.space,
+                            self.space.project(evaluation.point))]
+                particle.pending = None
+                return

@@ -1,0 +1,71 @@
+"""Simulated annealing."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..evaluator import Evaluation
+from ..space import DesignSpace
+from .base import (
+    BestTracker,
+    SearchTechnique,
+    indices_to_point,
+    point_to_indices,
+    random_indices,
+)
+
+
+class SimulatedAnnealing(SearchTechnique):
+    """Neighborhood moves with a geometric cooling schedule.
+
+    Acceptance uses relative QoR (cycles span orders of magnitude, so the
+    Metropolis criterion is applied to ``log`` QoR).
+    """
+
+    name = "simulated-annealing"
+
+    def __init__(self, space: DesignSpace, rng: random.Random,
+                 initial_temperature: float = 1.0,
+                 cooling: float = 0.95):
+        super().__init__(space, rng)
+        self.temperature = initial_temperature
+        self.cooling = cooling
+        self.current = random_indices(space, rng)
+        self.current_qor = float("inf")
+        self._pending: dict | None = None
+
+    def propose(self, best: BestTracker) -> dict:
+        if self.current_qor == float("inf") and best.point is not None:
+            # Anneal from the best known point rather than a random one.
+            self.current = point_to_indices(
+                self.space, self.space.project(best.point))
+            self.current_qor = best.qor
+        neighbor = list(self.current)
+        moves = 1 + (self.rng.random() < 0.3)
+        for _ in range(moves):
+            i = self.rng.randrange(len(neighbor))
+            step = self.rng.choice((-2, -1, 1, 2))
+            neighbor[i] = self.space.parameters[i].clamp_index(
+                neighbor[i] + step)
+        point = indices_to_point(self.space, neighbor)
+        self._pending = point
+        self._pending_indices = neighbor
+        return point
+
+    def observe(self, evaluation: Evaluation) -> None:
+        if self._pending is None or evaluation.point != self._pending:
+            return
+        self._pending = None
+        new_qor = evaluation.qor
+        accept = False
+        if new_qor < self.current_qor:
+            accept = True
+        elif math.isfinite(new_qor) and math.isfinite(self.current_qor):
+            delta = math.log(new_qor) - math.log(self.current_qor)
+            accept = self.rng.random() < math.exp(
+                -delta / max(1e-6, self.temperature))
+        if accept:
+            self.current = self._pending_indices
+            self.current_qor = new_qor
+        self.temperature = max(0.01, self.temperature * self.cooling)

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the S2FA reproduction.
+
+Every subsystem raises a subclass of :class:`S2FAError` so callers can
+distinguish user-facing failures (unsupported Scala constructs, infeasible
+designs) from programming errors, which surface as plain Python exceptions.
+"""
+
+from __future__ import annotations
+
+
+class S2FAError(Exception):
+    """Base class for all errors raised by the framework."""
+
+
+class ScalaSyntaxError(S2FAError):
+    """The mini-Scala frontend could not parse the kernel source."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ScalaTypeError(S2FAError):
+    """The kernel source is syntactically valid but ill-typed."""
+
+
+class UnsupportedConstructError(S2FAError):
+    """The kernel uses a construct outside the supported subset (Section 3.3).
+
+    The paper restricts kernels to primitive types plus known composite
+    classes, constant-size allocation, and no arbitrary library calls.  The
+    same restrictions apply here; violating them raises this error rather
+    than producing wrong code.
+    """
+
+
+class BytecodeError(S2FAError):
+    """Malformed or unverifiable JVM bytecode."""
+
+
+class JVMRuntimeError(S2FAError):
+    """The JVM interpreter hit an unrecoverable condition (e.g. bad index)."""
+
+
+class DecompileError(S2FAError):
+    """The bytecode-to-C compiler could not lift a method.
+
+    Raised when control flow is irreducible, the operand stack is
+    inconsistent across predecessors, or an object layout cannot be
+    flattened to C arrays.
+    """
+
+
+class TransformError(S2FAError):
+    """A Merlin-style code transformation could not be applied."""
+
+
+class HLSError(S2FAError):
+    """The HLS estimator rejected a design outright (not mere infeasibility)."""
+
+
+class InfeasibleDesignError(HLSError):
+    """A design point exceeds the device envelope or fails routing."""
+
+
+class DSEError(S2FAError):
+    """Design space exploration misconfiguration."""
+
+
+class BlazeError(S2FAError):
+    """Blaze runtime integration failure (registration, serialization...)."""

@@ -1,0 +1,9 @@
+"""FPGA device simulator: functional C-kernel execution + timing."""
+
+from .board import (  # noqa: F401
+    ExecutionStats,
+    FPGABoard,
+    INVOCATION_OVERHEAD_S,
+    PCIE_BYTES_PER_SECOND,
+)
+from .executor import CPointer, KernelExecutor  # noqa: F401

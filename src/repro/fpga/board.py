@@ -1,0 +1,96 @@
+"""FPGA board model: functional execution plus timing.
+
+Combines the :class:`KernelExecutor` (functional results) with the HLS
+estimate of the deployed design (timing) and a PCIe transfer model, so the
+Blaze runtime can report realistic end-to-end accelerator task times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import BlazeError
+from ..hls.result import HLSResult
+from ..hlsc.ast import CKernel
+from ..utils import ceil_div
+from .executor import KernelExecutor
+
+#: Effective host-to-board PCIe bandwidth (bytes/second); F1 uses PCIe
+#: gen3 x16, ~12 GB/s effective.
+PCIE_BYTES_PER_SECOND = 12e9
+
+#: Fixed per-invocation overhead (driver + DMA setup), seconds.
+INVOCATION_OVERHEAD_S = 50e-6
+
+#: Host-side (de)serialization cost of the generated reflection-based
+#: data-processing methods (Section 3.2): fixed per task plus per byte.
+SERIALIZE_NS_PER_TASK = 40.0
+SERIALIZE_NS_PER_BYTE = 0.1
+
+
+def offload_seconds_per_task(hls, batch_size: int,
+                             bytes_per_task: int) -> float:
+    """End-to-end modelled accelerator time per task.
+
+    Kernel time at the achieved clock, plus PCIe transfer, plus the
+    host-side serialization the Blaze integration performs.  Used by the
+    Fig. 4 harness (which does not functionally execute every task).
+    """
+    kernel_s = hls.seconds_per_batch / batch_size
+    pcie_s = bytes_per_task / PCIE_BYTES_PER_SECOND
+    serialize_s = (SERIALIZE_NS_PER_TASK
+                   + SERIALIZE_NS_PER_BYTE * bytes_per_task) * 1e-9
+    return kernel_s + pcie_s + serialize_s
+
+
+@dataclass
+class ExecutionStats:
+    """Timing breakdown of one accelerator invocation batch."""
+
+    tasks: int = 0
+    batches: int = 0
+    kernel_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.kernel_seconds + self.transfer_seconds
+                + self.overhead_seconds)
+
+
+@dataclass
+class FPGABoard:
+    """One deployed accelerator design on the device."""
+
+    kernel: CKernel
+    hls: HLSResult
+    batch_size: int
+    bytes_per_task: int = 0
+    executor: Optional[KernelExecutor] = None
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def __post_init__(self) -> None:
+        if not self.hls.feasible:
+            raise BlazeError(
+                "cannot deploy an infeasible design: "
+                + self.hls.infeasible_reason)
+        if self.executor is None:
+            self.executor = KernelExecutor(self.kernel)
+
+    def run(self, buffers: dict[str, list], n_tasks: int) -> float:
+        """Execute one batch; returns modelled seconds."""
+        self.executor.run(buffers, n_tasks)
+        batches = max(1, ceil_div(n_tasks, self.batch_size))
+        kernel_s = self.hls.seconds_per_batch * (
+            n_tasks / self.batch_size)
+        transfer_s = (self.bytes_per_task * n_tasks
+                      / PCIE_BYTES_PER_SECOND)
+        overhead_s = INVOCATION_OVERHEAD_S * batches
+        self.stats.tasks += n_tasks
+        self.stats.batches += batches
+        self.stats.kernel_seconds += kernel_s
+        self.stats.transfer_seconds += transfer_s
+        self.stats.overhead_seconds += overhead_s
+        return kernel_s + transfer_s + overhead_s

@@ -1,0 +1,360 @@
+"""Functional FPGA execution: a C-AST interpreter.
+
+The device simulator runs the *generated HLS-C kernel itself* (not the
+original Scala), so functional equivalence of the whole compilation
+pipeline is checked end to end: JVM-interpreted Scala vs C-interpreted
+kernel must agree on every application (the tests assert exactly that).
+
+Semantics follow the generated subset of C with two deliberate choices:
+
+* ``char`` behaves as the JVM's unsigned 16-bit char (the code generator
+  emits char buffers from Java chars, and real S2FA would declare them
+  ``unsigned``);
+* 32-bit wrapping integer arithmetic, truncating division (C99 == JVM).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import S2FAError
+from ..hlsc.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Cast,
+    CFunction,
+    CKernel,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Pragma,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+    VarDecl,
+    While,
+)
+
+_INT_MAX = 2**31 - 1
+
+
+def _i32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value > _INT_MAX else value
+
+
+def _cdiv(a: int, b: int) -> int:
+    if b == 0:
+        raise S2FAError("kernel divided by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+@dataclass
+class CPointer:
+    """A pointer into a flat Python-list backing store."""
+
+    backing: list
+    offset: int = 0
+
+    def index(self, i: int) -> int:
+        pos = self.offset + i
+        if not 0 <= pos < len(self.backing):
+            raise S2FAError(
+                f"kernel out-of-bounds access at offset {pos} "
+                f"(buffer size {len(self.backing)})")
+        return pos
+
+    def load(self, i: int):
+        return self.backing[self.index(i)]
+
+    def store(self, i: int, value) -> None:
+        self.backing[self.index(i)] = value
+
+    def shifted(self, delta: int) -> "CPointer":
+        return CPointer(self.backing, self.offset + delta)
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+_MATH_FUNCS = {
+    "exp": math.exp, "expf": math.exp,
+    "log": math.log, "logf": math.log,
+    "sqrt": math.sqrt, "sqrtf": math.sqrt,
+    "pow": math.pow,
+    "floor": math.floor, "ceil": math.ceil,
+    "fabs": abs, "fabsf": abs, "abs": abs,
+    "fmin": min, "fminf": min, "min": min,
+    "fmax": max, "fmaxf": max, "max": max,
+}
+
+
+class KernelExecutor:
+    """Interprets one :class:`CKernel`."""
+
+    def __init__(self, kernel: CKernel, max_steps: int = 500_000_000):
+        self.kernel = kernel
+        self.functions = {f.name: f for f in kernel.functions}
+        self.max_steps = max_steps
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, buffers: dict[str, list], n_tasks: int) -> None:
+        """Execute the top (batch) function, mutating output buffers."""
+        self._steps = 0
+        top = self.kernel.top_function
+        env: dict[str, object] = {}
+        for p in top.params:
+            if p.name == "N":
+                env["N"] = n_tasks
+            elif p.is_pointer:
+                if p.name not in buffers:
+                    raise S2FAError(f"missing kernel buffer {p.name!r}")
+                env[p.name] = CPointer(buffers[p.name])
+            else:
+                env[p.name] = buffers[p.name]
+        self._exec_block(top.body, env)
+
+    def call_function(self, name: str, args: list):
+        """Invoke a kernel-local function with Python/CPointer args."""
+        func = self.functions.get(name)
+        if func is None:
+            raise S2FAError(f"kernel has no function {name!r}")
+        env: dict[str, object] = {}
+        if len(args) != len(func.params):
+            raise S2FAError(
+                f"{name} expects {len(func.params)} args, got {len(args)}")
+        for p, value in zip(func.params, args):
+            env[p.name] = value
+        try:
+            self._exec_block(func.body, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise S2FAError(
+                f"kernel exceeded {self.max_steps} interpreted steps")
+
+    def _exec_block(self, block: Block, env: dict) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: Stmt, env: dict) -> None:
+        self._tick()
+        if isinstance(stmt, VarDecl):
+            if stmt.is_array:
+                if stmt.init_values is not None:
+                    env[stmt.name] = CPointer(list(stmt.init_values))
+                else:
+                    zero = 0.0 if stmt.ctype.is_float else 0
+                    env[stmt.name] = CPointer(
+                        [zero] * stmt.element_count)
+            elif stmt.init is not None:
+                env[stmt.name] = self._eval(stmt.init, env)
+            else:
+                env[stmt.name] = 0.0 if stmt.ctype.is_float else 0
+            return
+        if isinstance(stmt, Assign):
+            value = self._eval(stmt.rhs, env)
+            self._store(stmt.lhs, value, env)
+            return
+        if isinstance(stmt, ExprStmt):
+            self._eval(stmt.expr, env)
+            return
+        if isinstance(stmt, If):
+            if self._eval(stmt.cond, env):
+                self._exec_block(stmt.then, env)
+            elif stmt.orelse is not None:
+                self._exec_block(stmt.orelse, env)
+            return
+        if isinstance(stmt, For):
+            env[stmt.var] = self._eval(stmt.start, env)
+            while True:
+                self._tick()
+                if not env[stmt.var] < self._eval(stmt.bound, env):
+                    break
+                try:
+                    self._exec_block(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                env[stmt.var] = env[stmt.var] + stmt.step
+            return
+        if isinstance(stmt, While):
+            while self._eval(stmt.cond, env):
+                self._tick()
+                try:
+                    self._exec_block(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+            return
+        if isinstance(stmt, Return):
+            raise _ReturnSignal(
+                None if stmt.value is None else self._eval(stmt.value, env))
+        if isinstance(stmt, Break):
+            raise _BreakSignal()
+        if isinstance(stmt, Continue):
+            raise _ContinueSignal()
+        if isinstance(stmt, Pragma):
+            return
+        raise S2FAError(f"cannot execute statement {stmt!r}")
+
+    def _store(self, lhs: Expr, value, env: dict) -> None:
+        if isinstance(lhs, Var):
+            env[lhs.name] = value
+            return
+        if isinstance(lhs, ArrayRef):
+            base = self._eval(lhs.array, env)
+            index = self._eval(lhs.index, env)
+            if not isinstance(base, CPointer):
+                raise S2FAError(f"indexed store into non-pointer {base!r}")
+            base.store(index, value)
+            return
+        raise S2FAError(f"invalid assignment target {lhs!r}")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr: Expr, env: dict):
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, FloatLit):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name not in env:
+                raise S2FAError(f"kernel read of undefined {expr.name!r}")
+            return env[expr.name]
+        if isinstance(expr, ArrayRef):
+            base = self._eval(expr.array, env)
+            index = self._eval(expr.index, env)
+            if not isinstance(base, CPointer):
+                raise S2FAError(f"indexed load from non-pointer {base!r}")
+            return base.load(index)
+        if isinstance(expr, BinOp):
+            return self._binop(expr, env)
+        if isinstance(expr, UnOp):
+            value = self._eval(expr.operand, env)
+            if expr.op == "-":
+                return _i32(-value) if isinstance(value, int) else -value
+            if expr.op == "!":
+                return 0 if value else 1
+            if expr.op == "~":
+                return _i32(~value)
+            raise S2FAError(f"bad unary operator {expr.op}")
+        if isinstance(expr, Cast):
+            value = self._eval(expr.expr, env)
+            base = expr.ctype.base
+            if base in ("float", "double"):
+                return float(value)
+            if base == "char":
+                # JVM char semantics (see module docstring).
+                return int(value) & 0xFFFF
+            if base == "short":
+                v = int(value) & 0xFFFF
+                return v - 0x10000 if v > 0x7FFF else v
+            if base == "long":
+                return int(value)
+            return _i32(int(value))
+        if isinstance(expr, Ternary):
+            if self._eval(expr.cond, env):
+                return self._eval(expr.then, env)
+            return self._eval(expr.other, env)
+        if isinstance(expr, Call):
+            return self._call(expr, env)
+        raise S2FAError(f"cannot evaluate expression {expr!r}")
+
+    def _binop(self, expr: BinOp, env: dict):
+        op = expr.op
+        if op == "&&":
+            return 1 if (self._eval(expr.lhs, env)
+                         and self._eval(expr.rhs, env)) else 0
+        if op == "||":
+            return 1 if (self._eval(expr.lhs, env)
+                         or self._eval(expr.rhs, env)) else 0
+        a = self._eval(expr.lhs, env)
+        b = self._eval(expr.rhs, env)
+        if isinstance(a, CPointer) and isinstance(b, int):
+            if op == "+":
+                return a.shifted(b)
+            if op == "-":
+                return a.shifted(-b)
+            raise S2FAError(f"bad pointer arithmetic {op}")
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            result = {
+                "<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b,
+                "==": a == b, "!=": a != b,
+            }[op]
+            return 1 if result else 0
+        both_int = isinstance(a, int) and isinstance(b, int)
+        if op == "+":
+            return _i32(a + b) if both_int else a + b
+        if op == "-":
+            return _i32(a - b) if both_int else a - b
+        if op == "*":
+            return _i32(a * b) if both_int else a * b
+        if op == "/":
+            if both_int:
+                return _i32(_cdiv(a, b))
+            if b == 0.0:
+                return math.inf if a > 0 else (-math.inf if a < 0
+                                               else math.nan)
+            return a / b
+        if op == "%":
+            if not both_int:
+                return math.fmod(a, b)
+            return _i32(a - _cdiv(a, b) * b)
+        if op == "<<":
+            return _i32(a << (b & 31))
+        if op == ">>":
+            return _i32(a >> (b & 31))
+        if op == "&":
+            return _i32(a & b)
+        if op == "|":
+            return _i32(a | b)
+        if op == "^":
+            return _i32(a ^ b)
+        raise S2FAError(f"bad binary operator {op}")
+
+    def _call(self, expr: Call, env: dict):
+        if expr.name in self.functions:
+            args = [self._eval(a, env) for a in expr.args]
+            return self.call_function(expr.name, args)
+        fn = _MATH_FUNCS.get(expr.name)
+        if fn is None:
+            raise S2FAError(f"kernel calls unknown function {expr.name!r}")
+        args = [self._eval(a, env) for a in expr.args]
+        return fn(*args)

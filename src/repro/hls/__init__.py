@@ -1,0 +1,6 @@
+"""Simulated HLS backend: device models, scheduling, estimation."""
+
+from .device import Device, KU060, VU9P  # noqa: F401
+from .estimator import estimate  # noqa: F401
+from .optable import OP_COSTS, OpCost  # noqa: F401
+from .result import HLSResult, LoopReport, Resources  # noqa: F401

@@ -1,0 +1,57 @@
+"""FPGA device models.
+
+The paper evaluates on an AWS F1 ``f1.2xlarge`` with one Xilinx Virtex
+UltraScale+ VU9P (three SLR dies).  Resource totals below are the public
+VU9P numbers; the usable fraction is capped at 75% because the remainder
+is consumed by the vendor shell / control logic (paper, footnote 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Device:
+    """Resource envelope and clocking of one FPGA."""
+
+    name: str
+    luts: int
+    ffs: int
+    dsps: int
+    bram_18k: int
+    target_mhz: float
+    #: fraction of each resource usable by the kernel (vendor shell takes
+    #: the rest)
+    usable_fraction: float = 0.75
+    #: peak off-chip bandwidth in bytes per kernel clock cycle at target
+    #: frequency (512-bit AXI = 64 B/cycle)
+    mem_bytes_per_cycle: int = 64
+    #: number of SLR dies (crossing them costs frequency)
+    slr_count: int = 3
+
+    def usable(self, kind: str) -> int:
+        totals = {"lut": self.luts, "ff": self.ffs, "dsp": self.dsps,
+                  "bram": self.bram_18k}
+        return int(totals[kind] * self.usable_fraction)
+
+
+#: Xilinx Virtex UltraScale+ VU9P (AWS EC2 F1).
+VU9P = Device(
+    name="xcvu9p",
+    luts=1_182_240,
+    ffs=2_364_480,
+    dsps=6_840,
+    bram_18k=4_320,
+    target_mhz=250.0,
+)
+
+#: A smaller Kintex-class device, useful in tests for feasibility edges.
+KU060 = Device(
+    name="xcku060",
+    luts=331_680,
+    ffs=663_360,
+    dsps=2_760,
+    bram_18k=2_160,
+    target_mhz=250.0,
+)

@@ -1,0 +1,53 @@
+"""Operator latency/resource characterization at the 250 MHz target.
+
+Numbers are representative of Vivado HLS 2017-era operator cores on
+UltraScale+ (fadd ~4 stages, fdiv ~14, a naive double-precision ``exp``
+core ~13 cycles — the paper calls out exactly that 13-cycle initiation
+interval for LR).  The DSE only needs *relative* fidelity: which factor
+changes help, by roughly how much, and where resource walls appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Latency (cycles) and per-instance resources of one operator."""
+
+    latency: int
+    lut: int
+    ff: int
+    dsp: int
+
+    def scaled(self, count: int) -> tuple[int, int, int]:
+        return self.lut * count, self.ff * count, self.dsp * count
+
+
+OP_COSTS: dict[str, OpCost] = {
+    "iadd": OpCost(latency=1, lut=48, ff=48, dsp=0),
+    "imul": OpCost(latency=3, lut=150, ff=200, dsp=3),
+    "idiv": OpCost(latency=34, lut=2000, ff=2200, dsp=0),
+    "fadd": OpCost(latency=4, lut=500, ff=750, dsp=2),
+    "fmul": OpCost(latency=3, lut=250, ff=375, dsp=3),
+    "fdiv": OpCost(latency=14, lut=2000, ff=2400, dsp=0),
+    "fspec": OpCost(latency=13, lut=3750, ff=4750, dsp=7),
+    "load": OpCost(latency=2, lut=20, ff=14, dsp=0),
+    "store": OpCost(latency=1, lut=20, ff=14, dsp=0),
+}
+
+#: Instruction-level parallelism the scheduler assumes inside a basic
+#: block when ops do not depend on each other (HLS schedules a dataflow
+#: graph, not a sequence).
+DEFAULT_ILP = 2.0
+
+#: Loop control overhead in cycles per (non-pipelined) iteration.
+LOOP_OVERHEAD = 2
+
+#: Pipeline fill overhead beyond body latency.
+PIPELINE_FILL = 1
+
+
+def op_cost(category: str) -> OpCost:
+    return OP_COSTS[category]

@@ -1,0 +1,85 @@
+"""HLS estimation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Resources:
+    """Absolute resource usage."""
+
+    lut: int = 0
+    ff: int = 0
+    dsp: int = 0
+    bram: int = 0
+
+    def add(self, lut: int = 0, ff: int = 0, dsp: int = 0,
+            bram: int = 0) -> None:
+        self.lut += lut
+        self.ff += ff
+        self.dsp += dsp
+        self.bram += bram
+
+    def merge(self, other: "Resources") -> None:
+        self.add(other.lut, other.ff, other.dsp, other.bram)
+
+    def as_dict(self) -> dict[str, int]:
+        return {"lut": self.lut, "ff": self.ff, "dsp": self.dsp,
+                "bram": self.bram}
+
+
+@dataclass
+class LoopReport:
+    """Per-loop scheduling outcome (for reports and debugging)."""
+
+    label: str
+    trip_count: Optional[int]
+    iterations: int          # after unrolling
+    ii: Optional[int]        # initiation interval when pipelined
+    latency: int             # cycles for the whole loop nest
+    pipelined: bool
+    parallel: int
+    note: str = ""
+
+
+@dataclass
+class HLSResult:
+    """Outcome of estimating one design point.
+
+    ``cycles`` is the kernel latency for one task batch at the achieved
+    clock; ``normalized_cycles`` rescales to the 250 MHz target so designs
+    with degraded clocks compare fairly (this is the paper's
+    "normalized execution cycle" axis in Fig. 3).
+    """
+
+    feasible: bool
+    cycles: int
+    freq_mhz: float
+    resources: Resources
+    utilization: dict[str, float]
+    ii_top: Optional[int]
+    synthesis_minutes: float
+    compute_cycles: int = 0
+    memory_cycles: int = 0
+    memory_bound: bool = False
+    loops: list[LoopReport] = field(default_factory=list)
+    infeasible_reason: str = ""
+
+    @property
+    def normalized_cycles(self) -> float:
+        """Latency rescaled to the 250 MHz target clock."""
+        if not self.feasible:
+            return float("inf")
+        return self.cycles * (250.0 / self.freq_mhz)
+
+    @property
+    def seconds_per_batch(self) -> float:
+        """Wall time of one batch on the accelerator."""
+        if not self.feasible:
+            return float("inf")
+        return self.cycles / (self.freq_mhz * 1e6)
+
+    def utilization_percent(self, kind: str) -> int:
+        return round(self.utilization[kind] * 100)

@@ -1,0 +1,153 @@
+"""Convenience constructors for building HLS-C ASTs by hand.
+
+Used by the template engine, the hand-written "manual" reference designs,
+and throughout the test suite.  Each helper accepts plain Python values
+where that is unambiguous (ints become ``IntLit``, floats ``FloatLit``,
+strings ``Var``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from .ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    CFunction,
+    CType,
+    Expr,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Param,
+    Return,
+    Stmt,
+    Var,
+    VarDecl,
+)
+
+ExprLike = Union[Expr, int, float, str]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a Python value into an expression node."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return IntLit(int(value))
+    if isinstance(value, int):
+        return IntLit(value)
+    if isinstance(value, float):
+        return FloatLit(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot coerce {value!r} to an expression")
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def lit(value: Union[int, float]) -> Expr:
+    return as_expr(value)
+
+
+def idx(array: ExprLike, *indices: ExprLike) -> Expr:
+    """Nested array reference ``array[i][j]...``."""
+    expr = as_expr(array)
+    for index in indices:
+        expr = ArrayRef(expr, as_expr(index))
+    return expr
+
+
+def binop(op: str, lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return BinOp(op, as_expr(lhs), as_expr(rhs))
+
+
+def add(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("+", lhs, rhs)
+
+
+def sub(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("-", lhs, rhs)
+
+
+def mul(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("*", lhs, rhs)
+
+
+def div(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("/", lhs, rhs)
+
+
+def lt(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("<", lhs, rhs)
+
+
+def call(name: str, *args: ExprLike) -> Call:
+    return Call(name, [as_expr(a) for a in args])
+
+
+def assign(lhs: ExprLike, rhs: ExprLike) -> Assign:
+    target = as_expr(lhs)
+    if not isinstance(target, (Var, ArrayRef)):
+        raise TypeError(f"assignment target must be Var/ArrayRef, got {target!r}")
+    return Assign(target, as_expr(rhs))
+
+
+def decl(name: str, ctype: CType, dims: Sequence[int] = (),
+         init: ExprLike | None = None) -> VarDecl:
+    return VarDecl(
+        name=name,
+        ctype=ctype,
+        dims=tuple(dims),
+        init=None if init is None else as_expr(init),
+    )
+
+
+def block(*stmts: Stmt) -> Block:
+    return Block(list(stmts))
+
+
+def for_loop(loop_var: str, bound: ExprLike, *body: Stmt,
+             start: ExprLike = 0, step: int = 1) -> For:
+    return For(
+        var=loop_var,
+        start=as_expr(start),
+        bound=as_expr(bound),
+        step=step,
+        body=Block(list(body)),
+    )
+
+
+def if_stmt(cond: ExprLike, then: Sequence[Stmt],
+            orelse: Sequence[Stmt] | None = None) -> If:
+    return If(
+        cond=as_expr(cond),
+        then=Block(list(then)),
+        orelse=None if orelse is None else Block(list(orelse)),
+    )
+
+
+def ret(value: ExprLike | None = None) -> Return:
+    return Return(None if value is None else as_expr(value))
+
+
+def param(name: str, ctype: CType, *, pointer: bool = False,
+          elem_count: int | None = None, direction: str = "in") -> Param:
+    return Param(name=name, ctype=ctype, is_pointer=pointer,
+                 elem_count=elem_count, direction=direction)
+
+
+def function(name: str, return_type: CType, params: Sequence[Param],
+             *body: Stmt) -> CFunction:
+    return CFunction(
+        name=name,
+        return_type=return_type,
+        params=list(params),
+        body=Block(list(body)),
+    )

@@ -1,0 +1,186 @@
+"""Pretty-printer: HLS-C AST -> C source text.
+
+The output is valid C99 (modulo the Merlin ``#pragma ACCEL`` directives) and
+is what S2FA would hand to the Merlin compiler / Xilinx SDx.  The printer is
+also used heavily in tests: round-trip expectations are easier to state on
+source text than on trees.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Cast,
+    CFunction,
+    CKernel,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Param,
+    Pragma,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+    VarDecl,
+    While,
+)
+
+_INDENT = "  "
+
+#: C operator precedence, higher binds tighter.  Used to parenthesize
+#: minimally so generated code stays readable.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PRECEDENCE = 11
+_PRIMARY_PRECEDENCE = 12
+
+
+def expr_to_c(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression, adding parentheses only where required."""
+    if isinstance(expr, IntLit):
+        suffix = "L" if expr.ctype.base == "long" else ""
+        return f"{expr.value}{suffix}"
+    if isinstance(expr, FloatLit):
+        text = repr(float(expr.value))
+        if expr.ctype.base == "float":
+            return f"{text}f"
+        return text
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return f"{expr_to_c(expr.array, _PRIMARY_PRECEDENCE)}[{expr_to_c(expr.index)}]"
+    if isinstance(expr, Call):
+        args = ", ".join(expr_to_c(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, Cast):
+        inner = expr_to_c(expr.expr, _UNARY_PRECEDENCE)
+        text = f"({expr.ctype}) {inner}"
+        return f"({text})" if parent_prec >= _UNARY_PRECEDENCE else text
+    if isinstance(expr, UnOp):
+        inner = expr_to_c(expr.operand, _UNARY_PRECEDENCE)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_prec > _UNARY_PRECEDENCE else text
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        lhs = expr_to_c(expr.lhs, prec - 1)
+        rhs = expr_to_c(expr.rhs, prec)
+        text = f"{lhs} {expr.op} {rhs}"
+        return f"({text})" if prec <= parent_prec else text
+    if isinstance(expr, Ternary):
+        text = (
+            f"{expr_to_c(expr.cond, 3)} ? {expr_to_c(expr.then)}"
+            f" : {expr_to_c(expr.other)}"
+        )
+        return f"({text})" if parent_prec > 0 else text
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def _decl_to_c(decl: VarDecl) -> str:
+    quals = "".join(f"{q} " for q in decl.qualifiers)
+    dims = "".join(f"[{d}]" for d in decl.dims)
+    text = f"{quals}{decl.ctype} {decl.name}{dims}"
+    if decl.init_values is not None:
+        values = ", ".join(str(v) for v in decl.init_values)
+        return f"{text} = {{{values}}};"
+    if decl.init is not None:
+        return f"{text} = {expr_to_c(decl.init)};"
+    return f"{text};"
+
+
+def _param_to_c(param: Param) -> str:
+    star = " *" if param.is_pointer else " "
+    return f"{param.ctype}{star}{param.name}"
+
+
+def stmt_to_c(stmt: Stmt, depth: int = 0) -> str:
+    """Render a statement (possibly multi-line) at the given indent depth."""
+    pad = _INDENT * depth
+    if isinstance(stmt, Block):
+        return block_to_c(stmt, depth)
+    if isinstance(stmt, VarDecl):
+        return f"{pad}{_decl_to_c(stmt)}"
+    if isinstance(stmt, Assign):
+        return f"{pad}{expr_to_c(stmt.lhs)} = {expr_to_c(stmt.rhs)};"
+    if isinstance(stmt, ExprStmt):
+        return f"{pad}{expr_to_c(stmt.expr)};"
+    if isinstance(stmt, Pragma):
+        return f"{pad}#pragma {stmt.text}"
+    if isinstance(stmt, Return):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {expr_to_c(stmt.value)};"
+    if isinstance(stmt, Break):
+        return f"{pad}break;"
+    if isinstance(stmt, Continue):
+        return f"{pad}continue;"
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({expr_to_c(stmt.cond)}) {{"]
+        lines.append(block_to_c(stmt.then, depth + 1))
+        if stmt.orelse is not None and stmt.orelse.stmts:
+            lines.append(f"{pad}}} else {{")
+            lines.append(block_to_c(stmt.orelse, depth + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(line for line in lines if line)
+    if isinstance(stmt, For):
+        lines = [f"{pad}#pragma {p.text}" for p in stmt.pragmas]
+        label = f" /* {stmt.label} */" if stmt.label else ""
+        step = f"{stmt.var}++" if stmt.step == 1 else f"{stmt.var} += {stmt.step}"
+        header = (
+            f"{pad}for (int {stmt.var} = {expr_to_c(stmt.start)}; "
+            f"{stmt.var} < {expr_to_c(stmt.bound)}; {step}) {{{label}"
+        )
+        lines.append(header)
+        lines.append(block_to_c(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(line for line in lines if line)
+    if isinstance(stmt, While):
+        lines = [f"{pad}#pragma {p.text}" for p in stmt.pragmas]
+        label = f" /* {stmt.label} */" if stmt.label else ""
+        lines.append(f"{pad}while ({expr_to_c(stmt.cond)}) {{{label}")
+        lines.append(block_to_c(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(line for line in lines if line)
+    raise TypeError(f"cannot print statement {stmt!r}")
+
+
+def block_to_c(block: Block, depth: int = 0) -> str:
+    """Render every statement in a block."""
+    return "\n".join(stmt_to_c(s, depth) for s in block.stmts)
+
+
+def function_to_c(func: CFunction) -> str:
+    """Render a full function definition."""
+    params = ", ".join(_param_to_c(p) for p in func.params)
+    header = f"{func.return_type} {func.name}({params}) {{"
+    body = block_to_c(func.body, 1)
+    return f"{header}\n{body}\n}}" if body else f"{header}\n}}"
+
+
+def kernel_to_c(kernel: CKernel) -> str:
+    """Render the complete kernel translation unit."""
+    parts = ["#include <math.h>", ""]
+    for func in kernel.functions:
+        parts.append(function_to_c(func))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,280 @@
+"""Binary ``.class`` file writer and reader.
+
+The symbolic :class:`~repro.jvm.classfile.JClass` model round-trips through
+the real classfile format (magic ``0xCAFEBABE``, constant pool, Code
+attributes with encoded instructions).  This keeps the substrate honest:
+the bytecode our frontend emits is genuine JVM bytecode, byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import BytecodeError
+from .classfile import Instr, JClass, JField, JMethod
+from .constant_pool import ConstantPool
+from .opcodes import spec, spec_by_byte
+
+MAGIC = 0xCAFEBABE
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _encode_code(method: JMethod, pool: ConstantPool) -> bytes:
+    out = bytearray()
+    for instr in method.code:
+        sp = instr.spec
+        if instr.offset != len(out):
+            raise BytecodeError(
+                f"instruction offset mismatch at {instr}: "
+                f"expected {len(out)}")
+        out.append(sp.byte)
+        kind = sp.kind
+        if kind == "none":
+            pass
+        elif kind == "local":
+            out += struct.pack(">B", instr.operands[0])
+        elif kind == "byte":
+            out += struct.pack(">b", instr.operands[0])
+        elif kind == "short":
+            out += struct.pack(">h", instr.operands[0])
+        elif kind == "branch":
+            rel = instr.operands[0] - instr.offset
+            out += struct.pack(">h", rel)
+        elif kind == "iinc":
+            out += struct.pack(">Bb", instr.operands[0], instr.operands[1])
+        elif kind == "atype":
+            out += struct.pack(">B", instr.operands[0])
+        elif kind == "ldc":
+            value = instr.operands[0]
+            if isinstance(value, bool):
+                index = pool.integer(int(value))
+            elif isinstance(value, int):
+                index = pool.integer(value)
+            elif isinstance(value, float):
+                index = pool.float_(value)
+            elif isinstance(value, str):
+                index = pool.string(value)
+            else:
+                raise BytecodeError(f"cannot ldc {value!r}")
+            if index > 255:
+                raise BytecodeError("ldc constant pool index exceeds 255")
+            out += struct.pack(">B", index)
+        elif kind == "ldc2":
+            value = instr.operands[0]
+            if isinstance(value, int):
+                index = pool.long_(value)
+            elif isinstance(value, float):
+                index = pool.double(value)
+            else:
+                raise BytecodeError(f"cannot ldc2_w {value!r}")
+            out += struct.pack(">H", index)
+        elif kind == "field":
+            out += struct.pack(">H", pool.fieldref(*instr.operands))
+        elif kind == "method":
+            out += struct.pack(">H", pool.methodref(*instr.operands))
+        elif kind == "class":
+            out += struct.pack(">H", pool.class_(instr.operands[0]))
+        else:  # pragma: no cover
+            raise BytecodeError(f"unhandled operand kind {kind}")
+    return bytes(out)
+
+
+def _code_attribute(method: JMethod, pool: ConstantPool) -> bytes:
+    code_bytes = _encode_code(method, pool)
+    body = struct.pack(">HH", method.max_stack, method.max_locals)
+    body += struct.pack(">I", len(code_bytes)) + code_bytes
+    body += struct.pack(">H", 0)  # exception table
+    body += struct.pack(">H", 0)  # attributes
+    return struct.pack(">HI", pool.utf8("Code"), len(body)) + body
+
+
+def write_class(jclass: JClass) -> bytes:
+    """Serialize a :class:`JClass` to classfile bytes."""
+    pool = ConstantPool()
+    this_idx = pool.class_(jclass.name)
+    super_idx = pool.class_(jclass.super_name)
+
+    field_blobs = []
+    for jfield in jclass.fields:
+        attrs = b""
+        attr_count = 0
+        if jfield.constant_value is not None:
+            value = jfield.constant_value
+            if isinstance(value, bool):
+                const_idx = pool.integer(int(value))
+            elif isinstance(value, int):
+                const_idx = pool.integer(value)
+            elif isinstance(value, float):
+                const_idx = (pool.double(value)
+                             if jfield.descriptor == "D"
+                             else pool.float_(value))
+            elif isinstance(value, str):
+                const_idx = pool.string(value)
+            else:
+                raise BytecodeError(
+                    f"cannot encode constant value {value!r}")
+            attrs = struct.pack(
+                ">HIH", pool.utf8("ConstantValue"), 2, const_idx)
+            attr_count = 1
+        field_blobs.append(
+            struct.pack(
+                ">HHHH",
+                jfield.access_flags,
+                pool.utf8(jfield.name),
+                pool.utf8(jfield.descriptor),
+                attr_count,
+            ) + attrs
+        )
+
+    method_blobs = []
+    for method in jclass.methods:
+        code_attr = _code_attribute(method, pool)
+        method_blobs.append(
+            struct.pack(
+                ">HHHH",
+                method.access_flags,
+                pool.utf8(method.name),
+                pool.utf8(method.descriptor),
+                1,
+            ) + code_attr
+        )
+
+    out = bytearray()
+    out += struct.pack(">IHH", MAGIC, jclass.minor_version,
+                       jclass.major_version)
+    out += pool.to_bytes()
+    out += struct.pack(">HHH", jclass.access_flags, this_idx, super_idx)
+    out += struct.pack(">H", 0)  # interfaces
+    out += struct.pack(">H", len(field_blobs)) + b"".join(field_blobs)
+    out += struct.pack(">H", len(method_blobs)) + b"".join(method_blobs)
+    out += struct.pack(">H", 0)  # class attributes
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+def _decode_code(data: bytes, pool: ConstantPool) -> list[Instr]:
+    code: list[Instr] = []
+    pos = 0
+    while pos < len(data):
+        offset = pos
+        sp = spec_by_byte(data[pos])
+        pos += 1
+        kind = sp.kind
+        operands: tuple = ()
+        if kind == "none":
+            pass
+        elif kind == "local":
+            operands = (data[pos],)
+            pos += 1
+        elif kind == "byte":
+            operands = struct.unpack_from(">b", data, pos)
+            pos += 1
+        elif kind == "short":
+            operands = struct.unpack_from(">h", data, pos)
+            pos += 2
+        elif kind == "branch":
+            (rel,) = struct.unpack_from(">h", data, pos)
+            pos += 2
+            operands = (offset + rel,)
+        elif kind == "iinc":
+            index, delta = struct.unpack_from(">Bb", data, pos)
+            pos += 2
+            operands = (index, delta)
+        elif kind == "atype":
+            operands = (data[pos],)
+            pos += 1
+        elif kind == "ldc":
+            operands = (pool.get_loadable(data[pos]),)
+            pos += 1
+        elif kind == "ldc2":
+            (index,) = struct.unpack_from(">H", data, pos)
+            pos += 2
+            operands = (pool.get_loadable(index),)
+        elif kind in ("field", "method"):
+            (index,) = struct.unpack_from(">H", data, pos)
+            pos += 2
+            operands = pool.get_member_ref(index)
+        elif kind == "class":
+            (index,) = struct.unpack_from(">H", data, pos)
+            pos += 2
+            operands = (pool.get_class_name(index),)
+        else:  # pragma: no cover
+            raise BytecodeError(f"unhandled operand kind {kind}")
+        code.append(Instr(sp.mnemonic, operands, offset))
+    return code
+
+
+def read_class(data: bytes) -> JClass:
+    """Parse classfile bytes back into a symbolic :class:`JClass`."""
+    (magic,) = struct.unpack_from(">I", data, 0)
+    if magic != MAGIC:
+        raise BytecodeError(f"bad classfile magic 0x{magic:08x}")
+    minor, major = struct.unpack_from(">HH", data, 4)
+    pool, pos = ConstantPool.parse(data, 8)
+    access_flags, this_idx, super_idx = struct.unpack_from(">HHH", data, pos)
+    pos += 6
+    (iface_count,) = struct.unpack_from(">H", data, pos)
+    pos += 2 + 2 * iface_count
+
+    jclass = JClass(
+        name=pool.get_class_name(this_idx),
+        super_name=pool.get_class_name(super_idx),
+        access_flags=access_flags,
+        major_version=major,
+        minor_version=minor,
+    )
+
+    (field_count,) = struct.unpack_from(">H", data, pos)
+    pos += 2
+    for _ in range(field_count):
+        flags, name_idx, desc_idx, attr_count = struct.unpack_from(
+            ">HHHH", data, pos)
+        pos += 8
+        constant_value = None
+        for _ in range(attr_count):
+            attr_name_idx, attr_len = struct.unpack_from(">HI", data, pos)
+            pos += 6
+            if pool.get_utf8(attr_name_idx) == "ConstantValue":
+                (const_idx,) = struct.unpack_from(">H", data, pos)
+                constant_value = pool.get_loadable(const_idx)
+            pos += attr_len
+        jclass.fields.append(JField(
+            name=pool.get_utf8(name_idx),
+            descriptor=pool.get_utf8(desc_idx),
+            access_flags=flags,
+            constant_value=constant_value,
+        ))
+
+    (method_count,) = struct.unpack_from(">H", data, pos)
+    pos += 2
+    for _ in range(method_count):
+        flags, name_idx, desc_idx, attr_count = struct.unpack_from(
+            ">HHHH", data, pos)
+        pos += 8
+        method = JMethod(
+            name=pool.get_utf8(name_idx),
+            descriptor=pool.get_utf8(desc_idx),
+            access_flags=flags,
+        )
+        for _ in range(attr_count):
+            attr_name_idx, attr_len = struct.unpack_from(">HI", data, pos)
+            pos += 6
+            attr_end = pos + attr_len
+            if pool.get_utf8(attr_name_idx) == "Code":
+                method.max_stack, method.max_locals = struct.unpack_from(
+                    ">HH", data, pos)
+                (code_len,) = struct.unpack_from(">I", data, pos + 4)
+                code_start = pos + 8
+                method.code = _decode_code(
+                    data[code_start:code_start + code_len], pool)
+            pos = attr_end
+        jclass.methods.append(method)
+    return jclass

@@ -1,0 +1,236 @@
+"""JVM constant pool construction and parsing.
+
+The symbolic classfile model keeps names inline; this module materializes a
+real constant pool when writing ``.class`` binaries and resolves indices
+back to symbols when reading them.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import BytecodeError
+
+CONSTANT_UTF8 = 1
+CONSTANT_INTEGER = 3
+CONSTANT_FLOAT = 4
+CONSTANT_LONG = 5
+CONSTANT_DOUBLE = 6
+CONSTANT_CLASS = 7
+CONSTANT_STRING = 8
+CONSTANT_FIELDREF = 9
+CONSTANT_METHODREF = 10
+CONSTANT_NAME_AND_TYPE = 12
+
+
+@dataclass(frozen=True)
+class CPEntry:
+    """One constant-pool entry: a tag plus its payload tuple."""
+
+    tag: int
+    payload: tuple
+
+
+class ConstantPool:
+    """Deduplicating constant pool builder (1-based indexing, 8-byte
+    constants occupy two slots, per the JVM spec)."""
+
+    def __init__(self) -> None:
+        self._entries: list[Optional[CPEntry]] = [None]  # index 0 unused
+        self._index: dict[CPEntry, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, index: int) -> CPEntry:
+        if not 1 <= index < len(self._entries):
+            raise BytecodeError(f"constant pool index {index} out of range")
+        entry = self._entries[index]
+        if entry is None:
+            raise BytecodeError(
+                f"constant pool index {index} is the unusable second slot "
+                f"of a long/double")
+        return entry
+
+    def _add(self, entry: CPEntry) -> int:
+        existing = self._index.get(entry)
+        if existing is not None:
+            return existing
+        index = len(self._entries)
+        self._entries.append(entry)
+        if entry.tag in (CONSTANT_LONG, CONSTANT_DOUBLE):
+            self._entries.append(None)  # phantom second slot
+        self._index[entry] = index
+        return index
+
+    # -- builders ----------------------------------------------------------
+
+    def utf8(self, text: str) -> int:
+        return self._add(CPEntry(CONSTANT_UTF8, (text,)))
+
+    def integer(self, value: int) -> int:
+        if not -(2**31) <= value < 2**31:
+            raise BytecodeError(f"int constant out of range: {value}")
+        return self._add(CPEntry(CONSTANT_INTEGER, (value,)))
+
+    def float_(self, value: float) -> int:
+        # Canonicalize through single-precision bits so dedup is exact.
+        bits = struct.unpack(">I", struct.pack(">f", value))[0]
+        return self._add(CPEntry(CONSTANT_FLOAT, (bits,)))
+
+    def long_(self, value: int) -> int:
+        return self._add(CPEntry(CONSTANT_LONG, (value,)))
+
+    def double(self, value: float) -> int:
+        bits = struct.unpack(">Q", struct.pack(">d", value))[0]
+        return self._add(CPEntry(CONSTANT_DOUBLE, (bits,)))
+
+    def string(self, value: str) -> int:
+        return self._add(CPEntry(CONSTANT_STRING, (self.utf8(value),)))
+
+    def class_(self, name: str) -> int:
+        return self._add(CPEntry(CONSTANT_CLASS, (self.utf8(name),)))
+
+    def name_and_type(self, name: str, descriptor: str) -> int:
+        return self._add(CPEntry(
+            CONSTANT_NAME_AND_TYPE, (self.utf8(name), self.utf8(descriptor))))
+
+    def fieldref(self, cls: str, name: str, descriptor: str) -> int:
+        return self._add(CPEntry(
+            CONSTANT_FIELDREF,
+            (self.class_(cls), self.name_and_type(name, descriptor))))
+
+    def methodref(self, cls: str, name: str, descriptor: str) -> int:
+        return self._add(CPEntry(
+            CONSTANT_METHODREF,
+            (self.class_(cls), self.name_and_type(name, descriptor))))
+
+    # -- resolution (for the reader) ---------------------------------------
+
+    def get_utf8(self, index: int) -> str:
+        entry = self.entry(index)
+        if entry.tag != CONSTANT_UTF8:
+            raise BytecodeError(f"cp[{index}] is not Utf8")
+        return entry.payload[0]
+
+    def get_class_name(self, index: int) -> str:
+        entry = self.entry(index)
+        if entry.tag != CONSTANT_CLASS:
+            raise BytecodeError(f"cp[{index}] is not a Class")
+        return self.get_utf8(entry.payload[0])
+
+    def get_member_ref(self, index: int) -> tuple[str, str, str]:
+        """Resolve a Fieldref/Methodref to (class, name, descriptor)."""
+        entry = self.entry(index)
+        if entry.tag not in (CONSTANT_FIELDREF, CONSTANT_METHODREF):
+            raise BytecodeError(f"cp[{index}] is not a member reference")
+        class_idx, nat_idx = entry.payload
+        nat = self.entry(nat_idx)
+        if nat.tag != CONSTANT_NAME_AND_TYPE:
+            raise BytecodeError(f"cp[{nat_idx}] is not NameAndType")
+        return (
+            self.get_class_name(class_idx),
+            self.get_utf8(nat.payload[0]),
+            self.get_utf8(nat.payload[1]),
+        )
+
+    def get_loadable(self, index: int):
+        """Resolve a constant for ldc/ldc2_w to a Python value."""
+        entry = self.entry(index)
+        if entry.tag == CONSTANT_INTEGER:
+            value = entry.payload[0]
+            return value - 2**32 if value >= 2**31 else value
+        if entry.tag == CONSTANT_FLOAT:
+            return struct.unpack(">f", struct.pack(">I", entry.payload[0]))[0]
+        if entry.tag == CONSTANT_LONG:
+            value = entry.payload[0]
+            return value - 2**64 if value >= 2**63 else value
+        if entry.tag == CONSTANT_DOUBLE:
+            return struct.unpack(">d", struct.pack(">Q", entry.payload[0]))[0]
+        if entry.tag == CONSTANT_STRING:
+            return self.get_utf8(entry.payload[0])
+        raise BytecodeError(f"cp[{index}] is not a loadable constant")
+
+    # -- binary io ----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += struct.pack(">H", len(self._entries))
+        for entry in self._entries[1:]:
+            if entry is None:
+                continue  # phantom long/double slot: nothing emitted
+            out.append(entry.tag)
+            if entry.tag == CONSTANT_UTF8:
+                encoded = entry.payload[0].encode("utf-8")
+                out += struct.pack(">H", len(encoded)) + encoded
+            elif entry.tag == CONSTANT_INTEGER:
+                out += struct.pack(">i", entry.payload[0])
+            elif entry.tag == CONSTANT_FLOAT:
+                out += struct.pack(">I", entry.payload[0])
+            elif entry.tag == CONSTANT_LONG:
+                out += struct.pack(">q", entry.payload[0])
+            elif entry.tag == CONSTANT_DOUBLE:
+                out += struct.pack(">Q", entry.payload[0])
+            elif entry.tag in (CONSTANT_CLASS, CONSTANT_STRING):
+                out += struct.pack(">H", entry.payload[0])
+            elif entry.tag in (CONSTANT_FIELDREF, CONSTANT_METHODREF,
+                               CONSTANT_NAME_AND_TYPE):
+                out += struct.pack(">HH", *entry.payload)
+            else:  # pragma: no cover - builder never creates other tags
+                raise BytecodeError(f"cannot serialize cp tag {entry.tag}")
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes, pos: int) -> tuple["ConstantPool", int]:
+        """Parse a constant pool starting at ``pos``; returns (pool, newpos)."""
+        pool = cls()
+        (count,) = struct.unpack_from(">H", data, pos)
+        pos += 2
+        index = 1
+        while index < count:
+            tag = data[pos]
+            pos += 1
+            if tag == CONSTANT_UTF8:
+                (length,) = struct.unpack_from(">H", data, pos)
+                pos += 2
+                text = data[pos:pos + length].decode("utf-8")
+                pos += length
+                entry = CPEntry(tag, (text,))
+            elif tag == CONSTANT_INTEGER:
+                (value,) = struct.unpack_from(">i", data, pos)
+                pos += 4
+                entry = CPEntry(tag, (value,))
+            elif tag == CONSTANT_FLOAT:
+                (bits,) = struct.unpack_from(">I", data, pos)
+                pos += 4
+                entry = CPEntry(tag, (bits,))
+            elif tag == CONSTANT_LONG:
+                (value,) = struct.unpack_from(">q", data, pos)
+                pos += 8
+                entry = CPEntry(tag, (value,))
+            elif tag == CONSTANT_DOUBLE:
+                (bits,) = struct.unpack_from(">Q", data, pos)
+                pos += 8
+                entry = CPEntry(tag, (bits,))
+            elif tag in (CONSTANT_CLASS, CONSTANT_STRING):
+                (ref,) = struct.unpack_from(">H", data, pos)
+                pos += 2
+                entry = CPEntry(tag, (ref,))
+            elif tag in (CONSTANT_FIELDREF, CONSTANT_METHODREF,
+                         CONSTANT_NAME_AND_TYPE):
+                refs = struct.unpack_from(">HH", data, pos)
+                pos += 4
+                entry = CPEntry(tag, refs)
+            else:
+                raise BytecodeError(f"unsupported constant pool tag {tag}")
+            # Append directly to preserve indices read from the file.
+            pool._entries.append(entry)
+            pool._index.setdefault(entry, index)
+            if tag in (CONSTANT_LONG, CONSTANT_DOUBLE):
+                pool._entries.append(None)
+                index += 2
+            else:
+                index += 1
+        return pool, pos

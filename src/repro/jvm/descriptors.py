@@ -1,0 +1,135 @@
+"""JVM type and method descriptor parsing/formatting.
+
+Descriptors follow the JVM specification grammar:
+
+* ``I``/``J``/``F``/``D``/``S``/``B``/``C``/``Z``/``V`` — primitives,
+* ``Lcom/example/Name;`` — object types,
+* ``[`` prefix — one array dimension.
+
+Methods use ``(<params>)<return>``, e.g. ``([FI)F``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BytecodeError
+
+PRIMITIVES = frozenset("IJFDSBCZV")
+
+#: Java-source-level names for primitive descriptors.
+PRIMITIVE_NAMES = {
+    "I": "int", "J": "long", "F": "float", "D": "double",
+    "S": "short", "B": "byte", "C": "char", "Z": "boolean", "V": "void",
+}
+
+
+def slot_width(descriptor: str) -> int:
+    """Number of operand-stack/local slots a value of this type occupies."""
+    return 2 if descriptor in ("J", "D") else 1
+
+
+def is_reference(descriptor: str) -> bool:
+    """True for object and array types."""
+    return descriptor.startswith(("L", "["))
+
+
+def is_array(descriptor: str) -> bool:
+    return descriptor.startswith("[")
+
+
+def element_type(descriptor: str) -> str:
+    """Element descriptor of an array type."""
+    if not is_array(descriptor):
+        raise BytecodeError(f"{descriptor!r} is not an array descriptor")
+    return descriptor[1:]
+
+
+def class_name(descriptor: str) -> str:
+    """Internal class name of an ``L...;`` descriptor."""
+    if not (descriptor.startswith("L") and descriptor.endswith(";")):
+        raise BytecodeError(f"{descriptor!r} is not an object descriptor")
+    return descriptor[1:-1]
+
+
+def object_descriptor(name: str) -> str:
+    """Internal class name -> ``L...;`` descriptor."""
+    return f"L{name};"
+
+
+def _read_type(text: str, pos: int) -> tuple[str, int]:
+    start = pos
+    while pos < len(text) and text[pos] == "[":
+        pos += 1
+    if pos >= len(text):
+        raise BytecodeError(f"truncated descriptor {text!r}")
+    ch = text[pos]
+    if ch in PRIMITIVES:
+        return text[start:pos + 1], pos + 1
+    if ch == "L":
+        end = text.find(";", pos)
+        if end < 0:
+            raise BytecodeError(f"unterminated object descriptor in {text!r}")
+        return text[start:end + 1], end + 1
+    raise BytecodeError(f"bad descriptor character {ch!r} in {text!r}")
+
+
+@dataclass(frozen=True)
+class MethodDescriptor:
+    """Parsed method descriptor."""
+
+    params: tuple[str, ...]
+    return_type: str
+
+    @property
+    def param_slots(self) -> int:
+        """Total local-variable slots consumed by the parameters."""
+        return sum(slot_width(p) for p in self.params)
+
+    @property
+    def return_slots(self) -> int:
+        return 0 if self.return_type == "V" else slot_width(self.return_type)
+
+    def __str__(self) -> str:
+        return f"({''.join(self.params)}){self.return_type}"
+
+
+def parse_method_descriptor(text: str) -> MethodDescriptor:
+    """Parse ``(<params>)<return>`` into a :class:`MethodDescriptor`."""
+    if not text.startswith("("):
+        raise BytecodeError(f"method descriptor must start with '(': {text!r}")
+    close = text.find(")")
+    if close < 0:
+        raise BytecodeError(f"method descriptor missing ')': {text!r}")
+    params: list[str] = []
+    pos = 1
+    while pos < close:
+        ptype, pos = _read_type(text, pos)
+        params.append(ptype)
+    if pos != close:
+        raise BytecodeError(f"malformed parameter list in {text!r}")
+    return_type, end = _read_type(text, close + 1)
+    if end != len(text):
+        raise BytecodeError(f"trailing junk in method descriptor {text!r}")
+    return MethodDescriptor(tuple(params), return_type)
+
+
+def validate_field_descriptor(text: str) -> str:
+    """Validate a field descriptor, returning it unchanged."""
+    descriptor, end = _read_type(text, 0)
+    if end != len(text) or descriptor.endswith("V"):
+        raise BytecodeError(f"bad field descriptor {text!r}")
+    return descriptor
+
+
+def pretty_type(descriptor: str) -> str:
+    """Human-readable form, e.g. ``[[F`` -> ``float[][]``."""
+    dims = 0
+    while descriptor.startswith("["):
+        dims += 1
+        descriptor = descriptor[1:]
+    if descriptor in PRIMITIVE_NAMES:
+        base = PRIMITIVE_NAMES[descriptor]
+    else:
+        base = class_name(descriptor).replace("/", ".")
+    return base + "[]" * dims

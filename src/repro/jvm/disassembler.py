@@ -1,0 +1,47 @@
+"""Human-readable bytecode listings (javap-style)."""
+
+from __future__ import annotations
+
+from .classfile import Instr, JClass, JMethod
+from .descriptors import pretty_type
+from .opcodes import BRANCH_OPS
+
+
+def format_instr(instr: Instr) -> str:
+    """One listing line for an instruction."""
+    if not instr.operands:
+        return f"{instr.offset:4d}: {instr.mnemonic}"
+    if instr.mnemonic in BRANCH_OPS:
+        return f"{instr.offset:4d}: {instr.mnemonic} -> {instr.operands[0]}"
+    kind = instr.spec.kind
+    if kind in ("field", "method"):
+        owner, name, descriptor = instr.operands
+        return (f"{instr.offset:4d}: {instr.mnemonic} "
+                f"{owner}.{name}:{descriptor}")
+    rendered = ", ".join(repr(op) for op in instr.operands)
+    return f"{instr.offset:4d}: {instr.mnemonic} {rendered}"
+
+
+def disassemble_method(method: JMethod) -> str:
+    """Full listing of one method."""
+    parsed = method.parsed_descriptor
+    params = ", ".join(pretty_type(p) for p in parsed.params)
+    header = (
+        f"{pretty_type(parsed.return_type)} {method.name}({params})"
+        f"  // stack={method.max_stack}, locals={method.max_locals}"
+    )
+    body = "\n".join("    " + format_instr(i) for i in method.code)
+    return f"{header}\n{body}"
+
+
+def disassemble_class(jclass: JClass) -> str:
+    """Full listing of a class."""
+    lines = [f"class {jclass.name} extends {jclass.super_name} {{"]
+    for jfield in jclass.fields:
+        lines.append(f"  {pretty_type(jfield.descriptor)} {jfield.name};")
+    for method in jclass.methods:
+        listing = disassemble_method(method)
+        lines.append("")
+        lines.extend("  " + line for line in listing.splitlines())
+    lines.append("}")
+    return "\n".join(lines)

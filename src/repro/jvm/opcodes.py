@@ -1,0 +1,227 @@
+"""JVM instruction set table (the subset S2FA kernels exercise).
+
+Each opcode is described by its real JVM byte value and an operand *kind*
+that drives assembly, binary encoding/decoding, interpretation, and
+decompilation:
+
+========  =====================================================
+kind      operands (symbolic form)
+========  =====================================================
+none      ()
+local     (local_index,)                       — u1 in binary
+byte      (imm,)                               — s1 immediate
+short     (imm,)                               — s2 immediate
+branch    (label_or_offset,)                   — s2 pc-relative
+iinc      (local_index, delta)                 — u1, s1
+atype     (array_type_code,)                   — u1
+ldc       (python_constant,)                   — u1 cp index
+ldc2      (python_constant,)                   — u2 cp index
+field     (class_name, field_name, descriptor) — u2 cp index
+method    (class_name, method_name, descriptor)— u2 cp index
+class     (class_name,)                        — u2 cp index
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BytecodeError
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    mnemonic: str
+    byte: int
+    kind: str
+    #: net operand-stack effect in slots (long/double count as 2); None for
+    #: opcodes whose effect depends on the resolved descriptor (invokes).
+    stack_delta: int | None
+
+
+def _spec(mnemonic: str, byte: int, kind: str = "none",
+          stack: int | None = 0) -> OpSpec:
+    return OpSpec(mnemonic, byte, kind, stack)
+
+
+_SPECS = [
+    _spec("nop", 0x00),
+    _spec("aconst_null", 0x01, stack=1),
+    _spec("iconst_m1", 0x02, stack=1),
+    _spec("iconst_0", 0x03, stack=1),
+    _spec("iconst_1", 0x04, stack=1),
+    _spec("iconst_2", 0x05, stack=1),
+    _spec("iconst_3", 0x06, stack=1),
+    _spec("iconst_4", 0x07, stack=1),
+    _spec("iconst_5", 0x08, stack=1),
+    _spec("lconst_0", 0x09, stack=2),
+    _spec("lconst_1", 0x0A, stack=2),
+    _spec("fconst_0", 0x0B, stack=1),
+    _spec("fconst_1", 0x0C, stack=1),
+    _spec("fconst_2", 0x0D, stack=1),
+    _spec("dconst_0", 0x0E, stack=2),
+    _spec("dconst_1", 0x0F, stack=2),
+    _spec("bipush", 0x10, "byte", 1),
+    _spec("sipush", 0x11, "short", 1),
+    _spec("ldc", 0x12, "ldc", 1),
+    _spec("ldc2_w", 0x14, "ldc2", 2),
+    _spec("iload", 0x15, "local", 1),
+    _spec("lload", 0x16, "local", 2),
+    _spec("fload", 0x17, "local", 1),
+    _spec("dload", 0x18, "local", 2),
+    _spec("aload", 0x19, "local", 1),
+    _spec("iaload", 0x2E, stack=-1),
+    _spec("laload", 0x2F, stack=0),
+    _spec("faload", 0x30, stack=-1),
+    _spec("daload", 0x31, stack=0),
+    _spec("aaload", 0x32, stack=-1),
+    _spec("baload", 0x33, stack=-1),
+    _spec("caload", 0x34, stack=-1),
+    _spec("saload", 0x35, stack=-1),
+    _spec("istore", 0x36, "local", -1),
+    _spec("lstore", 0x37, "local", -2),
+    _spec("fstore", 0x38, "local", -1),
+    _spec("dstore", 0x39, "local", -2),
+    _spec("astore", 0x3A, "local", -1),
+    _spec("iastore", 0x4F, stack=-3),
+    _spec("lastore", 0x50, stack=-4),
+    _spec("fastore", 0x51, stack=-3),
+    _spec("dastore", 0x52, stack=-4),
+    _spec("aastore", 0x53, stack=-3),
+    _spec("bastore", 0x54, stack=-3),
+    _spec("castore", 0x55, stack=-3),
+    _spec("sastore", 0x56, stack=-3),
+    _spec("pop", 0x57, stack=-1),
+    _spec("pop2", 0x58, stack=-2),
+    _spec("dup", 0x59, stack=1),
+    _spec("dup_x1", 0x5A, stack=1),
+    _spec("dup_x2", 0x5B, stack=1),
+    _spec("dup2", 0x5C, stack=2),
+    _spec("swap", 0x5F, stack=0),
+    _spec("iadd", 0x60, stack=-1),
+    _spec("ladd", 0x61, stack=-2),
+    _spec("fadd", 0x62, stack=-1),
+    _spec("dadd", 0x63, stack=-2),
+    _spec("isub", 0x64, stack=-1),
+    _spec("lsub", 0x65, stack=-2),
+    _spec("fsub", 0x66, stack=-1),
+    _spec("dsub", 0x67, stack=-2),
+    _spec("imul", 0x68, stack=-1),
+    _spec("lmul", 0x69, stack=-2),
+    _spec("fmul", 0x6A, stack=-1),
+    _spec("dmul", 0x6B, stack=-2),
+    _spec("idiv", 0x6C, stack=-1),
+    _spec("ldiv", 0x6D, stack=-2),
+    _spec("fdiv", 0x6E, stack=-1),
+    _spec("ddiv", 0x6F, stack=-2),
+    _spec("irem", 0x70, stack=-1),
+    _spec("lrem", 0x71, stack=-2),
+    _spec("frem", 0x72, stack=-1),
+    _spec("drem", 0x73, stack=-2),
+    _spec("ineg", 0x74, stack=0),
+    _spec("lneg", 0x75, stack=0),
+    _spec("fneg", 0x76, stack=0),
+    _spec("dneg", 0x77, stack=0),
+    _spec("ishl", 0x78, stack=-1),
+    _spec("lshl", 0x79, stack=-1),
+    _spec("ishr", 0x7A, stack=-1),
+    _spec("lshr", 0x7B, stack=-1),
+    _spec("iushr", 0x7C, stack=-1),
+    _spec("iand", 0x7E, stack=-1),
+    _spec("land", 0x7F, stack=-2),
+    _spec("ior", 0x80, stack=-1),
+    _spec("lor", 0x81, stack=-2),
+    _spec("ixor", 0x82, stack=-1),
+    _spec("lxor", 0x83, stack=-2),
+    _spec("iinc", 0x84, "iinc", 0),
+    _spec("i2l", 0x85, stack=1),
+    _spec("i2f", 0x86, stack=0),
+    _spec("i2d", 0x87, stack=1),
+    _spec("l2i", 0x88, stack=-1),
+    _spec("l2f", 0x89, stack=-1),
+    _spec("l2d", 0x8A, stack=0),
+    _spec("f2i", 0x8B, stack=0),
+    _spec("f2l", 0x8C, stack=1),
+    _spec("f2d", 0x8D, stack=1),
+    _spec("d2i", 0x8E, stack=-1),
+    _spec("d2l", 0x8F, stack=0),
+    _spec("d2f", 0x90, stack=-1),
+    _spec("i2b", 0x91, stack=0),
+    _spec("i2c", 0x92, stack=0),
+    _spec("i2s", 0x93, stack=0),
+    _spec("lcmp", 0x94, stack=-3),
+    _spec("fcmpl", 0x95, stack=-1),
+    _spec("fcmpg", 0x96, stack=-1),
+    _spec("dcmpl", 0x97, stack=-3),
+    _spec("dcmpg", 0x98, stack=-3),
+    _spec("ifeq", 0x99, "branch", -1),
+    _spec("ifne", 0x9A, "branch", -1),
+    _spec("iflt", 0x9B, "branch", -1),
+    _spec("ifge", 0x9C, "branch", -1),
+    _spec("ifgt", 0x9D, "branch", -1),
+    _spec("ifle", 0x9E, "branch", -1),
+    _spec("if_icmpeq", 0x9F, "branch", -2),
+    _spec("if_icmpne", 0xA0, "branch", -2),
+    _spec("if_icmplt", 0xA1, "branch", -2),
+    _spec("if_icmpge", 0xA2, "branch", -2),
+    _spec("if_icmpgt", 0xA3, "branch", -2),
+    _spec("if_icmple", 0xA4, "branch", -2),
+    _spec("if_acmpeq", 0xA5, "branch", -2),
+    _spec("if_acmpne", 0xA6, "branch", -2),
+    _spec("goto", 0xA7, "branch", 0),
+    _spec("ireturn", 0xAC, stack=-1),
+    _spec("lreturn", 0xAD, stack=-2),
+    _spec("freturn", 0xAE, stack=-1),
+    _spec("dreturn", 0xAF, stack=-2),
+    _spec("areturn", 0xB0, stack=-1),
+    _spec("return", 0xB1, stack=0),
+    _spec("getstatic", 0xB2, "field", None),
+    _spec("putstatic", 0xB3, "field", None),
+    _spec("getfield", 0xB4, "field", None),
+    _spec("putfield", 0xB5, "field", None),
+    _spec("invokevirtual", 0xB6, "method", None),
+    _spec("invokespecial", 0xB7, "method", None),
+    _spec("invokestatic", 0xB8, "method", None),
+    _spec("new", 0xBB, "class", 1),
+    _spec("newarray", 0xBC, "atype", 0),
+    _spec("anewarray", 0xBD, "class", 0),
+    _spec("arraylength", 0xBE, stack=0),
+    _spec("ifnull", 0xC6, "branch", -1),
+    _spec("ifnonnull", 0xC7, "branch", -1),
+]
+
+BY_MNEMONIC: dict[str, OpSpec] = {s.mnemonic: s for s in _SPECS}
+BY_BYTE: dict[int, OpSpec] = {s.byte: s for s in _SPECS}
+
+#: ``newarray`` atype codes (JVM spec table 6.5.newarray-A).
+ATYPE_CODES = {
+    "boolean": 4, "char": 5, "float": 6, "double": 7,
+    "byte": 8, "short": 9, "int": 10, "long": 11,
+}
+ATYPE_NAMES = {v: k for k, v in ATYPE_CODES.items()}
+
+BRANCH_OPS = frozenset(s.mnemonic for s in _SPECS if s.kind == "branch")
+CONDITIONAL_BRANCH_OPS = BRANCH_OPS - {"goto"}
+RETURN_OPS = frozenset(
+    {"ireturn", "lreturn", "freturn", "dreturn", "areturn", "return"}
+)
+TERMINATOR_OPS = RETURN_OPS | {"goto"}
+INVOKE_OPS = frozenset({"invokevirtual", "invokespecial", "invokestatic"})
+
+
+def spec(mnemonic: str) -> OpSpec:
+    """Look up an opcode by mnemonic, raising a friendly error."""
+    try:
+        return BY_MNEMONIC[mnemonic]
+    except KeyError:
+        raise BytecodeError(f"unknown opcode mnemonic {mnemonic!r}") from None
+
+
+def spec_by_byte(byte: int) -> OpSpec:
+    """Look up an opcode by its byte value."""
+    try:
+        return BY_BYTE[byte]
+    except KeyError:
+        raise BytecodeError(f"unknown opcode byte 0x{byte:02x}") from None

@@ -1,0 +1,89 @@
+"""Synthesized runtime-library classes (specialized tuples).
+
+Scala's ``TupleN`` erase to ``Object`` fields on a real JVM, which is
+exactly why the paper cannot support arbitrary library calls (Section 3.3:
+"the bytecode of library methods might not contain enough information such
+as type parameter description").  S2FA instead ships its own known
+composite classes.  We mirror that: the frontend requests *specialized*
+tuple classes (one per field-type combination), generated here with real
+bytecode for the constructor and the ``_1``/``_2``/... accessors.
+
+The bytecode-to-C compiler recognizes these classes by name and flattens
+them (Challenge 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from .assembler import CodeBuilder, assemble
+from .classfile import ACC_FINAL, ACC_PUBLIC, JClass, JField
+from .descriptors import slot_width
+
+#: Name prefix of synthesized tuple classes, e.g. ``s2fa/Tuple2_IF``.
+TUPLE_PREFIX = "s2fa/Tuple"
+
+
+def tuple_class_name(field_descriptors: tuple[str, ...]) -> str:
+    """Mangled class name for a specialized tuple.
+
+    Array/object descriptors contain characters illegal in class names, so
+    they are mangled: ``[`` -> ``A`` and ``Ljava/lang/String;`` -> ``S``.
+    """
+    mangled = []
+    for descriptor in field_descriptors:
+        mangled.append(
+            descriptor.replace("Ljava/lang/String;", "s")
+            .replace("[", "A")
+        )
+    return f"{TUPLE_PREFIX}{len(field_descriptors)}_{''.join(mangled)}"
+
+
+def is_tuple_class(name: str) -> bool:
+    """Is ``name`` one of the synthesized specialized tuple classes?"""
+    return name.startswith(TUPLE_PREFIX)
+
+
+def _load_for(builder: CodeBuilder, descriptor: str, slot: int) -> None:
+    prefix = {"I": "i", "S": "i", "B": "i", "C": "i", "Z": "i",
+              "J": "l", "F": "f", "D": "d"}.get(descriptor, "a")
+    builder.emit(f"{prefix}load", slot)
+
+
+def _return_for(builder: CodeBuilder, descriptor: str) -> None:
+    prefix = {"I": "i", "S": "i", "B": "i", "C": "i", "Z": "i",
+              "J": "l", "F": "f", "D": "d"}.get(descriptor, "a")
+    builder.emit(f"{prefix}return")
+
+
+def make_tuple_class(field_descriptors: tuple[str, ...]) -> JClass:
+    """Build a specialized TupleN class with constructor and accessors."""
+    name = tuple_class_name(field_descriptors)
+    jclass = JClass(name=name)
+    for i, descriptor in enumerate(field_descriptors, start=1):
+        jclass.fields.append(JField(
+            name=f"_{i}",
+            descriptor=descriptor,
+            access_flags=ACC_PUBLIC | ACC_FINAL,
+        ))
+
+    # <init>(fields...)V — calls super() then stores every field.
+    init = CodeBuilder()
+    init.emit("aload", 0)
+    init.emit("invokespecial", "java/lang/Object", "<init>", "()V")
+    slot = 1
+    for i, descriptor in enumerate(field_descriptors, start=1):
+        init.emit("aload", 0)
+        _load_for(init, descriptor, slot)
+        init.emit("putfield", name, f"_{i}", descriptor)
+        slot += slot_width(descriptor)
+    init.emit("return")
+    jclass.methods.append(assemble(
+        "<init>", f"({''.join(field_descriptors)})V", init))
+
+    # Accessors _1()..._N() — aload_0; getfield; return.
+    for i, descriptor in enumerate(field_descriptors, start=1):
+        acc = CodeBuilder()
+        acc.emit("aload", 0)
+        acc.emit("getfield", name, f"_{i}", descriptor)
+        _return_for(acc, descriptor)
+        jclass.methods.append(assemble(f"_{i}", f"(){descriptor}", acc))
+    return jclass

@@ -1,0 +1,11 @@
+"""Merlin-style transformation library: configs, pragmas, loop rewrites."""
+
+from .config import DesignConfig, LoopConfig, PIPELINE_MODES  # noqa: F401
+from .interchange import interchange_loops  # noqa: F401
+from .reduction import apply_tree_reduction  # noqa: F401
+from .transforms import (  # noqa: F401
+    apply_config,
+    insert_pragmas,
+    tile_loop,
+    unroll_loop,
+)

@@ -1,0 +1,77 @@
+"""Loop interchange for perfectly nested counted loops.
+
+Part of the Merlin transformation repertoire ("loop tiling, tree
+reduction, coarse-grained parallelism, and so forth"): swapping a
+perfectly nested loop pair changes which dimension streams innermost —
+useful to move a dependence-free dimension inside for pipelining.
+
+Legality here is deliberately conservative: the transform refuses any
+nest where an array is both read and written (a dependence could be
+direction-sensitive) and any imperfect nest (statements between the two
+loop headers).
+"""
+
+from __future__ import annotations
+
+from ..errors import TransformError
+from ..hlsc.analysis import build_loop_tree
+from ..hlsc.ast import Block, CFunction, For
+from .transforms import _find_parent_block
+
+
+def interchange_loops(func: CFunction, outer_label: str) -> None:
+    """Swap the loop labelled ``outer_label`` with its single child.
+
+    Requires a perfect nest of two canonical ``for`` loops and no array
+    that is both read and written inside the nest.  Labels move with
+    their headers (the outer position keeps the outer label), so design
+    configurations keep addressing positions, as Merlin's pragmas do.
+    """
+    found = _find_parent_block(func.body, outer_label)
+    if found is None:
+        raise TransformError(f"no loop labelled {outer_label!r}")
+    block, index = found
+    outer = block.stmts[index]
+    if not isinstance(outer, For) or outer.step != 1:
+        raise TransformError(
+            f"only canonical unit-stride loops can be interchanged "
+            f"({outer_label})")
+    if len(outer.body.stmts) != 1 or not isinstance(
+            outer.body.stmts[0], For):
+        raise TransformError(
+            f"loop {outer_label} is not a perfect two-level nest")
+    inner = outer.body.stmts[0]
+    if not isinstance(inner, For) or inner.step != 1:
+        raise TransformError(
+            f"inner loop of {outer_label} is not canonical")
+
+    # Conservative dependence check over the whole nest.
+    roots = build_loop_tree(func)
+
+    def find(label):
+        for root in roots:
+            for info in root.self_and_descendants():
+                if info.label == label:
+                    return info
+        raise TransformError(f"no analysis info for {label!r}")
+
+    info = find(outer_label)
+    written = set()
+    read = set()
+    for node in info.self_and_descendants():
+        written |= node.arrays_written
+        read |= node.arrays_read
+    overlap = written & read
+    if overlap:
+        raise TransformError(
+            f"cannot prove interchange of {outer_label} legal: arrays "
+            f"{sorted(overlap)} are both read and written in the nest")
+
+    # Swap headers; bodies/labels follow the description above.
+    new_inner = For(var=outer.var, start=outer.start, bound=outer.bound,
+                    step=outer.step, body=inner.body, label=inner.label,
+                    pragmas=inner.pragmas)
+    new_outer = For(var=inner.var, start=inner.start, bound=inner.bound,
+                    step=inner.step, body=Block([new_inner]),
+                    label=outer.label, pragmas=outer.pragmas)
+    block.stmts[index] = new_outer

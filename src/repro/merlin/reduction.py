@@ -1,0 +1,122 @@
+"""Tree-reduction rewrite for parallelized reduction loops.
+
+A scalar reduction ``s = s + f(i)`` serializes a pipelined loop at
+``II >= latency(+)``.  When the DSE assigns a parallel factor ``u`` to a
+reduction loop, Merlin's tree-reduction transform splits the accumulation
+into ``u`` partial sums combined by a balanced tree, restoring ``II = 1``
+on the main loop at the cost of ``u`` operator instances plus a
+``log2(u)``-depth combiner.
+
+The physical rewrite here produces::
+
+    T s_part[u];
+    for (k = 0; k < u; k++) s_part[k] = identity;
+    for (i = 0; i < T; i += u)
+        for (k = 0; k < u; k++)           /* unrolled by Merlin */
+            s_part[k] = s_part[k] op f(i + k);
+    for (k = 0; k < u; k++) s = s op s_part[k];
+
+which is semantically the reassociated reduction (valid for the
+commutative ops the analyzer detects).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..errors import TransformError
+from ..hlsc.analysis import loop_trip_count
+from ..hlsc.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    CFunction,
+    CType,
+    For,
+    IntLit,
+    Stmt,
+    Var,
+    VarDecl,
+)
+from .transforms import _find_parent_block, substitute_in_block
+
+#: ops we may legally reassociate (floating-point reassociation is the
+#: standard HLS-flow concession, same as the paper's Merlin library).
+_ASSOCIATIVE = ("+", "*")
+
+
+def _find_accumulation(loop: For) -> tuple[int, Assign, str, str] | None:
+    """Locate ``acc = acc op expr`` in the loop body."""
+    for i, stmt in enumerate(loop.body.stmts):
+        if not isinstance(stmt, Assign) or not isinstance(stmt.lhs, Var):
+            continue
+        rhs = stmt.rhs
+        if isinstance(rhs, BinOp) and rhs.op in _ASSOCIATIVE \
+                and isinstance(rhs.lhs, Var) \
+                and rhs.lhs.name == stmt.lhs.name:
+            return i, stmt, stmt.lhs.name, rhs.op
+    return None
+
+
+def apply_tree_reduction(func: CFunction, label: str, factor: int,
+                         acc_ctype: CType) -> None:
+    """Rewrite the labelled reduction loop with ``factor`` partial sums."""
+    if factor < 2:
+        raise TransformError(f"tree-reduction factor must be >= 2")
+    found = _find_parent_block(func.body, label)
+    if found is None:
+        raise TransformError(f"no loop labelled {label!r}")
+    block, index = found
+    loop = block.stmts[index]
+    if not isinstance(loop, For) or loop.step != 1:
+        raise TransformError(
+            f"tree reduction needs a canonical loop ({label})")
+    trip = loop_trip_count(loop)
+    if trip is None or trip % factor != 0:
+        raise TransformError(
+            f"tree-reduction factor {factor} must divide the trip count "
+            f"of {label} (trip={trip})")
+    acc_info = _find_accumulation(loop)
+    if acc_info is None:
+        raise TransformError(
+            f"loop {label} has no reassociatable accumulation")
+    stmt_index, acc_stmt, acc_name, op = acc_info
+    if len(loop.body.stmts) != 1:
+        raise TransformError(
+            f"tree reduction requires the accumulation to be the loop "
+            f"body ({label} has {len(loop.body.stmts)} statements)")
+
+    part = f"{acc_name}_part"
+    identity = IntLit(0) if op == "+" else IntLit(1)
+
+    init_loop = For(
+        var="k", start=IntLit(0), bound=IntLit(factor),
+        body=Block([Assign(ArrayRef(Var(part), Var("k")),
+                           copy.deepcopy(identity))]),
+        label=f"{label}_init")
+
+    # Main loop: stride by `factor`, inner unrollable lane loop.
+    contribution = acc_stmt.rhs.rhs  # the f(i) side of acc = acc op f(i)
+    lane_expr = substitute_in_block(
+        Block([Assign(ArrayRef(Var(part), Var("k")),
+                      BinOp(op, ArrayRef(Var(part), Var("k")),
+                            copy.deepcopy(contribution)))]),
+        loop.var, BinOp("+", Var(loop.var), Var("k")))
+    lane_loop = For(var="k", start=IntLit(0), bound=IntLit(factor),
+                    body=lane_expr, label=f"{label}_lane")
+    main = For(var=loop.var, start=copy.deepcopy(loop.start),
+               bound=copy.deepcopy(loop.bound), step=factor,
+               body=Block([lane_loop]), label=label,
+               pragmas=list(loop.pragmas))
+
+    combine = For(
+        var="k", start=IntLit(0), bound=IntLit(factor),
+        body=Block([Assign(Var(acc_name),
+                           BinOp(op, Var(acc_name),
+                                 ArrayRef(Var(part), Var("k"))))]),
+        label=f"{label}_comb")
+
+    decl = VarDecl(name=part, ctype=acc_ctype, dims=(factor,))
+    replacement: list[Stmt] = [decl, init_loop, main, combine]
+    block.stmts[index:index + 1] = replacement

@@ -1,0 +1,274 @@
+"""Physical source-to-source loop transformations (Merlin library).
+
+The Merlin compiler applies code transformations — not just HLS pragmas —
+before invoking the vendor flow.  This module implements the transforms on
+the HLS-C AST:
+
+* :func:`tile_loop` — strip-mine a counted loop into tile/point loops,
+* :func:`unroll_loop` — full or partial unrolling with index rewriting,
+* :func:`insert_pragmas` — annotate loops with ``#pragma ACCEL`` lines
+  reflecting a :class:`~repro.merlin.config.DesignConfig`,
+* :func:`apply_config` — clone a kernel and materialize a config on it.
+
+The HLS estimator consumes the *loop tree + effective config* analytically,
+so ``apply_config`` exists for inspection, tests, and the generated-code
+artifacts the examples print; ``tile_loop``/``unroll_loop`` are also used
+by the tree-reduction rewrite.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..errors import TransformError
+from ..hlsc.analysis import loop_trip_count
+from ..hlsc.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Cast,
+    CFunction,
+    CKernel,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    IntLit,
+    Pragma,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+    VarDecl,
+    While,
+)
+from .config import DesignConfig
+
+
+def _substitute(expr: Expr, name: str, replacement: Expr) -> Expr:
+    """Return a copy of ``expr`` with ``Var(name)`` replaced."""
+    if isinstance(expr, Var):
+        return copy.deepcopy(replacement) if expr.name == name else expr
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(_substitute(expr.array, name, replacement),
+                        _substitute(expr.index, name, replacement))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _substitute(expr.lhs, name, replacement),
+                     _substitute(expr.rhs, name, replacement))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _substitute(expr.operand, name, replacement))
+    if isinstance(expr, Call):
+        return Call(expr.name,
+                    [_substitute(a, name, replacement) for a in expr.args])
+    if isinstance(expr, Cast):
+        return Cast(expr.ctype, _substitute(expr.expr, name, replacement))
+    if isinstance(expr, Ternary):
+        return Ternary(_substitute(expr.cond, name, replacement),
+                       _substitute(expr.then, name, replacement),
+                       _substitute(expr.other, name, replacement))
+    return expr
+
+
+def substitute_in_block(block: Block, name: str, replacement: Expr) -> Block:
+    """Copy a block substituting a variable in every expression."""
+    new_stmts: list[Stmt] = []
+    for stmt in block.stmts:
+        new_stmts.append(_substitute_stmt(stmt, name, replacement))
+    return Block(new_stmts)
+
+
+def _substitute_stmt(stmt: Stmt, name: str, replacement: Expr) -> Stmt:
+    if isinstance(stmt, VarDecl):
+        return VarDecl(name=stmt.name, ctype=stmt.ctype, dims=stmt.dims,
+                       init=None if stmt.init is None
+                       else _substitute(stmt.init, name, replacement),
+                       init_values=stmt.init_values,
+                       qualifiers=stmt.qualifiers)
+    if isinstance(stmt, Assign):
+        return Assign(_substitute(stmt.lhs, name, replacement),
+                      _substitute(stmt.rhs, name, replacement))
+    if isinstance(stmt, ExprStmt):
+        return ExprStmt(_substitute(stmt.expr, name, replacement))
+    if isinstance(stmt, If):
+        return If(_substitute(stmt.cond, name, replacement),
+                  substitute_in_block(stmt.then, name, replacement),
+                  None if stmt.orelse is None
+                  else substitute_in_block(stmt.orelse, name, replacement))
+    if isinstance(stmt, For):
+        if stmt.var == name:  # shadowed
+            return copy.deepcopy(stmt)
+        return For(var=stmt.var,
+                   start=_substitute(stmt.start, name, replacement),
+                   bound=_substitute(stmt.bound, name, replacement),
+                   step=stmt.step,
+                   body=substitute_in_block(stmt.body, name, replacement),
+                   label=stmt.label,
+                   pragmas=list(stmt.pragmas))
+    if isinstance(stmt, While):
+        return While(cond=_substitute(stmt.cond, name, replacement),
+                     body=substitute_in_block(stmt.body, name, replacement),
+                     label=stmt.label, pragmas=list(stmt.pragmas))
+    if isinstance(stmt, Return):
+        return Return(None if stmt.value is None
+                      else _substitute(stmt.value, name, replacement))
+    return copy.deepcopy(stmt)
+
+
+def _find_parent_block(block: Block, label: str) -> tuple[Block, int] | None:
+    for i, stmt in enumerate(block.stmts):
+        if isinstance(stmt, (For, While)) and stmt.label == label:
+            return block, i
+        children: list[Block] = []
+        if isinstance(stmt, If):
+            children = [stmt.then] + ([stmt.orelse] if stmt.orelse else [])
+        elif isinstance(stmt, (For, While)):
+            children = [stmt.body]
+        for child in children:
+            found = _find_parent_block(child, label)
+            if found is not None:
+                return found
+    return None
+
+
+def tile_loop(func: CFunction, label: str, factor: int) -> None:
+    """Strip-mine a counted loop into a tile loop and a point loop.
+
+    ``for (i = 0; i < T; i++) S(i)`` becomes::
+
+        for (i_t = 0; i_t < T; i_t += factor)      /* label */
+          for (i_p = 0; i_p < factor; i_p++)        /* label_pt */
+            if (i_t + i_p < T) S(i_t + i_p)
+
+    The boundary guard is omitted when ``factor`` divides the trip count.
+    """
+    if factor < 2:
+        raise TransformError(f"tile factor must be >= 2, got {factor}")
+    found = _find_parent_block(func.body, label)
+    if found is None:
+        raise TransformError(f"no loop labelled {label!r}")
+    block, index = found
+    loop = block.stmts[index]
+    if not isinstance(loop, For) or loop.step != 1:
+        raise TransformError(
+            f"only canonical unit-stride loops can be tiled ({label})")
+    trip = loop_trip_count(loop)
+    if trip is not None and factor > trip:
+        raise TransformError(
+            f"tile factor {factor} exceeds trip count {trip} of {label}")
+
+    tile_var = f"{loop.var}_t"
+    point_var = f"{loop.var}_p"
+    combined = BinOp("+", Var(tile_var), Var(point_var))
+    new_body = substitute_in_block(loop.body, loop.var, combined)
+    if trip is None or trip % factor != 0:
+        guard = If(cond=BinOp("<", copy.deepcopy(combined),
+                              copy.deepcopy(loop.bound)),
+                   then=new_body)
+        point_body = Block([guard])
+    else:
+        point_body = new_body
+    point = For(var=point_var, start=IntLit(0), bound=IntLit(factor),
+                body=point_body, label=f"{label}_pt")
+    tile = For(var=tile_var, start=copy.deepcopy(loop.start),
+               bound=copy.deepcopy(loop.bound), step=factor,
+               body=Block([point]), label=label,
+               pragmas=list(loop.pragmas))
+    block.stmts[index] = tile
+
+
+def unroll_loop(func: CFunction, label: str, factor: int | None = None
+                ) -> None:
+    """Unroll a counted loop fully (``factor=None``) or by ``factor``.
+
+    Full unrolling replicates the body once per iteration with the index
+    substituted; partial unrolling replicates ``factor`` copies inside a
+    stride-``factor`` loop and requires the factor to divide the trip
+    count.
+    """
+    found = _find_parent_block(func.body, label)
+    if found is None:
+        raise TransformError(f"no loop labelled {label!r}")
+    block, index = found
+    loop = block.stmts[index]
+    if not isinstance(loop, For) or loop.step != 1:
+        raise TransformError(
+            f"only canonical unit-stride loops can be unrolled ({label})")
+    trip = loop_trip_count(loop)
+    if trip is None:
+        raise TransformError(
+            f"cannot unroll loop {label} with unknown trip count")
+    start = loop.start
+    if not isinstance(start, IntLit):
+        raise TransformError(
+            f"cannot unroll loop {label} with non-constant start")
+
+    if factor is None or factor >= trip:
+        stmts: list[Stmt] = []
+        for k in range(trip):
+            body = substitute_in_block(loop.body, loop.var,
+                                       IntLit(start.value + k))
+            stmts.extend(body.stmts)
+        block.stmts[index:index + 1] = stmts
+        return
+
+    if factor < 2:
+        raise TransformError(f"unroll factor must be >= 2, got {factor}")
+    if trip % factor != 0:
+        raise TransformError(
+            f"unroll factor {factor} does not divide trip count {trip} "
+            f"of {label}")
+    copies: list[Stmt] = []
+    for k in range(factor):
+        shifted = BinOp("+", Var(loop.var), IntLit(k)) if k else \
+            Var(loop.var)
+        body = substitute_in_block(loop.body, loop.var, shifted)
+        copies.extend(body.stmts)
+    block.stmts[index] = For(
+        var=loop.var, start=copy.deepcopy(loop.start),
+        bound=copy.deepcopy(loop.bound), step=factor,
+        body=Block(copies), label=label, pragmas=list(loop.pragmas))
+
+
+def insert_pragmas(func: CFunction, config: DesignConfig) -> None:
+    """Attach ``#pragma ACCEL`` directives reflecting ``config``."""
+    def visit(block: Block) -> None:
+        for stmt in block.stmts:
+            if isinstance(stmt, (For, While)):
+                if stmt.label is not None and stmt.label in config.loops:
+                    cfg = config.loops[stmt.label]
+                    pragmas: list[Pragma] = []
+                    if cfg.pipeline == "on":
+                        pragmas.append(Pragma("ACCEL pipeline"))
+                    elif cfg.pipeline == "flatten":
+                        pragmas.append(Pragma("ACCEL pipeline flatten"))
+                    if cfg.parallel > 1:
+                        pragmas.append(Pragma(
+                            f"ACCEL parallel factor={cfg.parallel}"))
+                    if cfg.tile > 1:
+                        pragmas.append(Pragma(
+                            f"ACCEL tile factor={cfg.tile}"))
+                    stmt.pragmas = pragmas
+                visit(stmt.body)
+            elif isinstance(stmt, If):
+                visit(stmt.then)
+                if stmt.orelse is not None:
+                    visit(stmt.orelse)
+    visit(func.body)
+
+
+def apply_config(kernel: CKernel, config: DesignConfig) -> CKernel:
+    """Clone ``kernel`` with the config's pragmas materialized.
+
+    Interface bit-widths are recorded in the clone's metadata (they change
+    the AXI port declaration in real Merlin output, which our printer
+    summarizes as a comment-level detail).
+    """
+    clone = kernel.clone()
+    for func in clone.functions:
+        insert_pragmas(func, config)
+    clone.metadata = dict(clone.metadata)
+    clone.metadata["bitwidths"] = dict(config.bitwidths)
+    return clone

@@ -1,0 +1,8 @@
+"""Plain-text reporting for the benchmark harness."""
+
+from .format import (  # noqa: F401
+    format_table,
+    log_bar_chart,
+    speedup_summary,
+    trace_chart,
+)

@@ -1,0 +1,95 @@
+"""Top-level S2FA entry points: the one-call automation flow of Fig. 1.
+
+:func:`build_accelerator` runs the complete pipeline the paper describes:
+
+1. compile the Scala kernel to an HLS-C design (bytecode-to-C compiler),
+2. identify and explore the design space (parallel learning-based DSE),
+3. return the chosen configuration with its HLS report, ready to be
+   registered with the Blaze runtime.
+
+:func:`generate_hls_c` is the inspection-oriented sibling: it returns the
+transformed C source for a given design configuration, which is what the
+Merlin compiler would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .compiler.driver import CompiledKernel, compile_kernel
+from .compiler.interface import LayoutConfig
+from .dse.engine import S2FAEngine
+from .dse.evaluator import Evaluator
+from .dse.result import DSERun
+from .dse.space import DesignSpace, build_space
+from .errors import DSEError
+from .hls.device import Device, VU9P
+from .hls.estimator import estimate
+from .hls.result import HLSResult
+from .hlsc.printer import kernel_to_c
+from .merlin.config import DesignConfig
+from .merlin.transforms import apply_config
+
+
+@dataclass
+class AcceleratorBuild:
+    """Everything produced by one S2FA run for a kernel."""
+
+    compiled: CompiledKernel
+    space: DesignSpace
+    dse: DSERun
+    config: DesignConfig
+    hls: HLSResult
+
+    @property
+    def accel_id(self) -> str:
+        return self.compiled.accel_id
+
+    def hls_c_source(self) -> str:
+        """Pragma-annotated HLS C of the chosen design."""
+        return kernel_to_c(apply_config(self.compiled.kernel, self.config))
+
+
+def build_accelerator(source: str, *,
+                      kernel_class: Optional[str] = None,
+                      layout_config: Optional[LayoutConfig] = None,
+                      pattern: str = "map",
+                      batch_size: int = 1024,
+                      device: Device = VU9P,
+                      seed: int = 0,
+                      time_limit_minutes: float = 240.0,
+                      workers: int = 8) -> AcceleratorBuild:
+    """Run the full S2FA flow: compile, explore, pick the best design."""
+    compiled = compile_kernel(
+        source, kernel_class=kernel_class, layout_config=layout_config,
+        pattern=pattern, batch_size=batch_size)
+    space = build_space(compiled)
+    engine = S2FAEngine(Evaluator(compiled, device), space, seed=seed,
+                        time_limit_minutes=time_limit_minutes,
+                        workers=workers)
+    run = engine.run()
+    if run.best_point is None:
+        raise DSEError(
+            "the DSE found no feasible design point "
+            f"(explored {run.evaluations} points)")
+    config = DesignConfig.from_point(run.best_point)
+    hls = estimate(compiled.kernel, config, device)
+    return AcceleratorBuild(compiled=compiled, space=space, dse=run,
+                            config=config, hls=hls)
+
+
+def generate_hls_c(source: str, *,
+                   config: Optional[DesignConfig] = None,
+                   kernel_class: Optional[str] = None,
+                   layout_config: Optional[LayoutConfig] = None,
+                   pattern: str = "map",
+                   batch_size: int = 1024) -> str:
+    """Compile a Scala kernel and return its (optionally annotated) C."""
+    compiled = compile_kernel(
+        source, kernel_class=kernel_class, layout_config=layout_config,
+        pattern=pattern, batch_size=batch_size)
+    kernel = compiled.kernel
+    if config is not None:
+        kernel = apply_config(kernel, config)
+    return kernel_to_c(kernel)

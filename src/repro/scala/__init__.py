@@ -1,0 +1,7 @@
+"""Mini-Scala frontend: lexer, parser, typer, and JVM bytecode emitter."""
+
+from .codegen import MODULE_CLASS, ProgramCompiler, compile_program  # noqa: F401
+from .lexer import tokenize  # noqa: F401
+from .parser import parse  # noqa: F401
+from .typer import Typer, type_program  # noqa: F401
+from . import sast, types  # noqa: F401

@@ -1,0 +1,818 @@
+"""Bytecode generation: typed mini-Scala AST -> JVM classes.
+
+The emitted patterns deliberately match javac/scalac conventions (canonical
+``for`` loops with a hoisted bound, short-circuit boolean branches,
+``dup``-based tuple construction) because the bytecode-to-C compiler at the
+next stage pattern-matches exactly those shapes, as S2FA does for
+scalac-emitted kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ScalaTypeError, UnsupportedConstructError
+from ..jvm.assembler import CodeBuilder, assemble
+from ..jvm.classfile import JClass, JField
+from ..jvm.opcodes import ATYPE_CODES
+from ..jvm.stdlib import make_tuple_class
+from . import sast
+from .typer import Typer, const_int, type_program
+from .types import (
+    ArrayType,
+    BOOLEAN,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    STRING,
+    StringType,
+    TupleType,
+    Type,
+    UNIT,
+)
+
+#: Class that hosts top-level (module) functions as static methods.
+MODULE_CLASS = "s2fa/Module"
+
+_LOAD_PREFIX = {
+    "I": "i", "Z": "i", "C": "i", "S": "i", "B": "i",
+    "J": "l", "F": "f", "D": "d",
+}
+
+_ARRAY_LOAD = {
+    "I": "iaload", "F": "faload", "D": "daload", "J": "laload",
+    "C": "caload", "S": "saload", "B": "baload", "Z": "baload",
+}
+_ARRAY_STORE = {
+    "I": "iastore", "F": "fastore", "D": "dastore", "J": "lastore",
+    "C": "castore", "S": "sastore", "B": "bastore", "Z": "bastore",
+}
+
+#: comparison mnemonic suffix per operator.
+_CMP_SUFFIX = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+               ">": "gt", ">=": "ge"}
+_NEGATED = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=",
+            ">=": "<"}
+
+
+def _prefix(tpe: Type) -> str:
+    """Opcode type prefix (i/l/f/d/a) for a value of this type."""
+    descriptor = tpe.descriptor()
+    return _LOAD_PREFIX.get(descriptor, "a")
+
+
+def _slot_width(tpe: Type) -> int:
+    return 2 if tpe in (LONG, DOUBLE) else 1
+
+
+class ProgramCompiler:
+    """Compiles a typed program into JVM classes (kernel + tuples)."""
+
+    def __init__(self, program: sast.Program):
+        self.program = program
+        self.typer = Typer(program)
+        self.tuple_classes: dict[str, JClass] = {}
+
+    def compile(self) -> list[JClass]:
+        """Compile all classes and top-level functions."""
+        classes: list[JClass] = []
+        if self.program.functions:
+            module = JClass(name=MODULE_CLASS)
+            for func in self.program.functions:
+                module.methods.append(
+                    MethodCompiler(self, func, cls=None).compile())
+            classes.append(module)
+        for cls in self.program.classes:
+            if cls.is_record:
+                classes.append(self._compile_record(cls))
+            else:
+                classes.append(self._compile_class(cls))
+        classes.extend(self.tuple_classes.values())
+        return classes
+
+    def _compile_record(self, cls: sast.ClassDef) -> JClass:
+        """A record class: named fields plus a storing constructor."""
+        jclass = JClass(name=cls.name)
+        descriptors = [(p.name, p.declared.descriptor())
+                       for p in cls.record_fields]
+        for name, descriptor in descriptors:
+            jclass.fields.append(JField(name=name, descriptor=descriptor))
+        init = CodeBuilder()
+        init.emit("aload", 0)
+        init.emit("invokespecial", "java/lang/Object", "<init>", "()V")
+        slot = 1
+        for name, descriptor in descriptors:
+            prefix = _LOAD_PREFIX.get(descriptor, "a")
+            init.emit("aload", 0)
+            init.emit(f"{prefix}load", slot)
+            init.emit("putfield", cls.name, name, descriptor)
+            slot += 2 if descriptor in ("J", "D") else 1
+        init.emit("return")
+        descriptor = "(" + "".join(d for _, d in descriptors) + ")V"
+        jclass.methods.append(assemble("<init>", descriptor, init))
+        return jclass
+
+    def _compile_class(self, cls: sast.ClassDef) -> JClass:
+        jclass = JClass(name=cls.name)
+        for fdef in cls.fields:
+            jclass.fields.append(
+                JField(name=fdef.name, descriptor=fdef.tpe.descriptor()))
+        jclass.methods.append(self._compile_init(cls))
+        for method in cls.methods:
+            jclass.methods.append(
+                MethodCompiler(self, method, cls=cls).compile())
+        return jclass
+
+    def _compile_init(self, cls: sast.ClassDef) -> "JMethod":
+        """Constructor: super() then field initializers."""
+        shim = sast.FuncDef(name="<init>", params=[], ret=UNIT,
+                            body=sast.BlockExpr(stmts=[]), pos=cls.pos)
+        shim.tpe = UNIT
+        compiler = MethodCompiler(self, shim, cls=cls)
+        b = compiler.builder
+        b.emit("aload", 0)
+        b.emit("invokespecial", "java/lang/Object", "<init>", "()V")
+        for fdef in cls.fields:
+            b.emit("aload", 0)
+            produced = compiler.expr(fdef.init)
+            compiler.coerce(produced, fdef.tpe)
+            b.emit("putfield", cls.name, fdef.name, fdef.tpe.descriptor())
+        b.emit("return")
+        return assemble("<init>", "()V", b, extra_locals=4)
+
+    def request_tuple(self, tpe: TupleType) -> str:
+        """Ensure a specialized tuple class exists; return its name."""
+        name = tpe.class_name()
+        if name not in self.tuple_classes:
+            self.tuple_classes[name] = make_tuple_class(
+                tuple(e.descriptor() for e in tpe.elems))
+        return name
+
+
+class MethodCompiler:
+    """Compiles one function/method body."""
+
+    def __init__(self, program: ProgramCompiler, func: sast.FuncDef,
+                 cls: Optional[sast.ClassDef]):
+        self.program = program
+        self.func = func
+        self.cls = cls
+        self.builder = CodeBuilder()
+        self.slots: dict[str, tuple[int, Type]] = {}
+        self.next_slot = 0
+        if cls is not None:
+            self.next_slot = 1  # slot 0 = this
+        for p in func.params:
+            self.slots[p.name] = (self.next_slot, p.declared)
+            self.next_slot += _slot_width(p.declared)
+        self.field_types = {f.name: f.tpe for f in cls.fields} if cls else {}
+
+    # ------------------------------------------------------------------
+
+    def compile(self) -> "JMethod":
+        if self.func.name == "<init>":
+            raise ScalaTypeError("constructors are compiled separately")
+        produced = self.expr(self.func.body)
+        ret = self.func.ret
+        if ret == UNIT:
+            if produced != UNIT:
+                self._pop(produced)
+            self.builder.emit("return")
+        else:
+            self.coerce(produced, ret)
+            self.builder.emit(f"{_prefix(ret)}return")
+        descriptor = (
+            "(" + "".join(p.declared.descriptor() for p in self.func.params)
+            + ")" + ret.descriptor()
+        )
+        return assemble(self.func.name, descriptor, self.builder,
+                        is_static=self.cls is None, extra_locals=6)
+
+    # ------------------------------------------------------------------
+    # Slots
+    # ------------------------------------------------------------------
+
+    def _alloc(self, name: str, tpe: Type) -> int:
+        slot = self.next_slot
+        self.slots[name] = (slot, tpe)
+        self.next_slot += _slot_width(tpe)
+        return slot
+
+    def _alloc_temp(self, tpe: Type) -> int:
+        slot = self.next_slot
+        self.next_slot += _slot_width(tpe)
+        return slot
+
+    def _pop(self, tpe: Type) -> None:
+        if tpe == UNIT:
+            return
+        self.builder.emit("pop2" if _slot_width(tpe) == 2 else "pop")
+
+    # ------------------------------------------------------------------
+    # Coercion
+    # ------------------------------------------------------------------
+
+    def coerce(self, source: Type, target: Type) -> None:
+        """Emit a conversion from ``source`` to ``target`` on the stack."""
+        if source == target or target == UNIT:
+            return
+        from .types import ArrayType, CHAR as CHAR_T, StringType, TupleType
+        if isinstance(target, StringType) and source == ArrayType(CHAR_T):
+            return  # char buffers are strings at the representation level
+        if isinstance(source, TupleType) and isinstance(target, TupleType) \
+                and len(source.elems) == len(target.elems):
+            # Element-wise assignability was checked by the typer; tuples
+            # share one object representation on our JVM.
+            return
+        pair = (source.descriptor(), target.descriptor())
+        table = {
+            ("I", "J"): ["i2l"], ("I", "F"): ["i2f"], ("I", "D"): ["i2d"],
+            ("J", "I"): ["l2i"], ("J", "F"): ["l2f"], ("J", "D"): ["l2d"],
+            ("F", "I"): ["f2i"], ("F", "J"): ["f2l"], ("F", "D"): ["f2d"],
+            ("D", "I"): ["d2i"], ("D", "J"): ["d2l"], ("D", "F"): ["d2f"],
+            ("I", "C"): ["i2c"], ("I", "S"): ["i2s"],
+            ("C", "I"): [], ("S", "I"): [], ("C", "F"): ["i2f"],
+            ("C", "D"): ["i2d"], ("C", "J"): ["i2l"], ("S", "F"): ["i2f"],
+            ("S", "D"): ["i2d"], ("C", "S"): ["i2s"], ("S", "C"): ["i2c"],
+            ("F", "C"): ["f2i", "i2c"], ("D", "C"): ["d2i", "i2c"],
+        }
+        if pair not in table:
+            raise ScalaTypeError(
+                f"no conversion from {source} to {target}")
+        for op in table[pair]:
+            self.builder.emit(op)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def expr(self, node: sast.Node) -> Type:
+        """Compile an expression, leaving its value on the stack.
+
+        Returns the type actually produced (== node.tpe).
+        """
+        handler = getattr(self, f"_expr_{type(node).__name__}", None)
+        if handler is None:
+            raise UnsupportedConstructError(
+                f"cannot compile {type(node).__name__} at line {node.pos[0]}")
+        return handler(node)
+
+    def statement(self, node: sast.Node) -> None:
+        """Compile a statement, discarding any value."""
+        if isinstance(node, (sast.ValDef, sast.AssignStmt, sast.WhileStmt,
+                             sast.ForRange)):
+            self.expr(node)
+            return
+        if isinstance(node, sast.IfExpr) and node.tpe == UNIT:
+            self._if_stmt(node)
+            return
+        produced = self.expr(node)
+        self._pop(produced)
+
+    # -- literals / names ------------------------------------------------
+
+    def _expr_Lit(self, node: sast.Lit) -> Type:
+        b = self.builder
+        tpe = node.tpe
+        if tpe == BOOLEAN:
+            b.emit("iconst_1" if node.value else "iconst_0")
+        elif tpe == INT:
+            b.load_const_int(int(node.value))
+        elif tpe == LONG:
+            b.load_const_long(int(node.value))
+        elif tpe == CHAR:
+            b.load_const_int(int(node.value))
+        elif tpe == FLOAT:
+            b.load_const_float(float(node.value))
+        elif tpe == DOUBLE:
+            b.load_const_double(float(node.value))
+        elif tpe == STRING:
+            b.emit("ldc", str(node.value))
+        else:
+            raise ScalaTypeError(f"cannot emit literal of type {tpe}")
+        return tpe
+
+    def _expr_Ident(self, node: sast.Ident) -> Type:
+        if node.name in self.slots:
+            slot, tpe = self.slots[node.name]
+            self.builder.emit(f"{_prefix(tpe)}load", slot)
+            return tpe
+        if node.name in self.field_types:
+            tpe = self.field_types[node.name]
+            self.builder.emit("aload", 0)
+            self.builder.emit(
+                "getfield", self.cls.name, node.name, tpe.descriptor())
+            return tpe
+        raise ScalaTypeError(
+            f"codegen: unresolved name {node.name!r} at line {node.pos[0]}")
+
+    # -- operators ---------------------------------------------------------
+
+    def _expr_BinOp(self, node: sast.BinOp) -> Type:
+        op = node.op
+        if op in _CMP_SUFFIX or op in ("&&", "||"):
+            return self._bool_value(node)
+        if op in ("&", "|", "^") and node.tpe == BOOLEAN:
+            lhs = self.expr(node.lhs)
+            rhs = self.expr(node.rhs)
+            self.builder.emit({"&": "iand", "|": "ior", "^": "ixor"}[op])
+            return BOOLEAN
+        result = node.tpe
+        lhs = self.expr(node.lhs)
+        self.coerce(lhs, result)
+        rhs = self.expr(node.rhs)
+        if op in ("<<", ">>", ">>>"):
+            self.coerce(rhs, INT)
+        else:
+            self.coerce(rhs, result)
+        prefix = _prefix(result)
+        mnemonic = {
+            "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "shl", ">>": "shr", ">>>": "ushr",
+        }[op]
+        self.builder.emit(f"{prefix}{mnemonic}")
+        return result
+
+    def _expr_UnOp(self, node: sast.UnOp) -> Type:
+        if node.op == "!":
+            return self._bool_value(node)
+        if node.op == "~":
+            produced = self.expr(node.operand)
+            self.coerce(produced, node.tpe)
+            if node.tpe == LONG:
+                self.builder.load_const_long(-1)
+                self.builder.emit("lxor")
+            else:
+                self.builder.emit("iconst_m1")
+                self.builder.emit("ixor")
+            return node.tpe
+        produced = self.expr(node.operand)
+        self.coerce(produced, node.tpe)
+        self.builder.emit(f"{_prefix(node.tpe)}neg")
+        return node.tpe
+
+    # -- boolean branching -------------------------------------------------
+
+    def _bool_value(self, node: sast.Node) -> Type:
+        """Materialize a Boolean expression as 0/1.
+
+        Comparisons use the javac diamond (which the bytecode-to-C
+        structurer recognizes); connectives combine materialized operands
+        with ``iand``/``ior``/``ixor``.  Note: materialized connectives
+        evaluate both operands — acceptable for the side-effect-free
+        expression subset, and identical on the JVM and FPGA paths.
+        """
+        b = self.builder
+        if isinstance(node, sast.BinOp) and node.op in ("&&", "||"):
+            self._bool_operand(node.lhs)
+            self._bool_operand(node.rhs)
+            b.emit("iand" if node.op == "&&" else "ior")
+            return BOOLEAN
+        if isinstance(node, sast.UnOp) and node.op == "!":
+            self._bool_operand(node.operand)
+            b.emit("iconst_1")
+            b.emit("ixor")
+            return BOOLEAN
+        false_label = b.new_label("bfalse")
+        end_label = b.new_label("bend")
+        self.branch(node, None, false_label)
+        b.emit("iconst_1")
+        b.emit("goto", end_label)
+        b.label(false_label)
+        b.emit("iconst_0")
+        b.label(end_label)
+        return BOOLEAN
+
+    def _bool_operand(self, node: sast.Node) -> None:
+        """Push one operand of a materialized connective as 0/1."""
+        if isinstance(node, sast.BinOp) and (
+                node.op in _CMP_SUFFIX or node.op in ("&&", "||")):
+            self._bool_value(node)
+            return
+        if isinstance(node, sast.UnOp) and node.op == "!":
+            self._bool_value(node)
+            return
+        produced = self.expr(node)
+        if produced != BOOLEAN:
+            raise ScalaTypeError(
+                f"boolean operand expected at line {node.pos[0]}")
+
+    def _contains_or(self, node: sast.Node) -> bool:
+        """Does the boolean expression contain a disjunction anywhere?"""
+        if isinstance(node, sast.BinOp):
+            if node.op == "||":
+                return True
+            if node.op == "&&":
+                return (self._contains_or(node.lhs)
+                        or self._contains_or(node.rhs))
+        if isinstance(node, sast.UnOp) and node.op == "!":
+            return self._contains_or(node.operand)
+        return False
+
+    def condition_false_jump(self, node: sast.Node, on_false: str) -> None:
+        """Jump to ``on_false`` when the condition is false.
+
+        Conditions containing ``||`` are materialized as a boolean value
+        tested with a single ``ifeq`` — the bytecode-to-C structurer
+        recovers ``&&`` conjunct chains but would mis-shape the take-label
+        pattern of short-circuit disjunctions.
+        """
+        if self._contains_or(node):
+            produced = self.expr(node)
+            if produced != BOOLEAN:
+                raise ScalaTypeError(
+                    f"condition is not Boolean at line {node.pos[0]}")
+            self.builder.emit("ifeq", on_false)
+            return
+        self.branch(node, None, on_false)
+
+    def branch(self, node: sast.Node, on_true: Optional[str],
+               on_false: Optional[str]) -> None:
+        """Compile a condition; jump to the given label when it resolves.
+
+        Exactly one of ``on_true``/``on_false`` may be None, meaning
+        "fall through".
+        """
+        assert (on_true is None) != (on_false is None)
+        b = self.builder
+        if isinstance(node, sast.Lit) and node.tpe == BOOLEAN:
+            taken = on_true if node.value else on_false
+            if taken is not None:
+                b.emit("goto", taken)
+            return
+        if isinstance(node, sast.UnOp) and node.op == "!":
+            self.branch(node.operand, on_false, on_true)
+            return
+        if isinstance(node, sast.BinOp) and node.op == "&&":
+            if on_false is not None:
+                self.branch(node.lhs, None, on_false)
+                self.branch(node.rhs, None, on_false)
+            else:
+                skip = b.new_label("and_skip")
+                self.branch(node.lhs, None, skip)
+                self.branch(node.rhs, on_true, None)
+                b.label(skip)
+            return
+        if isinstance(node, sast.BinOp) and node.op == "||":
+            if on_true is not None:
+                self.branch(node.lhs, on_true, None)
+                self.branch(node.rhs, on_true, None)
+            else:
+                take = b.new_label("or_take")
+                self.branch(node.lhs, take, None)
+                self.branch(node.rhs, None, on_false)
+                b.label(take)
+            return
+        if isinstance(node, sast.BinOp) and node.op in _CMP_SUFFIX:
+            self._compare_branch(node, on_true, on_false)
+            return
+        # Generic Boolean value: test non-zero.
+        produced = self.expr(node)
+        if produced != BOOLEAN:
+            raise ScalaTypeError(
+                f"condition is not Boolean at line {node.pos[0]}")
+        if on_true is not None:
+            b.emit("ifne", on_true)
+        else:
+            b.emit("ifeq", on_false)
+
+    def _compare_branch(self, node: sast.BinOp, on_true: Optional[str],
+                        on_false: Optional[str]) -> None:
+        b = self.builder
+        from .types import promote
+        operand = promote(node.lhs.tpe, node.rhs.tpe) \
+            if node.lhs.tpe.is_numeric and node.rhs.tpe.is_numeric \
+            else node.lhs.tpe
+        lhs = self.expr(node.lhs)
+        self.coerce(lhs, operand)
+        rhs = self.expr(node.rhs)
+        self.coerce(rhs, operand)
+        op = node.op if on_true is not None else _NEGATED[node.op]
+        target = on_true if on_true is not None else on_false
+        suffix = _CMP_SUFFIX[op]
+        descriptor = operand.descriptor()
+        if descriptor in ("I", "C", "S", "B", "Z"):
+            b.emit(f"if_icmp{suffix}", target)
+        elif descriptor == "J":
+            b.emit("lcmp")
+            b.emit(f"if{suffix}", target)
+        else:
+            # fcmpl for > / >= so NaN yields false; fcmpg for < / <=.
+            variant = "l" if op in (">", ">=") else "g"
+            b.emit(f"{'f' if descriptor == 'F' else 'd'}cmp{variant}")
+            b.emit(f"if{suffix}", target)
+
+    # -- selections / applications ------------------------------------------
+
+    def _expr_Select(self, node: sast.Select) -> Type:
+        obj_type = node.obj.tpe
+        name = node.name
+        b = self.builder
+        if isinstance(obj_type, TupleType) and name.startswith("_"):
+            class_name = self.program.request_tuple(obj_type)
+            self.expr(node.obj)
+            b.emit("invokevirtual", class_name, name,
+                   f"(){node.tpe.descriptor()}")
+            return node.tpe
+        if name == "length":
+            self.expr(node.obj)
+            if isinstance(obj_type, StringType):
+                b.emit("invokevirtual", "java/lang/String", "length", "()I")
+            else:
+                b.emit("arraylength")
+            return INT
+        from .types import ClassType
+        if isinstance(obj_type, ClassType) \
+                and obj_type.name in self.program.typer.records:
+            self.expr(node.obj)
+            b.emit("getfield", obj_type.name, name,
+                   node.tpe.descriptor())
+            return node.tpe
+        if name.startswith("to"):  # conversions, validated by the typer
+            produced = self.expr(node.obj)
+            self.coerce(produced, node.tpe)
+            return node.tpe
+        raise UnsupportedConstructError(
+            f"codegen: unsupported selection .{name} at line {node.pos[0]}")
+
+    def _expr_NewObject(self, node: sast.NewObject) -> Type:
+        b = self.builder
+        fields = self.program.typer.records[node.class_name]
+        b.emit("new", node.class_name)
+        b.emit("dup")
+        for arg, (_, field_type) in zip(node.args, fields):
+            produced = self.expr(arg)
+            self.coerce(produced, field_type)
+        descriptor = ("(" + "".join(t.descriptor() for _, t in fields)
+                      + ")V")
+        b.emit("invokespecial", node.class_name, "<init>", descriptor)
+        return node.tpe
+
+    def _expr_Apply(self, node: sast.Apply) -> Type:
+        b = self.builder
+        fn = node.fn
+        fn_type = fn.tpe
+        # Array / string indexing.
+        if isinstance(fn, (sast.Ident, sast.Select, sast.Apply)) and \
+                isinstance(fn_type, ArrayType) is False and \
+                isinstance(fn_type, StringType):
+            self.expr(fn)
+            index = self.expr(node.args[0])
+            self.coerce(index, INT)
+            b.emit("invokevirtual", "java/lang/String", "charAt", "(I)C")
+            return CHAR
+        if isinstance(fn_type, ArrayType):
+            self.expr(fn)
+            index = self.expr(node.args[0])
+            self.coerce(index, INT)
+            b.emit(_ARRAY_LOAD.get(fn_type.elem.descriptor(), "aaload"))
+            return node.tpe
+        # charAt via explicit select.
+        if isinstance(fn, sast.Select) and fn.name == "charAt":
+            self.expr(fn.obj)
+            index = self.expr(node.args[0])
+            self.coerce(index, INT)
+            b.emit("invokevirtual", "java/lang/String", "charAt", "(I)C")
+            return CHAR
+        # Local function / same-class method call.
+        if isinstance(fn, sast.Ident):
+            name = fn.name
+            cls_name = self.cls.name if self.cls else None
+            func = (self.program.typer.functions.get((cls_name, name))
+                    or self.program.typer.functions.get((None, name)))
+            if func is None:
+                raise UnsupportedConstructError(
+                    f"codegen: unknown function {name!r}")
+            is_method = (cls_name, name) in self.program.typer.functions \
+                and cls_name is not None
+            if is_method:
+                b.emit("aload", 0)
+            for arg, p in zip(node.args, func.params):
+                produced = self.expr(arg)
+                self.coerce(produced, p.declared)
+            descriptor = (
+                "(" + "".join(p.declared.descriptor() for p in func.params)
+                + ")" + func.ret.descriptor()
+            )
+            if is_method:
+                b.emit("invokevirtual", cls_name, name, descriptor)
+            else:
+                b.emit("invokestatic", MODULE_CLASS, name, descriptor)
+            return func.ret
+        raise UnsupportedConstructError(
+            f"codegen: unsupported apply at line {node.pos[0]}")
+
+    def _expr_TupleExpr(self, node: sast.TupleExpr) -> Type:
+        tpe = node.tpe
+        assert isinstance(tpe, TupleType)
+        class_name = self.program.request_tuple(tpe)
+        b = self.builder
+        b.emit("new", class_name)
+        b.emit("dup")
+        for elem, elem_type in zip(node.elems, tpe.elems):
+            produced = self.expr(elem)
+            self.coerce(produced, elem_type)
+        descriptor = (
+            "(" + "".join(e.descriptor() for e in tpe.elems) + ")V")
+        b.emit("invokespecial", class_name, "<init>", descriptor)
+        return tpe
+
+    def _expr_NewArray(self, node: sast.NewArray) -> Type:
+        size = const_int(node.size)
+        self.builder.load_const_int(size)
+        self._emit_newarray(node.elem_type)
+        return node.tpe
+
+    def _emit_newarray(self, elem: Type) -> None:
+        descriptor = elem.descriptor()
+        if descriptor in ("I", "J", "F", "D", "S", "B", "C", "Z"):
+            atype = {"I": "int", "J": "long", "F": "float", "D": "double",
+                     "S": "short", "B": "byte", "C": "char",
+                     "Z": "boolean"}[descriptor]
+            self.builder.emit("newarray", ATYPE_CODES[atype])
+        else:
+            name = descriptor[1:-1] if descriptor.startswith("L") \
+                else descriptor
+            self.builder.emit("anewarray", name)
+
+    def _expr_ArrayLit(self, node: sast.ArrayLit) -> Type:
+        tpe = node.tpe
+        assert isinstance(tpe, ArrayType)
+        b = self.builder
+        b.load_const_int(len(node.elems))
+        self._emit_newarray(tpe.elem)
+        store = _ARRAY_STORE.get(tpe.elem.descriptor(), "aastore")
+        for i, elem in enumerate(node.elems):
+            b.emit("dup")
+            b.load_const_int(i)
+            produced = self.expr(elem)
+            self.coerce(produced, tpe.elem)
+            b.emit(store)
+        return tpe
+
+    def _expr_MathCall(self, node: sast.MathCall) -> Type:
+        b = self.builder
+        name = node.func
+        if name in ("exp", "log", "sqrt", "pow", "floor", "ceil"):
+            for arg in node.args:
+                produced = self.expr(arg)
+                self.coerce(produced, DOUBLE)
+            descriptor = "(DD)D" if name == "pow" else "(D)D"
+            b.emit("invokestatic", "java/lang/Math", name, descriptor)
+            return DOUBLE
+        # abs/min/max: typed overloads.
+        joined = node.tpe
+        for arg in node.args:
+            produced = self.expr(arg)
+            self.coerce(produced, joined)
+        d = joined.descriptor()
+        arg_part = d * len(node.args)
+        b.emit("invokestatic", "java/lang/Math", name, f"({arg_part}){d}")
+        return joined
+
+    # -- control flow --------------------------------------------------------
+
+    def _expr_IfExpr(self, node: sast.IfExpr) -> Type:
+        if node.tpe == UNIT:
+            self._if_stmt(node)
+            return UNIT
+        b = self.builder
+        else_label = b.new_label("else")
+        end_label = b.new_label("ifend")
+        self.condition_false_jump(node.cond, else_label)
+        then_type = self.expr(node.then)
+        self.coerce(then_type, node.tpe)
+        b.emit("goto", end_label)
+        b.label(else_label)
+        else_type = self.expr(node.orelse)
+        self.coerce(else_type, node.tpe)
+        b.label(end_label)
+        return node.tpe
+
+    def _if_stmt(self, node: sast.IfExpr) -> None:
+        b = self.builder
+        if node.orelse is None:
+            end_label = b.new_label("ifend")
+            self.condition_false_jump(node.cond, end_label)
+            self.statement(node.then)
+            b.label(end_label)
+            return
+        else_label = b.new_label("else")
+        end_label = b.new_label("ifend")
+        self.condition_false_jump(node.cond, else_label)
+        self.statement(node.then)
+        b.emit("goto", end_label)
+        b.label(else_label)
+        self.statement(node.orelse)
+        b.label(end_label)
+
+    def _expr_BlockExpr(self, node: sast.BlockExpr) -> Type:
+        if not node.stmts:
+            return UNIT
+        # Lexical scoping: names bound inside the block (including
+        # shadowing rebinds) must not leak out.  Slot numbers themselves
+        # stay allocated — only the name table is restored.
+        saved_slots = dict(self.slots)
+        try:
+            for stmt in node.stmts[:-1]:
+                self.statement(stmt)
+            last = node.stmts[-1]
+            if node.tpe == UNIT:
+                self.statement(last)
+                return UNIT
+            return self.expr(last)
+        finally:
+            self.slots = saved_slots
+
+    def _expr_ValDef(self, node: sast.ValDef) -> Type:
+        tpe = node.var_tpe
+        produced = self.expr(node.init)
+        self.coerce(produced, tpe)
+        slot = self._alloc(node.name, tpe)
+        self.builder.emit(f"{_prefix(tpe)}store", slot)
+        return UNIT
+
+    def _expr_AssignStmt(self, node: sast.AssignStmt) -> Type:
+        b = self.builder
+        if isinstance(node.lhs, sast.Ident):
+            name = node.lhs.name
+            if name in self.slots:
+                slot, tpe = self.slots[name]
+                produced = self.expr(node.rhs)
+                self.coerce(produced, tpe)
+                b.emit(f"{_prefix(tpe)}store", slot)
+                return UNIT
+            if name in self.field_types:
+                tpe = self.field_types[name]
+                b.emit("aload", 0)
+                produced = self.expr(node.rhs)
+                self.coerce(produced, tpe)
+                b.emit("putfield", self.cls.name, name, tpe.descriptor())
+                return UNIT
+            raise ScalaTypeError(f"codegen: unresolved assignment to {name}")
+        if isinstance(node.lhs, sast.Apply):
+            array_type = node.lhs.fn.tpe
+            if not isinstance(array_type, ArrayType):
+                raise ScalaTypeError(
+                    f"assignment to non-array at line {node.pos[0]}")
+            self.expr(node.lhs.fn)
+            index = self.expr(node.lhs.args[0])
+            self.coerce(index, INT)
+            produced = self.expr(node.rhs)
+            self.coerce(produced, array_type.elem)
+            b.emit(_ARRAY_STORE.get(array_type.elem.descriptor(), "aastore"))
+            return UNIT
+        raise ScalaTypeError(
+            f"codegen: invalid assignment target at line {node.pos[0]}")
+
+    def _expr_WhileStmt(self, node: sast.WhileStmt) -> Type:
+        b = self.builder
+        top = b.new_label("while")
+        end = b.new_label("wend")
+        b.label(top)
+        self.condition_false_jump(node.cond, end)
+        self.statement(node.body)
+        b.emit("goto", top)
+        b.label(end)
+        return UNIT
+
+    def _expr_ForRange(self, node: sast.ForRange) -> Type:
+        """Canonical counted loop (scalac's while-lowering of Range)."""
+        b = self.builder
+        start = self.expr(node.start)
+        self.coerce(start, INT)
+        var_slot = self._alloc(f"{node.var}@{id(node)}", INT)
+        self.slots[node.var] = (var_slot, INT)
+        b.emit("istore", var_slot)
+        # Hoist the bound into a temp (scalac evaluates it once).
+        bound = self.expr(node.bound)
+        self.coerce(bound, INT)
+        bound_slot = self._alloc_temp(INT)
+        b.emit("istore", bound_slot)
+        top = b.new_label("for")
+        end = b.new_label("fend")
+        b.label(top)
+        b.emit("iload", var_slot)
+        b.emit("iload", bound_slot)
+        b.emit("if_icmpgt" if node.inclusive else "if_icmpge", end)
+        self.statement(node.body)
+        b.emit("iinc", var_slot, 1)
+        b.emit("goto", top)
+        b.label(end)
+        del self.slots[node.var]
+        return UNIT
+
+
+from ..jvm.classfile import JMethod  # noqa: E402  (typing reference)
+
+
+def compile_program(source: str) -> tuple[sast.Program, list[JClass]]:
+    """Parse, type, and compile mini-Scala source to JVM classes."""
+    from .parser import parse
+
+    program = type_program(parse(source))
+    classes = ProgramCompiler(program).compile()
+    return program, classes

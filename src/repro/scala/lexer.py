@@ -1,0 +1,217 @@
+"""Tokenizer for the mini-Scala subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScalaSyntaxError
+
+KEYWORDS = frozenset({
+    "def", "val", "var", "while", "for", "if", "else", "new", "class",
+    "extends", "true", "false", "until", "to", "return", "import",
+    "package", "override",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<-", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>>", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+]
+
+_PUNCT = {"(": "LPAREN", ")": "RPAREN", "{": "LBRACE", "}": "RBRACE",
+          "[": "LBRACKET", "]": "RBRACKET", ",": "COMMA", ":": "COLON",
+          ";": "SEMI", ".": "DOT"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # IDENT, INT, FLOAT, DOUBLE, STRING, CHAR, OP, kw, punct
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Single-pass tokenizer with position tracking."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> ScalaSyntaxError:
+        return ScalaSyntaxError(message, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                        self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            return Token("INT", text, int(text, 16), line, column)
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start:self.pos]
+        if self._peek() in ("f", "F"):
+            self._advance()
+            return Token("FLOAT", text + "f", float(text), line, column)
+        if self._peek() in ("d", "D"):
+            self._advance()
+            return Token("DOUBLE", text + "d", float(text), line, column)
+        if self._peek() in ("l", "L"):
+            if is_float:
+                raise self._error("long suffix on a fractional literal")
+            self._advance()
+            return Token("LONG", text + "L", int(text), line, column)
+        if is_float:
+            return Token("DOUBLE", text, float(text), line, column)
+        return Token("INT", text, int(text), line, column)
+
+    def _lex_string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise self._error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                escape = self._peek()
+                mapped = {"n": "\n", "t": "\t", "\\": "\\", '"': '"',
+                          "'": "'", "0": "\0"}.get(escape)
+                if mapped is None:
+                    raise self._error(f"bad escape \\{escape}")
+                chars.append(mapped)
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        text = "".join(chars)
+        return Token("STRING", text, text, line, column)
+
+    def _lex_char(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            escape = self._peek()
+            mapped = {"n": "\n", "t": "\t", "\\": "\\", "'": "'",
+                      "0": "\0"}.get(escape)
+            if mapped is None:
+                raise self._error(f"bad escape \\{escape}")
+            ch = mapped
+        self._advance()
+        if self._peek() != "'":
+            raise self._error("unterminated char literal")
+        self._advance()
+        return Token("CHAR", ch, ord(ch), line, column)
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole source."""
+        result: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                result.append(Token("EOF", "", None, self.line, self.column))
+                return result
+            ch = self._peek()
+            line, column = self.line, self.column
+            if ch.isdigit():
+                result.append(self._lex_number())
+                continue
+            if ch == '"':
+                result.append(self._lex_string())
+                continue
+            if ch == "'":
+                result.append(self._lex_char())
+                continue
+            if ch.isalpha() or ch == "_":
+                start = self.pos
+                while self._peek().isalnum() or self._peek() in ("_", "$"):
+                    self._advance()
+                text = self.source[start:self.pos]
+                kind = text if text in KEYWORDS else "IDENT"
+                value: object = text
+                if text == "true":
+                    kind, value = "BOOL", True
+                elif text == "false":
+                    kind, value = "BOOL", False
+                result.append(Token(kind, text, value, line, column))
+                continue
+            if ch in _PUNCT:
+                self._advance()
+                result.append(Token(_PUNCT[ch], ch, ch, line, column))
+                continue
+            matched = False
+            for op in _OPERATORS:
+                if self.source.startswith(op, self.pos):
+                    self._advance(len(op))
+                    result.append(Token("OP", op, op, line, column))
+                    matched = True
+                    break
+            if not matched:
+                raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper."""
+    return Lexer(source).tokens()

@@ -1,0 +1,220 @@
+"""Scala-subset abstract syntax tree.
+
+Nodes carry an optional ``tpe`` attribute filled in by the typer.  The
+grammar covers what Spark/Blaze kernel methods need (Section 3.3 of the
+paper): expressions, ``val``/``var``, ``while``, ``for (i <- a until b)``,
+``if``/``else``, tuples, arrays with constant-size ``new``, ``String``
+access, math intrinsics, and kernel classes with constant fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .types import Type
+
+
+@dataclass
+class Node:
+    """Base class; ``pos`` is (line, column) for error messages."""
+
+    pos: tuple[int, int] = field(default=(0, 0), kw_only=True)
+    tpe: Optional[Type] = field(default=None, kw_only=True)
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Lit(Node):
+    """Literal: int, float, bool, char (as int code) or string."""
+
+    value: object
+
+
+@dataclass
+class Ident(Node):
+    name: str
+
+
+@dataclass
+class Select(Node):
+    """``obj.name`` — tuple accessors, ``length``, conversions, fields."""
+
+    obj: Node
+    name: str
+
+
+@dataclass
+class Apply(Node):
+    """``fn(args)`` — array indexing, method call, or function call."""
+
+    fn: Node
+    args: list[Node]
+
+
+@dataclass
+class BinOp(Node):
+    op: str
+    lhs: Node
+    rhs: Node
+
+
+@dataclass
+class UnOp(Node):
+    op: str
+    operand: Node
+
+
+@dataclass
+class TupleExpr(Node):
+    elems: list[Node]
+
+
+@dataclass
+class NewArray(Node):
+    """``new Array[T](size)`` — size must be a compile-time constant."""
+
+    elem_type: Type
+    size: Node
+
+
+@dataclass
+class ArrayLit(Node):
+    """``Array(v1, v2, ...)`` — constant table literal."""
+
+    elems: list[Node]
+
+
+@dataclass
+class NewObject(Node):
+    """``new RecordClass(args)`` — construct a record-class instance."""
+
+    class_name: str
+    args: list[Node]
+
+
+@dataclass
+class IfExpr(Node):
+    cond: Node
+    then: Node
+    orelse: Optional[Node]
+
+
+@dataclass
+class BlockExpr(Node):
+    """``{ stmt; stmt; result }`` — value is the last expression."""
+
+    stmts: list[Node]
+
+
+@dataclass
+class MathCall(Node):
+    """``math.f(args)`` — whitelisted intrinsic."""
+
+    func: str
+    args: list[Node]
+
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass
+class ValDef(Node):
+    """``val``/``var`` definition.
+
+    ``var_tpe`` is the type of the *variable* (``tpe`` on statements is
+    always Unit) — filled in by the typer.
+    """
+
+    name: str
+    declared: Optional[Type]
+    init: Node
+    mutable: bool = False
+    var_tpe: Optional[Type] = field(default=None, kw_only=True)
+
+
+@dataclass
+class AssignStmt(Node):
+    """``x = v`` or ``a(i) = v``."""
+
+    lhs: Node
+    rhs: Node
+
+
+@dataclass
+class WhileStmt(Node):
+    cond: Node
+    body: Node
+
+
+@dataclass
+class ForRange(Node):
+    """``for (v <- from until bound) body`` (inclusive when ``to``)."""
+
+    var: str
+    start: Node
+    bound: Node
+    inclusive: bool
+    body: Node
+
+
+# -- definitions -------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str
+    declared: Type
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    params: list[Param]
+    ret: Optional[Type]
+    body: Node
+
+
+@dataclass
+class FieldDef(Node):
+    """``val name: T = init`` at class level — becomes an instance field."""
+
+    name: str
+    declared: Optional[Type]
+    init: Node
+
+
+@dataclass
+class ClassDef(Node):
+    """A kernel class, optionally ``extends Accelerator[In, Out]``.
+
+    ``record_fields`` is non-empty for *record classes* — plain composite
+    types declared as ``class Point(x: Float, y: Float)`` — which the
+    compiler flattens like tuples (the "S2FA class template" of the
+    paper's Section 3.3).
+    """
+
+    name: str
+    parent: Optional[str]
+    type_args: list[Type]
+    fields: list[FieldDef]
+    methods: list[FuncDef]
+    record_fields: list["Param"] = field(default_factory=list)
+
+    @property
+    def is_record(self) -> bool:
+        return bool(self.record_fields)
+
+    def method(self, name: str) -> FuncDef:
+        for m in self.methods:
+            if m.name == name:
+                return m
+        raise KeyError(f"class {self.name} has no method {name}")
+
+
+@dataclass
+class Program(Node):
+    classes: list[ClassDef] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

@@ -1,0 +1,510 @@
+"""Type checker / inferencer for the mini-Scala subset.
+
+Annotates every node's ``tpe`` in place and validates the Section 3.3
+restrictions (constant-size allocation, no unknown library calls).  The
+typer is deliberately strict: anything outside the supported subset raises
+:class:`~repro.errors.UnsupportedConstructError` or
+:class:`~repro.errors.ScalaTypeError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ScalaTypeError, UnsupportedConstructError
+from . import sast
+from .types import (
+    ArrayType,
+    BOOLEAN,
+    CHAR,
+    ClassType,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    Primitive,
+    STRING,
+    StringType,
+    TupleType,
+    Type,
+    UNIT,
+    promote,
+)
+
+#: math.* intrinsics and their (arity, return type).
+MATH_FUNCS = {
+    "exp": (1, DOUBLE), "log": (1, DOUBLE), "sqrt": (1, DOUBLE),
+    "abs": (1, None), "min": (2, None), "max": (2, None),
+    "pow": (2, DOUBLE), "floor": (1, DOUBLE), "ceil": (1, DOUBLE),
+}
+
+_CONVERSIONS = {
+    "toInt": INT, "toLong": LONG, "toFloat": FLOAT,
+    "toDouble": DOUBLE, "toChar": CHAR, "toShort": INT,
+}
+
+
+@dataclass
+class Symbol:
+    tpe: Type
+    mutable: bool
+    kind: str  # "local" | "param" | "field" | "loopvar"
+
+
+class Scope:
+    """Lexically nested symbol table."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.symbols: dict[str, Symbol] = {}
+
+    def define(self, name: str, symbol: Symbol, pos: tuple[int, int]) -> None:
+        if name in self.symbols:
+            raise ScalaTypeError(
+                f"duplicate definition of {name!r} at line {pos[0]}")
+        self.symbols[name] = symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class Typer:
+    """Checks one :class:`~repro.scala.sast.Program`."""
+
+    def __init__(self, program: sast.Program):
+        self.program = program
+        #: (class_name or None, method_name) -> FuncDef
+        self.functions: dict[tuple[Optional[str], str], sast.FuncDef] = {}
+        #: record classes: name -> ordered (field name, type) pairs
+        self.records: dict[str, list[tuple[str, Type]]] = {}
+        for func in program.functions:
+            self.functions[(None, func.name)] = func
+        for cls in program.classes:
+            if cls.is_record:
+                if cls.methods or cls.fields:
+                    raise UnsupportedConstructError(
+                        f"record class {cls.name} may not declare methods "
+                        f"or val fields (line {cls.pos[0]})")
+                for p in cls.record_fields:
+                    if not isinstance(p.declared,
+                                      (Primitive, StringType, ArrayType)):
+                        raise UnsupportedConstructError(
+                            f"record field {cls.name}.{p.name} must be a "
+                            f"primitive, String, or Array (nested "
+                            f"composites are not supported)")
+                self.records[cls.name] = [
+                    (p.name, p.declared) for p in cls.record_fields]
+                continue
+            for method in cls.methods:
+                self.functions[(cls.name, method.name)] = method
+
+    # ------------------------------------------------------------------
+
+    def check(self) -> sast.Program:
+        """Type the whole program in place and return it."""
+        for func in self.program.functions:
+            self._check_function(func, cls=None)
+        for cls in self.program.classes:
+            if not cls.is_record:
+                self._check_class(cls)
+        return self.program
+
+    def _check_class(self, cls: sast.ClassDef) -> None:
+        field_scope = Scope()
+        for fdef in cls.fields:
+            init_type = self._type_expr(fdef.init, field_scope, cls)
+            tpe = fdef.declared or init_type
+            if fdef.declared is not None:
+                self._require_assignable(init_type, fdef.declared, fdef.pos)
+            fdef.tpe = tpe
+            field_scope.define(
+                fdef.name, Symbol(tpe, mutable=False, kind="field"), fdef.pos)
+        for method in cls.methods:
+            self._check_function(method, cls, field_scope)
+
+    def _check_function(self, func: sast.FuncDef, cls: Optional[sast.ClassDef],
+                        field_scope: Optional[Scope] = None) -> None:
+        scope = Scope(field_scope)
+        for p in func.params:
+            p.tpe = p.declared
+            scope.define(p.name,
+                         Symbol(p.declared, mutable=False, kind="param"),
+                         p.pos)
+        body_type = self._type_expr(func.body, scope, cls)
+        if func.ret is None:
+            func.ret = body_type
+        else:
+            self._require_assignable(body_type, func.ret, func.pos)
+        func.tpe = func.ret
+
+    # ------------------------------------------------------------------
+    # Expression typing
+    # ------------------------------------------------------------------
+
+    def _type_expr(self, node: sast.Node, scope: Scope,
+                   cls: Optional[sast.ClassDef]) -> Type:
+        method = getattr(self, f"_type_{type(node).__name__}", None)
+        if method is None:
+            raise UnsupportedConstructError(
+                f"cannot type {type(node).__name__} at line {node.pos[0]}")
+        tpe = method(node, scope, cls)
+        node.tpe = tpe
+        return tpe
+
+    def _type_Lit(self, node: sast.Lit, scope: Scope, cls) -> Type:
+        return node.tpe  # set by the parser
+
+    def _type_Ident(self, node: sast.Ident, scope: Scope, cls) -> Type:
+        symbol = scope.lookup(node.name)
+        if symbol is None:
+            raise ScalaTypeError(
+                f"undefined name {node.name!r} at line {node.pos[0]}")
+        return symbol.tpe
+
+    def _type_BinOp(self, node: sast.BinOp, scope: Scope, cls) -> Type:
+        lhs = self._type_expr(node.lhs, scope, cls)
+        rhs = self._type_expr(node.rhs, scope, cls)
+        op = node.op
+        if op in ("&&", "||"):
+            if lhs != BOOLEAN or rhs != BOOLEAN:
+                raise ScalaTypeError(
+                    f"{op} requires Boolean operands at line {node.pos[0]}")
+            return BOOLEAN
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lhs == BOOLEAN and rhs == BOOLEAN and op in ("==", "!="):
+                return BOOLEAN
+            promote(lhs, rhs)  # raises if not comparable
+            return BOOLEAN
+        if op in ("<<", ">>", ">>>"):
+            if not (lhs.is_integral and rhs.is_integral):
+                raise ScalaTypeError(
+                    f"shift requires integral operands at line {node.pos[0]}")
+            return lhs if lhs in (INT, LONG) else INT
+        if op in ("&", "|", "^"):
+            if lhs == BOOLEAN and rhs == BOOLEAN:
+                return BOOLEAN
+            if not (lhs.is_integral and rhs.is_integral):
+                raise ScalaTypeError(
+                    f"bitwise {op} requires integral operands at "
+                    f"line {node.pos[0]}")
+            return promote(lhs, rhs)
+        # + - * / %
+        return promote(lhs, rhs)
+
+    def _type_UnOp(self, node: sast.UnOp, scope: Scope, cls) -> Type:
+        operand = self._type_expr(node.operand, scope, cls)
+        if node.op == "!":
+            if operand != BOOLEAN:
+                raise ScalaTypeError(
+                    f"! requires Boolean at line {node.pos[0]}")
+            return BOOLEAN
+        if node.op == "~":
+            if not operand.is_integral:
+                raise ScalaTypeError(
+                    f"~ requires integral at line {node.pos[0]}")
+            return INT if operand == CHAR else operand
+        if not operand.is_numeric:
+            raise ScalaTypeError(
+                f"unary - requires numeric at line {node.pos[0]}")
+        return INT if operand == CHAR else operand
+
+    def _type_Select(self, node: sast.Select, scope: Scope, cls) -> Type:
+        obj = self._type_expr(node.obj, scope, cls)
+        name = node.name
+        if isinstance(obj, TupleType) and name.startswith("_"):
+            index = int(name[1:])
+            if not 1 <= index <= len(obj.elems):
+                raise ScalaTypeError(
+                    f"tuple has no element {name} at line {node.pos[0]}")
+            return obj.elems[index - 1]
+        if name == "length":
+            if isinstance(obj, (ArrayType, StringType)):
+                return INT
+            raise ScalaTypeError(
+                f".length on non-array {obj} at line {node.pos[0]}")
+        if name in _CONVERSIONS:
+            if not (obj.is_numeric or obj == CHAR):
+                raise ScalaTypeError(
+                    f".{name} on non-numeric {obj} at line {node.pos[0]}")
+            return _CONVERSIONS[name]
+        if isinstance(obj, ClassType) and obj.name in self.records:
+            for field_name, field_type in self.records[obj.name]:
+                if field_name == name:
+                    return field_type
+            raise ScalaTypeError(
+                f"record {obj.name} has no field {name!r} at "
+                f"line {node.pos[0]}")
+        raise UnsupportedConstructError(
+            f"unsupported selection .{name} on {obj} at line {node.pos[0]} "
+            f"(library calls are not supported; see paper Section 3.3)")
+
+    def _type_NewObject(self, node: sast.NewObject, scope: Scope,
+                        cls) -> Type:
+        if node.class_name not in self.records:
+            raise UnsupportedConstructError(
+                f"'new {node.class_name}' at line {node.pos[0]}: only "
+                f"record classes and 'new Array[T](n)' can be constructed")
+        fields = self.records[node.class_name]
+        if len(node.args) != len(fields):
+            raise ScalaTypeError(
+                f"{node.class_name} takes {len(fields)} arguments at "
+                f"line {node.pos[0]}")
+        for arg, (_, field_type) in zip(node.args, fields):
+            arg_type = self._type_expr(arg, scope, cls)
+            self._require_assignable(arg_type, field_type, node.pos)
+        return ClassType(node.class_name)
+
+    def _type_Apply(self, node: sast.Apply, scope: Scope, cls) -> Type:
+        # Array indexing: a(i)
+        if isinstance(node.fn, (sast.Ident, sast.Select, sast.Apply)):
+            fn_type = self._try_type(node.fn, scope, cls)
+            if isinstance(fn_type, ArrayType):
+                self._type_expr(node.fn, scope, cls)
+                if len(node.args) != 1:
+                    raise ScalaTypeError(
+                        f"array indexing takes one index at "
+                        f"line {node.pos[0]}")
+                index = self._type_expr(node.args[0], scope, cls)
+                if not index.is_integral:
+                    raise ScalaTypeError(
+                        f"array index must be integral at line {node.pos[0]}")
+                return fn_type.elem
+            if isinstance(fn_type, StringType):
+                self._type_expr(node.fn, scope, cls)
+                if len(node.args) != 1:
+                    raise ScalaTypeError(
+                        f"string indexing takes one index at "
+                        f"line {node.pos[0]}")
+                self._type_expr(node.args[0], scope, cls)
+                return CHAR
+        # String.charAt
+        if isinstance(node.fn, sast.Select) and node.fn.name == "charAt":
+            obj = self._type_expr(node.fn.obj, scope, cls)
+            if not isinstance(obj, StringType):
+                raise ScalaTypeError(
+                    f".charAt on non-String at line {node.pos[0]}")
+            self._type_expr(node.args[0], scope, cls)
+            node.fn.tpe = CHAR
+            return CHAR
+        # Local function / method call.
+        if isinstance(node.fn, sast.Ident):
+            name = node.fn.name
+            func = (self.functions.get((cls.name if cls else None, name))
+                    or self.functions.get((None, name)))
+            if func is not None:
+                if len(node.args) != len(func.params):
+                    raise ScalaTypeError(
+                        f"{name} expects {len(func.params)} args at "
+                        f"line {node.pos[0]}")
+                for arg, p in zip(node.args, func.params):
+                    arg_type = self._type_expr(arg, scope, cls)
+                    self._require_assignable(arg_type, p.declared, node.pos)
+                if func.ret is None:
+                    raise ScalaTypeError(
+                        f"call to {name} before its return type is known; "
+                        f"declare the return type explicitly at "
+                        f"line {node.pos[0]}")
+                node.fn.tpe = func.ret
+                return func.ret
+            raise UnsupportedConstructError(
+                f"call to unknown function {name!r} at line {node.pos[0]} "
+                f"(library calls are not supported)")
+        if isinstance(node.fn, sast.Select):
+            # Surface the Select's own diagnostic (library-call rejection).
+            self._type_expr(node.fn, scope, cls)
+        if isinstance(node.fn, sast.ArrayLit):
+            lit_type = self._type_expr(node.fn, scope, cls)
+            self._type_expr(node.args[0], scope, cls)
+            return lit_type.elem
+        raise UnsupportedConstructError(
+            f"unsupported call target at line {node.pos[0]}")
+
+    def _try_type(self, node: sast.Node, scope: Scope, cls) -> Optional[Type]:
+        """Type an expression speculatively, returning None on failure."""
+        try:
+            return self._type_expr(node, scope, cls)
+        except (ScalaTypeError, UnsupportedConstructError):
+            return None
+
+    def _type_TupleExpr(self, node: sast.TupleExpr, scope: Scope, cls) -> Type:
+        elems = tuple(self._type_expr(e, scope, cls) for e in node.elems)
+        return TupleType(elems)
+
+    def _type_NewArray(self, node: sast.NewArray, scope: Scope, cls) -> Type:
+        size = self._type_expr(node.size, scope, cls)
+        if not size.is_integral:
+            raise ScalaTypeError(
+                f"array size must be integral at line {node.pos[0]}")
+        if const_int(node.size) is None:
+            raise UnsupportedConstructError(
+                f"'new Array' requires a constant size at line {node.pos[0]} "
+                f"(dynamic allocation is not supported on the FPGA)")
+        return ArrayType(node.elem_type)
+
+    def _type_ArrayLit(self, node: sast.ArrayLit, scope: Scope, cls) -> Type:
+        if not node.elems:
+            raise ScalaTypeError(
+                f"empty Array(...) literal at line {node.pos[0]}")
+        elem_types = [self._type_expr(e, scope, cls) for e in node.elems]
+        joined = elem_types[0]
+        for t in elem_types[1:]:
+            joined = promote(joined, t)
+        return ArrayType(joined)
+
+    def _type_IfExpr(self, node: sast.IfExpr, scope: Scope, cls) -> Type:
+        cond = self._type_expr(node.cond, scope, cls)
+        if cond != BOOLEAN:
+            raise ScalaTypeError(
+                f"if condition must be Boolean at line {node.pos[0]}")
+        then = self._type_expr(node.then, Scope(scope), cls)
+        if node.orelse is None:
+            return UNIT
+        orelse = self._type_expr(node.orelse, Scope(scope), cls)
+        if then == orelse:
+            return then
+        if then == UNIT or orelse == UNIT:
+            return UNIT
+        return promote(then, orelse)
+
+    def _type_BlockExpr(self, node: sast.BlockExpr, scope: Scope, cls) -> Type:
+        inner = Scope(scope)
+        result = UNIT
+        for stmt in node.stmts:
+            result = self._type_expr(stmt, inner, cls)
+        return result if node.stmts else UNIT
+
+    def _type_MathCall(self, node: sast.MathCall, scope: Scope, cls) -> Type:
+        if node.func not in MATH_FUNCS:
+            raise UnsupportedConstructError(
+                f"math.{node.func} is not a supported intrinsic at "
+                f"line {node.pos[0]}")
+        arity, ret = MATH_FUNCS[node.func]
+        if len(node.args) != arity:
+            raise ScalaTypeError(
+                f"math.{node.func} expects {arity} args at "
+                f"line {node.pos[0]}")
+        arg_types = [self._type_expr(a, scope, cls) for a in node.args]
+        for t in arg_types:
+            if not t.is_numeric:
+                raise ScalaTypeError(
+                    f"math.{node.func} requires numeric args at "
+                    f"line {node.pos[0]}")
+        if ret is not None:
+            return ret
+        # abs/min/max are polymorphic over their argument types.
+        joined = arg_types[0]
+        for t in arg_types[1:]:
+            joined = promote(joined, t)
+        return joined
+
+    # -- statements -----------------------------------------------------
+
+    def _type_ValDef(self, node: sast.ValDef, scope: Scope, cls) -> Type:
+        init = self._type_expr(node.init, scope, cls)
+        tpe = node.declared or init
+        if node.declared is not None:
+            self._require_assignable(init, node.declared, node.pos)
+        scope.define(node.name,
+                     Symbol(tpe, mutable=node.mutable, kind="local"),
+                     node.pos)
+        node.var_tpe = tpe
+        return UNIT
+
+    def _type_AssignStmt(self, node: sast.AssignStmt, scope: Scope,
+                         cls) -> Type:
+        rhs = self._type_expr(node.rhs, scope, cls)
+        if isinstance(node.lhs, sast.Ident):
+            symbol = scope.lookup(node.lhs.name)
+            if symbol is None:
+                raise ScalaTypeError(
+                    f"undefined name {node.lhs.name!r} at line {node.pos[0]}")
+            if not symbol.mutable:
+                raise ScalaTypeError(
+                    f"reassignment to val {node.lhs.name!r} at "
+                    f"line {node.pos[0]}")
+            node.lhs.tpe = symbol.tpe
+            self._require_assignable(rhs, symbol.tpe, node.pos)
+            return UNIT
+        if isinstance(node.lhs, sast.Apply):
+            lhs = self._type_expr(node.lhs, scope, cls)
+            self._require_assignable(rhs, lhs, node.pos)
+            return UNIT
+        raise ScalaTypeError(
+            f"invalid assignment target at line {node.pos[0]}")
+
+    def _type_WhileStmt(self, node: sast.WhileStmt, scope: Scope, cls) -> Type:
+        cond = self._type_expr(node.cond, scope, cls)
+        if cond != BOOLEAN:
+            raise ScalaTypeError(
+                f"while condition must be Boolean at line {node.pos[0]}")
+        self._type_expr(node.body, Scope(scope), cls)
+        return UNIT
+
+    def _type_ForRange(self, node: sast.ForRange, scope: Scope, cls) -> Type:
+        for bound in (node.start, node.bound):
+            t = self._type_expr(bound, scope, cls)
+            if not t.is_integral:
+                raise ScalaTypeError(
+                    f"for-range bounds must be integral at "
+                    f"line {node.pos[0]}")
+        inner = Scope(scope)
+        inner.define(node.var, Symbol(INT, mutable=False, kind="loopvar"),
+                     node.pos)
+        self._type_expr(node.body, inner, cls)
+        return UNIT
+
+    # ------------------------------------------------------------------
+
+    def _require_assignable(self, source: Type, target: Type,
+                            pos: tuple[int, int]) -> None:
+        if source == target:
+            return
+        # S2FA models String as a fixed-capacity char buffer, so a char
+        # array is an acceptable String (Code 2 builds its output
+        # alignment strings this way).
+        if isinstance(target, StringType) and source == ArrayType(CHAR):
+            return
+        if source.is_numeric and target.is_numeric:
+            if promote(source, target) == target:
+                return
+            raise ScalaTypeError(
+                f"implicit narrowing from {source} to {target} at "
+                f"line {pos[0]}; use an explicit .to{target} conversion")
+        if isinstance(source, TupleType) and isinstance(target, TupleType):
+            if len(source.elems) == len(target.elems):
+                for s, t in zip(source.elems, target.elems):
+                    self._require_assignable(s, t, pos)
+                return
+        raise ScalaTypeError(
+            f"cannot assign {source} to {target} at line {pos[0]}")
+
+
+def const_int(node: sast.Node) -> Optional[int]:
+    """Evaluate a compile-time constant integer expression."""
+    if isinstance(node, sast.Lit) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, sast.UnOp) and node.op == "-":
+        inner = const_int(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, sast.BinOp):
+        lhs, rhs = const_int(node.lhs), const_int(node.rhs)
+        if lhs is None or rhs is None:
+            return None
+        ops = {"+": lhs + rhs, "-": lhs - rhs, "*": lhs * rhs}
+        if node.op in ops:
+            return ops[node.op]
+        if node.op == "/" and rhs != 0:
+            return lhs // rhs
+    return None
+
+
+def type_program(program: sast.Program) -> sast.Program:
+    """Convenience wrapper: type a parsed program."""
+    return Typer(program).check()

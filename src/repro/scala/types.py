@@ -1,0 +1,167 @@
+"""Type system of the mini-Scala subset S2FA accepts.
+
+The supported types mirror Section 3.3 of the paper: all primitives,
+``Array[T]``, ``String``, tuples (the "widely used classes already defined
+in S2FA"), and user kernel classes.  Every type knows its JVM descriptor,
+which is the contract between the frontend and the bytecode layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScalaTypeError
+from ..jvm.stdlib import tuple_class_name
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for mini-Scala types."""
+
+    def descriptor(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def is_numeric(self) -> bool:
+        return False
+
+    @property
+    def is_integral(self) -> bool:
+        return False
+
+    @property
+    def is_floating(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Primitive(Type):
+    name: str
+    _descriptor: str
+
+    def descriptor(self) -> str:
+        return self._descriptor
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.name in ("Int", "Long", "Float", "Double", "Char", "Short")
+
+    @property
+    def is_integral(self) -> bool:
+        return self.name in ("Int", "Long", "Char", "Short")
+
+    @property
+    def is_floating(self) -> bool:
+        return self.name in ("Float", "Double")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = Primitive("Int", "I")
+LONG = Primitive("Long", "J")
+FLOAT = Primitive("Float", "F")
+DOUBLE = Primitive("Double", "D")
+BOOLEAN = Primitive("Boolean", "Z")
+CHAR = Primitive("Char", "C")
+SHORT = Primitive("Short", "S")
+UNIT = Primitive("Unit", "V")
+
+_PRIMITIVES = {p.name: p for p in
+               (INT, LONG, FLOAT, DOUBLE, BOOLEAN, CHAR, SHORT, UNIT)}
+
+
+@dataclass(frozen=True)
+class StringType(Type):
+    """``String`` — treated by S2FA as a fixed-capacity char buffer."""
+
+    def descriptor(self) -> str:
+        return "Ljava/lang/String;"
+
+    def __str__(self) -> str:
+        return "String"
+
+
+STRING = StringType()
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    elem: Type
+
+    def descriptor(self) -> str:
+        return "[" + self.elem.descriptor()
+
+    def __str__(self) -> str:
+        return f"Array[{self.elem}]"
+
+
+@dataclass(frozen=True)
+class TupleType(Type):
+    elems: tuple[Type, ...]
+
+    def descriptor(self) -> str:
+        return f"L{self.class_name()};"
+
+    def class_name(self) -> str:
+        """Name of the specialized JVM tuple class backing this type."""
+        return tuple_class_name(tuple(e.descriptor() for e in self.elems))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(e) for e in self.elems)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    name: str
+
+    def descriptor(self) -> str:
+        return f"L{self.name};"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def primitive(name: str) -> Primitive:
+    try:
+        return _PRIMITIVES[name]
+    except KeyError:
+        raise ScalaTypeError(f"unknown primitive type {name}") from None
+
+
+def is_primitive_name(name: str) -> bool:
+    return name in _PRIMITIVES
+
+
+#: Widening order for numeric promotion in mixed arithmetic.
+_NUMERIC_RANK = {CHAR: 0, SHORT: 0, INT: 1, LONG: 2, FLOAT: 3, DOUBLE: 4}
+
+
+def promote(a: Type, b: Type) -> Type:
+    """Binary numeric promotion (Java/Scala rules for our subset)."""
+    if a == b and a not in (CHAR, SHORT):
+        return a
+    if a not in _NUMERIC_RANK or b not in _NUMERIC_RANK:
+        if a == b:
+            return a
+        raise ScalaTypeError(f"cannot combine {a} and {b} numerically")
+    winner = a if _NUMERIC_RANK[a] >= _NUMERIC_RANK[b] else b
+    # Char/Short widen at least to Int in arithmetic.
+    return INT if _NUMERIC_RANK[winner] == 0 else winner
+
+
+def from_descriptor(descriptor: str) -> Type:
+    """JVM descriptor -> mini-Scala type (for tuples: by class name)."""
+    simple = {
+        "I": INT, "J": LONG, "F": FLOAT, "D": DOUBLE,
+        "Z": BOOLEAN, "C": CHAR, "S": SHORT, "V": UNIT,
+        "Ljava/lang/String;": STRING,
+    }
+    if descriptor in simple:
+        return simple[descriptor]
+    if descriptor.startswith("["):
+        return ArrayType(from_descriptor(descriptor[1:]))
+    if descriptor.startswith("L") and descriptor.endswith(";"):
+        return ClassType(descriptor[1:-1])
+    raise ScalaTypeError(f"cannot map descriptor {descriptor!r} to a type")

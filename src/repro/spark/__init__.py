@@ -1,0 +1,3 @@
+"""Mini-Spark substrate: RDDs with lazy lineage and partitions."""
+
+from .rdd import RDD, ParallelCollectionRDD, SparkContext  # noqa: F401

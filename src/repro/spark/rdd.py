@@ -1,0 +1,238 @@
+"""Resilient distributed datasets: the mini-Spark substrate.
+
+Implements the RDD semantics Blaze plugs into: lazy transformations with
+lineage, partitioned evaluation, in-memory caching, and the actions the
+evaluation applications use.  Everything runs single-process (the paper's
+baseline is a *single-threaded* Spark executor, footnote in Section 5.2),
+but partitioning is real so the Blaze offload path batches per partition
+exactly as the real runtime does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, TypeVar
+
+from ..errors import S2FAError
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+class RDD:
+    """A lazily evaluated, partitioned dataset."""
+
+    _next_id = 0
+
+    def __init__(self, context: "SparkContext", num_partitions: int,
+                 name: str):
+        self.context = context
+        self.num_partitions = num_partitions
+        self.name = name
+        self._cache: Optional[list[list]] = None
+        self._cached = False
+        RDD._next_id += 1
+        self.id = RDD._next_id
+
+    # -- to be provided by subclasses -----------------------------------
+
+    def compute(self, partition: int) -> list:
+        """Materialize one partition."""
+        raise NotImplementedError
+
+    # -- caching ---------------------------------------------------------
+
+    def cache(self) -> "RDD":
+        """Mark for in-memory caching on first materialization."""
+        self._cached = True
+        return self
+
+    def unpersist(self) -> "RDD":
+        self._cached = False
+        self._cache = None
+        return self
+
+    def partition_data(self, partition: int) -> list:
+        if not 0 <= partition < self.num_partitions:
+            raise S2FAError(
+                f"partition {partition} out of range for {self.name}")
+        if self._cached:
+            if self._cache is None:
+                self._cache = [None] * self.num_partitions
+            if self._cache[partition] is None:
+                self._cache[partition] = self.compute(partition)
+            return self._cache[partition]
+        return self.compute(partition)
+
+    # -- transformations (lazy) ------------------------------------------
+
+    def map(self, fn: Callable[[T], U]) -> "RDD":
+        return MappedRDD(self, fn)
+
+    def filter(self, fn: Callable[[T], bool]) -> "RDD":
+        return FilteredRDD(self, fn)
+
+    def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "RDD":
+        return FlatMappedRDD(self, fn)
+
+    def map_partitions(self, fn: Callable[[list], list]) -> "RDD":
+        return MapPartitionsRDD(self, fn)
+
+    def zip_with_index(self) -> "RDD":
+        return ZipWithIndexRDD(self)
+
+    # -- actions (eager) ---------------------------------------------------
+
+    def collect(self) -> list:
+        result: list = []
+        for p in range(self.num_partitions):
+            result.extend(self.partition_data(p))
+        return result
+
+    def count(self) -> int:
+        return sum(len(self.partition_data(p))
+                   for p in range(self.num_partitions))
+
+    def take(self, n: int) -> list:
+        taken: list = []
+        for p in range(self.num_partitions):
+            for item in self.partition_data(p):
+                taken.append(item)
+                if len(taken) == n:
+                    return taken
+        return taken
+
+    def first(self):
+        items = self.take(1)
+        if not items:
+            raise S2FAError(f"RDD {self.name} is empty")
+        return items[0]
+
+    def reduce(self, fn: Callable[[T, T], T]):
+        accumulator = None
+        empty = True
+        for p in range(self.num_partitions):
+            for item in self.partition_data(p):
+                if empty:
+                    accumulator = item
+                    empty = False
+                else:
+                    accumulator = fn(accumulator, item)
+        if empty:
+            raise S2FAError(f"reduce on empty RDD {self.name}")
+        return accumulator
+
+    def sum(self):
+        return sum(self.collect())
+
+    def reduce_by_key(self, fn: Callable) -> "RDD":
+        """Group (k, v) pairs and fold values per key (hash-combined)."""
+        combined: dict = {}
+        for p in range(self.num_partitions):
+            for key, value in self.partition_data(p):
+                if key in combined:
+                    combined[key] = fn(combined[key], value)
+                else:
+                    combined[key] = value
+        return self.context.parallelize(
+            sorted(combined.items()), self.num_partitions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} " \
+               f"partitions={self.num_partitions}>"
+
+
+class ParallelCollectionRDD(RDD):
+    """Source RDD over an in-memory collection."""
+
+    def __init__(self, context: "SparkContext", data: list,
+                 num_partitions: int):
+        super().__init__(context, num_partitions,
+                         f"parallelize-{len(data)}")
+        self._slices: list[list] = [[] for _ in range(num_partitions)]
+        base = len(data) // num_partitions
+        extra = len(data) % num_partitions
+        start = 0
+        for i in range(num_partitions):
+            size = base + (1 if i < extra else 0)
+            self._slices[i] = list(data[start:start + size])
+            start += size
+
+    def compute(self, partition: int) -> list:
+        return list(self._slices[partition])
+
+
+class MappedRDD(RDD):
+    def __init__(self, parent: RDD, fn: Callable):
+        super().__init__(parent.context, parent.num_partitions,
+                         f"{parent.name}.map")
+        self.parent = parent
+        self.fn = fn
+
+    def compute(self, partition: int) -> list:
+        return [self.fn(x) for x in self.parent.partition_data(partition)]
+
+
+class FilteredRDD(RDD):
+    def __init__(self, parent: RDD, fn: Callable):
+        super().__init__(parent.context, parent.num_partitions,
+                         f"{parent.name}.filter")
+        self.parent = parent
+        self.fn = fn
+
+    def compute(self, partition: int) -> list:
+        return [x for x in self.parent.partition_data(partition)
+                if self.fn(x)]
+
+
+class FlatMappedRDD(RDD):
+    def __init__(self, parent: RDD, fn: Callable):
+        super().__init__(parent.context, parent.num_partitions,
+                         f"{parent.name}.flatMap")
+        self.parent = parent
+        self.fn = fn
+
+    def compute(self, partition: int) -> list:
+        out: list = []
+        for x in self.parent.partition_data(partition):
+            out.extend(self.fn(x))
+        return out
+
+
+class MapPartitionsRDD(RDD):
+    def __init__(self, parent: RDD, fn: Callable):
+        super().__init__(parent.context, parent.num_partitions,
+                         f"{parent.name}.mapPartitions")
+        self.parent = parent
+        self.fn = fn
+
+    def compute(self, partition: int) -> list:
+        return list(self.fn(self.parent.partition_data(partition)))
+
+
+class ZipWithIndexRDD(RDD):
+    def __init__(self, parent: RDD):
+        super().__init__(parent.context, parent.num_partitions,
+                         f"{parent.name}.zipWithIndex")
+        self.parent = parent
+
+    def compute(self, partition: int) -> list:
+        offset = 0
+        for p in range(partition):
+            offset += len(self.parent.partition_data(p))
+        return [(x, offset + i) for i, x in
+                enumerate(self.parent.partition_data(partition))]
+
+
+class SparkContext:
+    """Entry point: creates source RDDs."""
+
+    def __init__(self, app_name: str = "repro",
+                 default_parallelism: int = 4):
+        self.app_name = app_name
+        self.default_parallelism = default_parallelism
+
+    def parallelize(self, data, num_partitions: Optional[int] = None) -> RDD:
+        data = list(data)
+        n = num_partitions or self.default_parallelism
+        n = max(1, min(n, max(1, len(data))))
+        return ParallelCollectionRDD(self, data, n)

@@ -1,0 +1,104 @@
+"""Small shared utilities: stable hashing, checked math, name generation."""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+from typing import Any, Iterable, Iterator
+
+
+def stable_hash(*parts: Any) -> int:
+    """Return a 64-bit hash that is stable across processes and runs.
+
+    Python's builtin ``hash`` is salted per process, which would make the
+    deterministic-noise component of the HLS model irreproducible.  This
+    hashes the ``repr`` of each part through blake2b instead.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x00")
+    return int.from_bytes(h.digest(), "big")
+
+
+def stable_unit(*parts: Any) -> float:
+    """Map ``parts`` to a deterministic float in ``[0, 1)``."""
+    return stable_hash(*parts) / 2**64
+
+
+def is_pow2(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_pow2(value: int) -> int:
+    """Smallest power of two >= ``value`` (``value`` must be positive)."""
+    if value <= 0:
+        raise ValueError(f"next_pow2 requires a positive value, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def pow2_range(low: int, high: int) -> list[int]:
+    """All powers of two ``p`` with ``low <= p <= high``."""
+    result = []
+    p = 1
+    while p <= high:
+        if p >= low:
+            result.append(p)
+        p <<= 1
+    return result
+
+
+def divisors(value: int) -> list[int]:
+    """All positive divisors of ``value`` in increasing order."""
+    if value <= 0:
+        raise ValueError(f"divisors requires a positive value, got {value}")
+    small, large = [], []
+    for d in range(1, int(math.isqrt(value)) + 1):
+        if value % d == 0:
+            small.append(d)
+            if d != value // d:
+                large.append(value // d)
+    return small + large[::-1]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division."""
+    return -(-a // b)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` to the inclusive interval ``[low, high]``."""
+    return max(low, min(high, value))
+
+
+class NameAllocator:
+    """Generate unique names with a common prefix (``tmp0``, ``tmp1``, ...)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Iterator[int]] = {}
+        self._used: set[str] = set()
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as taken so :meth:`fresh` never returns it."""
+        self._used.add(name)
+
+    def fresh(self, prefix: str = "tmp") -> str:
+        """Return an unused name starting with ``prefix``."""
+        counter = self._counters.setdefault(prefix, itertools.count())
+        while True:
+            name = f"{prefix}{next(counter)}"
+            if name not in self._used:
+                self._used.add(name)
+                return name
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; raises on empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

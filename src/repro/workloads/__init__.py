@@ -1,0 +1,11 @@
+"""Synthetic workload generators."""
+
+from .generators import (  # noqa: F401
+    cluster_centers,
+    clustered_points,
+    labeled_points,
+    page_rank_entries,
+    random_blocks,
+    random_strings,
+    string_pairs,
+)

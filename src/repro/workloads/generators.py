@@ -1,0 +1,97 @@
+"""Synthetic workload generators for the evaluation applications.
+
+The paper uses standard Spark datasets; these generators produce
+statistically similar synthetic inputs (clustered points for KMeans/KNN,
+separable labeled points for the regressions, random DNA-alphabet reads
+for S-W, random byte blocks for AES, and a power-law-ish adjacency
+structure for PageRank).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def clustered_points(n: int, dims: int, clusters: int,
+                     seed: int = 0, spread: float = 0.6) -> list[list[float]]:
+    """Points drawn around ``clusters`` random centroids."""
+    rng = random.Random(seed)
+    centroids = [[rng.uniform(-5.0, 5.0) for _ in range(dims)]
+                 for _ in range(clusters)]
+    points = []
+    for _ in range(n):
+        center = rng.choice(centroids)
+        points.append([c + rng.gauss(0.0, spread) for c in center])
+    return points
+
+
+def cluster_centers(dims: int, clusters: int, seed: int = 0
+                    ) -> list[list[float]]:
+    """The centroids a KMeans kernel bakes in (deterministic per seed)."""
+    rng = random.Random(seed ^ 0x5EED)
+    return [[rng.uniform(-5.0, 5.0) for _ in range(dims)]
+            for _ in range(clusters)]
+
+
+def labeled_points(n: int, dims: int, seed: int = 0
+                   ) -> list[tuple[float, list[float]]]:
+    """Linearly separable-ish (label, features) pairs, labels in {-1, +1}."""
+    rng = random.Random(seed)
+    weights = [rng.uniform(-1.0, 1.0) for _ in range(dims)]
+    data = []
+    for _ in range(n):
+        x = [rng.uniform(-2.0, 2.0) for _ in range(dims)]
+        margin = sum(w * v for w, v in zip(weights, x))
+        label = 1.0 if margin + rng.gauss(0, 0.3) > 0 else -1.0
+        data.append((label, x))
+    return data
+
+
+def random_strings(n: int, length: int, seed: int = 0,
+                   alphabet: str = "ACGT") -> list[str]:
+    """Random fixed-length reads over a DNA alphabet."""
+    rng = random.Random(seed)
+    return ["".join(rng.choice(alphabet) for _ in range(length))
+            for _ in range(n)]
+
+
+def string_pairs(n: int, length: int, seed: int = 0,
+                 mutation_rate: float = 0.1
+                 ) -> list[tuple[str, str]]:
+    """Pairs (read, mutated read): realistic S-W inputs with homology."""
+    rng = random.Random(seed)
+    alphabet = "ACGT"
+    pairs = []
+    for _ in range(n):
+        a = "".join(rng.choice(alphabet) for _ in range(length))
+        b = list(a)
+        for i in range(length):
+            if rng.random() < mutation_rate:
+                b[i] = rng.choice(alphabet)
+        pairs.append((a, "".join(b)))
+    return pairs
+
+
+def random_blocks(n: int, block_bytes: int = 16,
+                  seed: int = 0) -> list[list[int]]:
+    """Random byte blocks (AES plaintext)."""
+    rng = random.Random(seed)
+    return [[rng.randrange(256) for _ in range(block_bytes)]
+            for _ in range(n)]
+
+
+def page_rank_entries(n: int, max_degree: int = 16, seed: int = 0
+                      ) -> list[tuple[float, list[int]]]:
+    """(rank, padded neighbor list) pairs.
+
+    Unused neighbor slots are -1; degrees follow a skewed distribution
+    like real web graphs.
+    """
+    rng = random.Random(seed)
+    entries = []
+    for _ in range(n):
+        degree = min(max_degree, 1 + int(rng.paretovariate(1.5)))
+        neighbors = [rng.randrange(n) for _ in range(degree)]
+        neighbors += [-1] * (max_degree - degree)
+        entries.append((rng.uniform(0.1, 2.0), neighbors))
+    return entries

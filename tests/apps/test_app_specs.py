@@ -1,0 +1,97 @@
+"""Application spec sanity tests (compilation, manual designs, AES
+vectors)."""
+
+import pytest
+
+from repro.apps import ALL_APPS, APPS_BY_NAME, get_app
+from repro.apps.aes import SBOX, encrypt_block, expand_key
+from repro.hls import estimate
+
+
+class TestRegistry:
+    def test_eight_apps(self):
+        assert len(ALL_APPS) == 8
+        assert set(APPS_BY_NAME) == {
+            "PR", "KMeans", "KNN", "LR", "SVM", "LLS", "AES", "S-W"}
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="unknown app"):
+            get_app("BFS")
+
+    def test_table2_metadata_complete(self):
+        for spec in ALL_APPS:
+            assert {"bram", "dsp", "ff", "lut", "freq"} <= set(spec.table2)
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in ALL_APPS])
+class TestCompilation:
+    def test_compiles(self, name):
+        compiled = get_app(name).compile()
+        assert compiled.kernel.top == "kernel"
+        assert compiled.loop_labels
+        assert compiled.layout.inputs and compiled.layout.outputs
+
+    def test_compile_is_cached(self, name):
+        spec = get_app(name)
+        assert spec.compile() is spec.compile()
+
+    def test_manual_design_feasible(self, name):
+        spec = get_app(name)
+        compiled = spec.compile()
+        result = estimate(compiled.kernel, spec.manual_config(compiled))
+        assert result.feasible, (
+            f"{name} manual design: {result.infeasible_reason}")
+
+    def test_accel_id_from_scala_field(self, name):
+        compiled = get_app(name).compile()
+        assert isinstance(compiled.accel_id, str)
+        assert compiled.accel_id
+
+
+class TestAESCorrectness:
+    def test_fips197_key_expansion_head(self):
+        # Key 000102...0f: w4 = w0 ^ SubWord(RotWord(w3)) ^ Rcon
+        #               = 00010203 ^ d7ab76fe ^ 01000000 = d6aa74fd.
+        rk = expand_key(list(range(16)))
+        assert rk[16:20] == [0xD6, 0xAA, 0x74, 0xFD]
+        assert len(rk) == 176
+
+    def test_fips197_a1_key_expansion(self):
+        # FIPS-197 Appendix A.1 with the 2b7e1516... key: w4 = a0fafe17.
+        key = [0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
+               0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C]
+        rk = expand_key(key)
+        assert rk[16:20] == [0xA0, 0xFA, 0xFE, 0x17]
+
+    def test_fips197_example_vector(self):
+        # FIPS-197 Appendix C.1 style check with the 000102...0f key:
+        # plaintext 00112233445566778899aabbccddeeff.
+        plaintext = [0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                     0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF]
+        expected = [0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30,
+                    0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5, 0x5A]
+        assert encrypt_block(plaintext) == expected
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", [spec.name for spec in ALL_APPS])
+    def test_deterministic(self, name):
+        spec = get_app(name)
+        assert spec.workload(10, 3) == spec.workload(10, 3)
+        assert spec.workload(10, 3) != spec.workload(10, 4)
+
+    def test_sw_pairs_have_homology(self):
+        spec = get_app("S-W")
+        pairs = spec.workload(5, 0)
+        for a, b in pairs:
+            assert len(a) == len(b) == 128
+            matches = sum(1 for x, y in zip(a, b) if x == y)
+            assert matches > 64  # mutated copies, not random pairs
+
+    def test_pr_degrees_positive(self):
+        for rank, links in get_app("PR").workload(50, 1):
+            assert any(link >= 0 for link in links)
+            assert rank > 0

@@ -1,0 +1,60 @@
+"""Locks the Fig. 4 speedup *shape* into the test suite.
+
+The benches print the numbers; these tests guarantee the orderings the
+paper's conclusions rest on survive model changes: string processing >>
+machine learning >> PageRank, and every expert design beats the JVM.
+Uses the expert manual configurations only (no DSE), so it is fast and
+deterministic.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.blaze.runtime import _JVMTaskRunner
+from repro.fpga.board import offload_seconds_per_task
+from repro.hls import estimate
+
+_SPEEDUPS: dict[str, float] = {}
+
+
+def _speedup(name: str) -> float:
+    if name in _SPEEDUPS:
+        return _SPEEDUPS[name]
+    spec = get_app(name)
+    compiled = spec.compile()
+    hls = estimate(compiled.kernel, spec.manual_config(compiled))
+    assert hls.feasible, f"{name}: {hls.infeasible_reason}"
+    bytes_per_task = (compiled.kernel.metadata["bytes_in_per_task"]
+                      + compiled.kernel.metadata["bytes_out_per_task"])
+    fpga = offload_seconds_per_task(hls, compiled.batch_size,
+                                    bytes_per_task)
+    runner = _JVMTaskRunner(compiled)
+    sample = 2 if name == "S-W" else 16
+    for task in spec.workload(sample, seed=4):
+        runner.call(task)
+    jvm = runner.seconds / sample
+    _SPEEDUPS[name] = jvm / fpga
+    return _SPEEDUPS[name]
+
+
+class TestFig4Shape:
+    @pytest.mark.parametrize("name", [spec.name for spec in ALL_APPS])
+    def test_everything_beats_the_jvm(self, name):
+        assert _speedup(name) > 1.0
+
+    def test_strings_dominate_ml(self):
+        strings = min(_speedup(n) for n in ("AES", "S-W"))
+        ml = max(_speedup(n) for n in ("KMeans", "KNN", "LR", "SVM",
+                                       "LLS"))
+        assert strings > ml
+
+    def test_pagerank_benefits_least(self):
+        pr = _speedup("PR")
+        assert pr == min(_speedup(spec.name) for spec in ALL_APPS)
+
+    def test_magnitudes(self):
+        assert _speedup("S-W") > 100
+        assert _speedup("AES") > 100
+        assert 5 < _speedup("PR") < 50
+        for name in ("KMeans", "KNN", "LR", "SVM", "LLS"):
+            assert 5 < _speedup(name) < 500

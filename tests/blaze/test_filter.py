@@ -1,0 +1,85 @@
+"""Filter-pattern offload tests (extension: more RDD operators)."""
+
+import pytest
+
+from repro.blaze import BlazeRuntime
+from repro.compiler import compile_kernel
+from repro.errors import BlazeError, UnsupportedConstructError
+from repro.merlin import DesignConfig, LoopConfig
+from repro.spark import SparkContext
+
+THRESHOLD = """
+class BigEnough extends Accelerator[Float, Boolean] {
+  val id: String = "big"
+  val cut: Float = 10.0f
+  def call(in: Float): Boolean = in > cut
+}
+"""
+
+
+@pytest.fixture
+def sc():
+    return SparkContext(default_parallelism=3)
+
+
+def _deploy_config(compiled):
+    return DesignConfig(
+        loops={"L0": LoopConfig(pipeline="on", parallel=2)},
+        bitwidths={leaf.name: 64 for leaf in compiled.layout.leaves})
+
+
+class TestFilterCompilation:
+    def test_filter_kernel_compiles(self):
+        compiled = compile_kernel(THRESHOLD, pattern="filter")
+        assert compiled.pattern == "filter"
+        assert compiled.layout.outputs[0].is_scalar
+
+    def test_non_boolean_filter_rejected(self):
+        source = """
+class Bad extends Accelerator[Float, Float] {
+  val id: String = "bad"
+  def call(in: Float): Float = in
+}
+"""
+        with pytest.raises(UnsupportedConstructError, match="Boolean"):
+            compile_kernel(source, pattern="filter")
+
+
+class TestFilterOffload:
+    def test_accelerated_filter(self, sc):
+        compiled = compile_kernel(THRESHOLD, pattern="filter")
+        runtime = BlazeRuntime(sc)
+        runtime.register(compiled, _deploy_config(compiled))
+        values = [float(v) for v in range(25)]
+        got = runtime.wrap(sc.parallelize(values)).filter_acc(
+            "big").collect()
+        assert got == [v for v in values if v > 10.0]
+        assert runtime.metrics.accel_tasks == 25
+
+    def test_software_fallback_filter(self, sc):
+        runtime = BlazeRuntime(sc)
+        runtime.register(compile_kernel(THRESHOLD, pattern="filter"))
+        got = runtime.wrap(sc.parallelize([5.0, 15.0, 25.0])).filter_acc(
+            "big").collect()
+        assert got == [15.0, 25.0]
+        assert runtime.metrics.fallback_tasks == 3
+
+    def test_filter_on_map_kernel_rejected(self, sc):
+        runtime = BlazeRuntime(sc)
+        runtime.register(compile_kernel("""
+class Identity extends Accelerator[Int, Int] {
+  val id: String = "identity"
+  def call(in: Int): Int = in
+}
+"""))
+        with pytest.raises(BlazeError, match="map"):
+            runtime.wrap(sc.parallelize([1])).filter_acc("identity")
+
+    def test_filter_composes_with_spark(self, sc):
+        compiled = compile_kernel(THRESHOLD, pattern="filter")
+        runtime = BlazeRuntime(sc)
+        runtime.register(compiled, _deploy_config(compiled))
+        values = [float(v) for v in range(40)]
+        rdd = runtime.wrap(sc.parallelize(values)).filter_acc("big")
+        doubled = rdd.map(lambda x: x * 2).collect()
+        assert doubled == [v * 2 for v in values if v > 10.0]

@@ -1,0 +1,132 @@
+"""Blaze runtime integration tests (Code 1's flow)."""
+
+import pytest
+
+from repro.blaze import AcceleratorManager, BlazeRuntime
+from repro.compiler import LayoutConfig, compile_kernel
+from repro.errors import BlazeError
+from repro.merlin import DesignConfig, LoopConfig
+from repro.spark import SparkContext
+
+DOUBLER = """
+class Doubler extends Accelerator[Int, Int] {
+  val id: String = "doubler"
+  def call(in: Int): Int = in * 2
+}
+"""
+
+SUMMER = """
+class Summer extends Accelerator[Float, Float] {
+  val id: String = "summer"
+  def call(a: Float, b: Float): Float = a + b
+}
+"""
+
+
+@pytest.fixture
+def sc():
+    return SparkContext("blaze-test", default_parallelism=3)
+
+
+def _deploy_config(compiled):
+    return DesignConfig(
+        loops={"L0": LoopConfig(pipeline="on", parallel=2)},
+        bitwidths={leaf.name: 64 for leaf in compiled.layout.leaves})
+
+
+class TestManager:
+    def test_register_and_lookup(self):
+        manager = AcceleratorManager()
+        compiled = compile_kernel(DOUBLER)
+        entry = manager.register(compiled)
+        assert entry.accel_id == "doubler"
+        assert manager.lookup("doubler") is entry
+        assert not entry.has_hardware
+
+    def test_duplicate_rejected(self):
+        manager = AcceleratorManager()
+        manager.register(compile_kernel(DOUBLER))
+        with pytest.raises(BlazeError, match="already"):
+            manager.register(compile_kernel(DOUBLER))
+
+    def test_require_unknown(self):
+        with pytest.raises(BlazeError, match="no accelerator"):
+            AcceleratorManager().require("ghost")
+
+    def test_hardware_deployment(self):
+        manager = AcceleratorManager()
+        compiled = compile_kernel(DOUBLER)
+        entry = manager.register(compiled, _deploy_config(compiled))
+        assert entry.has_hardware
+        assert entry.hls.feasible
+
+    def test_infeasible_deployment_rejected(self):
+        from repro.apps import get_app
+
+        manager = AcceleratorManager()
+        compiled = get_app("S-W").compile(force=True)
+        bad = DesignConfig(
+            loops={"L0": LoopConfig(parallel=256, pipeline="on"),
+                   "call_L0": LoopConfig(pipeline="flatten")},
+            bitwidths={leaf.name: 512
+                       for leaf in compiled.layout.leaves})
+        with pytest.raises(BlazeError, match="infeasible"):
+            manager.register(compiled, bad)
+
+
+class TestMapOffload:
+    def test_accelerated_map_matches_fallback(self, sc):
+        compiled = compile_kernel(DOUBLER)
+        accel = BlazeRuntime(sc)
+        accel.register(compiled, _deploy_config(compiled))
+        data = list(range(50))
+        rdd = sc.parallelize(data)
+        got = accel.wrap(rdd).map_acc("doubler").collect()
+        assert got == [x * 2 for x in data]
+        assert accel.metrics.accel_tasks == 50
+        assert accel.metrics.accel_seconds > 0
+
+    def test_software_fallback(self, sc):
+        soft = BlazeRuntime(sc)
+        soft.register(compile_kernel(DOUBLER))
+        got = soft.wrap(sc.parallelize([1, 2, 3])).map_acc(
+            "doubler").collect()
+        assert got == [2, 4, 6]
+        assert soft.metrics.fallback_tasks == 3
+        assert soft.metrics.fallback_seconds > 0
+
+    def test_wrong_pattern_rejected(self, sc):
+        runtime = BlazeRuntime(sc)
+        runtime.register(compile_kernel(SUMMER, pattern="reduce"))
+        with pytest.raises(BlazeError, match="reduce"):
+            runtime.wrap(sc.parallelize([1.0])).map_acc("summer")
+
+    def test_empty_partitions(self, sc):
+        runtime = BlazeRuntime(sc)
+        compiled = compile_kernel(DOUBLER)
+        runtime.register(compiled, _deploy_config(compiled))
+        rdd = sc.parallelize([1], 1)
+        assert runtime.wrap(rdd).map_acc("doubler").collect() == [2]
+
+
+class TestReduceOffload:
+    def test_accelerated_reduce(self, sc):
+        compiled = compile_kernel(SUMMER, pattern="reduce")
+        runtime = BlazeRuntime(sc)
+        runtime.register(compiled, _deploy_config(compiled))
+        values = [float(i) for i in range(1, 11)]
+        got = runtime.wrap(sc.parallelize(values)).reduce_acc("summer")
+        assert got == pytest.approx(sum(values))
+
+    def test_software_reduce(self, sc):
+        runtime = BlazeRuntime(sc)
+        runtime.register(compile_kernel(SUMMER, pattern="reduce"))
+        got = runtime.wrap(sc.parallelize([1.0, 2.0, 3.5])).reduce_acc(
+            "summer")
+        assert got == pytest.approx(6.5)
+
+    def test_reduce_on_map_kernel_rejected(self, sc):
+        runtime = BlazeRuntime(sc)
+        runtime.register(compile_kernel(DOUBLER))
+        with pytest.raises(BlazeError, match="map"):
+            runtime.wrap(sc.parallelize([1])).reduce_acc("doubler")

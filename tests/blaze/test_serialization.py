@@ -1,0 +1,108 @@
+"""Blaze serialization tests: host objects <-> flat accelerator buffers."""
+
+import pytest
+from hypothesis import given, strategies as hst
+
+from repro.blaze import make_deserializer, make_serializer
+from repro.compiler.interface import LayoutConfig, build_layout
+from repro.errors import BlazeError
+from repro.scala import types as st
+
+
+def _tuple_layout():
+    return build_layout(
+        st.TupleType((st.STRING, st.STRING)),
+        st.TupleType((st.INT, st.INT)),
+        LayoutConfig(default_string_length=8))
+
+
+class TestSerialize:
+    def test_string_pair_packing(self):
+        layout = _tuple_layout()
+        serialize = make_serializer(layout)
+        buffers = serialize([("AB", "CDE")])
+        assert buffers["in_1"][:3] == [65, 66, 0]  # padded with zeros
+        assert len(buffers["in_1"]) == 8
+        assert buffers["in_2"][:3] == [67, 68, 69]
+        assert buffers["out_1"] == [0]
+        assert buffers["out_2"] == [0]
+
+    def test_multiple_tasks_strided(self):
+        layout = _tuple_layout()
+        serialize = make_serializer(layout)
+        buffers = serialize([("A", "B"), ("C", "D")])
+        assert len(buffers["in_1"]) == 16
+        assert buffers["in_1"][0] == 65
+        assert buffers["in_1"][8] == 67
+
+    def test_scalar_and_array_mix(self):
+        layout = build_layout(
+            st.TupleType((st.FLOAT, st.ArrayType(st.FLOAT))),
+            st.ArrayType(st.FLOAT),
+            LayoutConfig(lengths={"in._2": 4, "out": 4}))
+        serialize = make_serializer(layout)
+        buffers = serialize([(1.5, [1.0, 2.0, 3.0, 4.0])])
+        assert buffers["in_1"] == [1.5]
+        assert buffers["in_2"] == [1.0, 2.0, 3.0, 4.0]
+        assert buffers["out_1"] == [0.0] * 4
+
+    def test_oversized_array_rejected(self):
+        layout = build_layout(
+            st.ArrayType(st.INT), st.INT,
+            LayoutConfig(lengths={"in": 4}))
+        serialize = make_serializer(layout)
+        with pytest.raises(BlazeError, match="elements"):
+            serialize([[1, 2, 3, 4, 5]])
+
+    def test_wrong_tuple_arity_rejected(self):
+        layout = _tuple_layout()
+        serialize = make_serializer(layout)
+        with pytest.raises(BlazeError, match="tuple"):
+            serialize([("only-one",)])
+
+
+class TestDeserialize:
+    def test_tuple_of_scalars(self):
+        layout = _tuple_layout()
+        deserialize = make_deserializer(layout)
+        buffers = {"out_1": [7, 8], "out_2": [9, 10]}
+        assert deserialize(buffers, 2) == [(7, 9), (8, 10)]
+
+    def test_array_output(self):
+        layout = build_layout(
+            st.INT, st.ArrayType(st.FLOAT),
+            LayoutConfig(lengths={"out": 3}))
+        deserialize = make_deserializer(layout)
+        buffers = {"out_1": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]}
+        assert deserialize(buffers, 2) == [[1.0, 2.0, 3.0],
+                                           [4.0, 5.0, 6.0]]
+
+    def test_string_output_strips_padding(self):
+        layout = build_layout(
+            st.INT, st.STRING, LayoutConfig(default_string_length=6))
+        deserialize = make_deserializer(layout)
+        buffers = {"out_1": [72, 73, 0, 0, 0, 0]}
+        assert deserialize(buffers, 1) == ["HI"]
+
+
+class TestRoundTrip:
+    @given(hst.lists(
+        hst.tuples(
+            hst.floats(min_value=-100, max_value=100, allow_nan=False),
+            hst.lists(hst.floats(min_value=-10, max_value=10,
+                                 allow_nan=False),
+                      min_size=4, max_size=4)),
+        min_size=1, max_size=5))
+    def test_float_tuple_roundtrip(self, tasks):
+        tpe = st.TupleType((st.FLOAT, st.ArrayType(st.FLOAT)))
+        layout = build_layout(tpe, tpe,
+                              LayoutConfig(lengths={"in._2": 4,
+                                                    "out._2": 4}))
+        serialize = make_serializer(layout)
+        deserialize = make_deserializer(layout)
+        buffers = serialize(tasks)
+        # Copy inputs straight to outputs (identity kernel).
+        buffers["out_1"] = list(buffers["in_1"])
+        buffers["out_2"] = list(buffers["in_2"])
+        out = deserialize(buffers, len(tasks))
+        assert out == [(label, list(x)) for label, x in tasks]

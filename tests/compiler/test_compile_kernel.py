@@ -1,0 +1,264 @@
+"""End-to-end bytecode-to-C compiler tests."""
+
+import pytest
+
+from repro.compiler import LayoutConfig, compile_kernel
+from repro.errors import DecompileError, UnsupportedConstructError
+from repro.hlsc import (
+    For,
+    If,
+    VarDecl,
+    While,
+    kernel_to_c,
+    loops_in,
+    walk_stmts,
+)
+
+TUPLE_KERNEL = """
+class SW extends Accelerator[(String, String), (Int, Int)] {
+  val id: String = "SW_kernel"
+  def call(in: (String, String)): (Int, Int) = {
+    val a: String = in._1
+    val b: String = in._2
+    var best = 0
+    var pos = 0
+    for (i <- 0 until a.length) {
+      if (a(i) == b(i)) {
+        best = best + 2
+        pos = i
+      }
+    }
+    (best, pos)
+  }
+}
+"""
+
+
+class TestInterfaceFlattening:
+    def test_tuple_of_strings_becomes_char_buffers(self):
+        ck = compile_kernel(TUPLE_KERNEL,
+                            layout_config=LayoutConfig(
+                                default_string_length=32))
+        call = ck.kernel.function("call")
+        names = [p.name for p in call.params]
+        assert names == ["in_1", "in_2", "out_1", "out_2"]
+        assert all(p.is_pointer for p in call.params)
+        assert str(call.params[0].ctype) == "char"
+        assert str(call.params[2].ctype) == "int"
+
+    def test_scalar_outputs_stored_to_out_buffers(self):
+        ck = compile_kernel(TUPLE_KERNEL)
+        text = kernel_to_c(ck.kernel)
+        assert "out_1[0] =" in text
+        assert "out_2[0] =" in text
+
+    def test_layout_byte_accounting(self):
+        ck = compile_kernel(TUPLE_KERNEL,
+                            layout_config=LayoutConfig(
+                                default_string_length=64))
+        assert ck.layout.bytes_in_per_task == 64 + 64
+        assert ck.layout.bytes_out_per_task == 4 + 4
+
+    def test_array_output_renamed_to_out_param(self):
+        source = """
+class K extends Accelerator[Array[Float], Array[Float]] {
+  val id: String = "K"
+  def call(in: Array[Float]): Array[Float] = {
+    val out = new Array[Float](8)
+    for (i <- 0 until 8) { out(i) = in(i) * 2.0f }
+    out
+  }
+}
+"""
+        ck = compile_kernel(source, layout_config=LayoutConfig(
+            lengths={"in": 8, "out": 8}))
+        text = kernel_to_c(ck.kernel)
+        # The local array is replaced by the out parameter: no local
+        # declaration, direct stores into out_1.
+        assert "out_1[" in text
+        call = ck.kernel.function("call")
+        local_arrays = [s for s in walk_stmts(call.body)
+                        if isinstance(s, VarDecl) and s.is_array]
+        assert not local_arrays
+
+
+class TestTemplates:
+    def test_map_wrapper_matches_code3(self):
+        ck = compile_kernel(TUPLE_KERNEL,
+                            layout_config=LayoutConfig(
+                                default_string_length=128))
+        text = kernel_to_c(ck.kernel)
+        assert "void kernel(int N, char *in_1, char *in_2" in text
+        assert "call(in_1 + i * 128, in_2 + i * 128" in text
+
+    def test_task_loop_is_top_loop(self):
+        ck = compile_kernel(TUPLE_KERNEL)
+        top = ck.kernel.top_function
+        loops = loops_in(top)
+        assert len(loops) == 1
+        assert loops[0].label == "L0"
+
+    def test_reduce_template(self):
+        source = """
+class Sum extends Accelerator[Float, Float] {
+  val id: String = "sum"
+  def call(a: Float, b: Float): Float = a + b
+}
+"""
+        ck = compile_kernel(source, pattern="reduce")
+        text = kernel_to_c(ck.kernel)
+        assert "acc = call(acc, in_1[i])" in text
+        assert ck.kernel.metadata["pattern"] == "reduce"
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="pattern"):
+            compile_kernel(TUPLE_KERNEL, pattern="flatMap")
+
+
+class TestControlFlowRecovery:
+    def test_for_loops_recovered_canonical(self):
+        ck = compile_kernel(TUPLE_KERNEL,
+                            layout_config=LayoutConfig(
+                                default_string_length=16))
+        call = ck.kernel.function("call")
+        loops = loops_in(call)
+        assert len(loops) == 1
+        assert isinstance(loops[0], For)
+        # String length is baked as a constant bound.
+        from repro.hlsc.analysis import loop_trip_count
+        assert loop_trip_count(loops[0]) == 16
+
+    def test_while_loop_survives_when_not_counted(self):
+        source = """
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  def call(in: Int): Int = {
+    var v = in
+    var steps = 0
+    while (v > 1) {
+      v = if (v % 2 == 0) v / 2 else 3 * v + 1
+      steps = steps + 1
+    }
+    steps
+  }
+}
+"""
+        ck = compile_kernel(source)
+        call = ck.kernel.function("call")
+        loops = loops_in(call)
+        assert len(loops) == 1
+        assert isinstance(loops[0], While)
+
+    def test_if_else_structure(self):
+        ck = compile_kernel(TUPLE_KERNEL)
+        call = ck.kernel.function("call")
+        ifs = [s for s in walk_stmts(call.body) if isinstance(s, If)]
+        assert len(ifs) == 1
+        assert ifs[0].orelse is None
+
+    def test_ternary_from_if_expression(self):
+        source = """
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  def call(in: Int): Int = {
+    val v = if (in > 0) in else -in
+    v * 2
+  }
+}
+"""
+        ck = compile_kernel(source)
+        text = kernel_to_c(ck.kernel)
+        assert "?" in text
+
+    def test_nested_loops_labelled(self):
+        source = """
+class K extends Accelerator[Array[Float], Float] {
+  val id: String = "K"
+  def call(in: Array[Float]): Float = {
+    var s = 0.0f
+    for (i <- 0 until 4) {
+      for (j <- 0 until 8) {
+        s = s + in(i * 8 + j)
+      }
+    }
+    s
+  }
+}
+"""
+        ck = compile_kernel(source, layout_config=LayoutConfig(
+            lengths={"in": 32}))
+        assert "call_L0" in ck.loop_labels
+        assert "call_L0_0" in ck.loop_labels
+
+
+class TestBakedFields:
+    def test_array_field_becomes_const_table(self):
+        source = """
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  val tbl: Array[Int] = Array(5, 6, 7, 8)
+  def call(in: Int): Int = tbl(in & 3)
+}
+"""
+        ck = compile_kernel(source)
+        text = kernel_to_c(ck.kernel)
+        assert "static const int tbl[4] = {5, 6, 7, 8};" in text
+
+    def test_scalar_field_becomes_literal(self):
+        source = """
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  val k: Int = 12
+  def call(in: Int): Int = in * k
+}
+"""
+        ck = compile_kernel(source)
+        text = kernel_to_c(ck.kernel)
+        assert "* 12" in text
+
+    def test_accel_id_exposed(self):
+        ck = compile_kernel(TUPLE_KERNEL)
+        assert ck.accel_id == "SW_kernel"
+
+
+class TestHelpers:
+    def test_helper_method_lifted_as_function(self):
+        source = """
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  def sq(x: Int): Int = x * x
+  def call(in: Int): Int = sq(in) + sq(in + 1)
+}
+"""
+        ck = compile_kernel(source)
+        names = [f.name for f in ck.kernel.functions]
+        assert "sq" in names
+        text = kernel_to_c(ck.kernel)
+        assert "int sq(int a0)" in text
+        assert "sq(in_1)" in text or "sq(in_1 " in text
+
+    def test_math_intrinsics_map_to_c(self):
+        source = """
+class K extends Accelerator[Double, Double] {
+  val id: String = "K"
+  def call(in: Double): Double = math.exp(in) + math.sqrt(in)
+}
+"""
+        ck = compile_kernel(source)
+        text = kernel_to_c(ck.kernel)
+        assert "exp(" in text
+        assert "sqrt(" in text
+
+
+class TestMetadata:
+    def test_metadata_fields(self):
+        ck = compile_kernel(TUPLE_KERNEL, batch_size=2048)
+        md = ck.kernel.metadata
+        assert md["pattern"] == "map"
+        assert md["batch_size"] == 2048
+        assert md["class_name"] == "SW"
+        assert md["bytes_in_per_task"] == 256
+
+    def test_missing_kernel_class(self):
+        with pytest.raises(UnsupportedConstructError, match="no kernel"):
+            compile_kernel("def f(a: Int): Int = a")

@@ -1,0 +1,88 @@
+"""Disjunction (`||`) recovery in statement contexts.
+
+Statement conditions containing `||` are materialized as boolean values
+by the frontend (a single exit test), so the structurer never sees the
+take-label pattern of short-circuit disjunction.
+"""
+
+from repro.blaze import make_deserializer, make_serializer
+from repro.blaze.runtime import _JVMTaskRunner
+from repro.compiler import compile_kernel
+from repro.fpga import KernelExecutor
+from repro.hlsc import kernel_to_c
+
+
+def _cross_check(source, tasks):
+    compiled = compile_kernel(source, batch_size=32)
+    serialize = make_serializer(compiled.layout)
+    deserialize = make_deserializer(compiled.layout)
+    buffers = serialize(tasks)
+    KernelExecutor(compiled.kernel).run(buffers, len(tasks))
+    fpga = deserialize(buffers, len(tasks))
+    runner = _JVMTaskRunner(compiled)
+    jvm = [runner.call(task) for task in tasks]
+    assert fpga == jvm
+    return compiled, fpga
+
+
+class TestIfDisjunctions:
+    def test_if_or_else(self):
+        source = """
+class K extends Accelerator[(Int, Int), Int] {
+  val id: String = "K"
+  def call(in: (Int, Int)): Int = {
+    val a = in._1
+    val b = in._2
+    var r = 0
+    if (a > 10 || b > 10) {
+      r = 1
+    } else {
+      r = 2
+    }
+    r
+  }
+}
+"""
+        tasks = [(20, 0), (0, 20), (0, 0), (20, 20)]
+        _, results = _cross_check(source, tasks)
+        assert results == [1, 1, 2, 1]
+
+    def test_mixed_and_or(self):
+        source = """
+class K extends Accelerator[(Int, Int), Int] {
+  val id: String = "K"
+  def call(in: (Int, Int)): Int = {
+    val a = in._1
+    val b = in._2
+    if ((a > 0 && b > 0) || a + b > 100) 1 else 0
+  }
+}
+"""
+        tasks = [(1, 1), (-1, 200), (-1, 1), (60, 60)]
+        _, results = _cross_check(source, tasks)
+        assert results == [1, 1, 0, 1]
+
+
+class TestWhileDisjunctions:
+    def test_while_or(self):
+        source = """
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  def call(in: Int): Int = {
+    var i = in
+    var j = 8
+    var steps = 0
+    while (i > 0 || j > 0) {
+      i = i - 1
+      j = j - 2
+      steps = steps + 1
+    }
+    steps
+  }
+}
+"""
+        tasks = [0, 2, 10]
+        compiled, results = _cross_check(source, tasks)
+        assert results == [4, 4, 10]
+        # The while condition survives as a boolean test.
+        assert "while (" in kernel_to_c(compiled.kernel)

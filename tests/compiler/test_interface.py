@@ -1,0 +1,85 @@
+"""Interface flattening tests (Challenge 1 / Challenge 3)."""
+
+import pytest
+
+from repro.compiler.interface import LayoutConfig, build_layout
+from repro.errors import UnsupportedConstructError
+from repro.scala import types as st
+
+
+class TestFlattening:
+    def test_scalar_in_scalar_out(self):
+        layout = build_layout(st.INT, st.FLOAT)
+        assert len(layout.inputs) == 1
+        assert layout.inputs[0].is_scalar
+        assert str(layout.inputs[0].ctype) == "int"
+        assert str(layout.outputs[0].ctype) == "float"
+
+    def test_tuple_flattens_in_order(self):
+        layout = build_layout(
+            st.TupleType((st.INT, st.FLOAT, st.DOUBLE)), st.INT)
+        assert [leaf.name for leaf in layout.inputs] \
+            == ["in_1", "in_2", "in_3"]
+        assert [leaf.path for leaf in layout.inputs] \
+            == ["in._1", "in._2", "in._3"]
+        assert [str(leaf.ctype) for leaf in layout.inputs] \
+            == ["int", "float", "double"]
+
+    def test_nested_tuple(self):
+        layout = build_layout(
+            st.TupleType((st.TupleType((st.INT, st.INT)), st.FLOAT)),
+            st.INT)
+        assert len(layout.inputs) == 3
+        assert layout.inputs[0].path == "in._1._1"
+        assert layout.inputs[2].path == "in._2"
+
+    def test_string_uses_default_length(self):
+        layout = build_layout(
+            st.STRING, st.INT, LayoutConfig(default_string_length=64))
+        leaf = layout.inputs[0]
+        assert leaf.elem_count == 64
+        assert str(leaf.ctype) == "char"
+        assert not leaf.is_scalar
+
+    def test_string_path_override(self):
+        layout = build_layout(
+            st.TupleType((st.STRING, st.STRING)), st.INT,
+            LayoutConfig(lengths={"in._2": 16},
+                         default_string_length=128))
+        assert layout.inputs[0].elem_count == 128
+        assert layout.inputs[1].elem_count == 16
+
+    def test_array_requires_capacity(self):
+        with pytest.raises(UnsupportedConstructError, match="capacity"):
+            build_layout(st.ArrayType(st.FLOAT), st.INT, LayoutConfig())
+
+    def test_nested_array_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="flatten"):
+            build_layout(st.ArrayType(st.ArrayType(st.FLOAT)), st.INT,
+                         LayoutConfig(lengths={"in": 4}))
+
+    def test_boolean_maps_to_int(self):
+        layout = build_layout(st.INT, st.BOOLEAN)
+        assert str(layout.outputs[0].ctype) == "int"
+
+
+class TestByteAccounting:
+    def test_bytes_per_task(self):
+        layout = build_layout(
+            st.TupleType((st.FLOAT, st.ArrayType(st.FLOAT))),
+            st.ArrayType(st.INT),
+            LayoutConfig(lengths={"in._2": 16, "out": 8}))
+        assert layout.bytes_in_per_task == 4 + 16 * 4
+        assert layout.bytes_out_per_task == 8 * 4
+
+    def test_char_buffers_are_one_byte(self):
+        layout = build_layout(
+            st.STRING, st.INT, LayoutConfig(default_string_length=128))
+        assert layout.bytes_in_per_task == 128
+
+    def test_leaf_lookup(self):
+        layout = build_layout(st.INT, st.INT)
+        assert layout.leaf("in_1").direction == "in"
+        assert layout.leaf("out_1").direction == "out"
+        with pytest.raises(KeyError):
+            layout.leaf("nope")

@@ -1,0 +1,159 @@
+"""Lifter robustness: hand-written bytecode that must fail *cleanly*.
+
+The decompiler promises to reject anything outside the structured subset
+with a :class:`DecompileError` rather than emitting wrong C.  These tests
+assemble adversarial methods directly (no frontend involved).
+"""
+
+import pytest
+
+from repro.compiler.lift import (
+    BufferParam,
+    Lifter,
+    ScalarParam,
+    negate,
+)
+from repro.errors import DecompileError
+from repro.hlsc import INT
+from repro.hlsc.ast import BinOp, IntLit, UnOp, Var
+from repro.jvm import CodeBuilder, assemble
+
+
+def _lift(builder: CodeBuilder, descriptor: str, bindings=None):
+    method = assemble("m", descriptor, builder, is_static=True)
+    lifter = Lifter(method, slot_bindings=bindings or {}, is_call=False)
+    return lifter.lift()
+
+
+class TestUnstructuredControlFlow:
+    def test_plain_forward_goto_rejected(self):
+        b = CodeBuilder()
+        b.emit("goto", "end")
+        b.emit("iconst_0")
+        b.emit("pop")
+        b.label("end")
+        b.emit("return")
+        with pytest.raises(DecompileError, match="unstructured"):
+            _lift(b, "()V")
+
+    def test_loop_without_exit_condition_rejected(self):
+        b = CodeBuilder()
+        b.label("spin")
+        b.emit("iinc", 0, 1)
+        b.emit("goto", "spin")
+        with pytest.raises(DecompileError, match="exit"):
+            _lift(b, "()V", {0: ScalarParam("x", INT)})
+
+    def test_value_leak_across_if_rejected(self):
+        # One branch pushes a value, the other pushes two: the assembler
+        # itself refuses such methods (stack verification).
+        from repro.errors import BytecodeError
+        b = CodeBuilder()
+        b.emit("iload", 0)
+        b.emit("ifeq", "other")
+        b.emit("iconst_1")
+        b.emit("goto", "join")
+        b.label("other")
+        b.emit("iconst_1")
+        b.emit("iconst_2")
+        b.label("join")
+        b.emit("pop")
+        b.emit("return")
+        with pytest.raises(BytecodeError, match="inconsistent"):
+            assemble("m", "(I)V", b, is_static=True)
+
+
+class TestUnsupportedOperations:
+    def test_store_to_parameter_slot(self):
+        b = CodeBuilder()
+        b.emit("iconst_1")
+        b.emit("istore", 0)
+        b.emit("return")
+        with pytest.raises(DecompileError, match="parameter slot"):
+            _lift(b, "(I)V", {0: ScalarParam("x", INT)})
+
+    def test_uninitialized_local_read(self):
+        b = CodeBuilder()
+        b.emit("iload", 3)
+        b.emit("ireturn")
+        with pytest.raises(DecompileError, match="uninitialized"):
+            _lift(b, "()I")
+
+    def test_unknown_library_call(self):
+        b = CodeBuilder()
+        b.emit("aload", 0)
+        b.emit("invokevirtual", "java/util/ArrayList", "size", "()I")
+        b.emit("ireturn")
+        with pytest.raises(DecompileError, match="library"):
+            _lift(b, "(Ljava/lang/Object;)I",
+                  {0: BufferParam("in_1", INT, 8)})
+
+    def test_string_constant_rejected(self):
+        b = CodeBuilder()
+        b.emit("ldc", "hello")
+        b.emit("pop")
+        b.emit("return")
+        with pytest.raises(DecompileError, match="string constants"):
+            _lift(b, "()V")
+
+    def test_reference_array_allocation_rejected(self):
+        b = CodeBuilder()
+        b.emit("iconst_2")
+        b.emit("anewarray", "java/lang/Object")
+        b.emit("pop")
+        b.emit("return")
+        with pytest.raises(DecompileError, match="reference"):
+            _lift(b, "()V")
+
+    def test_object_field_mutation_rejected(self):
+        b = CodeBuilder()
+        b.emit("aload", 0)
+        b.emit("iconst_1")
+        b.emit("putfield", "X", "f", "I")
+        b.emit("return")
+        with pytest.raises(DecompileError, match="mutate"):
+            _lift(b, "(LX;)V", {0: BufferParam("in_1", INT, 8)})
+
+
+class TestHappyPathsDirectBytecode:
+    def test_straightline_arithmetic(self):
+        b = CodeBuilder()
+        b.emit("iload", 0)
+        b.emit("iload", 1)
+        b.emit("imul")
+        b.emit("iload", 0)
+        b.emit("iadd")
+        b.emit("ireturn")
+        result = _lift(b, "(II)I", {0: ScalarParam("a", INT),
+                                    1: ScalarParam("b", INT)})
+        from repro.hlsc import block_to_c
+        text = block_to_c(result.body)
+        assert "return a * b + a;" in text
+
+    def test_iinc_becomes_assignment(self):
+        b = CodeBuilder()
+        b.emit("iconst_0")
+        b.emit("istore", 1)
+        b.emit("iinc", 1, 5)
+        b.emit("iload", 1)
+        b.emit("ireturn")
+        result = _lift(b, "()I", {})
+        from repro.hlsc import block_to_c
+        text = block_to_c(result.body)
+        assert "v0 = v0 + 5;" in text
+
+
+class TestNegate:
+    def test_comparison_flips(self):
+        expr = BinOp("<", Var("a"), Var("b"))
+        flipped = negate(expr)
+        assert isinstance(flipped, BinOp) and flipped.op == ">="
+
+    def test_double_negation_cancels(self):
+        expr = UnOp("!", Var("flag"))
+        assert negate(expr) is expr.operand
+
+    def test_generic_wraps(self):
+        expr = Var("flag")
+        wrapped = negate(expr)
+        assert isinstance(wrapped, UnOp) and wrapped.op == "!"

@@ -1,0 +1,155 @@
+"""Post-lift cleanup pass tests."""
+
+from repro.compiler.passes import (
+    count_var_uses,
+    recover_for_loops,
+    remove_decl,
+    rename_var,
+)
+from repro.hlsc import INT, VOID, For, While, loops_in
+from repro.hlsc.ast import Assign, BinOp, Block, IntLit, Var, VarDecl
+from repro.hlsc.builder import (
+    add,
+    assign,
+    decl,
+    function,
+    idx,
+    param,
+    sub,
+    var,
+)
+
+
+def _while_loop_function(bound_expr, step=1, inclusive=False):
+    """int v0 = 0; [int v1 = bound;] while (v0 < bound) { a[v0] = v0;
+    v0 = v0 + step; }"""
+    cond_op = "<=" if inclusive else "<"
+    body = Block([
+        assign(idx("a", "v0"), var("v0")),
+        Assign(Var("v0"), BinOp("+", Var("v0"), IntLit(step))),
+    ])
+    loop = While(cond=BinOp(cond_op, Var("v0"), bound_expr), body=body)
+    return function(
+        "f", VOID, [param("a", INT, pointer=True)],
+        decl("v0", INT, init=0),
+        loop)
+
+
+class TestForRecovery:
+    def test_simple_recovery(self):
+        fn = _while_loop_function(IntLit(8))
+        recover_for_loops(fn)
+        loops = loops_in(fn)
+        assert len(loops) == 1
+        assert isinstance(loops[0], For)
+        assert loops[0].var == "v0"
+        # The induction decl and the trailing increment are gone.
+        assert len(loops[0].body.stmts) == 1
+
+    def test_bound_temp_inlined(self):
+        body = Block([
+            assign(idx("a", "v0"), var("v0")),
+            Assign(Var("v0"), BinOp("+", Var("v0"), IntLit(1))),
+        ])
+        loop = While(cond=BinOp("<", Var("v0"), Var("v1")), body=body)
+        fn = function(
+            "f", VOID, [param("a", INT, pointer=True)],
+            decl("v0", INT, init=0),
+            decl("v1", INT, init=16),
+            loop)
+        recover_for_loops(fn)
+        recovered = loops_in(fn)[0]
+        assert isinstance(recovered, For)
+        assert isinstance(recovered.bound, IntLit)
+        assert recovered.bound.value == 16
+        # The temp declaration was removed.
+        assert not any(isinstance(s, VarDecl) and s.name == "v1"
+                       for s in fn.body.stmts)
+
+    def test_inclusive_bound_plus_one_folded(self):
+        body = Block([
+            assign(idx("a", "v0"), var("v0")),
+            Assign(Var("v0"), BinOp("+", Var("v0"), IntLit(1))),
+        ])
+        loop = While(cond=BinOp("<=", Var("v0"),
+                                BinOp("+", Var("v1"), IntLit(0))),
+                     body=body)
+        # <= with a hoisted temp: classic `1 to n` lowering.
+        fn = function(
+            "f", VOID, [param("a", INT, pointer=True)],
+            decl("v0", INT, init=1),
+            decl("v1", INT, init=9),
+            While(cond=BinOp("<=", Var("v0"), Var("v1")), body=Block([
+                assign(idx("a", 0), var("v0")),
+                Assign(Var("v0"), BinOp("+", Var("v0"), IntLit(1))),
+            ])))
+        recover_for_loops(fn)
+        recovered = loops_in(fn)[0]
+        assert isinstance(recovered, For)
+        assert isinstance(recovered.bound, IntLit)
+        assert recovered.bound.value == 10  # 9 + 1
+
+    def test_var_used_after_loop_blocks_recovery(self):
+        fn = _while_loop_function(IntLit(8))
+        fn.body.stmts.append(assign(idx("a", 0), var("v0")))
+        recover_for_loops(fn)
+        assert isinstance(loops_in(fn)[0], While)
+
+    def test_extra_writes_block_recovery(self):
+        body = Block([
+            Assign(Var("v0"), BinOp("*", Var("v0"), IntLit(2))),
+            Assign(Var("v0"), BinOp("+", Var("v0"), IntLit(1))),
+        ])
+        loop = While(cond=BinOp("<", Var("v0"), IntLit(100)), body=body)
+        fn = function("f", VOID, [], decl("v0", INT, init=1), loop)
+        recover_for_loops(fn)
+        assert isinstance(loops_in(fn)[0], While)
+
+    def test_nested_recovery(self):
+        inner_body = Block([
+            assign(idx("a", "v2"), var("v2")),
+            Assign(Var("v2"), BinOp("+", Var("v2"), IntLit(1))),
+        ])
+        outer_body = Block([
+            decl("v2", INT, init=0),
+            While(cond=BinOp("<", Var("v2"), IntLit(4)),
+                  body=inner_body),
+            Assign(Var("v0"), BinOp("+", Var("v0"), IntLit(1))),
+        ])
+        fn = function(
+            "f", VOID, [param("a", INT, pointer=True)],
+            decl("v0", INT, init=0),
+            While(cond=BinOp("<", Var("v0"), IntLit(3)),
+                  body=outer_body))
+        recover_for_loops(fn)
+        loops = loops_in(fn)
+        assert all(isinstance(loop, For) for loop in loops)
+        assert len(loops) == 2
+
+
+class TestRenameAndRemove:
+    def test_rename_var(self):
+        fn = _while_loop_function(IntLit(4))
+        rename_var(fn.body, "a", "out_1")
+        assert count_var_uses(fn.body, "a") == 0
+        assert count_var_uses(fn.body, "out_1") == 1
+
+    def test_rename_decl(self):
+        fn = function("f", VOID, [], decl("x", INT, init=1),
+                      assign(var("y"), add(var("x"), 1)),)
+        fn.body.stmts.insert(1, decl("y", INT))
+        rename_var(fn.body, "x", "z")
+        assert fn.body.stmts[0].name == "z"
+
+    def test_remove_decl_nested(self):
+        fn = _while_loop_function(IntLit(4))
+        loop = loops_in(fn)[0]
+        loop.body.stmts.insert(0, decl("tmp", INT, init=0))
+        assert remove_decl(fn.body, "tmp")
+        assert not remove_decl(fn.body, "tmp")
+
+    def test_count_var_uses(self):
+        fn = function("f", VOID, [],
+                      assign(var("x"), add(var("y"), var("y"))))
+        assert count_var_uses(fn.body, "y") == 2
+        assert count_var_uses(fn.body, "x") == 1

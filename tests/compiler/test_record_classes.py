@@ -1,0 +1,141 @@
+"""Record-class (custom composite type) tests.
+
+Section 3.3: "S2FA supports all primitive types and widely used classes
+that are already defined in the S2FA.  For other classes, we currently
+require users to implement a S2FA class template."  Record classes are
+that template: ``class Point(x: Float, y: Float)`` flattens to per-field
+interface buffers exactly like a tuple.
+"""
+
+import pytest
+
+from repro.blaze import (
+    BlazeRuntime,
+    make_deserializer,
+    make_serializer,
+)
+from repro.blaze.runtime import _JVMTaskRunner
+from repro.compiler import LayoutConfig, compile_kernel
+from repro.errors import ScalaTypeError, UnsupportedConstructError
+from repro.fpga import KernelExecutor
+from repro.hlsc import kernel_to_c
+from repro.scala import parse, type_program
+from repro.spark import SparkContext
+
+NORM = """
+class Point(x: Float, y: Float, weight: Float)
+
+class Norm extends Accelerator[Point, Point] {
+  val id: String = "norm"
+  def call(in: Point): Point = {
+    val mag = math.sqrt(in.x * in.x + in.y * in.y).toFloat
+    new Point(in.x / mag, in.y / mag, in.weight * mag)
+  }
+}
+"""
+
+
+class TestTyping:
+    def test_record_field_access(self):
+        program = type_program(parse(NORM))
+        kernel = next(c for c in program.classes if c.name == "Norm")
+        assert str(kernel.method("call").ret) == "Point"
+
+    def test_unknown_field_rejected(self):
+        source = NORM.replace("in.weight", "in.mass")
+        with pytest.raises(ScalaTypeError, match="no field"):
+            type_program(parse(source))
+
+    def test_wrong_arity_rejected(self):
+        source = NORM.replace("new Point(in.x / mag, in.y / mag, "
+                              "in.weight * mag)",
+                              "new Point(in.x, in.y)")
+        with pytest.raises(ScalaTypeError, match="arguments"):
+            type_program(parse(source))
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="record"):
+            type_program(parse(
+                "def f(a: Int): Int = { val x = new Ghost(a); a }"))
+
+    def test_record_with_methods_rejected(self):
+        source = """
+class Bad(x: Int) {
+  def m(v: Int): Int = v
+}
+"""
+        with pytest.raises(UnsupportedConstructError, match="record"):
+            type_program(parse(source))
+
+    def test_nested_composite_field_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="primitive"):
+            type_program(parse("class Bad(t: (Int, Int))"))
+
+
+class TestCompilation:
+    def test_fields_flatten_to_ports(self):
+        compiled = compile_kernel(NORM)
+        assert [leaf.path for leaf in compiled.layout.inputs] \
+            == ["in.x", "in.y", "in.weight"]
+        source = kernel_to_c(compiled.kernel)
+        assert "void call(float in_1, float in_2, float in_3, " \
+            "float *out_1, float *out_2, float *out_3)" in source
+
+    def test_array_fields_supported(self):
+        source = """
+class Sample(label: Float, features: Array[Float])
+
+class Dot extends Accelerator[Sample, Float] {
+  val id: String = "dot"
+  def call(in: Sample): Float = {
+    var s = 0.0f
+    for (i <- 0 until 4) {
+      s = s + in.features(i)
+    }
+    s * in.label
+  }
+}
+"""
+        compiled = compile_kernel(
+            source,
+            layout_config=LayoutConfig(lengths={"in.features": 4}))
+        text = kernel_to_c(compiled.kernel)
+        assert "float *in_2" in text
+        assert compiled.layout.inputs[1].elem_count == 4
+
+
+class TestExecution:
+    def test_jvm_matches_fpga(self):
+        compiled = compile_kernel(NORM, batch_size=32)
+        tasks = [(3.0, 4.0, 2.0), (0.0, 2.0, 1.0), (6.0, 8.0, 0.5)]
+        serialize = make_serializer(compiled.layout)
+        deserialize = make_deserializer(compiled.layout)
+        buffers = serialize(tasks)
+        KernelExecutor(compiled.kernel).run(buffers, len(tasks))
+        fpga = deserialize(buffers, len(tasks))
+        runner = _JVMTaskRunner(compiled)
+        jvm = [runner.call(task) for task in tasks]
+        assert fpga == jvm
+        assert fpga[0] == (0.6, 0.8, 10.0)
+
+    def test_dict_record_values_accepted(self):
+        compiled = compile_kernel(NORM, batch_size=32)
+        serialize = make_serializer(compiled.layout)
+        buffers = serialize([{"x": 3.0, "y": 4.0, "weight": 2.0}])
+        assert buffers["in_1"] == [3.0]
+        assert buffers["in_3"] == [2.0]
+
+    def test_through_blaze(self):
+        sc = SparkContext(default_parallelism=2)
+        runtime = BlazeRuntime(sc)
+        compiled = compile_kernel(NORM, batch_size=32)
+        from repro.merlin import DesignConfig, LoopConfig
+        runtime.register(compiled, DesignConfig(
+            loops={"L0": LoopConfig(pipeline="on")},
+            bitwidths={leaf.name: 64
+                       for leaf in compiled.layout.leaves}))
+        tasks = [(3.0, 4.0, 2.0), (1.0, 0.0, 5.0)]
+        got = runtime.wrap(sc.parallelize(tasks)).map_acc(
+            "norm").collect()
+        assert got[0] == (0.6, 0.8, 10.0)
+        assert got[1] == (1.0, 0.0, 5.0)

@@ -1,0 +1,120 @@
+"""Short-circuit conjunction recovery in statement contexts.
+
+``if (a && b) X else Y`` and ``while (a && b && c)`` compile to chains of
+conditional branches sharing one target; the lifter must fold them back
+into a single `&&` condition (not nested guards, which would mis-execute
+the else branch).
+"""
+
+import pytest
+
+from repro.blaze import make_deserializer, make_serializer
+from repro.blaze.runtime import _JVMTaskRunner
+from repro.compiler import compile_kernel
+from repro.fpga import KernelExecutor
+from repro.hlsc import kernel_to_c
+
+
+def _cross_check(source, tasks):
+    compiled = compile_kernel(source, batch_size=32)
+    serialize = make_serializer(compiled.layout)
+    deserialize = make_deserializer(compiled.layout)
+    buffers = serialize(tasks)
+    KernelExecutor(compiled.kernel).run(buffers, len(tasks))
+    fpga = deserialize(buffers, len(tasks))
+    runner = _JVMTaskRunner(compiled)
+    jvm = [runner.call(task) for task in tasks]
+    assert fpga == jvm
+    return compiled, fpga
+
+
+class TestIfConjunctions:
+    SOURCE = """
+class K extends Accelerator[(Int, Int), Int] {
+  val id: String = "K"
+  def call(in: (Int, Int)): Int = {
+    val a = in._1
+    val b = in._2
+    var r = 0
+    if (a > 0 && b > 0) {
+      r = 1
+    } else {
+      r = 2
+    }
+    r
+  }
+}
+"""
+
+    def test_semantics(self):
+        tasks = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+        _, results = _cross_check(self.SOURCE, tasks)
+        assert results == [1, 2, 2, 2]
+
+    def test_condition_is_single_and(self):
+        compiled = compile_kernel(self.SOURCE, batch_size=32)
+        text = kernel_to_c(compiled.kernel)
+        assert "v0 > 0 && v1 > 0" in text
+        # No nested guard duplication of the else branch.
+        assert text.count("= 2;") == 1
+
+    def test_triple_conjunction(self):
+        source = """
+class K extends Accelerator[(Int, Int), Int] {
+  val id: String = "K"
+  def call(in: (Int, Int)): Int = {
+    val a = in._1
+    val b = in._2
+    if (a > 0 && b > 0 && a + b < 10) a + b else 0
+  }
+}
+"""
+        tasks = [(2, 3), (6, 6), (-1, 5), (4, -4)]
+        _, results = _cross_check(source, tasks)
+        assert results == [5, 0, 0, 0]
+
+
+class TestWhileConjunctions:
+    def test_two_conjuncts(self):
+        source = """
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  def call(in: Int): Int = {
+    var i = in
+    var steps = 0
+    while (i > 0 && steps < 5) {
+      i = i - 2
+      steps = steps + 1
+    }
+    steps
+  }
+}
+"""
+        tasks = [1, 4, 100]
+        compiled, results = _cross_check(source, tasks)
+        assert results == [1, 2, 5]
+        assert "&&" in kernel_to_c(compiled.kernel)
+
+    def test_conjunct_with_array_read(self):
+        source = """
+class K extends Accelerator[Array[Int], Int] {
+  val id: String = "K"
+  def call(in: Array[Int]): Int = {
+    var i = 0
+    while (i < 8 && in(i) != 0) {
+      i = i + 1
+    }
+    i
+  }
+}
+"""
+        from repro.compiler import LayoutConfig
+        compiled = compile_kernel(
+            source, layout_config=LayoutConfig(lengths={"in": 8}),
+            batch_size=32)
+        tasks = [[1, 2, 0, 4, 5, 6, 7, 8], [1] * 8, [0] * 8]
+        serialize = make_serializer(compiled.layout)
+        deserialize = make_deserializer(compiled.layout)
+        buffers = serialize(tasks)
+        KernelExecutor(compiled.kernel).run(buffers, len(tasks))
+        assert deserialize(buffers, len(tasks)) == [2, 8, 0]

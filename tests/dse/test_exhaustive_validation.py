@@ -1,0 +1,85 @@
+"""Validate the learning-based DSE against brute-force ground truth.
+
+A restricted KMeans subspace (~1-2k points) is small enough to enumerate;
+the S2FA engine exploring the same subspace must land within a small
+factor of the true optimum — with a tiny fraction of the evaluations.
+"""
+
+import math
+
+import pytest
+
+from repro.apps import get_app
+from repro.dse import Evaluator, S2FAEngine, build_space
+from repro.dse.exhaustive import (
+    enumerate_points,
+    exhaustive_search,
+)
+from repro.errors import DSEError
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    compiled = get_app("KMeans").compile()
+    space = build_space(compiled)
+    restricted = space.restrict({
+        "L0.parallel": (1, 4, 16),
+        "L0.tile": (1, 16),
+        "call_L0.parallel": (1,),
+        "call_L0.tile": (1,),
+        "call_L0_0.tile": (1,),
+        "call_L0_0.parallel": (1, 16),
+        "bw.in_1": (64, 512),
+        "bw.out_1": (64,),
+    })
+    return compiled, restricted
+
+
+@pytest.fixture(scope="module")
+def ground_truth(small_space):
+    compiled, space = small_space
+    return exhaustive_search(Evaluator(compiled), space)
+
+
+class TestEnumeration:
+    def test_counts_match_space_size(self, small_space):
+        _, space = small_space
+        points = list(enumerate_points(space))
+        assert len(points) == space.size()
+        # All distinct.
+        keys = {frozenset(p.items()) for p in points}
+        assert len(keys) == len(points)
+
+    def test_refuses_huge_spaces(self):
+        compiled = get_app("S-W").compile()
+        space = build_space(compiled)
+        with pytest.raises(DSEError, match="refusing"):
+            list(enumerate_points(space, limit=10_000))
+
+
+class TestGroundTruth:
+    def test_optimum_is_feasible(self, ground_truth):
+        assert math.isfinite(ground_truth.best_qor)
+        assert 0 < ground_truth.feasible <= ground_truth.evaluated
+
+    def test_dse_reaches_near_optimum(self, small_space, ground_truth):
+        compiled, space = small_space
+        gaps = []
+        for seed in (1, 2, 3):
+            run = S2FAEngine(Evaluator(compiled), space, seed=seed,
+                             max_partitions=4).run()
+            gaps.append(run.best_qor / ground_truth.best_qor)
+            # Far fewer evaluations than brute force.
+            assert run.evaluations < ground_truth.evaluated
+        best_gap = min(gaps)
+        median_gap = sorted(gaps)[len(gaps) // 2]
+        assert best_gap <= 1.05, (
+            f"best-of-3 S2FA {best_gap:.2f}x off the true optimum")
+        assert median_gap <= 1.6, (
+            f"median S2FA run {median_gap:.2f}x off the true optimum")
+
+    def test_exhaustive_is_deterministic(self, small_space, ground_truth):
+        compiled, space = small_space
+        again = exhaustive_search(Evaluator(compiled), space)
+        assert again.best_qor == ground_truth.best_qor
+        assert again.best_point == ground_truth.best_point

@@ -1,0 +1,119 @@
+"""Decision-tree partitioning tests (Eq. 1, Section 4.3.1)."""
+
+import random
+
+import pytest
+
+from repro.dse.partition import (
+    Partition,
+    _information_gain,
+    _Sample,
+    build_partitions,
+)
+from repro.dse.space import DesignSpace, Parameter
+
+
+def _space():
+    return DesignSpace(parameters=[
+        Parameter(name="L0.parallel", values=(1, 2, 4, 8, 16),
+                  kind="parallel", loop="L0"),
+        Parameter(name="L0.pipeline", values=("off", "on", "flatten"),
+                  kind="pipeline", loop="L0"),
+        Parameter(name="L0.tile", values=(1, 2, 4), kind="tile",
+                  loop="L0"),
+        Parameter(name="bw.in_1", values=(32, 64, 128), kind="bitwidth"),
+    ])
+
+
+def _structured_probe(point) -> float:
+    """QoR dominated by the pipeline mode, then parallel factor."""
+    base = {"off": 1000.0, "on": 100.0, "flatten": 50.0}[
+        point["L0.pipeline"]]
+    return base / point["L0.parallel"]
+
+
+class TestInformationGain:
+    def test_perfect_split_has_max_gain(self):
+        parent = [_Sample({}, 1.0)] * 4 + [_Sample({}, 100.0)] * 4
+        left = parent[:4]
+        right = parent[4:]
+        gain = _information_gain(parent, left, right)
+        assert gain > 0
+        # Children are pure: gain equals the parent variance.
+        assert gain == pytest.approx(
+            _information_gain(parent, left, right))
+
+    def test_useless_split_has_no_gain(self):
+        parent = [_Sample({}, 10.0)] * 8
+        gain = _information_gain(parent, parent[:4], parent[4:])
+        assert gain == 0.0
+
+    def test_empty_side_is_zero(self):
+        parent = [_Sample({}, 1.0), _Sample({}, 2.0)]
+        assert _information_gain(parent, [], parent) == 0.0
+
+
+class TestBuildPartitions:
+    def test_partitions_cover_and_are_disjoint(self):
+        space = _space()
+        partitions = build_partitions(
+            space, _structured_probe, random.Random(0),
+            max_partitions=4, samples=96)
+        assert len(partitions) >= 2
+        # Every point belongs to exactly one partition.
+        rng = random.Random(1)
+        for _ in range(50):
+            point = space.random_point(rng)
+            owners = [
+                p for p in partitions
+                if all(point[name] in allowed
+                       for name, allowed in p.constraints.items())
+            ]
+            assert len(owners) == 1, (point, [p.rules for p in owners])
+
+    def test_splits_on_the_dominant_factor(self):
+        space = _space()
+        partitions = build_partitions(
+            space, _structured_probe, random.Random(0),
+            max_partitions=4, samples=96)
+        split_params = {name for p in partitions
+                        for name in p.constraints}
+        assert "L0.pipeline" in split_params
+
+    def test_ranked_best_first(self):
+        space = _space()
+        partitions = build_partitions(
+            space, _structured_probe, random.Random(0),
+            max_partitions=4, samples=96)
+        qors = [p.predicted_qor for p in partitions]
+        assert qors == sorted(qors)
+        assert partitions[0].index == 0
+
+    def test_infeasible_points_kept_with_surrogate(self):
+        space = _space()
+
+        def probe(point):
+            if point["L0.parallel"] >= 8:
+                return float("inf")
+            return 10.0
+
+        partitions = build_partitions(space, probe, random.Random(0),
+                                      max_partitions=4, samples=96)
+        # The tree should be able to isolate the infeasible half.
+        split_params = {name for p in partitions
+                        for name in p.constraints}
+        assert "L0.parallel" in split_params
+
+    def test_subspace_restriction(self):
+        space = _space()
+        partition = Partition(
+            constraints={"L0.parallel": (1, 2)}, predicted_qor=1.0)
+        sub = partition.subspace(space)
+        assert sub.parameter("L0.parallel").values == (1, 2)
+
+    def test_describe(self):
+        partition = Partition(constraints={}, predicted_qor=0.0,
+                              rules=["L0.parallel <= 4"])
+        assert "L0.parallel" in partition.describe()
+        assert Partition(constraints={},
+                         predicted_qor=0.0).describe() == "(whole space)"

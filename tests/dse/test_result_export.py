@@ -1,0 +1,50 @@
+"""DSE run serialization tests."""
+
+import json
+
+import pytest
+
+from repro.apps import get_app
+from repro.dse import Evaluator, S2FAEngine, build_space
+
+
+@pytest.fixture(scope="module")
+def run():
+    compiled = get_app("KMeans").compile()
+    return S2FAEngine(Evaluator(compiled), build_space(compiled),
+                      seed=5, time_limit_minutes=90).run()
+
+
+class TestExport:
+    def test_roundtrips_through_json(self, run):
+        data = json.loads(run.to_json())
+        assert data["name"] == "s2fa"
+        assert data["evaluations"] == run.evaluations
+        assert data["best_qor"] == pytest.approx(run.best_qor)
+
+    def test_trace_preserved(self, run):
+        data = run.to_dict()
+        assert len(data["trace"]) == len(run.trace.points)
+        minutes = [p["minutes"] for p in data["trace"]]
+        assert minutes == sorted(minutes)
+
+    def test_infinities_become_null(self, run):
+        data = run.to_dict()
+        # json module would emit the non-standard Infinity otherwise.
+        text = run.to_json()
+        assert "Infinity" not in text
+        for point in data["trace"]:
+            assert point["best_qor"] is None or point["best_qor"] >= 0
+
+    def test_best_design_summary(self, run):
+        data = run.to_dict()
+        design = data["best_design"]
+        assert design["cycles"] > 0
+        assert 100 <= design["freq_mhz"] <= 250
+        assert set(design["utilization"]) == {"lut", "ff", "dsp", "bram"}
+
+    def test_partitions_exported(self, run):
+        data = run.to_dict()
+        assert data["partitions"]
+        for p in data["partitions"]:
+            assert p["end_minutes"] >= p["start_minutes"]

@@ -1,0 +1,114 @@
+"""Design-space construction tests (Table 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as hst
+
+from repro.apps import get_app
+from repro.dse import build_space
+from repro.errors import DSEError
+from repro.merlin import DesignConfig
+
+
+@pytest.fixture(scope="module")
+def kmeans_space():
+    return build_space(get_app("KMeans").compile())
+
+
+class TestConstruction:
+    def test_three_factors_per_loop(self, kmeans_space):
+        kinds = {}
+        for p in kmeans_space.parameters:
+            kinds.setdefault(p.kind, []).append(p.name)
+        assert len(kinds["tile"]) == len(kinds["parallel"]) \
+            == len(kinds["pipeline"]) == 3  # L0, call_L0, call_L0_0
+
+    def test_bitwidth_per_interface_buffer(self, kmeans_space):
+        bw = [p for p in kmeans_space.parameters if p.kind == "bitwidth"]
+        assert {p.name for p in bw} == {"bw.in_1", "bw.out_1"}
+
+    def test_pipeline_values(self, kmeans_space):
+        p = kmeans_space.parameter("L0.pipeline")
+        assert p.values == ("off", "on", "flatten")
+
+    def test_parallel_values_bounded_by_trip(self, kmeans_space):
+        inner = kmeans_space.parameter("call_L0_0.parallel")
+        assert max(inner.values) == 16  # DIMS
+        task = kmeans_space.parameter("L0.parallel")
+        assert max(task.values) == 256  # capped
+
+    def test_bitwidth_range(self, kmeans_space):
+        p = kmeans_space.parameter("bw.in_1")
+        assert min(p.values) >= 32  # float elements
+        assert max(p.values) == 512
+
+    def test_size_is_product(self, kmeans_space):
+        expected = 1
+        for p in kmeans_space.parameters:
+            expected *= p.cardinality
+        assert kmeans_space.size() == expected
+
+
+class TestPoints:
+    def test_default_point_is_minimal(self, kmeans_space):
+        point = kmeans_space.default_point()
+        assert point["L0.parallel"] == 1
+        assert point["L0.pipeline"] == "off"
+
+    def test_random_point_valid(self, kmeans_space):
+        rng = random.Random(0)
+        for _ in range(20):
+            kmeans_space.validate(kmeans_space.random_point(rng))
+
+    def test_validate_rejects_missing(self, kmeans_space):
+        with pytest.raises(DSEError, match="missing"):
+            kmeans_space.validate({"L0.tile": 1})
+
+    def test_validate_rejects_bad_value(self, kmeans_space):
+        point = kmeans_space.default_point()
+        point["L0.parallel"] = 3  # not a power of two
+        with pytest.raises(DSEError, match="invalid"):
+            kmeans_space.validate(point)
+
+    def test_point_to_config(self, kmeans_space):
+        point = kmeans_space.default_point()
+        point["L0.parallel"] = 8
+        config = kmeans_space.to_config(point)
+        assert isinstance(config, DesignConfig)
+        assert config.loop("L0").parallel == 8
+
+
+class TestRestriction:
+    def test_restrict_narrows_values(self, kmeans_space):
+        sub = kmeans_space.restrict({"L0.parallel": (1, 2, 4)})
+        assert sub.parameter("L0.parallel").values == (1, 2, 4)
+        assert sub.size() < kmeans_space.size()
+
+    def test_restrict_rejects_empty(self, kmeans_space):
+        with pytest.raises(DSEError, match="empty"):
+            kmeans_space.restrict({"L0.parallel": (3,)})
+
+    def test_project_clamps_numeric(self, kmeans_space):
+        sub = kmeans_space.restrict({"L0.parallel": (1, 2, 4)})
+        point = kmeans_space.default_point()
+        point["L0.parallel"] = 64
+        projected = sub.project(point)
+        assert projected["L0.parallel"] == 4
+
+    def test_project_replaces_invalid_categorical(self, kmeans_space):
+        sub = kmeans_space.restrict({"L0.pipeline": ("on",)})
+        point = kmeans_space.default_point()
+        projected = sub.project(point)
+        assert projected["L0.pipeline"] == "on"
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=hst.integers(min_value=0, max_value=10_000))
+    def test_projection_always_valid(self, kmeans_space, seed):
+        rng = random.Random(seed)
+        sub = kmeans_space.restrict({
+            "L0.parallel": (2, 8),
+            "call_L0.pipeline": ("off", "flatten"),
+        })
+        point = kmeans_space.random_point(rng)
+        sub.validate(sub.project(point))

@@ -1,0 +1,79 @@
+"""Early-stopping criterion tests."""
+
+import pytest
+
+from repro.dse.stopping import (
+    EntropyStopping,
+    NeverStop,
+    NoImprovementStopping,
+)
+
+
+def _point(**kwargs):
+    base = {"a": 1, "b": 1, "c": "off"}
+    base.update(kwargs)
+    return base
+
+
+class TestEntropyStopping:
+    def test_never_stops_before_min_iterations(self):
+        stop = EntropyStopping(min_iterations=10, hopeless_iterations=10)
+        for i in range(9):
+            assert not stop.observe(_point(a=i), 100.0 - i)
+
+    def test_stops_when_nothing_improves(self):
+        stop = EntropyStopping(hopeless_iterations=8)
+        fired = []
+        for i in range(12):
+            fired.append(stop.observe(_point(a=i % 3), 100.0))
+        assert any(fired[:10])
+
+    def test_stops_after_entropy_stabilizes(self):
+        stop = EntropyStopping(min_iterations=6, consecutive=2,
+                               theta=0.05)
+        qor = 100.0
+        fired = False
+        # Improvements early, then a long flat tail: entropy converges.
+        for i in range(40):
+            qor = qor - 5 if i < 5 else qor
+            if stop.observe(_point(a=(i % 4), b=(i % 2)), qor):
+                fired = True
+                break
+        assert fired
+        assert stop.iterations < 40
+
+    def test_entropy_nonnegative(self):
+        stop = EntropyStopping()
+        stop.observe(_point(), 10.0)
+        stop.observe(_point(a=2), 5.0)
+        stop.observe(_point(b=2), 4.0)
+        assert stop.entropy() >= 0.0
+
+    def test_attribution_to_changed_factors(self):
+        stop = EntropyStopping()
+        stop.observe(_point(), 10.0)
+        stop.observe(_point(a=2), 5.0)  # improvement via factor a
+        assert stop._uphill.get("a") == 1
+        assert "b" not in stop._uphill
+
+
+class TestNoImprovementStopping:
+    def test_stops_after_patience(self):
+        stop = NoImprovementStopping(patience=3, min_iterations=1)
+        assert not stop.observe(_point(), 10.0)
+        results = [stop.observe(_point(a=i), 10.0) for i in range(2, 6)]
+        assert results[-1] or results[-2]
+
+    def test_improvement_resets(self):
+        stop = NoImprovementStopping(patience=3, min_iterations=1)
+        stop.observe(_point(), 10.0)
+        stop.observe(_point(a=2), 11.0)
+        stop.observe(_point(a=3), 12.0)
+        stop.observe(_point(a=4), 5.0)  # new best resets the counter
+        assert not stop.observe(_point(a=5), 6.0)
+
+
+class TestNeverStop:
+    def test_never(self):
+        stop = NeverStop()
+        assert not any(stop.observe(_point(a=i), 1.0) for i in range(50))

@@ -1,0 +1,74 @@
+"""FPGA board timing-model tests."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.errors import BlazeError
+from repro.fpga import FPGABoard
+from repro.fpga.board import offload_seconds_per_task
+from repro.hls import estimate
+from repro.merlin import DesignConfig, LoopConfig
+
+
+@pytest.fixture(scope="module")
+def kmeans_parts():
+    spec = get_app("KMeans")
+    compiled = spec.compile()
+    config = DesignConfig(
+        loops={"L0": LoopConfig(pipeline="on", parallel=4)},
+        bitwidths={leaf.name: 256 for leaf in compiled.layout.leaves})
+    hls = estimate(compiled.kernel, config)
+    return spec, compiled, hls
+
+
+class TestBoard:
+    def test_run_returns_positive_seconds(self, kmeans_parts):
+        spec, compiled, hls = kmeans_parts
+        board = FPGABoard(kernel=compiled.kernel, hls=hls,
+                          batch_size=compiled.batch_size,
+                          bytes_per_task=68)
+        from repro.blaze import make_serializer
+        tasks = spec.workload(32, seed=1)
+        buffers = make_serializer(compiled.layout)(tasks)
+        seconds = board.run(buffers, 32)
+        assert seconds > 0
+        assert board.stats.tasks == 32
+        assert board.stats.total_seconds >= seconds * 0.99
+
+    def test_time_scales_with_tasks(self, kmeans_parts):
+        spec, compiled, hls = kmeans_parts
+        board = FPGABoard(kernel=compiled.kernel, hls=hls,
+                          batch_size=compiled.batch_size,
+                          bytes_per_task=68)
+        from repro.blaze import make_serializer
+        serialize = make_serializer(compiled.layout)
+        small = board.run(serialize(spec.workload(16, 1)), 16)
+        large = board.run(serialize(spec.workload(64, 1)), 64)
+        assert large > small
+
+    def test_infeasible_design_not_deployable(self, kmeans_parts):
+        spec, compiled, _ = kmeans_parts
+        bad_config = DesignConfig(
+            loops={"L0": LoopConfig(parallel=256, pipeline="on"),
+                   "call_L0": LoopConfig(pipeline="flatten")},
+            bitwidths={leaf.name: 512
+                       for leaf in compiled.layout.leaves})
+        bad = estimate(compiled.kernel, bad_config)
+        assert not bad.feasible
+        with pytest.raises(BlazeError, match="infeasible"):
+            FPGABoard(kernel=compiled.kernel, hls=bad,
+                      batch_size=compiled.batch_size)
+
+
+class TestOffloadModel:
+    def test_components_add_up(self, kmeans_parts):
+        _, compiled, hls = kmeans_parts
+        per_task = offload_seconds_per_task(hls, compiled.batch_size, 68)
+        kernel_only = hls.seconds_per_batch / compiled.batch_size
+        assert per_task > kernel_only  # PCIe + serialization on top
+
+    def test_more_bytes_cost_more(self, kmeans_parts):
+        _, compiled, hls = kmeans_parts
+        small = offload_seconds_per_task(hls, compiled.batch_size, 16)
+        large = offload_seconds_per_task(hls, compiled.batch_size, 4096)
+        assert large > small

@@ -1,0 +1,243 @@
+"""C-AST interpreter tests."""
+
+import math
+
+import pytest
+
+from repro.errors import S2FAError
+from repro.fpga import CPointer, KernelExecutor
+from repro.hlsc import (
+    Block,
+    Break,
+    Cast,
+    CHAR,
+    CKernel,
+    Continue,
+    FLOAT,
+    INT,
+    Return,
+    Ternary,
+    VOID,
+    assign_loop_labels,
+)
+from repro.hlsc.ast import BinOp, ExprStmt, IntLit, UnOp, Var, VarDecl, While
+from repro.hlsc.builder import (
+    add,
+    assign,
+    call,
+    decl,
+    for_loop,
+    function,
+    idx,
+    if_stmt,
+    lit,
+    mul,
+    param,
+    ret,
+    sub,
+    var,
+)
+
+
+def _kernel(*fns, top="kernel"):
+    kernel = CKernel(functions=list(fns), top=top)
+    return kernel
+
+
+class TestBasics:
+    def test_simple_loop(self):
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", INT, pointer=True)],
+            for_loop("i", var("N"), assign(idx("out", "i"),
+                                           mul("i", "i"))))
+        buffers = {"out": [0] * 5}
+        KernelExecutor(_kernel(fn)).run(buffers, 5)
+        assert buffers["out"] == [0, 1, 4, 9, 16]
+
+    def test_pointer_arithmetic(self):
+        inner = function(
+            "write", VOID, [param("p", INT, pointer=True)],
+            assign(idx("p", 0), lit(9)))
+        top = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", INT, pointer=True)],
+            for_loop("i", var("N"),
+                     ExprStmt(call("write", add(var("out"), var("i"))))))
+        buffers = {"out": [0] * 3}
+        KernelExecutor(_kernel(inner, top)).run(buffers, 3)
+        assert buffers["out"] == [9, 9, 9]
+
+    def test_local_array_zeroed(self):
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", INT, pointer=True)],
+            decl("tmp", INT, dims=[4]),
+            assign(idx("out", 0), idx("tmp", 2)))
+        buffers = {"out": [99]}
+        KernelExecutor(_kernel(fn)).run(buffers, 1)
+        assert buffers["out"] == [0]
+
+    def test_const_table(self):
+        table = VarDecl(name="t", ctype=INT, dims=(3,),
+                        init_values=(5, 6, 7),
+                        qualifiers=("static", "const"))
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", INT, pointer=True)],
+            table,
+            assign(idx("out", 0), idx("t", 1)))
+        buffers = {"out": [0]}
+        KernelExecutor(_kernel(fn)).run(buffers, 1)
+        assert buffers["out"] == [6]
+
+    def test_bounds_checked(self):
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", INT, pointer=True)],
+            assign(idx("out", 10), lit(1)))
+        with pytest.raises(S2FAError, match="out-of-bounds"):
+            KernelExecutor(_kernel(fn)).run({"out": [0] * 3}, 1)
+
+    def test_missing_buffer(self):
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", INT, pointer=True)],
+            assign(idx("out", 0), lit(1)))
+        with pytest.raises(S2FAError, match="missing"):
+            KernelExecutor(_kernel(fn)).run({}, 1)
+
+
+class TestCSemantics:
+    def _eval_expr(self, expr, ctype=INT):
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", ctype, pointer=True)],
+            assign(idx("out", 0), expr))
+        zero = 0.0 if ctype.is_float else 0
+        buffers = {"out": [zero]}
+        KernelExecutor(_kernel(fn)).run(buffers, 1)
+        return buffers["out"][0]
+
+    def test_int_division_truncates(self):
+        assert self._eval_expr(BinOp("/", IntLit(-7), IntLit(2))) == -3
+
+    def test_int_remainder_sign(self):
+        assert self._eval_expr(BinOp("%", IntLit(-7), IntLit(2))) == -1
+
+    def test_division_by_zero(self):
+        with pytest.raises(S2FAError, match="zero"):
+            self._eval_expr(BinOp("/", IntLit(1), IntLit(0)))
+
+    def test_int_wraparound(self):
+        expr = add(IntLit(2**31 - 1), IntLit(1))
+        assert self._eval_expr(expr) == -(2**31)
+
+    def test_float_division_by_zero_is_inf(self):
+        expr = BinOp("/", Var("x"), sub(var("x"), var("x")))
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", FLOAT, pointer=True)],
+            decl("x", FLOAT, init=lit(2.0)),
+            assign(idx("out", 0), expr))
+        buffers = {"out": [0.0]}
+        KernelExecutor(_kernel(fn)).run(buffers, 1)
+        assert buffers["out"][0] == math.inf
+
+    def test_char_cast_is_jvm_char(self):
+        assert self._eval_expr(Cast(CHAR, IntLit(0x1FF))) == 0x1FF & 0xFFFF
+        assert self._eval_expr(Cast(CHAR, IntLit(65))) == 65
+
+    def test_ternary(self):
+        expr = Ternary(BinOp("<", IntLit(1), IntLit(2)), IntLit(10),
+                       IntLit(20))
+        assert self._eval_expr(expr) == 10
+
+    def test_logic_short_circuit(self):
+        # (1 || (1/0)) must not evaluate the division.
+        expr = BinOp("||", IntLit(1), BinOp("/", IntLit(1), IntLit(0)))
+        assert self._eval_expr(expr) == 1
+
+    def test_unary_not(self):
+        assert self._eval_expr(UnOp("!", IntLit(0))) == 1
+        assert self._eval_expr(UnOp("!", IntLit(7))) == 0
+
+    def test_math_calls(self):
+        assert self._eval_expr(call("max", 3, 9)) == 9
+        got = self._eval_expr(call("sqrt", lit(16.0)), FLOAT)
+        assert got == 4.0
+
+
+class TestControlFlow:
+    def test_while_with_break(self):
+        body = Block([
+            if_stmt(BinOp(">", Var("i"), IntLit(5)), [Break()]),
+            assign(var("s"), add(var("s"), var("i"))),
+            assign(var("i"), add(var("i"), 1)),
+        ])
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", INT, pointer=True)],
+            decl("i", INT, init=0),
+            decl("s", INT, init=0),
+            While(cond=BinOp("<", Var("i"), IntLit(100)), body=body),
+            assign(idx("out", 0), var("s")))
+        buffers = {"out": [0]}
+        KernelExecutor(_kernel(fn)).run(buffers, 1)
+        assert buffers["out"][0] == sum(range(6))
+
+    def test_continue(self):
+        body = Block([
+            if_stmt(BinOp("==", BinOp("%", Var("i"), IntLit(2)),
+                          IntLit(0)),
+                    [Continue()]),
+            assign(var("s"), add(var("s"), var("i"))),
+        ])
+        loop = for_loop("i", 10)
+        loop.body = body
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", INT, pointer=True)],
+            decl("s", INT, init=0),
+            loop,
+            assign(idx("out", 0), var("s")))
+        buffers = {"out": [0]}
+        KernelExecutor(_kernel(fn)).run(buffers, 1)
+        assert buffers["out"][0] == 1 + 3 + 5 + 7 + 9
+
+    def test_function_return_value(self):
+        helper = function("sq", INT, [param("x", INT)],
+                          ret(mul("x", "x")))
+        top = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", INT, pointer=True)],
+            assign(idx("out", 0), call("sq", 7)))
+        buffers = {"out": [0]}
+        KernelExecutor(_kernel(helper, top)).run(buffers, 1)
+        assert buffers["out"][0] == 49
+
+    def test_step_limit(self):
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("out", INT, pointer=True)],
+            decl("i", INT, init=0),
+            While(cond=IntLit(1), body=Block([
+                assign(var("i"), add(var("i"), 1))])),
+            assign(idx("out", 0), var("i")))
+        executor = KernelExecutor(_kernel(fn), max_steps=1000)
+        with pytest.raises(S2FAError, match="steps"):
+            executor.run({"out": [0]}, 1)
+
+
+class TestCPointer:
+    def test_shifted_view(self):
+        backing = [1, 2, 3, 4]
+        pointer = CPointer(backing).shifted(2)
+        assert pointer.load(0) == 3
+        pointer.store(1, 99)
+        assert backing[3] == 99
+
+    def test_bounds(self):
+        pointer = CPointer([1, 2], offset=1)
+        with pytest.raises(S2FAError):
+            pointer.load(5)

@@ -1,0 +1,76 @@
+"""Device model and operator table sanity tests."""
+
+import pytest
+
+from repro.hls import KU060, OP_COSTS, VU9P
+from repro.hls.optable import LOOP_OVERHEAD, PIPELINE_FILL, op_cost
+from repro.hls.result import HLSResult, Resources
+
+
+class TestDevice:
+    def test_vu9p_envelope(self):
+        assert VU9P.luts == 1_182_240
+        assert VU9P.dsps == 6_840
+        assert VU9P.usable_fraction == 0.75
+
+    def test_usable_applies_fraction(self):
+        assert VU9P.usable("lut") == int(VU9P.luts * 0.75)
+        assert VU9P.usable("dsp") == int(VU9P.dsps * 0.75)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            VU9P.usable("uram")
+
+    def test_smaller_device_strictly_smaller(self):
+        for kind in ("lut", "ff", "dsp", "bram"):
+            assert KU060.usable(kind) < VU9P.usable(kind)
+
+
+class TestOpTable:
+    def test_all_categories_priced(self):
+        from repro.hlsc.analysis import OP_CATEGORIES
+        assert set(OP_COSTS) == set(OP_CATEGORIES)
+
+    def test_latency_ordering(self):
+        # The relations the model leans on.
+        assert OP_COSTS["fadd"].latency > OP_COSTS["iadd"].latency
+        assert OP_COSTS["fdiv"].latency > OP_COSTS["fmul"].latency
+        assert OP_COSTS["fspec"].latency == 13  # the LR II story
+        assert OP_COSTS["idiv"].latency > OP_COSTS["imul"].latency
+
+    def test_resources_nonnegative(self):
+        for cost in OP_COSTS.values():
+            assert cost.lut >= 0 and cost.ff >= 0 and cost.dsp >= 0
+
+    def test_scaled(self):
+        lut, ff, dsp = op_cost("fmul").scaled(4)
+        assert lut == OP_COSTS["fmul"].lut * 4
+        assert dsp == OP_COSTS["fmul"].dsp * 4
+
+    def test_overheads_positive(self):
+        assert LOOP_OVERHEAD >= 1
+        assert PIPELINE_FILL >= 1
+
+
+class TestResultHelpers:
+    def test_resources_merge(self):
+        a = Resources(lut=10, ff=20, dsp=1, bram=2)
+        b = Resources(lut=5, ff=5, dsp=5, bram=5)
+        a.merge(b)
+        assert a.as_dict() == {"lut": 15, "ff": 25, "dsp": 6, "bram": 7}
+
+    def test_normalized_cycles_rescales(self):
+        result = HLSResult(
+            feasible=True, cycles=1000, freq_mhz=125.0,
+            resources=Resources(), utilization={}, ii_top=None,
+            synthesis_minutes=5.0)
+        assert result.normalized_cycles == pytest.approx(2000.0)
+        assert result.seconds_per_batch == pytest.approx(8e-6)
+
+    def test_infeasible_is_infinite(self):
+        result = HLSResult(
+            feasible=False, cycles=1, freq_mhz=250.0,
+            resources=Resources(), utilization={}, ii_top=None,
+            synthesis_minutes=5.0, infeasible_reason="too big")
+        assert result.normalized_cycles == float("inf")
+        assert result.seconds_per_batch == float("inf")

@@ -1,0 +1,91 @@
+"""White-box coverage of every scheduling branch in the estimator."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.hls import estimate
+from repro.merlin import DesignConfig, LoopConfig
+
+
+def _report(hls, label):
+    for loop in hls.loops:
+        if loop.label == label:
+            return loop
+    raise AssertionError(f"no report for loop {label}")
+
+
+def _base(compiled, **loops):
+    return DesignConfig(
+        loops={k: v for k, v in loops.items()},
+        bitwidths={leaf.name: 64 for leaf in compiled.layout.leaves})
+
+
+class TestSchedulingNotes:
+    def test_sequential(self):
+        ck = get_app("KMeans").compile()
+        hls = estimate(ck.kernel, _base(ck))
+        assert _report(hls, "call_L0").note == "sequential"
+
+    def test_innermost_pipeline(self):
+        ck = get_app("KMeans").compile()
+        hls = estimate(ck.kernel, _base(
+            ck, call_L0_0=LoopConfig(pipeline="on")))
+        report = _report(hls, "call_L0_0")
+        assert report.pipelined and report.note == "pipelined"
+        assert report.ii is not None
+
+    def test_flatten_note(self):
+        ck = get_app("KMeans").compile()
+        hls = estimate(ck.kernel, _base(
+            ck, call_L0=LoopConfig(pipeline="flatten")))
+        assert _report(hls, "call_L0").note == "flattened pipeline"
+
+    def test_unrolled_reduction_tree(self):
+        ck = get_app("KMeans").compile()
+        hls = estimate(ck.kernel, _base(
+            ck, call_L0_0=LoopConfig(parallel=16)))
+        assert _report(hls, "call_L0_0").note == "unrolled reduction tree"
+
+    def test_unrolled_serial_chain(self):
+        ck = get_app("S-W").compile()
+        hls = estimate(ck.kernel, _base(
+            ck, call_L0_0=LoopConfig(parallel=256)))
+        assert _report(hls, "call_L0_0").note == "unrolled serial chain"
+
+    def test_coarse_grained_pipeline(self):
+        ck = get_app("KMeans").compile()
+        hls = estimate(ck.kernel, _base(
+            ck, L0=LoopConfig(pipeline="on")))
+        assert _report(hls, "L0").note == "coarse-grained pipeline"
+
+    def test_dependence_bound_outer_stays_serialized(self):
+        # S-W's row loop carries the DP rows; pipeline "on" there cannot
+        # become a coarse-grained pipeline.
+        ck = get_app("S-W").compile()
+        hls = estimate(ck.kernel, _base(
+            ck, call_L0=LoopConfig(pipeline="on")))
+        report = _report(hls, "call_L0")
+        assert not report.pipelined
+        assert "serialized" in report.note or report.note == "sequential"
+
+    def test_fully_unrolled_independent(self):
+        # PR's second loop (the output scatter) has no carried deps.
+        ck = get_app("PR").compile()
+        hls = estimate(ck.kernel, _base(
+            ck, call_L1=LoopConfig(parallel=16)))
+        assert _report(hls, "call_L1").note == "fully unrolled"
+
+
+class TestParallelClamping:
+    def test_factor_clamped_to_trip(self):
+        ck = get_app("KMeans").compile()
+        hls = estimate(ck.kernel, _base(
+            ck, call_L0=LoopConfig(parallel=256)))
+        report = _report(hls, "call_L0")
+        assert report.parallel <= 8  # CLUSTERS
+
+    def test_task_loop_uses_batch_size(self):
+        ck = get_app("KMeans").compile()
+        hls = estimate(ck.kernel, _base(ck))
+        report = _report(hls, "L0")
+        assert report.trip_count == ck.batch_size

@@ -1,0 +1,220 @@
+"""Loop-tree and dependence analysis tests."""
+
+import pytest
+
+from repro.hlsc import (
+    FLOAT,
+    INT,
+    VOID,
+    assign_loop_labels,
+    build_loop_tree,
+    find_loop,
+    flatten_loop_tree,
+    loop_trip_count,
+)
+from repro.hlsc.analysis import OpCounts
+from repro.hlsc.ast import BinOp, IntLit, Var, While
+from repro.hlsc.builder import (
+    add,
+    assign,
+    call,
+    decl,
+    for_loop,
+    function,
+    idx,
+    if_stmt,
+    mul,
+    param,
+    sub,
+    var,
+)
+
+
+def _labelled(fn):
+    assign_loop_labels(fn)
+    return fn
+
+
+class TestLabels:
+    def test_hierarchical_labels(self):
+        inner = for_loop("j", 8, assign(idx("a", "j"), 0))
+        outer = for_loop("i", 4, inner)
+        fn = _labelled(function("f", VOID,
+                                [param("a", INT, pointer=True)], outer))
+        labels = [loop.label for loop in flatten_loop_tree(
+            build_loop_tree(fn))]
+        assert labels == ["L0", "L0_0"]
+
+    def test_sibling_loops(self):
+        fn = _labelled(function(
+            "f", VOID, [param("a", INT, pointer=True)],
+            for_loop("i", 4, assign(idx("a", "i"), 0)),
+            for_loop("i", 4, assign(idx("a", "i"), 1)),
+        ))
+        roots = build_loop_tree(fn)
+        assert [r.label for r in roots] == ["L0", "L1"]
+
+    def test_find_loop(self):
+        fn = _labelled(function(
+            "f", VOID, [param("a", INT, pointer=True)],
+            for_loop("i", 4, assign(idx("a", "i"), 0))))
+        assert find_loop(fn, "L0").var == "i"
+        with pytest.raises(KeyError):
+            find_loop(fn, "L9")
+
+
+class TestTripCounts:
+    def test_constant_bounds(self):
+        assert loop_trip_count(for_loop("i", 10, )) == 10
+
+    def test_step(self):
+        from repro.hlsc.ast import For, Block
+        loop = For(var="i", start=IntLit(0), bound=IntLit(10), step=3,
+                   body=Block([]))
+        assert loop_trip_count(loop) == 4
+
+    def test_variable_bound_unknown(self):
+        assert loop_trip_count(for_loop("i", var("N"))) is None
+
+    def test_while_unknown(self):
+        assert loop_trip_count(
+            While(cond=BinOp("<", Var("i"), IntLit(4)))) is None
+
+    def test_constant_expression_bound(self):
+        assert loop_trip_count(for_loop("i", mul(4, 4))) == 16
+
+
+class TestOpCounts:
+    def test_float_ops_classified(self):
+        body = assign(var("s"), add(var("s"), mul(idx("a", "i"),
+                                                  idx("w", "i"))))
+        fn = _labelled(function(
+            "f", VOID,
+            [param("a", FLOAT, pointer=True), param("w", FLOAT,
+                                                    pointer=True)],
+            decl("s", FLOAT, init=0.0),
+            for_loop("i", 16, body)))
+        info = build_loop_tree(fn)[0]
+        assert info.body_ops.get("fadd") == 1
+        assert info.body_ops.get("fmul") == 1
+        assert info.body_ops.get("load") == 2
+        assert info.body_ops.get("store") == 0
+
+    def test_special_function_counted(self):
+        fn = _labelled(function(
+            "f", VOID, [param("a", FLOAT, pointer=True)],
+            for_loop("i", 4,
+                     assign(idx("a", "i"), call("exp", idx("a", "i"))))))
+        info = build_loop_tree(fn)[0]
+        assert info.body_ops.get("fspec") == 1
+
+    def test_child_loop_ops_excluded(self):
+        inner = for_loop("j", 8, assign(var("s"), add(var("s"), 1)))
+        fn = _labelled(function(
+            "f", VOID, [],
+            decl("s", INT, init=0),
+            for_loop("i", 4, assign(var("t"), 1), inner)))
+        outer = build_loop_tree(fn)[0]
+        # The outer body has only the t=1 store-free assignment.
+        assert outer.body_ops.total == 0 or \
+            outer.body_ops.get("iadd") == 0
+
+    def test_merge_scaling(self):
+        a = OpCounts()
+        a.add("fadd", 2)
+        b = OpCounts()
+        b.add("fadd", 1)
+        b.add("load", 3)
+        a.merge(b, scale=4)
+        assert a.get("fadd") == 6
+        assert a.get("load") == 12
+
+
+class TestReductionDetection:
+    def test_scalar_accumulation(self):
+        fn = _labelled(function(
+            "f", VOID, [param("a", FLOAT, pointer=True)],
+            decl("s", FLOAT, init=0.0),
+            for_loop("i", 16,
+                     assign(var("s"), add(var("s"), idx("a", "i"))))))
+        info = build_loop_tree(fn)[0]
+        assert info.is_reduction
+        assert info.recurrence_ops.get("fadd") == 1
+
+    def test_non_reduction(self):
+        fn = _labelled(function(
+            "f", VOID, [param("a", FLOAT, pointer=True)],
+            for_loop("i", 16, assign(idx("a", "i"), 1.0))))
+        info = build_loop_tree(fn)[0]
+        assert not info.is_reduction
+
+    def test_local_accumulator_not_reduction(self):
+        fn = _labelled(function(
+            "f", VOID, [param("a", FLOAT, pointer=True)],
+            for_loop("i", 16,
+                     decl("t", FLOAT, init=0.0),
+                     assign(var("t"), add(var("t"), 1.0)),
+                     assign(idx("a", "i"), var("t")))))
+        info = build_loop_tree(fn)[0]
+        assert not info.is_reduction
+
+
+class TestArrayCarriedDeps:
+    def test_wavefront_dependence_detected(self):
+        # h[j] reads h[j-1]: classic S-W inner-loop recurrence.
+        body = assign(idx("h", "j"),
+                      add(idx("h", sub("j", 1)), 1))
+        fn = _labelled(function(
+            "f", VOID, [],
+            decl("h", INT, dims=[16]),
+            for_loop("j", 16, body)))
+        info = build_loop_tree(fn)[0]
+        assert info.carried_array_dep
+
+    def test_same_index_no_dependence(self):
+        body = assign(idx("h", "j"), add(idx("h", "j"), 1))
+        fn = _labelled(function(
+            "f", VOID, [],
+            decl("h", INT, dims=[16]),
+            for_loop("j", 16, body)))
+        info = build_loop_tree(fn)[0]
+        assert not info.carried_array_dep
+
+    def test_different_arrays_no_dependence(self):
+        body = assign(idx("b", "j"), idx("a", add("j", 1)))
+        fn = _labelled(function(
+            "f", VOID,
+            [param("a", INT, pointer=True), param("b", INT, pointer=True)],
+            for_loop("j", 15, body)))
+        info = build_loop_tree(fn)[0]
+        assert not info.carried_array_dep
+
+    def test_non_affine_write_conservative(self):
+        body = assign(idx("h", idx("p", "j")), IntLit(1))
+        body2 = assign(var("t"), idx("h", "j"))
+        fn = _labelled(function(
+            "f", VOID, [param("p", INT, pointer=True)],
+            decl("h", INT, dims=[16]),
+            for_loop("j", 16, body, decl("t", INT, init=0), body2)))
+        info = build_loop_tree(fn)[0]
+        assert info.carried_array_dep
+
+
+class TestStructure:
+    def test_loops_inside_if(self):
+        fn = _labelled(function(
+            "f", VOID, [param("a", INT, pointer=True), param("c", INT)],
+            if_stmt(var("c"),
+                    [for_loop("i", 4, assign(idx("a", "i"), 0))],
+                    [for_loop("i", 8, assign(idx("a", "i"), 1))])))
+        roots = build_loop_tree(fn)
+        assert [r.trip_count for r in roots] == [4, 8]
+
+    def test_arrays_read_written(self):
+        fn = _labelled(function(
+            "f", VOID,
+            [param("a", INT, pointer=True), param("b", INT, pointer=True)],
+            for_loop("i", 4, assign(idx("b", "i"), idx("a", "i")))))
+        info = build_loop_tree(fn)[0]
+        assert info.arrays_read == {"a"}
+        assert info.arrays_written == {"b"}

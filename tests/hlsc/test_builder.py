@@ -1,0 +1,93 @@
+"""Builder helper tests."""
+
+import pytest
+
+from repro.hlsc import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    FLOAT,
+    FloatLit,
+    For,
+    INT,
+    IntLit,
+    Var,
+)
+from repro.hlsc.builder import (
+    as_expr,
+    assign,
+    binop,
+    call,
+    decl,
+    for_loop,
+    function,
+    idx,
+    if_stmt,
+    lit,
+    param,
+    ret,
+)
+
+
+class TestCoercion:
+    def test_int_to_literal(self):
+        expr = as_expr(7)
+        assert isinstance(expr, IntLit) and expr.value == 7
+
+    def test_bool_to_int_literal(self):
+        expr = as_expr(True)
+        assert isinstance(expr, IntLit) and expr.value == 1
+
+    def test_float_to_literal(self):
+        expr = as_expr(1.5)
+        assert isinstance(expr, FloatLit)
+
+    def test_str_to_var(self):
+        expr = as_expr("x")
+        assert isinstance(expr, Var) and expr.name == "x"
+
+    def test_expr_passthrough(self):
+        original = BinOp("+", Var("a"), IntLit(1))
+        assert as_expr(original) is original
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TypeError):
+            as_expr(object())
+
+
+class TestConstructors:
+    def test_idx_nested(self):
+        expr = idx("m", "i", "j")
+        assert isinstance(expr, ArrayRef)
+        assert isinstance(expr.array, ArrayRef)
+
+    def test_assign_requires_lvalue(self):
+        with pytest.raises(TypeError):
+            assign(lit(1), lit(2))
+
+    def test_assign_array_target(self):
+        stmt = assign(idx("a", 0), 5)
+        assert isinstance(stmt, Assign)
+
+    def test_for_loop_defaults(self):
+        loop = for_loop("i", 10, assign("x", "i"))
+        assert isinstance(loop, For)
+        assert loop.step == 1
+        assert isinstance(loop.start, IntLit) and loop.start.value == 0
+
+    def test_decl_array(self):
+        d = decl("buf", FLOAT, dims=[4, 4])
+        assert d.is_array and d.element_count == 16
+
+    def test_function_params(self):
+        fn = function("f", INT, [param("n", INT)], ret(lit(0)))
+        assert fn.params[0].name == "n"
+        assert len(fn.body.stmts) == 1
+
+    def test_if_without_else(self):
+        stmt = if_stmt(binop("<", "a", "b"), [assign("x", 1)])
+        assert stmt.orelse is None
+
+    def test_call(self):
+        expr = call("fmaxf", "a", 0.0)
+        assert expr.name == "fmaxf" and len(expr.args) == 2

@@ -1,0 +1,65 @@
+"""Linter tests + lint every generated application kernel."""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.hlsc import CKernel, INT, VOID, Var
+from repro.hlsc.builder import assign, call, decl, function, idx, param
+from repro.hlsc.lint import lint_kernel
+
+
+class TestLinter:
+    def test_clean_kernel(self):
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("a", INT, pointer=True)],
+            decl("x", INT, init=1),
+            assign(idx("a", 0), Var("x")))
+        assert lint_kernel(CKernel(functions=[fn], top="kernel")) == []
+
+    def test_undeclared_variable_flagged(self):
+        fn = function(
+            "kernel", VOID, [param("N", INT)],
+            assign(Var("ghost"), 1))
+        problems = lint_kernel(CKernel(functions=[fn], top="kernel"))
+        assert any("ghost" in p for p in problems)
+
+    def test_block_scoping(self):
+        from repro.hlsc.builder import if_stmt, lit
+
+        fn = function(
+            "kernel", VOID, [param("N", INT)],
+            if_stmt(lit(1), [decl("inner", INT, init=0)]),
+            assign(Var("inner"), 1))  # out of scope
+        problems = lint_kernel(CKernel(functions=[fn], top="kernel"))
+        assert any("inner" in p for p in problems)
+
+    def test_unknown_function_flagged(self):
+        fn = function(
+            "kernel", VOID, [param("N", INT)],
+            assign(Var("N"), call("mystery", 1)))
+        problems = lint_kernel(CKernel(functions=[fn], top="kernel"))
+        assert any("mystery" in p for p in problems)
+
+    def test_math_intrinsics_allowed(self):
+        fn = function(
+            "kernel", VOID, [param("N", INT)],
+            assign(Var("N"), call("max", 1, 2)))
+        assert lint_kernel(CKernel(functions=[fn], top="kernel")) == []
+
+    def test_local_helper_allowed(self):
+        helper = function("sq", INT, [param("x", INT)])
+        fn = function(
+            "kernel", VOID, [param("N", INT)],
+            assign(Var("N"), call("sq", 2)))
+        kernel = CKernel(functions=[helper, fn], top="kernel")
+        assert lint_kernel(kernel) == []
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in ALL_APPS])
+def test_every_generated_kernel_is_clean(name):
+    from repro.apps import get_app
+
+    compiled = get_app(name).compile()
+    problems = lint_kernel(compiled.kernel)
+    assert problems == [], f"{name}: {problems}"

@@ -1,0 +1,136 @@
+"""Pretty-printer tests."""
+
+import pytest
+
+from repro.hlsc import (
+    Assign,
+    BinOp,
+    Block,
+    Cast,
+    CType,
+    FLOAT,
+    For,
+    If,
+    INT,
+    IntLit,
+    Pragma,
+    Ternary,
+    UnOp,
+    Var,
+    VarDecl,
+)
+from repro.hlsc.builder import (
+    add,
+    assign,
+    call,
+    decl,
+    for_loop,
+    function,
+    idx,
+    if_stmt,
+    lit,
+    mul,
+    param,
+    ret,
+    var,
+)
+from repro.hlsc.printer import expr_to_c, function_to_c, stmt_to_c
+
+
+class TestExpressions:
+    def test_precedence_minimal_parens(self):
+        expr = add(mul("a", "b"), "c")
+        assert expr_to_c(expr) == "a * b + c"
+
+    def test_parens_when_needed(self):
+        expr = mul(add("a", "b"), "c")
+        assert expr_to_c(expr) == "(a + b) * c"
+
+    def test_left_associative_subtraction(self):
+        expr = BinOp("-", BinOp("-", Var("a"), Var("b")), Var("c"))
+        assert expr_to_c(expr) == "a - b - c"
+
+    def test_right_nested_subtraction_parenthesized(self):
+        expr = BinOp("-", Var("a"), BinOp("-", Var("b"), Var("c")))
+        assert expr_to_c(expr) == "a - (b - c)"
+
+    def test_array_ref_nested(self):
+        assert expr_to_c(idx("a", "i", "j")) == "a[i][j]"
+
+    def test_call(self):
+        assert expr_to_c(call("expf", add("x", 1))) == "expf(x + 1)"
+
+    def test_cast(self):
+        assert expr_to_c(Cast(FLOAT, Var("x"))) == "(float) x"
+
+    def test_unary(self):
+        assert expr_to_c(UnOp("-", Var("x"))) == "-x"
+        assert expr_to_c(mul(UnOp("-", var("x")), lit(2))) == "-x * 2"
+
+    def test_ternary(self):
+        t = Ternary(BinOp("<", Var("a"), Var("b")), Var("a"), Var("b"))
+        assert expr_to_c(t) == "a < b ? a : b"
+
+    def test_float_literal_suffix(self):
+        from repro.hlsc import FloatLit, DOUBLE
+        assert expr_to_c(FloatLit(1.5, FLOAT)) == "1.5f"
+        assert expr_to_c(FloatLit(1.5, DOUBLE)) == "1.5"
+
+    def test_comparison_chain_parens(self):
+        expr = BinOp("&&", BinOp("<", Var("a"), Var("b")),
+                     BinOp(">", Var("c"), Var("d")))
+        assert expr_to_c(expr) == "a < b && c > d"
+
+
+class TestStatements:
+    def test_decl_scalar(self):
+        assert stmt_to_c(decl("x", INT, init=lit(0))) == "int x = 0;"
+
+    def test_decl_array(self):
+        assert stmt_to_c(decl("buf", FLOAT, dims=[16])) == "float buf[16];"
+
+    def test_decl_const_table(self):
+        d = VarDecl(name="t", ctype=INT, dims=(3,),
+                    init_values=(1, 2, 3), qualifiers=("static", "const"))
+        assert stmt_to_c(d) == "static const int t[3] = {1, 2, 3};"
+
+    def test_assign(self):
+        assert stmt_to_c(assign(idx("a", "i"), add("x", 1))) \
+            == "a[i] = x + 1;"
+
+    def test_for_loop_with_label_and_pragma(self):
+        loop = for_loop("i", 16, assign(idx("a", "i"), 0))
+        loop.label = "L0"
+        loop.pragmas.append(Pragma("ACCEL parallel factor=4"))
+        text = stmt_to_c(loop)
+        assert "#pragma ACCEL parallel factor=4" in text
+        assert "for (int i = 0; i < 16; i++) { /* L0 */" in text
+
+    def test_for_loop_custom_step(self):
+        loop = For(var="i", start=IntLit(0), bound=IntLit(16), step=4,
+                   body=Block([]))
+        assert "i += 4" in stmt_to_c(loop)
+
+    def test_if_else(self):
+        text = stmt_to_c(if_stmt(BinOp("<", Var("a"), Var("b")),
+                                 [assign("x", 1)], [assign("x", 2)]))
+        assert "if (a < b) {" in text
+        assert "} else {" in text
+
+    def test_if_without_else(self):
+        text = stmt_to_c(if_stmt(Var("c"), [assign("x", 1)]))
+        assert "else" not in text
+
+
+class TestFunctions:
+    def test_signature_with_pointers(self):
+        fn = function(
+            "kernel", CType("void"),
+            [param("N", INT), param("in_1", FLOAT, pointer=True)],
+            ret())
+        text = function_to_c(fn)
+        assert text.startswith("void kernel(int N, float *in_1) {")
+
+    def test_return_value(self):
+        fn = function("f", INT, [param("x", INT)], ret(add("x", 1)))
+        assert "return x + 1;" in function_to_c(fn)

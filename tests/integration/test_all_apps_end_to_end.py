@@ -1,0 +1,56 @@
+"""The complete S2FA cycle for every evaluation application.
+
+For each of the eight kernels: compile, explore (short virtual budget),
+deploy the chosen design on the Blaze runtime, offload a Spark job, and
+verify the results against the Python oracle.  This is the closest thing
+to the paper's end-to-end deployment story, exercised per kernel.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.blaze import BlazeRuntime
+from repro.compiler import compile_kernel
+from repro.dse import Evaluator, S2FAEngine, build_space
+from repro.merlin import DesignConfig
+from repro.spark import SparkContext
+
+#: S-W's full-length kernel is too slow to execute functionally in a unit
+#: test; its short-read variant exercises the identical code path.
+FAST = [spec.name for spec in ALL_APPS if spec.name != "S-W"]
+
+
+def _deployable(name):
+    spec = get_app(name)
+    if name == "S-W":
+        from repro.apps.smith_waterman import (
+            FUNCTIONAL_LAYOUT,
+            functional_workload,
+        )
+        compiled = compile_kernel(spec.scala_source,
+                                  layout_config=FUNCTIONAL_LAYOUT,
+                                  batch_size=spec.batch_size)
+        return spec, compiled, functional_workload(12, seed=21)
+    return spec, spec.compile(), spec.workload(96, seed=21)
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in ALL_APPS])
+def test_full_cycle(name):
+    spec, compiled, tasks = _deployable(name)
+
+    run = S2FAEngine(Evaluator(compiled), build_space(compiled),
+                     seed=2, time_limit_minutes=60).run()
+    assert run.best_point is not None, f"{name}: DSE found nothing"
+    config = DesignConfig.from_point(run.best_point)
+
+    sc = SparkContext(default_parallelism=3)
+    blaze = BlazeRuntime(sc)
+    entry = blaze.register(compiled, config)
+    assert entry.has_hardware
+
+    got = blaze.wrap(sc.parallelize(tasks)).map_acc(
+        compiled.accel_id).collect()
+    expected = [spec.reference(task) for task in tasks]
+    assert got == expected, f"{name}: offloaded results diverge"
+    assert blaze.metrics.accel_tasks == len(tasks)
+    assert blaze.metrics.accel_seconds > 0

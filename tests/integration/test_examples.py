@@ -1,0 +1,36 @@
+"""Every example script must run end to end (no doc rot)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [name])
+    module = _load_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{name} produced almost no output"
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert "kmeans_spark_blaze.py" in EXAMPLES
+    assert "smith_waterman_pipeline.py" in EXAMPLES
+    assert "dse_comparison.py" in EXAMPLES
+    assert "custom_types_and_filter.py" in EXAMPLES

@@ -1,0 +1,167 @@
+"""Binary classfile round-trip tests."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as hst
+
+from repro.errors import BytecodeError
+from repro.jvm.assembler import CodeBuilder, assemble
+from repro.jvm.classfile import JClass, JField
+from repro.jvm.codec import MAGIC, read_class, write_class
+from repro.jvm.constant_pool import ConstantPool
+
+
+def _roundtrip(jclass: JClass) -> JClass:
+    return read_class(write_class(jclass))
+
+
+def _method_with_constants(values):
+    b = CodeBuilder()
+    for value in values:
+        if isinstance(value, float):
+            b.load_const_float(value)
+            b.emit("pop")
+        else:
+            b.load_const_int(value)
+            b.emit("pop")
+    b.emit("return")
+    return assemble("consts", "()V", b, is_static=True)
+
+
+class TestRoundTrip:
+    def test_magic(self):
+        data = write_class(JClass(name="A"))
+        assert struct.unpack_from(">I", data, 0)[0] == MAGIC
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(BytecodeError, match="magic"):
+            read_class(b"\x00\x01\x02\x03" + b"\x00" * 16)
+
+    def test_class_metadata(self):
+        original = JClass(name="pkg/Kern", super_name="java/lang/Object")
+        back = _roundtrip(original)
+        assert back.name == "pkg/Kern"
+        assert back.super_name == "java/lang/Object"
+        assert back.major_version == original.major_version
+
+    def test_fields_roundtrip(self):
+        original = JClass(name="A")
+        original.fields.append(JField(name="x", descriptor="[F"))
+        original.fields.append(
+            JField(name="k", descriptor="I", constant_value=42))
+        back = _roundtrip(original)
+        assert [(f.name, f.descriptor) for f in back.fields] \
+            == [("x", "[F"), ("k", "I")]
+        assert back.fields[1].constant_value == 42
+
+    def test_code_roundtrip_with_branches(self):
+        b = CodeBuilder()
+        b.emit("iload", 0)
+        b.emit("ifle", "neg")
+        b.emit("iload", 0)
+        b.emit("ireturn")
+        b.label("neg")
+        b.emit("iload", 0)
+        b.emit("ineg")
+        b.emit("ireturn")
+        method = assemble("absval", "(I)I", b, is_static=True)
+        original = JClass(name="A")
+        original.methods.append(method)
+        back = _roundtrip(original)
+        got = back.methods[0]
+        assert got.max_stack == method.max_stack
+        assert got.max_locals == method.max_locals
+        assert [(i.mnemonic, i.operands, i.offset) for i in got.code] \
+            == [(i.mnemonic, i.operands, i.offset) for i in method.code]
+
+    def test_member_refs_roundtrip(self):
+        b = CodeBuilder()
+        b.emit("aload", 0)
+        b.emit("getfield", "A", "x", "F")
+        b.emit("freturn")
+        method = assemble("getx", "()F", b)
+        original = JClass(name="A")
+        original.fields.append(JField(name="x", descriptor="F"))
+        original.methods.append(method)
+        back = _roundtrip(original)
+        assert back.methods[0].code[1].operands == ("A", "x", "F")
+
+    def test_invoke_roundtrip(self):
+        b = CodeBuilder()
+        b.emit("dload", 0)
+        b.emit("invokestatic", "java/lang/Math", "sqrt", "(D)D")
+        b.emit("dreturn")
+        method = assemble("f", "(D)D", b, is_static=True)
+        original = JClass(name="A")
+        original.methods.append(method)
+        back = _roundtrip(original)
+        assert back.methods[0].code[1].operands \
+            == ("java/lang/Math", "sqrt", "(D)D")
+
+    @given(hst.lists(
+        hst.one_of(
+            hst.integers(min_value=-2**31, max_value=2**31 - 1),
+            hst.floats(min_value=-1e6, max_value=1e6,
+                       allow_nan=False, width=32),
+        ),
+        min_size=1, max_size=8))
+    def test_constant_pool_values_roundtrip(self, values):
+        original = JClass(name="A")
+        original.methods.append(_method_with_constants(values))
+        back = _roundtrip(original)
+        # Values pushed through the constant pool must survive exactly.
+        expected = [i.operands[0]
+                    for i in original.methods[0].code
+                    if i.operands and i.mnemonic in ("ldc", "bipush",
+                                                     "sipush")]
+        got = [i.operands[0] for i in back.methods[0].code
+               if i.operands and i.mnemonic in ("ldc", "bipush", "sipush")]
+        assert got == expected
+
+
+class TestConstantPool:
+    def test_dedup(self):
+        pool = ConstantPool()
+        a = pool.utf8("hello")
+        b = pool.utf8("hello")
+        assert a == b
+
+    def test_long_double_take_two_slots(self):
+        pool = ConstantPool()
+        first = pool.long_(1 << 40)
+        second = pool.integer(7)
+        assert second == first + 2
+
+    def test_parse_roundtrip(self):
+        pool = ConstantPool()
+        pool.methodref("A", "m", "(I)V")
+        pool.double(3.5)
+        pool.string("text")
+        data = pool.to_bytes()
+        parsed, _ = ConstantPool.parse(data, 0)
+        assert parsed.get_member_ref(
+            _find_methodref_index(parsed)) == ("A", "m", "(I)V")
+
+    def test_loadable_int_signedness(self):
+        pool = ConstantPool()
+        index = pool.integer(-5)
+        data = pool.to_bytes()
+        parsed, _ = ConstantPool.parse(data, 0)
+        assert parsed.get_loadable(index) == -5
+
+    def test_out_of_range_index(self):
+        pool = ConstantPool()
+        with pytest.raises(BytecodeError):
+            pool.entry(99)
+
+
+def _find_methodref_index(pool: ConstantPool) -> int:
+    from repro.jvm.constant_pool import CONSTANT_METHODREF
+    for index in range(1, len(pool)):
+        try:
+            if pool.entry(index).tag == CONSTANT_METHODREF:
+                return index
+        except BytecodeError:
+            continue
+    raise AssertionError("no methodref in pool")

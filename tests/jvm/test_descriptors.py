@@ -1,0 +1,94 @@
+"""Tests for JVM descriptor parsing."""
+
+import pytest
+
+from repro.errors import BytecodeError
+from repro.jvm.descriptors import (
+    class_name,
+    element_type,
+    is_array,
+    is_reference,
+    object_descriptor,
+    parse_method_descriptor,
+    pretty_type,
+    slot_width,
+    validate_field_descriptor,
+)
+
+
+class TestMethodDescriptors:
+    def test_simple(self):
+        parsed = parse_method_descriptor("(I)I")
+        assert parsed.params == ("I",)
+        assert parsed.return_type == "I"
+
+    def test_mixed(self):
+        parsed = parse_method_descriptor("([FIJLjava/lang/String;)V")
+        assert parsed.params == ("[F", "I", "J", "Ljava/lang/String;")
+        assert parsed.return_type == "V"
+
+    def test_nested_arrays(self):
+        parsed = parse_method_descriptor("([[D)[I")
+        assert parsed.params == ("[[D",)
+        assert parsed.return_type == "[I"
+
+    def test_param_slots_counts_wide_types(self):
+        parsed = parse_method_descriptor("(IDJ)V")
+        assert parsed.param_slots == 1 + 2 + 2
+
+    def test_return_slots(self):
+        assert parse_method_descriptor("()V").return_slots == 0
+        assert parse_method_descriptor("()I").return_slots == 1
+        assert parse_method_descriptor("()D").return_slots == 2
+
+    def test_roundtrip_str(self):
+        text = "([FI)F"
+        assert str(parse_method_descriptor(text)) == text
+
+    @pytest.mark.parametrize("bad", ["I", "(I", "(X)V", "(I)", "(I)VX"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(BytecodeError):
+            parse_method_descriptor(bad)
+
+
+class TestFieldDescriptors:
+    def test_valid(self):
+        assert validate_field_descriptor("[F") == "[F"
+        assert validate_field_descriptor("Ljava/lang/String;") \
+            == "Ljava/lang/String;"
+
+    def test_void_field_rejected(self):
+        with pytest.raises(BytecodeError):
+            validate_field_descriptor("V")
+
+    def test_junk_rejected(self):
+        with pytest.raises(BytecodeError):
+            validate_field_descriptor("II")
+
+
+class TestHelpers:
+    def test_slot_width(self):
+        assert slot_width("J") == 2
+        assert slot_width("D") == 2
+        assert slot_width("I") == 1
+        assert slot_width("[D") == 1
+
+    def test_is_reference(self):
+        assert is_reference("[I")
+        assert is_reference("Ljava/lang/Object;")
+        assert not is_reference("I")
+
+    def test_array_helpers(self):
+        assert is_array("[[F")
+        assert element_type("[[F") == "[F"
+        with pytest.raises(BytecodeError):
+            element_type("I")
+
+    def test_class_name(self):
+        assert class_name("Ljava/lang/String;") == "java/lang/String"
+        assert object_descriptor("Foo") == "LFoo;"
+
+    def test_pretty_type(self):
+        assert pretty_type("[[F") == "float[][]"
+        assert pretty_type("I") == "int"
+        assert pretty_type("Ljava/lang/String;") == "java.lang.String"

@@ -1,0 +1,62 @@
+"""Disassembler listing tests."""
+
+from repro.jvm import (
+    CodeBuilder,
+    JClass,
+    JField,
+    assemble,
+    disassemble_class,
+    disassemble_method,
+)
+
+
+def _loop_method():
+    builder = CodeBuilder()
+    builder.emit("iconst_0")
+    builder.emit("istore", 1)
+    builder.label("top")
+    builder.emit("iload", 1)
+    builder.emit("bipush", 10)
+    builder.emit("if_icmpge", "end")
+    builder.emit("iinc", 1, 1)
+    builder.emit("goto", "top")
+    builder.label("end")
+    builder.emit("iload", 1)
+    builder.emit("ireturn")
+    return assemble("count", "()I", builder, is_static=True)
+
+
+class TestMethodListing:
+    def test_header_has_signature_and_frames(self):
+        listing = disassemble_method(_loop_method())
+        header = listing.splitlines()[0]
+        assert "int count()" in header
+        assert "stack=" in header and "locals=" in header
+
+    def test_branches_show_targets(self):
+        listing = disassemble_method(_loop_method())
+        assert "if_icmpge ->" in listing
+        assert "goto ->" in listing
+
+    def test_offsets_listed(self):
+        listing = disassemble_method(_loop_method())
+        assert "   0: iconst_0" in listing
+
+    def test_member_refs_rendered(self):
+        builder = CodeBuilder()
+        builder.emit("dload", 0)
+        builder.emit("invokestatic", "java/lang/Math", "sqrt", "(D)D")
+        builder.emit("dreturn")
+        method = assemble("f", "(D)D", builder, is_static=True)
+        assert "java/lang/Math.sqrt:(D)D" in disassemble_method(method)
+
+
+class TestClassListing:
+    def test_class_with_fields_and_methods(self):
+        jclass = JClass(name="Demo")
+        jclass.fields.append(JField(name="w", descriptor="[F"))
+        jclass.methods.append(_loop_method())
+        listing = disassemble_class(jclass)
+        assert "class Demo extends java/lang/Object {" in listing
+        assert "float[] w;" in listing
+        assert "int count()" in listing

@@ -1,0 +1,65 @@
+"""Synthesized tuple-class tests."""
+
+import pytest
+
+from repro.jvm import (
+    ClassRegistry,
+    Interpreter,
+    is_tuple_class,
+    make_tuple_class,
+    tuple_class_name,
+    write_class,
+    read_class,
+)
+
+
+class TestNaming:
+    def test_primitive_mangle(self):
+        assert tuple_class_name(("I", "F")) == "s2fa/Tuple2_IF"
+        assert tuple_class_name(("D", "D", "I")) == "s2fa/Tuple3_DDI"
+
+    def test_array_and_string_mangle(self):
+        assert tuple_class_name(("[F", "I")) == "s2fa/Tuple2_AFI"
+        name = tuple_class_name(("Ljava/lang/String;",
+                                 "Ljava/lang/String;"))
+        assert name == "s2fa/Tuple2_ss"
+
+    def test_is_tuple_class(self):
+        assert is_tuple_class("s2fa/Tuple2_IF")
+        assert not is_tuple_class("java/lang/String")
+
+
+class TestGeneratedBytecode:
+    def test_constructor_and_accessors(self):
+        registry = ClassRegistry()
+        cls = make_tuple_class(("I", "D", "F"))
+        registry.define(cls)
+        interp = Interpreter(registry)
+        obj = interp.new_instance(cls.name)
+        interp.invoke(cls.name, "<init>", [obj, 3, 2.5, 1.5], "(IDF)V")
+        assert interp.invoke(cls.name, "_1", [obj]) == 3
+        assert interp.invoke(cls.name, "_2", [obj]) == 2.5
+        assert interp.invoke(cls.name, "_3", [obj]) == 1.5
+
+    def test_wide_fields_use_correct_slots(self):
+        # (D, I): the int argument sits after the two-slot double.
+        registry = ClassRegistry()
+        cls = make_tuple_class(("D", "I"))
+        registry.define(cls)
+        interp = Interpreter(registry)
+        obj = interp.new_instance(cls.name)
+        interp.invoke(cls.name, "<init>", [obj, 9.75, 42], "(DI)V")
+        assert interp.invoke(cls.name, "_1", [obj]) == 9.75
+        assert interp.invoke(cls.name, "_2", [obj]) == 42
+
+    def test_binary_roundtrip(self):
+        cls = make_tuple_class(("I", "F"))
+        back = read_class(write_class(cls))
+        assert back.name == cls.name
+        assert [f.name for f in back.fields] == ["_1", "_2"]
+        assert {m.name for m in back.methods} == {"<init>", "_1", "_2"}
+
+    def test_fields_are_final(self):
+        from repro.jvm import ACC_FINAL
+        cls = make_tuple_class(("I",))
+        assert cls.fields[0].access_flags & ACC_FINAL

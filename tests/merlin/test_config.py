@@ -1,0 +1,102 @@
+"""DesignConfig tests: point encoding and factor-dependency resolution."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.hlsc import INT, VOID, assign_loop_labels, build_loop_tree
+from repro.hlsc.builder import assign, for_loop, function, idx, param
+from repro.merlin import DesignConfig, LoopConfig
+
+
+def _nested_function():
+    inner = for_loop("j", 8, assign(idx("a", "j"), 0))
+    outer = for_loop("i", 4, inner)
+    fn = function("f", VOID, [param("a", INT, pointer=True)], outer)
+    assign_loop_labels(fn)
+    return fn
+
+
+class TestLoopConfig:
+    def test_defaults(self):
+        cfg = LoopConfig()
+        assert cfg.tile == 1 and cfg.parallel == 1
+        assert cfg.pipeline == "off"
+
+    def test_invalid_pipeline_mode(self):
+        with pytest.raises(TransformError, match="pipeline"):
+            LoopConfig(pipeline="yes")
+
+    def test_invalid_factors(self):
+        with pytest.raises(TransformError):
+            LoopConfig(parallel=0)
+        with pytest.raises(TransformError):
+            LoopConfig(tile=-1)
+
+
+class TestPointEncoding:
+    def test_roundtrip(self):
+        config = DesignConfig(
+            loops={"L0": LoopConfig(tile=4, parallel=8, pipeline="on")},
+            bitwidths={"in_1": 256})
+        point = config.to_point()
+        assert point == {
+            "L0.tile": 4, "L0.parallel": 8, "L0.pipeline": "on",
+            "bw.in_1": 256,
+        }
+        back = DesignConfig.from_point(point)
+        assert back.loop("L0") == config.loop("L0")
+        assert back.bitwidths == config.bitwidths
+
+    def test_unknown_factor_rejected(self):
+        with pytest.raises(TransformError, match="unknown"):
+            DesignConfig.from_point({"L0.bogus": 1})
+
+    def test_with_loop_is_persistent_update(self):
+        config = DesignConfig()
+        updated = config.with_loop("L0", parallel=4)
+        assert config.loop("L0").parallel == 1
+        assert updated.loop("L0").parallel == 4
+
+    def test_describe_compact(self):
+        config = DesignConfig(
+            loops={"L0": LoopConfig(parallel=2, pipeline="flatten")},
+            bitwidths={"x": 64})
+        text = config.describe()
+        assert "L0[t1 p2 flatten]" in text
+        assert "x:bw64" in text
+
+
+class TestEffectiveResolution:
+    def test_flatten_invalidates_descendants(self):
+        fn = _nested_function()
+        roots = build_loop_tree(fn)
+        config = DesignConfig(loops={
+            "L0": LoopConfig(pipeline="flatten"),
+            "L0_0": LoopConfig(tile=4, parallel=2, pipeline="on"),
+        })
+        effective = config.effective(roots)
+        inner = effective.loop("L0_0")
+        # Under flatten the sub-loop is fully unrolled; its own factors
+        # are replaced (Impediment 2).
+        assert inner.parallel == 8
+        assert inner.pipeline == "off"
+        assert inner.tile == 1
+
+    def test_parallel_clamped_to_trip_count(self):
+        fn = _nested_function()
+        roots = build_loop_tree(fn)
+        config = DesignConfig(loops={
+            "L0": LoopConfig(parallel=64),
+        })
+        effective = config.effective(roots)
+        assert effective.loop("L0").parallel == 4
+
+    def test_non_flatten_keeps_child_factors(self):
+        fn = _nested_function()
+        roots = build_loop_tree(fn)
+        config = DesignConfig(loops={
+            "L0": LoopConfig(pipeline="on"),
+            "L0_0": LoopConfig(parallel=4),
+        })
+        effective = config.effective(roots)
+        assert effective.loop("L0_0").parallel == 4

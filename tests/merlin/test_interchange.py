@@ -1,0 +1,86 @@
+"""Loop interchange tests."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.fpga import KernelExecutor
+from repro.hlsc import CKernel, INT, VOID, assign_loop_labels, loops_in
+from repro.hlsc.builder import (
+    add,
+    assign,
+    for_loop,
+    function,
+    idx,
+    mul,
+    param,
+    var,
+)
+from repro.merlin import interchange_loops
+
+
+def _nest_kernel():
+    """out[i*4+j] = in[j*8+i] (a transpose-ish access, no read/write
+    overlap per array)."""
+    body = assign(idx("out", add(mul("i", 4), "j")),
+                  idx("in", add(mul("j", 8), "i")))
+    inner = for_loop("j", 4, body)
+    outer = for_loop("i", 8, inner)
+    fn = function(
+        "kernel", VOID,
+        [param("N", INT), param("in", INT, pointer=True),
+         param("out", INT, pointer=True)],
+        outer)
+    assign_loop_labels(fn)
+    return CKernel(functions=[fn], top="kernel")
+
+
+def _run(kernel):
+    buffers = {"in": [(3 * k) % 11 for k in range(32)], "out": [0] * 32}
+    KernelExecutor(kernel).run(buffers, 1)
+    return buffers["out"]
+
+
+class TestInterchange:
+    def test_semantics_preserved(self):
+        reference = _run(_nest_kernel())
+        swapped = _nest_kernel()
+        interchange_loops(swapped.top_function, "L0")
+        assert _run(swapped) == reference
+
+    def test_headers_swapped_labels_stay_positional(self):
+        kernel = _nest_kernel()
+        interchange_loops(kernel.top_function, "L0")
+        outer, inner = loops_in(kernel.top_function)
+        assert outer.var == "j" and inner.var == "i"
+        assert outer.label == "L0" and inner.label == "L0_0"
+        from repro.hlsc.analysis import loop_trip_count
+        assert loop_trip_count(outer) == 4
+        assert loop_trip_count(inner) == 8
+
+    def test_imperfect_nest_rejected(self):
+        body = assign(idx("out", "i"), 1)
+        inner = for_loop("j", 4, assign(idx("out", "j"), 2))
+        outer = for_loop("i", 8, body, inner)
+        fn = function("kernel", VOID,
+                      [param("N", INT), param("out", INT, pointer=True)],
+                      outer)
+        assign_loop_labels(fn)
+        with pytest.raises(TransformError, match="perfect"):
+            interchange_loops(fn, "L0")
+
+    def test_read_write_overlap_rejected(self):
+        body = assign(idx("a", add(mul("i", 4), "j")),
+                      add(idx("a", add(mul("i", 4), "j")), 1))
+        inner = for_loop("j", 4, body)
+        outer = for_loop("i", 8, inner)
+        fn = function("kernel", VOID,
+                      [param("N", INT), param("a", INT, pointer=True)],
+                      outer)
+        assign_loop_labels(fn)
+        with pytest.raises(TransformError, match="read and written"):
+            interchange_loops(fn, "L0")
+
+    def test_unknown_label(self):
+        kernel = _nest_kernel()
+        with pytest.raises(TransformError, match="no loop"):
+            interchange_loops(kernel.top_function, "L7")

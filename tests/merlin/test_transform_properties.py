@@ -1,0 +1,102 @@
+"""Property-based semantic preservation for the physical transforms.
+
+For random trip counts and factors, tiling/unrolling/tree-reduction must
+never change the kernel's observable behavior (checked by executing the
+before/after kernels on the C interpreter).
+"""
+
+from hypothesis import given, settings, strategies as hst
+
+from repro.fpga import KernelExecutor
+from repro.hlsc import CKernel, FLOAT, INT, VOID, assign_loop_labels
+from repro.hlsc.builder import (
+    add,
+    assign,
+    decl,
+    for_loop,
+    function,
+    idx,
+    mul,
+    param,
+    var,
+)
+from repro.merlin import apply_tree_reduction, tile_loop, unroll_loop
+from repro.utils import divisors
+
+
+def _affine_kernel(trip: int) -> CKernel:
+    """b[i] = 3*a[i] + i for i < trip."""
+    body = assign(idx("b", "i"), add(mul(3, idx("a", "i")), var("i")))
+    fn = function(
+        "kernel", VOID,
+        [param("N", INT), param("a", INT, pointer=True),
+         param("b", INT, pointer=True)],
+        for_loop("i", trip, body))
+    assign_loop_labels(fn)
+    return CKernel(functions=[fn], top="kernel")
+
+
+def _run_affine(kernel: CKernel, trip: int) -> list:
+    buffers = {"a": [(7 * i) % 23 for i in range(trip)], "b": [0] * trip}
+    KernelExecutor(kernel).run(buffers, trip)
+    return buffers["b"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(trip=hst.integers(min_value=2, max_value=48),
+       data=hst.data())
+def test_tiling_preserves_semantics(trip, data):
+    factor = data.draw(hst.integers(min_value=2, max_value=trip),
+                       label="factor")
+    reference = _run_affine(_affine_kernel(trip), trip)
+    tiled = _affine_kernel(trip)
+    tile_loop(tiled.top_function, "L0", factor)
+    assert _run_affine(tiled, trip) == reference
+
+
+@settings(max_examples=25, deadline=None)
+@given(trip=hst.integers(min_value=2, max_value=32),
+       data=hst.data())
+def test_unrolling_preserves_semantics(trip, data):
+    candidates = [d for d in divisors(trip) if d >= 2] or [None]
+    factor = data.draw(hst.sampled_from(candidates), label="factor")
+    reference = _run_affine(_affine_kernel(trip), trip)
+    unrolled = _affine_kernel(trip)
+    unroll_loop(unrolled.top_function, "L0", factor)
+    assert _run_affine(unrolled, trip) == reference
+
+
+def _sum_kernel(trip: int) -> CKernel:
+    body = assign(var("s"), add(var("s"), idx("a", "i")))
+    fn = function(
+        "kernel", VOID,
+        [param("N", INT), param("a", FLOAT, pointer=True),
+         param("out", FLOAT, pointer=True)],
+        decl("s", FLOAT, init=0.0),
+        for_loop("i", trip, body),
+        assign(idx("out", 0), var("s")))
+    assign_loop_labels(fn)
+    return CKernel(functions=[fn], top="kernel")
+
+
+@settings(max_examples=25, deadline=None)
+@given(trip=hst.integers(min_value=4, max_value=64),
+       data=hst.data())
+def test_tree_reduction_preserves_integer_sums(trip, data):
+    candidates = [d for d in divisors(trip) if 2 <= d < trip]
+    if not candidates:
+        return
+    factor = data.draw(hst.sampled_from(candidates), label="factor")
+    values = [float((3 * i) % 17) for i in range(trip)]
+
+    original = _sum_kernel(trip)
+    buffers = {"a": list(values), "out": [0.0]}
+    KernelExecutor(original).run(buffers, trip)
+    reference = buffers["out"][0]
+
+    reduced = _sum_kernel(trip)
+    apply_tree_reduction(reduced.top_function, "L0", factor, FLOAT)
+    buffers2 = {"a": list(values), "out": [0.0]}
+    KernelExecutor(reduced).run(buffers2, trip)
+    # Integer-valued floats: reassociation is exact.
+    assert buffers2["out"][0] == reference

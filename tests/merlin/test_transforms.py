@@ -1,0 +1,193 @@
+"""Physical transform tests: tiling, unrolling, tree reduction, pragmas.
+
+Every transform is checked for *semantic preservation* by executing the
+before/after kernels on the FPGA C interpreter.
+"""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.fpga import KernelExecutor
+from repro.hlsc import (
+    Block,
+    CKernel,
+    FLOAT,
+    INT,
+    VOID,
+    assign_loop_labels,
+    kernel_to_c,
+    loops_in,
+)
+from repro.hlsc.builder import (
+    add,
+    assign,
+    decl,
+    for_loop,
+    function,
+    idx,
+    mul,
+    param,
+    var,
+)
+from repro.merlin import (
+    DesignConfig,
+    LoopConfig,
+    apply_config,
+    apply_tree_reduction,
+    insert_pragmas,
+    tile_loop,
+    unroll_loop,
+)
+
+
+def _square_kernel(n=16):
+    """kernel(N, a, b): b[i] = a[i] * a[i] for i < n (N ignored)."""
+    body = assign(idx("b", "i"), mul(idx("a", "i"), idx("a", "i")))
+    fn = function(
+        "kernel", VOID,
+        [param("N", INT), param("a", INT, pointer=True),
+         param("b", INT, pointer=True)],
+        for_loop("i", n, body))
+    assign_loop_labels(fn)
+    return CKernel(functions=[fn], top="kernel")
+
+
+def _run(kernel, n=16):
+    buffers = {"a": list(range(n)), "b": [0] * n}
+    KernelExecutor(kernel).run(buffers, n)
+    return buffers["b"]
+
+
+EXPECTED = [i * i for i in range(16)]
+
+
+class TestTiling:
+    def test_tile_preserves_semantics(self):
+        kernel = _square_kernel()
+        tile_loop(kernel.top_function, "L0", 4)
+        assert _run(kernel) == EXPECTED
+
+    def test_tile_structure(self):
+        kernel = _square_kernel()
+        tile_loop(kernel.top_function, "L0", 4)
+        loops = loops_in(kernel.top_function)
+        assert len(loops) == 2
+        assert loops[0].step == 4
+        assert loops[1].label == "L0_pt"
+
+    def test_tile_non_dividing_factor_guarded(self):
+        kernel = _square_kernel(n=10)
+        tile_loop(kernel.top_function, "L0", 4)
+        buffers = {"a": list(range(10)), "b": [0] * 10}
+        KernelExecutor(kernel).run(buffers, 10)
+        assert buffers["b"] == [i * i for i in range(10)]
+        assert "if (" in kernel_to_c(kernel)
+
+    def test_tile_factor_too_large(self):
+        kernel = _square_kernel()
+        with pytest.raises(TransformError, match="exceeds trip count"):
+            tile_loop(kernel.top_function, "L0", 32)
+
+    def test_tile_unknown_label(self):
+        kernel = _square_kernel()
+        with pytest.raises(TransformError, match="no loop"):
+            tile_loop(kernel.top_function, "L9", 2)
+
+
+class TestUnrolling:
+    def test_full_unroll_semantics(self):
+        kernel = _square_kernel(n=8)
+        unroll_loop(kernel.top_function, "L0")
+        assert not loops_in(kernel.top_function)
+        buffers = {"a": list(range(8)), "b": [0] * 8}
+        KernelExecutor(kernel).run(buffers, 8)
+        assert buffers["b"] == [i * i for i in range(8)]
+
+    def test_partial_unroll_semantics(self):
+        kernel = _square_kernel()
+        unroll_loop(kernel.top_function, "L0", 4)
+        loops = loops_in(kernel.top_function)
+        assert len(loops) == 1
+        assert loops[0].step == 4
+        assert len(loops[0].body.stmts) == 4
+        assert _run(kernel) == EXPECTED
+
+    def test_partial_unroll_requires_divisor(self):
+        kernel = _square_kernel(n=10)
+        with pytest.raises(TransformError, match="divide"):
+            unroll_loop(kernel.top_function, "L0", 4)
+
+
+class TestTreeReduction:
+    def _sum_kernel(self, n=16):
+        body = assign(var("s"), add(var("s"), idx("a", "i")))
+        fn = function(
+            "kernel", VOID,
+            [param("N", INT), param("a", FLOAT, pointer=True),
+             param("out", FLOAT, pointer=True)],
+            decl("s", FLOAT, init=0.0),
+            for_loop("i", n, body),
+            assign(idx("out", 0), var("s")))
+        assign_loop_labels(fn)
+        return CKernel(functions=[fn], top="kernel")
+
+    def test_tree_reduction_semantics(self):
+        kernel = self._sum_kernel()
+        apply_tree_reduction(kernel.top_function, "L0", 4, FLOAT)
+        buffers = {"a": [float(i) for i in range(16)], "out": [0.0]}
+        KernelExecutor(kernel).run(buffers, 16)
+        assert buffers["out"][0] == sum(range(16))
+
+    def test_tree_reduction_structure(self):
+        kernel = self._sum_kernel()
+        apply_tree_reduction(kernel.top_function, "L0", 4, FLOAT)
+        labels = [loop.label for loop in loops_in(kernel.top_function)]
+        assert "L0_init" in labels
+        assert "L0_lane" in labels
+        assert "L0_comb" in labels
+
+    def test_factor_must_divide(self):
+        kernel = self._sum_kernel(n=10)
+        with pytest.raises(TransformError, match="divide"):
+            apply_tree_reduction(kernel.top_function, "L0", 4, FLOAT)
+
+    def test_requires_accumulation(self):
+        kernel = _square_kernel()
+        with pytest.raises(TransformError, match="accumulation"):
+            apply_tree_reduction(kernel.top_function, "L0", 4, INT)
+
+
+class TestPragmas:
+    def test_pragmas_inserted(self):
+        kernel = _square_kernel()
+        config = DesignConfig(loops={
+            "L0": LoopConfig(tile=2, parallel=4, pipeline="on")})
+        insert_pragmas(kernel.top_function, config)
+        text = kernel_to_c(kernel)
+        assert "#pragma ACCEL pipeline" in text
+        assert "#pragma ACCEL parallel factor=4" in text
+        assert "#pragma ACCEL tile factor=2" in text
+
+    def test_flatten_pragma(self):
+        kernel = _square_kernel()
+        config = DesignConfig(loops={
+            "L0": LoopConfig(pipeline="flatten")})
+        insert_pragmas(kernel.top_function, config)
+        assert "pipeline flatten" in kernel_to_c(kernel)
+
+    def test_apply_config_clones(self):
+        kernel = _square_kernel()
+        config = DesignConfig(
+            loops={"L0": LoopConfig(pipeline="on")},
+            bitwidths={"a": 128})
+        annotated = apply_config(kernel, config)
+        assert "#pragma" in kernel_to_c(annotated)
+        assert "#pragma" not in kernel_to_c(kernel)  # original untouched
+        assert annotated.metadata["bitwidths"] == {"a": 128}
+
+    def test_annotated_kernel_still_executes(self):
+        kernel = _square_kernel()
+        config = DesignConfig(loops={
+            "L0": LoopConfig(parallel=4, pipeline="on")})
+        annotated = apply_config(kernel, config)
+        assert _run(annotated) == EXPECTED

@@ -1,0 +1,220 @@
+"""Behavioral codegen tests: compile mini-Scala and run it on the JVM
+interpreter, checking results against a Python reference."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as hst
+
+from repro.jvm import ClassRegistry, Interpreter
+from repro.jvm.interpreter import JArray
+from repro.scala import compile_program
+
+
+def run_function(source, name, args):
+    _, classes = compile_program(source)
+    registry = ClassRegistry()
+    for jclass in classes:
+        registry.define(jclass)
+    interp = Interpreter(registry)
+    # Module functions are static: a leading None placeholder (receiver
+    # convention used elsewhere in the tests) is dropped.
+    args = list(args)
+    if args and args[0] is None:
+        args = args[1:]
+    return interp.invoke("s2fa/Module", name, args)
+
+
+def run_kernel(source, class_name, args, field_overrides=None):
+    _, classes = compile_program(source)
+    registry = ClassRegistry()
+    for jclass in classes:
+        registry.define(jclass)
+    interp = Interpreter(registry)
+    obj = interp.new_instance(class_name)
+    interp.invoke(class_name, "<init>", [obj])
+    if field_overrides:
+        obj.fields.update(field_overrides)
+    return interp.invoke(class_name, "call", [obj] + list(args))
+
+
+class TestArithmetic:
+    def test_simple_function(self):
+        assert run_function("def f(a: Int): Int = a * a + 1", "f",
+                            [None, 5]) == 26
+
+    @given(hst.integers(min_value=-1000, max_value=1000))
+    def test_polynomial_matches_python(self, x):
+        source = "def f(a: Int): Int = a * a * a - 2 * a + 7"
+        assert run_function(source, "f", [None, x]) == x**3 - 2 * x + 7
+
+    def test_float_promotion(self):
+        source = "def f(a: Int, b: Float): Float = a + b"
+        assert run_function(source, "f", [None, 2, 0.5]) == 2.5
+
+    def test_double_math(self):
+        source = "def f(x: Double): Double = math.sqrt(x) + math.log(x)"
+        got = run_function(source, "f", [None, 4.0])
+        assert math.isclose(got, 2.0 + math.log(4.0))
+
+    def test_integer_division_semantics(self):
+        source = "def f(a: Int, b: Int): Int = a / b + a % b"
+        assert run_function(source, "f", [None, -7, 2]) == -3 + -1
+
+
+class TestControlFlow:
+    def test_if_else_value(self):
+        source = "def f(a: Int): Int = if (a > 0) a else -a"
+        assert run_function(source, "f", [None, -9]) == 9
+        assert run_function(source, "f", [None, 4]) == 4
+
+    def test_nested_if(self):
+        source = """
+def f(a: Int): Int = {
+  if (a > 10) { if (a > 100) 3 else 2 } else 1
+}
+"""
+        assert run_function(source, "f", [None, 5]) == 1
+        assert run_function(source, "f", [None, 50]) == 2
+        assert run_function(source, "f", [None, 500]) == 3
+
+    def test_while_loop(self):
+        source = """
+def f(n: Int): Int = {
+  var acc = 0
+  var i = 0
+  while (i < n) {
+    acc = acc + i
+    i = i + 1
+  }
+  acc
+}
+"""
+        assert run_function(source, "f", [None, 10]) == 45
+
+    def test_for_until_and_to(self):
+        source = """
+def f(n: Int): Int = {
+  var a = 0
+  for (i <- 0 until n) { a = a + 1 }
+  for (i <- 1 to n) { a = a + 1 }
+  a
+}
+"""
+        assert run_function(source, "f", [None, 5]) == 10
+
+    def test_boolean_connectives(self):
+        source = """
+def f(a: Int, b: Int): Int = {
+  if (a > 0 && b > 0) 1 else if (a > 0 || b > 0) 2 else 0
+}
+"""
+        assert run_function(source, "f", [None, 1, 1]) == 1
+        assert run_function(source, "f", [None, 1, -1]) == 2
+        assert run_function(source, "f", [None, -1, -1]) == 0
+
+    def test_negation(self):
+        source = "def f(a: Int): Int = if (!(a > 0)) 1 else 0"
+        assert run_function(source, "f", [None, -5]) == 1
+
+
+class TestArraysAndStrings:
+    def test_local_array(self):
+        source = """
+def f(n: Int): Int = {
+  val a = new Array[Int](8)
+  for (i <- 0 until 8) { a(i) = i * i }
+  a(n)
+}
+"""
+        assert run_function(source, "f", [None, 3]) == 9
+
+    def test_array_param_sum(self):
+        source = """
+def f(a: Array[Float]): Float = {
+  var s = 0.0f
+  for (i <- 0 until a.length) { s = s + a(i) }
+  s
+}
+"""
+        arr = JArray("F", [1.0, 2.0, 3.5])
+        assert run_function(source, "f", [None, arr]) == 6.5
+
+    def test_string_indexing(self):
+        source = "def f(s: String): Int = s(1) - 'a'"
+        assert run_function(source, "f", [None, "abc"]) == 1
+
+    def test_string_length(self):
+        source = "def f(s: String): Int = s.length"
+        assert run_function(source, "f", [None, "hello"]) == 5
+
+
+class TestTuples:
+    def test_tuple_round_trip(self):
+        source = """
+def f(a: Int, b: Int): Int = {
+  val t = (a + 1, b * 2)
+  t._1 + t._2
+}
+"""
+        assert run_function(source, "f", [None, 3, 4]) == 4 + 8
+
+    def test_tuple_of_float_and_int(self):
+        source = """
+def f(x: Float): Float = {
+  val t = (x, 3)
+  t._1 * t._2
+}
+"""
+        assert run_function(source, "f", [None, 1.5]) == 4.5
+
+
+class TestKernelClasses:
+    def test_fields_baked_by_constructor(self):
+        source = """
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  val tbl: Array[Int] = Array(10, 20, 30)
+  val off: Int = 7
+  def call(in: Int): Int = tbl(in) + off
+}
+"""
+        assert run_kernel(source, "K", [1]) == 27
+
+    def test_helper_method_dispatch(self):
+        source = """
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  def sq(x: Int): Int = x * x
+  def call(in: Int): Int = sq(in) + sq(in + 1)
+}
+"""
+        assert run_kernel(source, "K", [3]) == 9 + 16
+
+    def test_field_override_from_host(self):
+        source = """
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  val k: Int = 1
+  def call(in: Int): Int = in * k
+}
+"""
+        assert run_kernel(source, "K", [5], {"k": 10}) == 50
+
+    @given(hst.lists(hst.floats(min_value=-100, max_value=100,
+                                allow_nan=False), min_size=4, max_size=4))
+    def test_dot_product_kernel(self, values):
+        source = """
+class Dot extends Accelerator[Array[Float], Float] {
+  val id: String = "dot"
+  val w: Array[Float] = Array(1.0f, 2.0f, 3.0f, 4.0f)
+  def call(in: Array[Float]): Float = {
+    var s = 0.0f
+    for (i <- 0 until 4) { s = s + in(i) * w(i) }
+    s
+  }
+}
+"""
+        got = run_kernel(source, "Dot", [JArray("F", list(values))])
+        expected = sum(v * w for v, w in zip(values, [1.0, 2.0, 3.0, 4.0]))
+        assert math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-9)

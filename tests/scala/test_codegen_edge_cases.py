@@ -1,0 +1,152 @@
+"""Additional codegen behavior: edge cases across the numeric subset."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as hst
+
+from repro.jvm import ClassRegistry, Interpreter
+from repro.jvm.interpreter import JArray
+from repro.scala import compile_program
+
+
+def run_function(source, name, *args):
+    _, classes = compile_program(source)
+    registry = ClassRegistry()
+    for jclass in classes:
+        registry.define(jclass)
+    return Interpreter(registry).invoke("s2fa/Module", name, list(args))
+
+
+class TestNumericEdges:
+    def test_int_overflow_wraps(self):
+        source = "def f(a: Int): Int = a + 1"
+        assert run_function(source, "f", 2**31 - 1) == -(2**31)
+
+    def test_hex_literals(self):
+        source = "def f(a: Int): Int = a & 0xFF"
+        assert run_function(source, "f", 0x1234) == 0x34
+
+    def test_char_literal_arithmetic(self):
+        source = "def f(c: Char): Int = c - 'A' + 1"
+        assert run_function(source, "f", ord("C")) == 3
+
+    def test_long_arithmetic(self):
+        source = "def f(a: Long, b: Long): Long = a * b + 7L"
+        assert run_function(source, "f", 1 << 32, 3) == 3 * (1 << 32) + 7
+
+    def test_unsigned_shift(self):
+        source = "def f(a: Int): Int = a >>> 1"
+        assert run_function(source, "f", -2) == 0x7FFFFFFF
+
+    def test_double_to_float_narrowing_explicit(self):
+        source = "def f(x: Double): Float = (x * 2.0).toFloat"
+        assert run_function(source, "f", 1.25) == 2.5
+
+    def test_negative_literal_in_condition(self):
+        source = "def f(a: Int): Int = if (a > -5) 1 else 0"
+        assert run_function(source, "f", -4) == 1
+        assert run_function(source, "f", -6) == 0
+
+    def test_modulo_chain(self):
+        source = "def f(a: Int): Int = (a % 7 + 7) % 7"
+        assert run_function(source, "f", -3) == 4
+
+    @given(hst.integers(min_value=0, max_value=255),
+           hst.integers(min_value=0, max_value=255))
+    def test_xor_shift_mask_pipeline(self, x, y):
+        source = """
+def f(a: Int, b: Int): Int = {
+  val m = (a << 3) ^ (b >> 1)
+  (m | a) & 255
+}
+"""
+        expected = ((((x << 3) ^ (y >> 1)) | x) & 255)
+        assert run_function(source, "f", x, y) == expected
+
+
+class TestScopingEdges:
+    def test_shadowing_in_nested_blocks(self):
+        source = """
+def f(a: Int): Int = {
+  val x = a
+  val y = {
+    val x = a * 10
+    x + 1
+  }
+  x + y
+}
+"""
+        assert run_function(source, "f", 3) == 3 + 31
+
+    def test_loop_variable_scoped_to_loop(self):
+        source = """
+def f(n: Int): Int = {
+  var s = 0
+  for (i <- 0 until n) { s = s + i }
+  for (i <- 0 until n) { s = s + i * 2 }
+  s
+}
+"""
+        assert run_function(source, "f", 4) == 6 + 12
+
+    def test_block_value_from_if(self):
+        source = """
+def f(a: Int): Int = {
+  val v = {
+    if (a > 0) { a * 2 } else { -a }
+  }
+  v + 1
+}
+"""
+        assert run_function(source, "f", 5) == 11
+        assert run_function(source, "f", -5) == 6
+
+    def test_deeply_nested_loops(self):
+        source = """
+def f(n: Int): Int = {
+  var s = 0
+  for (i <- 0 until n) {
+    for (j <- 0 until n) {
+      for (k <- 0 until n) {
+        s = s + 1
+      }
+    }
+  }
+  s
+}
+"""
+        assert run_function(source, "f", 3) == 27
+
+
+class TestArraysEdges:
+    def test_array_of_longs(self):
+        source = """
+def f(n: Int): Long = {
+  val a = new Array[Long](4)
+  a(0) = 1L
+  for (i <- 1 until 4) { a(i) = a(i - 1) * 1000000L }
+  a(n)
+}
+"""
+        assert run_function(source, "f", 3) == 10**18
+
+    def test_char_array_roundtrip(self):
+        source = """
+def f(s: String): Int = {
+  val buf = new Array[Char](8)
+  for (i <- 0 until s.length) { buf(i) = s(i) }
+  buf(1).toInt
+}
+"""
+        assert run_function(source, "f", "xyz") == ord("y")
+
+    def test_boolean_array(self):
+        source = """
+def f(n: Int): Int = {
+  val seen = new Array[Boolean](8)
+  seen(n) = true
+  if (seen(n)) 1 else 0
+}
+"""
+        assert run_function(source, "f", 5) == 1

@@ -1,0 +1,68 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import ScalaSyntaxError
+from repro.scala.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestLiterals:
+    def test_ints(self):
+        assert values("0 42 0x1F") == [0, 42, 31]
+
+    def test_float_suffixes(self):
+        tokens = tokenize("1.5f 2.5 3f 4d 7L")[:-1]
+        assert [t.kind for t in tokens] \
+            == ["FLOAT", "DOUBLE", "FLOAT", "DOUBLE", "LONG"]
+        assert [t.value for t in tokens] == [1.5, 2.5, 3.0, 4.0, 7]
+
+    def test_scientific(self):
+        assert values("1e3 2.5e-2")[0] == 1000.0
+
+    def test_strings_with_escapes(self):
+        assert values('"a\\nb"') == ["a\nb"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ScalaSyntaxError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_char_literal(self):
+        assert values("'A'") == [ord("A")]
+
+    def test_bools(self):
+        assert kinds("true false") == ["BOOL", "BOOL"]
+
+
+class TestStructure:
+    def test_keywords_vs_idents(self):
+        assert kinds("def valx while") == ["def", "IDENT", "while"]
+
+    def test_operators_maximal_munch(self):
+        source = "a <= b << c <- d"
+        ops = [t.text for t in tokenize(source) if t.kind == "OP"]
+        assert ops == ["<=", "<<", "<-"]
+
+    def test_comments_skipped(self):
+        source = "a // line comment\n /* block\n comment */ b"
+        assert [t.text for t in tokenize(source)[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ScalaSyntaxError, match="comment"):
+            tokenize("/* never ends")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ScalaSyntaxError, match="unexpected"):
+            tokenize("a ` b")

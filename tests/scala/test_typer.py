@@ -1,0 +1,166 @@
+"""Type checker tests."""
+
+import pytest
+
+from repro.errors import ScalaTypeError, UnsupportedConstructError
+from repro.scala import parse, type_program, types
+
+
+def typed(source):
+    return type_program(parse(source))
+
+
+def body_type(expr_src, params="a: Int, b: Float"):
+    program = typed(f"def f({params}): Int = {{ val r = {expr_src}\n 0 }}")
+    val = program.functions[0].body.stmts[0]
+    return val.var_tpe
+
+
+class TestInference:
+    def test_int_arithmetic(self):
+        assert body_type("a + a") == types.INT
+
+    def test_mixed_promotes_to_float(self):
+        assert body_type("a + b") == types.FLOAT
+
+    def test_double_wins(self):
+        assert body_type("b + 1.0") == types.DOUBLE
+
+    def test_comparison_is_boolean(self):
+        assert body_type("a < b") == types.BOOLEAN
+
+    def test_char_arithmetic_widens_to_int(self):
+        program = typed(
+            "def f(s: String): Int = { val r = s(0) - 'a'\n r }")
+        assert program.functions[0].body.stmts[0].var_tpe == types.INT
+
+    def test_tuple_accessor(self):
+        program = typed("def f(t: (Int, Float)): Float = t._2")
+        assert program.functions[0].ret == types.FLOAT
+
+    def test_array_indexing(self):
+        program = typed("def f(a: Array[Float]): Float = a(0)")
+        assert program.functions[0].ret == types.FLOAT
+
+    def test_math_exp_is_double(self):
+        assert body_type("math.exp(1.0)") == types.DOUBLE
+
+    def test_math_max_polymorphic(self):
+        assert body_type("math.max(a, a)") == types.INT
+
+    def test_conversion_select(self):
+        assert body_type("b.toInt") == types.INT
+
+    def test_if_expression_join(self):
+        assert body_type("if (a > 0) a else 0") == types.INT
+
+    def test_function_return_inferred(self):
+        program = typed("def f(a: Int) = a * 2")
+        assert program.functions[0].ret == types.INT
+
+
+class TestErrors:
+    def test_undefined_name(self):
+        with pytest.raises(ScalaTypeError, match="undefined"):
+            typed("def f(a: Int): Int = zzz")
+
+    def test_reassign_val(self):
+        with pytest.raises(ScalaTypeError, match="reassignment"):
+            typed("def f(a: Int): Int = { val x = 1; x = 2; x }")
+
+    def test_implicit_narrowing_rejected(self):
+        with pytest.raises(ScalaTypeError, match="narrowing"):
+            typed("def f(a: Float): Int = { var x = 0; x = a; x }")
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(ScalaTypeError, match="Boolean"):
+            typed("def f(a: Int): Int = { while (a) { }\n a }")
+
+    def test_duplicate_definition(self):
+        with pytest.raises(ScalaTypeError, match="duplicate"):
+            typed("def f(a: Int): Int = { val x = 1; val x = 2; x }")
+
+    def test_dynamic_array_size_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="constant"):
+            typed("def f(n: Int): Int = { val a = new Array[Int](n); 0 }")
+
+    def test_library_call_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="library"):
+            typed("def f(s: String): Int = s.indexOf(0)")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="unknown"):
+            typed("def f(a: Int): Int = g(a)")
+
+    def test_bad_tuple_index(self):
+        with pytest.raises(ScalaTypeError, match="tuple"):
+            typed("def f(t: (Int, Int)): Int = t._3")
+
+    def test_shift_on_float_rejected(self):
+        with pytest.raises(ScalaTypeError, match="integral"):
+            typed("def f(a: Float): Int = { val x = a << 1; 0 }")
+
+
+class TestStringBufferAssignability:
+    def test_char_array_accepted_as_string(self):
+        program = typed("""
+def f(s: String): String = {
+  val buf = new Array[Char](8)
+  buf(0) = s(0)
+  buf
+}
+""")
+        assert program.functions[0].ret == types.STRING
+
+    def test_int_array_not_a_string(self):
+        with pytest.raises(ScalaTypeError, match="assign"):
+            typed("""
+def f(s: String): String = {
+  val buf = new Array[Int](8)
+  buf
+}
+""")
+
+    def test_tuple_of_char_arrays_as_string_pair(self):
+        program = typed("""
+def f(s: String): (String, String) = {
+  val a = new Array[Char](4)
+  val b = new Array[Char](4)
+  (a, b)
+}
+""")
+        assert program.functions[0].ret \
+            == types.TupleType((types.STRING, types.STRING))
+
+
+class TestClassFields:
+    def test_field_types_visible_in_methods(self):
+        program = typed("""
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  val bias: Float = 0.5f
+  def call(in: Int): Float = in.toFloat + bias
+}
+""")
+        assert program.classes[0].method("call").ret == types.FLOAT
+
+    def test_array_literal_field(self):
+        program = typed("""
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  val tbl: Array[Int] = Array(1, 2, 3)
+  def call(in: Int): Int = tbl(in)
+}
+""")
+        assert program.classes[0].fields[1].tpe \
+            == types.ArrayType(types.INT)
+
+    def test_method_calls_within_class(self):
+        program = typed("""
+class K extends Accelerator[Int, Int] {
+  val id: String = "K"
+  def helper(x: Int): Int = x * 2
+  def call(in: Int): Int = helper(in) + 1
+}
+""")
+        assert program.classes[0].method("call").ret == types.INT

@@ -1,0 +1,79 @@
+"""Mini-Scala type system tests."""
+
+import pytest
+
+from repro.errors import ScalaTypeError
+from repro.scala import types as st
+
+
+class TestDescriptors:
+    def test_primitives(self):
+        assert st.INT.descriptor() == "I"
+        assert st.DOUBLE.descriptor() == "D"
+        assert st.BOOLEAN.descriptor() == "Z"
+        assert st.UNIT.descriptor() == "V"
+
+    def test_array(self):
+        assert st.ArrayType(st.FLOAT).descriptor() == "[F"
+        assert st.ArrayType(st.ArrayType(st.INT)).descriptor() == "[[I"
+
+    def test_string(self):
+        assert st.STRING.descriptor() == "Ljava/lang/String;"
+
+    def test_tuple_descriptor_uses_specialized_class(self):
+        tpe = st.TupleType((st.INT, st.FLOAT))
+        assert tpe.descriptor() == "Ls2fa/Tuple2_IF;"
+        assert tpe.class_name() == "s2fa/Tuple2_IF"
+
+    def test_class_type(self):
+        assert st.ClassType("Point").descriptor() == "LPoint;"
+
+    def test_from_descriptor_roundtrip(self):
+        for tpe in (st.INT, st.DOUBLE, st.STRING,
+                    st.ArrayType(st.FLOAT), st.ClassType("X")):
+            assert st.from_descriptor(tpe.descriptor()) == tpe
+
+
+class TestPromotion:
+    @pytest.mark.parametrize("a,b,expected", [
+        (st.INT, st.INT, st.INT),
+        (st.INT, st.FLOAT, st.FLOAT),
+        (st.FLOAT, st.DOUBLE, st.DOUBLE),
+        (st.INT, st.LONG, st.LONG),
+        (st.LONG, st.FLOAT, st.FLOAT),
+        (st.CHAR, st.CHAR, st.INT),      # char arithmetic widens
+        (st.CHAR, st.INT, st.INT),
+        (st.SHORT, st.SHORT, st.INT),
+    ])
+    def test_numeric_promotion(self, a, b, expected):
+        assert st.promote(a, b) == expected
+        assert st.promote(b, a) == expected
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ScalaTypeError):
+            st.promote(st.INT, st.STRING)
+
+    def test_same_non_numeric_allowed(self):
+        assert st.promote(st.STRING, st.STRING) == st.STRING
+
+
+class TestPredicates:
+    def test_is_numeric(self):
+        assert st.FLOAT.is_numeric and st.CHAR.is_numeric
+        assert not st.BOOLEAN.is_numeric
+        assert not st.STRING.is_numeric
+
+    def test_is_floating(self):
+        assert st.DOUBLE.is_floating
+        assert not st.LONG.is_floating
+
+    def test_is_integral(self):
+        assert st.LONG.is_integral and st.CHAR.is_integral
+        assert not st.FLOAT.is_integral
+
+    def test_primitive_lookup(self):
+        assert st.primitive("Int") is st.INT
+        assert st.is_primitive_name("Double")
+        assert not st.is_primitive_name("String")
+        with pytest.raises(ScalaTypeError):
+            st.primitive("Quaternion")

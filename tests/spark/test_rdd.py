@@ -1,0 +1,121 @@
+"""Mini-Spark RDD semantics tests."""
+
+import pytest
+from hypothesis import given, strategies as hst
+
+from repro.errors import S2FAError
+from repro.spark import SparkContext
+
+
+@pytest.fixture
+def sc():
+    return SparkContext("test", default_parallelism=4)
+
+
+class TestPartitioning:
+    def test_partition_sizes_balanced(self, sc):
+        rdd = sc.parallelize(range(10), 3)
+        sizes = [len(rdd.partition_data(p)) for p in range(3)]
+        assert sorted(sizes) == [3, 3, 4]
+        assert rdd.collect() == list(range(10))
+
+    def test_more_partitions_than_items(self, sc):
+        rdd = sc.parallelize([1, 2], 8)
+        assert rdd.num_partitions <= 2
+        assert rdd.collect() == [1, 2]
+
+    def test_out_of_range_partition(self, sc):
+        rdd = sc.parallelize([1, 2, 3], 2)
+        with pytest.raises(S2FAError):
+            rdd.partition_data(5)
+
+    @given(hst.lists(hst.integers(), max_size=50),
+           hst.integers(min_value=1, max_value=7))
+    def test_collect_preserves_order(self, data, partitions):
+        sc = SparkContext()
+        rdd = sc.parallelize(data, partitions)
+        assert rdd.collect() == data
+
+
+class TestTransformations:
+    def test_map(self, sc):
+        assert sc.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() \
+            == [2, 4, 6]
+
+    def test_filter(self, sc):
+        rdd = sc.parallelize(range(10)).filter(lambda x: x % 2 == 0)
+        assert rdd.collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, sc):
+        rdd = sc.parallelize([1, 2]).flat_map(lambda x: [x] * x)
+        assert rdd.collect() == [1, 2, 2]
+
+    def test_chaining_is_lazy(self, sc):
+        calls = []
+
+        def track(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize([1, 2, 3]).map(track)
+        assert calls == []  # nothing computed yet
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+    def test_map_partitions(self, sc):
+        rdd = sc.parallelize(range(8), 2).map_partitions(
+            lambda items: [sum(items)])
+        assert rdd.collect() == [sum(range(4)), sum(range(4, 8))]
+
+    def test_zip_with_index(self, sc):
+        rdd = sc.parallelize(["a", "b", "c"], 2).zip_with_index()
+        assert rdd.collect() == [("a", 0), ("b", 1), ("c", 2)]
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.parallelize(range(17)).count() == 17
+
+    def test_take_and_first(self, sc):
+        rdd = sc.parallelize(range(10), 3)
+        assert rdd.take(4) == [0, 1, 2, 3]
+        assert rdd.first() == 0
+
+    def test_first_on_empty(self, sc):
+        with pytest.raises(S2FAError, match="empty"):
+            sc.parallelize([]).first()
+
+    def test_reduce(self, sc):
+        assert sc.parallelize([1, 2, 3, 4], 2).reduce(
+            lambda a, b: a + b) == 10
+
+    def test_reduce_empty(self, sc):
+        with pytest.raises(S2FAError):
+            sc.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_reduce_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4)]
+        rdd = sc.parallelize(pairs, 2).reduce_by_key(lambda a, b: a + b)
+        assert rdd.collect() == [("a", 4), ("b", 6)]
+
+    def test_sum(self, sc):
+        assert sc.parallelize([1.5, 2.5]).sum() == 4.0
+
+
+class TestCaching:
+    def test_cache_computes_once(self, sc):
+        calls = []
+        rdd = sc.parallelize([1, 2, 3], 1).map(
+            lambda x: calls.append(x) or x).cache()
+        rdd.collect()
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+    def test_unpersist_recomputes(self, sc):
+        calls = []
+        rdd = sc.parallelize([1], 1).map(
+            lambda x: calls.append(x) or x).cache()
+        rdd.collect()
+        rdd.unpersist()
+        rdd.collect()
+        assert calls == [1, 1]

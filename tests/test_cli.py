@@ -1,0 +1,104 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+KERNEL = """
+class Inc extends Accelerator[Int, Int] {
+  val id: String = "inc"
+  def call(in: Int): Int = in + 1
+}
+"""
+
+FILTER_KERNEL = """
+class Even extends Accelerator[Int, Boolean] {
+  val id: String = "even"
+  def call(in: Int): Boolean = (in & 1) == 0
+}
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "inc.scala"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_emits_c(self, kernel_file, capsys):
+        assert main(["compile", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "void kernel(int N, int *in_1, int *out_1)" in out
+        assert "in_1 + 1" in out
+
+    def test_filter_pattern(self, tmp_path, capsys):
+        path = tmp_path / "even.scala"
+        path.write_text(FILTER_KERNEL)
+        assert main(["compile", str(path), "--pattern", "filter"]) == 0
+        assert "(in_1 & 1) == 0" in capsys.readouterr().out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "/nonexistent.scala"])
+
+    def test_length_options(self, tmp_path, capsys):
+        path = tmp_path / "k.scala"
+        path.write_text("""
+class K extends Accelerator[Array[Float], Float] {
+  val id: String = "k"
+  def call(in: Array[Float]): Float = in(0)
+}
+""")
+        assert main(["compile", str(path), "--length", "in=4"]) == 0
+        assert "i * 4" in capsys.readouterr().out
+
+    def test_bad_length_syntax(self, kernel_file):
+        with pytest.raises(SystemExit, match="path=N"):
+            main(["compile", kernel_file, "--length", "oops"])
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.scala"
+        path.write_text("def f(x: Int): Int = unknownCall(x)")
+        assert main(["compile", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExploreCommand:
+    def test_explore_summary(self, kernel_file, capsys):
+        code = main(["explore", kernel_file, "--seed", "3",
+                     "--time-limit", "60", "--emit-c"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best design" in out
+        assert "#pragma" in out or "cycles/batch" in out
+
+    def test_explore_json_export(self, kernel_file, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "run.json"
+        code = main(["explore", kernel_file, "--seed", "3",
+                     "--time-limit", "60", "--json", str(target)])
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["name"] == "s2fa"
+        assert data["trace"]
+        assert data["best_design"]["cycles"] > 0
+
+
+class TestInfoCommands:
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "KMeans" in out and "S-W" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "PR"]) == 0
+        out = capsys.readouterr().out
+        assert "expert manual design" in out
+        assert "memory bound" in out
+
+    def test_report_unknown_app(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["report", "Nope"])

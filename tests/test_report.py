@@ -1,0 +1,78 @@
+"""Report formatting tests."""
+
+import math
+
+from repro.report import (
+    format_table,
+    log_bar_chart,
+    speedup_summary,
+    trace_chart,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Long header"],
+                            [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert all(len(line) == len(lines[0]) or "|" in line
+                   for line in lines)
+        assert "yyyy" in text
+
+    def test_title(self):
+        text = format_table(["A"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+
+class TestLogBarChart:
+    def test_bars_scale_with_magnitude(self):
+        chart = log_bar_chart(
+            ["a", "b"],
+            {"s": [1.0, 1000.0]})
+        lines = chart.splitlines()
+        bar_a = next(line for line in lines if "1.0x" in line)
+        bar_b = next(line for line in lines if "1000.0x" in line)
+        assert bar_b.count("#") > bar_a.count("#")
+
+    def test_infeasible_marked(self):
+        chart = log_bar_chart(["a", "b"], {"s": [5.0, float("inf")]})
+        assert "infeasible" in chart
+
+    def test_empty(self):
+        assert "(no data)" in log_bar_chart([], {"s": []})
+
+
+class TestTraceChart:
+    def test_series_markers_in_legend(self):
+        chart = trace_chart({
+            "S2FA": [(0.0, 100.0), (10.0, 10.0)],
+            "OpenTuner": [(0.0, 100.0), (20.0, 50.0)],
+        })
+        assert "S2FA" in chart
+        assert "OpenTuner" in chart
+
+    def test_infinite_points_skipped(self):
+        chart = trace_chart({
+            "x": [(0.0, math.inf), (5.0, 10.0)],
+        })
+        assert "1.00e+01" in chart or "10" in chart
+
+    def test_no_feasible(self):
+        chart = trace_chart({"x": [(0.0, math.inf)]})
+        assert "no feasible" in chart
+
+
+class TestSpeedupSummary:
+    def test_geomean_and_max(self):
+        text = speedup_summary(["a", "b"], [10.0, 1000.0], "S")
+        assert "geomean 100.0x" in text
+        assert "max 1000.0x (b)" in text
+
+    def test_handles_nan(self):
+        text = speedup_summary(["a", "b"], [10.0, float("nan")], "S")
+        assert "1/2 designs feasible" in text
+
+    def test_all_infeasible(self):
+        assert "no feasible" in speedup_summary(
+            ["a"], [float("nan")], "S")
