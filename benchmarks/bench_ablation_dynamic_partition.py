@@ -16,9 +16,9 @@ termination.
 import math
 import statistics
 
-from common import FIG3_SEEDS, compiled, design_space
+from common import FIG3_SEEDS, design_space, make_evaluator
 
-from repro.dse import Evaluator, S2FAEngine
+from repro.dse import S2FAEngine
 from repro.dse.datuner import DATunerEngine
 from repro.report import format_table
 
@@ -33,9 +33,9 @@ def test_ablation_static_vs_dynamic_partitioning(benchmark):
             early_static, early_dynamic = [], []
             final_static, final_dynamic = [], []
             for seed in FIG3_SEEDS:
-                static = S2FAEngine(Evaluator(compiled(name)),
+                static = S2FAEngine(make_evaluator(name),
                                     design_space(name), seed=seed).run()
-                dynamic = DATunerEngine(Evaluator(compiled(name)),
+                dynamic = DATunerEngine(make_evaluator(name),
                                         design_space(name),
                                         seed=seed).run()
                 early_static.append(static.trace.best_at(EARLY_MINUTES))

@@ -14,9 +14,9 @@ frequency) of the chosen designs.
 import math
 import statistics
 
-from common import FIG3_SEEDS, compiled, design_space
+from common import FIG3_SEEDS, design_space, make_evaluator
 
-from repro.dse import Evaluator, S2FAEngine
+from repro.dse import S2FAEngine
 from repro.report import format_table
 
 APPS = ["KMeans", "SVM", "AES", "S-W"]
@@ -35,10 +35,10 @@ def test_ablation_frequency_aware_qor(benchmark):
             aware, blind = [], []
             for seed in FIG3_SEEDS:
                 aware_run = S2FAEngine(
-                    Evaluator(compiled(name), frequency_aware=True),
+                    make_evaluator(name, frequency_aware=True),
                     design_space(name), seed=seed).run()
                 blind_run = S2FAEngine(
-                    Evaluator(compiled(name), frequency_aware=False),
+                    make_evaluator(name, frequency_aware=False),
                     design_space(name), seed=seed).run()
                 aware.append(_wall_us(aware_run))
                 blind.append(_wall_us(blind_run))

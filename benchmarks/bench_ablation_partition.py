@@ -10,16 +10,16 @@ OpenTuner reaches the same design there).
 import math
 import statistics
 
-from common import APP_NAMES, FIG3_SEEDS, compiled, design_space
+from common import APP_NAMES, FIG3_SEEDS, design_space, make_evaluator
 
-from repro.dse import Evaluator, S2FAEngine
+from repro.dse import S2FAEngine
 from repro.report import format_table
 
 APPS = ["KMeans", "LR", "AES", "S-W"]
 
 
 def _run(name: str, seed: int, use_partitioning: bool):
-    engine = S2FAEngine(Evaluator(compiled(name)), design_space(name),
+    engine = S2FAEngine(make_evaluator(name), design_space(name),
                         seed=seed, use_partitioning=use_partitioning)
     return engine.run()
 

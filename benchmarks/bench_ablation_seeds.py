@@ -14,9 +14,15 @@ reproduce:
 
 import math
 
-from common import APP_NAMES, FIG3_SEEDS, compiled, design_space
+from common import (
+    APP_NAMES,
+    FIG3_SEEDS,
+    compiled,
+    design_space,
+    make_evaluator,
+)
 
-from repro.dse import Evaluator, S2FAEngine
+from repro.dse import S2FAEngine
 from repro.dse.seeds import area_seed, performance_seed
 from repro.merlin import DesignConfig
 from repro.hls import estimate
@@ -40,10 +46,10 @@ def test_ablation_seed_generation(benchmark):
             seeded_best, random_best = [], []
             for seed in FIG3_SEEDS:
                 seeded = S2FAEngine(
-                    Evaluator(compiled(name)), design_space(name),
+                    make_evaluator(name), design_space(name),
                     seed=seed, use_seeds=True).run()
                 unseeded = S2FAEngine(
-                    Evaluator(compiled(name)), design_space(name),
+                    make_evaluator(name), design_space(name),
                     seed=seed, use_seeds=False).run()
                 seeded_first.append(_first_feasible_minute(seeded))
                 random_first.append(_first_feasible_minute(unseeded))

@@ -11,9 +11,9 @@ Compares three termination policies under the same budget:
 import math
 import statistics
 
-from common import FIG3_SEEDS, compiled, design_space
+from common import FIG3_SEEDS, design_space, make_evaluator
 
-from repro.dse import Evaluator, S2FAEngine
+from repro.dse import S2FAEngine
 from repro.dse.stopping import (
     EntropyStopping,
     NeverStop,
@@ -31,7 +31,7 @@ POLICIES = {
 
 
 def _run(name: str, seed: int, factory):
-    engine = S2FAEngine(Evaluator(compiled(name)), design_space(name),
+    engine = S2FAEngine(make_evaluator(name), design_space(name),
                         seed=seed, stopping_factory=factory)
     return engine.run()
 

@@ -16,6 +16,7 @@ import statistics
 
 from common import (
     APP_NAMES,
+    aggregate_stats,
     best_design,
     jvm_seconds_per_task,
     s2fa_run,
@@ -23,7 +24,7 @@ from common import (
 )
 
 from repro.apps import get_app
-from repro.report import format_table
+from repro.report import evaluation_stats_table, format_table
 
 ML = ("KMeans", "KNN", "LR", "SVM", "LLS")
 STRINGS = ("AES", "S-W")
@@ -71,6 +72,14 @@ def test_headline_claims(benchmark):
         spec = get_app(name)
         assert spec.compile().loop_labels, f"{name} did not compile"
 
+    stats = aggregate_stats()
+    print()
+    print(evaluation_stats_table(stats))
+
     benchmark.extra_info["speedups"] = {
         name: (value if math.isfinite(value) else None)
         for name, value in speedups.items()}
+    benchmark.extra_info["evaluation"] = {
+        key: stats[key] for key in ("jobs", "estimates", "memory_hits",
+                                    "store_hits", "hit_rate",
+                                    "worker_failures")}

@@ -3,18 +3,29 @@
 Everything expensive (kernel compilation, DSE runs, JVM baseline timing)
 is cached per (app, seed) so the Table 2 / Fig. 3 / Fig. 4 benches can
 share results instead of re-exploring.
+
+Two environment knobs (also settable as ``--jobs`` / ``--cache-dir``
+pytest options, see ``conftest.py``) control the evaluation backend
+without touching the science:
+
+* ``S2FA_JOBS`` — process-pool width for HLS estimation (default 1);
+* ``S2FA_CACHE_DIR`` — persistent evaluation cache directory, so a
+  second benchmark run skips re-estimation entirely.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
 from functools import lru_cache
 
 from repro.apps import ALL_APPS, get_app
 from repro.blaze.runtime import _JVMTaskRunner
 from repro.dse import (
+    CacheStore,
     DSERun,
-    Evaluator,
     OpenTunerRuntime,
+    ParallelEvaluator,
     S2FAEngine,
     build_space,
 )
@@ -31,6 +42,63 @@ DEFAULT_SEED = 1
 
 APP_NAMES = [spec.name for spec in ALL_APPS]
 
+#: Every evaluator built this process (for pool shutdown + stats).
+EVALUATORS: list[ParallelEvaluator] = []
+
+
+def dse_jobs() -> int:
+    return max(1, int(os.environ.get("S2FA_JOBS", "1") or "1"))
+
+
+@lru_cache(maxsize=None)
+def cache_store() -> CacheStore | None:
+    directory = os.environ.get("S2FA_CACHE_DIR")
+    return CacheStore(directory) if directory else None
+
+
+def make_evaluator(name: str,
+                   frequency_aware: bool = True) -> ParallelEvaluator:
+    """Evaluation backend honouring ``S2FA_JOBS``/``S2FA_CACHE_DIR``."""
+    evaluator = ParallelEvaluator(compiled(name), store=cache_store(),
+                                  frequency_aware=frequency_aware,
+                                  jobs=dse_jobs())
+    EVALUATORS.append(evaluator)
+    return evaluator
+
+
+@atexit.register
+def _close_evaluators() -> None:
+    for evaluator in EVALUATORS:
+        evaluator.close()
+
+
+def aggregate_stats() -> dict:
+    """Sum of the per-run backend stats (for the bench reports)."""
+    total = {"jobs": dse_jobs(), "unique_points": 0, "estimates": 0,
+             "memory_hits": 0, "store_hits": 0, "batches": 0,
+             "mean_batch": 0.0, "max_batch": 0, "worker_failures": 0,
+             "degraded": False, "hit_rate": 0.0}
+    points = 0
+    for evaluator in EVALUATORS:
+        stats = evaluator.stats()
+        for key in ("unique_points", "estimates", "memory_hits",
+                    "store_hits", "batches", "worker_failures"):
+            total[key] += stats[key]
+        total["max_batch"] = max(total["max_batch"], stats["max_batch"])
+        total["degraded"] = total["degraded"] or stats["degraded"]
+        points += stats["batches"] * stats["mean_batch"]
+    if total["batches"]:
+        total["mean_batch"] = points / total["batches"]
+    probes = (total["estimates"] + total["memory_hits"]
+              + total["store_hits"])
+    if probes:
+        total["hit_rate"] = (total["memory_hits"]
+                             + total["store_hits"]) / probes
+    store = cache_store()
+    if store is not None:
+        total["store"] = store.stats()
+    return total
+
 
 @lru_cache(maxsize=None)
 def compiled(name: str):
@@ -44,14 +112,14 @@ def design_space(name: str):
 
 @lru_cache(maxsize=None)
 def s2fa_run(name: str, seed: int = DEFAULT_SEED, **kwargs) -> DSERun:
-    engine = S2FAEngine(Evaluator(compiled(name)), design_space(name),
+    engine = S2FAEngine(make_evaluator(name), design_space(name),
                         seed=seed, **kwargs)
     return engine.run()
 
 
 @lru_cache(maxsize=None)
 def opentuner_run(name: str, seed: int = DEFAULT_SEED) -> DSERun:
-    runtime = OpenTunerRuntime(Evaluator(compiled(name)),
+    runtime = OpenTunerRuntime(make_evaluator(name),
                                design_space(name), seed=seed)
     return runtime.run()
 

@@ -77,7 +77,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
         pattern=args.pattern,
         batch_size=args.batch_size,
         seed=args.seed,
-        time_limit_minutes=args.time_limit)
+        time_limit_minutes=args.time_limit,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir)
     run = build.dse
     print(f"accelerator id    : {build.accel_id}")
     print(f"design space      : {build.space.size():,} points")
@@ -90,6 +92,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
     print("utilization       : "
           + ", ".join(f"{k.upper()} {hls.utilization_percent(k)}%"
                       for k in ("bram", "dsp", "ff", "lut")))
+    if run.evaluator_stats:
+        from .report import evaluation_stats_table
+
+        print()
+        print(evaluation_stats_table(run.evaluator_stats))
     if args.emit_c:
         print()
         print(build.hls_c_source())
@@ -163,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
     explore_p.add_argument("--seed", type=int, default=0)
     explore_p.add_argument("--time-limit", type=float, default=240.0,
                            help="virtual minutes (default 240)")
+    explore_p.add_argument("--jobs", type=int, default=1,
+                           help="process-pool width for HLS estimation "
+                                "(results are identical at any value; "
+                                "default 1)")
+    explore_p.add_argument("--cache-dir", metavar="DIR",
+                           help="persistent evaluation cache directory "
+                                "(repeated runs skip re-estimation)")
     explore_p.add_argument("--emit-c", action="store_true",
                            help="print the annotated HLS C")
     explore_p.add_argument("--json", metavar="FILE",

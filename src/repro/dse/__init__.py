@@ -1,8 +1,15 @@
 """Learning-based parallel design space exploration (Section 4)."""
 
 from .bandit import AUCBandit, BanditTuner, default_techniques  # noqa: F401
+from .cache import (  # noqa: F401
+    CacheStore,
+    canonical_key,
+    kernel_digest,
+    point_from_key,
+)
 from .datuner import DATunerEngine  # noqa: F401
 from .engine import S2FAEngine  # noqa: F401
+from .parallel import ParallelEvaluator  # noqa: F401
 from .exhaustive import (  # noqa: F401
     ExhaustiveResult,
     enumerate_points,

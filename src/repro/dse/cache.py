@@ -1,0 +1,185 @@
+"""Persistent on-disk evaluation cache for the DSE.
+
+HLS estimation dominates the wall clock of every benchmark run, yet its
+results are pure functions of (kernel, design point, device).  This module
+gives the evaluator a durable memo: a JSON-lines store keyed by kernel
+digest + canonicalized design point, so repeated benchmark runs skip
+re-estimation entirely.
+
+Design constraints (and how they are met):
+
+* **Canonical keys** — a point is a plain ``{param: value}`` dict and two
+  logically equal points may arrive with different key insertion orders
+  (or with ``True`` where another tuner used ``1``).  :func:`canonical_key`
+  sorts the parameters and serializes values through JSON, which keeps
+  ``True``/``1``/``1.0`` distinct (they serialize to ``true``/``1``/``1.0``).
+* **Atomic append** — each record is one ``os.write`` to an ``O_APPEND``
+  file descriptor, which POSIX guarantees is not interleaved with other
+  writers for any sane record size.  Two processes appending concurrently
+  therefore lose no records.
+* **Corruption tolerance** — a torn final line (crash mid-append), garbage
+  bytes, or schema-less JSON are all skipped on load and counted in
+  ``corrupt_lines``; everything before and after a bad line still loads.
+* **Virtual-clock neutrality** — the store keeps the original
+  ``synthesis_minutes`` of every result, so a warm-cache run charges the
+  same virtual time as a cold run: persistence accelerates the *real*
+  clock only and cannot change the science.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..hls.device import Device
+from ..hls.result import HLSResult
+from ..hlsc.ast import CKernel
+from ..hlsc.printer import kernel_to_c
+
+#: Store format version; bumping it invalidates old stores.
+FORMAT_VERSION = 1
+
+
+def canonical_key(point: dict) -> str:
+    """Order-independent, type-preserving key for a design point.
+
+    Parameters are sorted by name; values keep their JSON spelling, so
+    ``1``, ``1.0`` and ``True`` produce distinct keys.  NaN/Infinity
+    values are rejected (they would not round-trip).
+    """
+    return json.dumps([[name, point[name]] for name in sorted(point)],
+                      separators=(",", ":"), allow_nan=False)
+
+
+def point_from_key(key: str) -> dict:
+    """Inverse of :func:`canonical_key`."""
+    return {name: value for name, value in json.loads(key)}
+
+
+def kernel_digest(kernel: CKernel, device: Device) -> str:
+    """Identity of an estimation context: generated C + batch + device.
+
+    The digest is over the printed HLS C (which pins the full loop/op
+    structure), the kernel metadata, and the device name — everything
+    :func:`repro.hls.estimator.estimate` reads.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(kernel_to_c(kernel).encode())
+    hasher.update(json.dumps(kernel.metadata, sort_keys=True,
+                             default=str).encode())
+    hasher.update(device.name.encode())
+    hasher.update(str(FORMAT_VERSION).encode())
+    return hasher.hexdigest()[:24]
+
+
+class CacheStore:
+    """JSON-lines persistent store of HLS evaluations.
+
+    One file per kernel digest (``<dir>/<digest>.jsonl``); each line is
+    ``{"key": <canonical point>, "minutes": <float>, "result": {...}}``.
+    Later records win, so re-appending a key is harmless.
+    """
+
+    def __init__(self, directory: os.PathLike | str):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._tables: dict[str, dict[str, dict]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.appends = 0
+        self.corrupt_lines = 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.jsonl"
+
+    def _table(self, digest: str) -> dict[str, dict]:
+        table = self._tables.get(digest)
+        if table is None:
+            table = self._load(digest)
+            self._tables[digest] = table
+        return table
+
+    def _load(self, digest: str) -> dict[str, dict]:
+        table: dict[str, dict] = {}
+        path = self._path(digest)
+        if not path.exists():
+            return table
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return table
+        for line in raw.split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except (ValueError, UnicodeDecodeError):
+                self.corrupt_lines += 1
+                continue
+            if (not isinstance(record, dict)
+                    or not isinstance(record.get("key"), str)
+                    or not isinstance(record.get("minutes"), (int, float))
+                    or not isinstance(record.get("result"), dict)):
+                self.corrupt_lines += 1
+                continue
+            table[record["key"]] = record
+        return table
+
+    # ------------------------------------------------------------------
+
+    def size(self, digest: str) -> int:
+        return len(self._table(digest))
+
+    def contains(self, digest: str, key: str) -> bool:
+        """Membership test; does not touch the hit/miss counters."""
+        return key in self._table(digest)
+
+    def get(self, digest: str, key: str
+            ) -> Optional[tuple[float, HLSResult]]:
+        """Stored ``(synthesis_minutes, result)`` for a point, if any."""
+        record = self._table(digest).get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        try:
+            result = HLSResult.from_dict(record["result"])
+        except (KeyError, TypeError, ValueError):
+            # Schema drift in an old store: treat as absent.
+            self.corrupt_lines += 1
+            del self._table(digest)[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return float(record["minutes"]), result
+
+    def put(self, digest: str, key: str, minutes: float,
+            result: HLSResult) -> None:
+        """Append one record atomically and update the in-memory table."""
+        record = {"key": key, "minutes": minutes,
+                  "result": result.to_dict()}
+        data = (json.dumps(record, separators=(",", ":")) + "\n").encode()
+        fd = os.open(self._path(digest),
+                     os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+        self._table(digest)[key] = record
+        self.appends += 1
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "directory": str(self.directory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "appends": self.appends,
+            "corrupt_lines": self.corrupt_lines,
+        }

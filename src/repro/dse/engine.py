@@ -12,27 +12,40 @@ Pipeline per run:
    one partition occupies one worker),
 5. terminate each partition by the Shannon-entropy criterion
    (Section 4.3.3) or the global time limit, whichever first.
+
+Scheduling is round-based: every round, each running partition proposes
+its next candidate, the whole candidate set goes to the evaluator as one
+batch (which a :class:`~repro.dse.parallel.ParallelEvaluator` computes on
+a real process pool), and the results are merged back onto the virtual
+clock at each partition's own completion time.  Because a partition's
+tuner sequence depends only on its own history and evaluation is a pure
+function of the point, the reported DSE minutes are identical to the
+serial path at any ``jobs`` setting.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..hls.estimator import estimate
 from ..merlin.config import DesignConfig
 from .bandit import BanditTuner
-from .evaluator import Evaluator, ExplorationTrace
+from .evaluator import Evaluation, Evaluator, ExplorationTrace
 from .partition import Partition, build_partitions
 from .result import DSERun, PartitionReport
 from .seeds import seeds_for
 from .space import DesignSpace
 from .stopping import EntropyStopping, StoppingCriterion
-from .vclock import WorkerPool
 
 DEFAULT_TIME_LIMIT_MINUTES = 240.0
+
+#: Virtual minutes charged for re-visiting an already-evaluated point
+#: (the tuner only pays a bookkeeping cost, not an HLS run).
+CACHED_EVALUATION_MINUTES = 0.05
 
 
 @dataclass
@@ -45,6 +58,10 @@ class _PartitionState:
     start_minutes: float = 0.0
     end_minutes: float = 0.0
     started: bool = False
+    #: virtual time at which this partition's worker becomes free
+    free_at: float = 0.0
+    #: (technique, Evaluation) currently occupying the worker
+    in_flight: Optional[tuple] = None
 
 
 class S2FAEngine:
@@ -103,54 +120,89 @@ class S2FAEngine:
                 partition=partition, tuner=tuner,
                 stopping=self.stopping_factory()))
 
-        trace = ExplorationTrace()
-        pool = WorkerPool(self.workers)
         pending = deque(states)
-        global_best = {"qor": float("inf"), "point": None, "eval": None}
-        first = {"qor": float("inf"), "seen": False}
+        running: list[_PartitionState] = []
+        #: completed evaluations as (virtual time, dispatch order, eval)
+        samples: list[tuple[float, int, Evaluation]] = []
+        events: list[tuple[float, int, _PartitionState]] = []
+        truncated = False
+        last_event = 0.0
+        sequence = 0
 
-        def start_next_partition() -> None:
-            if pending:
-                state = pending.popleft()
-                state.started = True
-                state.start_minutes = pool.now
-                submit_step(state)
+        def start_partition(at: float) -> None:
+            state = pending.popleft()
+            state.started = True
+            state.start_minutes = at
+            state.free_at = at
+            running.append(state)
 
-        def submit_step(state: _PartitionState) -> None:
-            def job():
-                name, point = state.tuner.step()
-                evaluation = self.evaluator.evaluate(point)
-                duration = 0.05 if evaluation.cached else evaluation.minutes
-
-                def on_done(now: float) -> None:
-                    state.evaluations += 1
-                    if not first["seen"]:
-                        first["qor"] = evaluation.qor
-                        first["seen"] = True
-                    state.tuner.feed(name, evaluation)
-                    if evaluation.qor < global_best["qor"]:
-                        global_best["qor"] = evaluation.qor
-                        global_best["point"] = dict(evaluation.point)
-                        global_best["eval"] = evaluation
-                    trace.record(now, global_best["qor"],
-                                 self.evaluator.evaluations)
-                    should_stop = state.stopping.observe(
-                        evaluation.point, evaluation.qor)
-                    if should_stop:
-                        state.stopped_early = True
-                    if should_stop or now >= self.time_limit:
-                        state.end_minutes = now
-                        start_next_partition()
-                    else:
-                        submit_step(state)
-
-                return duration, on_done
-
-            pool.submit(job)
+        def retire(state: _PartitionState, at: float) -> None:
+            state.end_minutes = at
+            running.remove(state)
 
         for _ in range(min(self.workers, len(pending))):
-            start_next_partition()
-        end = pool.run(until=self.time_limit)
+            start_partition(0.0)
+
+        while running:
+            # Dispatch: every free partition proposes its next candidate;
+            # the whole round goes to the evaluator as one batch.
+            proposals = [(state, *state.tuner.step())
+                         for state in running if state.in_flight is None]
+            evaluations = self.evaluator.evaluate_batch(
+                [point for _, _, point in proposals])
+            for (state, name, _), evaluation in zip(proposals,
+                                                    evaluations):
+                duration = CACHED_EVALUATION_MINUTES \
+                    if evaluation.cached else evaluation.minutes
+                state.in_flight = (name, evaluation)
+                sequence += 1
+                heapq.heappush(events,
+                               (state.free_at + duration, sequence, state))
+
+            # Merge: replay completions in virtual-time order; partitions
+            # freed mid-round (early stop starts a pending partition at
+            # that completion time) join the next round's batch.
+            while events:
+                finish, order, state = heapq.heappop(events)
+                name, evaluation = state.in_flight
+                state.in_flight = None
+                if finish > self.time_limit:
+                    # The run ends before this evaluation completes; the
+                    # work is discarded, exactly like the serial clock.
+                    truncated = True
+                    retire(state, self.time_limit)
+                    continue
+                last_event = max(last_event, finish)
+                state.free_at = finish
+                state.evaluations += 1
+                samples.append((finish, order, evaluation))
+                state.tuner.feed(name, evaluation)
+                should_stop = state.stopping.observe(
+                    evaluation.point, evaluation.qor)
+                if should_stop:
+                    state.stopped_early = True
+                if should_stop or finish >= self.time_limit:
+                    retire(state, finish)
+                    if pending:
+                        start_partition(finish)
+
+        end = self.time_limit if truncated else last_event
+
+        # Rebuild the best-so-far trajectory in virtual-time order (the
+        # batched rounds complete out of order across rounds).
+        samples.sort(key=lambda s: (s[0], s[1]))
+        trace = ExplorationTrace()
+        global_best = {"qor": float("inf"), "point": None, "eval": None}
+        estimates = 0
+        for minutes, _, evaluation in samples:
+            if not evaluation.cached:
+                estimates += 1
+            if evaluation.qor < global_best["qor"]:
+                global_best["qor"] = evaluation.qor
+                global_best["point"] = dict(evaluation.point)
+                global_best["eval"] = evaluation
+            trace.record(minutes, global_best["qor"], estimates)
+        first_qor = samples[0][2].qor if samples else float("inf")
 
         for state in states:
             if state.started and state.end_minutes == 0.0:
@@ -177,7 +229,9 @@ class S2FAEngine:
             best_result=best_eval.result if best_eval else None,
             evaluations=self.evaluator.evaluations,
             termination_minutes=end,
-            first_qor=first["qor"],
+            first_qor=first_qor,
             partitions=reports,
             space_size=self.space.size(),
+            evaluator_stats=self.evaluator.stats()
+            if hasattr(self.evaluator, "stats") else None,
         )

@@ -5,16 +5,67 @@ it turns a flat point into a :class:`DesignConfig`, invokes the HLS
 estimator, and reports both the QoR (normalized execution cycles — lower
 is better; infeasible points score infinity) and the synthesis minutes the
 evaluation costs on the virtual clock.
+
+Three layers of memoization, consulted in order:
+
+1. the **in-run cache** — a repeated point inside one exploration returns
+   ``cached=True`` and costs almost nothing on the virtual clock (the
+   tuner "remembers" the result);
+2. the optional **persistent store** (:class:`~repro.dse.cache.CacheStore`)
+   — a point estimated by *any previous run* of the same kernel returns
+   the stored result with its *original* synthesis minutes and
+   ``cached=False``, so warm and cold runs produce identical virtual-clock
+   timelines (persistence is a real-wall-clock optimization only);
+3. the estimator itself.
+
+:class:`~repro.dse.parallel.ParallelEvaluator` extends this class with a
+process pool that computes layer 3 out-of-process in batches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
 from ..compiler.driver import CompiledKernel
 from ..hls.device import Device, VU9P
 from ..hls.estimator import estimate
-from ..hls.result import HLSResult
+from ..hls.result import HLSResult, Resources
 from ..merlin.config import DesignConfig
+from .cache import CacheStore, canonical_key, kernel_digest
+
+#: Virtual minutes charged for an evaluation the backend failed to
+#: produce (worker crash/timeout or an estimator exception): the point is
+#: reported infeasible, and the failed synthesis attempt still costs time.
+FAILURE_MINUTES = 1.0
+
+#: ``infeasible_reason`` prefixes marking backend failures (never
+#: persisted — they are not true estimates of the design point).
+FAILURE_PREFIXES = ("worker failure", "evaluation error")
+
+
+def error_result(reason: str, device: Device = VU9P) -> HLSResult:
+    """Infeasible placeholder for a failed evaluation attempt."""
+    return HLSResult(
+        feasible=False, cycles=0, freq_mhz=device.target_mhz,
+        resources=Resources(),
+        utilization={"lut": 0.0, "ff": 0.0, "dsp": 0.0, "bram": 0.0},
+        ii_top=None, synthesis_minutes=FAILURE_MINUTES,
+        infeasible_reason=reason)
+
+
+def safe_estimate(kernel, point: dict, device: Device) -> HLSResult:
+    """Estimate one point, converting exceptions to infeasible results.
+
+    Both the in-process path and the pool workers go through this, so an
+    estimator bug degrades a single point identically at any ``--jobs``
+    instead of crashing the exploration.
+    """
+    try:
+        config = DesignConfig.from_point(point)
+        return estimate(kernel, config, device)
+    except Exception as exc:  # noqa: BLE001 - deliberate firewall
+        return error_result(f"evaluation error: {exc}", device)
 
 
 @dataclass
@@ -30,7 +81,7 @@ class Evaluation:
 
 @dataclass
 class Evaluator:
-    """Caches HLS estimates per unique point.
+    """Caches HLS estimates per unique (canonicalized) point.
 
     ``frequency_aware`` selects the QoR metric.  The paper's DSE optimizes
     raw cycle counts and leaves frequency modelling to future work
@@ -43,9 +94,22 @@ class Evaluator:
     compiled: CompiledKernel
     device: Device = VU9P
     frequency_aware: bool = True
+    store: Optional[CacheStore] = None
     evaluations: int = 0
     cache_hits: int = 0
+    store_hits: int = 0
+    batches: int = 0
+    batched_points: int = 0
+    max_batch: int = 0
     _cache: dict = field(default_factory=dict)
+    _digest: Optional[str] = None
+
+    @property
+    def kernel_digest(self) -> str:
+        """Cache identity of this kernel/device estimation context."""
+        if self._digest is None:
+            self._digest = kernel_digest(self.compiled.kernel, self.device)
+        return self._digest
 
     def _qor(self, result) -> float:
         if not result.feasible:
@@ -54,25 +118,85 @@ class Evaluator:
             return result.normalized_cycles
         return float(result.cycles)
 
+    # ------------------------------------------------------------------
+
+    def _compute(self, point: dict, key: str) -> tuple[HLSResult, bool]:
+        """Produce a fresh result; returns ``(result, persist)``.
+
+        Overridden by the parallel evaluator to consume results computed
+        out-of-process.
+        """
+        return safe_estimate(self.compiled.kernel, point, self.device), True
+
+    def _admit(self, point: dict, key: str, result: HLSResult,
+               minutes: float, persist: bool) -> Evaluation:
+        evaluation = Evaluation(point=dict(point), qor=self._qor(result),
+                                result=result, minutes=minutes)
+        self._cache[key] = evaluation
+        self.evaluations += 1
+        if persist and self.store is not None \
+                and not result.infeasible_reason.startswith(
+                    FAILURE_PREFIXES):
+            self.store.put(self.kernel_digest, key, minutes, result)
+        return evaluation
+
     def evaluate(self, point: dict) -> Evaluation:
-        key = frozenset(point.items())
+        key = canonical_key(point)
         hit = self._cache.get(key)
         if hit is not None:
             self.cache_hits += 1
             return Evaluation(point=dict(point), qor=hit.qor,
                               result=hit.result, minutes=hit.minutes,
                               cached=True)
-        config = DesignConfig.from_point(point)
-        result = estimate(self.compiled.kernel, config, self.device)
-        evaluation = Evaluation(point=dict(point), qor=self._qor(result),
-                                result=result,
-                                minutes=result.synthesis_minutes)
-        self._cache[key] = evaluation
-        self.evaluations += 1
-        return evaluation
+        if self.store is not None:
+            stored = self.store.get(self.kernel_digest, key)
+            if stored is not None:
+                minutes, result = stored
+                self.store_hits += 1
+                return self._admit(point, key, result, minutes,
+                                   persist=False)
+        result, persist = self._compute(point, key)
+        return self._admit(point, key, result, result.synthesis_minutes,
+                           persist)
+
+    def evaluate_batch(self, points: list[dict]) -> list[Evaluation]:
+        """Evaluate a candidate batch; results are in input order.
+
+        The base implementation is serial.  Results are identical to
+        ``[evaluate(p) for p in points]`` by construction — subclasses
+        must preserve that (parallelism must not change the science).
+        """
+        self.batches += 1
+        self.batched_points += len(points)
+        self.max_batch = max(self.max_batch, len(points))
+        return [self.evaluate(point) for point in points]
 
     def evaluate_config(self, config: DesignConfig) -> Evaluation:
         return self.evaluate(config.to_point())
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-run backend statistics (for reports and benchmarks)."""
+        probes = self.evaluations + self.cache_hits
+        hits = self.cache_hits + self.store_hits
+        data = {
+            "jobs": 1,
+            "unique_points": len(self._cache),
+            "estimates": self.evaluations - self.store_hits,
+            "memory_hits": self.cache_hits,
+            "store_hits": self.store_hits,
+            "hit_rate": (hits / probes) if probes else 0.0,
+            "batches": self.batches,
+            "mean_batch": (self.batched_points / self.batches)
+            if self.batches else 0.0,
+            "max_batch": self.max_batch,
+            "worker_failures": 0,
+            "degraded": False,
+        }
+        if self.store is not None:
+            data["store"] = self.store.stats()
+        return data
 
 
 @dataclass

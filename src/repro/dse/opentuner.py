@@ -75,8 +75,13 @@ class OpenTunerRuntime:
 
         while now < self.time_limit and not stopped:
             batch = self._top_k_batch(tuner)
-            evaluations = [(name, self.evaluator.evaluate(point))
-                           for name, point in batch]
+            # The iteration's top-k candidates are one evaluator batch —
+            # a ParallelEvaluator estimates the misses on its process
+            # pool; results (and cached flags) are independent of jobs.
+            results = self.evaluator.evaluate_batch(
+                [point for _, point in batch])
+            evaluations = [(name, evaluation) for (name, _), evaluation
+                           in zip(batch, results)]
             # Wall time of the iteration: slowest HLS run of the batch
             # (cached re-evaluations are free).
             duration = max(
@@ -106,4 +111,6 @@ class OpenTunerRuntime:
             termination_minutes=min(now, self.time_limit),
             first_qor=first_qor,
             space_size=self.space.size(),
+            evaluator_stats=self.evaluator.stats()
+            if hasattr(self.evaluator, "stats") else None,
         )

@@ -1,0 +1,234 @@
+"""Process-parallel design-point evaluation.
+
+The paper's headline DSE fans eight HLS evaluations out over eight cores
+(Fig. 3); this module supplies the real concurrency behind our virtual
+clock.  :class:`ParallelEvaluator` extends the serial
+:class:`~repro.dse.evaluator.Evaluator` with a ``ProcessPoolExecutor``:
+each batch of candidate points from the tuners is deduplicated against
+the in-run cache and the persistent store, and only genuine misses are
+estimated out-of-process.
+
+Invariants:
+
+* **Determinism** — ``evaluate_batch`` returns exactly what the serial
+  path would: misses are computed by a pure function of the point, and
+  cache admission happens in batch order on the host, so ``--jobs 1`` and
+  ``--jobs N`` produce identical evaluations, identical ``cached`` flags,
+  and identical virtual-clock timelines.
+* **Picklable tasks** — workers receive the compiled kernel's C AST once
+  (pool initializer) and then only flat point dicts per task; results
+  come back as plain :class:`~repro.hls.result.HLSResult` dataclasses.
+* **Fault tolerance** — a worker that raises returns an infeasible
+  result (same as in-process, see
+  :func:`~repro.dse.evaluator.safe_estimate`); a worker that *dies* or
+  times out marks its point infeasible, logs a structured event, and
+  counts toward a consecutive-failure threshold after which the evaluator
+  permanently degrades to in-process evaluation.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import logging
+import os
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional
+
+from ..compiler.driver import CompiledKernel
+from ..hls.device import Device, VU9P
+from ..hls.result import HLSResult
+from .cache import CacheStore, canonical_key
+from .evaluator import Evaluation, Evaluator, error_result, safe_estimate
+
+LOGGER = logging.getLogger("repro.dse.parallel")
+
+#: Pool failures in a row before degrading to in-process evaluation.
+DEFAULT_MAX_CONSECUTIVE_FAILURES = 3
+
+# ----------------------------------------------------------------------
+# Worker-side state: the kernel AST ships once per worker via the pool
+# initializer; per-task payloads are just flat point dicts.
+# ----------------------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(kernel, device: Device) -> None:
+    _WORKER_STATE["kernel"] = kernel
+    _WORKER_STATE["device"] = device
+
+
+def _worker_estimate(point: dict) -> HLSResult:
+    """Pool task: estimate one point; never raises."""
+    return safe_estimate(_WORKER_STATE["kernel"], point,
+                         _WORKER_STATE["device"])
+
+
+class ParallelEvaluator(Evaluator):
+    """Evaluator that fans batch misses out over a process pool.
+
+    ``jobs=1`` (the default) never starts a pool and is byte-identical to
+    the serial :class:`Evaluator` — which makes it the uniform evaluator
+    for every CLI/benchmark entry point.
+    """
+
+    def __init__(self, compiled: CompiledKernel, device: Device = VU9P, *,
+                 frequency_aware: bool = True,
+                 store: Optional[CacheStore] = None,
+                 jobs: int = 1,
+                 max_consecutive_failures: int =
+                 DEFAULT_MAX_CONSECUTIVE_FAILURES,
+                 worker_timeout: Optional[float] = None):
+        super().__init__(compiled=compiled, device=device,
+                         frequency_aware=frequency_aware, store=store)
+        self.jobs = max(1, int(jobs))
+        self.max_consecutive_failures = max(1, max_consecutive_failures)
+        self.worker_timeout = worker_timeout
+        self.worker_failures = 0
+        self.consecutive_failures = 0
+        self.degraded = False
+        self.events: list[dict] = []
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._precomputed: dict[str, tuple[HLSResult, bool]] = {}
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_init_worker,
+                initargs=(self.compiled.kernel, self.device))
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the pool down; the evaluator stays usable (in-process)."""
+        self._discard_pool()
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Failure accounting
+    # ------------------------------------------------------------------
+
+    def _log_event(self, event: dict) -> None:
+        self.events.append(event)
+        LOGGER.warning("%s", json.dumps(event, sort_keys=True))
+
+    def _record_failure(self, key: str, reason: str) -> None:
+        self.worker_failures += 1
+        self.consecutive_failures += 1
+        self._log_event({
+            "event": "worker_failure",
+            "reason": reason,
+            "point_key": key,
+            "consecutive": self.consecutive_failures,
+        })
+        self._precomputed[key] = (
+            error_result(f"worker failure: {reason}", self.device), False)
+
+    def _maybe_degrade(self) -> None:
+        if (not self.degraded and self.consecutive_failures
+                >= self.max_consecutive_failures):
+            self.degraded = True
+            self._log_event({
+                "event": "degraded_to_in_process",
+                "consecutive_failures": self.consecutive_failures,
+            })
+            self._discard_pool()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _compute(self, point: dict, key: str) -> tuple[HLSResult, bool]:
+        precomputed = self._precomputed.pop(key, None)
+        if precomputed is not None:
+            return precomputed
+        return super()._compute(point, key)
+
+    def _fan_out(self, need: dict[str, dict]) -> None:
+        """Estimate the batch's unique misses on the pool."""
+        try:
+            pool = self._ensure_pool()
+        except Exception as exc:  # noqa: BLE001 - OS-level pool failure
+            for key in need:
+                self._record_failure(key, f"pool start failed: {exc}")
+            self._maybe_degrade()
+            return
+
+        submitted: list[tuple[str, concurrent.futures.Future]] = []
+        broken = False
+        for key, point in need.items():
+            try:
+                submitted.append((key, pool.submit(_worker_estimate,
+                                                   point)))
+            except (BrokenProcessPool, RuntimeError) as exc:
+                self._record_failure(key, f"submit failed: {exc}")
+                broken = True
+
+        for key, future in submitted:
+            try:
+                result = future.result(timeout=self.worker_timeout)
+                self._precomputed[key] = (result, True)
+                self.consecutive_failures = 0
+            except concurrent.futures.TimeoutError:
+                self._record_failure(
+                    key, f"timeout after {self.worker_timeout}s")
+                broken = True
+            except BrokenProcessPool as exc:
+                self._record_failure(key, f"worker died: {exc}")
+                broken = True
+            except Exception as exc:  # noqa: BLE001 - pool-level error
+                self._record_failure(key, f"pool error: {exc}")
+                broken = True
+
+        if broken:
+            self._discard_pool()
+        self._maybe_degrade()
+
+    def evaluate_batch(self, points: list[dict]) -> list[Evaluation]:
+        """Batch evaluation with out-of-process misses.
+
+        The three cache layers are consulted exactly as in the serial
+        path; only points absent from all of them are shipped to workers.
+        Admission (and hence ``cached`` flags, counters, and persistent
+        writes) happens in batch order on the host, so the results are
+        indistinguishable from serial evaluation.
+        """
+        if self.jobs > 1 and not self.degraded:
+            need: dict[str, dict] = {}
+            for point in points:
+                key = canonical_key(point)
+                if key in self._cache or key in self._precomputed:
+                    continue
+                if self.store is not None and self.store.contains(
+                        self.kernel_digest, key):
+                    continue
+                need.setdefault(key, point)
+            if need:
+                self._fan_out(need)
+        return super().evaluate_batch(points)
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        data = super().stats()
+        data.update({
+            "jobs": self.jobs,
+            "worker_failures": self.worker_failures,
+            "degraded": self.degraded,
+            "events": len(self.events),
+        })
+        return data

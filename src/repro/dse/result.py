@@ -39,6 +39,9 @@ class DSERun:
     first_qor: float = float("inf")
     partitions: list[PartitionReport] = field(default_factory=list)
     space_size: int = 0
+    #: evaluation-backend statistics (pool size, batching, cache hits,
+    #: worker failures) captured at the end of the run
+    evaluator_stats: Optional[dict] = None
 
     @property
     def best_seconds_per_batch(self) -> float:
@@ -74,6 +77,8 @@ class DSERun:
                 for p in self.partitions
             ],
         }
+        if self.evaluator_stats is not None:
+            summary["evaluator_stats"] = self.evaluator_stats
         if self.best_result is not None:
             hls = self.best_result
             summary["best_design"] = {

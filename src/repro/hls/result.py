@@ -29,6 +29,11 @@ class Resources:
         return {"lut": self.lut, "ff": self.ff, "dsp": self.dsp,
                 "bram": self.bram}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Resources":
+        return cls(lut=int(data["lut"]), ff=int(data["ff"]),
+                   dsp=int(data["dsp"]), bram=int(data["bram"]))
+
 
 @dataclass
 class LoopReport:
@@ -83,3 +88,45 @@ class HLSResult:
 
     def utilization_percent(self, kind: str) -> int:
         return round(self.utilization[kind] * 100)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the persistent DSE cache)."""
+        return {
+            "feasible": self.feasible,
+            "cycles": self.cycles,
+            "freq_mhz": self.freq_mhz,
+            "resources": self.resources.as_dict(),
+            "utilization": dict(self.utilization),
+            "ii_top": self.ii_top,
+            "synthesis_minutes": self.synthesis_minutes,
+            "compute_cycles": self.compute_cycles,
+            "memory_cycles": self.memory_cycles,
+            "memory_bound": self.memory_bound,
+            "infeasible_reason": self.infeasible_reason,
+            "loops": [
+                {"label": lp.label, "trip_count": lp.trip_count,
+                 "iterations": lp.iterations, "ii": lp.ii,
+                 "latency": lp.latency, "pipelined": lp.pipelined,
+                 "parallel": lp.parallel, "note": lp.note}
+                for lp in self.loops
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HLSResult":
+        """Inverse of :meth:`to_dict` (bit-exact for all fields)."""
+        return cls(
+            feasible=bool(data["feasible"]),
+            cycles=int(data["cycles"]),
+            freq_mhz=float(data["freq_mhz"]),
+            resources=Resources.from_dict(data["resources"]),
+            utilization={k: float(v)
+                         for k, v in data["utilization"].items()},
+            ii_top=data["ii_top"],
+            synthesis_minutes=float(data["synthesis_minutes"]),
+            compute_cycles=int(data.get("compute_cycles", 0)),
+            memory_cycles=int(data.get("memory_cycles", 0)),
+            memory_bound=bool(data.get("memory_bound", False)),
+            loops=[LoopReport(**lp) for lp in data.get("loops", [])],
+            infeasible_reason=data.get("infeasible_reason", ""),
+        )

@@ -119,6 +119,37 @@ def trace_chart(traces: dict[str, list[tuple[float, float]]],
     return "\n".join(lines)
 
 
+def evaluation_stats_table(stats: dict,
+                           title: str = "Evaluation backend") -> str:
+    """Render a DSE run's evaluation-backend statistics.
+
+    ``stats`` is the dict produced by ``Evaluator.stats()`` /
+    ``ParallelEvaluator.stats()``: pool size, batching behaviour, cache
+    hit rates, and worker-failure accounting.
+    """
+    rows = [
+        ["process pool size", stats.get("jobs", 1)],
+        ["unique points", stats.get("unique_points", 0)],
+        ["HLS estimates computed", stats.get("estimates", 0)],
+        ["in-memory cache hits", stats.get("memory_hits", 0)],
+        ["persistent cache hits", stats.get("store_hits", 0)],
+        ["hit rate", f"{100.0 * stats.get('hit_rate', 0.0):.1f}%"],
+        ["evaluation batches", stats.get("batches", 0)],
+        ["mean batch size", f"{stats.get('mean_batch', 0.0):.1f}"],
+        ["max batch size", stats.get("max_batch", 0)],
+        ["worker failures", stats.get("worker_failures", 0)],
+        ["degraded to in-process", stats.get("degraded", False)],
+    ]
+    store = stats.get("store")
+    if store:
+        rows.append(["cache store",
+                     f"{store.get('directory', '?')} "
+                     f"(+{store.get('appends', 0)} records, "
+                     f"{store.get('corrupt_lines', 0)} corrupt lines "
+                     f"skipped)"])
+    return format_table(["Statistic", "Value"], rows, title=title)
+
+
 def speedup_summary(names: Sequence[str], speedups: Sequence[float],
                     label: str) -> str:
     """Geometric-mean summary line used by the Fig. 4 bench."""

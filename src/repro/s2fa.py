@@ -19,8 +19,9 @@ from typing import Optional
 
 from .compiler.driver import CompiledKernel, compile_kernel
 from .compiler.interface import LayoutConfig
+from .dse.cache import CacheStore
 from .dse.engine import S2FAEngine
-from .dse.evaluator import Evaluator
+from .dse.parallel import ParallelEvaluator
 from .dse.result import DSERun
 from .dse.space import DesignSpace, build_space
 from .errors import DSEError
@@ -59,16 +60,27 @@ def build_accelerator(source: str, *,
                       device: Device = VU9P,
                       seed: int = 0,
                       time_limit_minutes: float = 240.0,
-                      workers: int = 8) -> AcceleratorBuild:
-    """Run the full S2FA flow: compile, explore, pick the best design."""
+                      workers: int = 8,
+                      jobs: int = 1,
+                      cache_dir: Optional[str] = None) -> AcceleratorBuild:
+    """Run the full S2FA flow: compile, explore, pick the best design.
+
+    ``jobs`` sets the real process-pool width used for HLS estimation
+    (the virtual-clock results are identical at any value); ``cache_dir``
+    enables the persistent evaluation cache, so repeated builds of the
+    same kernel skip re-estimation.
+    """
     compiled = compile_kernel(
         source, kernel_class=kernel_class, layout_config=layout_config,
         pattern=pattern, batch_size=batch_size)
     space = build_space(compiled)
-    engine = S2FAEngine(Evaluator(compiled, device), space, seed=seed,
-                        time_limit_minutes=time_limit_minutes,
-                        workers=workers)
-    run = engine.run()
+    store = CacheStore(cache_dir) if cache_dir else None
+    with ParallelEvaluator(compiled, device, store=store,
+                           jobs=jobs) as evaluator:
+        engine = S2FAEngine(evaluator, space, seed=seed,
+                            time_limit_minutes=time_limit_minutes,
+                            workers=workers)
+        run = engine.run()
     if run.best_point is None:
         raise DSEError(
             "the DSE found no feasible design point "

@@ -1,0 +1,218 @@
+"""Persistent evaluation cache: keys, storage, and fault tolerance."""
+
+import json
+import multiprocessing
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_app
+from repro.dse import (
+    CacheStore,
+    Evaluator,
+    canonical_key,
+    kernel_digest,
+    point_from_key,
+)
+from repro.hls import estimate
+from repro.hls.device import VU9P
+from repro.hls.result import HLSResult
+from repro.merlin import DesignConfig
+
+
+@pytest.fixture(scope="module")
+def kmeans():
+    return get_app("KMeans").compile()
+
+
+@pytest.fixture(scope="module")
+def kmeans_result(kmeans):
+    point = {"L0.pipeline": "on", "L0.parallel": 2,
+             "bw.in_1": 128, "bw.out": 128}
+    return point, estimate(kmeans.kernel, DesignConfig.from_point(point))
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+
+_SLOW_OK = settings(deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789._-",
+    min_size=1, max_size=12)
+_values = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=16))
+_points = st.dictionaries(_names, _values, min_size=0, max_size=8)
+
+
+class TestCanonicalKey:
+    @_SLOW_OK
+    @given(_points, st.randoms())
+    def test_round_trip_ignores_insertion_order(self, point, rng):
+        names = list(point)
+        rng.shuffle(names)
+        shuffled = {name: point[name] for name in names}
+        assert canonical_key(shuffled) == canonical_key(point)
+        assert point_from_key(canonical_key(shuffled)) == point
+
+    @_SLOW_OK
+    @given(_points)
+    def test_round_trip_preserves_value_types(self, point):
+        back = point_from_key(canonical_key(point))
+        assert {n: type(v) for n, v in back.items()} \
+            == {n: type(v) for n, v in point.items()}
+
+    def test_bool_int_float_keys_distinct(self):
+        keys = {canonical_key({"p": value}) for value in (True, 1, 1.0)}
+        assert len(keys) == 3
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_key({"p": float("nan")})
+
+    def test_key_is_compact_json(self):
+        key = canonical_key({"b": 2, "a": "on"})
+        assert json.loads(key) == [["a", "on"], ["b", 2]]
+
+
+class TestEvaluatorKeying:
+    def test_insertion_order_hits_cache(self, kmeans):
+        """Two orderings of the same point are one unique evaluation."""
+        evaluator = Evaluator(kmeans)
+        point = {"L0.pipeline": "on", "L0.parallel": 2,
+                 "bw.in_1": 128, "bw.out": 128}
+        reordered = dict(reversed(list(point.items())))
+        assert list(reordered) != list(point)
+        first = evaluator.evaluate(point)
+        second = evaluator.evaluate(reordered)
+        assert not first.cached
+        assert second.cached
+        assert second.qor == first.qor
+        assert evaluator.stats()["unique_points"] == 1
+
+
+# ----------------------------------------------------------------------
+# CacheStore
+# ----------------------------------------------------------------------
+
+class TestCacheStore:
+    def test_round_trip(self, tmp_path, kmeans, kmeans_result):
+        point, result = kmeans_result
+        digest = kernel_digest(kmeans.kernel, VU9P)
+        key = canonical_key(point)
+        store = CacheStore(tmp_path)
+        assert store.get(digest, key) is None
+        store.put(digest, key, result.synthesis_minutes, result)
+
+        fresh = CacheStore(tmp_path)
+        assert fresh.contains(digest, key)
+        minutes, loaded = fresh.get(digest, key)
+        assert minutes == result.synthesis_minutes
+        assert loaded == result
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_last_write_wins(self, tmp_path, kmeans, kmeans_result):
+        point, result = kmeans_result
+        digest = kernel_digest(kmeans.kernel, VU9P)
+        key = canonical_key(point)
+        store = CacheStore(tmp_path)
+        store.put(digest, key, 1.0, result)
+        store.put(digest, key, 42.0, result)
+        fresh = CacheStore(tmp_path)
+        minutes, _ = fresh.get(digest, key)
+        assert minutes == 42.0
+        assert fresh.size(digest) == 1
+
+    @given(garbage=st.sampled_from([
+        b"not json at all",
+        b"{\"key\": 17}",
+        b"[1, 2, 3]",
+        b"{\"key\": \"x\", \"minutes\": \"soon\", \"result\": {}}",
+        b"\xff\xfe\x00garbage bytes",
+        b"{\"key\": \"x\", \"minutes\": 1.0, \"result\"",  # torn line
+    ]))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_corrupt_lines_skipped(self, tmp_path_factory, kmeans,
+                                   kmeans_result, garbage):
+        point, result = kmeans_result
+        digest = kernel_digest(kmeans.kernel, VU9P)
+        key = canonical_key(point)
+        directory = tmp_path_factory.mktemp("store")
+        store = CacheStore(directory)
+        store.put(digest, key, 3.0, result)
+        with open(directory / f"{digest}.jsonl", "ab") as handle:
+            handle.write(garbage)
+
+        fresh = CacheStore(directory)
+        minutes, loaded = fresh.get(digest, key)
+        assert (minutes, loaded) == (3.0, result)
+        assert fresh.corrupt_lines == 1
+
+    def test_truncated_final_line_keeps_earlier_records(
+            self, tmp_path, kmeans, kmeans_result):
+        point, result = kmeans_result
+        digest = kernel_digest(kmeans.kernel, VU9P)
+        store = CacheStore(tmp_path)
+        store.put(digest, "good", 1.0, result)
+        store.put(digest, "torn", 2.0, result)
+        path = tmp_path / f"{digest}.jsonl"
+        data = path.read_bytes()
+        path.write_bytes(data[:-len(data.splitlines()[-1]) // 2 - 1])
+
+        fresh = CacheStore(tmp_path)
+        assert fresh.get(digest, "good") is not None
+        assert fresh.get(digest, "torn") is None
+        assert fresh.corrupt_lines == 1
+
+    def test_schema_drift_treated_as_miss(self, tmp_path):
+        digest = "d" * 24
+        path = tmp_path / f"{digest}.jsonl"
+        record = {"key": "k", "minutes": 1.0,
+                  "result": {"not_a_field": True}}
+        path.write_text(json.dumps(record) + "\n")
+        store = CacheStore(tmp_path)
+        assert store.get(digest, "k") is None
+        assert store.corrupt_lines == 1
+
+
+def _append_records(directory, digest, start, count, payload):
+    store = CacheStore(directory)
+    result = HLSResult.from_dict(payload)
+    for index in range(start, start + count):
+        store.put(digest, f"point-{index}", float(index), result)
+
+
+class TestConcurrentAppends:
+    def test_two_processes_lose_no_records(self, tmp_path, kmeans,
+                                           kmeans_result):
+        _, result = kmeans_result
+        digest = kernel_digest(kmeans.kernel, VU9P)
+        payload = result.to_dict()
+        count = 150
+        ctx = multiprocessing.get_context("spawn")
+        workers = [
+            ctx.Process(target=_append_records,
+                        args=(tmp_path, digest, base, count, payload))
+            for base in (0, count)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+
+        store = CacheStore(tmp_path)
+        assert store.size(digest) == 2 * count
+        assert store.corrupt_lines == 0
+        probe = random.Random(7).sample(range(2 * count), 20)
+        for index in probe:
+            minutes, loaded = store.get(digest, f"point-{index}")
+            assert minutes == float(index)
+            assert loaded == result

@@ -1,0 +1,75 @@
+"""Regression: ``--jobs N`` must not change the science.
+
+The process pool is a real-wall-clock optimization only — a run with any
+pool width must report the same best design, the same QoR, and the same
+virtual-clock partition timeline as the serial run.  Likewise a
+warm persistent cache must replay a cold run exactly.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.dse import CacheStore, ParallelEvaluator, S2FAEngine, build_space
+
+SEED = 11
+TIME_LIMIT = 60.0
+
+
+@pytest.fixture(scope="module")
+def kmeans():
+    return get_app("KMeans").compile()
+
+
+@pytest.fixture(scope="module")
+def kmeans_space(kmeans):
+    return build_space(kmeans)
+
+
+def _run(kmeans, space, **evaluator_kwargs):
+    with ParallelEvaluator(kmeans, **evaluator_kwargs) as evaluator:
+        return S2FAEngine(evaluator, space, seed=SEED,
+                          time_limit_minutes=TIME_LIMIT).run()
+
+
+def _fingerprint(run):
+    return {
+        "best_qor": run.best_qor,
+        "best_point": run.best_point,
+        "evaluations": run.evaluations,
+        "termination_minutes": run.termination_minutes,
+        "first_qor": run.first_qor,
+        "partitions": [
+            (p.index, p.description, p.evaluations, p.best_qor,
+             p.stopped_early, p.start_minutes, p.end_minutes)
+            for p in run.partitions],
+        "trace": [(t.minutes, t.best_qor, t.evaluations)
+                  for t in run.trace.points],
+    }
+
+
+def test_jobs_4_matches_jobs_1(kmeans, kmeans_space):
+    serial = _run(kmeans, kmeans_space, jobs=1)
+    parallel = _run(kmeans, kmeans_space, jobs=4)
+    assert _fingerprint(parallel) == _fingerprint(serial)
+
+    # The backend stats must also agree on everything but the pool size.
+    a, b = serial.evaluator_stats, parallel.evaluator_stats
+    for key in ("unique_points", "estimates", "memory_hits", "store_hits",
+                "batches", "mean_batch", "max_batch", "worker_failures"):
+        assert a[key] == b[key], key
+    assert (a["jobs"], b["jobs"]) == (1, 4)
+
+
+def test_warm_cache_matches_cold_run(kmeans, kmeans_space, tmp_path):
+    cold = _run(kmeans, kmeans_space, jobs=2,
+                store=CacheStore(tmp_path))
+    warm = _run(kmeans, kmeans_space, jobs=2,
+                store=CacheStore(tmp_path))
+    # Identical science — including identical virtual-clock timelines,
+    # because store hits charge the original synthesis minutes.
+    assert _fingerprint(warm) == _fingerprint(cold)
+    # ... but the warm run re-estimated (almost) nothing.
+    stats = warm.evaluator_stats
+    assert stats["estimates"] == 0
+    assert stats["store_hits"] == stats["unique_points"]
+    assert stats["hit_rate"] > 0.9

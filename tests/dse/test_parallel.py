@@ -1,0 +1,152 @@
+"""Process-parallel evaluation: equivalence, warm cache, fault tolerance."""
+
+import os
+import signal
+
+import pytest
+
+from repro.apps import get_app
+from repro.dse import (
+    CacheStore,
+    Evaluator,
+    ParallelEvaluator,
+    S2FAEngine,
+    build_space,
+)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::UserWarning")  # pool shutdown races on interpreter exit
+
+
+@pytest.fixture(scope="module")
+def kmeans():
+    return get_app("KMeans").compile()
+
+
+@pytest.fixture(scope="module")
+def kmeans_space(kmeans):
+    return build_space(kmeans)
+
+
+@pytest.fixture(scope="module")
+def batch(kmeans_space):
+    points = [kmeans_space.default_point()]
+    for parallel in (2, 4, 8):
+        point = kmeans_space.default_point()
+        point["L0.parallel"] = parallel
+        points.append(point)
+    points.append(dict(points[0]))  # duplicate: must hit in-run cache
+    return points
+
+
+def _evaluation_tuples(evaluations):
+    return [(e.qor, e.minutes, e.cached, e.result) for e in evaluations]
+
+
+class TestParallelEquivalence:
+    def test_pool_matches_serial(self, kmeans, batch):
+        serial = Evaluator(kmeans).evaluate_batch(batch)
+        with ParallelEvaluator(kmeans, jobs=2) as pool:
+            fanned = pool.evaluate_batch(batch)
+            stats = pool.stats()
+        assert _evaluation_tuples(fanned) == _evaluation_tuples(serial)
+        assert stats["jobs"] == 2
+        assert stats["estimates"] == len(batch) - 1
+        assert stats["memory_hits"] == 1
+        assert stats["worker_failures"] == 0
+
+    def test_jobs_1_never_starts_a_pool(self, kmeans, batch):
+        with ParallelEvaluator(kmeans, jobs=1) as evaluator:
+            evaluator.evaluate_batch(batch)
+            assert evaluator._pool is None
+
+    def test_warm_store_reproduces_cold_run(self, kmeans, batch, tmp_path):
+        with ParallelEvaluator(kmeans, store=CacheStore(tmp_path),
+                               jobs=2) as cold:
+            first = cold.evaluate_batch(batch)
+            assert cold.stats()["store_hits"] == 0
+
+        with ParallelEvaluator(kmeans, store=CacheStore(tmp_path),
+                               jobs=2) as warm:
+            second = warm.evaluate_batch(batch)
+            stats = warm.stats()
+        # Same evaluations, same virtual-clock minutes, but nothing was
+        # re-estimated: every unique point came from the store with its
+        # original synthesis minutes and cached=False.
+        assert _evaluation_tuples(second) == _evaluation_tuples(first)
+        assert stats["estimates"] == 0
+        assert stats["store_hits"] == len(batch) - 1
+        assert stats["hit_rate"] > 0.9
+
+    def test_failures_never_persisted(self, kmeans, batch, tmp_path):
+        store = CacheStore(tmp_path)
+        with ParallelEvaluator(kmeans, store=store, jobs=2) as evaluator:
+            _kill_pool_workers(evaluator)
+            evaluator.evaluate_batch(batch)
+        assert store.appends == 0
+        assert store.size(evaluator.kernel_digest) == 0
+
+
+def _kill_pool_workers(evaluator):
+    """Start the pool, then kill every worker before a batch arrives."""
+    pool = evaluator._ensure_pool()
+    # Force worker spawn so there is something to kill.
+    pool.submit(os.getpid).result(timeout=60)
+    for pid in list(pool._processes):
+        os.kill(pid, signal.SIGKILL)
+
+
+class TestFaultTolerance:
+    def test_killed_worker_marks_points_infeasible(self, kmeans, batch):
+        with ParallelEvaluator(kmeans, jobs=2,
+                               max_consecutive_failures=100) as evaluator:
+            _kill_pool_workers(evaluator)
+            evaluations = evaluator.evaluate_batch(batch)
+            stats = evaluator.stats()
+        assert len(evaluations) == len(batch)
+        assert all(not e.result.feasible for e in evaluations[:-1])
+        assert all(e.result.infeasible_reason.startswith("worker failure")
+                   for e in evaluations[:-1])
+        assert stats["worker_failures"] > 0
+        assert not stats["degraded"]
+        assert evaluator.events
+        assert all(event["event"] == "worker_failure"
+                   for event in evaluator.events)
+
+    def test_degrades_to_in_process_after_threshold(self, kmeans, batch):
+        serial = Evaluator(kmeans).evaluate_batch(batch)
+        with ParallelEvaluator(kmeans, jobs=2,
+                               max_consecutive_failures=1) as evaluator:
+            _kill_pool_workers(evaluator)
+            poisoned = evaluator.evaluate_batch(batch)
+            assert evaluator.degraded
+            # Degraded evaluator keeps working, in-process, with
+            # correct results for new points.
+            fresh = [dict(p, **{"L0.parallel": 16}) for p in batch[:1]]
+            recovered = evaluator.evaluate_batch(fresh)
+            stats = evaluator.stats()
+        assert any(not e.result.feasible for e in poisoned)
+        assert recovered[0].result == Evaluator(kmeans).evaluate(
+            fresh[0]).result
+        assert stats["degraded"]
+        assert any(event["event"] == "degraded_to_in_process"
+                   for event in evaluator.events)
+        # And the failure left the serial reference untouched.
+        assert _evaluation_tuples(serial) \
+            == _evaluation_tuples(Evaluator(kmeans).evaluate_batch(batch))
+
+    def test_engine_run_survives_killed_workers(self, kmeans,
+                                                kmeans_space):
+        with ParallelEvaluator(kmeans, jobs=2,
+                               max_consecutive_failures=2) as evaluator:
+            _kill_pool_workers(evaluator)
+            run = S2FAEngine(evaluator, kmeans_space, seed=3,
+                             time_limit_minutes=45).run()
+            stats = evaluator.stats()
+        assert run.evaluations > 0
+        assert stats["worker_failures"] > 0
+        assert stats["degraded"]
+        # The run completed: it degraded to in-process estimation and
+        # still found a feasible design.
+        assert run.best_point is not None
+        assert run.evaluator_stats == stats

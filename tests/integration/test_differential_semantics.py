@@ -1,0 +1,83 @@
+"""Differential test harness: JVM interpreter vs generated HLS C.
+
+For every registered application, the same randomized tasks are executed
+through both halves of the S2FA runtime:
+
+* the **JVM path** — the Scala kernel's bytecode on the JVM interpreter
+  (what Blaze falls back to when no accelerator is registered), and
+* the **FPGA path** — serialize tasks into flat buffers, run the
+  generated HLS-C kernel on the C interpreter, deserialize.
+
+The outputs must be *bit-identical* (``==``, no tolerance): both paths
+compute in double precision with the same operation order, so any
+divergence is a real compiler/serializer/executor bug, not rounding.
+The inputs are randomized over multiple seeds to probe beyond the fixed
+workloads the functional tests use.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.blaze import make_deserializer, make_serializer
+from repro.blaze.runtime import _JVMTaskRunner
+from repro.compiler import compile_kernel
+from repro.fpga import KernelExecutor
+
+SEEDS = (101, 202, 303)
+
+APP_NAMES = [spec.name for spec in ALL_APPS]
+
+
+def _compiled_for_differential(name):
+    spec = get_app(name)
+    if name == "S-W":
+        # The default S-W layout is sized for the DSE workload; the
+        # functional layout bounds sequence lengths so the C interpreter
+        # runs in test time.
+        from repro.apps.smith_waterman import FUNCTIONAL_LAYOUT
+        return spec, compile_kernel(
+            spec.scala_source, layout_config=FUNCTIONAL_LAYOUT,
+            batch_size=spec.batch_size)
+    return spec, spec.compile()
+
+
+def _tasks_for(name, spec, n, seed):
+    if name == "S-W":
+        from repro.apps.smith_waterman import functional_workload
+        return functional_workload(n, seed=seed)
+    return spec.workload(n, seed=seed)
+
+
+def _task_count(name):
+    return 3 if name == "S-W" else 8
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_jvm_and_hls_c_bit_identical(name, seed):
+    spec, compiled = _compiled_for_differential(name)
+    n = _task_count(name)
+    tasks = _tasks_for(name, spec, n, seed)
+
+    jvm = [_JVMTaskRunner(compiled).call(task) for task in tasks]
+
+    serialize = make_serializer(compiled.layout)
+    deserialize = make_deserializer(compiled.layout)
+    buffers = serialize(tasks)
+    KernelExecutor(compiled.kernel).run(buffers, n)
+    fpga = deserialize(buffers, n)
+
+    assert fpga == jvm, (
+        f"{name} seed={seed}: JVM and HLS-C outputs diverge\n"
+        f"  JVM : {jvm!r}\n  HLS : {fpga!r}")
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_differential_repeatable(name):
+    """The harness itself is deterministic: same seed, same verdict."""
+    spec, compiled = _compiled_for_differential(name)
+    n = _task_count(name)
+    first = _tasks_for(name, spec, n, SEEDS[0])
+    second = _tasks_for(name, spec, n, SEEDS[0])
+    assert first == second
+    assert _tasks_for(name, spec, n, SEEDS[1]) != first
