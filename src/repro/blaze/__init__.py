@@ -7,6 +7,13 @@ from .runtime import (  # noqa: F401
     BlazeMetrics,
     BlazeRuntime,
     FilterAccRDD,
+    OffloadPolicy,
     ShellRDD,
+    VirtualClock,
 )
-from .serialization import make_deserializer, make_serializer  # noqa: F401
+from .serialization import (  # noqa: F401
+    frame_outputs,
+    make_deserializer,
+    make_serializer,
+    verify_outputs,
+)

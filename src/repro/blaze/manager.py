@@ -1,17 +1,36 @@
-"""The Blaze accelerator manager: registration and lookup by id."""
+"""The Blaze accelerator manager: registration, lookup, and health.
+
+Besides id-keyed registration, each entry carries the health state the
+resilient offload path drives (see ``docs/architecture.md``)::
+
+    active --(retries exhausted)--> quarantined --(probe ok)--> active
+       |                                 |
+       +--------(device loss)------------+-----> lost   (terminal)
+
+Quarantined boards are skipped until their re-admission time; the first
+batch at or after that time runs as a probe and either re-admits the
+board or re-quarantines it with a longer backoff.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from ..compiler.driver import CompiledKernel
 from ..errors import BlazeError
 from ..fpga.board import FPGABoard
+from ..fpga.faults import FaultInjector, FaultPlan
 from ..hls.device import Device, VU9P
 from ..hls.estimator import estimate
 from ..hls.result import HLSResult
 from ..merlin.config import DesignConfig
+from .serialization import make_deserializer, make_serializer
+
+#: Health states of a deployed board.
+ACTIVE = "active"
+QUARANTINED = "quarantined"
+LOST = "lost"
 
 
 @dataclass
@@ -23,17 +42,57 @@ class RegisteredAccelerator:
     config: Optional[DesignConfig] = None
     hls: Optional[HLSResult] = None
     board: Optional[FPGABoard] = None
+    state: str = ACTIVE
+    quarantined_until: float = 0.0
+    quarantine_count: int = 0
+    _serializer: Optional[Callable] = field(
+        default=None, repr=False, compare=False)
+    _deserializer: Optional[Callable] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def has_hardware(self) -> bool:
         return self.board is not None
 
+    @property
+    def output_names(self) -> list[str]:
+        return [leaf.name for leaf in self.compiled.layout.outputs]
+
+    @property
+    def serializer(self) -> Callable:
+        if self._serializer is None:
+            self._serializer = make_serializer(self.compiled.layout)
+        return self._serializer
+
+    @property
+    def deserializer(self) -> Callable:
+        if self._deserializer is None:
+            self._deserializer = make_deserializer(self.compiled.layout)
+        return self._deserializer
+
+    # -- health transitions (driven by the runtime's offload path) -------
+
+    def quarantine(self, until: float) -> None:
+        self.state = QUARANTINED
+        self.quarantined_until = until
+        self.quarantine_count += 1
+
+    def readmit(self) -> None:
+        self.state = ACTIVE
+        self.quarantined_until = 0.0
+
+    def mark_lost(self) -> None:
+        self.state = LOST
+        self.quarantined_until = 0.0
+
 
 class AcceleratorManager:
     """Node accelerator manager (one per Blaze deployment)."""
 
-    def __init__(self, device: Device = VU9P):
+    def __init__(self, device: Device = VU9P,
+                 fault_plan: Optional[FaultPlan] = None):
         self.device = device
+        self.fault_plan = fault_plan
         self._accelerators: dict[str, RegisteredAccelerator] = {}
 
     def register(self, compiled: CompiledKernel,
@@ -55,11 +114,15 @@ class AcceleratorManager:
             bytes_per_task = (
                 compiled.kernel.metadata.get("bytes_in_per_task", 0)
                 + compiled.kernel.metadata.get("bytes_out_per_task", 0))
+            faults = (FaultInjector(self.fault_plan, accel_id)
+                      if self.fault_plan is not None else None)
             entry.hls = hls
             entry.board = FPGABoard(
                 kernel=compiled.kernel, hls=hls,
                 batch_size=compiled.batch_size,
-                bytes_per_task=bytes_per_task)
+                bytes_per_task=bytes_per_task,
+                output_names=entry.output_names,
+                faults=faults)
         self._accelerators[accel_id] = entry
         return entry
 

@@ -1,6 +1,6 @@
-"""The Blaze runtime: RDD wrapping and accelerator offload (Code 1).
+"""The Blaze runtime: RDD wrapping and resilient accelerator offload.
 
-Usage mirrors the paper's snippet::
+Usage mirrors the paper's snippet (Code 1)::
 
     blaze = BlazeRuntime(sc)
     blaze.register(compiled_kernel, best_config)   # deploy bitstream
@@ -8,42 +8,113 @@ Usage mirrors the paper's snippet::
     matching = wrapped.map_acc("SW_kernel")        # .map(new SW())
     results = matching.collect()
 
-``map_acc`` offloads each partition as one (or more) accelerator batches;
-when the id has no deployed hardware the task falls back to the JVM
-implementation, exactly like Blaze's software path.  Timing for both
-paths accumulates in :class:`BlazeMetrics`.
+``map_acc`` offloads each partition as one accelerator batch through
+:meth:`BlazeRuntime.offload_batch`, which runs every batch under a
+deadline with bounded retries and exponential backoff (on a *virtual*
+clock, so tests are instant), verifies the CRC-framed result buffers,
+quarantines boards that exhaust their retries (with periodic
+re-admission probes), and falls back transparently to the JVM bytecode
+interpreter when the hardware cannot deliver — exactly like Blaze's
+software path.  The invariant: collected results are bit-identical to
+the pure-JVM run under any fault schedule; only timing and
+:class:`BlazeMetrics` change.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
 from ..compiler.driver import CompiledKernel
-from ..errors import BlazeError
+from ..errors import (
+    BlazeError,
+    CorruptResultError,
+    DeviceFault,
+    DeviceLostError,
+    DeviceTimeout,
+)
+from ..fpga.faults import FaultPlan
 from ..hls.device import Device, VU9P
 from ..jvm.cost import CostModel
 from ..jvm.interpreter import Interpreter
 from ..merlin.config import DesignConfig
-from ..scala import types as st
 from ..spark.rdd import RDD, SparkContext
 from .jvm_bridge import from_jvm, to_jvm
-from .manager import AcceleratorManager, RegisteredAccelerator
-from .serialization import make_deserializer, make_serializer
+from .manager import (
+    LOST,
+    QUARANTINED,
+    AcceleratorManager,
+    RegisteredAccelerator,
+)
+from .serialization import verify_outputs
+
+
+class VirtualClock:
+    """Monotonic virtual seconds: deadlines, backoff, and quarantine
+    expiry all live on this clock, so fault handling is deterministic
+    and tests never sleep."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise BlazeError(f"cannot advance the clock by {seconds}")
+        self.now += seconds
+        return self.now
+
+
+@dataclass(frozen=True)
+class OffloadPolicy:
+    """Knobs of the resilient offload path (virtual seconds)."""
+
+    #: Invocation attempts per batch before the board is quarantined.
+    max_attempts: int = 3
+    #: Host deadline per batch; a hung invocation is cut here.
+    batch_deadline_seconds: float = 0.05
+    #: Backoff before retry ``i`` is ``base * factor**(i-1)``.
+    backoff_base_seconds: float = 1e-4
+    backoff_factor: float = 2.0
+    #: Quarantine ``q`` lasts ``base * factor**q`` before a probe.
+    quarantine_base_seconds: float = 1e-2
+    quarantine_factor: float = 2.0
 
 
 @dataclass
 class BlazeMetrics:
-    """Accumulated task accounting across the runtime."""
+    """Accumulated task and failure accounting across the runtime."""
 
     accel_tasks: int = 0
     accel_seconds: float = 0.0
     fallback_tasks: int = 0
     fallback_seconds: float = 0.0
+    #: failure accounting ------------------------------------------------
+    retries: int = 0
+    transient_faults: int = 0
+    timeouts: int = 0
+    corrupt_batches: int = 0
+    devices_lost: int = 0
+    quarantines: int = 0
+    probes: int = 0
+    readmissions: int = 0
+    #: batches/tasks that fell back because the hardware faulted (vs
+    #: ``no_hardware_batches``: nothing was ever deployed for the id).
+    fault_fallback_batches: int = 0
+    fault_fallback_tasks: int = 0
+    no_hardware_batches: int = 0
+    #: virtual seconds burnt in failed attempts, deadlines, and backoff.
+    wasted_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
         return self.accel_seconds + self.fallback_seconds
+
+    def as_dict(self) -> dict:
+        """Stable dict view (used by reports and determinism checks)."""
+        out = dataclasses.asdict(self)
+        out["total_seconds"] = self.total_seconds
+        return out
 
 
 class BlazeRuntime:
@@ -51,10 +122,18 @@ class BlazeRuntime:
 
     def __init__(self, context: SparkContext,
                  manager: Optional[AcceleratorManager] = None,
-                 device: Device = VU9P):
+                 device: Device = VU9P,
+                 fault_plan: Optional[FaultPlan] = None,
+                 policy: Optional[OffloadPolicy] = None):
+        if manager is None:
+            manager = AcceleratorManager(device, fault_plan=fault_plan)
+        elif fault_plan is not None:
+            manager.fault_plan = fault_plan
         self.context = context
-        self.manager = manager or AcceleratorManager(device)
+        self.manager = manager
+        self.policy = policy or OffloadPolicy()
         self.metrics = BlazeMetrics()
+        self.clock = VirtualClock()
 
     def register(self, compiled: CompiledKernel,
                  config: Optional[DesignConfig] = None
@@ -63,6 +142,97 @@ class BlazeRuntime:
 
     def wrap(self, rdd: RDD) -> "ShellRDD":
         return ShellRDD(self, rdd)
+
+    # -- resilient offload ------------------------------------------------
+
+    def offload_batch(self, entry: RegisteredAccelerator, tasks: list,
+                      n_results: Optional[int] = None) -> Optional[list]:
+        """Run one batch on ``entry``'s board; ``None`` means "fall back".
+
+        Implements the full resilience discipline: quarantine gating and
+        probes, bounded retries with exponential backoff, deadline-cut
+        hangs, CRC verification of the framed result buffers, and
+        permanent-loss handling.  All time is charged to the runtime's
+        virtual clock.
+        """
+        metrics = self.metrics
+        if entry.board is None:
+            metrics.no_hardware_batches += 1
+            return None
+        if entry.state == LOST:
+            self._note_fault_fallback(len(tasks))
+            return None
+        probing = False
+        if entry.state == QUARANTINED:
+            if self.clock.now < entry.quarantined_until:
+                self._note_fault_fallback(len(tasks))
+                return None
+            probing = True
+            metrics.probes += 1
+        n_out = len(tasks) if n_results is None else n_results
+        policy = self.policy
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                metrics.retries += 1
+                backoff = (policy.backoff_base_seconds
+                           * policy.backoff_factor ** (attempt - 1))
+                self.clock.advance(backoff)
+                metrics.wasted_seconds += backoff
+            buffers = entry.serializer(tasks)
+            try:
+                seconds = entry.board.run(
+                    buffers, len(tasks),
+                    deadline_s=policy.batch_deadline_seconds)
+                verify_outputs(buffers, entry.output_names)
+            except DeviceLostError as exc:
+                self._charge_waste(exc.seconds)
+                metrics.devices_lost += 1
+                entry.mark_lost()
+                self._note_fault_fallback(len(tasks))
+                return None
+            except DeviceTimeout as exc:
+                self._charge_waste(exc.seconds)
+                metrics.timeouts += 1
+            except DeviceFault as exc:
+                self._charge_waste(exc.seconds)
+                metrics.transient_faults += 1
+            except CorruptResultError:
+                # The batch ran to completion before failing the CRC
+                # check, so its nominal time was fully spent.
+                self._charge_waste(seconds)
+                metrics.corrupt_batches += 1
+            else:
+                self.clock.advance(seconds)
+                metrics.accel_tasks += len(tasks)
+                metrics.accel_seconds += seconds
+                if probing:
+                    entry.readmit()
+                    metrics.readmissions += 1
+                return entry.deserializer(buffers, n_out)
+        duration = (policy.quarantine_base_seconds
+                    * policy.quarantine_factor ** entry.quarantine_count)
+        entry.quarantine(self.clock.now + duration)
+        metrics.quarantines += 1
+        self._note_fault_fallback(len(tasks))
+        return None
+
+    def record_fallback(self, n_tasks: int, seconds: float) -> None:
+        """Account one JVM-fallback batch (time also drives the clock)."""
+        self.metrics.fallback_tasks += n_tasks
+        self.metrics.fallback_seconds += seconds
+        self.clock.advance(seconds)
+
+    def _charge_waste(self, seconds: float) -> None:
+        self.clock.advance(seconds)
+        self.metrics.wasted_seconds += seconds
+
+    def _note_fault_fallback(self, n_tasks: int) -> None:
+        self.metrics.fault_fallback_batches += 1
+        self.metrics.fault_fallback_tasks += n_tasks
+
+
+#: Sentinel distinguishing "no fold seed" from an explicit ``None`` seed.
+_NO_SEED = object()
 
 
 class ShellRDD:
@@ -90,31 +260,40 @@ class ShellRDD:
                 f"{entry.compiled.pattern!r}, not filter")
         return FilterAccRDD(self.runtime, self.rdd, entry)
 
-    def reduce_acc(self, accel_id: str):
-        """Offloadable reduce: one scalar result for the whole RDD."""
+    def reduce_acc(self, accel_id: str, zero=_NO_SEED):
+        """Offloadable reduce: one scalar result for the whole RDD.
+
+        Follows Spark's contract: ``reduce`` on an empty RDD is an
+        error, while a ``zero`` seed makes the fold total (``fold``):
+        an empty RDD returns ``zero``, and a non-empty one folds
+        ``zero`` in first.  ``map_acc``/``filter_acc`` return ``[]``
+        for empty input for the same reason: empty in, empty out.
+        """
         entry = self.runtime.manager.require(accel_id)
         if entry.compiled.pattern != "reduce":
             raise BlazeError(
                 f"accelerator {accel_id!r} implements "
                 f"{entry.compiled.pattern!r}, not reduce")
         values = self.rdd.collect()
+        if zero is not _NO_SEED:
+            values = [zero] + values
         if not values:
-            raise BlazeError("reduce over an empty RDD")
-        if entry.has_hardware:
-            serialize = make_serializer(entry.compiled.layout)
-            deserialize = make_deserializer(entry.compiled.layout)
-            buffers = serialize(values)
-            seconds = entry.board.run(buffers, len(values))
-            self.runtime.metrics.accel_tasks += len(values)
-            self.runtime.metrics.accel_seconds += seconds
+            raise BlazeError(
+                "reduce_acc over an empty RDD: pass zero= to seed the "
+                "fold (map_acc/filter_acc return [] for empty input)")
+        if len(values) == 1:
+            # Spark returns the sole element without calling the
+            # combiner; both offload paths must agree.
+            return values[0]
+        results = self.runtime.offload_batch(entry, values, n_results=1)
+        if results is not None:
             # Reduce kernels leave the folded value in out_1[0].
-            return deserialize(buffers, 1)[0]
+            return results[0]
         runner = _JVMTaskRunner(entry.compiled)
         accumulator = values[0]
         for value in values[1:]:
             accumulator = runner.call2(accumulator, value)
-        self.runtime.metrics.fallback_tasks += len(values)
-        self.runtime.metrics.fallback_seconds += runner.seconds
+        self.runtime.record_fallback(len(values), runner.seconds)
         return accumulator
 
 
@@ -128,24 +307,28 @@ class AccRDD(RDD):
         self.runtime = runtime
         self.parent = parent
         self.entry = entry
-        self._serialize = make_serializer(entry.compiled.layout)
-        self._deserialize = make_deserializer(entry.compiled.layout)
+        self._runner: Optional[_JVMTaskRunner] = None
+
+    @property
+    def _jvm_runner(self) -> "_JVMTaskRunner":
+        """The fallback runner, built once and shared by all partitions
+        (class and I/O types resolve once, not per ``compute``)."""
+        if self._runner is None:
+            self._runner = _JVMTaskRunner(self.entry.compiled)
+        return self._runner
 
     def compute(self, partition: int) -> list:
         tasks = self.parent.partition_data(partition)
         if not tasks:
             return []
-        if self.entry.has_hardware:
-            buffers = self._serialize(tasks)
-            seconds = self.entry.board.run(buffers, len(tasks))
-            self.runtime.metrics.accel_tasks += len(tasks)
-            self.runtime.metrics.accel_seconds += seconds
-            return self._deserialize(buffers, len(tasks))
+        results = self.runtime.offload_batch(self.entry, tasks)
+        if results is not None:
+            return results
         # Software fallback: execute the original Scala on the JVM.
-        runner = _JVMTaskRunner(self.entry.compiled)
+        runner = self._jvm_runner
+        before = runner.seconds
         results = [runner.call(task) for task in tasks]
-        self.runtime.metrics.fallback_tasks += len(tasks)
-        self.runtime.metrics.fallback_seconds += runner.seconds
+        self.runtime.record_fallback(len(tasks), runner.seconds - before)
         return results
 
 
@@ -170,24 +353,25 @@ class FilterAccRDD(RDD):
         self.runtime = runtime
         self.parent = parent
         self.entry = entry
-        self._serialize = make_serializer(entry.compiled.layout)
-        self._deserialize = make_deserializer(entry.compiled.layout)
+        self._runner: Optional[_JVMTaskRunner] = None
+
+    @property
+    def _jvm_runner(self) -> "_JVMTaskRunner":
+        if self._runner is None:
+            self._runner = _JVMTaskRunner(self.entry.compiled)
+        return self._runner
 
     def compute(self, partition: int) -> list:
         tasks = self.parent.partition_data(partition)
         if not tasks:
             return []
-        if self.entry.has_hardware:
-            buffers = self._serialize(tasks)
-            seconds = self.entry.board.run(buffers, len(tasks))
-            self.runtime.metrics.accel_tasks += len(tasks)
-            self.runtime.metrics.accel_seconds += seconds
-            flags = self._deserialize(buffers, len(tasks))
+        flags = self.runtime.offload_batch(self.entry, tasks)
+        if flags is not None:
             return [task for task, keep in zip(tasks, flags) if keep]
-        runner = _JVMTaskRunner(self.entry.compiled)
+        runner = self._jvm_runner
+        before = runner.seconds
         kept = [task for task in tasks if runner.call(task)]
-        self.runtime.metrics.fallback_tasks += len(tasks)
-        self.runtime.metrics.fallback_seconds += runner.seconds
+        self.runtime.record_fallback(len(tasks), runner.seconds - before)
         return kept
 
 

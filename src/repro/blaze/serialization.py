@@ -14,6 +14,11 @@ from typing import Callable
 
 from ..compiler.interface import InterfaceLayout, Leaf
 from ..errors import BlazeError
+from ..fpga.faults import (  # noqa: F401  (re-exported framing API)
+    FRAME_KEY,
+    frame_outputs,
+    verify_outputs,
+)
 from ..scala import types as st
 
 
@@ -124,6 +129,17 @@ def make_deserializer(layout: InterfaceLayout) -> Callable[[dict, int], list]:
         return values  # scalar
 
     def deserialize(buffers: dict[str, list], n_tasks: int) -> list:
+        for leaf in layout.outputs:
+            buffer = buffers.get(leaf.name)
+            if buffer is None:
+                raise BlazeError(
+                    f"missing output buffer {leaf.name!r}")
+            need = n_tasks * leaf.elem_count
+            if len(buffer) < need:
+                raise BlazeError(
+                    f"output buffer {leaf.name!r} truncated: "
+                    f"{len(buffer)} elements, need {need} "
+                    f"for {n_tasks} tasks")
         results = []
         for task in range(n_tasks):
             extracted = [

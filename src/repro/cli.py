@@ -17,6 +17,14 @@ Subcommands
     Compile a built-in application, estimate its expert manual design, and
     print the HLS report.
 
+``run APP``
+    Deploy a built-in application on the Spark + Blaze runtime, offload a
+    workload, cross-check the collected results against the pure-JVM
+    oracle, and print the runtime metrics.  ``--fault-plan``/
+    ``--fault-seed`` inject a deterministic device-fault schedule (see
+    ``repro.fpga.faults``); the results must stay bit-identical, only the
+    metrics change.
+
 Layout capacities for variable-length leaves are given as repeated
 ``--length path=N`` options, e.g. ``--length in._2=16 --length out=16``.
 """
@@ -143,6 +151,56 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """``s2fa run``: deploy an app on Blaze, offload, verify, report."""
+    from .apps import get_app
+    from .blaze import BlazeRuntime
+    from .compiler import compile_kernel
+    from .fpga.faults import FaultPlan
+    from .report import blaze_metrics_table
+    from .spark import SparkContext
+
+    try:
+        spec = get_app(args.app)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    if spec.name == "S-W":
+        # The full-length kernel is too slow to execute functionally;
+        # the short-read variant exercises the identical code path.
+        from .apps.smith_waterman import (
+            FUNCTIONAL_LAYOUT,
+            functional_workload,
+        )
+        compiled = compile_kernel(spec.scala_source,
+                                  layout_config=FUNCTIONAL_LAYOUT,
+                                  batch_size=spec.batch_size)
+        tasks = functional_workload(min(args.tasks, 16),
+                                    seed=args.data_seed)
+    else:
+        compiled = spec.compile()
+        tasks = spec.workload(args.tasks, seed=args.data_seed)
+
+    plan = None
+    if args.fault_plan:
+        plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
+    sc = SparkContext(default_parallelism=args.partitions)
+    runtime = BlazeRuntime(sc, fault_plan=plan)
+    runtime.register(compiled, spec.manual_config(compiled))
+    got = runtime.wrap(sc.parallelize(tasks)).map_acc(
+        compiled.accel_id).collect()
+    expected = [spec.reference(task) for task in tasks]
+    ok = got == expected
+
+    print(f"{spec.name}: {len(tasks)} tasks on "
+          f"{min(args.partitions, len(tasks))} partitions")
+    if plan is not None:
+        print(f"fault plan        : {plan.describe()}")
+    print(f"results match JVM : {'yes (bit-identical)' if ok else 'NO'}")
+    print()
+    print(blaze_metrics_table(runtime.metrics))
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line interface."""
     parser = argparse.ArgumentParser(
@@ -191,6 +249,23 @@ def build_parser() -> argparse.ArgumentParser:
                               help="HLS report of a built-in app")
     report_p.add_argument("app")
     report_p.set_defaults(func=cmd_report)
+
+    run_p = sub.add_parser(
+        "run", help="deploy a built-in app on the Blaze runtime")
+    run_p.add_argument("app")
+    run_p.add_argument("--tasks", type=int, default=64,
+                       help="workload size (default 64)")
+    run_p.add_argument("--data-seed", type=int, default=21,
+                       help="workload generator seed (default 21)")
+    run_p.add_argument("--partitions", type=int, default=4,
+                       help="Spark partitions (default 4)")
+    run_p.add_argument("--fault-plan", metavar="SPEC",
+                       help="device fault schedule, e.g. "
+                            "'transient=0.2,hang=0.05,corrupt=0.1,"
+                            "lose_after=40'")
+    run_p.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault schedule (default 0)")
+    run_p.set_defaults(func=cmd_run)
     return parser
 
 

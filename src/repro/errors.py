@@ -71,3 +71,32 @@ class DSEError(S2FAError):
 
 class BlazeError(S2FAError):
     """Blaze runtime integration failure (registration, serialization...)."""
+
+
+class DeviceError(BlazeError):
+    """A fault surfaced by the FPGA device model during one invocation.
+
+    ``seconds`` is the *virtual* time the host spent before the failure
+    surfaced (DMA setup for a transient, the full deadline for a hang),
+    so the runtime can charge the wasted time to its clock and metrics.
+    """
+
+    def __init__(self, message: str, seconds: float = 0.0):
+        super().__init__(message)
+        self.seconds = seconds
+
+
+class DeviceFault(DeviceError):
+    """Transient run failure: the invocation aborted and may be retried."""
+
+
+class DeviceTimeout(DeviceError):
+    """The device hung; the host gave up after the batch deadline."""
+
+
+class DeviceLostError(DeviceError):
+    """Permanent device loss: no future invocation on this board works."""
+
+
+class CorruptResultError(DeviceError):
+    """The result frame (CRC/canary) of a DMA read-back does not verify."""

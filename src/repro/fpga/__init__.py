@@ -7,3 +7,10 @@ from .board import (  # noqa: F401
     PCIE_BYTES_PER_SECOND,
 )
 from .executor import CPointer, KernelExecutor  # noqa: F401
+from .faults import (  # noqa: F401
+    FRAME_KEY,
+    FaultInjector,
+    FaultPlan,
+    frame_outputs,
+    verify_outputs,
+)

@@ -10,11 +10,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import BlazeError
+from ..errors import (
+    BlazeError,
+    DeviceFault,
+    DeviceLostError,
+    DeviceTimeout,
+)
 from ..hls.result import HLSResult
 from ..hlsc.ast import CKernel
 from ..utils import ceil_div
 from .executor import KernelExecutor
+from .faults import CORRUPT, HANG, LOST, TRANSIENT, FaultInjector, \
+    frame_outputs
 
 #: Effective host-to-board PCIe bandwidth (bytes/second); F1 uses PCIe
 #: gen3 x16, ~12 GB/s effective.
@@ -27,6 +34,10 @@ INVOCATION_OVERHEAD_S = 50e-6
 #: data-processing methods (Section 3.2): fixed per task plus per byte.
 SERIALIZE_NS_PER_TASK = 40.0
 SERIALIZE_NS_PER_BYTE = 0.1
+
+#: A hung invocation with no host deadline is cut at this multiple of the
+#: batch's nominal time (the runtime always passes a real deadline).
+HANG_TIMEOUT_FACTOR = 100.0
 
 
 def offload_seconds_per_task(hls, batch_size: int,
@@ -70,6 +81,11 @@ class FPGABoard:
     bytes_per_task: int = 0
     executor: Optional[KernelExecutor] = None
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    #: Names of the output buffers (framed with a CRC after each batch);
+    #: derived from the buffer dict when not supplied.
+    output_names: list = field(default_factory=list)
+    #: Optional fault schedule (see :mod:`repro.fpga.faults`).
+    faults: Optional[FaultInjector] = None
 
     def __post_init__(self) -> None:
         if not self.hls.feasible:
@@ -79,18 +95,54 @@ class FPGABoard:
         if self.executor is None:
             self.executor = KernelExecutor(self.kernel)
 
-    def run(self, buffers: dict[str, list], n_tasks: int) -> float:
-        """Execute one batch; returns modelled seconds."""
-        self.executor.run(buffers, n_tasks)
+    @property
+    def board_id(self) -> str:
+        return self.faults.board_id if self.faults else self.kernel.name
+
+    def run(self, buffers: dict[str, list], n_tasks: int,
+            deadline_s: Optional[float] = None) -> float:
+        """Execute one batch; returns modelled seconds.
+
+        Output buffers are framed (CRC + canary) after execution so the
+        host can detect read-back corruption.  Under a fault schedule
+        the invocation may instead raise :class:`DeviceFault` (transient
+        abort), :class:`DeviceTimeout` (hang, cut at ``deadline_s``), or
+        :class:`DeviceLostError` (permanent loss); each exception's
+        ``seconds`` is the virtual time wasted on the attempt.
+        """
         batches = max(1, ceil_div(n_tasks, self.batch_size))
         kernel_s = self.hls.seconds_per_batch * (
             n_tasks / self.batch_size)
         transfer_s = (self.bytes_per_task * n_tasks
                       / PCIE_BYTES_PER_SECOND)
         overhead_s = INVOCATION_OVERHEAD_S * batches
+        nominal_s = kernel_s + transfer_s + overhead_s
+
+        fault = self.faults.next_fault() if self.faults else None
+        if fault == LOST:
+            raise DeviceLostError(
+                f"board {self.board_id!r} fell off the bus",
+                seconds=overhead_s)
+        if fault == TRANSIENT:
+            raise DeviceFault(
+                f"board {self.board_id!r}: invocation aborted",
+                seconds=overhead_s)
+        if fault == HANG:
+            waited = (deadline_s if deadline_s is not None
+                      else nominal_s * HANG_TIMEOUT_FACTOR)
+            raise DeviceTimeout(
+                f"board {self.board_id!r}: batch exceeded its "
+                f"{waited:g}s deadline", seconds=waited)
+
+        self.executor.run(buffers, n_tasks)
+        output_names = self.output_names or [
+            name for name in buffers if name.startswith("out")]
+        frame_outputs(buffers, output_names)
+        if fault == CORRUPT:
+            self.faults.corrupt(buffers, output_names)
         self.stats.tasks += n_tasks
         self.stats.batches += batches
         self.stats.kernel_seconds += kernel_s
         self.stats.transfer_seconds += transfer_s
         self.stats.overhead_seconds += overhead_s
-        return kernel_s + transfer_s + overhead_s
+        return nominal_s

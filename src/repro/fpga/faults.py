@@ -1,0 +1,213 @@
+"""Deterministic fault injection for the FPGA device model.
+
+Datacenter boards fail in practice: invocations abort, DMA transfers
+hang, read-back buffers come home corrupted, and whole devices fall off
+the bus.  The paper's deployment story (Section 4) relies on the Blaze
+runtime surviving all of that, so the device model can *inject* those
+faults on a deterministic, seedable schedule and the runtime is tested
+against it.
+
+Determinism: the fault drawn for invocation ``k`` of board ``b`` under
+plan seed ``s`` is a pure function of ``(s, b, k)`` (the per-draw RNG is
+seeded from that string, which Python hashes with SHA-512 — stable
+across processes, unlike ``hash``).  The schedule therefore replays
+bit-identically on every run, and two runtimes driving the same boards
+through the same invocation sequence see the same faults.
+
+The module also owns the result *framing* the host uses to detect
+corruption: after a kernel batch executes, the device appends a CRC32
+over every output buffer plus a canary word; the host re-computes the
+CRC before deserializing and rejects the batch on any mismatch.  (The
+Blaze layer re-exports :func:`frame_outputs` / :func:`verify_outputs`
+from ``repro.blaze.serialization``; they live here so the board model
+can frame without importing the blaze package.)
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import BlazeError, CorruptResultError
+
+#: Buffer key holding the ``[crc, canary]`` result frame.
+FRAME_KEY = "__frame__"
+
+#: Fixed canary word appended to every result frame.
+FRAME_CANARY = 0x5F2FA75E
+
+#: Fault kinds drawn by the injector.
+TRANSIENT = "transient"
+HANG = "hang"
+CORRUPT = "corrupt"
+LOST = "lost"
+
+
+# ---------------------------------------------------------------------------
+# Result framing (CRC + canary)
+# ---------------------------------------------------------------------------
+
+def _output_crc(buffers: dict[str, list], output_names: list[str]) -> int:
+    """CRC32 over the output buffers, in sorted-name order."""
+    crc = 0
+    for name in sorted(output_names):
+        crc = zlib.crc32(name.encode(), crc)
+        for value in buffers[name]:
+            if isinstance(value, float):
+                crc = zlib.crc32(struct.pack("<d", value), crc)
+            else:
+                crc = zlib.crc32(
+                    struct.pack("<Q", int(value) & 0xFFFFFFFFFFFFFFFF), crc)
+    return crc
+
+
+def frame_outputs(buffers: dict[str, list],
+                  output_names: list[str]) -> None:
+    """Device side: append the ``[crc, canary]`` frame after a batch."""
+    buffers[FRAME_KEY] = [_output_crc(buffers, output_names), FRAME_CANARY]
+
+
+def verify_outputs(buffers: dict[str, list],
+                   output_names: list[str]) -> None:
+    """Host side: check the frame; raise :class:`CorruptResultError`."""
+    frame = buffers.get(FRAME_KEY)
+    if (not isinstance(frame, list) or len(frame) != 2
+            or frame[1] != FRAME_CANARY):
+        raise CorruptResultError(
+            "result frame missing or mangled (truncated DMA read-back?)")
+    if frame[0] != _output_crc(buffers, output_names):
+        raise CorruptResultError(
+            "output buffer CRC mismatch: the device returned corrupt data")
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+
+_RATE_KEYS = (TRANSIENT, HANG, CORRUPT)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable schedule of device faults.
+
+    * ``transient`` / ``hang`` / ``corrupt`` — per-invocation
+      probabilities of a transient abort, a hang (cut by the host's
+      batch deadline), and output-buffer corruption;
+    * ``lose_after`` — the board is permanently lost at that invocation
+      index (``0`` means it never works: the all-boards-lost schedule).
+    """
+
+    seed: int = 0
+    transient: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    lose_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for key in _RATE_KEYS:
+            rate = getattr(self, key)
+            if not 0.0 <= rate <= 1.0:
+                raise BlazeError(
+                    f"fault rate {key}={rate} outside [0, 1]")
+        if self.transient + self.hang + self.corrupt > 1.0 + 1e-12:
+            raise BlazeError("fault rates sum to more than 1")
+        if self.lose_after is not None and self.lose_after < 0:
+            raise BlazeError(
+                f"lose_after={self.lose_after} must be >= 0")
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a CLI spec like ``"transient=0.2,corrupt=0.1,lose_after=40"``.
+
+        Recognized keys: ``transient``, ``hang``, ``corrupt`` (rates in
+        [0, 1]), ``lose_after`` (invocation index), ``seed``.
+        """
+        kwargs: dict = {"seed": seed}
+        for token in filter(None, (t.strip() for t in spec.split(","))):
+            if "=" not in token:
+                raise BlazeError(
+                    f"fault plan expects key=value, got {token!r}")
+            key, _, value = token.partition("=")
+            key = key.strip()
+            try:
+                if key in _RATE_KEYS:
+                    kwargs[key] = float(value)
+                elif key in ("lose_after", "seed"):
+                    kwargs[key] = int(value)
+                else:
+                    raise BlazeError(
+                        f"unknown fault plan key {key!r} (expected one of "
+                        f"transient, hang, corrupt, lose_after, seed)")
+            except ValueError:
+                raise BlazeError(
+                    f"bad fault plan value {token!r}") from None
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        parts.extend(f"{key}={getattr(self, key):g}"
+                     for key in _RATE_KEYS if getattr(self, key))
+        if self.lose_after is not None:
+            parts.append(f"lose_after={self.lose_after}")
+        return ", ".join(parts)
+
+
+class FaultInjector:
+    """Draws the fault (if any) for each invocation of one board.
+
+    The injector is the *device side* of the fault model: the board asks
+    it what happens on the next invocation, and — for corruption — lets
+    it perturb the framed output buffers so the host-side CRC check
+    fails.
+    """
+
+    def __init__(self, plan: FaultPlan, board_id: str):
+        self.plan = plan
+        self.board_id = board_id
+        self.invocations = 0
+        self.lost = False
+
+    def next_fault(self) -> Optional[str]:
+        """The fault for this invocation (advances the invocation index)."""
+        index = self.invocations
+        self.invocations += 1
+        if self.lost:
+            return LOST
+        if (self.plan.lose_after is not None
+                and index >= self.plan.lose_after):
+            self.lost = True
+            return LOST
+        draw = self._rng(index).random()
+        if draw < self.plan.transient:
+            return TRANSIENT
+        if draw < self.plan.transient + self.plan.hang:
+            return HANG
+        if draw < self.plan.transient + self.plan.hang + self.plan.corrupt:
+            return CORRUPT
+        return None
+
+    def corrupt(self, buffers: dict[str, list],
+                output_names: list[str]) -> None:
+        """Flip one element of one (framed) output buffer in place."""
+        rng = self._rng(self.invocations - 1, "corrupt")
+        candidates = [name for name in sorted(output_names)
+                      if buffers.get(name)]
+        if not candidates:
+            # No output payload to damage: mangle the frame itself.
+            buffers[FRAME_KEY] = [0, 0]
+            return
+        name = candidates[rng.randrange(len(candidates))]
+        index = rng.randrange(len(buffers[name]))
+        value = buffers[name][index]
+        if isinstance(value, float):
+            buffers[name][index] = -(value + 1.0)
+        else:
+            buffers[name][index] = int(value) ^ 0x2F
+
+    def _rng(self, invocation: int, tag: str = "") -> random.Random:
+        return random.Random(
+            f"{self.plan.seed}:{self.board_id}:{invocation}:{tag}")

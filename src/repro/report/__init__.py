@@ -1,6 +1,7 @@
 """Plain-text reporting for the benchmark harness."""
 
 from .format import (  # noqa: F401
+    blaze_metrics_table,
     evaluation_stats_table,
     format_table,
     log_bar_chart,

@@ -150,6 +150,41 @@ def evaluation_stats_table(stats: dict,
     return format_table(["Statistic", "Value"], rows, title=title)
 
 
+def blaze_metrics_table(metrics, title: str = "Blaze runtime") -> str:
+    """Render a :class:`~repro.blaze.BlazeMetrics` (or its ``as_dict()``).
+
+    Groups the task accounting and the structured failure counters the
+    resilient offload path maintains: retries, timeouts, corrupt
+    batches, quarantine transitions, and the fallback-due-to-fault vs
+    fallback-no-hardware split.
+    """
+    stats = metrics.as_dict() if hasattr(metrics, "as_dict") else \
+        dict(metrics)
+    rows = [
+        ["accelerated tasks", stats.get("accel_tasks", 0)],
+        ["accelerated seconds", f"{stats.get('accel_seconds', 0.0):.6f}"],
+        ["JVM fallback tasks", stats.get("fallback_tasks", 0)],
+        ["JVM fallback seconds",
+         f"{stats.get('fallback_seconds', 0.0):.6f}"],
+        ["retries", stats.get("retries", 0)],
+        ["transient faults", stats.get("transient_faults", 0)],
+        ["timeouts (hangs)", stats.get("timeouts", 0)],
+        ["corrupt batches", stats.get("corrupt_batches", 0)],
+        ["devices lost", stats.get("devices_lost", 0)],
+        ["quarantines", stats.get("quarantines", 0)],
+        ["re-admission probes", stats.get("probes", 0)],
+        ["re-admissions", stats.get("readmissions", 0)],
+        ["fallback batches (fault)",
+         stats.get("fault_fallback_batches", 0)],
+        ["fallback tasks (fault)", stats.get("fault_fallback_tasks", 0)],
+        ["fallback batches (no hardware)",
+         stats.get("no_hardware_batches", 0)],
+        ["wasted virtual seconds",
+         f"{stats.get('wasted_seconds', 0.0):.6f}"],
+    ]
+    return format_table(["Metric", "Value"], rows, title=title)
+
+
 def speedup_summary(names: Sequence[str], speedups: Sequence[float],
                     label: str) -> str:
     """Geometric-mean summary line used by the Fig. 4 bench."""

@@ -130,3 +130,87 @@ class TestReduceOffload:
         runtime.register(compile_kernel(DOUBLER))
         with pytest.raises(BlazeError, match="map"):
             runtime.wrap(sc.parallelize([1])).reduce_acc("doubler")
+
+
+class TestEmptyInputContract:
+    """Empty-input behaviour is consistent across the acc operators:
+    map/filter return [], reduce raises unless a zero seed makes the
+    fold total (Spark's reduce vs fold contract)."""
+
+    def test_empty_map_and_filter_return_empty(self, sc):
+        runtime = BlazeRuntime(sc)
+        compiled = compile_kernel(DOUBLER)
+        runtime.register(compiled, _deploy_config(compiled))
+        assert runtime.wrap(sc.parallelize([])).map_acc(
+            "doubler").collect() == []
+
+    def test_empty_reduce_without_seed_raises(self, sc):
+        runtime = BlazeRuntime(sc)
+        runtime.register(compile_kernel(SUMMER, pattern="reduce"))
+        with pytest.raises(BlazeError, match="empty RDD"):
+            runtime.wrap(sc.parallelize([])).reduce_acc("summer")
+
+    def test_empty_reduce_with_seed_returns_seed(self, sc):
+        runtime = BlazeRuntime(sc)
+        runtime.register(compile_kernel(SUMMER, pattern="reduce"))
+        got = runtime.wrap(sc.parallelize([])).reduce_acc(
+            "summer", zero=0.0)
+        assert got == 0.0
+        assert runtime.metrics.fallback_tasks == 0
+
+    def test_seeded_reduce_folds_seed_first(self, sc):
+        compiled = compile_kernel(SUMMER, pattern="reduce")
+        runtime = BlazeRuntime(sc)
+        runtime.register(compiled, _deploy_config(compiled))
+        values = [1.0, 2.0, 3.0]
+        got = runtime.wrap(sc.parallelize(values)).reduce_acc(
+            "summer", zero=10.0)
+        assert got == pytest.approx(16.0)
+
+    def test_single_element_reduce_skips_the_combiner(self, sc):
+        compiled = compile_kernel(SUMMER, pattern="reduce")
+        runtime = BlazeRuntime(sc)
+        runtime.register(compiled, _deploy_config(compiled))
+        got = runtime.wrap(sc.parallelize([7.5])).reduce_acc("summer")
+        assert got == 7.5
+        assert runtime.metrics.accel_tasks == 0
+
+    def test_seeded_matches_unseeded_plus_seed_on_both_paths(self, sc):
+        values = [0.5, 1.5, 2.5, 3.5]
+        for deploy in (True, False):
+            compiled = compile_kernel(SUMMER, pattern="reduce")
+            runtime = BlazeRuntime(SparkContext(default_parallelism=3))
+            runtime.register(
+                compiled, _deploy_config(compiled) if deploy else None)
+            got = runtime.wrap(
+                runtime.context.parallelize(values)).reduce_acc(
+                    "summer", zero=0.0)
+            assert got == pytest.approx(sum(values))
+
+
+class TestRunnerHoisting:
+    """The JVM fallback runner is built once per acc-RDD, not once per
+    partition, and per-partition cost accounting stays exact."""
+
+    def test_runner_shared_across_partitions(self, sc):
+        runtime = BlazeRuntime(sc)
+        runtime.register(compile_kernel(DOUBLER))
+        data = list(range(30))
+        rdd = runtime.wrap(sc.parallelize(data)).map_acc("doubler")
+        assert rdd._runner is None  # built lazily
+        assert rdd.collect() == [x * 2 for x in data]
+        runner = rdd._runner
+        assert runner is not None
+        assert runner is rdd._jvm_runner
+        assert runner.tasks_run == 30
+
+    def test_fallback_seconds_sum_to_runner_total(self, sc):
+        runtime = BlazeRuntime(sc)
+        runtime.register(compile_kernel(DOUBLER))
+        rdd = runtime.wrap(sc.parallelize(list(range(30)))).map_acc(
+            "doubler")
+        rdd.collect()
+        assert runtime.metrics.fallback_seconds == pytest.approx(
+            rdd._runner.seconds)
+        assert runtime.metrics.fallback_tasks == 30
+        assert runtime.clock.now == pytest.approx(rdd._runner.seconds)

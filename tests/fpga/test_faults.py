@@ -1,0 +1,190 @@
+"""Fault-injection device model: plans, framing, and board behaviour."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.errors import (
+    BlazeError,
+    CorruptResultError,
+    DeviceFault,
+    DeviceLostError,
+    DeviceTimeout,
+)
+from repro.fpga import FPGABoard
+from repro.fpga.faults import (
+    FRAME_CANARY,
+    FRAME_KEY,
+    FaultInjector,
+    FaultPlan,
+    frame_outputs,
+    verify_outputs,
+)
+from repro.hls import estimate
+from repro.merlin import DesignConfig, LoopConfig
+
+
+class TestFaultPlan:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse(
+            "transient=0.2, hang=0.05, corrupt=0.1, lose_after=40",
+            seed=9)
+        assert plan.transient == 0.2
+        assert plan.hang == 0.05
+        assert plan.corrupt == 0.1
+        assert plan.lose_after == 40
+        assert plan.seed == 9
+
+    def test_parse_seed_key_overrides(self):
+        assert FaultPlan.parse("seed=5", seed=1).seed == 5
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(BlazeError, match="unknown fault plan key"):
+            FaultPlan.parse("explode=1.0")
+
+    def test_parse_rejects_bad_value(self):
+        with pytest.raises(BlazeError, match="bad fault plan value"):
+            FaultPlan.parse("transient=lots")
+
+    def test_rates_validated(self):
+        with pytest.raises(BlazeError, match="outside"):
+            FaultPlan(transient=1.5)
+        with pytest.raises(BlazeError, match="sum"):
+            FaultPlan(transient=0.6, hang=0.3, corrupt=0.3)
+        with pytest.raises(BlazeError, match="lose_after"):
+            FaultPlan(lose_after=-1)
+
+    def test_describe_round_trips(self):
+        plan = FaultPlan(seed=3, transient=0.25, corrupt=0.5,
+                         lose_after=7)
+        assert FaultPlan.parse(plan.describe()) == plan
+
+
+class TestFaultInjector:
+    def test_schedule_is_deterministic(self):
+        def draw(n):
+            injector = FaultInjector(
+                FaultPlan(seed=11, transient=0.3, hang=0.2, corrupt=0.2),
+                "boardA")
+            return [injector.next_fault() for _ in range(n)]
+
+        assert draw(200) == draw(200)
+
+    def test_schedule_varies_with_seed_and_board(self):
+        base = FaultPlan(seed=1, transient=0.3, hang=0.2, corrupt=0.2)
+        a = [FaultInjector(base, "a").next_fault() for _ in range(100)]
+        b = [FaultInjector(base, "b").next_fault() for _ in range(100)]
+        other = FaultPlan(seed=2, transient=0.3, hang=0.2, corrupt=0.2)
+        c = [FaultInjector(other, "a").next_fault() for _ in range(100)]
+        assert a != b
+        assert a != c
+
+    def test_lose_after_is_permanent(self):
+        injector = FaultInjector(FaultPlan(lose_after=2), "x")
+        faults = [injector.next_fault() for _ in range(5)]
+        assert faults[:2] == [None, None]
+        assert faults[2:] == ["lost", "lost", "lost"]
+
+    def test_all_rates_zero_never_faults(self):
+        injector = FaultInjector(FaultPlan(seed=4), "x")
+        assert all(injector.next_fault() is None for _ in range(300))
+
+
+class TestFraming:
+    def test_verify_accepts_framed_outputs(self):
+        buffers = {"out_1": [1, 2, 3], "out_2": [1.5, -2.5]}
+        frame_outputs(buffers, ["out_1", "out_2"])
+        verify_outputs(buffers, ["out_1", "out_2"])  # no raise
+
+    def test_frame_has_canary(self):
+        buffers = {"out_1": [0]}
+        frame_outputs(buffers, ["out_1"])
+        assert buffers[FRAME_KEY][1] == FRAME_CANARY
+
+    def test_flipped_int_detected(self):
+        buffers = {"out_1": [1, 2, 3]}
+        frame_outputs(buffers, ["out_1"])
+        buffers["out_1"][1] ^= 0x2F
+        with pytest.raises(CorruptResultError, match="CRC"):
+            verify_outputs(buffers, ["out_1"])
+
+    def test_flipped_float_detected(self):
+        buffers = {"out_1": [1.25, 0.0]}
+        frame_outputs(buffers, ["out_1"])
+        buffers["out_1"][1] = -1.0
+        with pytest.raises(CorruptResultError, match="CRC"):
+            verify_outputs(buffers, ["out_1"])
+
+    def test_missing_frame_rejected(self):
+        with pytest.raises(CorruptResultError, match="frame"):
+            verify_outputs({"out_1": [1]}, ["out_1"])
+
+    def test_mangled_canary_rejected(self):
+        buffers = {"out_1": [1]}
+        frame_outputs(buffers, ["out_1"])
+        buffers[FRAME_KEY][1] = 0
+        with pytest.raises(CorruptResultError, match="frame"):
+            verify_outputs(buffers, ["out_1"])
+
+
+@pytest.fixture(scope="module")
+def kmeans_board_parts():
+    spec = get_app("KMeans")
+    compiled = spec.compile()
+    config = DesignConfig(
+        loops={"L0": LoopConfig(pipeline="on", parallel=4)},
+        bitwidths={leaf.name: 256 for leaf in compiled.layout.leaves})
+    return spec, compiled, estimate(compiled.kernel, config)
+
+
+def _board(parts, plan):
+    spec, compiled, hls = parts
+    return FPGABoard(
+        kernel=compiled.kernel, hls=hls,
+        batch_size=compiled.batch_size,
+        output_names=[leaf.name for leaf in compiled.layout.outputs],
+        faults=FaultInjector(plan, compiled.accel_id) if plan else None)
+
+
+def _buffers(parts, n=8):
+    from repro.blaze import make_serializer
+
+    spec, compiled, _ = parts
+    return make_serializer(compiled.layout)(spec.workload(n, seed=1)), n
+
+
+class TestBoardFaults:
+    def test_clean_run_is_framed_and_verifies(self, kmeans_board_parts):
+        board = _board(kmeans_board_parts, None)
+        buffers, n = _buffers(kmeans_board_parts)
+        board.run(buffers, n)
+        verify_outputs(buffers, board.output_names)
+
+    def test_transient_raises_with_partial_time(self, kmeans_board_parts):
+        board = _board(kmeans_board_parts, FaultPlan(transient=1.0))
+        buffers, n = _buffers(kmeans_board_parts)
+        with pytest.raises(DeviceFault) as info:
+            board.run(buffers, n)
+        assert info.value.seconds > 0
+        assert board.stats.tasks == 0  # the batch produced nothing
+
+    def test_hang_charges_the_deadline(self, kmeans_board_parts):
+        board = _board(kmeans_board_parts, FaultPlan(hang=1.0))
+        buffers, n = _buffers(kmeans_board_parts)
+        with pytest.raises(DeviceTimeout) as info:
+            board.run(buffers, n, deadline_s=0.125)
+        assert info.value.seconds == 0.125
+
+    def test_lost_board_stays_lost(self, kmeans_board_parts):
+        board = _board(kmeans_board_parts, FaultPlan(lose_after=0))
+        buffers, n = _buffers(kmeans_board_parts)
+        for _ in range(3):
+            with pytest.raises(DeviceLostError):
+                board.run(buffers, n)
+
+    def test_corruption_fails_verification(self, kmeans_board_parts):
+        board = _board(kmeans_board_parts, FaultPlan(corrupt=1.0))
+        buffers, n = _buffers(kmeans_board_parts)
+        seconds = board.run(buffers, n)
+        assert seconds > 0  # the batch executed and charged full time
+        with pytest.raises(CorruptResultError):
+            verify_outputs(buffers, board.output_names)

@@ -1,0 +1,106 @@
+"""Differential fault tolerance: faults never change collected results.
+
+For every registered application the Spark job is collected four ways —
+pure-JVM baseline (no hardware), zero-fault hardware, heavy-fault
+hardware (transients + hangs + corruption + one permanent device loss),
+and an all-boards-lost schedule — and all four must be bit-identical.
+The heavy run is executed twice with the same plan and seed and must
+reproduce the exact same metrics, pinning the determinism guarantee of
+``repro.fpga.faults``.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.blaze import BlazeRuntime
+from repro.compiler import compile_kernel
+from repro.fpga.faults import FaultPlan
+from repro.spark import SparkContext
+
+#: Heavy schedule: every invocation faults with 65% probability and the
+#: board falls off the bus at its third invocation.  With three
+#: partitions each job is guaranteed to reach the loss.
+HEAVY = FaultPlan(seed=1301, transient=0.3, hang=0.1, corrupt=0.25,
+                  lose_after=2)
+
+#: Nothing ever works: the deployment degrades to pure JVM.
+ALL_LOST = FaultPlan(seed=7, lose_after=0)
+
+
+def _deployable(name):
+    spec = get_app(name)
+    if name == "S-W":
+        from repro.apps.smith_waterman import (
+            FUNCTIONAL_LAYOUT,
+            functional_workload,
+        )
+        compiled = compile_kernel(spec.scala_source,
+                                  layout_config=FUNCTIONAL_LAYOUT,
+                                  batch_size=spec.batch_size)
+        return spec, compiled, functional_workload(9, seed=21)
+    return spec, spec.compile(), spec.workload(30, seed=21)
+
+
+def _collect(compiled, config, tasks, plan=None):
+    sc = SparkContext(default_parallelism=3)
+    runtime = BlazeRuntime(sc, fault_plan=plan)
+    runtime.register(compiled, config)
+    results = runtime.wrap(sc.parallelize(tasks)).map_acc(
+        compiled.accel_id).collect()
+    return results, runtime.metrics
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in ALL_APPS])
+def test_results_identical_under_any_fault_schedule(name):
+    spec, compiled, tasks = _deployable(name)
+    config = spec.manual_config(compiled)
+
+    baseline, base_m = _collect(compiled, None, tasks)
+    assert base_m.fallback_tasks == len(tasks)
+
+    clean, clean_m = _collect(compiled, config, tasks)
+    assert clean == baseline, f"{name}: clean offload diverges from JVM"
+    assert clean_m.accel_tasks == len(tasks)
+    assert clean_m.retries == 0
+    assert clean_m.wasted_seconds == 0.0
+
+    heavy, heavy_m = _collect(compiled, config, tasks, plan=HEAVY)
+    assert heavy == baseline, f"{name}: faulted offload diverges"
+    assert heavy_m.devices_lost == 1
+    assert heavy_m.accel_tasks + heavy_m.fallback_tasks == len(tasks)
+    faults_seen = (heavy_m.transient_faults + heavy_m.timeouts
+                   + heavy_m.corrupt_batches + heavy_m.devices_lost)
+    assert faults_seen >= 1
+    assert heavy_m.wasted_seconds > 0
+
+    again, again_m = _collect(compiled, config, tasks, plan=HEAVY)
+    assert again == heavy
+    assert again_m.as_dict() == heavy_m.as_dict(), \
+        f"{name}: same plan + seed must reproduce identical metrics"
+
+    lost, lost_m = _collect(compiled, config, tasks, plan=ALL_LOST)
+    assert lost == baseline, f"{name}: all-lost run diverges"
+    assert lost_m.devices_lost == 1
+    assert lost_m.accel_tasks == 0
+    assert lost_m.fallback_tasks == len(tasks)
+
+
+def test_heavy_schedule_exercises_retries_and_quarantines():
+    """Across the app fleet the heavy plan must hit the retry and
+    quarantine machinery, not just the loss path (guards against a
+    plan that silently degrades to all-or-nothing)."""
+    totals = {"retries": 0, "quarantines": 0, "corrupt_batches": 0,
+              "timeouts": 0, "transient_faults": 0}
+    plan = FaultPlan(seed=2026, transient=0.35, hang=0.1, corrupt=0.25)
+    for spec in ALL_APPS:
+        if spec.name == "S-W":
+            continue
+        _, compiled, tasks = _deployable(spec.name)
+        _, metrics = _collect(
+            compiled, spec.manual_config(compiled), tasks, plan=plan)
+        for key in totals:
+            totals[key] += getattr(metrics, key)
+    assert totals["retries"] > 0
+    assert totals["quarantines"] > 0
+    assert totals["transient_faults"] > 0
+    assert totals["corrupt_batches"] > 0

@@ -102,3 +102,37 @@ class TestInfoCommands:
     def test_report_unknown_app(self):
         with pytest.raises(SystemExit, match="unknown app"):
             main(["report", "Nope"])
+
+
+class TestRunCommand:
+    def test_clean_run_matches_jvm(self, capsys):
+        assert main(["run", "KMeans", "--tasks", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "results match JVM : yes" in out
+        assert "accelerated tasks" in out
+
+    def test_faulted_run_still_matches(self, capsys):
+        code = main(["run", "KMeans", "--tasks", "24",
+                     "--fault-plan",
+                     "transient=0.3,hang=0.1,corrupt=0.2,lose_after=5",
+                     "--fault-seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results match JVM : yes" in out
+        assert "fault plan        : seed=7" in out
+
+    def test_all_lost_degrades_to_jvm(self, capsys):
+        code = main(["run", "AES", "--tasks", "16",
+                     "--fault-plan", "lose_after=0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results match JVM : yes" in out
+        assert "accelerated tasks              | 0" in out
+
+    def test_bad_fault_plan_reported(self, capsys):
+        assert main(["run", "KMeans", "--fault-plan", "boom=1"]) == 1
+        assert "unknown fault plan key" in capsys.readouterr().err
+
+    def test_run_unknown_app(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["run", "Nope"])
