@@ -3,12 +3,14 @@
 
 Runs the complete S2FA flow of the paper's Fig. 1 on a small vector-scale
 kernel: mini-Scala -> JVM bytecode -> HLS C -> design space exploration ->
-chosen configuration + HLS report, all on the simulated toolchain.
+chosen configuration + HLS report, all on the simulated toolchain —
+driven through the `S2FASession` facade, with a span trace of the whole
+pipeline summarized at the end.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import build_accelerator, generate_hls_c
+from repro import ExploreConfig, S2FASession
 from repro.compiler import LayoutConfig
 
 KERNEL = """
@@ -30,17 +32,18 @@ class Saxpy extends Accelerator[(Float, Array[Float]), Array[Float]] {
 
 def main() -> None:
     layout = LayoutConfig(lengths={"in._2": 32, "out": 32})
+    session = S2FASession(explore=ExploreConfig(seed=7), trace=True)
 
     print("=" * 72)
     print("Step 1: bytecode-to-C compilation (no optimization yet)")
     print("=" * 72)
-    print(generate_hls_c(KERNEL, layout_config=layout))
+    print(session.hls_c(KERNEL, layout_config=layout, batch_size=2048))
 
     print("=" * 72)
     print("Step 2: learning-based design space exploration")
     print("=" * 72)
-    build = build_accelerator(KERNEL, layout_config=layout,
-                              batch_size=2048, seed=7)
+    build = session.explore(KERNEL, layout_config=layout,
+                            batch_size=2048)
     run = build.dse
     print(f"design space size : {build.space.size():,} points")
     print(f"points evaluated  : {run.evaluations} "
@@ -64,6 +67,12 @@ def main() -> None:
           + ", ".join(f"{k.upper()} {hls.utilization_percent(k)}%"
                       for k in ("bram", "dsp", "ff", "lut")))
     print(f"memory bound      : {hls.memory_bound}")
+
+    print()
+    print("=" * 72)
+    print("Where the time went (span trace)")
+    print("=" * 72)
+    print(session.trace_summary(top=5, flame=False))
 
 
 if __name__ == "__main__":

@@ -12,13 +12,36 @@ The package mirrors the paper's architecture (Fig. 1):
 * :mod:`repro.spark` / :mod:`repro.blaze` / :mod:`repro.fpga` — the runtime
   integration substrate (RDDs, accelerator service, device simulator).
 * :mod:`repro.apps` — the eight evaluation kernels of Section 5.
+* :mod:`repro.obs` — span tracing + metrics observability layer.
 
-The top-level convenience entry point is :func:`repro.s2fa.compile_kernel`
-(exported here as :func:`compile_kernel`), which runs the complete
-Scala-source-to-optimized-accelerator flow.
+The public entry point is :class:`repro.S2FASession`: one object owning
+the run configuration (:class:`ExploreConfig` / :class:`RuntimeConfig`),
+the tracer, and a compile cache, with ``compile``/``explore``/``run``
+verbs over built-in application names, specs, or raw Scala source.
+:func:`build_accelerator` and :func:`generate_hls_c` are deprecated
+one-shot shims kept for compatibility.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from .errors import S2FAError  # noqa: F401
-from .s2fa import AcceleratorBuild, build_accelerator, generate_hls_c  # noqa: F401,E501
+from .config import ExploreConfig, RuntimeConfig
+from .errors import S2FAError
+from .s2fa import (
+    AcceleratorBuild,
+    RunOutcome,
+    S2FASession,
+    build_accelerator,
+    generate_hls_c,
+)
+
+__all__ = [
+    "AcceleratorBuild",
+    "ExploreConfig",
+    "RunOutcome",
+    "RuntimeConfig",
+    "S2FAError",
+    "S2FASession",
+    "build_accelerator",
+    "generate_hls_c",
+    "__version__",
+]

@@ -21,10 +21,23 @@ APPS_BY_NAME: dict[str, AppSpec] = {spec.name: spec for spec in ALL_APPS}
 FAST_FUNCTIONAL = [spec.name for spec in ALL_APPS if spec.name != "S-W"]
 
 
+_APPS_BY_FOLDED: dict[str, AppSpec] = {
+    spec.name.casefold(): spec for spec in ALL_APPS
+}
+
+
 def get_app(name: str) -> AppSpec:
-    """Look up a built-in application spec by its Table 2 name."""
+    """Look up a built-in application spec by its Table 2 name.
+
+    The lookup is case-insensitive (``kmeans`` finds ``KMeans``), so
+    shell users don't have to reproduce the paper's capitalization.
+    """
     try:
         return APPS_BY_NAME[name]
+    except KeyError:
+        pass
+    try:
+        return _APPS_BY_FOLDED[name.casefold()]
     except KeyError:
         known = ", ".join(sorted(APPS_BY_NAME))
         raise KeyError(f"unknown app {name!r}; known apps: {known}") \

@@ -39,6 +39,7 @@ from ..hls.device import Device, VU9P
 from ..jvm.cost import CostModel
 from ..jvm.interpreter import Interpreter
 from ..merlin.config import DesignConfig
+from ..obs.span import NULL_TRACER
 from ..spark.rdd import RDD, SparkContext
 from .jvm_bridge import from_jvm, to_jvm
 from .manager import (
@@ -124,7 +125,8 @@ class BlazeRuntime:
                  manager: Optional[AcceleratorManager] = None,
                  device: Device = VU9P,
                  fault_plan: Optional[FaultPlan] = None,
-                 policy: Optional[OffloadPolicy] = None):
+                 policy: Optional[OffloadPolicy] = None,
+                 tracer=NULL_TRACER):
         if manager is None:
             manager = AcceleratorManager(device, fault_plan=fault_plan)
         elif fault_plan is not None:
@@ -134,11 +136,14 @@ class BlazeRuntime:
         self.policy = policy or OffloadPolicy()
         self.metrics = BlazeMetrics()
         self.clock = VirtualClock()
+        self.tracer = tracer
 
     def register(self, compiled: CompiledKernel,
                  config: Optional[DesignConfig] = None
                  ) -> RegisteredAccelerator:
-        return self.manager.register(compiled, config)
+        with self.tracer.span("blaze.register",
+                              accel=compiled.accel_id):
+            return self.manager.register(compiled, config)
 
     def wrap(self, rdd: RDD) -> "ShellRDD":
         return ShellRDD(self, rdd)
@@ -154,26 +159,52 @@ class BlazeRuntime:
         hangs, CRC verification of the framed result buffers, and
         permanent-loss handling.  All time is charged to the runtime's
         virtual clock.
+
+        Each call records one ``blaze.offload`` span carrying the batch
+        failure accounting (retries, faults, timeouts, corrupt frames)
+        and its outcome, so a trace shows exactly where hardware time
+        and fallbacks went.
         """
+        with self.tracer.span("blaze.offload", accel=entry.accel_id,
+                              tasks=len(tasks)) as span:
+            before = self.clock.now
+            results = self._offload_attempts(entry, tasks, n_results,
+                                             span)
+            span.set(vclock_seconds=self.clock.now - before)
+            if results is not None:
+                span.set(outcome="accelerated")
+            self.tracer.metrics.incr("blaze.offload_batches")
+            return results
+
+    def _offload_attempts(self, entry: RegisteredAccelerator,
+                          tasks: list, n_results: Optional[int],
+                          span) -> Optional[list]:
         metrics = self.metrics
         if entry.board is None:
             metrics.no_hardware_batches += 1
+            span.set(outcome="no_hardware")
             return None
         if entry.state == LOST:
             self._note_fault_fallback(len(tasks))
+            span.set(outcome="board_lost")
             return None
         probing = False
         if entry.state == QUARANTINED:
             if self.clock.now < entry.quarantined_until:
                 self._note_fault_fallback(len(tasks))
+                span.set(outcome="quarantined")
                 return None
             probing = True
             metrics.probes += 1
+            span.set(probe=True)
         n_out = len(tasks) if n_results is None else n_results
         policy = self.policy
         for attempt in range(policy.max_attempts):
+            span.set(attempts=attempt + 1)
             if attempt:
                 metrics.retries += 1
+                span.add("retries")
+                self.tracer.metrics.incr("blaze.retries")
                 backoff = (policy.backoff_base_seconds
                            * policy.backoff_factor ** (attempt - 1))
                 self.clock.advance(backoff)
@@ -189,18 +220,22 @@ class BlazeRuntime:
                 metrics.devices_lost += 1
                 entry.mark_lost()
                 self._note_fault_fallback(len(tasks))
+                span.set(outcome="board_lost").add("devices_lost")
                 return None
             except DeviceTimeout as exc:
                 self._charge_waste(exc.seconds)
                 metrics.timeouts += 1
+                span.add("timeouts")
             except DeviceFault as exc:
                 self._charge_waste(exc.seconds)
                 metrics.transient_faults += 1
+                span.add("transient_faults")
             except CorruptResultError:
                 # The batch ran to completion before failing the CRC
                 # check, so its nominal time was fully spent.
                 self._charge_waste(seconds)
                 metrics.corrupt_batches += 1
+                span.add("corrupt_batches")
             else:
                 self.clock.advance(seconds)
                 metrics.accel_tasks += len(tasks)
@@ -208,12 +243,15 @@ class BlazeRuntime:
                 if probing:
                     entry.readmit()
                     metrics.readmissions += 1
+                    span.set(readmitted=True)
                 return entry.deserializer(buffers, n_out)
         duration = (policy.quarantine_base_seconds
                     * policy.quarantine_factor ** entry.quarantine_count)
         entry.quarantine(self.clock.now + duration)
         metrics.quarantines += 1
+        self.tracer.metrics.incr("blaze.quarantines")
         self._note_fault_fallback(len(tasks))
+        span.set(outcome="quarantined_after_retries")
         return None
 
     def record_fallback(self, n_tasks: int, seconds: float) -> None:
@@ -290,9 +328,13 @@ class ShellRDD:
             # Reduce kernels leave the folded value in out_1[0].
             return results[0]
         runner = _JVMTaskRunner(entry.compiled)
-        accumulator = values[0]
-        for value in values[1:]:
-            accumulator = runner.call2(accumulator, value)
+        with self.runtime.tracer.span(
+                "blaze.jvm_fallback", accel=entry.accel_id,
+                tasks=len(values)) as span:
+            accumulator = values[0]
+            for value in values[1:]:
+                accumulator = runner.call2(accumulator, value)
+            span.set(vclock_seconds=runner.seconds)
         self.runtime.record_fallback(len(values), runner.seconds)
         return accumulator
 
@@ -327,7 +369,11 @@ class AccRDD(RDD):
         # Software fallback: execute the original Scala on the JVM.
         runner = self._jvm_runner
         before = runner.seconds
-        results = [runner.call(task) for task in tasks]
+        with self.runtime.tracer.span(
+                "blaze.jvm_fallback", accel=self.entry.accel_id,
+                tasks=len(tasks)) as span:
+            results = [runner.call(task) for task in tasks]
+            span.set(vclock_seconds=runner.seconds - before)
         self.runtime.record_fallback(len(tasks), runner.seconds - before)
         return results
 
@@ -370,7 +416,11 @@ class FilterAccRDD(RDD):
             return [task for task, keep in zip(tasks, flags) if keep]
         runner = self._jvm_runner
         before = runner.seconds
-        kept = [task for task in tasks if runner.call(task)]
+        with self.runtime.tracer.span(
+                "blaze.jvm_fallback", accel=self.entry.accel_id,
+                tasks=len(tasks)) as span:
+            kept = [task for task in tasks if runner.call(task)]
+            span.set(vclock_seconds=runner.seconds - before)
         self.runtime.record_fallback(len(tasks), runner.seconds - before)
         return kept
 

@@ -1,5 +1,12 @@
 """Command-line interface: ``python -m repro.cli`` (or the ``s2fa`` script).
 
+The CLI is a pure argv -> config translation: each subcommand builds an
+:class:`~repro.config.ExploreConfig` / :class:`~repro.config.RuntimeConfig`
+pair, hands them to an :class:`~repro.s2fa.S2FASession`, and prints the
+result.  Every pipeline subcommand accepts ``--trace FILE`` to record a
+span trace of the whole run (Chrome ``trace_event`` JSON by default,
+JSONL span log when the file ends in ``.jsonl``).
+
 Subcommands
 -----------
 
@@ -9,6 +16,11 @@ Subcommands
 ``explore KERNEL.scala``
     Run the full flow (compile + design space exploration) and print the
     DSE summary, the chosen configuration, and the annotated C.
+
+``dse APP``
+    The end-to-end pipeline for a built-in application: explore the
+    design space, deploy the explored design on the Blaze runtime, and
+    verify the offloaded results against the pure-JVM oracle.
 
 ``apps``
     List the built-in evaluation applications.
@@ -24,6 +36,10 @@ Subcommands
     ``--fault-seed`` inject a deterministic device-fault schedule (see
     ``repro.fpga.faults``); the results must stay bit-identical, only the
     metrics change.
+
+``trace summarize FILE``
+    Per-stage breakdown, top-N slowest spans, and flamegraph of a trace
+    written by ``--trace`` (either format).
 
 Layout capacities for variable-length leaves are given as repeated
 ``--length path=N`` options, e.g. ``--length in._2=16 --length out=16``.
@@ -61,12 +77,60 @@ def _read_source(path: str) -> str:
     return source.read_text()
 
 
+# ----------------------------------------------------------------------
+# argv -> config translation
+# ----------------------------------------------------------------------
+
+def _explore_config(args: argparse.Namespace):
+    from .config import ExploreConfig
+
+    return ExploreConfig(
+        seed=getattr(args, "seed", 0),
+        time_limit_minutes=getattr(args, "time_limit", 240.0),
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None))
+
+
+def _runtime_config(args: argparse.Namespace):
+    from .config import RuntimeConfig
+
+    return RuntimeConfig(
+        partitions=getattr(args, "partitions", 4),
+        fault_plan=getattr(args, "fault_plan", None),
+        fault_seed=getattr(args, "fault_seed", 0))
+
+
+def _session(args: argparse.Namespace):
+    from .s2fa import S2FASession
+
+    return S2FASession(explore=_explore_config(args),
+                       runtime=_runtime_config(args),
+                       trace=bool(getattr(args, "trace", None)))
+
+
+def _require_app(name: str):
+    from .apps import get_app
+
+    try:
+        return get_app(name)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _export_trace(session, args: argparse.Namespace) -> None:
+    if getattr(args, "trace", None):
+        spans = session.export_trace(args.trace)
+        print(f"trace written to {args.trace} ({spans} spans)")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
 def cmd_compile(args: argparse.Namespace) -> int:
     """``s2fa compile``: Scala kernel file -> generated HLS C."""
-    from .s2fa import generate_hls_c
-
     source = _read_source(args.kernel)
-    print(generate_hls_c(
+    print(_session(args).hls_c(
         source,
         layout_config=_parse_lengths(args.length),
         pattern=args.pattern,
@@ -74,21 +138,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_explore(args: argparse.Namespace) -> int:
-    """``s2fa explore``: compile + DSE, print the chosen design."""
-    from .s2fa import build_accelerator
-
-    source = _read_source(args.kernel)
-    build = build_accelerator(
-        source,
-        layout_config=_parse_lengths(args.length),
-        pattern=args.pattern,
-        batch_size=args.batch_size,
-        seed=args.seed,
-        time_limit_minutes=args.time_limit,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir)
-    run = build.dse
+def _print_explore_summary(build, run) -> None:
     print(f"accelerator id    : {build.accel_id}")
     print(f"design space      : {build.space.size():,} points")
     print(f"HLS evaluations   : {run.evaluations} "
@@ -100,6 +150,19 @@ def cmd_explore(args: argparse.Namespace) -> int:
     print("utilization       : "
           + ", ".join(f"{k.upper()} {hls.utilization_percent(k)}%"
                       for k in ("bram", "dsp", "ff", "lut")))
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """``s2fa explore``: compile + DSE, print the chosen design."""
+    source = _read_source(args.kernel)
+    session = _session(args)
+    build = session.explore(
+        source,
+        layout_config=_parse_lengths(args.length),
+        pattern=args.pattern,
+        batch_size=args.batch_size)
+    run = build.dse
+    _print_explore_summary(build, run)
     if run.evaluator_stats:
         from .report import evaluation_stats_table
 
@@ -111,7 +174,29 @@ def cmd_explore(args: argparse.Namespace) -> int:
     if args.json:
         Path(args.json).write_text(run.to_json())
         print(f"DSE run written to {args.json}")
+    _export_trace(session, args)
     return 0
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    """``s2fa dse``: explore + deploy the explored design on Blaze."""
+    spec = _require_app(args.app)
+    session = _session(args)
+    build = session.explore(spec)
+    _print_explore_summary(build, build.dse)
+    outcome = session.run(spec, tasks=args.tasks,
+                          data_seed=args.data_seed, config=build.config)
+    print(f"deployment        : {outcome.task_count} tasks on "
+          f"{outcome.partitions} partitions")
+    print(f"results match JVM : "
+          f"{'yes (bit-identical)' if outcome.matched else 'NO'}")
+    if args.metrics:
+        from .report import blaze_metrics_table
+
+        print()
+        print(blaze_metrics_table(outcome.metrics))
+    _export_trace(session, args)
+    return 0 if outcome.matched else 1
 
 
 def cmd_apps(args: argparse.Namespace) -> int:
@@ -153,52 +238,47 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """``s2fa run``: deploy an app on Blaze, offload, verify, report."""
-    from .apps import get_app
-    from .blaze import BlazeRuntime
-    from .compiler import compile_kernel
-    from .fpga.faults import FaultPlan
     from .report import blaze_metrics_table
-    from .spark import SparkContext
 
-    try:
-        spec = get_app(args.app)
-    except KeyError as exc:
-        raise SystemExit(str(exc)) from None
-    if spec.name == "S-W":
-        # The full-length kernel is too slow to execute functionally;
-        # the short-read variant exercises the identical code path.
-        from .apps.smith_waterman import (
-            FUNCTIONAL_LAYOUT,
-            functional_workload,
-        )
-        compiled = compile_kernel(spec.scala_source,
-                                  layout_config=FUNCTIONAL_LAYOUT,
-                                  batch_size=spec.batch_size)
-        tasks = functional_workload(min(args.tasks, 16),
-                                    seed=args.data_seed)
-    else:
-        compiled = spec.compile()
-        tasks = spec.workload(args.tasks, seed=args.data_seed)
-
-    plan = None
-    if args.fault_plan:
-        plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
-    sc = SparkContext(default_parallelism=args.partitions)
-    runtime = BlazeRuntime(sc, fault_plan=plan)
-    runtime.register(compiled, spec.manual_config(compiled))
-    got = runtime.wrap(sc.parallelize(tasks)).map_acc(
-        compiled.accel_id).collect()
-    expected = [spec.reference(task) for task in tasks]
-    ok = got == expected
-
-    print(f"{spec.name}: {len(tasks)} tasks on "
-          f"{min(args.partitions, len(tasks))} partitions")
-    if plan is not None:
-        print(f"fault plan        : {plan.describe()}")
-    print(f"results match JVM : {'yes (bit-identical)' if ok else 'NO'}")
+    spec = _require_app(args.app)
+    session = _session(args)
+    outcome = session.run(spec, tasks=args.tasks,
+                          data_seed=args.data_seed)
+    print(f"{outcome.app}: {outcome.task_count} tasks on "
+          f"{outcome.partitions} partitions")
+    if outcome.fault_plan is not None:
+        print(f"fault plan        : {outcome.fault_plan.describe()}")
+    print(f"results match JVM : "
+          f"{'yes (bit-identical)' if outcome.matched else 'NO'}")
     print()
-    print(blaze_metrics_table(runtime.metrics))
-    return 0 if ok else 1
+    print(blaze_metrics_table(outcome.metrics))
+    _export_trace(session, args)
+    return 0 if outcome.matched else 1
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """``s2fa trace summarize``: per-stage breakdown of a trace file."""
+    from .obs import load_trace, summarize
+
+    if not Path(args.file).exists():
+        raise SystemExit(f"no such trace file: {args.file}")
+    try:
+        roots = load_trace(args.file)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(summarize(roots, top=args.top, flame=not args.no_flame))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record a span trace of the whole run "
+                             "(Chrome trace_event JSON; *.jsonl for the "
+                             "span log)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -240,7 +320,30 @@ def build_parser() -> argparse.ArgumentParser:
     explore_p.add_argument("--json", metavar="FILE",
                            help="write the DSE run (trace, partitions, "
                                 "best design) as JSON")
+    _add_trace_flag(explore_p)
     explore_p.set_defaults(func=cmd_explore)
+
+    dse_p = sub.add_parser(
+        "dse", help="end-to-end pipeline: explore a built-in app and "
+                    "deploy the explored design on Blaze")
+    dse_p.add_argument("app")
+    dse_p.add_argument("--seed", type=int, default=0)
+    dse_p.add_argument("--time-limit", type=float, default=240.0,
+                       help="virtual minutes (default 240)")
+    dse_p.add_argument("--jobs", type=int, default=1,
+                       help="process-pool width for HLS estimation")
+    dse_p.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent evaluation cache directory")
+    dse_p.add_argument("--tasks", type=int, default=64,
+                       help="deployment workload size (default 64)")
+    dse_p.add_argument("--data-seed", type=int, default=21,
+                       help="workload generator seed (default 21)")
+    dse_p.add_argument("--partitions", type=int, default=4,
+                       help="Spark partitions (default 4)")
+    dse_p.add_argument("--metrics", action="store_true",
+                       help="print the Blaze runtime metrics table")
+    _add_trace_flag(dse_p)
+    dse_p.set_defaults(func=cmd_dse)
 
     apps_p = sub.add_parser("apps", help="list built-in applications")
     apps_p.set_defaults(func=cmd_apps)
@@ -265,7 +368,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "lose_after=40'")
     run_p.add_argument("--fault-seed", type=int, default=0,
                        help="seed of the fault schedule (default 0)")
+    _add_trace_flag(run_p)
     run_p.set_defaults(func=cmd_run)
+
+    trace_p = sub.add_parser("trace",
+                             help="inspect recorded span traces")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    summarize_p = trace_sub.add_parser(
+        "summarize", help="per-stage breakdown + flamegraph of a trace")
+    summarize_p.add_argument("file")
+    summarize_p.add_argument("--top", type=int, default=10,
+                             help="slowest spans to list (default 10)")
+    summarize_p.add_argument("--no-flame", action="store_true",
+                             help="skip the flamegraph section")
+    summarize_p.set_defaults(func=cmd_trace_summarize)
     return parser
 
 

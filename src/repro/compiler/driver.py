@@ -24,6 +24,7 @@ from ..jvm.descriptors import slot_width
 from ..jvm.interpreter import Interpreter, JObject
 from ..jvm.opcodes import INVOKE_OPS
 from ..jvm.stdlib import is_tuple_class
+from ..obs.span import NULL_TRACER
 from ..scala import compile_program, sast
 from ..scala import types as st
 from ..utils import NameAllocator
@@ -123,7 +124,8 @@ class KernelCompiler:
                  kernel_class: Optional[str] = None,
                  layout_config: Optional[LayoutConfig] = None,
                  pattern: str = "map",
-                 batch_size: int = DEFAULT_BATCH_SIZE):
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 tracer=NULL_TRACER):
         if pattern not in ("map", "reduce", "filter"):
             raise UnsupportedConstructError(
                 f"unsupported RDD transformation pattern {pattern!r}")
@@ -132,52 +134,76 @@ class KernelCompiler:
         self.layout_config = layout_config or LayoutConfig()
         self.pattern = pattern
         self.batch_size = batch_size
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
     def compile(self) -> CompiledKernel:
-        program, classes = compile_program(self.source)
-        registry = ClassRegistry()
-        for jclass in classes:
-            registry.define(jclass)
+        tracer = self.tracer
+        with tracer.span("compile.kernel", pattern=self.pattern,
+                         batch_size=self.batch_size) as root:
+            compiled = self._compile_passes(root)
+            root.set(class_name=compiled.name,
+                     loops=len(compiled.loop_labels))
+            tracer.metrics.incr("compile.kernels")
+        return compiled
+
+    def _compile_passes(self, root) -> CompiledKernel:
+        tracer = self.tracer
+        with tracer.span("compile.frontend"):
+            program, classes = compile_program(self.source)
+            registry = ClassRegistry()
+            for jclass in classes:
+                registry.define(jclass)
 
         cls = _find_kernel_class(program, self.kernel_class)
         jclass = registry.lookup(cls.name)
-        instance = self._bake_instance(registry, cls.name)
+        with tracer.span("compile.bake", class_name=cls.name):
+            instance = self._bake_instance(registry, cls.name)
         input_type, output_type = _io_types(cls)
         records = {
             c.name: [(p.name, p.declared) for p in c.record_fields]
             for c in program.classes if c.is_record
         }
-        layout = build_layout(input_type, output_type, self.layout_config,
-                              records=records)
+        with tracer.span("compile.interface") as span:
+            layout = build_layout(input_type, output_type,
+                                  self.layout_config, records=records)
+            span.set(leaves=len(layout.leaves),
+                     bytes_in=layout.bytes_in_per_task,
+                     bytes_out=layout.bytes_out_per_task)
         self._record_field_names = {
             name: [field_name for field_name, _ in fields]
             for name, fields in records.items()
         }
 
         call_method = jclass.method("call")
-        helpers, helper_names = self._lift_helpers(
-            registry, jclass, call_method, instance)
+        with tracer.span("compile.lift_helpers") as span:
+            helpers, helper_names = self._lift_helpers(
+                registry, jclass, call_method, instance)
+            span.set(helpers=len(helpers))
 
         names = NameAllocator()
         for leaf in layout.leaves:
             names.reserve(leaf.name)
 
-        if self.pattern in ("map", "filter"):
-            # A filter kernel is a map producing a 0/1 keep-flag per task
-            # (the host-side Blaze runtime drops the filtered elements).
-            if self.pattern == "filter" and output_type != st.BOOLEAN:
-                raise UnsupportedConstructError(
-                    f"filter kernels must return Boolean, "
-                    f"not {output_type}")
-            call_fn = self._lift_call_map(
-                call_method, cls, instance, layout, helper_names, names)
-            top = map_template(layout)
-        else:
-            call_fn = self._lift_call_reduce(
-                call_method, cls, instance, layout, helper_names, names)
-            top = reduce_template(layout)
+        with tracer.span("compile.lift_call"):
+            if self.pattern in ("map", "filter"):
+                # A filter kernel is a map producing a 0/1 keep-flag per
+                # task (the host-side Blaze runtime drops the filtered
+                # elements).
+                if self.pattern == "filter" and output_type != st.BOOLEAN:
+                    raise UnsupportedConstructError(
+                        f"filter kernels must return Boolean, "
+                        f"not {output_type}")
+                call_fn = self._lift_call_map(
+                    call_method, cls, instance, layout, helper_names,
+                    names)
+                top = map_template(layout)
+            else:
+                call_fn = self._lift_call_reduce(
+                    call_method, cls, instance, layout, helper_names,
+                    names)
+                top = reduce_template(layout)
 
         functions = helpers + [call_fn, top]
         kernel = CKernel(
@@ -192,7 +218,8 @@ class KernelCompiler:
                 "bytes_out_per_task": layout.bytes_out_per_task,
             },
         )
-        labels = label_kernel(kernel)
+        with tracer.span("compile.label"):
+            labels = label_kernel(kernel)
         return CompiledKernel(
             name=cls.name, kernel=kernel, layout=layout, program=program,
             classes=classes, registry=registry, instance=instance,
@@ -358,8 +385,13 @@ class KernelCompiler:
 def compile_kernel(source: str, *, kernel_class: Optional[str] = None,
                    layout_config: Optional[LayoutConfig] = None,
                    pattern: str = "map",
-                   batch_size: int = DEFAULT_BATCH_SIZE) -> CompiledKernel:
-    """One-call S2FA frontend: Scala kernel source to an HLS-C kernel."""
+                   batch_size: int = DEFAULT_BATCH_SIZE,
+                   tracer=NULL_TRACER) -> CompiledKernel:
+    """One-call S2FA frontend: Scala kernel source to an HLS-C kernel.
+
+    ``tracer`` records one ``compile.kernel`` span with per-pass child
+    spans (frontend, bake, interface, lift, label).
+    """
     return KernelCompiler(
         source, kernel_class=kernel_class, layout_config=layout_config,
-        pattern=pattern, batch_size=batch_size).compile()
+        pattern=pattern, batch_size=batch_size, tracer=tracer).compile()

@@ -1,0 +1,130 @@
+"""Frozen run-configuration dataclasses for the S2FA facade and CLI.
+
+Before the :class:`~repro.s2fa.S2FASession` redesign, every entry point
+grew its own ad-hoc keyword arguments (``jobs``, ``cache_dir``,
+``fault_plan``, ``fault_seed``, deadline/backoff knobs, ...).  These two
+immutable dataclasses are now the single home for those knobs:
+
+* :class:`ExploreConfig` — everything the compile + DSE half of the
+  pipeline needs (seed, virtual time limit, tuner workers, process-pool
+  width, persistent cache directory);
+* :class:`RuntimeConfig` — everything the Spark + Blaze half needs
+  (partitions, fault schedule, offload deadlines/backoff/quarantine).
+
+The CLI is a pure argv -> config translation onto these types, and the
+facade consumes them directly; both validate eagerly in
+``__post_init__`` so a bad knob fails at construction, not mid-run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import BlazeError, DSEError
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """Knobs of ``session.explore`` (compile + design space exploration).
+
+    ``jobs`` sets the real process-pool width used for HLS estimation
+    (virtual-clock results are identical at any value); ``cache_dir``
+    enables the persistent evaluation cache so repeated explorations of
+    the same kernel skip re-estimation.
+    """
+
+    #: Tuner RNG seed (the whole exploration is deterministic in it).
+    seed: int = 0
+    #: Global virtual time limit, in synthesis minutes.
+    time_limit_minutes: float = 240.0
+    #: Virtual DSE workers (the paper's eight-core machine).
+    workers: int = 8
+    #: Real process-pool width for HLS estimation.
+    jobs: int = 1
+    #: Persistent evaluation cache directory (``None`` disables).
+    cache_dir: Optional[str] = None
+    #: Decision-tree partition budget (Section 4.3.1).
+    max_partitions: int = 8
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise DSEError(f"jobs must be >= 1, got {self.jobs}")
+        if self.workers < 1:
+            raise DSEError(f"workers must be >= 1, got {self.workers}")
+        if self.max_partitions < 1:
+            raise DSEError(
+                f"max_partitions must be >= 1, got {self.max_partitions}")
+        if self.time_limit_minutes <= 0:
+            raise DSEError("time_limit_minutes must be positive, got "
+                           f"{self.time_limit_minutes}")
+
+    def replace(self, **changes) -> "ExploreConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of ``session.run`` (Spark + Blaze deployment).
+
+    ``fault_plan`` is the textual schedule spec of
+    :meth:`repro.fpga.faults.FaultPlan.parse` (e.g.
+    ``"transient=0.2,hang=0.05,lose_after=40"``); the offload knobs
+    mirror :class:`repro.blaze.runtime.OffloadPolicy` field for field.
+    """
+
+    #: Spark partitions (each partition is one accelerator batch).
+    partitions: int = 4
+    #: Device fault schedule spec (``None`` = fault-free hardware).
+    fault_plan: Optional[str] = None
+    #: Seed of the fault schedule.
+    fault_seed: int = 0
+    #: Invocation attempts per batch before the board is quarantined.
+    max_attempts: int = 3
+    #: Host deadline per batch, virtual seconds.
+    batch_deadline_seconds: float = 0.05
+    #: Backoff before retry ``i`` is ``base * factor**(i-1)``.
+    backoff_base_seconds: float = 1e-4
+    backoff_factor: float = 2.0
+    #: Quarantine ``q`` lasts ``base * factor**q`` before a probe.
+    quarantine_base_seconds: float = 1e-2
+    quarantine_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise BlazeError(
+                f"partitions must be >= 1, got {self.partitions}")
+        if self.max_attempts < 1:
+            raise BlazeError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.batch_deadline_seconds <= 0:
+            raise BlazeError("batch_deadline_seconds must be positive, "
+                             f"got {self.batch_deadline_seconds}")
+        # Parse eagerly so a bad spec fails at construction time.
+        self.plan()
+
+    def replace(self, **changes) -> "RuntimeConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def policy(self):
+        """The :class:`~repro.blaze.runtime.OffloadPolicy` equivalent."""
+        from .blaze.runtime import OffloadPolicy
+
+        return OffloadPolicy(
+            max_attempts=self.max_attempts,
+            batch_deadline_seconds=self.batch_deadline_seconds,
+            backoff_base_seconds=self.backoff_base_seconds,
+            backoff_factor=self.backoff_factor,
+            quarantine_base_seconds=self.quarantine_base_seconds,
+            quarantine_factor=self.quarantine_factor)
+
+    def plan(self):
+        """The parsed :class:`~repro.fpga.faults.FaultPlan` (or None)."""
+        if self.fault_plan is None:
+            return None
+        from .fpga.faults import FaultPlan
+
+        return FaultPlan.parse(self.fault_plan, seed=self.fault_seed)

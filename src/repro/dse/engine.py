@@ -26,6 +26,7 @@ serial path at any ``jobs`` setting.
 from __future__ import annotations
 
 import heapq
+import math
 import random
 from collections import deque
 from dataclasses import dataclass, field
@@ -33,6 +34,7 @@ from typing import Callable, Optional
 
 from ..hls.estimator import estimate
 from ..merlin.config import DesignConfig
+from ..obs.span import NULL_TRACER
 from .bandit import BanditTuner
 from .evaluator import Evaluation, Evaluator, ExplorationTrace
 from .partition import Partition, build_partitions
@@ -74,7 +76,8 @@ class S2FAEngine:
                  use_partitioning: bool = True,
                  use_seeds: bool = True,
                  stopping_factory: Optional[
-                     Callable[[], StoppingCriterion]] = None):
+                     Callable[[], StoppingCriterion]] = None,
+                 tracer=NULL_TRACER):
         self.evaluator = evaluator
         self.space = space
         self.rng = random.Random(seed)
@@ -84,6 +87,7 @@ class S2FAEngine:
         self.use_partitioning = use_partitioning
         self.use_seeds = use_seeds
         self.stopping_factory = stopping_factory or EntropyStopping
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
@@ -91,20 +95,40 @@ class S2FAEngine:
         """Offline rule characterization: model-only, no virtual time."""
         config = DesignConfig.from_point(point)
         result = estimate(self.evaluator.compiled.kernel, config,
-                          self.evaluator.device)
+                          self.evaluator.device, tracer=self.tracer)
         return result.normalized_cycles
 
     def _make_partitions(self) -> list[Partition]:
         if not self.use_partitioning:
             return [Partition(constraints={}, predicted_qor=0.0, index=0)]
-        return build_partitions(
-            self.space, self._probe, self.rng,
-            max_partitions=self.max_partitions,
-            samples=max(96, 12 * self.max_partitions))
+        with self.tracer.span("dse.partition") as span:
+            partitions = build_partitions(
+                self.space, self._probe, self.rng,
+                max_partitions=self.max_partitions,
+                samples=max(96, 12 * self.max_partitions))
+            span.set(partitions=len(partitions))
+        return partitions
 
     # ------------------------------------------------------------------
 
     def run(self) -> DSERun:
+        """Execute the exploration (traced as one ``dse.run`` span)."""
+        with self.tracer.span(
+                "dse.run", space_size=self.space.size(),
+                workers=self.workers,
+                time_limit_minutes=self.time_limit) as root:
+            run = self._run()
+            root.set(evaluations=run.evaluations,
+                     termination_minutes=run.termination_minutes)
+            if math.isfinite(run.best_qor):
+                root.set(best_qor=run.best_qor)
+            stats = run.evaluator_stats
+            if stats:
+                self.tracer.metrics.gauge("dse.cache.hit_rate",
+                                          stats.get("hit_rate", 0.0))
+        return run
+
+    def _run(self) -> DSERun:
         partitions = self._make_partitions()
         states: list[_PartitionState] = []
         for partition in partitions:
@@ -143,13 +167,30 @@ class S2FAEngine:
         for _ in range(min(self.workers, len(pending))):
             start_partition(0.0)
 
+        rounds = 0
         while running:
             # Dispatch: every free partition proposes its next candidate;
             # the whole round goes to the evaluator as one batch.
-            proposals = [(state, *state.tuner.step())
-                         for state in running if state.in_flight is None]
-            evaluations = self.evaluator.evaluate_batch(
-                [point for _, _, point in proposals])
+            with self.tracer.span("dse.batch", round=rounds) as bspan:
+                proposals = []
+                for state in running:
+                    if state.in_flight is not None:
+                        continue
+                    with self.tracer.span(
+                            "dse.propose",
+                            partition=state.partition.index) as pspan:
+                        name, point = state.tuner.step()
+                        pspan.set(technique=name)
+                    proposals.append((state, name, point))
+                evaluations = self.evaluator.evaluate_batch(
+                    [point for _, _, point in proposals])
+                bspan.set(
+                    proposals=len(proposals),
+                    cached=sum(1 for e in evaluations if e.cached),
+                    techniques=",".join(sorted(
+                        {name for _, name, _ in proposals})))
+                self.tracer.metrics.incr("dse.batches")
+            rounds += 1
             for (state, name, _), evaluation in zip(proposals,
                                                     evaluations):
                 duration = CACHED_EVALUATION_MINUTES \

@@ -32,6 +32,7 @@ from ..hls.device import Device, VU9P
 from ..hls.estimator import estimate
 from ..hls.result import HLSResult, Resources
 from ..merlin.config import DesignConfig
+from ..obs.span import NULL_TRACER
 from .cache import CacheStore, canonical_key, kernel_digest
 
 #: Virtual minutes charged for an evaluation the backend failed to
@@ -54,7 +55,8 @@ def error_result(reason: str, device: Device = VU9P) -> HLSResult:
         infeasible_reason=reason)
 
 
-def safe_estimate(kernel, point: dict, device: Device) -> HLSResult:
+def safe_estimate(kernel, point: dict, device: Device,
+                  tracer=NULL_TRACER) -> HLSResult:
     """Estimate one point, converting exceptions to infeasible results.
 
     Both the in-process path and the pool workers go through this, so an
@@ -63,7 +65,7 @@ def safe_estimate(kernel, point: dict, device: Device) -> HLSResult:
     """
     try:
         config = DesignConfig.from_point(point)
-        return estimate(kernel, config, device)
+        return estimate(kernel, config, device, tracer=tracer)
     except Exception as exc:  # noqa: BLE001 - deliberate firewall
         return error_result(f"evaluation error: {exc}", device)
 
@@ -95,6 +97,9 @@ class Evaluator:
     device: Device = VU9P
     frequency_aware: bool = True
     store: Optional[CacheStore] = None
+    #: a :mod:`repro.obs` tracer; estimates and cache hits are recorded
+    #: as ``hls.estimate`` spans and ``dse.cache.*`` counters.
+    tracer: object = NULL_TRACER
     evaluations: int = 0
     cache_hits: int = 0
     store_hits: int = 0
@@ -126,7 +131,8 @@ class Evaluator:
         Overridden by the parallel evaluator to consume results computed
         out-of-process.
         """
-        return safe_estimate(self.compiled.kernel, point, self.device), True
+        return safe_estimate(self.compiled.kernel, point, self.device,
+                             tracer=self.tracer), True
 
     def _admit(self, point: dict, key: str, result: HLSResult,
                minutes: float, persist: bool) -> Evaluation:
@@ -145,6 +151,7 @@ class Evaluator:
         hit = self._cache.get(key)
         if hit is not None:
             self.cache_hits += 1
+            self.tracer.metrics.incr("dse.cache.memory_hits")
             return Evaluation(point=dict(point), qor=hit.qor,
                               result=hit.result, minutes=hit.minutes,
                               cached=True)
@@ -153,6 +160,7 @@ class Evaluator:
             if stored is not None:
                 minutes, result = stored
                 self.store_hits += 1
+                self.tracer.metrics.incr("dse.cache.store_hits")
                 return self._admit(point, key, result, minutes,
                                    persist=False)
         result, persist = self._compute(point, key)

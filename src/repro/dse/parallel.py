@@ -32,12 +32,16 @@ import concurrent.futures
 import json
 import logging
 import os
+import pickle
+import traceback
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional
 
 from ..compiler.driver import CompiledKernel
+from ..errors import DSEError
 from ..hls.device import Device, VU9P
 from ..hls.result import HLSResult
+from ..obs.span import NULL_TRACER, TraceContext, worker_tracer
 from .cache import CacheStore, canonical_key
 from .evaluator import Evaluation, Evaluator, error_result, safe_estimate
 
@@ -65,6 +69,32 @@ def _worker_estimate(point: dict) -> HLSResult:
                          _WORKER_STATE["device"])
 
 
+def _worker_estimate_traced(point: dict, ctx: TraceContext
+                            ) -> tuple[HLSResult, list[dict]]:
+    """Traced pool task: estimate one point and return its span forest.
+
+    The host ships its :class:`~repro.obs.span.TraceContext` along with
+    the point; the worker records into a private tracer and returns the
+    serialized spans, which the host merges under the dispatching span
+    (:meth:`~repro.obs.span.Tracer.absorb`).
+    """
+    tracer = worker_tracer(ctx)
+    result = safe_estimate(_WORKER_STATE["kernel"], point,
+                           _WORKER_STATE["device"], tracer=tracer)
+    payload = tracer.export()
+    for span in payload:
+        span["attrs"]["worker_pid"] = os.getpid()
+    return result, payload
+
+
+def _pickling_failure(exc: BaseException) -> bool:
+    """Did this pool-level exception come from (un)pickling a task?"""
+    if isinstance(exc, pickle.PicklingError):
+        return True
+    name = type(exc).__name__.lower()
+    return "pickl" in name or "pickle" in str(exc).lower()
+
+
 class ParallelEvaluator(Evaluator):
     """Evaluator that fans batch misses out over a process pool.
 
@@ -79,9 +109,11 @@ class ParallelEvaluator(Evaluator):
                  jobs: int = 1,
                  max_consecutive_failures: int =
                  DEFAULT_MAX_CONSECUTIVE_FAILURES,
-                 worker_timeout: Optional[float] = None):
+                 worker_timeout: Optional[float] = None,
+                 tracer=NULL_TRACER):
         super().__init__(compiled=compiled, device=device,
-                         frequency_aware=frequency_aware, store=store)
+                         frequency_aware=frequency_aware, store=store,
+                         tracer=tracer)
         self.jobs = max(1, int(jobs))
         self.max_consecutive_failures = max(1, max_consecutive_failures)
         self.worker_timeout = worker_timeout
@@ -126,15 +158,20 @@ class ParallelEvaluator(Evaluator):
         self.events.append(event)
         LOGGER.warning("%s", json.dumps(event, sort_keys=True))
 
-    def _record_failure(self, key: str, reason: str) -> None:
+    def _record_failure(self, key: str, reason: str,
+                        tb: Optional[str] = None) -> None:
         self.worker_failures += 1
         self.consecutive_failures += 1
-        self._log_event({
+        event = {
             "event": "worker_failure",
             "reason": reason,
             "point_key": key,
             "consecutive": self.consecutive_failures,
-        })
+        }
+        if tb:
+            event["traceback"] = tb
+        self.tracer.metrics.incr("dse.worker_failures")
+        self._log_event(event)
         self._precomputed[key] = (
             error_result(f"worker failure: {reason}", self.device), False)
 
@@ -159,7 +196,13 @@ class ParallelEvaluator(Evaluator):
         return super()._compute(point, key)
 
     def _fan_out(self, need: dict[str, dict]) -> None:
-        """Estimate the batch's unique misses on the pool."""
+        """Estimate the batch's unique misses on the pool.
+
+        With tracing on, each task carries the host's trace context and
+        returns its worker-side span forest, merged under the current
+        span; the untraced task payload is unchanged, so tracing off
+        costs nothing on this path.
+        """
         try:
             pool = self._ensure_pool()
         except Exception as exc:  # noqa: BLE001 - OS-level pool failure
@@ -168,19 +211,29 @@ class ParallelEvaluator(Evaluator):
             self._maybe_degrade()
             return
 
+        ctx = self.tracer.context() if self.tracer.enabled else None
         submitted: list[tuple[str, concurrent.futures.Future]] = []
         broken = False
         for key, point in need.items():
             try:
-                submitted.append((key, pool.submit(_worker_estimate,
-                                                   point)))
+                if ctx is not None:
+                    future = pool.submit(_worker_estimate_traced, point,
+                                         ctx)
+                else:
+                    future = pool.submit(_worker_estimate, point)
+                submitted.append((key, future))
             except (BrokenProcessPool, RuntimeError) as exc:
                 self._record_failure(key, f"submit failed: {exc}")
                 broken = True
 
         for key, future in submitted:
             try:
-                result = future.result(timeout=self.worker_timeout)
+                payload = future.result(timeout=self.worker_timeout)
+                if ctx is not None:
+                    result, spans = payload
+                    self.tracer.absorb(spans, point_key=key)
+                else:
+                    result = payload
                 self._precomputed[key] = (result, True)
                 self.consecutive_failures = 0
             except concurrent.futures.TimeoutError:
@@ -191,7 +244,19 @@ class ParallelEvaluator(Evaluator):
                 self._record_failure(key, f"worker died: {exc}")
                 broken = True
             except Exception as exc:  # noqa: BLE001 - pool-level error
-                self._record_failure(key, f"pool error: {exc}")
+                if _pickling_failure(exc):
+                    # The point (or its result) cannot cross the process
+                    # boundary: that is a caller bug, not a flaky
+                    # worker.  Surface it with the offending point's
+                    # canonical key instead of swallowing the traceback
+                    # into an "infeasible" placeholder.
+                    self._discard_pool()
+                    raise DSEError(
+                        f"design point {key} could not cross the "
+                        f"process boundary (pickling failed): "
+                        f"{type(exc).__name__}: {exc}") from exc
+                self._record_failure(key, f"pool error: {exc!r}",
+                                     tb=traceback.format_exc())
                 broken = True
 
         if broken:

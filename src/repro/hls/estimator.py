@@ -35,6 +35,7 @@ from typing import Optional
 from ..hlsc.analysis import LoopInfo, kernel_loop_tree, local_buffers
 from ..hlsc.ast import CKernel, Param
 from ..merlin.config import DesignConfig, LoopConfig
+from ..obs.span import NULL_TRACER
 from ..utils import clamp, stable_unit
 from .device import Device, VU9P
 from .optable import DEFAULT_ILP, LOOP_OVERHEAD, OP_COSTS, PIPELINE_FILL
@@ -352,8 +353,30 @@ def _bram_usage(kernel: CKernel, ctx: _Context, task_tile: int) -> int:
 
 
 def estimate(kernel: CKernel, config: DesignConfig,
-             device: Device = VU9P) -> HLSResult:
-    """Estimate one design point; never raises for infeasible designs."""
+             device: Device = VU9P, *,
+             tracer=NULL_TRACER) -> HLSResult:
+    """Estimate one design point; never raises for infeasible designs.
+
+    ``tracer`` (a :mod:`repro.obs` tracer) records one ``hls.estimate``
+    span per call, attributed with feasibility, cycles, clock, and the
+    synthesis minutes the evaluation charges to the DSE virtual clock.
+    """
+    with tracer.span("hls.estimate") as span:
+        result = _estimate_model(kernel, config, device)
+        span.set(feasible=result.feasible, cycles=result.cycles,
+                 freq_mhz=result.freq_mhz,
+                 vclock_minutes=result.synthesis_minutes)
+        if result.infeasible_reason:
+            span.set(infeasible_reason=result.infeasible_reason)
+        tracer.metrics.incr("hls.estimates")
+        tracer.metrics.observe("hls.estimate.synthesis_minutes",
+                               result.synthesis_minutes)
+    return result
+
+
+def _estimate_model(kernel: CKernel, config: DesignConfig,
+                    device: Device = VU9P) -> HLSResult:
+    """The analytical model behind :func:`estimate` (untraced)."""
     roots = kernel_loop_tree(kernel)
     effective = config.effective(roots)
     interface = {p.name: p for p in kernel.top_function.params

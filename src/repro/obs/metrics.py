@@ -1,0 +1,108 @@
+"""Process-wide metrics registry: counters, gauges, and observations.
+
+The registry is deliberately tiny — plain dicts, no locks (each pipeline
+run owns its registry; worker processes return snapshots that the host
+merges).  Three instrument kinds cover everything the pipeline needs:
+
+* **counters** — monotonically increasing event counts
+  (``dse.cache.memory_hits``, ``blaze.retries``);
+* **gauges** — last-write-wins values (``dse.space_size``);
+* **observations** — value streams summarized as
+  ``count/sum/min/max`` (``hls.estimate.minutes``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and observation summaries."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.observations: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to the counter ``name`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the ``count/sum/min/max`` summary."""
+        summary = self.observations.get(name)
+        if summary is None:
+            self.observations[name] = {
+                "count": 1, "sum": value, "min": value, "max": value}
+            return
+        summary["count"] += 1
+        summary["sum"] += value
+        summary["min"] = min(summary["min"], value)
+        summary["max"] = max(summary["max"], value)
+
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every instrument."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "observations": {k: dict(v)
+                             for k, v in self.observations.items()},
+        }
+
+    def merge(self, snapshot: Optional[dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges overwrite, observations combine their
+        summaries.  Used to absorb worker-process metrics on the host.
+        """
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.incr(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, summary in snapshot.get("observations", {}).items():
+            mine = self.observations.get(name)
+            if mine is None:
+                self.observations[name] = dict(summary)
+                continue
+            mine["count"] += summary["count"]
+            mine["sum"] += summary["sum"]
+            mine["min"] = min(mine["min"], summary["min"])
+            mine["max"] = max(mine["max"], summary["max"])
+
+
+class NullMetrics(MetricsRegistry):
+    """No-op registry handed out by :class:`~repro.obs.span.NullTracer`.
+
+    Every mutator is a ``pass`` so disabled-tracing call sites pay one
+    method call and nothing else.
+    """
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def merge(self, snapshot: Optional[dict]) -> None:
+        pass
+
+
+#: Shared inert registry (safe because all mutators are no-ops).
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,311 @@
+"""Hierarchical span tracing with cross-process propagation.
+
+A :class:`Span` is one timed stage of the pipeline; spans nest, forming
+a forest per :class:`Tracer`.  Call sites open spans as context
+managers::
+
+    with tracer.span("dse.batch", round=3) as span:
+        ...
+        span.set(proposals=len(batch))
+        span.add("cache_hits")
+
+Timing uses ``time.perf_counter`` relative to the tracer's epoch, so
+span starts are comparable within one tracer.  Virtual-clock durations
+(the DSE and Blaze runtime both run on deterministic virtual clocks)
+ride along as ordinary attributes (``vclock_seconds`` /
+``vclock_minutes``) set by the instrumented layers.
+
+Cross-process spans: the host captures a :class:`TraceContext`
+(:meth:`Tracer.context`), ships it to a worker, the worker builds its
+own :class:`Tracer` via :func:`worker_tracer`, and returns
+``tracer.export()``; the host merges the serialized forest under its
+current span with :meth:`Tracer.absorb`, rebasing the worker's private
+epoch into the enclosing span's timeframe (durations are preserved
+exactly; only the offset moves).
+
+When tracing is disabled every instrumented call site receives
+:data:`NULL_TRACER`, whose ``span()`` hands back one shared inert
+handle — no allocation, no timestamping, no branching at the call site.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from .metrics import NULL_METRICS, MetricsRegistry
+
+
+@dataclass
+class Span:
+    """One timed, attributed stage; children are fully contained."""
+
+    name: str
+    start: float                     # seconds since the tracer epoch
+    end: Optional[float] = None
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds between start and end (0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def self_duration(self) -> float:
+        """Duration minus the time spent inside direct children."""
+        return max(0.0, self.duration
+                   - sum(child.duration for child in self.children))
+
+    def set(self, **attrs) -> "Span":
+        """Attach structured attributes; returns the span for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def add(self, name: str, amount: float = 1) -> "Span":
+        """Increment a numeric attribute (a per-span counter)."""
+        self.attrs[name] = self.attrs.get(name, 0) + amount
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """Recursive JSON-serializable form (see :func:`span_from_dict`)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def span_from_dict(data: dict) -> Span:
+    """Inverse of :meth:`Span.to_dict`."""
+    return Span(
+        name=str(data["name"]),
+        start=float(data["start"]),
+        end=None if data.get("end") is None else float(data["end"]),
+        attrs=dict(data.get("attrs", {})),
+        children=[span_from_dict(c) for c in data.get("children", [])],
+    )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Serializable link between a host span and worker-side tracers.
+
+    ``path`` names the host's open span stack at capture time, so a
+    worker (or a log reader) can tell which stage dispatched it even
+    before its spans are merged back.
+    """
+
+    trace_id: str
+    path: tuple[str, ...] = ()
+    enabled: bool = True
+
+
+class _SpanHandle:
+    """Context manager that opens one span on enter, closes on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = Span(name=self._name, start=tracer._now(),
+                    attrs=self._attrs)
+        parent = tracer._stack[-1] if tracer._stack else None
+        (parent.children if parent is not None
+         else tracer.roots).append(span)
+        tracer._stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end = self._tracer._now()
+        if exc_type is not None:
+            span.attrs.setdefault("error",
+                                  f"{exc_type.__name__}: {exc}")
+        self._tracer._stack.pop()
+        return False
+
+
+_TRACE_IDS = itertools.count(1)
+
+
+class Tracer:
+    """Recording tracer: a span forest plus a metrics registry."""
+
+    enabled = True
+
+    def __init__(self, *, clock: Optional[Callable[[], float]] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 trace_id: Optional[str] = None):
+        self._clock = clock or time.perf_counter
+        self._epoch = self._clock()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_id = trace_id or f"{os.getpid()}-{next(_TRACE_IDS)}"
+
+    # ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """Open a child span of the innermost active span."""
+        return _SpanHandle(self, name, attrs)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Depth-first iteration over every recorded span."""
+        for root in self.roots:
+            yield from root.walk()
+
+    # ------------------------------------------------------------------
+    # Cross-process propagation
+    # ------------------------------------------------------------------
+
+    def context(self) -> TraceContext:
+        """Capture a serializable context to ship to a worker."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            path=tuple(span.name for span in self._stack))
+
+    def export(self) -> list[dict]:
+        """The whole span forest as JSON-serializable dicts."""
+        return [root.to_dict() for root in self.roots]
+
+    def absorb(self, payload: Optional[list[dict]], *,
+               rebase: bool = True, **attrs) -> list[Span]:
+        """Merge a worker's exported span forest under the current span.
+
+        Worker tracers measure on their own epoch; with ``rebase`` the
+        forest is shifted so its earliest span starts where the host's
+        enclosing span started (falling back to the host's "now"),
+        keeping every duration exact.  ``attrs`` are applied to the
+        absorbed top-level spans (e.g. ``worker_pid=...``).
+        """
+        if not payload:
+            return []
+        spans = [span_from_dict(item) for item in payload]
+        if rebase:
+            earliest = min(span.start for span in spans)
+            parent = self.current
+            base = parent.start if parent is not None else self._now()
+            offset = base - earliest
+            for span in spans:
+                _shift(span, offset)
+        parent = self.current
+        target = parent.children if parent is not None else self.roots
+        for span in spans:
+            if attrs:
+                span.set(**attrs)
+            target.append(span)
+        return spans
+
+
+def _shift(span: Span, offset: float) -> None:
+    span.start += offset
+    if span.end is not None:
+        span.end += offset
+    for child in span.children:
+        _shift(child, offset)
+
+
+class _NullSpan:
+    """Shared inert span handle: context manager and span in one."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        """No-op attribute setter (protocol parity with :class:`Span`)."""
+        return self
+
+    def add(self, name: str, amount: float = 1) -> "_NullSpan":
+        """No-op counter (protocol parity with :class:`Span`)."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op returning shared
+    inert objects, so instrumentation costs nothing when off."""
+
+    enabled = False
+    metrics = NULL_METRICS
+    trace_id = "off"
+    current = None
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        """Return the shared inert span handle."""
+        return _NULL_SPAN
+
+    @property
+    def roots(self) -> list:
+        """Always empty (a fresh list, so callers may not mutate it)."""
+        return []
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Empty iterator."""
+        return iter(())
+
+    def context(self) -> Optional[TraceContext]:
+        """``None``: workers see tracing as disabled."""
+        return None
+
+    def export(self) -> list[dict]:
+        """Always empty."""
+        return []
+
+    def absorb(self, payload: Optional[list[dict]] = None, *,
+               rebase: bool = True, **attrs) -> list[Span]:
+        """Discard the payload."""
+        return []
+
+
+#: The default tracer at every instrumented call site.
+NULL_TRACER = NullTracer()
+
+
+def worker_tracer(ctx: Optional[TraceContext]) -> "Tracer | NullTracer":
+    """Build the tracer a worker process should record into.
+
+    ``None`` (or a disabled context) yields :data:`NULL_TRACER`, so the
+    worker-side hot path is identical to the host's disabled path.
+    """
+    if ctx is None or not ctx.enabled:
+        return NULL_TRACER
+    return Tracer(trace_id=ctx.trace_id)
+
+
+def resolve_tracer(tracer: Optional[Any]) -> Any:
+    """Normalize an optional ``tracer=`` argument (``None`` -> no-op)."""
+    return NULL_TRACER if tracer is None else tracer

@@ -1,0 +1,112 @@
+"""Plain-text trace summaries: per-stage breakdown, top-N, flamegraph.
+
+Renders a recorded (or reloaded) span forest through
+:mod:`repro.report`'s table machinery.  ``s2fa trace summarize`` and
+:meth:`repro.s2fa.S2FASession.trace_summary` both end up here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from ..report.format import format_table
+from .span import Span, Tracer
+
+#: Spans shorter than this never make the flamegraph (readability).
+_FLAME_MIN_FRACTION = 0.001
+
+
+def _roots(source: Union[Tracer, Iterable[Span]]) -> list[Span]:
+    if isinstance(source, Tracer):
+        return list(source.roots)
+    return list(source)
+
+
+def stage_breakdown(source: Union[Tracer, Iterable[Span]]) -> list[dict]:
+    """Aggregate spans by stage name, heaviest total time first.
+
+    Each row reports ``count``, ``total``/``self`` wall seconds (self =
+    total minus time inside child spans, so nested stages don't double
+    count), and the ``mean``/``max`` span durations.
+    """
+    stages: dict[str, dict] = {}
+    for root in _roots(source):
+        for span in root.walk():
+            row = stages.setdefault(span.name, {
+                "stage": span.name, "count": 0, "total": 0.0,
+                "self": 0.0, "max": 0.0})
+            row["count"] += 1
+            row["total"] += span.duration
+            row["self"] += span.self_duration
+            row["max"] = max(row["max"], span.duration)
+    rows = sorted(stages.values(),
+                  key=lambda r: (-r["self"], -r["total"], r["stage"]))
+    for row in rows:
+        row["mean"] = row["total"] / row["count"] if row["count"] else 0.0
+    return rows
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}"
+
+
+def flamegraph(source: Union[Tracer, Iterable[Span]],
+               width: int = 40) -> str:
+    """Indented text flamegraph: bar length ~ share of the root span."""
+    roots = _roots(source)
+    total = sum(root.duration for root in roots) or 1.0
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        fraction = span.duration / total
+        if fraction < _FLAME_MIN_FRACTION and depth > 0:
+            return
+        bar = "#" * max(1, int(round(fraction * width)))
+        lines.append(f"{'  ' * depth}{span.name:<{36 - 2 * min(depth, 8)}}"
+                     f" {bar} {_fmt_ms(span.duration)} ms")
+        for child in span.children:
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def summarize(source: Union[Tracer, Iterable[Span]], *,
+              top: int = 10, flame: bool = True) -> str:
+    """Full plain-text summary of one trace.
+
+    Sections: the per-stage time breakdown (self-time ordered), the
+    top-N slowest individual spans with their attributes, and (with
+    ``flame``) the indentation flamegraph.
+    """
+    roots = _roots(source)
+    spans = [span for root in roots for span in root.walk()]
+    if not spans:
+        return "(no spans recorded)"
+
+    sections = [format_table(
+        ["Stage", "Count", "Total ms", "Self ms", "Mean ms", "Max ms"],
+        [[row["stage"], row["count"], _fmt_ms(row["total"]),
+          _fmt_ms(row["self"]), _fmt_ms(row["mean"]), _fmt_ms(row["max"])]
+         for row in stage_breakdown(roots)],
+        title="Per-stage time breakdown")]
+
+    slowest = sorted(spans, key=lambda s: -s.duration)[:max(1, top)]
+    sections.append(format_table(
+        ["Span", "ms", "Attributes"],
+        [[span.name, _fmt_ms(span.duration), _attr_summary(span)]
+         for span in slowest],
+        title=f"Top {len(slowest)} slowest spans"))
+
+    if flame:
+        sections.append("Flamegraph (time share of the run)\n"
+                        + flamegraph(roots))
+    return "\n\n".join(sections)
+
+
+def _attr_summary(span: Span, limit: int = 60) -> str:
+    parts = [f"{k}={v}" for k, v in sorted(span.attrs.items())
+             if isinstance(v, (str, int, float, bool))]
+    text = " ".join(parts)
+    return text if len(text) <= limit else text[:limit - 1] + "…"

@@ -1,41 +1,60 @@
 """Top-level S2FA entry points: the one-call automation flow of Fig. 1.
 
-:func:`build_accelerator` runs the complete pipeline the paper describes:
+:class:`S2FASession` is the facade over the whole pipeline.  One session
+owns the run configuration (:class:`~repro.config.ExploreConfig` /
+:class:`~repro.config.RuntimeConfig`), the tracer, and a compile cache,
+and exposes the three pipeline verbs:
 
-1. compile the Scala kernel to an HLS-C design (bytecode-to-C compiler),
-2. identify and explore the design space (parallel learning-based DSE),
-3. return the chosen configuration with its HLS report, ready to be
-   registered with the Blaze runtime.
+* ``session.compile(app)`` — Scala kernel -> HLS-C design,
+* ``session.explore(app)`` — compile + design space exploration,
+* ``session.run(app)``     — deploy on the Spark + Blaze runtime and
+  cross-check against the pure-JVM oracle.
 
-:func:`generate_hls_c` is the inspection-oriented sibling: it returns the
-transformed C source for a given design configuration, which is what the
-Merlin compiler would consume.
+``app`` is a built-in application name (``"KMeans"``, case-insensitive),
+an :class:`~repro.apps.base.AppSpec`, or raw Scala source.  With
+``trace=True`` every stage records into a hierarchical span tracer that
+:meth:`~S2FASession.export_trace` writes as Chrome ``trace_event`` JSON
+or a JSONL span log.
+
+:func:`build_accelerator` and :func:`generate_hls_c` are the original
+one-shot entry points; they are now thin deprecated shims over a
+throwaway session and behave exactly as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import Optional, Union
 
+from .apps.base import AppSpec
 from .compiler.driver import CompiledKernel, compile_kernel
 from .compiler.interface import LayoutConfig
+from .config import ExploreConfig, RuntimeConfig
 from .dse.cache import CacheStore
 from .dse.engine import S2FAEngine
 from .dse.parallel import ParallelEvaluator
 from .dse.result import DSERun
 from .dse.space import DesignSpace, build_space
-from .errors import DSEError
+from .errors import BlazeError, DSEError, S2FAError
 from .hls.device import Device, VU9P
 from .hls.estimator import estimate
 from .hls.result import HLSResult
 from .hlsc.printer import kernel_to_c
 from .merlin.config import DesignConfig
 from .merlin.transforms import apply_config
+from .obs import (
+    NULL_TRACER,
+    Tracer,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
 
 
 @dataclass
 class AcceleratorBuild:
-    """Everything produced by one S2FA run for a kernel."""
+    """Everything produced by one S2FA exploration for a kernel."""
 
     compiled: CompiledKernel
     space: DesignSpace
@@ -52,6 +71,284 @@ class AcceleratorBuild:
         return kernel_to_c(apply_config(self.compiled.kernel, self.config))
 
 
+@dataclass
+class RunOutcome:
+    """Everything produced by one Blaze deployment of an application."""
+
+    app: str
+    results: list
+    expected: list
+    partitions: int
+    metrics: object                 # BlazeMetrics of the runtime
+    fault_plan: Optional[object] = None
+    accel_id: str = ""
+    events: list = field(default_factory=list)
+
+    @property
+    def matched(self) -> bool:
+        """Did the offloaded results match the pure-JVM oracle?"""
+        return self.results == self.expected
+
+    @property
+    def task_count(self) -> int:
+        return len(self.expected)
+
+
+class S2FASession:
+    """Facade owning config, tracer, compile cache, and clock.
+
+    A session is cheap to construct; all heavy work happens in the verb
+    methods.  Tracing is off by default (``tracer`` is the shared no-op
+    :data:`~repro.obs.NULL_TRACER`); pass ``trace=True`` to record spans,
+    or an explicit :class:`~repro.obs.Tracer` to share one across
+    sessions.
+    """
+
+    def __init__(self,
+                 explore: Optional[ExploreConfig] = None,
+                 runtime: Optional[RuntimeConfig] = None, *,
+                 device: Device = VU9P,
+                 tracer: Optional[Tracer] = None,
+                 trace: bool = False):
+        self.explore_config = explore if explore is not None \
+            else ExploreConfig()
+        self.runtime_config = runtime if runtime is not None \
+            else RuntimeConfig()
+        self.device = device
+        if tracer is None:
+            tracer = Tracer() if trace else NULL_TRACER
+        self.tracer = tracer
+        self._compile_cache: dict[tuple, CompiledKernel] = {}
+
+    # ------------------------------------------------------------------
+    # App resolution
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def resolve(app: Union[str, AppSpec]) -> Optional[AppSpec]:
+        """The :class:`AppSpec` for ``app``, or ``None`` for raw source.
+
+        Strings are treated as Scala source if they define a class and
+        as (case-insensitive) registry names otherwise; an unknown name
+        raises :class:`~repro.errors.S2FAError` listing the known apps.
+        """
+        if isinstance(app, AppSpec):
+            return app
+        if not isinstance(app, str):
+            raise S2FAError(
+                f"expected an app name, AppSpec, or Scala source, "
+                f"got {type(app).__name__}")
+        if "class" in app:
+            return None             # raw Scala source
+        from .apps import get_app
+
+        try:
+            return get_app(app)
+        except KeyError as exc:
+            raise S2FAError(exc.args[0]) from None
+
+    # ------------------------------------------------------------------
+    # compile
+    # ------------------------------------------------------------------
+
+    def compile(self, app: Union[str, AppSpec], *,
+                kernel_class: Optional[str] = None,
+                layout_config: Optional[LayoutConfig] = None,
+                pattern: Optional[str] = None,
+                batch_size: Optional[int] = None) -> CompiledKernel:
+        """Compile ``app`` through the full S2FA frontend (cached).
+
+        For built-in applications the spec's own layout/pattern/batch
+        are the defaults; explicit keywords override them (the S-W
+        functional variant does this).  Identical requests within one
+        session return the same :class:`CompiledKernel`.
+        """
+        spec = self.resolve(app)
+        if spec is not None:
+            source = spec.scala_source
+            layout_config = layout_config or spec.layout_config
+            pattern = pattern or spec.pattern
+            batch_size = batch_size or spec.batch_size
+        else:
+            source = app
+            pattern = pattern or "map"
+            batch_size = batch_size or 1024
+        key = (source, kernel_class, pattern, batch_size,
+               repr(layout_config))
+        cached = self._compile_cache.get(key)
+        with self.tracer.span("pipeline.compile", pattern=pattern,
+                              batch_size=batch_size,
+                              cache_hit=cached is not None) as span:
+            if cached is None:
+                cached = compile_kernel(
+                    source, kernel_class=kernel_class,
+                    layout_config=layout_config, pattern=pattern,
+                    batch_size=batch_size, tracer=self.tracer)
+                self._compile_cache[key] = cached
+            span.set(accel=cached.accel_id)
+        return cached
+
+    def hls_c(self, app: Union[str, AppSpec], *,
+              config: Optional[DesignConfig] = None,
+              kernel_class: Optional[str] = None,
+              layout_config: Optional[LayoutConfig] = None,
+              pattern: Optional[str] = None,
+              batch_size: Optional[int] = None) -> str:
+        """The (optionally pragma-annotated) HLS C for ``app``."""
+        compiled = self.compile(
+            app, kernel_class=kernel_class, layout_config=layout_config,
+            pattern=pattern, batch_size=batch_size)
+        kernel = compiled.kernel
+        if config is not None:
+            kernel = apply_config(kernel, config)
+        return kernel_to_c(kernel)
+
+    # ------------------------------------------------------------------
+    # explore
+    # ------------------------------------------------------------------
+
+    def explore(self, app: Union[str, AppSpec], *,
+                kernel_class: Optional[str] = None,
+                layout_config: Optional[LayoutConfig] = None,
+                pattern: Optional[str] = None,
+                batch_size: Optional[int] = None) -> AcceleratorBuild:
+        """Compile + DSE: pick the best design under the session config."""
+        cfg = self.explore_config
+        with self.tracer.span("pipeline.explore", seed=cfg.seed,
+                              jobs=cfg.jobs) as span:
+            compiled = self.compile(
+                app, kernel_class=kernel_class,
+                layout_config=layout_config, pattern=pattern,
+                batch_size=batch_size)
+            span.set(accel=compiled.accel_id)
+            space = build_space(compiled)
+            store = CacheStore(cfg.cache_dir) if cfg.cache_dir else None
+            with ParallelEvaluator(compiled, self.device, store=store,
+                                   jobs=cfg.jobs,
+                                   tracer=self.tracer) as evaluator:
+                engine = S2FAEngine(
+                    evaluator, space, seed=cfg.seed,
+                    time_limit_minutes=cfg.time_limit_minutes,
+                    workers=cfg.workers,
+                    max_partitions=cfg.max_partitions,
+                    tracer=self.tracer)
+                run = engine.run()
+            if run.best_point is None:
+                raise DSEError(
+                    "the DSE found no feasible design point "
+                    f"(explored {run.evaluations} points)")
+            config = DesignConfig.from_point(run.best_point)
+            hls = estimate(compiled.kernel, config, self.device,
+                           tracer=self.tracer)
+            span.set(evaluations=run.evaluations,
+                     best_design=config.describe())
+        return AcceleratorBuild(compiled=compiled, space=space, dse=run,
+                                config=config, hls=hls)
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+
+    def run(self, app: Union[str, AppSpec], *,
+            tasks: int = 64,
+            data_seed: int = 21,
+            config: Optional[DesignConfig] = None) -> RunOutcome:
+        """Deploy ``app`` on Spark + Blaze and verify against the JVM.
+
+        ``config`` picks the registered design (default: the expert
+        manual design); pass ``session.explore(app).config`` to deploy
+        the explored one.  Requires a built-in application (the raw
+        Scala path has no workload/oracle).
+        """
+        from .spark import SparkContext
+
+        spec = self.resolve(app)
+        if spec is None:
+            raise S2FAError(
+                "session.run needs a built-in application (its workload "
+                "and JVM oracle); raw Scala source has neither")
+        cfg = self.runtime_config
+        with self.tracer.span("pipeline.run", app=spec.name,
+                              tasks=tasks,
+                              partitions=cfg.partitions) as span:
+            if spec.name == "S-W":
+                # The full-length kernel is too slow to execute
+                # functionally; the short-read variant exercises the
+                # identical code path.
+                from .apps.smith_waterman import (
+                    FUNCTIONAL_LAYOUT,
+                    functional_workload,
+                )
+                compiled = self.compile(spec,
+                                        layout_config=FUNCTIONAL_LAYOUT)
+                workload = functional_workload(min(tasks, 16),
+                                               seed=data_seed)
+            else:
+                compiled = self.compile(spec)
+                workload = spec.workload(tasks, seed=data_seed)
+
+            plan = cfg.plan()
+            sc = SparkContext(default_parallelism=cfg.partitions)
+            runtime = self._make_runtime(sc, plan)
+            runtime.register(compiled,
+                             config or spec.manual_config(compiled))
+            shell = runtime.wrap(sc.parallelize(workload))
+            if compiled.pattern == "map":
+                results = shell.map_acc(compiled.accel_id).collect()
+                expected = [spec.reference(task) for task in workload]
+            elif compiled.pattern == "filter":
+                results = shell.filter_acc(compiled.accel_id).collect()
+                expected = [task for task in workload
+                            if spec.reference(task)]
+            else:
+                raise BlazeError(
+                    f"session.run does not support the "
+                    f"{compiled.pattern!r} pattern yet")
+            outcome = RunOutcome(
+                app=spec.name, results=results, expected=expected,
+                partitions=min(cfg.partitions, len(workload)),
+                metrics=runtime.metrics, fault_plan=plan,
+                accel_id=compiled.accel_id)
+            span.set(matched=outcome.matched)
+        return outcome
+
+    def _make_runtime(self, sc, plan):
+        from .blaze import BlazeRuntime
+
+        return BlazeRuntime(sc, fault_plan=plan,
+                            policy=self.runtime_config.policy(),
+                            tracer=self.tracer)
+
+    # ------------------------------------------------------------------
+    # trace access
+    # ------------------------------------------------------------------
+
+    def export_trace(self, path: str) -> int:
+        """Write the session trace; format picked by extension.
+
+        ``*.jsonl`` gets the span log, anything else the Chrome
+        ``trace_event`` JSON.  Returns the number of spans written (for
+        Chrome, the number of complete events).
+        """
+        if not self.tracer.enabled:
+            raise S2FAError(
+                "this session has tracing disabled; construct it with "
+                "trace=True (or pass a Tracer) to export a trace")
+        if str(path).endswith(".jsonl"):
+            return write_jsonl(path, self.tracer)
+        document = write_chrome_trace(path, self.tracer)
+        return sum(1 for e in document["traceEvents"]
+                   if e.get("ph") == "X")
+
+    def trace_summary(self, *, top: int = 10, flame: bool = True) -> str:
+        """Plain-text per-stage breakdown of the session trace."""
+        return summarize(self.tracer, top=top, flame=flame)
+
+
+# ----------------------------------------------------------------------
+# Deprecated one-shot entry points (kept as exact-behavior shims)
+# ----------------------------------------------------------------------
+
 def build_accelerator(source: str, *,
                       kernel_class: Optional[str] = None,
                       layout_config: Optional[LayoutConfig] = None,
@@ -63,32 +360,24 @@ def build_accelerator(source: str, *,
                       workers: int = 8,
                       jobs: int = 1,
                       cache_dir: Optional[str] = None) -> AcceleratorBuild:
-    """Run the full S2FA flow: compile, explore, pick the best design.
+    """Deprecated: use :meth:`S2FASession.explore` instead.
 
-    ``jobs`` sets the real process-pool width used for HLS estimation
-    (the virtual-clock results are identical at any value); ``cache_dir``
-    enables the persistent evaluation cache, so repeated builds of the
-    same kernel skip re-estimation.
+    Runs the full S2FA flow (compile, explore, pick the best design)
+    exactly as before, through a throwaway session.
     """
-    compiled = compile_kernel(
-        source, kernel_class=kernel_class, layout_config=layout_config,
-        pattern=pattern, batch_size=batch_size)
-    space = build_space(compiled)
-    store = CacheStore(cache_dir) if cache_dir else None
-    with ParallelEvaluator(compiled, device, store=store,
-                           jobs=jobs) as evaluator:
-        engine = S2FAEngine(evaluator, space, seed=seed,
-                            time_limit_minutes=time_limit_minutes,
-                            workers=workers)
-        run = engine.run()
-    if run.best_point is None:
-        raise DSEError(
-            "the DSE found no feasible design point "
-            f"(explored {run.evaluations} points)")
-    config = DesignConfig.from_point(run.best_point)
-    hls = estimate(compiled.kernel, config, device)
-    return AcceleratorBuild(compiled=compiled, space=space, dse=run,
-                            config=config, hls=hls)
+    warnings.warn(
+        "build_accelerator() is deprecated; use "
+        "S2FASession(explore=ExploreConfig(...)).explore(source)",
+        DeprecationWarning, stacklevel=2)
+    session = S2FASession(
+        explore=ExploreConfig(seed=seed,
+                              time_limit_minutes=time_limit_minutes,
+                              workers=workers, jobs=jobs,
+                              cache_dir=cache_dir),
+        device=device)
+    return session.explore(source, kernel_class=kernel_class,
+                           layout_config=layout_config, pattern=pattern,
+                           batch_size=batch_size)
 
 
 def generate_hls_c(source: str, *,
@@ -97,11 +386,11 @@ def generate_hls_c(source: str, *,
                    layout_config: Optional[LayoutConfig] = None,
                    pattern: str = "map",
                    batch_size: int = 1024) -> str:
-    """Compile a Scala kernel and return its (optionally annotated) C."""
-    compiled = compile_kernel(
-        source, kernel_class=kernel_class, layout_config=layout_config,
-        pattern=pattern, batch_size=batch_size)
-    kernel = compiled.kernel
-    if config is not None:
-        kernel = apply_config(kernel, config)
-    return kernel_to_c(kernel)
+    """Deprecated: use :meth:`S2FASession.hls_c` instead."""
+    warnings.warn(
+        "generate_hls_c() is deprecated; use S2FASession().hls_c(source)",
+        DeprecationWarning, stacklevel=2)
+    return S2FASession().hls_c(
+        source, config=config, kernel_class=kernel_class,
+        layout_config=layout_config, pattern=pattern,
+        batch_size=batch_size)

@@ -150,3 +150,93 @@ class TestFaultTolerance:
         # still found a feasible design.
         assert run.best_point is not None
         assert run.evaluator_stats == stats
+
+
+class TestPicklingFailures:
+    """A point that cannot cross the process boundary is a caller bug:
+    it must surface as a DSEError naming the point's canonical key, not
+    be swallowed into an "infeasible" placeholder."""
+
+    def test_pickling_error_reraised_with_point_key(self, kmeans, batch,
+                                                    monkeypatch):
+        import pickle
+
+        from repro.dse.cache import canonical_key
+        from repro.errors import DSEError
+
+        class FakeFuture:
+            def result(self, timeout=None):
+                raise pickle.PicklingError(
+                    "cannot pickle '_thread.lock' object")
+
+        class FakePool:
+            def submit(self, fn, *args, **kwargs):
+                return FakeFuture()
+
+            def shutdown(self, **kwargs):
+                pass
+
+        with ParallelEvaluator(kmeans, jobs=2) as evaluator:
+            monkeypatch.setattr(evaluator, "_ensure_pool",
+                                lambda: FakePool())
+            with pytest.raises(DSEError) as excinfo:
+                evaluator.evaluate_batch(batch)
+        message = str(excinfo.value)
+        assert "could not cross the process boundary" in message
+        assert "PicklingError" in message
+        assert canonical_key(batch[0]) in message
+
+    def test_other_pool_errors_keep_traceback(self, kmeans, batch,
+                                              monkeypatch):
+        class FakeFuture:
+            def result(self, timeout=None):
+                raise RuntimeError("pool imploded")
+
+        class FakePool:
+            def submit(self, fn, *args, **kwargs):
+                return FakeFuture()
+
+            def shutdown(self, **kwargs):
+                pass
+
+        with ParallelEvaluator(kmeans, jobs=2,
+                               max_consecutive_failures=100) as evaluator:
+            monkeypatch.setattr(evaluator, "_ensure_pool",
+                                lambda: FakePool())
+            evaluations = evaluator.evaluate_batch(batch)
+        assert all(not e.result.feasible for e in evaluations[:-1])
+        assert evaluator.events
+        assert all("traceback" in event for event in evaluator.events)
+        assert all("RuntimeError" in event["traceback"]
+                   for event in evaluator.events)
+
+
+class TestWorkerTracing:
+    def test_worker_spans_absorbed_on_host(self, kmeans, batch):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        with ParallelEvaluator(kmeans, jobs=2,
+                               tracer=tracer) as evaluator:
+            with tracer.span("dse.batch") as host_span:
+                evaluator.evaluate_batch(batch)
+        estimates = [s for s in tracer.iter_spans()
+                     if s.name == "hls.estimate"]
+        worker_spans = [s for s in estimates if "worker_pid" in s.attrs]
+        # Every unique non-cached point was estimated out of process.
+        assert len(worker_spans) == len(batch) - 1
+        assert all(s.attrs["worker_pid"] != os.getpid()
+                   for s in worker_spans)
+        assert all("point_key" in s.attrs for s in worker_spans)
+        # Absorbed under the dispatching span, rebased into its window.
+        assert all(s in host_span.walk() for s in worker_spans)
+        assert all(s.start >= host_span.start for s in worker_spans)
+
+    def test_tracing_does_not_change_results(self, kmeans, batch):
+        from repro.obs import Tracer
+
+        plain = Evaluator(kmeans).evaluate_batch(batch)
+        with ParallelEvaluator(kmeans, jobs=2,
+                               tracer=Tracer()) as traced:
+            fanned = traced.evaluate_batch(batch)
+        assert _evaluation_tuples(fanned) == _evaluation_tuples(plain)

@@ -1,0 +1,159 @@
+"""Span tracer core: nesting, attrs, null path, cross-process merge."""
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    worker_tracer,
+)
+
+
+class TestTracer:
+    def test_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", k=1) as inner:
+                inner.set(extra="v")
+            outer.set(done=True)
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert root.attrs == {"done": True}
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.children[0].attrs == {"k": 1, "extra": "v"}
+
+    def test_durations_and_self_time(self):
+        root = Span(name="r", start=0.0, end=10.0)
+        root.children.append(Span(name="c", start=1.0, end=4.0))
+        assert root.duration == 10.0
+        assert root.self_duration == 7.0
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer.roots[0].end is not None
+
+    def test_add_counter_attr(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.add("retries")
+            span.add("retries", 2)
+        assert tracer.roots[0].attrs["retries"] == 3
+
+    def test_walk_is_preorder(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        names = [s.name for s in tracer.roots[0].walk()]
+        assert names == ["a", "b", "c"]
+
+    def test_metrics_attached(self):
+        tracer = Tracer()
+        tracer.metrics.incr("hits")
+        tracer.metrics.incr("hits", 2)
+        tracer.metrics.gauge("rate", 0.5)
+        tracer.metrics.observe("ms", 1.0)
+        tracer.metrics.observe("ms", 3.0)
+        snap = tracer.metrics.snapshot()
+        assert snap["counters"]["hits"] == 3
+        assert snap["gauges"]["rate"] == 0.5
+        assert snap["observations"]["ms"]["count"] == 2
+
+
+class TestNullTracer:
+    def test_is_disabled_and_inert(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything", k=1) as span:
+            span.set(a=2)
+            span.add("n")
+        assert NULL_TRACER.export() == []
+
+    def test_span_object_is_shared(self):
+        # The disabled path must not allocate per call.
+        with NULL_TRACER.span("a") as first:
+            pass
+        with NULL_TRACER.span("b") as second:
+            pass
+        assert first is second
+
+    def test_null_metrics_is_inert(self):
+        NULL_METRICS.incr("x")
+        NULL_METRICS.gauge("y", 1.0)
+        NULL_METRICS.observe("z", 2.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "observations": {}}
+
+    def test_null_overhead_is_tiny(self):
+        # Structural no-op plus a very generous absolute wall budget:
+        # 50k disabled spans must not take anywhere near real time.
+        import time
+
+        start = time.perf_counter()
+        for _ in range(50_000):
+            with NULL_TRACER.span("hot", i=1) as span:
+                span.set(a=2)
+        assert time.perf_counter() - start < 1.0
+
+
+class TestCrossProcess:
+    def test_context_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("host"):
+            ctx = tracer.context()
+        assert isinstance(ctx, TraceContext)
+        assert ctx.enabled
+        child = worker_tracer(ctx)
+        assert isinstance(child, Tracer)
+        assert child.trace_id == tracer.trace_id
+
+    def test_disabled_context_yields_null(self):
+        assert NULL_TRACER.context() is None
+        assert isinstance(worker_tracer(None), NullTracer)
+        disabled = TraceContext(trace_id="t", enabled=False)
+        assert isinstance(worker_tracer(disabled), NullTracer)
+
+    def test_absorb_rebases_under_current_span(self):
+        worker = Tracer()
+        with worker.span("hls.estimate", cycles=7):
+            pass
+        payload = worker.export()
+        for span in payload:
+            span["attrs"]["worker_pid"] = 4242
+
+        host = Tracer()
+        with host.span("dse.batch") as batch:
+            absorbed = host.absorb(payload, point_key="k1")
+        assert [c.name for c in batch.children] == ["hls.estimate"]
+        child = batch.children[0]
+        assert child.attrs["worker_pid"] == 4242
+        assert child.attrs["point_key"] == "k1"
+        assert child.attrs["cycles"] == 7
+        # Rebasing puts the worker span inside the host span's window.
+        assert child.start >= batch.start
+        assert absorbed and absorbed[0] is child
+
+
+class TestMetricsRegistry:
+    def test_merge(self):
+        a = MetricsRegistry()
+        a.incr("n", 2)
+        a.gauge("g", 1.0)
+        a.observe("o", 5.0)
+        b = MetricsRegistry()
+        b.incr("n", 3)
+        b.observe("o", 7.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 5
+        assert snap["observations"]["o"]["count"] == 2

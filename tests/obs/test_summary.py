@@ -1,0 +1,66 @@
+"""Trace summaries: stage breakdown, flamegraph, full text report."""
+
+from repro.obs import Span, Tracer, flamegraph, stage_breakdown, summarize
+
+
+def _forest():
+    root = Span(name="dse.run", start=0.0, end=10.0)
+    for i in range(2):
+        batch = Span(name="dse.batch", start=i * 4.0, end=i * 4.0 + 3.0)
+        batch.children.append(Span(name="hls.estimate",
+                                   start=i * 4.0 + 0.5,
+                                   end=i * 4.0 + 2.5,
+                                   attrs={"cycles": 100 + i}))
+        root.children.append(batch)
+    return [root]
+
+
+class TestStageBreakdown:
+    def test_aggregates_and_self_time(self):
+        rows = {r["stage"]: r for r in stage_breakdown(_forest())}
+        assert rows["dse.batch"]["count"] == 2
+        assert rows["dse.batch"]["total"] == 6.0
+        assert rows["dse.batch"]["self"] == 2.0   # 2 x (3 - 2)
+        assert rows["hls.estimate"]["total"] == 4.0
+        assert rows["dse.run"]["self"] == 4.0     # 10 - 2 x 3
+        assert rows["dse.batch"]["mean"] == 3.0
+
+    def test_ordered_by_self_time(self):
+        rows = stage_breakdown(_forest())
+        selfs = [r["self"] for r in rows]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_accepts_tracer(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert stage_breakdown(tracer)[0]["stage"] == "a"
+
+
+class TestFlamegraph:
+    def test_indentation_and_bars(self):
+        text = flamegraph(_forest())
+        lines = text.splitlines()
+        assert lines[0].startswith("dse.run")
+        assert any(line.startswith("  dse.batch") for line in lines)
+        assert any(line.startswith("    hls.estimate") for line in lines)
+        assert "#" in lines[0]
+
+    def test_empty(self):
+        assert flamegraph([]) == "(no spans recorded)"
+
+
+class TestSummarize:
+    def test_sections_present(self):
+        text = summarize(_forest(), top=5)
+        assert "Per-stage time breakdown" in text
+        assert "Top 5 slowest spans" in text
+        assert "Flamegraph" in text
+        assert "cycles=100" in text or "cycles=101" in text
+
+    def test_flame_optional(self):
+        text = summarize(_forest(), flame=False)
+        assert "Flamegraph" not in text
+
+    def test_empty(self):
+        assert summarize([]) == "(no spans recorded)"

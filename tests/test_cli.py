@@ -136,3 +136,89 @@ class TestRunCommand:
     def test_run_unknown_app(self):
         with pytest.raises(SystemExit, match="unknown app"):
             main(["run", "Nope"])
+
+
+class TestDseCommand:
+    def test_dse_end_to_end_with_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "out.json"
+        code = main(["dse", "kmeans", "--time-limit", "20",
+                     "--jobs", "2", "--tasks", "24",
+                     "--trace", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best design" in out
+        assert "results match JVM : yes" in out
+        assert f"trace written to {trace}" in out
+
+        document = json.loads(trace.read_text())
+        assert validate_chrome_trace(document) == []
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in events}
+        for required in ("pipeline.explore", "pipeline.run",
+                         "compile.kernel", "dse.run", "dse.batch",
+                         "hls.estimate", "blaze.offload"):
+            assert required in names, f"missing {required} span"
+        # jobs=2 puts worker-side estimates on their own thread lanes.
+        assert {e["tid"] for e in events} != {0}
+
+    def test_dse_metrics_table(self, capsys):
+        code = main(["dse", "KNN", "--time-limit", "20",
+                     "--tasks", "16", "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accelerated tasks" in out
+
+    def test_dse_unknown_app(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["dse", "Nope"])
+
+
+class TestTraceCommands:
+    def _record(self, kernel_file, tmp_path, suffix):
+        trace = tmp_path / f"trace{suffix}"
+        assert main(["explore", kernel_file, "--time-limit", "60",
+                     "--trace", str(trace)]) == 0
+        return trace
+
+    def test_summarize_chrome_trace(self, kernel_file, tmp_path, capsys):
+        trace = self._record(kernel_file, tmp_path, ".json")
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage time breakdown" in out
+        assert "hls.estimate" in out
+        assert "Flamegraph" in out
+
+    def test_summarize_jsonl_trace(self, kernel_file, tmp_path, capsys):
+        trace = self._record(kernel_file, tmp_path, ".jsonl")
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace),
+                     "--top", "3", "--no-flame"]) == 0
+        out = capsys.readouterr().out
+        assert "Top 3 slowest spans" in out
+        assert "Flamegraph" not in out
+
+    def test_summarize_missing_file(self):
+        with pytest.raises(SystemExit, match="no such trace file"):
+            main(["trace", "summarize", "/nonexistent.json"])
+
+    def test_summarize_rejects_invalid_chrome_trace(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"traceEvents": [{"ph": "X", "name": "a"}]}))
+        with pytest.raises(SystemExit, match="invalid Chrome trace"):
+            main(["trace", "summarize", str(bad)])
+
+    def test_run_with_trace(self, tmp_path, capsys):
+        trace = tmp_path / "run.json"
+        assert main(["run", "AES", "--tasks", "16",
+                     "--trace", str(trace)]) == 0
+        assert trace.exists()
+        out = capsys.readouterr().out
+        assert "trace written to" in out

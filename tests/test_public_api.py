@@ -1,0 +1,84 @@
+"""Public API surface snapshot.
+
+Breaking this test means the package's public contract changed: either
+revert the change or update the snapshot *and* ``docs/api.md`` together.
+"""
+
+import inspect
+
+import repro
+import repro.obs
+
+TOP_LEVEL = {
+    "AcceleratorBuild",
+    "ExploreConfig",
+    "RunOutcome",
+    "RuntimeConfig",
+    "S2FAError",
+    "S2FASession",
+    "build_accelerator",
+    "generate_hls_c",
+    "__version__",
+}
+
+OBS = {
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceContext",
+    "worker_tracer",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "write_jsonl",
+    "spans_from_jsonl",
+    "load_trace",
+    "validate_chrome_trace",
+    "flamegraph",
+    "stage_breakdown",
+    "summarize",
+}
+
+SESSION_METHODS = {"compile", "explore", "run", "hls_c", "resolve",
+                   "export_trace", "trace_summary"}
+
+
+def test_top_level_all_snapshot():
+    assert set(repro.__all__) == TOP_LEVEL
+
+
+def test_top_level_symbols_resolve():
+    for name in TOP_LEVEL:
+        assert getattr(repro, name) is not None
+
+
+def test_obs_all_snapshot():
+    assert set(repro.obs.__all__) == OBS
+
+
+def test_session_public_methods():
+    public = {name for name, _ in inspect.getmembers(repro.S2FASession)
+              if not name.startswith("_")}
+    assert SESSION_METHODS <= public
+
+
+def test_explore_config_fields():
+    fields = set(repro.ExploreConfig.__dataclass_fields__)
+    assert fields == {"seed", "time_limit_minutes", "workers", "jobs",
+                      "cache_dir", "max_partitions"}
+
+
+def test_runtime_config_fields():
+    fields = set(repro.RuntimeConfig.__dataclass_fields__)
+    assert fields == {"partitions", "fault_plan", "fault_seed",
+                      "max_attempts", "batch_deadline_seconds",
+                      "backoff_base_seconds", "backoff_factor",
+                      "quarantine_base_seconds", "quarantine_factor"}
+
+
+def test_deprecated_shims_are_marked():
+    assert "deprecated" in (repro.build_accelerator.__doc__ or "").lower()
+    assert "deprecated" in (repro.generate_hls_c.__doc__ or "").lower()
