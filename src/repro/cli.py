@@ -52,7 +52,29 @@ import sys
 from pathlib import Path
 
 from .compiler.interface import LayoutConfig
-from .errors import S2FAError
+from .errors import ExplorationInterrupted, S2FAError
+
+# ----------------------------------------------------------------------
+# Process exit codes.  Pinned so schedulers and CI can distinguish
+# "preempted but resumable" from "failed":
+#
+# * EXIT_OK          — success;
+# * EXIT_FAILURE     — the pipeline ran but its outcome is wrong
+#                      (offloaded results diverge from the JVM oracle);
+# * EXIT_USAGE       — bad command line (argparse's own convention);
+# * EXIT_ERROR       — an :class:`~repro.errors.S2FAError` (compile,
+#                      DSE, or runtime failure);
+# * EXIT_INTERRUPTED — the exploration was interrupted *after* flushing
+#                      a checkpoint: rerun with ``--resume`` to finish
+#                      (the value is BSD's EX_TEMPFAIL, the conventional
+#                      "transient failure, retry" code).
+# ----------------------------------------------------------------------
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_ERROR = 3
+EXIT_INTERRUPTED = 75
 
 
 def _parse_lengths(pairs: list[str]) -> LayoutConfig:
@@ -88,7 +110,9 @@ def _explore_config(args: argparse.Namespace):
         seed=getattr(args, "seed", 0),
         time_limit_minutes=getattr(args, "time_limit", 240.0),
         jobs=getattr(args, "jobs", 1),
-        cache_dir=getattr(args, "cache_dir", None))
+        cache_dir=getattr(args, "cache_dir", None),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        resume=bool(getattr(args, "resume", False)))
 
 
 def _runtime_config(args: argparse.Namespace):
@@ -140,6 +164,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def _print_explore_summary(build, run) -> None:
     print(f"accelerator id    : {build.accel_id}")
+    if run.resumed:
+        print("resumed           : from checkpoint")
     print(f"design space      : {build.space.size():,} points")
     print(f"HLS evaluations   : {run.evaluations} "
           f"({run.termination_minutes:.0f} virtual minutes, "
@@ -196,7 +222,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
         print()
         print(blaze_metrics_table(outcome.metrics))
     _export_trace(session, args)
-    return 0 if outcome.matched else 1
+    return EXIT_OK if outcome.matched else EXIT_FAILURE
 
 
 def cmd_apps(args: argparse.Namespace) -> int:
@@ -253,7 +279,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print()
     print(blaze_metrics_table(outcome.metrics))
     _export_trace(session, args)
-    return 0 if outcome.matched else 1
+    return EXIT_OK if outcome.matched else EXIT_FAILURE
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -279,6 +305,20 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
                         help="record a span trace of the whole run "
                              "(Chrome trace_event JSON; *.jsonl for the "
                              "span log)")
+
+
+def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="crash-safe exploration: journal the "
+                             "explorer state here at every batch "
+                             "boundary (SIGINT/SIGTERM then exit "
+                             f"{EXIT_INTERRUPTED} with a resumable "
+                             "checkpoint); implies --cache-dir DIR "
+                             "unless one is given")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the checkpoint in "
+                             "--checkpoint-dir if one exists (starts "
+                             "fresh otherwise)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -315,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore_p.add_argument("--cache-dir", metavar="DIR",
                            help="persistent evaluation cache directory "
                                 "(repeated runs skip re-estimation)")
+    _add_checkpoint_flags(explore_p)
     explore_p.add_argument("--emit-c", action="store_true",
                            help="print the annotated HLS C")
     explore_p.add_argument("--json", metavar="FILE",
@@ -334,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool width for HLS estimation")
     dse_p.add_argument("--cache-dir", metavar="DIR",
                        help="persistent evaluation cache directory")
+    _add_checkpoint_flags(dse_p)
     dse_p.add_argument("--tasks", type=int, default=64,
                        help="deployment workload size (default 64)")
     dse_p.add_argument("--data-seed", type=int, default=21,
@@ -386,14 +428,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    See the ``EXIT_*`` constants at the top of this module for the
+    pinned exit-code contract.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ExplorationInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except S2FAError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

@@ -47,10 +47,23 @@ class ExploreConfig:
     cache_dir: Optional[str] = None
     #: Decision-tree partition budget (Section 4.3.1).
     max_partitions: int = 8
+    #: Exploration checkpoint directory (``None`` disables crash-safe
+    #: checkpointing).  Also enables the evaluation cache there unless
+    #: ``cache_dir`` names one explicitly — a resume needs the cache to
+    #: replay the killed batch without duplicate backend evaluations.
+    checkpoint_dir: Optional[str] = None
+    #: Resume from the checkpoint in ``checkpoint_dir`` if one exists
+    #: (otherwise start fresh — idempotent restart semantics for
+    #: schedulers).
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise DSEError(f"jobs must be >= 1, got {self.jobs}")
+        if self.resume and not self.checkpoint_dir:
+            raise DSEError(
+                "resume=True needs checkpoint_dir (there is nowhere to "
+                "resume from)")
         if self.workers < 1:
             raise DSEError(f"workers must be >= 1, got {self.workers}")
         if self.max_partitions < 1:

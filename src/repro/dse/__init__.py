@@ -7,6 +7,11 @@ from .cache import (  # noqa: F401
     kernel_digest,
     point_from_key,
 )
+from .checkpoint import (  # noqa: F401
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    validate_checkpoint,
+)
 from .datuner import DATunerEngine  # noqa: F401
 from .engine import S2FAEngine  # noqa: F401
 from .parallel import ParallelEvaluator  # noqa: F401

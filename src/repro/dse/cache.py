@@ -13,13 +13,21 @@ Design constraints (and how they are met):
   (or with ``True`` where another tuner used ``1``).  :func:`canonical_key`
   sorts the parameters and serializes values through JSON, which keeps
   ``True``/``1``/``1.0`` distinct (they serialize to ``true``/``1``/``1.0``).
-* **Atomic append** — each record is one ``os.write`` to an ``O_APPEND``
-  file descriptor, which POSIX guarantees is not interleaved with other
-  writers for any sane record size.  Two processes appending concurrently
-  therefore lose no records.
-* **Corruption tolerance** — a torn final line (crash mid-append), garbage
-  bytes, or schema-less JSON are all skipped on load and counted in
-  ``corrupt_lines``; everything before and after a bad line still loads.
+* **Atomic, durable append** — each record is one ``os.write`` to an
+  ``O_APPEND`` file descriptor (taken under a shared ``flock``), followed
+  by an ``fsync``: concurrent appenders lose no records, and an
+  acknowledged record survives a crash.
+* **Torn-write repair** — a crash mid-append leaves a final line without
+  its newline terminator.  On load the store takes an exclusive ``flock``
+  (so it cannot race an in-flight append), truncates an unparsable torn
+  tail, and newline-terminates a parsable one; either way every complete
+  record before the tear still loads.  Garbage lines elsewhere are
+  skipped and counted in ``corrupt_lines``.
+* **Versioned records** — every record carries the store format version
+  (``"v"``).  Records from another version are *skipped with a warning*
+  (counted in ``stale_records``) instead of mis-parsed; bumping
+  :data:`FORMAT_VERSION` also changes the kernel digest, so new runs get
+  fresh files.
 * **Virtual-clock neutrality** — the store keeps the original
   ``synthesis_minutes`` of every result, so a warm-cache run charges the
   same virtual time as a cold run: persistence accelerates the *real*
@@ -30,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Optional
@@ -39,8 +48,16 @@ from ..hls.result import HLSResult
 from ..hlsc.ast import CKernel
 from ..hlsc.printer import kernel_to_c
 
-#: Store format version; bumping it invalidates old stores.
-FORMAT_VERSION = 1
+try:
+    import fcntl
+except ImportError:             # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+LOGGER = logging.getLogger("repro.dse.cache")
+
+#: Store format version; bumping it invalidates old stores (both through
+#: the per-record ``"v"`` field and through the kernel digest).
+FORMAT_VERSION = 2
 
 
 def canonical_key(point: dict) -> str:
@@ -75,12 +92,18 @@ def kernel_digest(kernel: CKernel, device: Device) -> str:
     return hasher.hexdigest()[:24]
 
 
+def _flock(fd: int, mode: int) -> None:
+    if fcntl is not None:
+        fcntl.flock(fd, mode)
+
+
 class CacheStore:
     """JSON-lines persistent store of HLS evaluations.
 
     One file per kernel digest (``<dir>/<digest>.jsonl``); each line is
-    ``{"key": <canonical point>, "minutes": <float>, "result": {...}}``.
-    Later records win, so re-appending a key is harmless.
+    ``{"v": <format>, "key": <canonical point>, "minutes": <float>,
+    "result": {...}}``.  Later records win, so re-appending a key is
+    harmless.
     """
 
     def __init__(self, directory: os.PathLike | str):
@@ -91,6 +114,7 @@ class CacheStore:
         self.misses = 0
         self.appends = 0
         self.corrupt_lines = 0
+        self.stale_records = 0
 
     # ------------------------------------------------------------------
 
@@ -104,15 +128,59 @@ class CacheStore:
             self._tables[digest] = table
         return table
 
+    def _repair_torn_tail(self, path: Path) -> None:
+        """Fix a crash-torn final line in place, under an exclusive lock.
+
+        A record is written as one ``content + newline`` write, so a file
+        not ending in a newline was torn mid-append.  An unparsable tail
+        is truncated away (the record never fully landed); a parsable one
+        merely lost its terminator and gets it back.  The exclusive lock
+        waits out any append in flight, so a concurrent writer's record
+        is never mistaken for a tear.
+        """
+        try:
+            fd = os.open(path, os.O_RDWR)
+        except OSError:
+            return
+        try:
+            _flock(fd, fcntl.LOCK_EX if fcntl is not None else 0)
+            chunks = []
+            while True:
+                chunk = os.read(fd, 1 << 20)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            raw = b"".join(chunks)
+            if not raw or raw.endswith(b"\n"):
+                return
+            cut = raw.rfind(b"\n") + 1
+            tail = raw[cut:]
+            try:
+                json.loads(tail)
+            except (ValueError, UnicodeDecodeError):
+                self.corrupt_lines += 1
+                LOGGER.warning(
+                    "cache %s: truncating torn final record (%d bytes)",
+                    path.name, len(tail))
+                os.ftruncate(fd, cut)
+            else:
+                os.write(fd, b"\n")
+        finally:
+            if fcntl is not None:
+                _flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
     def _load(self, digest: str) -> dict[str, dict]:
         table: dict[str, dict] = {}
         path = self._path(digest)
         if not path.exists():
             return table
+        self._repair_torn_tail(path)
         try:
             raw = path.read_bytes()
         except OSError:
             return table
+        stale_before = self.stale_records
         for line in raw.split(b"\n"):
             line = line.strip()
             if not line:
@@ -128,7 +196,16 @@ class CacheStore:
                     or not isinstance(record.get("result"), dict)):
                 self.corrupt_lines += 1
                 continue
+            if record.get("v") != FORMAT_VERSION:
+                self.stale_records += 1
+                continue
             table[record["key"]] = record
+        if self.stale_records > stale_before:
+            LOGGER.warning(
+                "cache %s: skipped %d record(s) from another store format "
+                "(this build writes v%d); they will be re-estimated",
+                path.name, self.stale_records - stale_before,
+                FORMAT_VERSION)
         return table
 
     # ------------------------------------------------------------------
@@ -160,17 +237,22 @@ class CacheStore:
 
     def put(self, digest: str, key: str, minutes: float,
             result: HLSResult) -> None:
-        """Append one record atomically and update the in-memory table."""
-        record = {"key": key, "minutes": minutes,
+        """Append one record atomically+durably; update the in-memory table."""
+        table = self._table(digest)   # load (and repair) before appending
+        record = {"v": FORMAT_VERSION, "key": key, "minutes": minutes,
                   "result": result.to_dict()}
         data = (json.dumps(record, separators=(",", ":")) + "\n").encode()
         fd = os.open(self._path(digest),
                      os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
         try:
+            _flock(fd, fcntl.LOCK_SH if fcntl is not None else 0)
             os.write(fd, data)
+            os.fsync(fd)
         finally:
+            if fcntl is not None:
+                _flock(fd, fcntl.LOCK_UN)
             os.close(fd)
-        self._table(digest)[key] = record
+        table[key] = record
         self.appends += 1
 
     # ------------------------------------------------------------------
@@ -182,4 +264,5 @@ class CacheStore:
             "misses": self.misses,
             "appends": self.appends,
             "corrupt_lines": self.corrupt_lines,
+            "stale_records": self.stale_records,
         }

@@ -21,21 +21,52 @@ clock at each partition's own completion time.  Because a partition's
 tuner sequence depends only on its own history and evaluation is a pure
 function of the point, the reported DSE minutes are identical to the
 serial path at any ``jobs`` setting.
+
+Crash safety: with a :class:`~repro.dse.checkpoint.CheckpointStore` the
+engine journals its complete state at every batch boundary (the event
+heap is empty and no partition is in flight there), and
+:meth:`S2FAEngine.resume` restores a killed run so that (cache +
+checkpoint) replays the bit-identical trajectory of an uninterrupted
+run.  :meth:`S2FAEngine.request_stop` arms a graceful stop: the current
+batch finishes, the checkpoint is flushed, and the run raises
+:class:`~repro.errors.ExplorationInterrupted`.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import os
 import random
+import signal
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..errors import DSEError, ExplorationInterrupted
 from ..hls.estimator import estimate
 from ..merlin.config import DesignConfig
 from ..obs.span import NULL_TRACER
 from .bandit import BanditTuner
+from .checkpoint import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    evaluation_from_json,
+    evaluation_to_json,
+    evaluator_counters,
+    partition_from_json,
+    partition_to_json,
+    restore_evaluator_counters,
+    restore_stopping,
+    restore_tuner,
+    rng_state_from_json,
+    rng_state_to_json,
+    space_fingerprint,
+    stopping_to_json,
+    tuner_to_json,
+)
+from .cache import canonical_key
 from .evaluator import Evaluation, Evaluator, ExplorationTrace
 from .partition import Partition, build_partitions
 from .result import DSERun, PartitionReport
@@ -48,6 +79,24 @@ DEFAULT_TIME_LIMIT_MINUTES = 240.0
 #: Virtual minutes charged for re-visiting an already-evaluated point
 #: (the tuner only pays a bookkeeping cost, not an HLS run).
 CACHED_EVALUATION_MINUTES = 0.05
+
+#: Fault-injection hook for the chaos harness: ``boundary:N`` hard-kills
+#: the process right after checkpoint N is flushed, ``mid:N`` hard-kills
+#: after batch N is evaluated but *before* its merge/checkpoint, and
+#: ``stop:N`` requests a graceful stop after batch N (exercising the
+#: SIGINT/SIGTERM path deterministically).
+CHAOS_KILL_ENV = "S2FA_CHAOS_KILL"
+
+
+def _parse_chaos(spec: Optional[str]) -> Optional[tuple[str, int]]:
+    if not spec:
+        return None
+    kind, _, value = spec.partition(":")
+    if kind not in ("boundary", "mid", "stop") or not value.isdigit():
+        raise DSEError(
+            f"bad {CHAOS_KILL_ENV} spec {spec!r}; expected "
+            f"'boundary:N', 'mid:N', or 'stop:N'")
+    return kind, int(value)
 
 
 @dataclass
@@ -66,6 +115,23 @@ class _PartitionState:
     in_flight: Optional[tuple] = None
 
 
+@dataclass
+class _RunState:
+    """Everything the main loop mutates (and the checkpoint captures)."""
+
+    states: list[_PartitionState]
+    pending: deque
+    running: list[_PartitionState] = field(default_factory=list)
+    #: completed evaluations as (virtual time, dispatch order, eval)
+    samples: list[tuple[float, int, Evaluation]] = field(
+        default_factory=list)
+    truncated: bool = False
+    last_event: float = 0.0
+    sequence: int = 0
+    rounds: int = 0
+    resumed: bool = False
+
+
 class S2FAEngine:
     """Runs the full S2FA DSE for one compiled kernel."""
 
@@ -77,9 +143,11 @@ class S2FAEngine:
                  use_seeds: bool = True,
                  stopping_factory: Optional[
                      Callable[[], StoppingCriterion]] = None,
+                 checkpoint_store: Optional[CheckpointStore] = None,
                  tracer=NULL_TRACER):
         self.evaluator = evaluator
         self.space = space
+        self.seed = seed
         self.rng = random.Random(seed)
         self.workers = workers
         self.time_limit = time_limit_minutes
@@ -87,7 +155,10 @@ class S2FAEngine:
         self.use_partitioning = use_partitioning
         self.use_seeds = use_seeds
         self.stopping_factory = stopping_factory or EntropyStopping
+        self.checkpoint_store = checkpoint_store
         self.tracer = tracer
+        self._stop_requested = False
+        self._chaos = _parse_chaos(os.environ.get(CHAOS_KILL_ENV))
 
     # ------------------------------------------------------------------
 
@@ -110,14 +181,59 @@ class S2FAEngine:
         return partitions
 
     # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Arm a graceful stop (signal-handler safe).
+
+        The in-flight batch finishes, its results are merged, the
+        checkpoint is flushed, and the run raises
+        :class:`~repro.errors.ExplorationInterrupted`.
+        """
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
 
     def run(self) -> DSERun:
         """Execute the exploration (traced as one ``dse.run`` span)."""
+        return self._execute(resume=False)
+
+    def resume(self) -> DSERun:
+        """Continue a checkpointed exploration to completion.
+
+        Raises :class:`~repro.errors.DSEError` when no checkpoint exists
+        for this kernel digest or the checkpoint fails validation or does
+        not match this engine's configuration.
+        """
+        return self._execute(resume=True)
+
+    def _execute(self, resume: bool) -> DSERun:
         with self.tracer.span(
                 "dse.run", space_size=self.space.size(),
                 workers=self.workers,
                 time_limit_minutes=self.time_limit) as root:
-            run = self._run()
+            if resume:
+                if self.checkpoint_store is None:
+                    raise DSEError(
+                        "resume requested but the engine has no "
+                        "checkpoint store")
+                payload = self.checkpoint_store.load(
+                    self.evaluator.kernel_digest)
+                if payload is None:
+                    raise DSEError(
+                        f"no checkpoint for kernel digest "
+                        f"{self.evaluator.kernel_digest} in "
+                        f"{self.checkpoint_store.directory}")
+                rs = self._restore_state(payload)
+                self.tracer.metrics.incr("dse.checkpoint.resumes")
+                root.set(resumed=True, resumed_at_round=rs.rounds)
+            else:
+                rs = self._fresh_state()
+            self._loop(rs)
+            run = self._finalize(rs)
             root.set(evaluations=run.evaluations,
                      termination_minutes=run.termination_minutes)
             if math.isfinite(run.best_qor):
@@ -128,7 +244,11 @@ class S2FAEngine:
                                           stats.get("hit_rate", 0.0))
         return run
 
-    def _run(self) -> DSERun:
+    # ------------------------------------------------------------------
+    # State construction / restoration
+    # ------------------------------------------------------------------
+
+    def _fresh_state(self) -> _RunState:
         partitions = self._make_partitions()
         states: list[_PartitionState] = []
         for partition in partitions:
@@ -143,37 +263,168 @@ class S2FAEngine:
             states.append(_PartitionState(
                 partition=partition, tuner=tuner,
                 stopping=self.stopping_factory()))
+        rs = _RunState(states=states, pending=deque(states))
+        for _ in range(min(self.workers, len(rs.pending))):
+            self._start_partition(rs, 0.0)
+        return rs
 
-        pending = deque(states)
-        running: list[_PartitionState] = []
-        #: completed evaluations as (virtual time, dispatch order, eval)
+    def _identity(self) -> dict:
+        """What a checkpoint must agree with to be resumable here."""
+        return {
+            "kernel_digest": self.evaluator.kernel_digest,
+            "space": space_fingerprint(self.space),
+            "seed": self.seed,
+            "workers": self.workers,
+            "time_limit_minutes": self.time_limit,
+            "max_partitions": self.max_partitions,
+            "use_partitioning": self.use_partitioning,
+            "use_seeds": self.use_seeds,
+            "stopping": type(self.stopping_factory()).__name__,
+            "frequency_aware": bool(
+                getattr(self.evaluator, "frequency_aware", True)),
+        }
+
+    def _snapshot(self, rs: _RunState) -> dict:
+        """Checkpoint payload for a batch boundary (nothing in flight)."""
+        assert all(s.in_flight is None for s in rs.states), \
+            "checkpoint requested while evaluations are in flight"
+        index = {id(s): i for i, s in enumerate(rs.states)}
+        return {
+            "kind": CHECKPOINT_KIND,
+            "version": CHECKPOINT_VERSION,
+            "identity": self._identity(),
+            "rng": rng_state_to_json(self.rng),
+            "rounds": rs.rounds,
+            "sequence": rs.sequence,
+            "truncated": rs.truncated,
+            "last_event": rs.last_event,
+            "states": [
+                {
+                    "partition": partition_to_json(s.partition),
+                    "tuner": tuner_to_json(s.tuner),
+                    "stopping": stopping_to_json(s.stopping),
+                    "evaluations": s.evaluations,
+                    "stopped_early": s.stopped_early,
+                    "start_minutes": s.start_minutes,
+                    "end_minutes": s.end_minutes,
+                    "started": s.started,
+                    "free_at": s.free_at,
+                }
+                for s in rs.states
+            ],
+            "pending": [index[id(s)] for s in rs.pending],
+            "running": [index[id(s)] for s in rs.running],
+            "samples": [[finish, order, canonical_key(e.point), e.cached]
+                        for finish, order, e in rs.samples],
+            "cache": [evaluation_to_json(e)
+                      for e in self.evaluator.cache_snapshot()],
+            "evaluator": evaluator_counters(self.evaluator),
+        }
+
+    def _restore_state(self, payload: dict) -> _RunState:
+        identity = self._identity()
+        saved = payload.get("identity", {})
+        mismatched = sorted(
+            key for key in set(identity) | set(saved)
+            if identity.get(key) != saved.get(key))
+        if mismatched:
+            detail = ", ".join(
+                f"{key}: checkpoint={saved.get(key)!r} "
+                f"run={identity.get(key)!r}" for key in mismatched)
+            raise DSEError(
+                f"checkpoint does not match this run's configuration "
+                f"({detail}); start a fresh run or restore the original "
+                f"settings")
+
+        states: list[_PartitionState] = []
+        for sdata in payload["states"]:
+            partition = partition_from_json(sdata["partition"])
+            subspace = partition.subspace(self.space)
+            tuner = BanditTuner(subspace, random.Random(0))
+            restore_tuner(tuner, sdata["tuner"])
+            stopping = self.stopping_factory()
+            restore_stopping(stopping, sdata["stopping"])
+            states.append(_PartitionState(
+                partition=partition, tuner=tuner, stopping=stopping,
+                evaluations=sdata["evaluations"],
+                stopped_early=sdata["stopped_early"],
+                start_minutes=sdata["start_minutes"],
+                end_minutes=sdata["end_minutes"],
+                started=sdata["started"],
+                free_at=sdata["free_at"]))
+
+        cache = {}
+        for entry in payload["cache"]:
+            evaluation = evaluation_from_json(entry)
+            cache[canonical_key(evaluation.point)] = evaluation
+        self.evaluator.prime_cache(cache.values())
+        restore_evaluator_counters(self.evaluator, payload["evaluator"])
+
         samples: list[tuple[float, int, Evaluation]] = []
+        for finish, order, key, cached in payload["samples"]:
+            base = cache.get(key)
+            if base is None:
+                raise DSEError(
+                    f"checkpoint sample references point {key} missing "
+                    f"from its own cache section")
+            samples.append((finish, order, Evaluation(
+                point=dict(base.point), qor=base.qor, result=base.result,
+                minutes=(CACHED_EVALUATION_MINUTES if cached
+                         else base.minutes),
+                cached=cached)))
+
+        self.rng.setstate(rng_state_from_json(payload["rng"]))
+        return _RunState(
+            states=states,
+            pending=deque(states[i] for i in payload["pending"]),
+            running=[states[i] for i in payload["running"]],
+            samples=samples,
+            truncated=payload["truncated"],
+            last_event=payload["last_event"],
+            sequence=payload["sequence"],
+            rounds=payload["rounds"],
+            resumed=True)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _start_partition(self, rs: _RunState, at: float) -> None:
+        state = rs.pending.popleft()
+        state.started = True
+        state.start_minutes = at
+        state.free_at = at
+        rs.running.append(state)
+
+    def _retire(self, rs: _RunState, state: _PartitionState,
+                at: float) -> None:
+        state.end_minutes = at
+        rs.running.remove(state)
+
+    def _write_checkpoint(self, rs: _RunState):
+        if self.checkpoint_store is None:
+            return None
+        path = self.checkpoint_store.save(self.evaluator.kernel_digest,
+                                          self._snapshot(rs))
+        self.tracer.metrics.incr("dse.checkpoint.writes")
+        return path
+
+    def _chaos_fire(self, kind: str, round_index: int) -> None:
+        if self._chaos != (kind, round_index):
+            return
+        if kind == "stop":
+            self.request_stop()
+            return
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def _loop(self, rs: _RunState) -> None:
         events: list[tuple[float, int, _PartitionState]] = []
-        truncated = False
-        last_event = 0.0
-        sequence = 0
-
-        def start_partition(at: float) -> None:
-            state = pending.popleft()
-            state.started = True
-            state.start_minutes = at
-            state.free_at = at
-            running.append(state)
-
-        def retire(state: _PartitionState, at: float) -> None:
-            state.end_minutes = at
-            running.remove(state)
-
-        for _ in range(min(self.workers, len(pending))):
-            start_partition(0.0)
-
-        rounds = 0
-        while running:
+        while rs.running:
             # Dispatch: every free partition proposes its next candidate;
             # the whole round goes to the evaluator as one batch.
-            with self.tracer.span("dse.batch", round=rounds) as bspan:
+            with self.tracer.span("dse.batch", round=rs.rounds) as bspan:
                 proposals = []
-                for state in running:
+                for state in rs.running:
                     if state.in_flight is not None:
                         continue
                     with self.tracer.span(
@@ -190,15 +441,18 @@ class S2FAEngine:
                     techniques=",".join(sorted(
                         {name for _, name, _ in proposals})))
                 self.tracer.metrics.incr("dse.batches")
-            rounds += 1
+            rs.rounds += 1
+            self._chaos_fire("mid", rs.rounds)
+            self._chaos_fire("stop", rs.rounds)
             for (state, name, _), evaluation in zip(proposals,
                                                     evaluations):
                 duration = CACHED_EVALUATION_MINUTES \
                     if evaluation.cached else evaluation.minutes
                 state.in_flight = (name, evaluation)
-                sequence += 1
-                heapq.heappush(events,
-                               (state.free_at + duration, sequence, state))
+                rs.sequence += 1
+                heapq.heappush(
+                    events,
+                    (state.free_at + duration, rs.sequence, state))
 
             # Merge: replay completions in virtual-time order; partitions
             # freed mid-round (early stop starts a pending partition at
@@ -210,32 +464,53 @@ class S2FAEngine:
                 if finish > self.time_limit:
                     # The run ends before this evaluation completes; the
                     # work is discarded, exactly like the serial clock.
-                    truncated = True
-                    retire(state, self.time_limit)
+                    rs.truncated = True
+                    self._retire(rs, state, self.time_limit)
                     continue
-                last_event = max(last_event, finish)
+                rs.last_event = max(rs.last_event, finish)
                 state.free_at = finish
                 state.evaluations += 1
-                samples.append((finish, order, evaluation))
+                rs.samples.append((finish, order, evaluation))
                 state.tuner.feed(name, evaluation)
                 should_stop = state.stopping.observe(
                     evaluation.point, evaluation.qor)
                 if should_stop:
                     state.stopped_early = True
                 if should_stop or finish >= self.time_limit:
-                    retire(state, finish)
-                    if pending:
-                        start_partition(finish)
+                    self._retire(rs, state, finish)
+                    if rs.pending:
+                        self._start_partition(rs, finish)
 
-        end = self.time_limit if truncated else last_event
+            # Batch boundary: the event heap is drained and nothing is in
+            # flight — journal the complete state, then honor any stop
+            # request now that the checkpoint covers this round.
+            checkpoint_path = self._write_checkpoint(rs)
+            self._chaos_fire("boundary", rs.rounds)
+            if self._stop_requested and rs.running:
+                where = (f"; checkpoint at {checkpoint_path} "
+                         f"(resume with --resume)"
+                         if checkpoint_path is not None
+                         else " (checkpointing disabled: progress beyond "
+                              "the persistent cache is lost)")
+                raise ExplorationInterrupted(
+                    f"exploration interrupted after {rs.rounds} "
+                    f"batches{where}",
+                    checkpoint_path=checkpoint_path, rounds=rs.rounds)
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def _finalize(self, rs: _RunState) -> DSERun:
+        end = self.time_limit if rs.truncated else rs.last_event
 
         # Rebuild the best-so-far trajectory in virtual-time order (the
         # batched rounds complete out of order across rounds).
-        samples.sort(key=lambda s: (s[0], s[1]))
+        rs.samples.sort(key=lambda s: (s[0], s[1]))
         trace = ExplorationTrace()
         global_best = {"qor": float("inf"), "point": None, "eval": None}
         estimates = 0
-        for minutes, _, evaluation in samples:
+        for minutes, _, evaluation in rs.samples:
             if not evaluation.cached:
                 estimates += 1
             if evaluation.qor < global_best["qor"]:
@@ -243,9 +518,9 @@ class S2FAEngine:
                 global_best["point"] = dict(evaluation.point)
                 global_best["eval"] = evaluation
             trace.record(minutes, global_best["qor"], estimates)
-        first_qor = samples[0][2].qor if samples else float("inf")
+        first_qor = rs.samples[0][2].qor if rs.samples else float("inf")
 
-        for state in states:
+        for state in rs.states:
             if state.started and state.end_minutes == 0.0:
                 state.end_minutes = end
 
@@ -259,9 +534,12 @@ class S2FAEngine:
                 start_minutes=state.start_minutes,
                 end_minutes=state.end_minutes,
             )
-            for state in states if state.started
+            for state in rs.states if state.started
         ]
         best_eval = global_best["eval"]
+        if self.checkpoint_store is not None:
+            # The run is complete; a later --resume should start fresh.
+            self.checkpoint_store.discard(self.evaluator.kernel_digest)
         return DSERun(
             name="s2fa",
             trace=trace,
@@ -275,4 +553,5 @@ class S2FAEngine:
             space_size=self.space.size(),
             evaluator_stats=self.evaluator.stats()
             if hasattr(self.evaluator, "stats") else None,
+            resumed=rs.resumed,
         )

@@ -179,6 +179,22 @@ class Evaluator:
         self.max_batch = max(self.max_batch, len(points))
         return [self.evaluate(point) for point in points]
 
+    # ------------------------------------------------------------------
+    # Checkpoint support: the in-run cache and the budget counters are
+    # part of the explorer state (a resumed run must see the same
+    # ``cached`` flags and virtual-clock minutes as an uninterrupted one).
+    # ------------------------------------------------------------------
+
+    def cache_snapshot(self) -> list[Evaluation]:
+        """The in-run cache entries, in admission order."""
+        return list(self._cache.values())
+
+    def prime_cache(self, evaluations) -> None:
+        """Pre-load the in-run cache (checkpoint restore)."""
+        for evaluation in evaluations:
+            self._cache.setdefault(canonical_key(evaluation.point),
+                                   evaluation)
+
     def evaluate_config(self, config: DesignConfig) -> Evaluation:
         return self.evaluate(config.to_point())
 

@@ -18,23 +18,33 @@ Invariants:
 * **Picklable tasks** — workers receive the compiled kernel's C AST once
   (pool initializer) and then only flat point dicts per task; results
   come back as plain :class:`~repro.hls.result.HLSResult` dataclasses.
-* **Fault tolerance** — a worker that raises returns an infeasible
-  result (same as in-process, see
-  :func:`~repro.dse.evaluator.safe_estimate`); a worker that *dies* or
-  times out marks its point infeasible, logs a structured event, and
-  counts toward a consecutive-failure threshold after which the evaluator
-  permanently degrades to in-process evaluation.
+* **Supervision** — a watchdog reaps each task against a wall-clock
+  heartbeat deadline (``worker_timeout``).  A worker that hangs or dies
+  gets its pool killed and respawned and the unfinished points requeued
+  with bounded retries (``max_task_retries`` per point,
+  ``max_pool_respawns`` per batch); because estimation is a pure
+  function of the point, a retry cannot change the science — only the
+  wall clock and the ``dse.watchdog.*`` metrics.  Only a point whose
+  retries are exhausted is reported infeasible, and repeated pool
+  failures still degrade the evaluator to in-process estimation.
+* **No orphaned workers** — the evaluator is a context manager, and a
+  module ``atexit`` hook plus ``__del__`` close any pool that an
+  exception or a forgotten ``close()`` would otherwise leak.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import json
 import logging
 import os
 import pickle
+import time
 import traceback
+import weakref
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Optional
 
 from ..compiler.driver import CompiledKernel
@@ -50,6 +60,19 @@ LOGGER = logging.getLogger("repro.dse.parallel")
 #: Pool failures in a row before degrading to in-process evaluation.
 DEFAULT_MAX_CONSECUTIVE_FAILURES = 3
 
+#: Times a single point is re-queued after its worker hung or died.
+DEFAULT_MAX_TASK_RETRIES = 2
+
+#: Pool kill/respawn cycles tolerated within one batch.
+DEFAULT_MAX_POOL_RESPAWNS = 3
+
+#: Fault-injection hook for the watchdog tests: ``substr`` hangs every
+#: worker task whose canonical point key contains the substring;
+#: ``substr@/path/sentinel`` hangs only the first such task across the
+#: whole pool (the sentinel file is created atomically), modelling a
+#: transiently wedged worker.
+CHAOS_HANG_ENV = "S2FA_CHAOS_HANG"
+
 # ----------------------------------------------------------------------
 # Worker-side state: the kernel AST ships once per worker via the pool
 # initializer; per-task payloads are just flat point dicts.
@@ -63,8 +86,25 @@ def _init_worker(kernel, device: Device) -> None:
     _WORKER_STATE["device"] = device
 
 
+def _maybe_chaos_hang(point: dict) -> None:
+    spec = os.environ.get(CHAOS_HANG_ENV)
+    if not spec:
+        return
+    substr, _, sentinel = spec.partition("@")
+    if substr not in canonical_key(point):
+        return
+    if sentinel:
+        try:
+            os.close(os.open(sentinel,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return              # hang-once: already fired
+    time.sleep(3600)            # wedged until the watchdog kills us
+
+
 def _worker_estimate(point: dict) -> HLSResult:
     """Pool task: estimate one point; never raises."""
+    _maybe_chaos_hang(point)
     return safe_estimate(_WORKER_STATE["kernel"], point,
                          _WORKER_STATE["device"])
 
@@ -78,6 +118,7 @@ def _worker_estimate_traced(point: dict, ctx: TraceContext
     serialized spans, which the host merges under the dispatching span
     (:meth:`~repro.obs.span.Tracer.absorb`).
     """
+    _maybe_chaos_hang(point)
     tracer = worker_tracer(ctx)
     result = safe_estimate(_WORKER_STATE["kernel"], point,
                            _WORKER_STATE["device"], tracer=tracer)
@@ -95,6 +136,32 @@ def _pickling_failure(exc: BaseException) -> bool:
     return "pickl" in name or "pickle" in str(exc).lower()
 
 
+# ----------------------------------------------------------------------
+# Leak guard: any evaluator still holding a pool at interpreter exit is
+# closed, so an exception mid-explore cannot orphan worker processes.
+# ----------------------------------------------------------------------
+
+_LIVE_EVALUATORS: "weakref.WeakSet[ParallelEvaluator]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_leaked_pools() -> None:
+    for evaluator in list(_LIVE_EVALUATORS):
+        try:
+            evaluator.close()
+        except Exception:       # noqa: BLE001 - interpreter teardown
+            pass
+
+
+@dataclass
+class _Task:
+    """One pool task being supervised by the watchdog."""
+
+    key: str
+    point: dict
+    retries: int = 0
+
+
 class ParallelEvaluator(Evaluator):
     """Evaluator that fans batch misses out over a process pool.
 
@@ -103,6 +170,10 @@ class ParallelEvaluator(Evaluator):
     for every CLI/benchmark entry point.
     """
 
+    # The :class:`Evaluator` dataclass sets ``__hash__ = None`` (eq=True);
+    # identity hashing is required for the weak leak-guard registry.
+    __hash__ = object.__hash__
+
     def __init__(self, compiled: CompiledKernel, device: Device = VU9P, *,
                  frequency_aware: bool = True,
                  store: Optional[CacheStore] = None,
@@ -110,6 +181,8 @@ class ParallelEvaluator(Evaluator):
                  max_consecutive_failures: int =
                  DEFAULT_MAX_CONSECUTIVE_FAILURES,
                  worker_timeout: Optional[float] = None,
+                 max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
+                 max_pool_respawns: int = DEFAULT_MAX_POOL_RESPAWNS,
                  tracer=NULL_TRACER):
         super().__init__(compiled=compiled, device=device,
                          frequency_aware=frequency_aware, store=store,
@@ -117,12 +190,18 @@ class ParallelEvaluator(Evaluator):
         self.jobs = max(1, int(jobs))
         self.max_consecutive_failures = max(1, max_consecutive_failures)
         self.worker_timeout = worker_timeout
+        self.max_task_retries = max(0, int(max_task_retries))
+        self.max_pool_respawns = max(0, int(max_pool_respawns))
         self.worker_failures = 0
         self.consecutive_failures = 0
+        self.hung_workers = 0
+        self.pool_kills = 0
+        self.requeues = 0
         self.degraded = False
         self.events: list[dict] = []
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._precomputed: dict[str, tuple[HLSResult, bool]] = {}
+        _LIVE_EVALUATORS.add(self)
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -140,6 +219,22 @@ class ParallelEvaluator(Evaluator):
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
+    def _kill_pool(self, reason: str) -> None:
+        """Forcibly terminate the pool (hung workers never finish)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self.pool_kills += 1
+        self.tracer.metrics.incr("dse.watchdog.pool_kills")
+        self._log_event({"event": "pool_kill", "reason": reason})
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.kill()
+            except Exception:   # noqa: BLE001 - process already gone
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def close(self) -> None:
         """Shut the pool down; the evaluator stays usable (in-process)."""
         self._discard_pool()
@@ -149,6 +244,12 @@ class ParallelEvaluator(Evaluator):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:       # noqa: BLE001 - interpreter teardown
+            pass
 
     # ------------------------------------------------------------------
     # Failure accounting
@@ -195,54 +296,98 @@ class ParallelEvaluator(Evaluator):
             return precomputed
         return super()._compute(point, key)
 
-    def _fan_out(self, need: dict[str, dict]) -> None:
-        """Estimate the batch's unique misses on the pool.
+    def _accept(self, task: _Task, payload, ctx) -> None:
+        """Admit one successful worker result."""
+        if ctx is not None:
+            result, spans = payload
+            self.tracer.absorb(spans, point_key=task.key)
+        else:
+            result = payload
+        self._precomputed[task.key] = (result, True)
+        self.consecutive_failures = 0
 
-        With tracing on, each task carries the host's trace context and
-        returns its worker-side span forest, merged under the current
-        span; the untraced task payload is unchanged, so tracing off
-        costs nothing on this path.
+    def _requeue_or_fail(self, tasks: list[_Task],
+                         penalized: set[str], reason: str) -> list[_Task]:
+        """Watchdog requeue with bounded retries.
+
+        Tasks in ``penalized`` (the hung/dead ones) pay a retry; the
+        merely-unfinished rest are requeued for free.  A task whose
+        retries are exhausted is recorded as a worker failure.
         """
-        try:
-            pool = self._ensure_pool()
-        except Exception as exc:  # noqa: BLE001 - OS-level pool failure
-            for key in need:
-                self._record_failure(key, f"pool start failed: {exc}")
-            self._maybe_degrade()
-            return
+        requeued: list[_Task] = []
+        for task in tasks:
+            if task.key in penalized:
+                task.retries += 1
+            if task.retries > self.max_task_retries:
+                self._record_failure(task.key, reason)
+                continue
+            self.requeues += 1
+            self.tracer.metrics.incr("dse.watchdog.requeues")
+            self._log_event({
+                "event": "worker_requeue",
+                "point_key": task.key,
+                "reason": reason,
+                "retry": task.retries,
+            })
+            requeued.append(task)
+        return requeued
 
-        ctx = self.tracer.context() if self.tracer.enabled else None
-        submitted: list[tuple[str, concurrent.futures.Future]] = []
-        broken = False
-        for key, point in need.items():
+    def _run_wave(self, pool, tasks: list[_Task], ctx) -> list[_Task]:
+        """Submit one wave and reap it under the watchdog.
+
+        Returns the tasks that must be retried on a fresh pool (empty
+        when the wave fully resolved).  The pool is killed before any
+        non-empty return.
+        """
+        submitted: list[tuple[_Task, concurrent.futures.Future]] = []
+        for i, task in enumerate(tasks):
             try:
                 if ctx is not None:
-                    future = pool.submit(_worker_estimate_traced, point,
-                                         ctx)
+                    future = pool.submit(_worker_estimate_traced,
+                                         task.point, ctx)
                 else:
-                    future = pool.submit(_worker_estimate, point)
-                submitted.append((key, future))
-            except (BrokenProcessPool, RuntimeError) as exc:
-                self._record_failure(key, f"submit failed: {exc}")
-                broken = True
+                    future = pool.submit(_worker_estimate, task.point)
+            except Exception as exc:  # noqa: BLE001 - broken pool
+                if _pickling_failure(exc):
+                    self._discard_pool()
+                    raise DSEError(
+                        f"design point {task.key} could not cross the "
+                        f"process boundary (pickling failed): "
+                        f"{type(exc).__name__}: {exc}") from exc
+                rest = [task] + tasks[i + 1:]
+                leftover = self._harvest(submitted, ctx) + rest
+                self._kill_pool(f"submit failed: {exc}")
+                return self._requeue_or_fail(
+                    leftover, {t.key for t in rest},
+                    f"submit failed: {exc}")
+            submitted.append((task, future))
 
-        for key, future in submitted:
+        poisoned = False
+        for i, (task, future) in enumerate(submitted):
             try:
                 payload = future.result(timeout=self.worker_timeout)
-                if ctx is not None:
-                    result, spans = payload
-                    self.tracer.absorb(spans, point_key=key)
-                else:
-                    result = payload
-                self._precomputed[key] = (result, True)
-                self.consecutive_failures = 0
             except concurrent.futures.TimeoutError:
-                self._record_failure(
-                    key, f"timeout after {self.worker_timeout}s")
-                broken = True
+                # Heartbeat deadline blown: declare the worker hung,
+                # kill the pool, and requeue everything unfinished.
+                self.hung_workers += 1
+                self.tracer.metrics.incr("dse.watchdog.hangs")
+                self._log_event({
+                    "event": "worker_hang",
+                    "point_key": task.key,
+                    "deadline_seconds": self.worker_timeout,
+                })
+                leftover = [task] + self._harvest(submitted[i + 1:], ctx)
+                self._kill_pool("hung worker")
+                return self._requeue_or_fail(
+                    leftover, {task.key},
+                    f"hung past {self.worker_timeout}s deadline")
             except BrokenProcessPool as exc:
-                self._record_failure(key, f"worker died: {exc}")
-                broken = True
+                leftover = ([task]
+                            + self._harvest(submitted[i + 1:], ctx))
+                self._kill_pool(f"worker died: {exc}")
+                return self._requeue_or_fail(
+                    leftover, {t.key for t in leftover},
+                    f"worker died: {exc}")
             except Exception as exc:  # noqa: BLE001 - pool-level error
                 if _pickling_failure(exc):
                     # The point (or its result) cannot cross the process
@@ -252,15 +397,64 @@ class ParallelEvaluator(Evaluator):
                     # into an "infeasible" placeholder.
                     self._discard_pool()
                     raise DSEError(
-                        f"design point {key} could not cross the "
+                        f"design point {task.key} could not cross the "
                         f"process boundary (pickling failed): "
                         f"{type(exc).__name__}: {exc}") from exc
-                self._record_failure(key, f"pool error: {exc!r}",
+                self._record_failure(task.key, f"pool error: {exc!r}",
                                      tb=traceback.format_exc())
-                broken = True
-
-        if broken:
+                poisoned = True
+                continue
+            self._accept(task, payload, ctx)
+        if poisoned:
             self._discard_pool()
+        return []
+
+    def _harvest(self, submitted, ctx) -> list[_Task]:
+        """Salvage finished futures from an aborted wave.
+
+        Completed results are admitted (their work is not wasted); the
+        rest come back for requeueing.
+        """
+        leftover: list[_Task] = []
+        for task, future in submitted:
+            if future.done() and future.exception() is None:
+                self._accept(task, future.result(), ctx)
+            else:
+                leftover.append(task)
+        return leftover
+
+    def _fan_out(self, need: dict[str, dict]) -> None:
+        """Estimate the batch's unique misses under watchdog supervision.
+
+        With tracing on, each task carries the host's trace context and
+        returns its worker-side span forest, merged under the current
+        span; the untraced task payload is unchanged, so tracing off
+        costs nothing on this path.
+        """
+        ctx = self.tracer.context() if self.tracer.enabled else None
+        queue = [_Task(key=key, point=point)
+                 for key, point in need.items()]
+        respawns = 0
+        while queue:
+            try:
+                pool = self._ensure_pool()
+            except Exception as exc:  # noqa: BLE001 - OS-level failure
+                for task in queue:
+                    self._record_failure(task.key,
+                                         f"pool start failed: {exc}")
+                break
+            queue = self._run_wave(pool, queue, ctx)
+            if not queue:
+                break
+            respawns += 1
+            if respawns > self.max_pool_respawns:
+                for task in queue:
+                    self._record_failure(
+                        task.key,
+                        f"gave up after {self.max_pool_respawns} pool "
+                        f"respawns")
+                break
+            self.tracer.metrics.incr("dse.watchdog.pool_respawns")
         self._maybe_degrade()
 
     def evaluate_batch(self, points: list[dict]) -> list[Evaluation]:
@@ -293,6 +487,9 @@ class ParallelEvaluator(Evaluator):
         data.update({
             "jobs": self.jobs,
             "worker_failures": self.worker_failures,
+            "hung_workers": self.hung_workers,
+            "pool_kills": self.pool_kills,
+            "requeues": self.requeues,
             "degraded": self.degraded,
             "events": len(self.events),
         })

@@ -42,6 +42,10 @@ class DSERun:
     #: evaluation-backend statistics (pool size, batching, cache hits,
     #: worker failures) captured at the end of the run
     evaluator_stats: Optional[dict] = None
+    #: whether this run was restored from a checkpoint.  Deliberately
+    #: excluded from :meth:`to_dict`: a resumed run's report must be
+    #: bit-identical to the uninterrupted run's.
+    resumed: bool = False
 
     @property
     def best_seconds_per_batch(self) -> float:

@@ -140,13 +140,22 @@ def evaluation_stats_table(stats: dict,
         ["worker failures", stats.get("worker_failures", 0)],
         ["degraded to in-process", stats.get("degraded", False)],
     ]
+    # Watchdog interventions only appear when something actually hung or
+    # died — the table stays compact on healthy runs.
+    if stats.get("hung_workers") or stats.get("pool_kills"):
+        rows.append(["hung workers killed", stats.get("hung_workers", 0)])
+        rows.append(["pool kills", stats.get("pool_kills", 0)])
+        rows.append(["points requeued", stats.get("requeues", 0)])
     store = stats.get("store")
     if store:
-        rows.append(["cache store",
-                     f"{store.get('directory', '?')} "
-                     f"(+{store.get('appends', 0)} records, "
-                     f"{store.get('corrupt_lines', 0)} corrupt lines "
-                     f"skipped)"])
+        detail = (f"{store.get('directory', '?')} "
+                  f"(+{store.get('appends', 0)} records, "
+                  f"{store.get('corrupt_lines', 0)} corrupt lines "
+                  f"skipped)")
+        if store.get("stale_records"):
+            detail = detail[:-1] + (
+                f", {store['stale_records']} stale records skipped)")
+        rows.append(["cache store", detail])
     return format_table(["Statistic", "Value"], rows, title=title)
 
 

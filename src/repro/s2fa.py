@@ -23,6 +23,9 @@ throwaway session and behave exactly as before.
 
 from __future__ import annotations
 
+import contextlib
+import signal as _signal
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Union
@@ -32,6 +35,7 @@ from .compiler.driver import CompiledKernel, compile_kernel
 from .compiler.interface import LayoutConfig
 from .config import ExploreConfig, RuntimeConfig
 from .dse.cache import CacheStore
+from .dse.checkpoint import CheckpointStore
 from .dse.engine import S2FAEngine
 from .dse.parallel import ParallelEvaluator
 from .dse.result import DSERun
@@ -50,6 +54,33 @@ from .obs import (
     write_chrome_trace,
     write_jsonl,
 )
+
+
+@contextlib.contextmanager
+def _graceful_shutdown(engine: S2FAEngine, enabled: bool):
+    """Route SIGINT/SIGTERM to the engine's graceful stop.
+
+    Installed only while checkpointing is on (the stop is only useful
+    when it leaves something to resume) and only on the main thread
+    (signal handlers cannot be set elsewhere).  The previous handlers
+    are restored on exit, so nested pipelines keep their behavior.
+    """
+    if not enabled or threading.current_thread() \
+            is not threading.main_thread():
+        yield
+        return
+    previous = {}
+    for signum in (_signal.SIGINT, _signal.SIGTERM):
+        try:
+            previous[signum] = _signal.signal(
+                signum, lambda *_: engine.request_stop())
+        except (ValueError, OSError):       # pragma: no cover
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            _signal.signal(signum, handler)
 
 
 @dataclass
@@ -212,7 +243,15 @@ class S2FASession:
                 layout_config: Optional[LayoutConfig] = None,
                 pattern: Optional[str] = None,
                 batch_size: Optional[int] = None) -> AcceleratorBuild:
-        """Compile + DSE: pick the best design under the session config."""
+        """Compile + DSE: pick the best design under the session config.
+
+        With ``checkpoint_dir`` set the exploration is crash-safe: the
+        engine journals its state at every batch boundary, SIGINT/SIGTERM
+        turn into a graceful stop raising
+        :class:`~repro.errors.ExplorationInterrupted`, and
+        ``resume=True`` continues a previously interrupted run (or
+        starts fresh if no checkpoint exists).
+        """
         cfg = self.explore_config
         with self.tracer.span("pipeline.explore", seed=cfg.seed,
                               jobs=cfg.jobs) as span:
@@ -222,7 +261,14 @@ class S2FASession:
                 batch_size=batch_size)
             span.set(accel=compiled.accel_id)
             space = build_space(compiled)
-            store = CacheStore(cfg.cache_dir) if cfg.cache_dir else None
+            # Checkpointing implies a persistent cache (in the checkpoint
+            # directory unless one is named): resuming replays the killed
+            # batch's already-estimated points as store hits, which is
+            # what makes the resumed trajectory duplicate-free.
+            cache_dir = cfg.cache_dir or cfg.checkpoint_dir
+            store = CacheStore(cache_dir) if cache_dir else None
+            checkpoints = (CheckpointStore(cfg.checkpoint_dir)
+                           if cfg.checkpoint_dir else None)
             with ParallelEvaluator(compiled, self.device, store=store,
                                    jobs=cfg.jobs,
                                    tracer=self.tracer) as evaluator:
@@ -231,8 +277,13 @@ class S2FASession:
                     time_limit_minutes=cfg.time_limit_minutes,
                     workers=cfg.workers,
                     max_partitions=cfg.max_partitions,
+                    checkpoint_store=checkpoints,
                     tracer=self.tracer)
-                run = engine.run()
+                resume = (cfg.resume and checkpoints is not None
+                          and checkpoints.has(evaluator.kernel_digest))
+                with _graceful_shutdown(engine,
+                                        enabled=checkpoints is not None):
+                    run = engine.resume() if resume else engine.run()
             if run.best_point is None:
                 raise DSEError(
                     "the DSE found no feasible design point "

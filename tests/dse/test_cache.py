@@ -16,6 +16,7 @@ from repro.dse import (
     kernel_digest,
     point_from_key,
 )
+from repro.dse.cache import FORMAT_VERSION
 from repro.hls import estimate
 from repro.hls.device import VU9P
 from repro.hls.result import HLSResult
@@ -175,12 +176,54 @@ class TestCacheStore:
     def test_schema_drift_treated_as_miss(self, tmp_path):
         digest = "d" * 24
         path = tmp_path / f"{digest}.jsonl"
-        record = {"key": "k", "minutes": 1.0,
+        record = {"v": FORMAT_VERSION, "key": "k", "minutes": 1.0,
                   "result": {"not_a_field": True}}
         path.write_text(json.dumps(record) + "\n")
         store = CacheStore(tmp_path)
         assert store.get(digest, "k") is None
         assert store.corrupt_lines == 1
+
+    def test_other_format_version_skipped_as_stale(
+            self, tmp_path, caplog, kmeans_result):
+        # A record from another store format is never mis-parsed: it is
+        # skipped with a warning and counted, then re-estimated.
+        _, result = kmeans_result
+        digest = "d" * 24
+        path = tmp_path / f"{digest}.jsonl"
+        records = [
+            {"v": FORMAT_VERSION - 1, "key": "old", "minutes": 1.0,
+             "result": result.to_dict()},
+            {"key": "unversioned", "minutes": 1.0,
+             "result": result.to_dict()},
+            {"v": FORMAT_VERSION, "key": "current", "minutes": 2.0,
+             "result": result.to_dict()},
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records))
+        store = CacheStore(tmp_path)
+        with caplog.at_level("WARNING", logger="repro.dse.cache"):
+            assert store.get(digest, "old") is None
+        assert store.get(digest, "unversioned") is None
+        assert store.get(digest, "current") is not None
+        assert store.stale_records == 2
+        assert store.corrupt_lines == 0
+        assert any("another store format" in r.message
+                   for r in caplog.records)
+
+    def test_fsync_append_survives_torn_tail_repair(
+            self, tmp_path, kmeans_result):
+        # A parsable final line that merely lost its newline is healed
+        # in place, not truncated.
+        _, result = kmeans_result
+        digest = "d" * 24
+        store = CacheStore(tmp_path)
+        store.put(digest, "whole", 1.0, result)
+        path = tmp_path / f"{digest}.jsonl"
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        fresh = CacheStore(tmp_path)
+        assert fresh.get(digest, "whole") is not None
+        assert fresh.corrupt_lines == 0
+        assert path.read_bytes().endswith(b"\n")
 
 
 def _append_records(directory, digest, start, count, payload):

@@ -79,8 +79,12 @@ class TestParallelEquivalence:
         assert stats["hit_rate"] > 0.9
 
     def test_failures_never_persisted(self, kmeans, batch, tmp_path):
+        # Retries off: the killed workers' points become worker-failure
+        # placeholders, and placeholders must never reach the store.
         store = CacheStore(tmp_path)
-        with ParallelEvaluator(kmeans, store=store, jobs=2) as evaluator:
+        with ParallelEvaluator(kmeans, store=store, jobs=2,
+                               max_task_retries=0,
+                               max_pool_respawns=0) as evaluator:
             _kill_pool_workers(evaluator)
             evaluator.evaluate_batch(batch)
         assert store.appends == 0
@@ -97,9 +101,33 @@ def _kill_pool_workers(evaluator):
 
 
 class TestFaultTolerance:
-    def test_killed_worker_marks_points_infeasible(self, kmeans, batch):
+    def test_killed_workers_recover_via_respawn(self, kmeans, batch):
+        # The watchdog's default policy: a dead pool is killed and
+        # respawned, the unfinished points are requeued, and the batch
+        # completes with results identical to serial evaluation.
+        serial = Evaluator(kmeans).evaluate_batch(batch)
         with ParallelEvaluator(kmeans, jobs=2,
                                max_consecutive_failures=100) as evaluator:
+            _kill_pool_workers(evaluator)
+            evaluations = evaluator.evaluate_batch(batch)
+            stats = evaluator.stats()
+        assert _evaluation_tuples(evaluations) == _evaluation_tuples(serial)
+        assert stats["worker_failures"] == 0
+        assert stats["pool_kills"] > 0
+        assert stats["requeues"] > 0
+        assert not stats["degraded"]
+        assert any(event["event"] == "pool_kill"
+                   for event in evaluator.events)
+        assert any(event["event"] == "worker_requeue"
+                   for event in evaluator.events)
+
+    def test_killed_worker_marks_points_infeasible(self, kmeans, batch):
+        # Retries exhausted (none allowed): every point the dead pool
+        # owed becomes an infeasible worker-failure placeholder.
+        with ParallelEvaluator(kmeans, jobs=2,
+                               max_consecutive_failures=100,
+                               max_task_retries=0,
+                               max_pool_respawns=0) as evaluator:
             _kill_pool_workers(evaluator)
             evaluations = evaluator.evaluate_batch(batch)
             stats = evaluator.stats()
@@ -110,13 +138,15 @@ class TestFaultTolerance:
         assert stats["worker_failures"] > 0
         assert not stats["degraded"]
         assert evaluator.events
-        assert all(event["event"] == "worker_failure"
+        assert all(event["event"] in ("worker_failure", "pool_kill")
                    for event in evaluator.events)
 
     def test_degrades_to_in_process_after_threshold(self, kmeans, batch):
         serial = Evaluator(kmeans).evaluate_batch(batch)
         with ParallelEvaluator(kmeans, jobs=2,
-                               max_consecutive_failures=1) as evaluator:
+                               max_consecutive_failures=1,
+                               max_task_retries=0,
+                               max_pool_respawns=0) as evaluator:
             _kill_pool_workers(evaluator)
             poisoned = evaluator.evaluate_batch(batch)
             assert evaluator.degraded
@@ -138,7 +168,9 @@ class TestFaultTolerance:
     def test_engine_run_survives_killed_workers(self, kmeans,
                                                 kmeans_space):
         with ParallelEvaluator(kmeans, jobs=2,
-                               max_consecutive_failures=2) as evaluator:
+                               max_consecutive_failures=2,
+                               max_task_retries=0,
+                               max_pool_respawns=0) as evaluator:
             _kill_pool_workers(evaluator)
             run = S2FAEngine(evaluator, kmeans_space, seed=3,
                              time_limit_minutes=45).run()

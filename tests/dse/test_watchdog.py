@@ -1,0 +1,91 @@
+"""Watchdog supervision of pool workers: hang detection, kill/respawn,
+bounded requeue.
+
+``S2FA_CHAOS_HANG`` wedges a worker task whose canonical point key
+contains a substring; with a ``@sentinel`` suffix only the *first* such
+task hangs (a transiently wedged worker), without it every attempt hangs
+(a permanently poisonous point).
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.dse import Evaluator, ParallelEvaluator, build_space
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::UserWarning")  # pool shutdown races on interpreter exit
+
+#: Every point of every space contains a ``pipeline`` parameter, so this
+#: substring wedges whichever task the pool schedules first.
+HANG_ALL = "pipeline"
+
+
+@pytest.fixture(scope="module")
+def kmeans():
+    return get_app("KMeans").compile()
+
+
+@pytest.fixture(scope="module")
+def batch(kmeans):
+    space = build_space(kmeans)
+    points = [space.default_point()]
+    for parallel in (2, 4, 8):
+        point = space.default_point()
+        point["L0.parallel"] = parallel
+        points.append(point)
+    return points
+
+
+def _evaluation_tuples(evaluations):
+    return [(e.qor, e.minutes, e.cached, e.result) for e in evaluations]
+
+
+class TestHangRecovery:
+    def test_transient_hang_recovers_and_matches_serial(
+            self, kmeans, batch, tmp_path, monkeypatch):
+        serial = Evaluator(kmeans).evaluate_batch(batch)
+        sentinel = tmp_path / "hang.once"
+        monkeypatch.setenv("S2FA_CHAOS_HANG", f"{HANG_ALL}@{sentinel}")
+        with ParallelEvaluator(kmeans, jobs=2,
+                               worker_timeout=1.0) as evaluator:
+            evaluations = evaluator.evaluate_batch(batch)
+            stats = evaluator.stats()
+        assert sentinel.exists(), "the chaos hook never fired"
+        assert _evaluation_tuples(evaluations) == _evaluation_tuples(serial)
+        assert stats["hung_workers"] >= 1
+        assert stats["pool_kills"] >= 1
+        assert stats["requeues"] >= 1
+        assert stats["worker_failures"] == 0
+        assert not stats["degraded"]
+        kinds = {event["event"] for event in evaluator.events}
+        assert {"worker_hang", "pool_kill", "worker_requeue"} <= kinds
+
+    def test_hang_events_reach_metrics_registry(self, kmeans, batch,
+                                                tmp_path, monkeypatch):
+        from repro.obs import Tracer
+
+        sentinel = tmp_path / "hang.once"
+        monkeypatch.setenv("S2FA_CHAOS_HANG", f"{HANG_ALL}@{sentinel}")
+        tracer = Tracer()
+        with ParallelEvaluator(kmeans, jobs=2, worker_timeout=1.0,
+                               tracer=tracer) as evaluator:
+            evaluator.evaluate_batch(batch)
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["dse.watchdog.hangs"] >= 1
+        assert counters["dse.watchdog.pool_kills"] >= 1
+        assert counters["dse.watchdog.requeues"] >= 1
+        assert counters["dse.watchdog.pool_respawns"] >= 1
+
+    def test_permanent_hang_exhausts_retries(self, kmeans, batch,
+                                             monkeypatch):
+        monkeypatch.setenv("S2FA_CHAOS_HANG", HANG_ALL)
+        with ParallelEvaluator(kmeans, jobs=2, worker_timeout=0.5,
+                               max_task_retries=0,
+                               max_consecutive_failures=100) as evaluator:
+            evaluations = evaluator.evaluate_batch(batch[:2])
+            stats = evaluator.stats()
+        assert stats["worker_failures"] >= 1
+        failed = [e for e in evaluations if not e.result.feasible]
+        assert failed
+        assert all(e.result.infeasible_reason.startswith("worker failure")
+                   for e in failed)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import (
+    EXIT_ERROR,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_USAGE,
+    main,
+)
 
 KERNEL = """
 class Inc extends Accelerator[Int, Int] {
@@ -61,7 +67,7 @@ class K extends Accelerator[Array[Float], Float] {
     def test_compile_error_reported(self, tmp_path, capsys):
         path = tmp_path / "bad.scala"
         path.write_text("def f(x: Int): Int = unknownCall(x)")
-        assert main(["compile", str(path)]) == 1
+        assert main(["compile", str(path)]) == EXIT_ERROR
         assert "error:" in capsys.readouterr().err
 
 
@@ -130,7 +136,8 @@ class TestRunCommand:
         assert "accelerated tasks              | 0" in out
 
     def test_bad_fault_plan_reported(self, capsys):
-        assert main(["run", "KMeans", "--fault-plan", "boom=1"]) == 1
+        assert main(["run", "KMeans", "--fault-plan", "boom=1"]) \
+            == EXIT_ERROR
         assert "unknown fault plan key" in capsys.readouterr().err
 
     def test_run_unknown_app(self):
@@ -222,3 +229,52 @@ class TestTraceCommands:
         assert trace.exists()
         out = capsys.readouterr().out
         assert "trace written to" in out
+
+
+class TestExitCodes:
+    """The CLI's exit codes are a contract with schedulers: 0 success,
+    1 result mismatch, 2 usage error, 3 pipeline error, 75 interrupted
+    with a resumable checkpoint (EX_TEMPFAIL)."""
+
+    def test_pinned_values(self):
+        assert (EXIT_OK, EXIT_USAGE, EXIT_ERROR, EXIT_INTERRUPTED) \
+            == (0, 2, 3, 75)
+
+    def test_success_is_zero(self, kernel_file):
+        assert main(["explore", kernel_file, "--seed", "1",
+                     "--time-limit", "40"]) == EXIT_OK
+
+    def test_usage_error_is_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore"])  # missing required source argument
+        assert excinfo.value.code == EXIT_USAGE
+
+    def test_pipeline_error_is_three(self, tmp_path, capsys):
+        path = tmp_path / "bad.scala"
+        path.write_text("def f(x: Int): Int = unknownCall(x)")
+        assert main(["compile", str(path)]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_dir_is_usage_error(
+            self, kernel_file, capsys):
+        assert main(["explore", kernel_file, "--resume"]) == EXIT_ERROR
+        assert "checkpoint_dir" in capsys.readouterr().err
+
+    def test_interrupted_is_75_and_resumable(self, kernel_file,
+                                             tmp_path, capsys,
+                                             monkeypatch):
+        ck = tmp_path / "ck"
+        monkeypatch.setenv("S2FA_CHAOS_KILL", "stop:1")
+        code = main(["explore", kernel_file, "--seed", "3",
+                     "--time-limit", "60",
+                     "--checkpoint-dir", str(ck)])
+        captured = capsys.readouterr()
+        assert code == EXIT_INTERRUPTED
+        assert "interrupted:" in captured.err
+        assert "--resume" in captured.err
+        monkeypatch.delenv("S2FA_CHAOS_KILL")
+        code = main(["explore", kernel_file, "--seed", "3",
+                     "--time-limit", "60",
+                     "--checkpoint-dir", str(ck), "--resume"])
+        assert code == EXIT_OK
+        assert "resumed" in capsys.readouterr().out

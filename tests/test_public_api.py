@@ -68,7 +68,8 @@ def test_session_public_methods():
 def test_explore_config_fields():
     fields = set(repro.ExploreConfig.__dataclass_fields__)
     assert fields == {"seed", "time_limit_minutes", "workers", "jobs",
-                      "cache_dir", "max_partitions"}
+                      "cache_dir", "max_partitions", "checkpoint_dir",
+                      "resume"}
 
 
 def test_runtime_config_fields():
