@@ -24,7 +24,12 @@ class AppSpec:
     * ``table2`` — the paper's Table 2 row (for side-by-side reports),
     * ``fig4_tasks`` / ``jvm_sample`` — workload size used for the
       speedup benches and how many tasks to actually interpret on the
-      JVM before extrapolating.
+      JVM before extrapolating,
+    * ``functional_layout`` / ``functional_workload`` /
+      ``functional_task_cap`` / ``differential_tasks`` — optional
+      functional-check variants (bounded capacities, shorter inputs)
+      exercising the identical code path in test time; harnesses read
+      these instead of special-casing individual apps.
     """
 
     name: str
@@ -39,11 +44,21 @@ class AppSpec:
     fig4_tasks: int = 65536
     jvm_sample: int = 64
     functional_tasks: int = 24      # tasks for JVM-vs-FPGA equivalence
+    differential_tasks: int = 8     # tasks per seed, differential harness
+    #: bounded-capacity layout for functional/differential checks
+    #: (``layout_config`` when None)
+    functional_layout: Optional[LayoutConfig] = None
+    #: ``workload(n, seed)`` variant sized for functional checks (the
+    #: deploy workload when None)
+    functional_workload: Optional[Callable[[int, int], list]] = None
+    #: cap on functionally executed tasks per run (None: no cap)
+    functional_task_cap: Optional[int] = None
     table2: dict = field(default_factory=dict)
     #: paper-reported speedups (for EXPERIMENTS.md comparisons)
     paper_speedup_s2fa: Optional[float] = None
     paper_speedup_manual: Optional[float] = None
     _compiled: Optional[CompiledKernel] = None
+    _functional_compiled: Optional[CompiledKernel] = None
 
     def compile(self, force: bool = False) -> CompiledKernel:
         """Compile (once) through the full S2FA frontend."""
@@ -54,3 +69,22 @@ class AppSpec:
                 pattern=self.pattern,
                 batch_size=self.batch_size)
         return self._compiled
+
+    def functional_compile(self, force: bool = False) -> CompiledKernel:
+        """Compile (once) with the functional layout, when one exists."""
+        if self.functional_layout is None:
+            return self.compile(force)
+        if self._functional_compiled is None or force:
+            self._functional_compiled = compile_kernel(
+                self.scala_source,
+                layout_config=self.functional_layout,
+                pattern=self.pattern,
+                batch_size=self.batch_size)
+        return self._functional_compiled
+
+    def functional_tasks_for(self, n: int, seed: int = 0) -> list:
+        """``n`` functional-check tasks (capped, functional workload)."""
+        if self.functional_task_cap is not None:
+            n = min(n, self.functional_task_cap)
+        workload = self.functional_workload or self.workload
+        return workload(n, seed=seed)

@@ -118,6 +118,11 @@ def manual_config(compiled: CompiledKernel) -> DesignConfig:
     )
 
 
+#: Small-length layout variant used by functional tests: the default
+#: layout is sized for the DSE workload; bounding sequence lengths keeps
+#: the C interpreter within test time on the identical code path.
+FUNCTIONAL_LAYOUT = LayoutConfig(default_string_length=24)
+
 SPEC = AppSpec(
     name="S-W",
     kind="string proc.",
@@ -130,8 +135,9 @@ SPEC = AppSpec(
     fig4_tasks=16384,
     jvm_sample=2,
     functional_tasks=3,
+    differential_tasks=3,
+    functional_layout=FUNCTIONAL_LAYOUT,
+    functional_workload=functional_workload,
+    functional_task_cap=16,
     table2={"bram": 33, "dsp": 30, "ff": 54, "lut": 75, "freq": 100},
 )
-
-#: Small-length spec variant used by functional tests.
-FUNCTIONAL_LAYOUT = LayoutConfig(default_string_length=24)

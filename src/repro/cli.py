@@ -41,6 +41,15 @@ Subcommands
     Per-stage breakdown, top-N slowest spans, and flamegraph of a trace
     written by ``--trace`` (either format).
 
+``fuzz``
+    Differential fuzzing of the whole compiler: generate random
+    well-typed kernels, run them through the JVM interpreter and the
+    HLS-C executor, demand bit-identical results, and metamorphically
+    check randomized Merlin transforms.  ``--corpus DIR`` first replays
+    every committed regression entry in DIR, then writes minimized
+    crash artifacts there for any new failure; ``--replay-only`` skips
+    generation (the CI regression job).
+
 Layout capacities for variable-length leaves are given as repeated
 ``--length path=N`` options, e.g. ``--length in._2=16 --length out=16``.
 """
@@ -282,6 +291,56 @@ def cmd_run(args: argparse.Namespace) -> int:
     return EXIT_OK if outcome.matched else EXIT_FAILURE
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``s2fa fuzz``: differential + metamorphic compiler fuzzing."""
+    from .fuzz import FuzzConfig, load_regressions, replay_entry, \
+        run_campaign
+
+    failed = False
+
+    if args.corpus:
+        entries = load_regressions(args.corpus)
+        for entry in entries:
+            ok, detail = replay_entry(entry)
+            status = "ok" if ok else f"FAIL ({detail})"
+            print(f"replay {entry.path.name if entry.path else entry.name}"
+                  f" : {status}")
+            failed = failed or not ok
+        if entries:
+            print(f"corpus : {len(entries)} entries replayed")
+    if args.replay_only:
+        if not args.corpus:
+            raise SystemExit("--replay-only requires --corpus DIR")
+        return EXIT_FAILURE if failed else EXIT_OK
+
+    config = FuzzConfig(
+        iterations=args.iterations,
+        seed=args.seed,
+        corpus_dir=Path(args.corpus) if args.corpus else None,
+        n_tasks=args.tasks,
+        check_metamorphic=not args.no_metamorphic,
+        minimize=not args.no_minimize,
+        max_failures=args.max_failures)
+    report = run_campaign(config)
+    print(f"fuzz   : {report.kernels} kernels, seed {report.seed}")
+    print("features          : "
+          + ", ".join(f"{k}={v}"
+                      for k, v in sorted(report.features.items())))
+    if report.transform_kinds:
+        print("transform kinds   : "
+              + ", ".join(f"{k}={v}" for k, v
+                          in sorted(report.transform_kinds.items())))
+    print(f"failures          : {len(report.failures)}")
+    for failure in report.failures:
+        print(f"  [{failure.iteration}] {failure.kind} "
+              f"{failure.stage}: {failure.detail}")
+        if failure.artifact_dir is not None:
+            print(f"      artifact: {failure.artifact_dir}")
+        if failure.minimized_lines is not None:
+            print(f"      minimized to {failure.minimized_lines} lines")
+    return EXIT_FAILURE if (failed or report.failures) else EXIT_OK
+
+
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
     """``s2fa trace summarize``: per-stage breakdown of a trace file."""
     from .obs import load_trace, summarize
@@ -412,6 +471,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed of the fault schedule (default 0)")
     _add_trace_flag(run_p)
     run_p.set_defaults(func=cmd_run)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential + metamorphic compiler fuzzing")
+    fuzz_p.add_argument("--iterations", type=int, default=200,
+                        help="kernels to generate (default 200)")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; the kernel sequence is a "
+                             "pure function of it (default 0)")
+    fuzz_p.add_argument("--corpus", metavar="DIR",
+                        help="replay the regression entries in DIR "
+                             "first, then write minimized crash "
+                             "artifacts there on new failures")
+    fuzz_p.add_argument("--replay-only", action="store_true",
+                        help="only replay the corpus, no generation")
+    fuzz_p.add_argument("--tasks", type=int, default=4,
+                        help="input tasks per kernel (default 4)")
+    fuzz_p.add_argument("--max-failures", type=int, default=10,
+                        help="stop the campaign after this many "
+                             "failures (default 10)")
+    fuzz_p.add_argument("--no-metamorphic", action="store_true",
+                        help="skip the Merlin transform checker")
+    fuzz_p.add_argument("--no-minimize", action="store_true",
+                        help="keep failing kernels unshrunk")
+    fuzz_p.set_defaults(func=cmd_fuzz)
 
     trace_p = sub.add_parser("trace",
                              help="inspect recorded span traces")

@@ -100,21 +100,29 @@ def _leaf_binding(leaf) -> object:
 
 
 def _input_bindings(input_type: st.Type, layout: InterfaceLayout) -> object:
-    """Binding for the single ``in`` parameter of ``call``."""
-    leaves = list(layout.inputs)
-    if isinstance(input_type, st.TupleType):
-        return CompositeParam(leaves={
-            i: _leaf_binding(leaf)
-            for i, leaf in enumerate(leaves, start=1)
-        })
-    if isinstance(input_type, st.ClassType) \
-            and input_type.name in layout.records:
-        fields = layout.records[input_type.name]
-        return CompositeParam(leaves={
-            field_name: _leaf_binding(leaf)
-            for (field_name, _), leaf in zip(fields, leaves)
-        })
-    return _leaf_binding(leaves[0])
+    """Binding for the single ``in`` parameter of ``call``.
+
+    Mirrors the recursive flattening of :func:`build_layout`: composite
+    types become nested :class:`CompositeParam` trees whose leaves consume
+    ``layout.inputs`` in order, so ``in._2._1``-style accessor chains on
+    nested tuples resolve to the right flattened buffer.
+    """
+    leaf_iter = iter(layout.inputs)
+
+    def build(tpe: st.Type) -> object:
+        if isinstance(tpe, st.TupleType):
+            return CompositeParam(leaves={
+                i: build(elem)
+                for i, elem in enumerate(tpe.elems, start=1)
+            })
+        if isinstance(tpe, st.ClassType) and tpe.name in layout.records:
+            return CompositeParam(leaves={
+                field_name: build(field_type)
+                for field_name, field_type in layout.records[tpe.name]
+            })
+        return _leaf_binding(next(leaf_iter))
+
+    return build(input_type)
 
 
 class KernelCompiler:

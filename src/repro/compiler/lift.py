@@ -441,12 +441,11 @@ class Lifter:
             self.return_expr = value
             stmts.append(Return(value))
             return
-        # Top-level call(): map the returned value onto output leaves.
-        elems = [value]
-        if isinstance(value, _TupleValue):
-            if value.elems is None:
-                raise DecompileError("returned tuple was never constructed")
-            elems = value.elems
+        # Top-level call(): map the returned value onto output leaves,
+        # flattening nested tuples (and aliased input subtrees) in the
+        # same depth-first order the interface layout uses.
+        elems: list = []
+        self._flatten_returned(value, elems)
         if len(elems) != len(self.out_leaves):
             raise DecompileError(
                 f"kernel returns {len(elems)} values but the interface has "
@@ -461,6 +460,25 @@ class Lifter:
                 raise DecompileError(
                     f"cannot map returned value {elem!r} to output leaf "
                     f"{leaf.name}")
+
+    def _flatten_returned(self, value, out: list) -> None:
+        if isinstance(value, _TupleValue):
+            if value.elems is None:
+                raise DecompileError("returned tuple was never constructed")
+            for elem in value.elems:
+                self._flatten_returned(elem, out)
+            return
+        if isinstance(value, CompositeParam):
+            # Returning (part of) the input: expand its leaf bindings.
+            # The dict preserves declaration order (tuple indices 1..n or
+            # record fields), which matches the layout's flattening.
+            for leaf in value.leaves.values():
+                self._flatten_returned(leaf, out)
+            return
+        if isinstance(value, ScalarParam):
+            out.append(Var(value.name))
+            return
+        out.append(value)
 
     def _is_local_array(self, name: str) -> bool:
         return any(v[0] == name and v[2] for v in self.slot_vars.values())

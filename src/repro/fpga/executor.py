@@ -10,7 +10,12 @@ Semantics follow the generated subset of C with two deliberate choices:
 * ``char`` behaves as the JVM's unsigned 16-bit char (the code generator
   emits char buffers from Java chars, and real S2FA would declare them
   ``unsigned``);
-* 32-bit wrapping integer arithmetic, truncating division (C99 == JVM).
+* 32-bit wrapping ``int`` / 64-bit wrapping ``long`` arithmetic with
+  truncating division (C99 == JVM).  Which width applies is decided
+  *statically* from the declared C types (params, ``VarDecl``s, literal
+  suffixes, casts), exactly as a C compiler would — the fuzzer found
+  that treating every integer as 32-bit diverges from the JVM on
+  ``Long`` kernels.
 """
 
 from __future__ import annotations
@@ -47,11 +52,18 @@ from ..hlsc.ast import (
 )
 
 _INT_MAX = 2**31 - 1
+_INT_MIN = -2**31
+_LONG_MAX = 2**63 - 1
 
 
 def _i32(value: int) -> int:
     value &= 0xFFFFFFFF
     return value - 0x100000000 if value > _INT_MAX else value
+
+
+def _i64(value: int) -> int:
+    value &= 0xFFFFFFFFFFFFFFFF
+    return value - 0x10000000000000000 if value > _LONG_MAX else value
 
 
 def _cdiv(a: int, b: int) -> int:
@@ -119,8 +131,38 @@ class KernelExecutor:
         self.functions = {f.name: f for f in kernel.functions}
         self.max_steps = max_steps
         self._steps = 0
+        #: function name -> names with 64-bit ``long`` type (scalars and
+        #: pointee types alike); computed lazily per function.
+        self._long_vars: dict[str, frozenset[str]] = {}
+        self._long_returns = frozenset(
+            f.name for f in kernel.functions
+            if f.return_type is not None and f.return_type.base == "long")
+        #: stack of long-variable sets for the functions being executed.
+        self._ctx: list[frozenset[str]] = []
+        self._long_memo: dict[int, bool] = {}
 
     # ------------------------------------------------------------------
+
+    def _function_longs(self, func: CFunction) -> frozenset[str]:
+        cached = self._long_vars.get(func.name)
+        if cached is not None:
+            return cached
+        longs = {p.name for p in func.params if p.ctype.base == "long"}
+        stack: list = list(func.body.stmts)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, VarDecl):
+                if stmt.ctype.base == "long":
+                    longs.add(stmt.name)
+            elif isinstance(stmt, If):
+                stack.extend(stmt.then.stmts)
+                if stmt.orelse is not None:
+                    stack.extend(stmt.orelse.stmts)
+            elif isinstance(stmt, (For, While)):
+                stack.extend(stmt.body.stmts)
+        result = frozenset(longs)
+        self._long_vars[func.name] = result
+        return result
 
     def run(self, buffers: dict[str, list], n_tasks: int) -> None:
         """Execute the top (batch) function, mutating output buffers."""
@@ -136,7 +178,11 @@ class KernelExecutor:
                 env[p.name] = CPointer(buffers[p.name])
             else:
                 env[p.name] = buffers[p.name]
-        self._exec_block(top.body, env)
+        self._ctx.append(self._function_longs(top))
+        try:
+            self._exec_block(top.body, env)
+        finally:
+            self._ctx.pop()
 
     def call_function(self, name: str, args: list):
         """Invoke a kernel-local function with Python/CPointer args."""
@@ -149,11 +195,53 @@ class KernelExecutor:
                 f"{name} expects {len(func.params)} args, got {len(args)}")
         for p, value in zip(func.params, args):
             env[p.name] = value
+        self._ctx.append(self._function_longs(func))
         try:
             self._exec_block(func.body, env)
         except _ReturnSignal as signal:
             return signal.value
+        finally:
+            self._ctx.pop()
         return None
+
+    # ------------------------------------------------------------------
+    # Static width inference (is an expression 64-bit ``long``?)
+    # ------------------------------------------------------------------
+
+    def _is_long(self, expr: Expr) -> bool:
+        key = id(expr)
+        cached = self._long_memo.get(key)
+        if cached is None:
+            cached = self._infer_long(expr)
+            self._long_memo[key] = cached
+        return cached
+
+    def _infer_long(self, expr: Expr) -> bool:
+        longs = self._ctx[-1] if self._ctx else frozenset()
+        if isinstance(expr, IntLit):
+            return expr.ctype.base == "long"
+        if isinstance(expr, Var):
+            return expr.name in longs
+        if isinstance(expr, ArrayRef):
+            base = expr.array
+            while isinstance(base, (ArrayRef, BinOp)):
+                base = base.array if isinstance(base, ArrayRef) else base.lhs
+            return isinstance(base, Var) and base.name in longs
+        if isinstance(expr, Cast):
+            return expr.ctype.base == "long"
+        if isinstance(expr, UnOp):
+            return expr.op in ("-", "~") and self._is_long(expr.operand)
+        if isinstance(expr, BinOp):
+            if expr.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+                return False
+            if expr.op in ("<<", ">>"):
+                return self._is_long(expr.lhs)
+            return self._is_long(expr.lhs) or self._is_long(expr.rhs)
+        if isinstance(expr, Ternary):
+            return self._is_long(expr.then) or self._is_long(expr.other)
+        if isinstance(expr, Call):
+            return expr.name in self._long_returns
+        return False
 
     # ------------------------------------------------------------------
     # Statements
@@ -269,11 +357,13 @@ class KernelExecutor:
         if isinstance(expr, UnOp):
             value = self._eval(expr.operand, env)
             if expr.op == "-":
-                return _i32(-value) if isinstance(value, int) else -value
+                if not isinstance(value, int):
+                    return -value
+                return _i64(-value) if self._is_long(expr) else _i32(-value)
             if expr.op == "!":
                 return 0 if value else 1
             if expr.op == "~":
-                return _i32(~value)
+                return _i64(~value) if self._is_long(expr) else _i32(~value)
             raise S2FAError(f"bad unary operator {expr.op}")
         if isinstance(expr, Cast):
             value = self._eval(expr.expr, env)
@@ -287,7 +377,14 @@ class KernelExecutor:
                 v = int(value) & 0xFFFF
                 return v - 0x10000 if v > 0x7FFF else v
             if base == "long":
-                return int(value)
+                # JVM f2l/d2l: non-finite saturates to 0.
+                if isinstance(value, float) and not math.isfinite(value):
+                    return 0
+                return _i64(int(value))
+            # JVM f2i/d2i: inf saturates to INT_MAX/INT_MIN, NaN to 0.
+            if isinstance(value, float) and not math.isfinite(value):
+                return _INT_MAX if value > 0 else (
+                    _INT_MIN if value < 0 else 0)
             return _i32(int(value))
         if isinstance(expr, Ternary):
             if self._eval(expr.cond, env):
@@ -320,15 +417,16 @@ class KernelExecutor:
             }[op]
             return 1 if result else 0
         both_int = isinstance(a, int) and isinstance(b, int)
+        wrap = _i64 if both_int and self._is_long(expr) else _i32
         if op == "+":
-            return _i32(a + b) if both_int else a + b
+            return wrap(a + b) if both_int else a + b
         if op == "-":
-            return _i32(a - b) if both_int else a - b
+            return wrap(a - b) if both_int else a - b
         if op == "*":
-            return _i32(a * b) if both_int else a * b
+            return wrap(a * b) if both_int else a * b
         if op == "/":
             if both_int:
-                return _i32(_cdiv(a, b))
+                return wrap(_cdiv(a, b))
             if b == 0.0:
                 return math.inf if a > 0 else (-math.inf if a < 0
                                                else math.nan)
@@ -336,17 +434,17 @@ class KernelExecutor:
         if op == "%":
             if not both_int:
                 return math.fmod(a, b)
-            return _i32(a - _cdiv(a, b) * b)
+            return wrap(a - _cdiv(a, b) * b)
         if op == "<<":
-            return _i32(a << (b & 31))
+            return wrap(a << (b & (63 if wrap is _i64 else 31)))
         if op == ">>":
-            return _i32(a >> (b & 31))
+            return wrap(a >> (b & (63 if wrap is _i64 else 31)))
         if op == "&":
-            return _i32(a & b)
+            return wrap(a & b)
         if op == "|":
-            return _i32(a | b)
+            return wrap(a | b)
         if op == "^":
-            return _i32(a ^ b)
+            return wrap(a ^ b)
         raise S2FAError(f"bad binary operator {op}")
 
     def _call(self, expr: Call, env: dict):

@@ -1,0 +1,37 @@
+"""Differential fuzzing of the whole S2FA compilation pipeline.
+
+A Csmith-style standing adversary for every layer the compiler touches:
+
+* :mod:`repro.fuzz.gen` — a seedable generator of well-typed mini-Scala
+  kernels over the full supported subset (Int/Long/Float/Double
+  arithmetic, comparisons and if/else, nested Tuple2, constant-size
+  arrays, nested for loops with accumulator patterns),
+* :mod:`repro.fuzz.oracle` — a differential oracle running each kernel
+  through scala -> bytecode -> JVM interpreter and scala -> compiler ->
+  HLS-C -> C executor (via the Blaze serializers) and asserting
+  bit-identical results,
+* :mod:`repro.fuzz.metamorphic` — randomized Merlin transform
+  configurations (tiling, unrolling, interchange, tree reduction,
+  pragma insertion) that must keep the HLS-C bit-identical,
+* :mod:`repro.fuzz.minimize` — a delta-debugging shrinker producing
+  minimal reproducers,
+* :mod:`repro.fuzz.corpus` — self-contained crash artifacts and the
+  committed regression corpus,
+* :mod:`repro.fuzz.engine` — the campaign runner behind ``s2fa fuzz``.
+"""
+
+from .gen import (  # noqa: F401
+    FuzzKernel,
+    KernelGenerator,
+    generate_kernel,
+    make_tasks,
+)
+from .oracle import DifferentialOutcome, run_differential  # noqa: F401
+from .metamorphic import TransformTrial, check_transforms  # noqa: F401
+from .minimize import minimize_kernel  # noqa: F401
+from .corpus import (  # noqa: F401
+    load_regressions,
+    replay_entry,
+    write_crash_artifact,
+)
+from .engine import FuzzConfig, FuzzReport, run_campaign  # noqa: F401

@@ -1,0 +1,179 @@
+"""Crash artifacts and the committed regression corpus.
+
+Every bug the fuzzer ever finds becomes a permanent corpus entry: a
+single self-contained JSON file holding the (minimized) Scala source,
+the layout lengths, the exact input tasks, and the seeds involved.  CI
+replays the whole corpus deterministically on every run, so a fixed bug
+can never silently regress.
+
+Crash artifacts are richer directories written at detection time:
+
+* ``kernel.scala``     — the original failing kernel,
+* ``minimized.scala``  — the delta-debugged reproducer,
+* ``meta.json``        — seeds, stage, detail, expected/actual, features,
+* ``tasks.json``       — the (shrunken) input tasks,
+* ``regression.json``  — a ready-to-commit corpus entry.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..compiler.interface import LayoutConfig
+from .gen import FuzzKernel, tasks_from_json, type_from_json, type_to_json
+from .metamorphic import check_transforms
+from .oracle import run_differential
+
+#: corpus entry schema version, bumped on incompatible change.
+ENTRY_VERSION = 1
+
+
+@dataclass
+class RegressionEntry:
+    """One replayable corpus entry."""
+
+    name: str
+    source: str
+    input_type: object            # type_to_json form
+    tasks: list                   # JSON form (tuples as lists)
+    lengths: dict = field(default_factory=dict)
+    batch_size: int = 16
+    transform_seed: Optional[int] = None
+    min_transform_kinds: int = 3
+    notes: str = ""
+    path: Optional[Path] = None   # where it was loaded from
+
+    def host_tasks(self) -> list:
+        return tasks_from_json(self.tasks, type_from_json(self.input_type))
+
+    def layout_config(self) -> LayoutConfig:
+        return LayoutConfig(lengths=dict(self.lengths))
+
+    def to_json(self) -> dict:
+        return {
+            "version": ENTRY_VERSION,
+            "name": self.name,
+            "source": self.source,
+            "input_type": self.input_type,
+            "tasks": self.tasks,
+            "lengths": self.lengths,
+            "batch_size": self.batch_size,
+            "transform_seed": self.transform_seed,
+            "min_transform_kinds": self.min_transform_kinds,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict,
+                  path: Optional[Path] = None) -> "RegressionEntry":
+        return cls(
+            name=data["name"],
+            source=data["source"],
+            input_type=data["input_type"],
+            tasks=data["tasks"],
+            lengths=data.get("lengths", {}),
+            batch_size=data.get("batch_size", 16),
+            transform_seed=data.get("transform_seed"),
+            min_transform_kinds=data.get("min_transform_kinds", 3),
+            notes=data.get("notes", ""),
+            path=path)
+
+
+def entry_from_kernel(kernel: FuzzKernel, tasks: list, *,
+                      batch_size: int = 16,
+                      transform_seed: Optional[int] = None,
+                      notes: str = "") -> RegressionEntry:
+    """Build a corpus entry from a kernel and its host-form tasks."""
+    def jsonify(value):
+        if isinstance(value, tuple):
+            return [jsonify(v) for v in value]
+        if isinstance(value, list):
+            return [jsonify(v) for v in value]
+        return value
+
+    return RegressionEntry(
+        name=kernel.name,
+        source=kernel.scala(),
+        input_type=type_to_json(kernel.input_type),
+        tasks=[jsonify(t) for t in tasks],
+        lengths=dict(kernel.layout_config().lengths),
+        batch_size=batch_size,
+        transform_seed=transform_seed,
+        notes=notes)
+
+
+def load_regressions(corpus_dir) -> list:
+    """Load every ``*.json`` corpus entry, sorted by filename."""
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    entries = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        with path.open() as fh:
+            entries.append(RegressionEntry.from_json(json.load(fh),
+                                                     path=path))
+    return entries
+
+
+def replay_entry(entry: RegressionEntry, *,
+                 max_steps: int = 5_000_000) -> tuple:
+    """Replay one entry; returns ``(ok, detail)``.
+
+    Runs the differential oracle on the recorded source/tasks and, when
+    the entry carries a ``transform_seed``, the metamorphic checker with
+    exactly that seed — so the replay exercises the same transforms that
+    originally failed.
+    """
+    tasks = entry.host_tasks()
+    layout_config = entry.layout_config()
+    outcome = run_differential(entry.source, tasks,
+                               layout_config=layout_config,
+                               batch_size=entry.batch_size,
+                               max_steps=max_steps)
+    if not outcome.ok:
+        return False, f"differential: {outcome.stage}: {outcome.detail}"
+    if entry.transform_seed is not None:
+        trials = check_transforms(
+            outcome.compiled, tasks, random.Random(entry.transform_seed),
+            source=entry.source, layout_config=layout_config,
+            min_kinds=entry.min_transform_kinds, max_steps=max_steps)
+        bad = [t for t in trials if t.applied and not t.ok]
+        if bad:
+            t = bad[0]
+            return False, f"metamorphic: {t.kind}: {t.detail}"
+    return True, "ok"
+
+
+def write_crash_artifact(directory, *,
+                         kernel: FuzzKernel,
+                         tasks: list,
+                         minimized: Optional[FuzzKernel] = None,
+                         minimized_tasks: Optional[list] = None,
+                         meta: Optional[dict] = None,
+                         batch_size: int = 16,
+                         transform_seed: Optional[int] = None) -> Path:
+    """Write a self-contained crash artifact directory; returns it."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "kernel.scala").write_text(kernel.scala())
+    shrunk = minimized if minimized is not None else kernel
+    shrunk_tasks = minimized_tasks if minimized_tasks is not None else tasks
+    (directory / "minimized.scala").write_text(shrunk.scala())
+    entry = entry_from_kernel(shrunk, shrunk_tasks,
+                              batch_size=batch_size,
+                              transform_seed=transform_seed,
+                              notes=(meta or {}).get("detail", ""))
+    with (directory / "regression.json").open("w") as fh:
+        json.dump(entry.to_json(), fh, indent=2)
+        fh.write("\n")
+    with (directory / "tasks.json").open("w") as fh:
+        json.dump(entry.tasks, fh, indent=2)
+        fh.write("\n")
+    with (directory / "meta.json").open("w") as fh:
+        json.dump(meta or {}, fh, indent=2, default=repr)
+        fh.write("\n")
+    return directory

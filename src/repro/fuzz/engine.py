@@ -1,0 +1,199 @@
+"""The fuzz campaign runner behind ``s2fa fuzz``.
+
+One iteration = generate a kernel, run the differential oracle, then
+(when the kernel is healthy) the metamorphic transform checker.  Any
+failure is delta-debugged down to a minimal reproducer and written out
+as a self-contained crash artifact under the corpus directory.
+
+Determinism contract: the kernel/task sequence is a pure function of
+``FuzzConfig.seed`` (one ``random.Random`` drives generation), and each
+iteration's metamorphic RNG is derived as ``seed * 1_000_003 + i`` —
+independent of whether earlier iterations failed, so a failing campaign
+replays identically.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from .gen import FuzzKernel, KernelGenerator
+from .metamorphic import check_transforms
+from .minimize import line_count, minimize_kernel
+from .oracle import run_differential
+from .corpus import write_crash_artifact
+
+
+@dataclass
+class FuzzConfig:
+    """Campaign parameters (all deterministic given ``seed``)."""
+
+    iterations: int = 100
+    seed: int = 0
+    corpus_dir: Optional[Path] = None    # where crash artifacts land
+    n_tasks: int = 4
+    batch_size: int = 16
+    check_metamorphic: bool = True
+    min_transform_kinds: int = 3
+    minimize: bool = True
+    max_shrink_evals: int = 300
+    max_steps: int = 5_000_000
+    max_failures: int = 10               # stop the campaign after this many
+
+
+@dataclass
+class FuzzFailure:
+    """One observed failure, minimized when possible."""
+
+    iteration: int
+    kind: str                  # "differential" | "metamorphic"
+    kernel_name: str
+    stage: str                 # oracle stage or transform kind
+    detail: str
+    source: str
+    minimized_source: Optional[str] = None
+    minimized_lines: Optional[int] = None
+    artifact_dir: Optional[Path] = None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a whole campaign."""
+
+    iterations: int = 0
+    seed: int = 0
+    failures: list = field(default_factory=list)
+    features: Counter = field(default_factory=Counter)
+    transform_kinds: Counter = field(default_factory=Counter)
+    kernels: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _transform_seed(seed: int, iteration: int) -> int:
+    return seed * 1_000_003 + iteration
+
+
+def _differential_predicate(signature: tuple, config: FuzzConfig):
+    def predicate(kernel: FuzzKernel, tasks: list) -> bool:
+        outcome = run_differential(
+            kernel.scala(), tasks,
+            layout_config=kernel.layout_config(),
+            batch_size=config.batch_size, max_steps=config.max_steps)
+        return outcome.signature == signature
+    return predicate
+
+
+def _metamorphic_predicate(kind: str, transform_seed: int,
+                           config: FuzzConfig):
+    def predicate(kernel: FuzzKernel, tasks: list) -> bool:
+        source = kernel.scala()
+        layout_config = kernel.layout_config()
+        outcome = run_differential(
+            source, tasks, layout_config=layout_config,
+            batch_size=config.batch_size, max_steps=config.max_steps)
+        if not outcome.ok:
+            return False
+        trials = check_transforms(
+            outcome.compiled, tasks, random.Random(transform_seed),
+            source=source, layout_config=layout_config,
+            min_kinds=config.min_transform_kinds,
+            max_steps=config.max_steps)
+        return any(t.applied and not t.ok and t.kind == kind
+                   for t in trials)
+    return predicate
+
+
+def _handle_failure(config: FuzzConfig, iteration: int, kind: str,
+                    kernel: FuzzKernel, tasks: list, stage: str,
+                    detail: str, predicate, meta: dict,
+                    transform_seed: Optional[int]) -> FuzzFailure:
+    failure = FuzzFailure(
+        iteration=iteration, kind=kind, kernel_name=kernel.name,
+        stage=stage, detail=detail, source=kernel.scala())
+    shrunk, shrunk_tasks = kernel, tasks
+    if config.minimize:
+        try:
+            shrunk, shrunk_tasks = minimize_kernel(
+                kernel, tasks, predicate,
+                max_evals=config.max_shrink_evals)
+        except Exception as exc:  # never let the shrinker kill a run
+            meta = dict(meta, minimizer_error=f"{type(exc).__name__}: "
+                                              f"{exc}")
+        failure.minimized_source = shrunk.scala()
+        failure.minimized_lines = line_count(shrunk)
+    if config.corpus_dir is not None:
+        directory = (Path(config.corpus_dir)
+                     / f"crash_{iteration:04d}_{kernel.name.lower()}")
+        failure.artifact_dir = write_crash_artifact(
+            directory, kernel=kernel, tasks=tasks, minimized=shrunk,
+            minimized_tasks=shrunk_tasks,
+            meta=dict(meta, iteration=iteration, kind=kind, stage=stage,
+                      detail=detail, seed=config.seed),
+            batch_size=config.batch_size, transform_seed=transform_seed)
+    return failure
+
+
+def run_campaign(config: FuzzConfig, *,
+                 on_progress: Optional[Callable] = None) -> FuzzReport:
+    """Run one fuzz campaign; returns the :class:`FuzzReport`."""
+    generator = KernelGenerator(config.seed)
+    report = FuzzReport(iterations=config.iterations, seed=config.seed)
+
+    for iteration in range(config.iterations):
+        kernel = generator.kernel()
+        tasks = generator.tasks(kernel, config.n_tasks)
+        report.kernels += 1
+        report.features.update(kernel.features)
+        transform_seed = _transform_seed(config.seed, iteration)
+
+        outcome = run_differential(
+            kernel.scala(), tasks,
+            layout_config=kernel.layout_config(),
+            batch_size=config.batch_size, max_steps=config.max_steps)
+
+        if not outcome.ok:
+            meta = {"features": list(kernel.features),
+                    "signature": list(outcome.signature)}
+            if outcome.expected is not None:
+                meta["expected"] = repr(outcome.expected)
+                meta["actual"] = repr(outcome.actual)
+            failure = _handle_failure(
+                config, iteration, "differential", kernel, tasks,
+                outcome.stage, outcome.detail,
+                _differential_predicate(outcome.signature, config),
+                meta, transform_seed=None)
+            report.failures.append(failure)
+        elif config.check_metamorphic:
+            trials = check_transforms(
+                outcome.compiled, tasks, random.Random(transform_seed),
+                source=kernel.scala(),
+                layout_config=kernel.layout_config(),
+                min_kinds=config.min_transform_kinds,
+                max_steps=config.max_steps)
+            report.transform_kinds.update(
+                t.kind for t in trials if t.applied)
+            bad = [t for t in trials if t.applied and not t.ok]
+            if bad:
+                trial = bad[0]
+                failure = _handle_failure(
+                    config, iteration, "metamorphic", kernel, tasks,
+                    trial.kind, trial.detail,
+                    _metamorphic_predicate(trial.kind, transform_seed,
+                                           config),
+                    {"features": list(kernel.features),
+                     "label": trial.label,
+                     "transform_seed": transform_seed},
+                    transform_seed=transform_seed)
+                report.failures.append(failure)
+
+        if on_progress is not None:
+            on_progress(iteration, kernel, report)
+        if len(report.failures) >= config.max_failures:
+            break
+    return report

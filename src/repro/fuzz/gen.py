@@ -1,0 +1,823 @@
+"""Seedable generator of well-typed mini-Scala kernels.
+
+The generator owns a small typed IR (types, expressions, statements) and
+renders it to kernel source.  Working on an IR rather than on source text
+keeps every generated program well-typed by construction and gives the
+delta-debugging minimizer structured edits (drop a statement, unwrap a
+loop, replace a subexpression) that can never produce syntax errors.
+
+Determinism contract: every random decision flows through one
+``random.Random`` instance, so the same seed reproduces the same kernel
+sequence on any machine/process (the determinism tests assert this).
+
+The generated subset deliberately avoids constructs where JVM and C
+semantics legitimately differ or where the JVM raises:
+
+* ``/`` and ``%`` only with non-zero integer literal divisors (no
+  ``ArithmeticException``, and ``INT_MIN / -1`` wraps identically),
+* shift counts are small literals (both sides mask identically),
+* no ``>>>`` (the lifter maps ``iushr`` to arithmetic ``>>``),
+* no NaN/Inf *inputs* (cast-produced infinities are fine and covered),
+* array indices are loop variables bounded by the array length or
+  in-range literals (no ``ArrayIndexOutOfBounds``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from ..compiler.interface import LayoutConfig
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalarT:
+    """One of the four supported numeric scalar types."""
+
+    name: str  # "Int" | "Long" | "Float" | "Double"
+
+    @property
+    def is_float(self) -> bool:
+        return self.name in ("Float", "Double")
+
+    def scala(self) -> str:
+        return self.name
+
+
+INT = ScalarT("Int")
+LONG = ScalarT("Long")
+FLOAT = ScalarT("Float")
+DOUBLE = ScalarT("Double")
+
+SCALARS = (INT, LONG, FLOAT, DOUBLE)
+
+#: numeric promotion rank, mirroring the typer's ``promote``.
+_RANK = {"Int": 0, "Long": 1, "Float": 2, "Double": 3}
+
+
+@dataclass(frozen=True)
+class TupleT:
+    """A (possibly nested) Tuple2/Tuple3 type."""
+
+    elems: tuple
+
+    def scala(self) -> str:
+        return "(" + ", ".join(e.scala() for e in self.elems) + ")"
+
+
+@dataclass(frozen=True)
+class ArrayT:
+    """A constant-size array of scalars (capacity baked into the layout)."""
+
+    elem: ScalarT
+    length: int
+
+    def scala(self) -> str:
+        return f"Array[{self.elem.scala()}]"
+
+
+FuzzType = Union[ScalarT, TupleT, ArrayT]
+
+
+def type_to_json(tpe: FuzzType) -> object:
+    if isinstance(tpe, ScalarT):
+        return tpe.name
+    if isinstance(tpe, ArrayT):
+        return {"array": tpe.elem.name, "length": tpe.length}
+    return [type_to_json(e) for e in tpe.elems]
+
+
+def type_from_json(data: object) -> FuzzType:
+    if isinstance(data, str):
+        return ScalarT(data)
+    if isinstance(data, dict):
+        return ArrayT(ScalarT(data["array"]), data["length"])
+    return TupleT(tuple(type_from_json(e) for e in data))
+
+
+def tasks_from_json(tasks: list, tpe: FuzzType) -> list:
+    """JSON (lists) back to host task values (tuples) for ``tpe``."""
+    def convert(value, t):
+        if isinstance(t, TupleT):
+            return tuple(convert(v, e) for v, e in zip(value, t.elems))
+        if isinstance(t, ArrayT):
+            return list(value)
+        return value
+    return [convert(task, tpe) for task in tasks]
+
+
+# ---------------------------------------------------------------------------
+# Expression IR
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Lit:
+    value: object
+    tpe: ScalarT
+
+
+@dataclass
+class Ref:
+    name: str
+    tpe: ScalarT
+
+
+@dataclass
+class InRef:
+    """``in`` or a tuple-accessor chain on it, e.g. ``in._2._1``."""
+
+    path: tuple
+    tpe: ScalarT
+
+
+@dataclass
+class InElem:
+    """Element load from an array input leaf: ``in._1(i)``."""
+
+    path: tuple
+    index: object
+    tpe: ScalarT
+
+
+@dataclass
+class ArrGet:
+    """Element load from a local array: ``arr0(i)``."""
+
+    name: str
+    index: object
+    tpe: ScalarT
+
+
+@dataclass
+class Bin:
+    op: str
+    lhs: object
+    rhs: object
+    tpe: ScalarT
+
+
+@dataclass
+class CastE:
+    expr: object
+    tpe: ScalarT
+
+
+@dataclass
+class Cmp:
+    """Boolean comparison (only ever consumed by if/while/&&)."""
+
+    op: str
+    lhs: object
+    rhs: object
+
+
+@dataclass
+class BoolBin:
+    op: str  # "&&" | "||"
+    lhs: object
+    rhs: object
+
+
+@dataclass
+class IfExp:
+    cond: object
+    then: object
+    other: object
+    tpe: ScalarT
+
+
+@dataclass
+class TupleE:
+    elems: tuple
+    tpe: TupleT
+
+
+# ---------------------------------------------------------------------------
+# Statement IR
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl:
+    name: str
+    tpe: ScalarT
+    expr: object
+    mutable: bool = False
+
+
+@dataclass
+class ArrDecl:
+    name: str
+    elem: ScalarT
+    length: int
+
+
+@dataclass
+class ArrSet:
+    name: str
+    index: object
+    expr: object
+
+
+@dataclass
+class AssignS:
+    name: str
+    expr: object
+
+
+@dataclass
+class IfStmt:
+    cond: object
+    then: list
+    orelse: list = field(default_factory=list)
+
+
+@dataclass
+class ForStmt:
+    var: str
+    trip: int
+    body: list
+
+
+@dataclass
+class WhileStmt:
+    """``var w = 0; while (w < trip) { body; w = w + 1 }``.
+
+    The increment is implicit in the rendering so no structural edit of
+    the minimizer can produce a non-terminating loop.
+    """
+
+    var: str
+    trip: int
+    body: list
+
+
+@dataclass
+class FuzzKernel:
+    """One generated kernel: typed IR plus everything needed to run it."""
+
+    name: str
+    input_type: FuzzType
+    output_type: FuzzType
+    body: list
+    result: object
+    features: tuple = ()
+
+    # -- rendering -----------------------------------------------------
+
+    def scala(self) -> str:
+        lines = [
+            f"class {self.name} extends Accelerator["
+            f"{_type_scala(self.input_type)}, "
+            f"{_type_scala(self.output_type)}] {{",
+            f'  val id: String = "{self.name.lower()}"',
+            f"  def call(in: {_type_scala(self.input_type)}): "
+            f"{_type_scala(self.output_type)} = {{",
+        ]
+        for stmt in self.body:
+            lines.extend(_render_stmt(stmt, "    "))
+        lines.append(f"    val res_out = {render_expr(self.result)}")
+        lines.append("    res_out")
+        lines.append("  }")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def layout_config(self) -> LayoutConfig:
+        lengths: dict = {}
+
+        def visit(tpe: FuzzType, path: str) -> None:
+            if isinstance(tpe, ArrayT):
+                lengths[path] = tpe.length
+            elif isinstance(tpe, TupleT):
+                for i, elem in enumerate(tpe.elems, start=1):
+                    visit(elem, f"{path}._{i}")
+
+        visit(self.input_type, "in")
+        visit(self.output_type, "out")
+        return LayoutConfig(lengths=lengths)
+
+
+def _type_scala(tpe: FuzzType) -> str:
+    return tpe.scala()
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _lit_scala(value: object, tpe: ScalarT) -> str:
+    if tpe is LONG or tpe == LONG:
+        return f"{value}L"
+    if tpe.is_float:
+        text = repr(float(value))
+        if "e" in text or "E" in text or "inf" in text or "nan" in text:
+            raise ValueError(f"unrenderable float literal {value!r}")
+        if tpe == FLOAT:
+            return f"{text}f"
+        return text
+    return str(value)
+
+
+def _in_path(path: tuple) -> str:
+    return "in" + "".join(f"._{i}" for i in path)
+
+
+def render_expr(expr: object) -> str:
+    """Render one IR expression, fully parenthesized (no precedence)."""
+    if isinstance(expr, Lit):
+        text = _lit_scala(expr.value, expr.tpe)
+        return f"({text})" if text.startswith("-") else text
+    if isinstance(expr, Ref):
+        return expr.name
+    if isinstance(expr, InRef):
+        return _in_path(expr.path)
+    if isinstance(expr, InElem):
+        return f"{_in_path(expr.path)}({render_expr(expr.index)})"
+    if isinstance(expr, ArrGet):
+        return f"{expr.name}({render_expr(expr.index)})"
+    if isinstance(expr, Bin):
+        return (f"({render_expr(expr.lhs)} {expr.op} "
+                f"{render_expr(expr.rhs)})")
+    if isinstance(expr, CastE):
+        return f"{render_expr(expr.expr)}.to{expr.tpe.name}"
+    if isinstance(expr, Cmp):
+        return (f"({render_expr(expr.lhs)} {expr.op} "
+                f"{render_expr(expr.rhs)})")
+    if isinstance(expr, BoolBin):
+        return (f"({render_expr(expr.lhs)} {expr.op} "
+                f"{render_expr(expr.rhs)})")
+    if isinstance(expr, IfExp):
+        return (f"(if {render_expr(expr.cond)} {render_expr(expr.then)} "
+                f"else {render_expr(expr.other)})")
+    if isinstance(expr, TupleE):
+        return "(" + ", ".join(render_expr(e) for e in expr.elems) + ")"
+    raise TypeError(f"cannot render {expr!r}")
+
+
+def _render_stmt(stmt: object, indent: str) -> list:
+    lines: list = []
+    if isinstance(stmt, Decl):
+        kw = "var" if stmt.mutable else "val"
+        lines.append(f"{indent}{kw} {stmt.name}: {stmt.tpe.scala()} = "
+                     f"{render_expr(stmt.expr)}")
+    elif isinstance(stmt, ArrDecl):
+        lines.append(f"{indent}val {stmt.name} = "
+                     f"new Array[{stmt.elem.scala()}]({stmt.length})")
+    elif isinstance(stmt, ArrSet):
+        lines.append(f"{indent}{stmt.name}({render_expr(stmt.index)}) = "
+                     f"{render_expr(stmt.expr)}")
+    elif isinstance(stmt, AssignS):
+        lines.append(f"{indent}{stmt.name} = {render_expr(stmt.expr)}")
+    elif isinstance(stmt, IfStmt):
+        lines.append(f"{indent}if {render_expr(stmt.cond)} {{")
+        for s in stmt.then:
+            lines.extend(_render_stmt(s, indent + "  "))
+        if stmt.orelse:
+            lines.append(f"{indent}}} else {{")
+            for s in stmt.orelse:
+                lines.extend(_render_stmt(s, indent + "  "))
+        lines.append(f"{indent}}}")
+    elif isinstance(stmt, ForStmt):
+        lines.append(f"{indent}for ({stmt.var} <- 0 until {stmt.trip}) {{")
+        for s in stmt.body:
+            lines.extend(_render_stmt(s, indent + "  "))
+        lines.append(f"{indent}}}")
+    elif isinstance(stmt, WhileStmt):
+        lines.append(f"{indent}var {stmt.var}: Int = 0")
+        lines.append(f"{indent}while ({stmt.var} < {stmt.trip}) {{")
+        for s in stmt.body:
+            lines.extend(_render_stmt(s, indent + "  "))
+        lines.append(f"{indent}  {stmt.var} = {stmt.var} + 1")
+        lines.append(f"{indent}}}")
+    else:
+        raise TypeError(f"cannot render statement {stmt!r}")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+#: small, always-safe integer literal divisors (never 0; INT_MIN / -1
+#: wraps identically on both paths).
+_DIVISORS = (1, 2, 3, 5, 7, -3, 9, 11)
+
+_INT_POOL = (0, 1, -1, 2, 7, -13, 1000, 2**31 - 1, -2**31, 123456789)
+_LONG_POOL = (0, 1, -1, 10**12, -10**12, 2**63 - 1, -2**63, 42)
+_FLOAT_POOL = (0.0, 1.0, -1.0, 0.5, -2.25, 100.0, -0.125, 3.75)
+
+
+@dataclass
+class _Scope:
+    """Names visible to the expression generator."""
+
+    scalars: list = field(default_factory=list)   # (expr-proto, ScalarT)
+    arrays: list = field(default_factory=list)    # (kind, name/path, ArrayT)
+    index_vars: list = field(default_factory=list)  # (name, trip)
+    mutables: list = field(default_factory=list)  # (name, ScalarT)
+
+
+class KernelGenerator:
+    """Generates a deterministic sequence of kernels from one seed."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self._counter = 0
+
+    # -- public API ----------------------------------------------------
+
+    def kernel(self) -> FuzzKernel:
+        """Generate the next kernel in the sequence."""
+        self._counter += 1
+        return generate_kernel(self.rng, name=f"Fz{self._counter}")
+
+    def tasks(self, kernel: FuzzKernel, n: int) -> list:
+        """Generate ``n`` input tasks for ``kernel``."""
+        return make_tasks(self.rng, kernel.input_type, n)
+
+
+def generate_kernel(rng: random.Random, name: str = "Fz") -> FuzzKernel:
+    """Generate one well-typed kernel using ``rng`` for every decision."""
+    builder = _Builder(rng)
+    return builder.build(name)
+
+
+def make_tasks(rng: random.Random, input_type: FuzzType, n: int) -> list:
+    """Generate ``n`` random input tasks of ``input_type``."""
+    def value(tpe: FuzzType):
+        if isinstance(tpe, TupleT):
+            return tuple(value(e) for e in tpe.elems)
+        if isinstance(tpe, ArrayT):
+            return [value(tpe.elem) for _ in range(tpe.length)]
+        return _scalar_value(rng, tpe)
+    return [value(input_type) for _ in range(n)]
+
+
+def _scalar_value(rng: random.Random, tpe: ScalarT):
+    if tpe == INT:
+        if rng.random() < 0.4:
+            return rng.choice(_INT_POOL)
+        return rng.randrange(-2**31, 2**31)
+    if tpe == LONG:
+        if rng.random() < 0.4:
+            return rng.choice(_LONG_POOL)
+        return rng.randrange(-2**63, 2**63)
+    if rng.random() < 0.4:
+        return rng.choice(_FLOAT_POOL)
+    # Multiples of 1/64 in a small range: exactly representable, and the
+    # repr never needs exponent notation the lexer might not support.
+    return rng.randrange(-64000, 64000) / 64.0
+
+
+class _Builder:
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.scope = _Scope()
+        self.features: set = set()
+        self._names = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._names += 1
+        return f"{prefix}{self._names}"
+
+    # -- input type ----------------------------------------------------
+
+    def _input_type(self) -> FuzzType:
+        rng = self.rng
+        roll = rng.random()
+        scalar = lambda: rng.choice(SCALARS)  # noqa: E731
+        if roll < 0.10:
+            return scalar()
+        if roll < 0.40:
+            return TupleT((scalar(), scalar()))
+        if roll < 0.55:
+            return TupleT((scalar(), scalar(), scalar()))
+        if roll < 0.75:
+            self.features.add("nested_tuple")
+            inner = TupleT((scalar(), scalar()))
+            if rng.random() < 0.5:
+                return TupleT((scalar(), inner))
+            return TupleT((inner, scalar()))
+        length = rng.randrange(3, 9)
+        arr = ArrayT(rng.choice(SCALARS), length)
+        self.features.add("array")
+        if roll < 0.92:
+            return TupleT((arr, scalar()))
+        return TupleT((arr, ArrayT(rng.choice(SCALARS),
+                                   rng.randrange(3, 9))))
+
+    def _register_input(self, tpe: FuzzType, path: tuple) -> None:
+        if isinstance(tpe, TupleT):
+            self.features.add("tuple")
+            for i, elem in enumerate(tpe.elems, start=1):
+                self._register_input(elem, path + (i,))
+        elif isinstance(tpe, ArrayT):
+            self.scope.arrays.append(("in", path, tpe))
+        else:
+            self.features.add(tpe.name)
+            self.scope.scalars.append((InRef(path, tpe), tpe))
+
+    # -- expressions ---------------------------------------------------
+
+    def expr(self, tpe: ScalarT, depth: int) -> object:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.25:
+            return self._leaf(tpe)
+        roll = rng.random()
+        if roll < 0.55:
+            return self._bin(tpe, depth)
+        if roll < 0.70:
+            self.features.add("cast")
+            src = rng.choice([s for s in SCALARS if s != tpe])
+            return CastE(self.expr(src, depth - 1), tpe)
+        if roll < 0.82:
+            self.features.add("if")
+            return IfExp(self.cond(depth - 1),
+                         self.expr(tpe, depth - 1),
+                         self.expr(tpe, depth - 1), tpe)
+        arr = self._array_of(tpe)
+        if arr is not None:
+            return arr
+        return self._bin(tpe, depth)
+
+    def _bin(self, tpe: ScalarT, depth: int) -> object:
+        rng = self.rng
+        if tpe.is_float:
+            op = rng.choice(("+", "-", "*", "/"))
+            lhs = self.expr(tpe, depth - 1)
+            if op == "/":
+                # Literal divisor: keeps results finite-or-matching and
+                # sidesteps 0/0 NaN-payload concerns.
+                rhs = Lit(rng.choice((2.0, 4.0, 0.5, -8.0, 1.25)), tpe)
+            else:
+                rhs = self._maybe_promoted(tpe, depth)
+            return Bin(op, lhs, rhs, tpe)
+        op = rng.choice(("+", "-", "*", "+", "-", "*",
+                         "/", "%", "&", "|", "^", "<<", ">>"))
+        lhs = self.expr(tpe, depth - 1)
+        if op in ("/", "%"):
+            rhs = Lit(rng.choice(_DIVISORS), tpe)
+        elif op in ("<<", ">>"):
+            rhs = Lit(rng.randrange(0, 9), INT)
+        else:
+            rhs = self._maybe_promoted(tpe, depth)
+        return Bin(op, lhs, rhs, tpe)
+
+    def _maybe_promoted(self, tpe: ScalarT, depth: int) -> object:
+        """Sometimes feed a lower-ranked operand to exercise promotion."""
+        rng = self.rng
+        lower = [s for s in SCALARS if _RANK[s.name] < _RANK[tpe.name]
+                 and not (tpe.is_float and not s.is_float and rng.random()
+                          < 0.5)]
+        if lower and rng.random() < 0.3:
+            self.features.add("promotion")
+            return self.expr(rng.choice(lower), depth - 1)
+        return self.expr(tpe, depth - 1)
+
+    def _leaf(self, tpe: ScalarT) -> object:
+        rng = self.rng
+        candidates = [proto for proto, t in self.scope.scalars if t == tpe]
+        if tpe == INT:
+            candidates.extend(Ref(nm, INT)
+                              for nm, _ in self.scope.index_vars)
+        if candidates and rng.random() < 0.75:
+            proto = rng.choice(candidates)
+            return replace(proto) if not isinstance(proto, Ref) \
+                else Ref(proto.name, proto.tpe)
+        if rng.random() < 0.5:
+            other = [(proto, t) for proto, t in self.scope.scalars
+                     if t != tpe]
+            if other:
+                proto, t = rng.choice(other)
+                self.features.add("cast")
+                src = replace(proto) if not isinstance(proto, Ref) \
+                    else Ref(proto.name, proto.tpe)
+                return CastE(src, tpe)
+        return Lit(self._small_lit(tpe), tpe)
+
+    def _small_lit(self, tpe: ScalarT):
+        rng = self.rng
+        if tpe.is_float:
+            return rng.randrange(-800, 800) / 16.0
+        return rng.randrange(-100, 100)
+
+    def _array_of(self, tpe: ScalarT) -> Optional[object]:
+        rng = self.rng
+        matches = [(kind, ident, arr) for kind, ident, arr
+                   in self.scope.arrays if arr.elem == tpe]
+        if not matches:
+            return None
+        kind, ident, arr = rng.choice(matches)
+        index = self._index_expr(arr.length)
+        if kind == "in":
+            return InElem(ident, index, tpe)
+        return ArrGet(ident, index, tpe)
+
+    def _index_expr(self, length: int) -> object:
+        rng = self.rng
+        usable = [nm for nm, trip in self.scope.index_vars
+                  if trip <= length]
+        if usable and rng.random() < 0.7:
+            return Ref(rng.choice(usable), INT)
+        return Lit(rng.randrange(length), INT)
+
+    def cond(self, depth: int) -> object:
+        rng = self.rng
+        tpe = rng.choice(SCALARS)
+        op = rng.choice(("<", "<=", ">", ">=", "==", "!="))
+        base = Cmp(op, self.expr(tpe, depth), self.expr(tpe, depth))
+        if depth > 0 and rng.random() < 0.3:
+            other = self.cond(0)
+            return BoolBin(rng.choice(("&&", "||")), base, other)
+        return base
+
+    # -- statements ----------------------------------------------------
+
+    def _accumulation(self, acc: str, tpe: ScalarT, depth: int,
+                      commutative: bool) -> AssignS:
+        rng = self.rng
+        if commutative:
+            ops = ("+", "*") if rng.random() < 0.8 else ("+",)
+            op = rng.choice(ops)
+        else:
+            op = rng.choice(("+", "-", "*") if not tpe.is_float
+                            else ("+", "-", "*"))
+        return AssignS(acc, Bin(op, Ref(acc, tpe),
+                                self.expr(tpe, depth), tpe))
+
+    def _loop_nest(self, accs: list) -> list:
+        """One (possibly nested) for loop accumulating into ``accs``."""
+        rng = self.rng
+        var = self.fresh("i")
+        trip = rng.randrange(2, 7)
+        self.features.add("for")
+        self.scope.index_vars.append((var, trip))
+        body: list = []
+        nested = rng.random() < 0.45
+        if nested:
+            self.features.add("nested_for")
+            inner_var = self.fresh("i")
+            inner_trip = rng.randrange(2, 5)
+            self.scope.index_vars.append((inner_var, inner_trip))
+            inner_body = [self._accumulation(acc, tpe, 1, commutative=False)
+                          for acc, tpe in rng.sample(accs,
+                                                     k=min(len(accs), 2))]
+            self.scope.index_vars.pop()
+            body.append(ForStmt(inner_var, inner_trip, inner_body))
+        guarded = rng.random() < 0.5
+        stmts = [self._accumulation(acc, tpe, 1, commutative=False)
+                 for acc, tpe in rng.sample(accs, k=min(len(accs), 2))]
+        if guarded:
+            self.features.add("if")
+            orelse = [] if rng.random() < 0.5 else \
+                [self._accumulation(accs[0][0], accs[0][1], 1,
+                                    commutative=False)]
+            body.append(IfStmt(self.cond(1), stmts, orelse))
+        else:
+            body.extend(stmts)
+        self.scope.index_vars.pop()
+        return [ForStmt(var, trip, body)]
+
+    def _reduction_loop(self, acc: str, tpe: ScalarT) -> ForStmt:
+        """A canonical single-statement reduction loop.
+
+        Integer-typed single-accumulation loops are exactly the shape the
+        Merlin tree-reduction and interchange transforms accept, so the
+        metamorphic checker gets regular exercise.
+        """
+        rng = self.rng
+        var = self.fresh("i")
+        # Trips with many divisors so partial unroll/tile factors exist.
+        trip = rng.choice((4, 6, 8, 12))
+        self.features.add("for")
+        self.scope.index_vars.append((var, trip))
+        stmt = self._accumulation(acc, tpe, 2, commutative=True)
+        nest = rng.random() < 0.4
+        if nest:
+            self.features.add("nested_for")
+            inner_var = self.fresh("i")
+            inner_trip = rng.choice((2, 4))
+            self.scope.index_vars.append((inner_var, inner_trip))
+            inner = self._accumulation(acc, tpe, 1, commutative=True)
+            self.scope.index_vars.pop()
+            self.scope.index_vars.pop()
+            return ForStmt(var, trip, [ForStmt(inner_var, inner_trip,
+                                               [inner])])
+        self.scope.index_vars.pop()
+        return ForStmt(var, trip, [stmt])
+
+    def _local_array_block(self) -> tuple:
+        """Declare, fill, and fold a local array; returns (stmts, ref)."""
+        rng = self.rng
+        name = self.fresh("arr")
+        elem = rng.choice(SCALARS)
+        length = rng.choice((4, 6, 8))
+        self.features.add("local_array")
+        decl = ArrDecl(name, elem, length)
+        fill_var = self.fresh("i")
+        self.scope.index_vars.append((fill_var, length))
+        fill = ForStmt(fill_var, length,
+                       [ArrSet(name, Ref(fill_var, INT),
+                               self.expr(elem, 1))])
+        self.scope.index_vars.pop()
+        self.scope.arrays.append(("local", name, ArrayT(elem, length)))
+        acc = self.fresh("acc")
+        acc_decl = Decl(acc, elem, Lit(self._small_lit(elem), elem),
+                        mutable=True)
+        fold_var = self.fresh("i")
+        fold = ForStmt(fold_var, length,
+                       [AssignS(acc, Bin("+", Ref(acc, elem),
+                                         ArrGet(name, Ref(fold_var, INT),
+                                                elem), elem))])
+        self.scope.mutables.append((acc, elem))
+        return [decl, fill, acc_decl, fold], (Ref(acc, elem), elem)
+
+    def _while_block(self, accs: list) -> WhileStmt:
+        rng = self.rng
+        var = self.fresh("w")
+        trip = rng.randrange(2, 6)
+        self.features.add("while")
+        self.scope.index_vars.append((var, trip))
+        body = [self._accumulation(acc, tpe, 1, commutative=False)
+                for acc, tpe in rng.sample(accs, k=min(len(accs), 1))]
+        self.scope.index_vars.pop()
+        return WhileStmt(var, trip, body)
+
+    # -- whole kernel --------------------------------------------------
+
+    def build(self, name: str) -> FuzzKernel:
+        rng = self.rng
+        input_type = self._input_type()
+        self._register_input(input_type, ())
+
+        body: list = []
+        result_pool: list = []  # (Expr, ScalarT) usable in the result
+
+        # A few derived vals over the input leaves.
+        for _ in range(rng.randrange(1, 4)):
+            tpe = rng.choice(SCALARS)
+            nm = self.fresh("v")
+            body.append(Decl(nm, tpe, self.expr(tpe, rng.randrange(1, 4))))
+            self.scope.scalars.append((Ref(nm, tpe), tpe))
+            result_pool.append((Ref(nm, tpe), tpe))
+
+        # Accumulators driven by loops.
+        accs: list = []
+        for _ in range(rng.randrange(1, 3)):
+            tpe = rng.choice(SCALARS)
+            nm = self.fresh("acc")
+            body.append(Decl(nm, tpe, Lit(self._small_lit(tpe), tpe),
+                             mutable=True))
+            accs.append((nm, tpe))
+            self.scope.mutables.append((nm, tpe))
+
+        int_accs = [(nm, t) for nm, t in accs if not t.is_float]
+        if int_accs and rng.random() < 0.6:
+            nm, t = rng.choice(int_accs)
+            body.append(self._reduction_loop(nm, t))
+        body.extend(self._loop_nest(accs))
+        if rng.random() < 0.3:
+            body.append(self._while_block(accs))
+        if rng.random() < 0.3:
+            stmts, (ref, tpe) = self._local_array_block()
+            body.extend(stmts)
+            result_pool.append((ref, tpe))
+        for nm, tpe in accs:
+            result_pool.append((Ref(nm, tpe), tpe))
+
+        # Result: scalar, pair, or nested pair over the pool.
+        def pick() -> tuple:
+            proto, tpe = rng.choice(result_pool)
+            expr = Ref(proto.name, tpe) if isinstance(proto, Ref) \
+                else replace(proto)
+            if rng.random() < 0.3:
+                expr = Bin("+", expr, self.expr(tpe, 1), tpe)
+            return expr, tpe
+
+        roll = rng.random()
+        if roll < 0.4:
+            result, out_t = pick()
+            output_type: FuzzType = out_t
+        elif roll < 0.85:
+            (e1, t1), (e2, t2) = pick(), pick()
+            result = TupleE((e1, e2), TupleT((t1, t2)))
+            output_type = TupleT((t1, t2))
+            self.features.add("tuple")
+        else:
+            (e1, t1), (e2, t2), (e3, t3) = pick(), pick(), pick()
+            inner = TupleE((e2, e3), TupleT((t2, t3)))
+            result = TupleE((e1, inner), TupleT((t1, TupleT((t2, t3)))))
+            output_type = TupleT((t1, TupleT((t2, t3))))
+            self.features.add("nested_tuple")
+
+        return FuzzKernel(name=name, input_type=input_type,
+                          output_type=output_type, body=body,
+                          result=result,
+                          features=tuple(sorted(self.features)))

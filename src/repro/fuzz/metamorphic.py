@@ -1,0 +1,341 @@
+"""Metamorphic transform checking: Merlin rewrites must not change bits.
+
+Every Merlin transformation is semantics-preserving by contract.  The
+checker applies randomized transform configurations to a compiled
+kernel's HLS-C and demands the transformed kernel produce bit-identical
+outputs to the untransformed baseline on the same serialized buffers.
+
+Reassociating transforms (tree reduction, loop interchange over a
+reduction) are only bit-exact for *integer* accumulators — wrapping
+``+``/``*`` are fully associative and commutative mod 2^n, IEEE floats
+are not — so those trials are restricted to loops the checker can prove
+are integer-only commutative reductions.  That mirrors real Merlin,
+where float reassociation is an explicitly opted-in concession.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import TransformError
+from ..hlsc import lint_kernel
+from ..hlsc.ast import (
+    Assign,
+    BinOp,
+    CKernel,
+    For,
+    Var,
+    VarDecl,
+    walk_exprs,
+    walk_stmts,
+)
+from ..hlsc.printer import kernel_to_c
+from ..merlin.config import DesignConfig, LoopConfig
+from ..merlin.interchange import interchange_loops
+from ..merlin.reduction import apply_tree_reduction
+from ..merlin.transforms import (
+    _find_parent_block,
+    apply_config,
+    tile_loop,
+    unroll_loop,
+)
+from .oracle import bits_equal
+
+#: transform kinds the checker can draw from.
+KINDS = ("pragmas", "tile", "unroll", "interchange", "reduction",
+         "recompile")
+
+#: commutative-mod-2^n accumulation operators.
+_COMMUTATIVE = ("+", "*", "^", "&", "|")
+
+
+@dataclass
+class TransformTrial:
+    """One transform application attempt and its verdict."""
+
+    kind: str
+    label: Optional[str]
+    applied: bool          # False: transform preconditions not met
+    ok: bool               # True unless applied and outputs diverged
+    detail: str = ""
+
+
+def _func_owning(kernel: CKernel, label: str):
+    for func in kernel.functions:
+        if _find_parent_block(func.body, label) is not None:
+            return func
+    return None
+
+
+def _run(kernel: CKernel, layout, tasks: list,
+         max_steps: int = 5_000_000) -> list:
+    from ..blaze import make_deserializer, make_serializer
+    from ..fpga import KernelExecutor
+    buffers = make_serializer(layout)(tasks)
+    KernelExecutor(kernel, max_steps=max_steps).run(buffers, len(tasks))
+    return make_deserializer(layout)(buffers, len(tasks))
+
+
+def _loop_at(kernel: CKernel, label: str) -> Optional[For]:
+    func = _func_owning(kernel, label)
+    if func is None:
+        return None
+    block, index = _find_parent_block(func.body, label)
+    stmt = block.stmts[index]
+    return stmt if isinstance(stmt, For) else None
+
+
+def _var_ctypes(func) -> dict:
+    ctypes = {p.name: p.ctype for p in func.params}
+    for stmt in walk_stmts(func.body):
+        if isinstance(stmt, VarDecl):
+            ctypes[stmt.name] = stmt.ctype
+    return ctypes
+
+
+def _int_reduction_info(kernel: CKernel, label: str) -> Optional[tuple]:
+    """(func, acc_ctype) when the labelled loop is a single-statement
+    integer commutative reduction, else None."""
+    func = _func_owning(kernel, label)
+    loop = _loop_at(kernel, label)
+    if func is None or loop is None or len(loop.body.stmts) != 1:
+        return None
+    stmt = loop.body.stmts[0]
+    if not (isinstance(stmt, Assign) and isinstance(stmt.lhs, Var)):
+        return None
+    rhs = stmt.rhs
+    if not (isinstance(rhs, BinOp) and rhs.op in ("+", "*")
+            and isinstance(rhs.lhs, Var)
+            and rhs.lhs.name == stmt.lhs.name):
+        return None
+    ctype = _var_ctypes(func).get(stmt.lhs.name)
+    if ctype is None or ctype.is_float:
+        return None
+    # The contribution must not read the accumulator.
+    if any(isinstance(e, Var) and e.name == stmt.lhs.name
+           for e in walk_exprs(rhs.rhs)):
+        return None
+    return func, ctype
+
+
+def _interchange_safe(kernel: CKernel, label: str) -> bool:
+    """Is the nest under ``label`` an order-insensitive integer nest?
+
+    Every non-loop statement must be ``acc = acc op contribution`` with a
+    commutative-mod-2^n op, an integer accumulator, and a contribution
+    that reads no accumulator.  No array stores, no conditionals.
+    """
+    func = _func_owning(kernel, label)
+    loop = _loop_at(kernel, label)
+    if func is None or loop is None:
+        return False
+    ctypes = _var_ctypes(func)
+    accs: set = set()
+    stmts: list = []
+
+    def collect(block) -> bool:
+        for stmt in block.stmts:
+            if isinstance(stmt, For):
+                if not collect(stmt.body):
+                    return False
+            elif isinstance(stmt, Assign) and isinstance(stmt.lhs, Var):
+                stmts.append(stmt)
+                accs.add(stmt.lhs.name)
+            else:
+                return False
+        return True
+
+    if not collect(loop.body):
+        return False
+    for stmt in stmts:
+        rhs = stmt.rhs
+        if not (isinstance(rhs, BinOp) and rhs.op in _COMMUTATIVE
+                and isinstance(rhs.lhs, Var)
+                and rhs.lhs.name == stmt.lhs.name):
+            return False
+        ctype = ctypes.get(stmt.lhs.name)
+        if ctype is None or ctype.is_float:
+            return False
+        if any(isinstance(e, Var) and e.name in accs
+               for e in walk_exprs(rhs.rhs)):
+            return False
+    return True
+
+
+def _divisors(n: int) -> list:
+    return [d for d in range(2, n + 1) if n % d == 0]
+
+
+def check_transforms(compiled, tasks: list, rng: random.Random, *,
+                     source: Optional[str] = None,
+                     layout_config=None,
+                     min_kinds: int = 3,
+                     max_steps: int = 5_000_000) -> list:
+    """Apply randomized Merlin transforms; assert bit-identity.
+
+    Returns the list of :class:`TransformTrial`; any trial with
+    ``applied and not ok`` is a metamorphic failure.  At least
+    ``min_kinds`` distinct transform kinds are attempted per kernel
+    (pragma insertion and batch-loop tiling are always applicable, and
+    recompilation determinism whenever ``source`` is given).
+    """
+    layout = compiled.layout
+    baseline = _run(compiled.kernel, layout, tasks, max_steps)
+    labels = list(compiled.loop_labels)
+    trials: list = []
+
+    def check(kind: str, label: Optional[str], transformed: CKernel,
+              detail: str = "") -> None:
+        problems = lint_kernel(transformed)
+        if problems:
+            trials.append(TransformTrial(
+                kind=kind, label=label, applied=True, ok=False,
+                detail=f"lint: {problems[0]}"))
+            return
+        try:
+            outputs = _run(transformed, layout, tasks, max_steps)
+        except Exception as exc:
+            trials.append(TransformTrial(
+                kind=kind, label=label, applied=True, ok=False,
+                detail=f"{type(exc).__name__}: {exc}"))
+            return
+        ok = bits_equal(baseline, outputs)
+        trials.append(TransformTrial(
+            kind=kind, label=label, applied=True, ok=ok,
+            detail=detail if ok else
+            f"transformed outputs diverge ({detail})".strip()))
+
+    def skip(kind: str, label: Optional[str], why: str) -> None:
+        trials.append(TransformTrial(kind=kind, label=label,
+                                     applied=False, ok=True, detail=why))
+
+    # 1. Pragma-only configuration (always applicable).
+    loops_cfg = {}
+    for label in labels:
+        if rng.random() < 0.6:
+            loops_cfg[label] = LoopConfig(
+                tile=rng.choice((1, 1, 2, 4)),
+                parallel=rng.choice((1, 2, 4)),
+                pipeline=rng.choice(("off", "on", "flatten")))
+    check("pragmas", None,
+          apply_config(compiled.kernel, DesignConfig(loops=loops_cfg)),
+          detail=f"{len(loops_cfg)} loops configured")
+
+    # 2. Recompilation determinism (same source -> same HLS-C text).
+    if source is not None:
+        from ..compiler import compile_kernel
+        try:
+            again = compile_kernel(source, layout_config=layout_config,
+                                   batch_size=compiled.batch_size)
+        except Exception as exc:
+            again = None
+            trials.append(TransformTrial(
+                kind="recompile", label=None, applied=True, ok=False,
+                detail=f"recompile raised {type(exc).__name__}: {exc}"))
+        if again is not None:
+            same = kernel_to_c(again.kernel) == kernel_to_c(compiled.kernel)
+            trials.append(TransformTrial(
+                kind="recompile", label=None, applied=True, ok=same,
+                detail="" if same else "HLS-C text differs on recompile"))
+
+    # 3. Tiling a random loop (the batch loop is always tileable).
+    if labels:
+        label = rng.choice(labels)
+        clone = compiled.kernel.clone()
+        func = _func_owning(clone, label)
+        factor = rng.choice((2, 3, 4))
+        try:
+            tile_loop(func, label, factor)
+        except TransformError as exc:
+            skip("tile", label, str(exc))
+        else:
+            check("tile", label, clone, detail=f"factor={factor}")
+
+    # 4. Unrolling a random *counted* loop, full or partial.
+    counted = [lbl for lbl in labels
+               if (_loop_at(compiled.kernel, lbl) is not None)]
+    if counted:
+        label = rng.choice(counted)
+        clone = compiled.kernel.clone()
+        func = _func_owning(clone, label)
+        loop = _loop_at(compiled.kernel, label)
+        from ..hlsc.analysis import loop_trip_count
+        trip = loop_trip_count(loop)
+        factor = None
+        if trip is not None and rng.random() < 0.5:
+            divisors = _divisors(trip)[:-1]  # proper divisors >= 2
+            if divisors:
+                factor = rng.choice(divisors)
+        try:
+            unroll_loop(func, label, factor)
+        except TransformError as exc:
+            skip("unroll", label, str(exc))
+        else:
+            check("unroll", label, clone,
+                  detail="full" if factor is None else f"factor={factor}")
+
+    # 5. Interchange on a provably order-insensitive integer nest.
+    nests = [lbl for lbl in labels
+             if _interchange_safe(compiled.kernel, lbl)]
+    interchanged = False
+    for label in nests:
+        clone = compiled.kernel.clone()
+        func = _func_owning(clone, label)
+        try:
+            interchange_loops(func, label)
+        except TransformError as exc:
+            skip("interchange", label, str(exc))
+            continue
+        check("interchange", label, clone)
+        interchanged = True
+        break
+    if not nests:
+        skip("interchange", None, "no order-insensitive integer nest")
+
+    # 6. Tree reduction on an integer commutative reduction loop.
+    reduced = False
+    for label in labels:
+        info = _int_reduction_info(compiled.kernel, label)
+        if info is None:
+            continue
+        loop = _loop_at(compiled.kernel, label)
+        from ..hlsc.analysis import loop_trip_count
+        trip = loop_trip_count(loop)
+        if trip is None:
+            continue
+        divisors = _divisors(trip)
+        divisors = [d for d in divisors if d < trip] or divisors
+        if not divisors:
+            continue
+        factor = rng.choice(divisors)
+        clone = compiled.kernel.clone()
+        func = _func_owning(clone, label)
+        _, acc_ctype = info
+        try:
+            apply_tree_reduction(func, label, factor, acc_ctype)
+        except TransformError as exc:
+            skip("reduction", label, str(exc))
+            continue
+        check("reduction", label, clone, detail=f"factor={factor}")
+        reduced = True
+        break
+    if not reduced and not any(t.kind == "reduction" for t in trials):
+        skip("reduction", None, "no integer reduction loop")
+
+    applied_kinds = {t.kind for t in trials if t.applied}
+    if len(applied_kinds) < min_kinds and labels:
+        # Guarantee the floor with extra always-applicable tilings.
+        for label in labels:
+            if len(applied_kinds) >= min_kinds:
+                break
+            clone = compiled.kernel.clone()
+            func = _func_owning(clone, label)
+            try:
+                tile_loop(func, label, 2)
+            except TransformError:
+                continue
+            check("tile", label, clone, detail="factor=2 (floor)")
+            applied_kinds = {t.kind for t in trials if t.applied}
+    return trials

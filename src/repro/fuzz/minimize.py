@@ -1,0 +1,309 @@
+"""Delta-debugging minimizer for failing fuzz kernels.
+
+Shrinks a :class:`~repro.fuzz.gen.FuzzKernel` (plus its task list) while
+a caller-supplied predicate keeps holding — typically "still fails with
+the same :attr:`DifferentialOutcome.signature`".  All edits are made on
+the typed IR, so every candidate is well-typed, syntactically valid
+Scala; a candidate can at worst stop reproducing, never stop parsing.
+
+Reduction passes, iterated to fixpoint under an evaluation budget:
+
+* keep a single task,
+* delete statements (any nesting depth),
+* unwrap loops and conditionals into their bodies,
+* shrink loop trip counts to 1,
+* replace subexpressions by an operand of the same type or by a
+  literal 0/1.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from .gen import (
+    ArrGet,
+    ArrSet,
+    AssignS,
+    Bin,
+    BoolBin,
+    CastE,
+    Cmp,
+    Decl,
+    ForStmt,
+    FuzzKernel,
+    IfExp,
+    IfStmt,
+    InElem,
+    Lit,
+    ScalarT,
+    TupleE,
+    WhileStmt,
+)
+
+Predicate = Callable[[FuzzKernel, list], bool]
+
+
+def line_count(kernel: FuzzKernel) -> int:
+    """Number of non-blank source lines in the rendered kernel."""
+    return sum(1 for ln in kernel.scala().splitlines() if ln.strip())
+
+
+# ---------------------------------------------------------------------------
+# Statement slots
+# ---------------------------------------------------------------------------
+
+
+def _stmt_lists(kernel: FuzzKernel) -> list:
+    """Every statement list in the kernel, preorder (deterministic)."""
+    out: list = []
+
+    def visit(stmts: list) -> None:
+        out.append(stmts)
+        for s in stmts:
+            if isinstance(s, (ForStmt, WhileStmt)):
+                visit(s.body)
+            elif isinstance(s, IfStmt):
+                visit(s.then)
+                visit(s.orelse)
+
+    visit(kernel.body)
+    return out
+
+
+def _slots(kernel: FuzzKernel) -> list:
+    """Flat addresses ``(list_index, stmt_index)`` of every statement."""
+    return [(li, si)
+            for li, stmts in enumerate(_stmt_lists(kernel))
+            for si in range(len(stmts))]
+
+
+def _delete_slot(kernel: FuzzKernel, slot: int) -> FuzzKernel:
+    clone = copy.deepcopy(kernel)
+    li, si = _slots(clone)[slot]
+    del _stmt_lists(clone)[li][si]
+    return clone
+
+
+def _unwrap_slot(kernel: FuzzKernel, slot: int) -> list:
+    """Candidates replacing the slot's compound statement by its body."""
+    li, si = _slots(kernel)[slot]
+    stmt = _stmt_lists(kernel)[li][si]
+    bodies: list = []
+    if isinstance(stmt, (ForStmt, WhileStmt)):
+        bodies.append(stmt.body)
+    elif isinstance(stmt, IfStmt):
+        bodies.append(stmt.then)
+        if stmt.orelse:
+            bodies.append(stmt.orelse)
+    out: list = []
+    for which in range(len(bodies)):
+        clone = copy.deepcopy(kernel)
+        cli, csi = _slots(clone)[slot]
+        cstmt = _stmt_lists(clone)[cli][csi]
+        body = ([cstmt.body] if isinstance(cstmt, (ForStmt, WhileStmt))
+                else [cstmt.then] + ([cstmt.orelse] if cstmt.orelse
+                                     else []))[which]
+        _stmt_lists(clone)[cli][csi:csi + 1] = body
+        out.append(clone)
+    return out
+
+
+def _shrink_trip(kernel: FuzzKernel, slot: int):
+    li, si = _slots(kernel)[slot]
+    stmt = _stmt_lists(kernel)[li][si]
+    if not isinstance(stmt, (ForStmt, WhileStmt)) or stmt.trip <= 1:
+        return None
+    clone = copy.deepcopy(kernel)
+    cli, csi = _slots(clone)[slot]
+    _stmt_lists(clone)[cli][csi].trip = 1
+    return clone
+
+
+# ---------------------------------------------------------------------------
+# Expression sites
+# ---------------------------------------------------------------------------
+
+
+def _expr_sites(kernel: FuzzKernel) -> list:
+    """Every expression-holding slot, preorder (deterministic).
+
+    A site is ``(holder, attr)`` where ``attr`` is an attribute name, or
+    ``("elems", i)`` for tuple-expression elements.
+    """
+    sites: list = []
+
+    def walk(expr: object) -> None:
+        if isinstance(expr, (Bin, Cmp, BoolBin)):
+            add(expr, "lhs")
+            add(expr, "rhs")
+        elif isinstance(expr, CastE):
+            add(expr, "expr")
+        elif isinstance(expr, IfExp):
+            add(expr, "cond")
+            add(expr, "then")
+            add(expr, "other")
+        elif isinstance(expr, TupleE):
+            for i in range(len(expr.elems)):
+                sites.append((expr, ("elems", i)))
+                walk(expr.elems[i])
+        elif isinstance(expr, (InElem, ArrGet)):
+            add(expr, "index")
+
+    def add(holder: object, attr: str) -> None:
+        sites.append((holder, attr))
+        walk(getattr(holder, attr))
+
+    def stmt_walk(stmts: list) -> None:
+        for s in stmts:
+            if isinstance(s, Decl):
+                add(s, "expr")
+            elif isinstance(s, ArrSet):
+                add(s, "index")
+                add(s, "expr")
+            elif isinstance(s, AssignS):
+                add(s, "expr")
+            elif isinstance(s, IfStmt):
+                add(s, "cond")
+                stmt_walk(s.then)
+                stmt_walk(s.orelse)
+            elif isinstance(s, (ForStmt, WhileStmt)):
+                stmt_walk(s.body)
+
+    stmt_walk(kernel.body)
+    add(kernel, "result")
+    return sites
+
+
+def _site_get(site: tuple) -> object:
+    holder, attr = site
+    if isinstance(attr, tuple):
+        return holder.elems[attr[1]]
+    return getattr(holder, attr)
+
+
+def _site_set(site: tuple, value: object) -> None:
+    holder, attr = site
+    if isinstance(attr, tuple):
+        elems = list(holder.elems)
+        elems[attr[1]] = value
+        holder.elems = tuple(elems)
+    else:
+        setattr(holder, attr, value)
+
+
+def _shrink_options(expr: object) -> list:
+    """Smaller same-typed replacements for ``expr`` (deterministic)."""
+    opts: list = []
+    tpe = getattr(expr, "tpe", None)
+    if isinstance(expr, Bin):
+        if getattr(expr.lhs, "tpe", None) == tpe:
+            opts.append(expr.lhs)
+        if getattr(expr.rhs, "tpe", None) == tpe:
+            opts.append(expr.rhs)
+    elif isinstance(expr, IfExp):
+        opts.append(expr.then)
+        opts.append(expr.other)
+    elif isinstance(expr, BoolBin):
+        opts.append(expr.lhs)
+        opts.append(expr.rhs)
+    if isinstance(tpe, ScalarT) and not isinstance(expr, Lit):
+        one = 1.0 if tpe.is_float else 1
+        zero = 0.0 if tpe.is_float else 0
+        opts.append(Lit(one, tpe))
+        opts.append(Lit(zero, tpe))
+    return opts
+
+
+# ---------------------------------------------------------------------------
+# The minimizer
+# ---------------------------------------------------------------------------
+
+
+def minimize_kernel(kernel: FuzzKernel, tasks: list,
+                    predicate: Predicate, *,
+                    max_evals: int = 400) -> tuple:
+    """Greedy fixpoint shrink of ``(kernel, tasks)`` under ``predicate``.
+
+    ``predicate(kernel, tasks)`` must be True for the input pair and is
+    re-checked for every candidate edit; edits that keep it True are
+    committed.  Exceptions from the predicate reject the candidate.  At
+    most ``max_evals`` predicate evaluations are spent.  Returns the
+    shrunken ``(kernel, tasks)``.
+    """
+    kernel = copy.deepcopy(kernel)
+    tasks = list(tasks)
+    budget = [max_evals]
+
+    def holds(k: FuzzKernel, t: list) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return bool(predicate(k, t))
+        except Exception:
+            return False
+
+    progress = True
+    while progress and budget[0] > 0:
+        progress = False
+
+        # Fewest tasks first: every later pass reruns the pipeline on
+        # whatever task list survives, so this is the cheapest win.
+        if len(tasks) > 1:
+            for i in range(len(tasks)):
+                if holds(kernel, [tasks[i]]):
+                    tasks = [tasks[i]]
+                    progress = True
+                    break
+
+        # Delete statements.  On success the same index now addresses
+        # the following statement, so only advance on failure.
+        i = 0
+        while i < len(_slots(kernel)) and budget[0] > 0:
+            cand = _delete_slot(kernel, i)
+            if holds(cand, tasks):
+                kernel = cand
+                progress = True
+            else:
+                i += 1
+
+        # Unwrap loops/conditionals into their bodies.
+        i = 0
+        while i < len(_slots(kernel)) and budget[0] > 0:
+            hit = False
+            for cand in _unwrap_slot(kernel, i):
+                if holds(cand, tasks):
+                    kernel = cand
+                    progress = True
+                    hit = True
+                    break
+            if not hit:
+                i += 1
+
+        # Shrink trip counts to 1.
+        for i in range(len(_slots(kernel))):
+            if budget[0] <= 0:
+                break
+            cand = _shrink_trip(kernel, i)
+            if cand is not None and holds(cand, tasks):
+                kernel = cand
+                progress = True
+
+        # Simplify expressions: replace a site by an operand or literal.
+        i = 0
+        while i < len(_expr_sites(kernel)) and budget[0] > 0:
+            n_opts = len(_shrink_options(_site_get(_expr_sites(kernel)[i])))
+            hit = False
+            for j in range(n_opts):
+                cand = copy.deepcopy(kernel)
+                site = _expr_sites(cand)[i]
+                _site_set(site, _shrink_options(_site_get(site))[j])
+                if holds(cand, tasks):
+                    kernel = cand
+                    progress = True
+                    hit = True
+                    break
+            if not hit:
+                i += 1
+    return kernel, tasks

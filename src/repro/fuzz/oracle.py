@@ -1,0 +1,129 @@
+"""Differential oracle: JVM-interpreted Scala vs C-interpreted HLS-C.
+
+Runs one kernel through both halves of the S2FA runtime on the same
+tasks and demands *bit-identical* results.  Both paths compute in the
+same precision with the same operation order, so any divergence is a
+compiler/serializer/executor bug, never rounding.
+
+Failures are classified by pipeline stage so the minimizer can require a
+shrunken candidate to fail *the same way* (a kernel that stops compiling
+is not a reproduction of an output mismatch).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..blaze import make_deserializer, make_serializer
+from ..blaze.runtime import _JVMTaskRunner
+from ..compiler import compile_kernel
+from ..compiler.interface import LayoutConfig
+from ..fpga import KernelExecutor
+
+#: pipeline stages a differential run can fail in, in order.
+STAGES = ("compile", "jvm", "serialize", "execute", "deserialize",
+          "compare")
+
+
+@dataclass
+class DifferentialOutcome:
+    """Result of one differential run."""
+
+    ok: bool
+    stage: Optional[str] = None      # failing stage, None when ok
+    detail: str = ""                 # exception type/message or diff
+    expected: Optional[list] = None  # JVM outputs (when both ran)
+    actual: Optional[list] = None    # HLS-C outputs (when both ran)
+    compiled: object = None
+
+    @property
+    def signature(self) -> tuple:
+        """Stable identity of the failure for minimization."""
+        if self.ok:
+            return ("ok",)
+        kind = self.detail.split(":", 1)[0] if self.stage != "compare" \
+            else "mismatch"
+        return (self.stage, kind)
+
+
+def bits_equal(a: object, b: object) -> bool:
+    """Bit-identical equality: exact for ints, NaN==NaN for floats."""
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return len(a) == len(b) and all(
+            bits_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+    return type(a) is type(b) and a == b
+
+
+def outputs_equal(expected: list, actual: list) -> bool:
+    return bits_equal(expected, actual)
+
+
+@dataclass
+class _Stage:
+    """Context manager tagging exceptions with their pipeline stage."""
+
+    name: str
+    failures: list = field(default_factory=list)
+
+
+def run_differential(source: str, tasks: list, *,
+                     layout_config: Optional[LayoutConfig] = None,
+                     batch_size: int = 64,
+                     max_steps: int = 5_000_000) -> DifferentialOutcome:
+    """Run ``source`` on ``tasks`` through both paths and compare."""
+    try:
+        compiled = compile_kernel(source, layout_config=layout_config,
+                                  batch_size=batch_size)
+    except Exception as exc:
+        return DifferentialOutcome(
+            ok=False, stage="compile",
+            detail=f"{type(exc).__name__}: {exc}")
+
+    try:
+        runner = _JVMTaskRunner(compiled)
+        expected = [runner.call(task) for task in tasks]
+    except Exception as exc:
+        return DifferentialOutcome(
+            ok=False, stage="jvm",
+            detail=f"{type(exc).__name__}: {exc}", compiled=compiled)
+
+    try:
+        serialize = make_serializer(compiled.layout)
+        buffers = serialize(tasks)
+    except Exception as exc:
+        return DifferentialOutcome(
+            ok=False, stage="serialize",
+            detail=f"{type(exc).__name__}: {exc}", compiled=compiled)
+
+    try:
+        KernelExecutor(compiled.kernel,
+                       max_steps=max_steps).run(buffers, len(tasks))
+    except Exception as exc:
+        return DifferentialOutcome(
+            ok=False, stage="execute",
+            detail=f"{type(exc).__name__}: {exc}", compiled=compiled)
+
+    try:
+        deserialize = make_deserializer(compiled.layout)
+        actual = deserialize(buffers, len(tasks))
+    except Exception as exc:
+        return DifferentialOutcome(
+            ok=False, stage="deserialize",
+            detail=f"{type(exc).__name__}: {exc}", compiled=compiled)
+
+    if not outputs_equal(expected, actual):
+        first_bad = next(
+            (i for i, (e, a) in enumerate(zip(expected, actual))
+             if not bits_equal(e, a)), None)
+        return DifferentialOutcome(
+            ok=False, stage="compare",
+            detail=f"outputs diverge at task {first_bad}",
+            expected=expected, actual=actual, compiled=compiled)
+    return DifferentialOutcome(ok=True, expected=expected, actual=actual,
+                               compiled=compiled)

@@ -22,18 +22,27 @@ from .descriptors import slot_width
 TUPLE_PREFIX = "s2fa/Tuple"
 
 
+def _mangle_descriptor(descriptor: str) -> str:
+    if descriptor == "Ljava/lang/String;":
+        return "s"
+    if descriptor.startswith("["):
+        return "A" + _mangle_descriptor(descriptor[1:])
+    if descriptor.startswith("L") and descriptor.endswith(";"):
+        # Nested object types (e.g. an inner specialized tuple): wrap the
+        # slash-free class name in T...E so the result is unambiguous.
+        return "T" + descriptor[1:-1].replace("/", "_") + "E"
+    return descriptor
+
+
 def tuple_class_name(field_descriptors: tuple[str, ...]) -> str:
     """Mangled class name for a specialized tuple.
 
     Array/object descriptors contain characters illegal in class names, so
-    they are mangled: ``[`` -> ``A`` and ``Ljava/lang/String;`` -> ``S``.
+    they are mangled: ``[`` -> ``A``, ``Ljava/lang/String;`` -> ``s``, and
+    any other ``L...;`` object descriptor (nested tuples) -> ``T...E``
+    with ``/`` replaced by ``_``.
     """
-    mangled = []
-    for descriptor in field_descriptors:
-        mangled.append(
-            descriptor.replace("Ljava/lang/String;", "s")
-            .replace("[", "A")
-        )
+    mangled = [_mangle_descriptor(d) for d in field_descriptors]
     return f"{TUPLE_PREFIX}{len(field_descriptors)}_{''.join(mangled)}"
 
 

@@ -322,21 +322,15 @@ class S2FASession:
         with self.tracer.span("pipeline.run", app=spec.name,
                               tasks=tasks,
                               partitions=cfg.partitions) as span:
-            if spec.name == "S-W":
-                # The full-length kernel is too slow to execute
-                # functionally; the short-read variant exercises the
-                # identical code path.
-                from .apps.smith_waterman import (
-                    FUNCTIONAL_LAYOUT,
-                    functional_workload,
-                )
-                compiled = self.compile(spec,
-                                        layout_config=FUNCTIONAL_LAYOUT)
-                workload = functional_workload(min(tasks, 16),
-                                               seed=data_seed)
+            # Apps whose full-size kernels are too slow to execute
+            # functionally declare bounded variants on their spec; the
+            # variants exercise the identical code path.
+            if spec.functional_layout is not None:
+                compiled = self.compile(
+                    spec, layout_config=spec.functional_layout)
             else:
                 compiled = self.compile(spec)
-                workload = spec.workload(tasks, seed=data_seed)
+            workload = spec.functional_tasks_for(tasks, seed=data_seed)
 
             plan = cfg.plan()
             sc = SparkContext(default_parallelism=cfg.partitions)

@@ -19,7 +19,6 @@ import pytest
 from repro.apps import ALL_APPS, get_app
 from repro.blaze import make_deserializer, make_serializer
 from repro.blaze.runtime import _JVMTaskRunner
-from repro.compiler import compile_kernel
 from repro.fpga import KernelExecutor
 
 FAST_APPS = [spec.name for spec in ALL_APPS if spec.name != "S-W"]
@@ -27,19 +26,11 @@ FAST_APPS = [spec.name for spec in ALL_APPS if spec.name != "S-W"]
 
 def _compiled_for_functional(name):
     spec = get_app(name)
-    if name == "S-W":
-        from repro.apps.smith_waterman import FUNCTIONAL_LAYOUT
-        return spec, compile_kernel(
-            spec.scala_source, layout_config=FUNCTIONAL_LAYOUT,
-            batch_size=spec.batch_size)
-    return spec, spec.compile()
+    return spec, spec.functional_compile()
 
 
 def _tasks_for(name, spec, n):
-    if name == "S-W":
-        from repro.apps.smith_waterman import functional_workload
-        return functional_workload(n, seed=5)
-    return spec.workload(n, seed=5)
+    return spec.functional_tasks_for(n, seed=5)
 
 
 def _approx_equal(a, b) -> bool:

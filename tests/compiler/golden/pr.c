@@ -1,0 +1,21 @@
+#include <math.h>
+
+void call(float in_1, int *in_2, float *out_1) {
+  float v0 = in_1;
+  int v1 = 0;
+  for (int v2 = 0; v2 < 16; v2++) { /* call_L0 */
+    if (in_2[v2] >= 0) {
+      v1 = v1 + 1;
+    }
+  }
+  float v4 = v0 / (float) v1;
+  for (int v5 = 0; v5 < 16; v5++) { /* call_L1 */
+    out_1[v5] = in_2[v5] >= 0 ? v4 : 0.0f;
+  }
+}
+
+void kernel(int N, float *in_1, int *in_2, float *out_1) {
+  for (int i = 0; i < N; i++) { /* L0 */
+    call(in_1[i], in_2 + i * 16, out_1 + i * 16);
+  }
+}

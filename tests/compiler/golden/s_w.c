@@ -1,0 +1,41 @@
+#include <math.h>
+
+void call(char *in_1, char *in_2, int *out_1, int *out_2) {
+  int arr0[129];
+  int arr1[129];
+  int v0 = 0;
+  int v1 = 0;
+  for (int v2 = 0; v2 < 24; v2++) { /* call_L0 */
+    int v4 = 0;
+    for (int v5 = 0; v5 < 24; v5++) { /* call_L0_0 */
+      int v7 = in_1[v2] == in_2[v5] ? 2 : -1;
+      int v8 = arr0[v5] + v7;
+      if (arr0[v5 + 1] - 1 > v8) {
+        v8 = arr0[v5 + 1] - 1;
+      }
+      if (v4 - 1 > v8) {
+        v8 = v4 - 1;
+      }
+      if (v8 < 0) {
+        v8 = 0;
+      }
+      arr1[v5 + 1] = v8;
+      v4 = v8;
+      if (v8 > v0) {
+        v0 = v8;
+        v1 = v2 * 128 + v5;
+      }
+    }
+    for (int v9 = 0; v9 < 129; v9++) { /* call_L0_1 */
+      arr0[v9] = arr1[v9];
+    }
+  }
+  out_1[0] = v0;
+  out_2[0] = v1;
+}
+
+void kernel(int N, char *in_1, char *in_2, int *out_1, int *out_2) {
+  for (int i = 0; i < N; i++) { /* L0 */
+    call(in_1 + i * 24, in_2 + i * 24, out_1 + i, out_2 + i);
+  }
+}

@@ -1,0 +1,68 @@
+"""Golden-file snapshots of the generated HLS-C for every app.
+
+Each registered application's compiled kernel is pretty-printed and
+compared byte-for-byte against a committed snapshot under
+``tests/compiler/golden/``.  Any codegen change — intended or not —
+shows up as a readable C-level diff in the test failure; intended
+changes are blessed with ``pytest --update-golden``.
+
+Every snapshot is also run through :func:`repro.hlsc.lint.lint_kernel`,
+so the committed C can never regress below the linter's bar.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.hlsc import lint_kernel
+from repro.hlsc.printer import kernel_to_c
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+APP_NAMES = [spec.name for spec in ALL_APPS]
+
+
+def _snapshot_name(app_name: str) -> str:
+    return app_name.lower().replace("-", "_").replace(" ", "_") + ".c"
+
+
+def _generate(app_name: str) -> str:
+    compiled = get_app(app_name).functional_compile()
+    text = kernel_to_c(compiled.kernel)
+    return text if text.endswith("\n") else text + "\n"
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_generated_hlsc_matches_golden(name, update_golden):
+    path = GOLDEN_DIR / _snapshot_name(name)
+    generated = _generate(name)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(generated)
+        pytest.skip(f"golden snapshot regenerated: {path.name}")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; run "
+        f"`pytest tests/compiler/test_golden_hlsc.py --update-golden`")
+    assert generated == path.read_text(), (
+        f"{name}: generated HLS-C differs from {path.name}; if the "
+        f"codegen change is intended, bless it with --update-golden")
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_golden_kernel_is_lint_clean(name):
+    compiled = get_app(name).functional_compile()
+    problems = lint_kernel(compiled.kernel)
+    assert not problems, f"{name}: {problems}"
+
+
+def test_every_snapshot_belongs_to_an_app():
+    """No stale snapshots: each committed file maps to a live app."""
+    expected = {_snapshot_name(name) for name in APP_NAMES}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.c")}
+    assert actual == expected

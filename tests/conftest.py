@@ -1,0 +1,8 @@
+"""Shared pytest configuration for the repro test suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the golden HLS-C snapshots under "
+             "tests/compiler/golden/ instead of comparing against them")

@@ -1,0 +1,101 @@
+"""Metamorphic checker: transform kinds, bit-identity, divergence."""
+
+import random
+
+import repro.fuzz.metamorphic as meta_mod
+from repro.compiler import compile_kernel
+from repro.fuzz import KernelGenerator, check_transforms, run_differential
+
+REDUCE = """
+class Dot extends Accelerator[(Int, Int), Int] {
+  val id: String = "dot"
+  def call(in: (Int, Int)): Int = {
+    var acc: Int = 1
+    for (i <- 0 until 8) {
+      acc = acc + (in._1 * in._2)
+    }
+    acc
+  }
+}
+"""
+
+
+def test_transforms_preserve_bits_on_generated_kernels():
+    gen = KernelGenerator(13)
+    checked = 0
+    for _ in range(8):
+        kernel = gen.kernel()
+        tasks = gen.tasks(kernel, 3)
+        outcome = run_differential(kernel.scala(), tasks,
+                                   layout_config=kernel.layout_config(),
+                                   batch_size=8)
+        assert outcome.ok, (outcome.stage, outcome.detail)
+        trials = check_transforms(outcome.compiled, tasks,
+                                  random.Random(99),
+                                  source=kernel.scala(),
+                                  layout_config=kernel.layout_config())
+        bad = [t for t in trials if t.applied and not t.ok]
+        assert not bad, [(t.kind, t.label, t.detail) for t in bad]
+        applied = {t.kind for t in trials if t.applied}
+        assert len(applied) >= 3, applied
+        checked += 1
+    assert checked == 8
+
+
+def test_reduction_and_unroll_exercised_on_canonical_loop():
+    compiled = compile_kernel(REDUCE, batch_size=8)
+    tasks = [(3, 4), (-2, 9), (7, 0)]
+    trials = check_transforms(compiled, tasks, random.Random(5),
+                              source=REDUCE)
+    kinds = {t.kind for t in trials if t.applied}
+    assert "reduction" in kinds
+    assert all(t.ok for t in trials if t.applied), \
+        [(t.kind, t.detail) for t in trials if not t.ok]
+
+
+def test_divergence_is_detected(monkeypatch):
+    """A transform that changes results must produce a failing trial."""
+    real_run = meta_mod._run
+    calls = [0]
+
+    def corrupt(value):
+        if isinstance(value, tuple):
+            return (corrupt(value[0]),) + value[1:]
+        if isinstance(value, list):
+            return [corrupt(value[0])] + value[1:] if value else value
+        if isinstance(value, (int, float)):
+            return value + 1
+        return value
+
+    def tampered(kernel, layout, tasks, max_steps=5_000_000):
+        calls[0] += 1
+        outputs = real_run(kernel, layout, tasks, max_steps)
+        if calls[0] > 1:  # baseline is the first call
+            outputs = [corrupt(o) for o in outputs]
+        return outputs
+
+    monkeypatch.setattr(meta_mod, "_run", tampered)
+    compiled = compile_kernel(REDUCE, batch_size=8)
+    trials = check_transforms(compiled, tasks=[(3, 4)],
+                              rng=random.Random(5), source=REDUCE)
+    bad = [t for t in trials if t.applied and not t.ok]
+    assert bad, "corrupted transform outputs went undetected"
+    assert all("diverge" in t.detail for t in bad
+               if t.kind not in ("recompile",))
+
+
+def test_recompile_instability_is_detected(monkeypatch):
+    """Nondeterministic pretty-printing must fail the recompile trial."""
+    real = meta_mod.kernel_to_c
+    counter = [0]
+
+    def flaky(kernel):
+        counter[0] += 1
+        return real(kernel) + f"\n// build {counter[0]}"
+
+    monkeypatch.setattr(meta_mod, "kernel_to_c", flaky)
+    compiled = compile_kernel(REDUCE, batch_size=8)
+    trials = check_transforms(compiled, tasks=[(1, 2)],
+                              rng=random.Random(5), source=REDUCE)
+    recompiles = [t for t in trials if t.kind == "recompile"]
+    assert recompiles and not recompiles[0].ok

@@ -1,0 +1,89 @@
+"""Minimizer behaviour, including the planted-lifter-bug gauntlet."""
+
+import repro.compiler.lift as lift_mod
+from repro.fuzz import KernelGenerator, minimize_kernel, run_differential
+from repro.fuzz.engine import FuzzConfig, run_campaign
+from repro.fuzz.minimize import line_count
+
+
+def test_shrinks_to_the_failing_construct():
+    """A predicate keyed on one operator strips everything else."""
+    gen = KernelGenerator(21)
+    kernel = None
+    while kernel is None or "<<" not in kernel.scala():
+        kernel = gen.kernel()
+    tasks = gen.tasks(kernel, 4)
+
+    def predicate(k, t):
+        return "<<" in k.scala()
+
+    shrunk, shrunk_tasks = minimize_kernel(kernel, tasks, predicate)
+    assert "<<" in shrunk.scala()
+    assert len(shrunk_tasks) == 1
+    assert line_count(shrunk) < line_count(kernel)
+    assert line_count(shrunk) <= 10
+
+
+def test_minimized_kernel_stays_well_formed():
+    """Every surviving candidate must still compile (IR edits only)."""
+    gen = KernelGenerator(9)
+    kernel = gen.kernel()
+    tasks = gen.tasks(kernel, 3)
+
+    def predicate(k, t):
+        return True  # accept every edit: maximal shrinking pressure
+
+    shrunk, shrunk_tasks = minimize_kernel(kernel, tasks, predicate)
+    outcome = run_differential(shrunk.scala(), shrunk_tasks,
+                               layout_config=shrunk.layout_config(),
+                               batch_size=8)
+    assert outcome.ok, (outcome.stage, outcome.detail, shrunk.scala())
+
+
+def test_planted_lifter_bug_caught_and_minimized(monkeypatch):
+    """Mutation test: swap subtraction operands inside the lifter.
+
+    The fuzzer must catch the divergence within a bounded campaign and
+    delta-debug the reproducer to <= 15 source lines.
+    """
+    orig_step = lift_mod.Lifter._step
+
+    def planted(self, instr, stack, stmts):
+        if instr.mnemonic in ("isub", "lsub", "fsub", "dsub") \
+                and len(stack) >= 2:
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+        return orig_step(self, instr, stack, stmts)
+
+    monkeypatch.setattr(lift_mod.Lifter, "_step", planted)
+    report = run_campaign(FuzzConfig(iterations=40, seed=7,
+                                     max_failures=1,
+                                     check_metamorphic=False))
+    assert report.failures, "planted lifter bug went undetected"
+    failure = report.failures[0]
+    assert failure.kind == "differential"
+    assert failure.stage == "compare"
+    assert failure.minimized_lines is not None
+    assert failure.minimized_lines <= 15, failure.minimized_source
+    assert " - " in failure.minimized_source
+
+
+def test_planted_executor_bug_caught(monkeypatch):
+    """Mutation test: break the C executor's shift masking."""
+    import repro.fpga.executor as exec_mod
+
+    orig = exec_mod.KernelExecutor._binop
+
+    def planted(self, expr, env):
+        if expr.op == "<<":
+            a = self._eval(expr.lhs, env)
+            b = self._eval(expr.rhs, env)
+            if isinstance(a, int) and isinstance(b, int):
+                return exec_mod._i32(a << (b & 7))
+        return orig(self, expr, env)
+
+    monkeypatch.setattr(exec_mod.KernelExecutor, "_binop", planted)
+    report = run_campaign(FuzzConfig(iterations=60, seed=2,
+                                     max_failures=1, minimize=False,
+                                     check_metamorphic=False))
+    assert report.failures, "planted executor bug went undetected"
+    assert report.failures[0].stage == "compare"

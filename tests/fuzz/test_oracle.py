@@ -1,0 +1,60 @@
+"""Differential oracle: stage classification and bit-equality."""
+
+import math
+
+import repro.fuzz.oracle as oracle_mod
+from repro.fuzz.oracle import bits_equal, run_differential
+
+GOOD = """
+class Inc extends Accelerator[(Int, Int), Int] {
+  val id: String = "inc"
+  def call(in: (Int, Int)): Int = {
+    val x: Int = in._1 + in._2
+    x
+  }
+}
+"""
+
+
+def test_ok_outcome():
+    outcome = run_differential(GOOD, [(1, 2), (-5, 7)], batch_size=4)
+    assert outcome.ok
+    assert outcome.signature == ("ok",)
+    assert outcome.expected == [3, 2]
+    assert outcome.actual == [3, 2]
+
+
+def test_compile_failure_classified():
+    outcome = run_differential("class Broken {", [(1, 2)])
+    assert not outcome.ok
+    assert outcome.stage == "compile"
+    assert outcome.signature[0] == "compile"
+
+
+def test_mismatch_classified(monkeypatch):
+    class Inert:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def run(self, buffers, n):
+            return None  # leaves the zeroed output buffers untouched
+
+    monkeypatch.setattr(oracle_mod, "KernelExecutor", Inert)
+    outcome = run_differential(GOOD, [(1, 2)], batch_size=4)
+    assert not outcome.ok
+    assert outcome.stage == "compare"
+    assert outcome.signature == ("compare", "mismatch")
+    assert outcome.expected == [3]
+    assert outcome.actual == [0]
+    assert "task 0" in outcome.detail
+
+
+def test_bits_equal_corner_cases():
+    assert bits_equal(float("nan"), float("nan"))
+    assert not bits_equal(0.0, -0.0)
+    assert bits_equal((1, (2.0, [3])), (1, (2.0, [3])))
+    assert not bits_equal(1, 1.0)
+    assert not bits_equal((1, 2), (1, 2, 3))
+    assert bits_equal(float("inf"), float("inf"))
+    assert not bits_equal(float("inf"), float("-inf"))
+    assert not bits_equal(math.nan, 0.0)

@@ -10,7 +10,6 @@ import pytest
 
 from repro.apps import ALL_APPS, get_app
 from repro.blaze import BlazeRuntime
-from repro.compiler import compile_kernel
 from repro.dse import Evaluator, S2FAEngine, build_space
 from repro.merlin import DesignConfig
 from repro.spark import SparkContext
@@ -22,16 +21,8 @@ FAST = [spec.name for spec in ALL_APPS if spec.name != "S-W"]
 
 def _deployable(name):
     spec = get_app(name)
-    if name == "S-W":
-        from repro.apps.smith_waterman import (
-            FUNCTIONAL_LAYOUT,
-            functional_workload,
-        )
-        compiled = compile_kernel(spec.scala_source,
-                                  layout_config=FUNCTIONAL_LAYOUT,
-                                  batch_size=spec.batch_size)
-        return spec, compiled, functional_workload(12, seed=21)
-    return spec, spec.compile(), spec.workload(96, seed=21)
+    return (spec, spec.functional_compile(),
+            spec.functional_tasks_for(96, seed=21))
 
 
 @pytest.mark.parametrize("name", [spec.name for spec in ALL_APPS])

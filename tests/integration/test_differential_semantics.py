@@ -20,7 +20,6 @@ import pytest
 from repro.apps import ALL_APPS, get_app
 from repro.blaze import make_deserializer, make_serializer
 from repro.blaze.runtime import _JVMTaskRunner
-from repro.compiler import compile_kernel
 from repro.fpga import KernelExecutor
 
 SEEDS = (101, 202, 303)
@@ -28,36 +27,15 @@ SEEDS = (101, 202, 303)
 APP_NAMES = [spec.name for spec in ALL_APPS]
 
 
-def _compiled_for_differential(name):
-    spec = get_app(name)
-    if name == "S-W":
-        # The default S-W layout is sized for the DSE workload; the
-        # functional layout bounds sequence lengths so the C interpreter
-        # runs in test time.
-        from repro.apps.smith_waterman import FUNCTIONAL_LAYOUT
-        return spec, compile_kernel(
-            spec.scala_source, layout_config=FUNCTIONAL_LAYOUT,
-            batch_size=spec.batch_size)
-    return spec, spec.compile()
-
-
-def _tasks_for(name, spec, n, seed):
-    if name == "S-W":
-        from repro.apps.smith_waterman import functional_workload
-        return functional_workload(n, seed=seed)
-    return spec.workload(n, seed=seed)
-
-
-def _task_count(name):
-    return 3 if name == "S-W" else 8
-
-
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("name", APP_NAMES)
 def test_jvm_and_hls_c_bit_identical(name, seed):
-    spec, compiled = _compiled_for_differential(name)
-    n = _task_count(name)
-    tasks = _tasks_for(name, spec, n, seed)
+    # Apps declare functional variants (bounded layouts, shorter
+    # workloads) on their spec; the harness has no per-app branches.
+    spec = get_app(name)
+    compiled = spec.functional_compile()
+    n = spec.differential_tasks
+    tasks = spec.functional_tasks_for(n, seed=seed)
 
     jvm = [_JVMTaskRunner(compiled).call(task) for task in tasks]
 
@@ -75,9 +53,9 @@ def test_jvm_and_hls_c_bit_identical(name, seed):
 @pytest.mark.parametrize("name", APP_NAMES)
 def test_differential_repeatable(name):
     """The harness itself is deterministic: same seed, same verdict."""
-    spec, compiled = _compiled_for_differential(name)
-    n = _task_count(name)
-    first = _tasks_for(name, spec, n, SEEDS[0])
-    second = _tasks_for(name, spec, n, SEEDS[0])
+    spec = get_app(name)
+    n = spec.differential_tasks
+    first = spec.functional_tasks_for(n, seed=SEEDS[0])
+    second = spec.functional_tasks_for(n, seed=SEEDS[0])
     assert first == second
-    assert _tasks_for(name, spec, n, SEEDS[1]) != first
+    assert spec.functional_tasks_for(n, seed=SEEDS[1]) != first

@@ -13,7 +13,6 @@ import pytest
 
 from repro.apps import ALL_APPS, get_app
 from repro.blaze import BlazeRuntime
-from repro.compiler import compile_kernel
 from repro.fpga.faults import FaultPlan
 from repro.spark import SparkContext
 
@@ -29,16 +28,8 @@ ALL_LOST = FaultPlan(seed=7, lose_after=0)
 
 def _deployable(name):
     spec = get_app(name)
-    if name == "S-W":
-        from repro.apps.smith_waterman import (
-            FUNCTIONAL_LAYOUT,
-            functional_workload,
-        )
-        compiled = compile_kernel(spec.scala_source,
-                                  layout_config=FUNCTIONAL_LAYOUT,
-                                  batch_size=spec.batch_size)
-        return spec, compiled, functional_workload(9, seed=21)
-    return spec, spec.compile(), spec.workload(30, seed=21)
+    return (spec, spec.functional_compile(),
+            spec.functional_tasks_for(30, seed=21))
 
 
 def _collect(compiled, config, tasks, plan=None):

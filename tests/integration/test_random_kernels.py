@@ -1,147 +1,103 @@
-"""Property-based pipeline testing with randomly generated kernels.
+"""Property-based pipeline testing driven by the ``repro.fuzz`` generator.
 
-Hypothesis builds random arithmetic kernels from a constrained grammar;
-each one is compiled through the *entire* pipeline and executed on both
-the JVM bytecode interpreter and the FPGA C interpreter.  Any divergence
-anywhere in lexer/parser/typer/codegen/lifter/executor fails the property.
+Hypothesis chooses seeds (and, separately, adversarial input data); the
+:mod:`repro.fuzz` kernel generator turns each seed into a well-typed
+mini-Scala program covering the whole supported subset.  Every program
+is compiled through the *entire* pipeline and executed on both the JVM
+bytecode interpreter and the FPGA C interpreter; any divergence anywhere
+in lexer/parser/typer/codegen/lifter/serializer/executor fails the
+property.  (The old hand-rolled expression grammar this file used to
+carry was subsumed by the fuzz generator.)
 """
 
 from __future__ import annotations
 
-import pytest
+import random
+
 from hypothesis import given, settings, strategies as hst
 
-from repro.blaze import make_deserializer, make_serializer
-from repro.blaze.runtime import _JVMTaskRunner
-from repro.compiler import LayoutConfig, compile_kernel
-from repro.fpga import KernelExecutor
-
-# -- expression grammar -------------------------------------------------------
-
-_VARS = ("a", "b", "acc")
-
-_INT_OPS = ("+", "-", "*", "&", "|", "^")
-
-
-def _leaf():
-    return hst.one_of(
-        hst.sampled_from(_VARS),
-        hst.integers(min_value=-20, max_value=20).map(str),
-    )
-
-
-def _expr(depth: int):
-    if depth == 0:
-        return _leaf()
-    sub = _expr(depth - 1)
-    binary = hst.tuples(sub, hst.sampled_from(_INT_OPS), sub).map(
-        lambda t: f"({t[0]} {t[1]} {t[2]})")
-    return hst.one_of(_leaf(), binary)
-
-
-KERNEL_TEMPLATE = """
-class Gen extends Accelerator[(Int, Int), Int] {{
-  val id: String = "gen"
-  def call(in: (Int, Int)): Int = {{
-    val a = in._1
-    val b = in._2
-    var acc = {init}
-    for (i <- 0 until {trip}) {{
-      acc = acc + {body}
-    }}
-    if ({cond_lhs} < {cond_rhs}) acc else acc - {delta}
-  }}
-}}
-"""
-
-
-@settings(max_examples=20, deadline=None)
-@given(
-    init=hst.integers(min_value=-5, max_value=5),
-    trip=hst.integers(min_value=1, max_value=6),
-    body=_expr(2),
-    cond_lhs=_expr(1),
-    cond_rhs=_expr(1),
-    delta=hst.integers(min_value=0, max_value=9),
-    tasks=hst.lists(
-        hst.tuples(hst.integers(min_value=-50, max_value=50),
-                   hst.integers(min_value=-50, max_value=50)),
-        min_size=1, max_size=4),
+from repro.fuzz import check_transforms, run_differential
+from repro.fuzz.gen import (
+    ArrayT,
+    DOUBLE,
+    FLOAT,
+    INT,
+    TupleT,
+    generate_kernel,
+    make_tasks,
 )
-def test_random_int_kernels_jvm_matches_fpga(init, trip, body, cond_lhs,
-                                             cond_rhs, delta, tasks):
-    source = KERNEL_TEMPLATE.format(
-        init=init, trip=trip, body=body,
-        cond_lhs=cond_lhs, cond_rhs=cond_rhs, delta=delta)
-    compiled = compile_kernel(source, batch_size=64)
-
-    runner = _JVMTaskRunner(compiled)
-    jvm = [runner.call(task) for task in tasks]
-
-    serialize = make_serializer(compiled.layout)
-    deserialize = make_deserializer(compiled.layout)
-    buffers = serialize(tasks)
-    KernelExecutor(compiled.kernel).run(buffers, len(tasks))
-    fpga = deserialize(buffers, len(tasks))
-
-    assert fpga == jvm, f"pipeline divergence for kernel:\n{source}"
 
 
-CONDITION_TEMPLATE = """
-class GenC extends Accelerator[(Int, Int), Int] {{
-  val id: String = "genc"
-  def call(in: (Int, Int)): Int = {{
-    val a = in._1
-    val b = in._2
-    var acc = 0
-    var i = 0
-    while (i < {trip} && acc < {cap}) {{
-      if ({lhs} {cmp} {rhs} {conn} {lhs2} {cmp2} {rhs2}) {{
-        acc = acc + {delta}
-      }} else {{
-        acc = acc + 1
-      }}
-      i = i + 1
-    }}
-    acc
-  }}
-}}
-"""
+def _run(kernel, tasks):
+    return run_differential(kernel.scala(), tasks,
+                            layout_config=kernel.layout_config(),
+                            batch_size=8)
 
 
-@settings(max_examples=15, deadline=None)
-@given(
-    trip=hst.integers(min_value=1, max_value=8),
-    cap=hst.integers(min_value=1, max_value=40),
-    lhs=_expr(1), rhs=_expr(1), lhs2=_expr(1), rhs2=_expr(1),
-    cmp=hst.sampled_from(("<", "<=", ">", ">=", "==", "!=")),
-    cmp2=hst.sampled_from(("<", "<=", ">", ">=", "==", "!=")),
-    conn=hst.sampled_from(("&&", "||")),
-    tasks=hst.lists(
-        hst.tuples(hst.integers(min_value=-30, max_value=30),
-                   hst.integers(min_value=-30, max_value=30)),
-        min_size=1, max_size=4),
-)
-def test_random_condition_kernels_jvm_matches_fpga(
-        trip, cap, lhs, rhs, lhs2, rhs2, cmp, cmp2, conn, tasks):
-    """Random boolean conditions (with connectives) inside loops."""
-    source = CONDITION_TEMPLATE.format(
-        trip=trip, cap=cap, lhs=lhs, rhs=rhs, lhs2=lhs2, rhs2=rhs2,
-        cmp=cmp, cmp2=cmp2, conn=conn, delta=3)
-    compiled = compile_kernel(source, batch_size=32)
-
-    runner = _JVMTaskRunner(compiled)
-    jvm = [runner.call(task) for task in tasks]
-
-    serialize = make_serializer(compiled.layout)
-    deserialize = make_deserializer(compiled.layout)
-    buffers = serialize(tasks)
-    KernelExecutor(compiled.kernel).run(buffers, len(tasks))
-    fpga = deserialize(buffers, len(tasks))
-
-    assert fpga == jvm, f"pipeline divergence for kernel:\n{source}"
+@settings(max_examples=25, deadline=None)
+@given(seed=hst.integers(min_value=0, max_value=2**32 - 1),
+       n_tasks=hst.integers(min_value=1, max_value=4))
+def test_generated_kernel_jvm_matches_fpga(seed, n_tasks):
+    rng = random.Random(seed)
+    kernel = generate_kernel(rng, name="Hyp")
+    tasks = make_tasks(rng, kernel.input_type, n_tasks)
+    outcome = _run(kernel, tasks)
+    assert outcome.ok, \
+        f"{outcome.stage}: {outcome.detail}\n{kernel.scala()}"
 
 
+@settings(max_examples=8, deadline=None)
+@given(seed=hst.integers(min_value=0, max_value=2**16 - 1),
+       transform_seed=hst.integers(min_value=0, max_value=2**16 - 1))
+def test_generated_kernel_survives_merlin_transforms(seed,
+                                                     transform_seed):
+    rng = random.Random(seed)
+    kernel = generate_kernel(rng, name="HypT")
+    tasks = make_tasks(rng, kernel.input_type, 3)
+    outcome = _run(kernel, tasks)
+    assert outcome.ok, f"{outcome.stage}: {outcome.detail}"
+    trials = check_transforms(outcome.compiled, tasks,
+                              random.Random(transform_seed),
+                              source=kernel.scala(),
+                              layout_config=kernel.layout_config())
+    bad = [t for t in trials if t.applied and not t.ok]
+    assert not bad, \
+        [(t.kind, t.label, t.detail) for t in bad] + [kernel.scala()]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=hst.integers(min_value=0, max_value=2**20), data=hst.data())
+def test_adversarial_inputs(seed, data):
+    """The generator picks the program, Hypothesis picks the data."""
+    rng = random.Random(seed)
+    kernel = generate_kernel(rng, name="Adv")
+
+    def leaf(tpe):
+        if tpe == INT:
+            return data.draw(hst.integers(-2**31, 2**31 - 1))
+        if tpe == FLOAT:
+            return data.draw(hst.floats(allow_nan=False,
+                                        allow_infinity=False, width=32))
+        if tpe == DOUBLE:
+            return data.draw(hst.floats(allow_nan=False,
+                                        allow_infinity=False))
+        return data.draw(hst.integers(-2**63, 2**63 - 1))
+
+    def value(tpe):
+        if isinstance(tpe, TupleT):
+            return tuple(value(e) for e in tpe.elems)
+        if isinstance(tpe, ArrayT):
+            return [value(tpe.elem) for _ in range(tpe.length)]
+        return leaf(tpe)
+
+    tasks = [value(kernel.input_type) for _ in range(2)]
+    outcome = _run(kernel, tasks)
+    assert outcome.ok, \
+        f"{outcome.stage}: {outcome.detail}\n{kernel.scala()}\n{tasks}"
+
+
+# A shape the fuzz generator does not emit: a class-level constant
+# array (``val w: Array[Float] = Array(...)``) folded against the input.
 FLOAT_TEMPLATE = """
 class GenF extends Accelerator[Array[Float], Float] {{
   val id: String = "genf"
@@ -169,22 +125,13 @@ class GenF extends Accelerator[Array[Float], Float] {{
                   min_size=6, max_size=6),
         min_size=1, max_size=3),
 )
-def test_random_float_kernels_jvm_matches_fpga(weights, tasks):
+def test_constant_array_kernels_jvm_matches_fpga(weights, tasks):
+    from repro.compiler import LayoutConfig
+
     dims = len(weights)
     source = FLOAT_TEMPLATE.format(
         weights=", ".join(f"{w!r}f" for w in weights), dims=dims)
-    compiled = compile_kernel(
-        source, layout_config=LayoutConfig(lengths={"in": 6}),
+    outcome = run_differential(
+        source, tasks, layout_config=LayoutConfig(lengths={"in": 6}),
         batch_size=16)
-
-    runner = _JVMTaskRunner(compiled)
-    jvm = [runner.call(task) for task in tasks]
-
-    serialize = make_serializer(compiled.layout)
-    deserialize = make_deserializer(compiled.layout)
-    buffers = serialize(tasks)
-    KernelExecutor(compiled.kernel).run(buffers, len(tasks))
-    fpga = deserialize(buffers, len(tasks))
-
-    # Both paths compute in double precision with identical op order.
-    assert fpga == jvm
+    assert outcome.ok, f"{outcome.stage}: {outcome.detail}\n{source}"

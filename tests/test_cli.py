@@ -1,9 +1,12 @@
 """CLI tests."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import (
     EXIT_ERROR,
+    EXIT_FAILURE,
     EXIT_INTERRUPTED,
     EXIT_OK,
     EXIT_USAGE,
@@ -278,3 +281,49 @@ class TestExitCodes:
                      "--checkpoint-dir", str(ck), "--resume"])
         assert code == EXIT_OK
         assert "resumed" in capsys.readouterr().out
+
+
+class TestFuzz:
+    CORPUS = Path(__file__).resolve().parent / "fuzz_corpus"
+
+    def test_small_clean_campaign(self, capsys):
+        assert main(["fuzz", "--iterations", "8", "--seed", "3",
+                     "--no-metamorphic"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "8 kernels" in out
+        assert "failures          : 0" in out
+
+    def test_replay_only_committed_corpus(self, capsys):
+        assert main(["fuzz", "--replay-only",
+                     "--corpus", str(self.CORPUS)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "entries replayed" in out
+        assert "FAIL" not in out
+
+    def test_replay_only_requires_corpus(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--replay-only"])
+
+    def test_failing_campaign_exits_one_and_writes_artifacts(
+            self, tmp_path, capsys, monkeypatch):
+        import repro.compiler.lift as lift_mod
+
+        orig_step = lift_mod.Lifter._step
+
+        def planted(self, instr, stack, stmts):
+            if instr.mnemonic in ("isub", "lsub", "fsub", "dsub") \
+                    and len(stack) >= 2:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            return orig_step(self, instr, stack, stmts)
+
+        monkeypatch.setattr(lift_mod.Lifter, "_step", planted)
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        code = main(["fuzz", "--iterations", "40", "--seed", "7",
+                     "--max-failures", "1", "--no-metamorphic",
+                     "--corpus", str(corpus)])
+        out = capsys.readouterr().out
+        assert code == EXIT_FAILURE
+        assert "differential compare" in out
+        assert "minimized to" in out
+        assert any(corpus.glob("crash_*/regression.json"))
