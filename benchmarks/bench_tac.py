@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Engine shootout: flattened engines vs the original walkers.
+
+Measures wall-clock per-task for the two JVM engines (``tac`` register
+IR vs ``stack`` bytecode walker) and the two C executors (``flat``
+closure-compiled vs ``tree`` AST walker) on every registered app, and
+writes the result as JSON (``BENCH_tac.json`` at the repo root is the
+committed snapshot).
+
+Determinism is part of the contract: for each app the two engines of a
+pair must produce bit-identical outputs (hashed into the report), and
+the TAC engine's cost-model instruction count must equal the stack
+engine's.  ``--floor`` turns the report into a CI gate: the job fails
+if the minimum tac/stack speedup over the *interpreter-bound* apps
+drops below the pinned ratio, or if determinism breaks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tac.py --json BENCH_tac.json
+    PYTHONPATH=src python benchmarks/bench_tac.py --floor 3.0  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import math
+import sys
+import time
+
+from repro.apps import ALL_APPS, get_app
+from repro.blaze import make_serializer
+from repro.blaze.runtime import _JVMTaskRunner
+from repro.fpga.executor import KernelExecutor
+from repro.fpga.flat import FlatKernelExecutor
+from repro.fuzz.oracle import bits_equal
+
+APP_NAMES = [spec.name for spec in ALL_APPS]
+
+#: Apps whose runtime is dominated by kernel interpretation (little
+#: host-side bridging); these carry the headline speedup claim and the
+#: CI floor.  The bridging-heavy apps (large tuple/array marshalling
+#: per task) still must speed up, but their ratio is capped by
+#: serialization work the engine swap cannot touch.
+INTERPRETER_BOUND = ("KMeans", "KNN", "LLS", "AES", "S-W")
+
+#: JVM tasks timed per app (per engine, per repeat).
+JVM_TASKS = 24
+#: C-executor tasks per batch.
+C_TASKS = 8
+
+
+def _digest(outputs) -> str:
+    """Order-stable bit-exact hash of a list of outputs."""
+    def shadow(value):
+        if isinstance(value, (tuple, list)):
+            return [shadow(v) for v in value]
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "nan"
+            return f"f{value.hex()}"
+        return f"{type(value).__name__}:{value!r}"
+    text = json.dumps(shadow(list(outputs)), separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _bench_jvm(name: str, repeats: int) -> dict:
+    spec = get_app(name)
+    compiled = spec.compile()
+    tasks = spec.workload(min(spec.jvm_sample, JVM_TASKS), seed=17)
+    row: dict = {"tasks": len(tasks)}
+    outputs: dict = {}
+    instructions: dict = {}
+    for engine in ("stack", "tac"):
+        # Determinism pass on a cold runner (also warms the lowering
+        # cache); timing is then steady-state, matching production use
+        # where one engine serves a whole batch/campaign.
+        runner = _JVMTaskRunner(compiled, engine=engine)
+        outputs[engine] = [runner.call(task) for task in tasks]
+        instructions[engine] = runner.cost.instructions
+        best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for task in tasks:
+                runner.call(task)
+            best = min(best, time.perf_counter() - start)
+        row[f"{engine}_us_per_task"] = best / len(tasks) * 1e6
+    row["speedup"] = (row["stack_us_per_task"]
+                      / row["tac_us_per_task"])
+    row["bit_identical"] = bits_equal(outputs["stack"], outputs["tac"])
+    row["instructions_match"] = (instructions["stack"]
+                                 == instructions["tac"])
+    row["digest"] = _digest(outputs["tac"])
+    return row
+
+
+def _bench_c(name: str, repeats: int) -> dict:
+    spec = get_app(name)
+    compiled = spec.functional_compile()
+    tasks = spec.functional_tasks_for(C_TASKS, seed=23)
+    serialize = make_serializer(compiled.layout)
+    row: dict = {"tasks": len(tasks)}
+    buffers: dict = {}
+    for engine, cls in (("tree", KernelExecutor),
+                        ("flat", FlatKernelExecutor)):
+        # One executor per engine (production reuses it per batch);
+        # the first run doubles as determinism pass + closure warmup.
+        executor = cls(compiled.kernel)
+        bufs = serialize(tasks)
+        executor.run(bufs, len(tasks))
+        buffers[engine] = bufs
+        best = math.inf
+        for _ in range(repeats):
+            timed = serialize(tasks)
+            start = time.perf_counter()
+            executor.run(timed, len(tasks))
+            best = min(best, time.perf_counter() - start)
+        row[f"{engine}_us_per_task"] = best / len(tasks) * 1e6
+    row["speedup"] = row["tree_us_per_task"] / row["flat_us_per_task"]
+    row["bit_identical"] = all(
+        bits_equal(buffers["tree"][k], buffers["flat"][k])
+        for k in buffers["tree"])
+    row["digest"] = _digest(
+        v for k in sorted(buffers["flat"]) for v in buffers["flat"][k])
+    return row
+
+
+def run_benchmark(repeats: int) -> dict:
+    report: dict = {
+        "benchmark": "engine shootout (tac/flat vs stack/tree)",
+        "interpreter_bound": list(INTERPRETER_BOUND),
+        "jvm_tasks": JVM_TASKS,
+        "c_tasks": C_TASKS,
+        "repeats": repeats,
+        "jvm": {},
+        "c": {},
+    }
+    for name in APP_NAMES:
+        report["jvm"][name] = _bench_jvm(name, repeats)
+        report["c"][name] = _bench_c(name, repeats)
+    jvm = report["jvm"]
+    report["summary"] = {
+        "jvm_min_speedup": min(r["speedup"] for r in jvm.values()),
+        "jvm_min_interpreter_bound_speedup": min(
+            jvm[n]["speedup"] for n in INTERPRETER_BOUND),
+        "jvm_geomean_speedup": math.exp(sum(
+            math.log(r["speedup"]) for r in jvm.values()) / len(jvm)),
+        "c_geomean_speedup": math.exp(sum(
+            math.log(r["speedup"]) for r in report["c"].values())
+            / len(report["c"])),
+        "deterministic": all(
+            r["bit_identical"] for r in jvm.values())
+        and all(r["instructions_match"] for r in jvm.values())
+        and all(r["bit_identical"] for r in report["c"].values()),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per engine (best-of)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full report as JSON")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="fail if min interpreter-bound tac/stack "
+                             "speedup drops below this ratio")
+    parser.add_argument("--c-floor", type=float, default=None,
+                        help="fail if the flat/tree geomean speedup "
+                             "drops below this ratio")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.repeats)
+    summary = report["summary"]
+
+    header = f"{'app':>8} {'stack us':>10} {'tac us':>10} {'jvm x':>7} " \
+             f"{'tree us':>10} {'flat us':>10} {'c x':>7}"
+    print(header)
+    print("-" * len(header))
+    for name in APP_NAMES:
+        j, c = report["jvm"][name], report["c"][name]
+        print(f"{name:>8} {j['stack_us_per_task']:>10.1f} "
+              f"{j['tac_us_per_task']:>10.1f} {j['speedup']:>6.1f}x "
+              f"{c['tree_us_per_task']:>10.1f} "
+              f"{c['flat_us_per_task']:>10.1f} {c['speedup']:>6.1f}x")
+    print(f"\njvm geomean {summary['jvm_geomean_speedup']:.2f}x "
+          f"(interpreter-bound min "
+          f"{summary['jvm_min_interpreter_bound_speedup']:.2f}x), "
+          f"c geomean {summary['c_geomean_speedup']:.2f}x, "
+          f"deterministic={summary['deterministic']}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.json}")
+
+    failed = False
+    if not summary["deterministic"]:
+        print("FAIL: engines are not bit-identical / cost-identical",
+              file=sys.stderr)
+        failed = True
+    if args.floor is not None \
+            and summary["jvm_min_interpreter_bound_speedup"] < args.floor:
+        print(f"FAIL: interpreter-bound tac/stack speedup "
+              f"{summary['jvm_min_interpreter_bound_speedup']:.2f}x "
+              f"below the pinned floor {args.floor}x", file=sys.stderr)
+        failed = True
+    if args.c_floor is not None \
+            and summary["c_geomean_speedup"] < args.c_floor:
+        print(f"FAIL: flat/tree geomean speedup "
+              f"{summary['c_geomean_speedup']:.2f}x below the pinned "
+              f"floor {args.c_floor}x", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,9 +90,11 @@ class AcceleratorManager:
     """Node accelerator manager (one per Blaze deployment)."""
 
     def __init__(self, device: Device = VU9P,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 engine: Optional[str] = None):
         self.device = device
         self.fault_plan = fault_plan
+        self.engine = engine
         self._accelerators: dict[str, RegisteredAccelerator] = {}
 
     def register(self, compiled: CompiledKernel,
@@ -122,7 +124,7 @@ class AcceleratorManager:
                 batch_size=compiled.batch_size,
                 bytes_per_task=bytes_per_task,
                 output_names=entry.output_names,
-                faults=faults)
+                faults=faults, engine=self.engine)
         self._accelerators[accel_id] = entry
         return entry
 

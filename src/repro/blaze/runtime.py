@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..compiler.driver import CompiledKernel
+from ..engines import make_jvm_interpreter, resolve_engine
 from ..errors import (
     BlazeError,
     CorruptResultError,
@@ -37,7 +38,6 @@ from ..errors import (
 from ..fpga.faults import FaultPlan
 from ..hls.device import Device, VU9P
 from ..jvm.cost import CostModel
-from ..jvm.interpreter import Interpreter
 from ..merlin.config import DesignConfig
 from ..obs.span import NULL_TRACER
 from ..spark.rdd import RDD, SparkContext
@@ -126,9 +126,12 @@ class BlazeRuntime:
                  device: Device = VU9P,
                  fault_plan: Optional[FaultPlan] = None,
                  policy: Optional[OffloadPolicy] = None,
-                 tracer=NULL_TRACER):
+                 tracer=NULL_TRACER,
+                 engine: Optional[str] = None):
+        self.engine = resolve_engine(engine)
         if manager is None:
-            manager = AcceleratorManager(device, fault_plan=fault_plan)
+            manager = AcceleratorManager(device, fault_plan=fault_plan,
+                                         engine=self.engine)
         elif fault_plan is not None:
             manager.fault_plan = fault_plan
         self.context = context
@@ -327,7 +330,7 @@ class ShellRDD:
         if results is not None:
             # Reduce kernels leave the folded value in out_1[0].
             return results[0]
-        runner = _JVMTaskRunner(entry.compiled)
+        runner = _JVMTaskRunner(entry.compiled, engine=self.runtime.engine)
         with self.runtime.tracer.span(
                 "blaze.jvm_fallback", accel=entry.accel_id,
                 tasks=len(values)) as span:
@@ -356,7 +359,8 @@ class AccRDD(RDD):
         """The fallback runner, built once and shared by all partitions
         (class and I/O types resolve once, not per ``compute``)."""
         if self._runner is None:
-            self._runner = _JVMTaskRunner(self.entry.compiled)
+            self._runner = _JVMTaskRunner(self.entry.compiled,
+                                          engine=self.runtime.engine)
         return self._runner
 
     def compute(self, partition: int) -> list:
@@ -404,7 +408,8 @@ class FilterAccRDD(RDD):
     @property
     def _jvm_runner(self) -> "_JVMTaskRunner":
         if self._runner is None:
-            self._runner = _JVMTaskRunner(self.entry.compiled)
+            self._runner = _JVMTaskRunner(self.entry.compiled,
+                                          engine=self.runtime.engine)
         return self._runner
 
     def compute(self, partition: int) -> list:
@@ -428,10 +433,12 @@ class FilterAccRDD(RDD):
 class _JVMTaskRunner:
     """Executes kernel tasks on the bytecode interpreter (fallback)."""
 
-    def __init__(self, compiled: CompiledKernel):
+    def __init__(self, compiled: CompiledKernel,
+                 engine: Optional[str] = None):
         self.compiled = compiled
         self.cost = CostModel()
-        self.interp = Interpreter(compiled.registry, cost_model=self.cost)
+        self.interp = make_jvm_interpreter(
+            compiled.registry, cost_model=self.cost, engine=engine)
         self.instance = compiled.instance
         self.tasks_run = 0
         cls = next(c for c in compiled.program.classes

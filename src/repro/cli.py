@@ -130,7 +130,8 @@ def _runtime_config(args: argparse.Namespace):
     return RuntimeConfig(
         partitions=getattr(args, "partitions", 4),
         fault_plan=getattr(args, "fault_plan", None),
-        fault_seed=getattr(args, "fault_seed", 0))
+        fault_seed=getattr(args, "fault_seed", 0),
+        engine=getattr(args, "engine", None))
 
 
 def _session(args: argparse.Namespace):
@@ -359,6 +360,16 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
 # Parser
 # ----------------------------------------------------------------------
 
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=("tac", "stack"),
+                        default=None,
+                        help="functional execution engine: 'tac' = "
+                             "flattened register-IR engines (default), "
+                             "'stack' = the original stack/tree "
+                             "interpreters (the differential oracles); "
+                             "also settable via $S2FA_ENGINE")
+
+
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="FILE",
                         help="record a span trace of the whole run "
@@ -443,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Spark partitions (default 4)")
     dse_p.add_argument("--metrics", action="store_true",
                        help="print the Blaze runtime metrics table")
+    _add_engine_flag(dse_p)
     _add_trace_flag(dse_p)
     dse_p.set_defaults(func=cmd_dse)
 
@@ -469,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "lose_after=40'")
     run_p.add_argument("--fault-seed", type=int, default=0,
                        help="seed of the fault schedule (default 0)")
+    _add_engine_flag(run_p)
     _add_trace_flag(run_p)
     run_p.set_defaults(func=cmd_run)
 

@@ -16,12 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..engines import make_jvm_interpreter
 from ..errors import DecompileError, UnsupportedConstructError
 from ..hlsc.ast import CFunction, CKernel, Param
 from ..hlsc.analysis import label_kernel
 from ..jvm.classfile import ClassRegistry, JClass, JMethod
 from ..jvm.descriptors import slot_width
-from ..jvm.interpreter import Interpreter, JObject
+from ..jvm.interpreter import JObject
 from ..jvm.opcodes import INVOKE_OPS
 from ..jvm.stdlib import is_tuple_class
 from ..obs.span import NULL_TRACER
@@ -238,7 +239,7 @@ class KernelCompiler:
 
     def _bake_instance(self, registry: ClassRegistry,
                        class_name: str) -> JObject:
-        interp = Interpreter(registry)
+        interp = make_jvm_interpreter(registry)
         instance = interp.new_instance(class_name)
         interp.invoke(class_name, "<init>", [instance])
         return instance

@@ -104,8 +104,16 @@ class RuntimeConfig:
     #: Quarantine ``q`` lasts ``base * factor**q`` before a probe.
     quarantine_base_seconds: float = 1e-2
     quarantine_factor: float = 2.0
+    #: Functional execution engine: ``"tac"`` (flattened register-IR
+    #: engines) or ``"stack"`` (the original stack/tree walkers, kept
+    #: as differential oracles).  ``None`` defers to ``$S2FA_ENGINE``,
+    #: then the default (see :mod:`repro.engines`).
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
+        from .engines import resolve_engine
+
+        resolve_engine(self.engine)     # fail on a bad name eagerly
         if self.partitions < 1:
             raise BlazeError(
                 f"partitions must be >= 1, got {self.partitions}")

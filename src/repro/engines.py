@@ -1,0 +1,97 @@
+"""Execution-engine selection for the two functional interpreters.
+
+The repo carries two implementations of each functional execution path:
+
+* **JVM bytecode** — the flattened three-address-code engine
+  (:class:`~repro.jvm.tac.TACInterpreter`) and the original stack
+  walker (:class:`~repro.jvm.interpreter.Interpreter`);
+* **HLS-C kernels** — the closure-compiled flat executor
+  (:class:`~repro.fpga.flat.FlatKernelExecutor`) and the original tree
+  walker (:class:`~repro.fpga.executor.KernelExecutor`).
+
+The flattened engines are the default everywhere (Blaze fallback, the
+FPGA board model, instance baking in the compiler, benchmarks); the
+stack/tree walkers survive as differential oracles — the fuzz oracle
+cross-checks every kernel on all four engines, and the equivalence
+batteries in ``tests/jvm/test_tac_equivalence.py`` /
+``tests/fpga/test_flat_equivalence.py`` pin bit-identity.
+
+Selection precedence: an explicit ``engine=`` argument beats the
+``S2FA_ENGINE`` environment variable beats the default (``"tac"``).
+Both names are deliberately JVM-flavoured — ``"tac"`` selects the
+flattened engine and ``"stack"`` the original one on *both* paths, so
+one knob switches the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .errors import S2FAError
+
+#: Recognized engine names: ``"tac"`` = flattened register-IR engines,
+#: ``"stack"`` = the original stack/tree walkers.
+ENGINES = ("tac", "stack")
+
+DEFAULT_ENGINE = "tac"
+
+#: Environment override consulted when no explicit ``engine=`` is given.
+ENGINE_ENV = "S2FA_ENGINE"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """The effective engine name: explicit > ``$S2FA_ENGINE`` > default.
+
+    Raises :class:`~repro.errors.S2FAError` on an unknown name (from
+    either source) so a bad knob fails loudly at construction time.
+    """
+    origin = "engine"
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or DEFAULT_ENGINE
+        origin = ENGINE_ENV
+    name = str(engine).lower()
+    if name not in ENGINES:
+        raise S2FAError(
+            f"unknown execution engine {engine!r} (from {origin}); "
+            f"expected one of: {', '.join(ENGINES)}")
+    return name
+
+
+def make_jvm_interpreter(registry, *, cost_model=None,
+                         max_steps: int = 200_000_000,
+                         engine: Optional[str] = None):
+    """A JVM execution engine over ``registry``.
+
+    Returns a :class:`~repro.jvm.tac.TACInterpreter` (default) or the
+    stack :class:`~repro.jvm.interpreter.Interpreter`; the two share
+    their public API (``new_instance`` / ``invoke``) and are
+    bit-identical including trap types and messages.
+    """
+    if resolve_engine(engine) == "tac":
+        from .jvm.tac import TACInterpreter
+
+        return TACInterpreter(registry, cost_model=cost_model,
+                              max_steps=max_steps)
+    from .jvm.interpreter import Interpreter
+
+    return Interpreter(registry, cost_model=cost_model,
+                       max_steps=max_steps)
+
+
+def make_kernel_executor(kernel, *, max_steps: int = 500_000_000,
+                         engine: Optional[str] = None):
+    """An HLS-C execution engine for ``kernel``.
+
+    Returns a :class:`~repro.fpga.flat.FlatKernelExecutor` (default) or
+    the tree-walking :class:`~repro.fpga.executor.KernelExecutor`; both
+    expose ``run(buffers, n_tasks)`` / ``call_function(name, args)`` and
+    are bit-identical including trap messages.
+    """
+    if resolve_engine(engine) == "tac":
+        from .fpga.flat import FlatKernelExecutor
+
+        return FlatKernelExecutor(kernel, max_steps=max_steps)
+    from .fpga.executor import KernelExecutor
+
+    return KernelExecutor(kernel, max_steps=max_steps)

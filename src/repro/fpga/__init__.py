@@ -7,6 +7,7 @@ from .board import (  # noqa: F401
     PCIE_BYTES_PER_SECOND,
 )
 from .executor import CPointer, KernelExecutor  # noqa: F401
+from .flat import FlatKernelExecutor  # noqa: F401
 from .faults import (  # noqa: F401
     FRAME_KEY,
     FaultInjector,

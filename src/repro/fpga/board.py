@@ -16,10 +16,10 @@ from ..errors import (
     DeviceLostError,
     DeviceTimeout,
 )
+from ..engines import make_kernel_executor
 from ..hls.result import HLSResult
 from ..hlsc.ast import CKernel
 from ..utils import ceil_div
-from .executor import KernelExecutor
 from .faults import CORRUPT, HANG, LOST, TRANSIENT, FaultInjector, \
     frame_outputs
 
@@ -79,13 +79,18 @@ class FPGABoard:
     hls: HLSResult
     batch_size: int
     bytes_per_task: int = 0
-    executor: Optional[KernelExecutor] = None
+    #: Functional engine (:class:`~repro.fpga.flat.FlatKernelExecutor`
+    #: or :class:`~repro.fpga.executor.KernelExecutor`); built from
+    #: ``engine`` when not supplied.
+    executor: Optional[object] = None
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     #: Names of the output buffers (framed with a CRC after each batch);
     #: derived from the buffer dict when not supplied.
     output_names: list = field(default_factory=list)
     #: Optional fault schedule (see :mod:`repro.fpga.faults`).
     faults: Optional[FaultInjector] = None
+    #: Engine name for the default executor (see :mod:`repro.engines`).
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.hls.feasible:
@@ -93,7 +98,8 @@ class FPGABoard:
                 "cannot deploy an infeasible design: "
                 + self.hls.infeasible_reason)
         if self.executor is None:
-            self.executor = KernelExecutor(self.kernel)
+            self.executor = make_kernel_executor(self.kernel,
+                                                 engine=self.engine)
 
     @property
     def board_id(self) -> str:

@@ -1,0 +1,1356 @@
+"""Flattened (closure-compiled) FPGA kernel execution.
+
+The tree-walking :class:`~repro.fpga.executor.KernelExecutor` re-visits
+the C AST on every statement: isinstance dispatch per node, dict-keyed
+variable lookups, exception-driven control flow.  This module compiles
+each :class:`~repro.hlsc.ast.CFunction` **once** into a linear structure
+of Python closures over a slot-indexed frame:
+
+* names resolve to list slots at compile time (no dict lookups),
+* ``break``/``continue``/``return`` become sentinel return values
+  threaded through block closures (no exception unwinding),
+* the 32/64-bit width of every integer operation is inferred statically
+  at compile time (same rules as the tree engine) and burned into the
+  operation's closure,
+* step accounting is block-granular: a block charges all its statements
+  up front, so runaway kernels still trap with the tree engine's exact
+  message, at worst a few statements later.
+
+On top of that, innermost counted loops whose bodies are straight-line
+element-wise assignments are batch-executed through numpy when it is
+available (:data:`HAVE_NUMPY`).  The gate is deliberately narrow so the
+fast path is *bit-identical* to scalar execution:
+
+* int ops ride an int64 carrier (numpy's wrapping == ``_i64``), with an
+  explicit mask re-wrapping 32-bit ops;
+* float ops are IEEE-double element-wise ops only — no reductions (sum
+  order would change bits), no math intrinsics, no int division;
+* a runtime pre-check (operand types, bounds, aliasing, zero divisors,
+  step budget) falls back to scalar execution of the same loop, which
+  reproduces the tree engine's behavior exactly, including traps and
+  partial side effects.
+
+Semantics — results, buffer mutations, trap types and messages — are
+the tree engine's; ``tests/fpga/test_flat_equivalence.py`` and the fuzz
+oracle's engine cross-check enforce it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import S2FAError
+from ..hlsc.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Cast,
+    CFunction,
+    CKernel,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Pragma,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+    VarDecl,
+    While,
+    walk_exprs,
+    walk_stmts,
+)
+from .executor import (
+    _MATH_FUNCS,
+    _BreakSignal,
+    _ContinueSignal,
+    _ReturnSignal,
+    _cdiv,
+    _i32,
+    _i64,
+    CPointer,
+)
+
+try:  # gated dependency: the scalar engine is complete without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the base image
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+_INT_MAX = 2**31 - 1
+_INT_MIN = -2**31
+
+#: Reads of this sentinel reproduce the tree engine's undefined-variable
+#: trap (its env simply lacks the key until the declaration executes).
+_UNDEF = object()
+
+#: Control-flow sentinels returned by statement closures.  ``None``
+#: means fall through; a ``(_RET, value)`` tuple unwinds to the function.
+_BRK = object()
+_CNT = object()
+_RET = object()
+
+#: Minimum trip count before the numpy path beats slicing overhead.
+_VECTOR_MIN_ITERS = 16
+
+
+def _wrap32(arr):
+    """Re-wrap an int64 numpy carrier to signed-32-bit lanes."""
+    return ((arr + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+
+
+class _FlatFunction:
+    """One compiled function: frame layout plus a body closure."""
+
+    __slots__ = ("name", "params", "n_slots", "param_slots", "body")
+
+    def __init__(self, name: str, params, n_slots: int,
+                 param_slots: tuple, body: Callable):
+        self.name = name
+        self.params = params
+        self.n_slots = n_slots
+        self.param_slots = param_slots
+        self.body = body
+
+
+class FlatKernelExecutor:
+    """Drop-in replacement for
+    :class:`~repro.fpga.executor.KernelExecutor` running closure-compiled
+    kernels.  Functions compile lazily on first call and stay cached for
+    the executor's lifetime (one compile per board registration, not per
+    batch)."""
+
+    #: Construction counter (regression tests pin per-case setup cost).
+    constructions = 0
+
+    def __init__(self, kernel: CKernel, max_steps: int = 500_000_000):
+        self.kernel = kernel
+        self.functions = {f.name: f for f in kernel.functions}
+        self.max_steps = max_steps
+        self._steps = 0
+        self._compiled: dict[str, _FlatFunction] = {}
+        self._long_returns = frozenset(
+            f.name for f in kernel.functions
+            if f.return_type is not None and f.return_type.base == "long")
+        type(self).constructions += 1
+
+    # -- public API (mirrors the tree engine) --------------------------
+
+    def run(self, buffers: dict[str, list], n_tasks: int) -> None:
+        """Execute the top (batch) function, mutating output buffers."""
+        self._steps = 0
+        top = self._compiled_fn(self.kernel.top)
+        env: list = [_UNDEF] * top.n_slots
+        for p, slot in zip(top.params, top.param_slots):
+            if p.name == "N":
+                env[slot] = n_tasks
+            elif p.is_pointer:
+                if p.name not in buffers:
+                    raise S2FAError(f"missing kernel buffer {p.name!r}")
+                env[slot] = CPointer(buffers[p.name])
+            else:
+                env[slot] = buffers[p.name]
+        sig = top.body(env, self)
+        if sig is not None:
+            _raise_escaped(sig)
+
+    def call_function(self, name: str, args: list):
+        """Invoke a kernel-local function with Python/CPointer args."""
+        if name not in self.functions:
+            raise S2FAError(f"kernel has no function {name!r}")
+        fn = self._compiled_fn(name)
+        if len(args) != len(fn.param_slots):
+            raise S2FAError(
+                f"{name} expects {len(fn.param_slots)} args, "
+                f"got {len(args)}")
+        return self._call_compiled(fn, args)
+
+    # -- internals -----------------------------------------------------
+
+    def _compiled_fn(self, name: str) -> _FlatFunction:
+        fn = self._compiled.get(name)
+        if fn is None:
+            func = self.functions.get(name)
+            if func is None:
+                raise S2FAError(f"kernel has no function {name!r}")
+            fn = _FnCompiler(self, func).compile()
+            self._compiled[name] = fn
+        return fn
+
+    def _call_compiled(self, fn: _FlatFunction, args: list):
+        env: list = [_UNDEF] * fn.n_slots
+        for slot, value in zip(fn.param_slots, args):
+            env[slot] = value
+        sig = fn.body(env, self)
+        if sig is None:
+            return None
+        if type(sig) is tuple:
+            return sig[1]
+        _raise_escaped(sig)
+
+
+def _raise_escaped(sig) -> None:
+    """A control signal left a function body: mirror the tree engine's
+    escaping exceptions exactly."""
+    if type(sig) is tuple:
+        raise _ReturnSignal(sig[1])
+    if sig is _BRK:
+        raise _BreakSignal()
+    raise _ContinueSignal()
+
+
+class _FnCompiler:
+    """Compiles one :class:`CFunction` into a :class:`_FlatFunction`."""
+
+    def __init__(self, executor: FlatKernelExecutor, func: CFunction):
+        self.executor = executor
+        self.func = func
+        self.slots: dict[str, int] = {}
+        for p in func.params:
+            self._slot(p.name)
+        for stmt in walk_stmts(func):
+            if isinstance(stmt, VarDecl):
+                self._slot(stmt.name)
+            elif isinstance(stmt, For):
+                self._slot(stmt.var)
+        for expr in walk_exprs(func):
+            if isinstance(expr, Var):
+                self._slot(expr.name)
+        self.longs = self._function_longs()
+        #: declared static types, for the vector gate only.
+        self.decl_types = self._declared_types()
+
+    def _slot(self, name: str) -> int:
+        slot = self.slots.get(name)
+        if slot is None:
+            slot = len(self.slots)
+            self.slots[name] = slot
+        return slot
+
+    def _function_longs(self) -> frozenset:
+        longs = {p.name for p in self.func.params
+                 if p.ctype.base == "long"}
+        for stmt in walk_stmts(self.func):
+            if isinstance(stmt, VarDecl) and stmt.ctype.base == "long":
+                longs.add(stmt.name)
+        return frozenset(longs)
+
+    def _declared_types(self) -> dict:
+        """name -> ('f'|'i32'|'i64', is_pointer) from declarations."""
+        types = {}
+        for p in self.func.params:
+            types[p.name] = (_lane_type(p.ctype), p.is_pointer)
+        for stmt in walk_stmts(self.func):
+            if isinstance(stmt, VarDecl):
+                lane = _lane_type(stmt.ctype)
+                prior = types.get(stmt.name)
+                entry = (lane, stmt.is_array)
+                if prior is not None and prior != entry:
+                    types[stmt.name] = None  # conflicting decls: no gate
+                else:
+                    types[stmt.name] = entry
+        return types
+
+    def compile(self) -> _FlatFunction:
+        body = self._compile_block(self.func.body)
+        return _FlatFunction(
+            self.func.name, self.func.params, len(self.slots),
+            tuple(self.slots[p.name] for p in self.func.params), body)
+
+    # -- width inference (matches the tree engine) ---------------------
+
+    def _is_long(self, expr: Expr) -> bool:
+        if isinstance(expr, IntLit):
+            return expr.ctype.base == "long"
+        if isinstance(expr, Var):
+            return expr.name in self.longs
+        if isinstance(expr, ArrayRef):
+            base = expr.array
+            while isinstance(base, (ArrayRef, BinOp)):
+                base = (base.array if isinstance(base, ArrayRef)
+                        else base.lhs)
+            return isinstance(base, Var) and base.name in self.longs
+        if isinstance(expr, Cast):
+            return expr.ctype.base == "long"
+        if isinstance(expr, UnOp):
+            return expr.op in ("-", "~") and self._is_long(expr.operand)
+        if isinstance(expr, BinOp):
+            if expr.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+                return False
+            if expr.op in ("<<", ">>"):
+                return self._is_long(expr.lhs)
+            return self._is_long(expr.lhs) or self._is_long(expr.rhs)
+        if isinstance(expr, Ternary):
+            return self._is_long(expr.then) or self._is_long(expr.other)
+        if isinstance(expr, Call):
+            return expr.name in self.executor._long_returns
+        return False
+
+    # -- statements ----------------------------------------------------
+
+    def _compile_block(self, block: Block) -> Callable:
+        fns = tuple(self._compile_stmt(s) for s in block.stmts)
+        n = len(fns)
+        if n == 1:
+            single = fns[0]
+
+            def run1(env, rt, single=single):
+                rt._steps += 1
+                if rt._steps > rt.max_steps:
+                    raise S2FAError(
+                        f"kernel exceeded {rt.max_steps} "
+                        f"interpreted steps")
+                return single(env, rt)
+            return run1
+
+        def run(env, rt, fns=fns, n=n):
+            rt._steps += n
+            if rt._steps > rt.max_steps:
+                raise S2FAError(
+                    f"kernel exceeded {rt.max_steps} interpreted steps")
+            for f in fns:
+                sig = f(env, rt)
+                if sig is not None:
+                    return sig
+            return None
+        return run
+
+    def _compile_stmt(self, stmt: Stmt) -> Callable:
+        if isinstance(stmt, VarDecl):
+            return self._compile_vardecl(stmt)
+        if isinstance(stmt, Assign):
+            return self._compile_assign(stmt)
+        if isinstance(stmt, ExprStmt):
+            value_f = self._compile_expr(stmt.expr)
+
+            def run(env, rt, value_f=value_f):
+                value_f(env, rt)
+                return None
+            return run
+        if isinstance(stmt, If):
+            cond_f = self._compile_expr(stmt.cond)
+            then_f = self._compile_block(stmt.then)
+            else_f = (None if stmt.orelse is None
+                      else self._compile_block(stmt.orelse))
+
+            def run(env, rt, cond_f=cond_f, then_f=then_f,
+                    else_f=else_f):
+                if cond_f(env, rt):
+                    return then_f(env, rt)
+                if else_f is not None:
+                    return else_f(env, rt)
+                return None
+            return run
+        if isinstance(stmt, For):
+            return self._compile_for(stmt)
+        if isinstance(stmt, While):
+            cond_f = self._compile_expr(stmt.cond)
+            body_f = self._compile_block(stmt.body)
+
+            def run(env, rt, cond_f=cond_f, body_f=body_f):
+                while cond_f(env, rt):
+                    rt._steps += 1
+                    if rt._steps > rt.max_steps:
+                        raise S2FAError(
+                            f"kernel exceeded {rt.max_steps} "
+                            f"interpreted steps")
+                    sig = body_f(env, rt)
+                    if sig is not None:
+                        if sig is _BRK:
+                            break
+                        if sig is _CNT:
+                            continue
+                        return sig
+                return None
+            return run
+        if isinstance(stmt, Return):
+            if stmt.value is None:
+                def run(env, rt):
+                    return (_RET, None)
+                return run
+            value_f = self._compile_expr(stmt.value)
+
+            def run(env, rt, value_f=value_f):
+                return (_RET, value_f(env, rt))
+            return run
+        if isinstance(stmt, Break):
+            def run(env, rt):
+                return _BRK
+            return run
+        if isinstance(stmt, Continue):
+            def run(env, rt):
+                return _CNT
+            return run
+        if isinstance(stmt, Pragma):
+            def run(env, rt):
+                return None
+            return run
+
+        def run(env, rt, stmt=stmt):
+            raise S2FAError(f"cannot execute statement {stmt!r}")
+        return run
+
+    def _compile_vardecl(self, stmt: VarDecl) -> Callable:
+        slot = self._slot(stmt.name)
+        if stmt.is_array:
+            if stmt.init_values is not None:
+                init_values = stmt.init_values
+
+                def run(env, rt, slot=slot, init_values=init_values):
+                    env[slot] = CPointer(list(init_values))
+                    return None
+                return run
+            zero = 0.0 if stmt.ctype.is_float else 0
+            count = stmt.element_count
+
+            def run(env, rt, slot=slot, zero=zero, count=count):
+                env[slot] = CPointer([zero] * count)
+                return None
+            return run
+        if stmt.init is not None:
+            init_f = self._compile_expr(stmt.init)
+
+            def run(env, rt, slot=slot, init_f=init_f):
+                env[slot] = init_f(env, rt)
+                return None
+            return run
+        zero = 0.0 if stmt.ctype.is_float else 0
+
+        def run(env, rt, slot=slot, zero=zero):
+            env[slot] = zero
+            return None
+        return run
+
+    def _compile_assign(self, stmt: Assign) -> Callable:
+        rhs_f = self._compile_expr(stmt.rhs)
+        lhs = stmt.lhs
+        if isinstance(lhs, Var):
+            slot = self._slot(lhs.name)
+
+            def run(env, rt, slot=slot, rhs_f=rhs_f):
+                env[slot] = rhs_f(env, rt)
+                return None
+            return run
+        if isinstance(lhs, ArrayRef):
+            base_f = self._compile_expr(lhs.array)
+            index_f = self._compile_expr(lhs.index)
+
+            def run(env, rt, base_f=base_f, index_f=index_f,
+                    rhs_f=rhs_f):
+                value = rhs_f(env, rt)
+                base = base_f(env, rt)
+                index = index_f(env, rt)
+                if not isinstance(base, CPointer):
+                    raise S2FAError(
+                        f"indexed store into non-pointer {base!r}")
+                backing = base.backing
+                pos = base.offset + index
+                if 0 <= pos < len(backing):
+                    backing[pos] = value
+                    return None
+                raise S2FAError(
+                    f"kernel out-of-bounds access at offset {pos} "
+                    f"(buffer size {len(backing)})")
+            return run
+
+        def run(env, rt, lhs=lhs):
+            raise S2FAError(f"invalid assignment target {lhs!r}")
+        return run
+
+    def _compile_for(self, stmt: For) -> Callable:
+        vslot = self._slot(stmt.var)
+        start_f = self._compile_expr(stmt.start)
+        bound_f = self._compile_expr(stmt.bound)
+        body_f = self._compile_block(stmt.body)
+        step = stmt.step
+
+        def scalar(env, rt, vslot=vslot, start_f=start_f,
+                   bound_f=bound_f, body_f=body_f, step=step):
+            env[vslot] = start_f(env, rt)
+            while True:
+                rt._steps += 1
+                if rt._steps > rt.max_steps:
+                    raise S2FAError(
+                        f"kernel exceeded {rt.max_steps} "
+                        f"interpreted steps")
+                if not env[vslot] < bound_f(env, rt):
+                    break
+                sig = body_f(env, rt)
+                if sig is not None:
+                    if sig is _BRK:
+                        break
+                    if sig is not _CNT:
+                        return sig
+                env[vslot] = env[vslot] + step
+            return None
+
+        plan = self._vector_plan(stmt) if HAVE_NUMPY else None
+        if plan is None:
+            return scalar
+
+        def hybrid(env, rt, plan=plan, scalar=scalar, vslot=vslot,
+                   start_f=start_f, bound_f=bound_f, step=step):
+            start = start_f(env, rt)
+            bound = bound_f(env, rt)
+            if type(start) is not int or type(bound) is not int:
+                return scalar(env, rt)
+            n = max(0, -(-(bound - start) // step))
+            if n < _VECTOR_MIN_ITERS:
+                return scalar(env, rt)
+            if plan(env, rt, start, n):
+                env[vslot] = start + n * step
+                return None
+            return scalar(env, rt)
+        return hybrid
+
+    # -- expressions ---------------------------------------------------
+
+    def _compile_expr(self, expr: Expr) -> Callable:
+        if isinstance(expr, IntLit):
+            value = expr.value
+
+            def run(env, rt, value=value):
+                return value
+            return run
+        if isinstance(expr, FloatLit):
+            value = expr.value
+
+            def run(env, rt, value=value):
+                return value
+            return run
+        if isinstance(expr, Var):
+            slot = self._slot(expr.name)
+            name = expr.name
+
+            def run(env, rt, slot=slot, name=name):
+                value = env[slot]
+                if value is _UNDEF:
+                    raise S2FAError(
+                        f"kernel read of undefined {name!r}")
+                return value
+            return run
+        if isinstance(expr, ArrayRef):
+            index_f = self._compile_expr(expr.index)
+            if isinstance(expr.array, Var) \
+                    and isinstance(expr.index, Var):
+                # arr[i] with both names: fetch two slots directly.
+                slot = self._slot(expr.array.name)
+                name = expr.array.name
+                islot = self._slot(expr.index.name)
+                iname = expr.index.name
+
+                def run(env, rt, slot=slot, name=name, islot=islot,
+                        iname=iname):
+                    base = env[slot]
+                    index = env[islot]
+                    if type(base) is CPointer \
+                            and index is not _UNDEF:
+                        backing = base.backing
+                        pos = base.offset + index
+                        if 0 <= pos < len(backing):
+                            return backing[pos]
+                        raise S2FAError(
+                            f"kernel out-of-bounds access at offset "
+                            f"{pos} (buffer size {len(backing)})")
+                    if base is _UNDEF:
+                        raise S2FAError(
+                            f"kernel read of undefined {name!r}")
+                    if index is _UNDEF:
+                        raise S2FAError(
+                            f"kernel read of undefined {iname!r}")
+                    raise S2FAError(
+                        f"indexed load from non-pointer {base!r}")
+                return run
+            if isinstance(expr.array, Var):
+                # The dominant load shape: inline the slot fetch and the
+                # bounds check (same trap messages as CPointer/env).
+                slot = self._slot(expr.array.name)
+                name = expr.array.name
+
+                def run(env, rt, slot=slot, name=name, index_f=index_f):
+                    base = env[slot]
+                    if type(base) is CPointer:
+                        backing = base.backing
+                        pos = base.offset + index_f(env, rt)
+                        if 0 <= pos < len(backing):
+                            return backing[pos]
+                        raise S2FAError(
+                            f"kernel out-of-bounds access at offset "
+                            f"{pos} (buffer size {len(backing)})")
+                    # Trap order matches the tree engine: undefined
+                    # base, then the index expression, then non-pointer.
+                    if base is _UNDEF:
+                        raise S2FAError(
+                            f"kernel read of undefined {name!r}")
+                    index_f(env, rt)
+                    raise S2FAError(
+                        f"indexed load from non-pointer {base!r}")
+                return run
+            base_f = self._compile_expr(expr.array)
+
+            def run(env, rt, base_f=base_f, index_f=index_f):
+                base = base_f(env, rt)
+                index = index_f(env, rt)
+                if not isinstance(base, CPointer):
+                    raise S2FAError(
+                        f"indexed load from non-pointer {base!r}")
+                backing = base.backing
+                pos = base.offset + index
+                if 0 <= pos < len(backing):
+                    return backing[pos]
+                raise S2FAError(
+                    f"kernel out-of-bounds access at offset {pos} "
+                    f"(buffer size {len(backing)})")
+            return run
+        if isinstance(expr, BinOp):
+            return self._compile_binop(expr)
+        if isinstance(expr, UnOp):
+            return self._compile_unop(expr)
+        if isinstance(expr, Cast):
+            return self._compile_cast(expr)
+        if isinstance(expr, Ternary):
+            cond_f = self._compile_expr(expr.cond)
+            then_f = self._compile_expr(expr.then)
+            other_f = self._compile_expr(expr.other)
+
+            def run(env, rt, cond_f=cond_f, then_f=then_f,
+                    other_f=other_f):
+                if cond_f(env, rt):
+                    return then_f(env, rt)
+                return other_f(env, rt)
+            return run
+        if isinstance(expr, Call):
+            return self._compile_call(expr)
+
+        def run(env, rt, expr=expr):
+            raise S2FAError(f"cannot evaluate expression {expr!r}")
+        return run
+
+    def _compile_unop(self, expr: UnOp) -> Callable:
+        value_f = self._compile_expr(expr.operand)
+        op = expr.op
+        if op == "-":
+            wrap = _i64 if self._is_long(expr) else _i32
+
+            def run(env, rt, value_f=value_f, wrap=wrap):
+                value = value_f(env, rt)
+                if not isinstance(value, int):
+                    return -value
+                return wrap(-value)
+            return run
+        if op == "!":
+            def run(env, rt, value_f=value_f):
+                return 0 if value_f(env, rt) else 1
+            return run
+        if op == "~":
+            wrap = _i64 if self._is_long(expr) else _i32
+
+            def run(env, rt, value_f=value_f, wrap=wrap):
+                return wrap(~value_f(env, rt))
+            return run
+
+        def run(env, rt, op=op):
+            raise S2FAError(f"bad unary operator {op}")
+        return run
+
+    def _compile_cast(self, expr: Cast) -> Callable:
+        value_f = self._compile_expr(expr.expr)
+        base = expr.ctype.base
+        if base in ("float", "double"):
+            def run(env, rt, value_f=value_f):
+                return float(value_f(env, rt))
+            return run
+        if base == "char":
+            def run(env, rt, value_f=value_f):
+                # JVM char semantics (see tree engine's docstring).
+                return int(value_f(env, rt)) & 0xFFFF
+            return run
+        if base == "short":
+            def run(env, rt, value_f=value_f):
+                v = int(value_f(env, rt)) & 0xFFFF
+                return v - 0x10000 if v > 0x7FFF else v
+            return run
+        if base == "long":
+            def run(env, rt, value_f=value_f):
+                value = value_f(env, rt)
+                # JVM f2l/d2l: non-finite saturates to 0.
+                if isinstance(value, float) and not _isfinite(value):
+                    return 0
+                return _i64(int(value))
+            return run
+
+        def run(env, rt, value_f=value_f):
+            value = value_f(env, rt)
+            # JVM f2i/d2i: inf saturates to INT_MAX/INT_MIN, NaN to 0.
+            if isinstance(value, float) and not _isfinite(value):
+                return _INT_MAX if value > 0 else (
+                    _INT_MIN if value < 0 else 0)
+            return _i32(int(value))
+        return run
+
+    def _compile_binop(self, expr: BinOp) -> Callable:
+        op = expr.op
+        lhs_f = self._compile_expr(expr.lhs)
+        rhs_f = self._compile_expr(expr.rhs)
+        if op == "&&":
+            def run(env, rt, lhs_f=lhs_f, rhs_f=rhs_f):
+                return 1 if (lhs_f(env, rt) and rhs_f(env, rt)) else 0
+            return run
+        if op == "||":
+            def run(env, rt, lhs_f=lhs_f, rhs_f=rhs_f):
+                return 1 if (lhs_f(env, rt) or rhs_f(env, rt)) else 0
+            return run
+        if op in _CMP_FUNCS:
+            cmp = _CMP_FUNCS[op]
+
+            def run(env, rt, lhs_f=lhs_f, rhs_f=rhs_f, cmp=cmp, op=op):
+                a = lhs_f(env, rt)
+                b = rhs_f(env, rt)
+                if isinstance(a, CPointer) and isinstance(b, int):
+                    raise S2FAError(f"bad pointer arithmetic {op}")
+                return 1 if cmp(a, b) else 0
+            return run
+        wrap = _i64 if self._is_long(expr) else _i32
+        mask = 63 if wrap is _i64 else 31
+        if op == "+":
+            def run(env, rt, lhs_f=lhs_f, rhs_f=rhs_f, wrap=wrap):
+                a = lhs_f(env, rt)
+                b = rhs_f(env, rt)
+                if isinstance(a, CPointer):
+                    if isinstance(b, int):
+                        return a.shifted(b)
+                elif isinstance(a, int) and isinstance(b, int):
+                    return wrap(a + b)
+                return a + b
+            return run
+        if op == "-":
+            def run(env, rt, lhs_f=lhs_f, rhs_f=rhs_f, wrap=wrap):
+                a = lhs_f(env, rt)
+                b = rhs_f(env, rt)
+                if isinstance(a, CPointer):
+                    if isinstance(b, int):
+                        return a.shifted(-b)
+                elif isinstance(a, int) and isinstance(b, int):
+                    return wrap(a - b)
+                return a - b
+            return run
+        if op == "*":
+            def run(env, rt, lhs_f=lhs_f, rhs_f=rhs_f, wrap=wrap):
+                a = lhs_f(env, rt)
+                b = rhs_f(env, rt)
+                if isinstance(a, CPointer) and isinstance(b, int):
+                    raise S2FAError("bad pointer arithmetic *")
+                if isinstance(a, int) and isinstance(b, int):
+                    return wrap(a * b)
+                return a * b
+            return run
+        if op == "/":
+            def run(env, rt, lhs_f=lhs_f, rhs_f=rhs_f, wrap=wrap):
+                a = lhs_f(env, rt)
+                b = rhs_f(env, rt)
+                if isinstance(a, CPointer) and isinstance(b, int):
+                    raise S2FAError("bad pointer arithmetic /")
+                if isinstance(a, int) and isinstance(b, int):
+                    return wrap(_cdiv(a, b))
+                if b == 0.0:
+                    return _INF if a > 0 else (-_INF if a < 0 else _NAN)
+                return a / b
+            return run
+        if op == "%":
+            def run(env, rt, lhs_f=lhs_f, rhs_f=rhs_f, wrap=wrap):
+                a = lhs_f(env, rt)
+                b = rhs_f(env, rt)
+                if isinstance(a, CPointer) and isinstance(b, int):
+                    raise S2FAError("bad pointer arithmetic %")
+                if not (isinstance(a, int) and isinstance(b, int)):
+                    return _fmod(a, b)
+                return wrap(a - _cdiv(a, b) * b)
+            return run
+        if op in ("<<", ">>"):
+            left = op == "<<"
+
+            def run(env, rt, lhs_f=lhs_f, rhs_f=rhs_f, wrap=wrap,
+                    mask=mask, left=left, op=op):
+                a = lhs_f(env, rt)
+                b = rhs_f(env, rt)
+                if isinstance(a, CPointer) and isinstance(b, int):
+                    raise S2FAError(f"bad pointer arithmetic {op}")
+                if left:
+                    return wrap(a << (b & mask))
+                return wrap(a >> (b & mask))
+            return run
+        if op in ("&", "|", "^"):
+            bit = {"&": int.__and__, "|": int.__or__,
+                   "^": int.__xor__}[op]
+
+            def run(env, rt, lhs_f=lhs_f, rhs_f=rhs_f, wrap=wrap,
+                    bit=bit, op=op):
+                a = lhs_f(env, rt)
+                b = rhs_f(env, rt)
+                if isinstance(a, CPointer) and isinstance(b, int):
+                    raise S2FAError(f"bad pointer arithmetic {op}")
+                return wrap(bit(a, b))
+            return run
+
+        def run(env, rt, op=op):
+            raise S2FAError(f"bad binary operator {op}")
+        return run
+
+    def _compile_call(self, expr: Call) -> Callable:
+        arg_fs = tuple(self._compile_expr(a) for a in expr.args)
+        name = expr.name
+        if name in self.executor.functions:
+            n_args = len(arg_fs)
+
+            def run(env, rt, arg_fs=arg_fs, name=name, n_args=n_args):
+                fn = rt._compiled_fn(name)
+                if n_args != len(fn.param_slots):
+                    raise S2FAError(
+                        f"{name} expects {len(fn.param_slots)} args, "
+                        f"got {n_args}")
+                return rt._call_compiled(
+                    fn, [f(env, rt) for f in arg_fs])
+            return run
+        math_fn = _MATH_FUNCS.get(name)
+        if math_fn is not None:
+            def run(env, rt, arg_fs=arg_fs, math_fn=math_fn):
+                return math_fn(*[f(env, rt) for f in arg_fs])
+            return run
+
+        def run(env, rt, name=name):
+            raise S2FAError(f"kernel calls unknown function {name!r}")
+        return run
+
+    # ------------------------------------------------------------------
+    # Vectorized loop plans
+    # ------------------------------------------------------------------
+
+    def _vector_plan(self, stmt: For) -> Optional[Callable]:
+        """Try to build a numpy batch plan for an innermost For loop.
+
+        Returns a closure ``plan(env, rt, start, n) -> bool`` executing
+        the whole loop in one shot (True) or declining so the caller
+        falls back to the scalar closure (False).  The gate is described
+        in the module docstring; any structural mismatch returns None
+        here, at compile time.
+        """
+        if stmt.step < 1:
+            return None
+        var = stmt.var
+        # Bounds must be loop-invariant: no reference to the loop var or
+        # to anything the body assigns.
+        assigned = set()
+        for s in stmt.body.stmts:
+            if isinstance(s, Assign) and isinstance(s.lhs, Var):
+                assigned.add(s.lhs.name)
+            elif isinstance(s, VarDecl):
+                assigned.add(s.name)
+        for bound_expr in (stmt.start, stmt.bound):
+            for e in walk_exprs(bound_expr):
+                if isinstance(e, Var) and (e.name == var
+                                           or e.name in assigned):
+                    return None
+        builder = _VectorBuilder(self, var)
+        for s in stmt.body.stmts:
+            if isinstance(s, Pragma):
+                continue
+            if isinstance(s, VarDecl):
+                if s.is_array or s.init is None:
+                    return None
+                if not self._name_local_to(s.name, stmt):
+                    return None
+                if not builder.add_temp(s.name, s.init):
+                    return None
+            elif isinstance(s, Assign):
+                if isinstance(s.lhs, Var):
+                    if not self._name_local_to(s.lhs.name, stmt):
+                        return None
+                    if not builder.add_temp(s.lhs.name, s.rhs):
+                        return None
+                elif isinstance(s.lhs, ArrayRef):
+                    if not builder.add_store(s.lhs, s.rhs):
+                        return None
+                else:
+                    return None
+            else:
+                return None
+        return builder.finish(len(stmt.body.stmts))
+
+    def _name_local_to(self, name: str, loop: For) -> bool:
+        """True if ``name`` appears nowhere in the function outside
+        ``loop``'s body (so its post-loop value is unobservable)."""
+        inside = set()
+        for e in walk_exprs(loop.body):
+            if isinstance(e, Var):
+                inside.add(id(e))
+        for s in walk_stmts(loop.body):
+            if isinstance(s, (Assign, VarDecl)):
+                inside.add(id(s))
+        for e in walk_exprs(self.func):
+            if isinstance(e, Var) and e.name == name and id(e) not in inside:
+                return False
+        for s in walk_stmts(self.func):
+            if isinstance(s, VarDecl) and s.name == name \
+                    and id(s) not in inside:
+                return False
+            if isinstance(s, Assign) and isinstance(s.lhs, Var) \
+                    and s.lhs.name == name and id(s) not in inside:
+                return False
+            if isinstance(s, For) and s.var == name:
+                return False
+        return True
+
+
+class _VectorBuilder:
+    """Accumulates the element-wise program of one vectorizable loop."""
+
+    def __init__(self, compiler: _FnCompiler, var: str):
+        self.c = compiler
+        self.var = var
+        #: temp name -> (lane, producer) in assignment order.
+        self.temps: dict[str, tuple] = {}
+        self.loads: list = []    # (ptr_slot, ptr_name, affine, lane)
+        self.stores: list = []   # (ptr_slot, ptr_name, affine, lane, producer)
+        self.invariants: list = []  # (slot, name, lane)
+        self.ok = True
+
+    # A "producer" is a closure (ctx) -> numpy array or python scalar,
+    # where ctx maps load ids / temp names / invariant slots to values
+    # prepared by the plan prologue.
+
+    def add_temp(self, name: str, rhs: Expr) -> bool:
+        lane_producer = self._vec_expr(rhs)
+        if lane_producer is None:
+            return False
+        lane, producer = lane_producer
+        decl = self.c.decl_types.get(name)
+        if decl is not None and decl[1]:
+            return False  # array shadowing a scalar temp: bail
+        self.temps[name] = (lane, producer)
+        return True
+
+    def add_store(self, lhs: ArrayRef, rhs: Expr) -> bool:
+        if not isinstance(lhs.array, Var):
+            return False
+        ptr_name = lhs.array.name
+        decl = self.c.decl_types.get(ptr_name)
+        if decl is None or not decl[1]:
+            return False
+        affine = self._affine(lhs.index)
+        if affine is None or affine[0] == 0:
+            return False
+        # One store per pointer; a stored pointer is never loaded
+        # (the rhs compile below may add loads, so check afterwards too).
+        if any(s[1] == ptr_name for s in self.stores):
+            return False
+        lane_producer = self._vec_expr(rhs)
+        if lane_producer is None:
+            return False
+        lane, producer = lane_producer
+        if any(l[1] == ptr_name for l in self.loads):
+            return False
+        self.stores.append((self.c.slots[ptr_name], ptr_name, affine,
+                            lane, producer))
+        return True
+
+    # -- affine index extraction: a*i + b ------------------------------
+
+    def _affine(self, expr: Expr):
+        """Return ``(a, b)`` with each side an int or a loop-invariant
+        scalar closure ``(env) -> value``; None if not affine in the
+        loop var."""
+        if isinstance(expr, IntLit):
+            return (0, expr.value)
+        if isinstance(expr, Var):
+            if expr.name == self.var:
+                return (1, 0)
+            inv = self._invariant(expr.name, want="i")
+            if inv is None:
+                return None
+            return (0, inv)
+        if isinstance(expr, BinOp):
+            if expr.op == "+":
+                left = self._affine(expr.lhs)
+                right = self._affine(expr.rhs)
+                if left is None or right is None:
+                    return None
+                return (_lin_add(left[0], right[0]),
+                        _lin_add(left[1], right[1]))
+            if expr.op == "-":
+                left = self._affine(expr.lhs)
+                right = self._affine(expr.rhs)
+                if left is None or right is None:
+                    return None
+                return (_lin_sub(left[0], right[0]),
+                        _lin_sub(left[1], right[1]))
+            if expr.op == "*":
+                left = self._affine(expr.lhs)
+                right = self._affine(expr.rhs)
+                if left is None or right is None:
+                    return None
+                # One side must be degree-0 to stay affine.
+                if left[0] == 0:
+                    const, lin = left[1], right
+                elif right[0] == 0:
+                    const, lin = right[1], left
+                else:
+                    return None
+                return (_lin_mul(lin[0], const), _lin_mul(lin[1], const))
+            return None
+        return None
+
+    def _invariant(self, name: str, want: str):
+        """A loop-invariant scalar read: returns a tag used as ctx key,
+        registering the (slot, name, lane) for the prologue check."""
+        if name in self.temps:
+            return None
+        decl = self.c.decl_types.get(name)
+        if decl is None or decl[1]:
+            return None
+        lane = decl[0]
+        if want == "i" and lane == "f":
+            return None
+        slot = self.c.slots[name]
+        for entry in self.invariants:
+            if entry[0] == slot:
+                return ("inv", slot)
+        self.invariants.append((slot, name, lane))
+        return ("inv", slot)
+
+    # -- element-wise expression compilation ---------------------------
+
+    def _vec_expr(self, expr: Expr):
+        """Return ``(lane, producer)`` or None.  lane: 'f'|'i32'|'i64'."""
+        if isinstance(expr, IntLit):
+            lane = "i64" if expr.ctype.base == "long" else "i32"
+            value = expr.value
+            return lane, (lambda ctx, value=value: value)
+        if isinstance(expr, FloatLit):
+            value = expr.value
+            return "f", (lambda ctx, value=value: value)
+        if isinstance(expr, Var):
+            name = expr.name
+            if name == self.var:
+                return "i32", (lambda ctx: ctx["iota"])
+            if name in self.temps:
+                lane = self.temps[name][0]
+                return lane, (lambda ctx, name=name: ctx[name])
+            inv = self._invariant(name, want="any")
+            if inv is None:
+                return None
+            lane = self.c.decl_types[name][0]
+            return lane, (lambda ctx, inv=inv: ctx[inv])
+        if isinstance(expr, ArrayRef):
+            if not isinstance(expr.array, Var):
+                return None
+            ptr_name = expr.array.name
+            decl = self.c.decl_types.get(ptr_name)
+            if decl is None or not decl[1]:
+                return None
+            affine = self._affine(expr.index)
+            if affine is None:
+                return None
+            lane = decl[0]
+            load_id = len(self.loads)
+            self.loads.append((self.c.slots[ptr_name], ptr_name,
+                               affine, lane))
+            key = ("load", load_id)
+            return lane, (lambda ctx, key=key: ctx[key])
+        if isinstance(expr, UnOp):
+            operand = self._vec_expr(expr.operand)
+            if operand is None:
+                return None
+            lane, prod = operand
+            if expr.op == "-":
+                if lane == "f":
+                    return "f", (lambda ctx, prod=prod: -prod(ctx))
+                if lane == "i32":
+                    return "i32", (lambda ctx, prod=prod:
+                                   _wrap32(-prod(ctx)))
+                return "i64", (lambda ctx, prod=prod: -prod(ctx))
+            if expr.op == "~":
+                if lane == "f":
+                    return None
+                if lane == "i32":
+                    return "i32", (lambda ctx, prod=prod:
+                                   _wrap32(~prod(ctx)))
+                return "i64", (lambda ctx, prod=prod: ~prod(ctx))
+            return None
+        if isinstance(expr, Cast):
+            operand = self._vec_expr(expr.expr)
+            if operand is None:
+                return None
+            lane, prod = operand
+            base = expr.ctype.base
+            if base in ("float", "double"):
+                if lane == "f":
+                    return "f", prod
+                return "f", (lambda ctx, prod=prod:
+                             _np.asarray(prod(ctx), dtype=_np.float64)
+                             if not _np.isscalar(prod(ctx))
+                             else float(prod(ctx)))
+            if lane == "f":
+                return None  # float->int saturation stays scalar
+            if base == "char":
+                return "i32", (lambda ctx, prod=prod: prod(ctx) & 0xFFFF)
+            if base == "short":
+                return "i32", (lambda ctx, prod=prod:
+                               ((prod(ctx) + 0x8000) & 0xFFFF) - 0x8000)
+            if base == "long":
+                return "i64", prod
+            return "i32", (lambda ctx, prod=prod: _wrap32(prod(ctx)))
+        if isinstance(expr, BinOp):
+            return self._vec_binop(expr)
+        return None
+
+    def _vec_binop(self, expr: BinOp):
+        op = expr.op
+        if op not in ("+", "-", "*", "/", "<<", ">>", "&", "|", "^"):
+            return None
+        left = self._vec_expr(expr.lhs)
+        right = self._vec_expr(expr.rhs)
+        if left is None or right is None:
+            return None
+        llane, lprod = left
+        rlane, rprod = right
+        if op == "/":
+            # Division stays scalar: int division needs the trap-exact
+            # zero check, float division the signed-zero/inf edge cases.
+            return None
+        if "f" in (llane, rlane):
+            if op not in ("+", "-", "*"):
+                return None
+            fn = {"+": _np_add, "-": _np_sub, "*": _np_mul}[op]
+            return "f", (lambda ctx, a=lprod, b=rprod, fn=fn:
+                         fn(a(ctx), b(ctx)))
+        # Both integer lanes.  Width mirrors the tree engine: shifts
+        # take the lhs width, everything else widens if either side is
+        # long.
+        if op in ("<<", ">>"):
+            lane = llane
+        else:
+            lane = "i64" if "i64" in (llane, rlane) else "i32"
+        mask = 63 if lane == "i64" else 31
+        if op == "+":
+            base = lambda ctx, a=lprod, b=rprod: a(ctx) + b(ctx)
+        elif op == "-":
+            base = lambda ctx, a=lprod, b=rprod: a(ctx) - b(ctx)
+        elif op == "*":
+            base = lambda ctx, a=lprod, b=rprod: a(ctx) * b(ctx)
+        elif op == "<<":
+            base = (lambda ctx, a=lprod, b=rprod, mask=mask:
+                    a(ctx) << (b(ctx) & mask))
+        elif op == ">>":
+            base = (lambda ctx, a=lprod, b=rprod, mask=mask:
+                    a(ctx) >> (b(ctx) & mask))
+        elif op == "&":
+            base = lambda ctx, a=lprod, b=rprod: a(ctx) & b(ctx)
+        elif op == "|":
+            base = lambda ctx, a=lprod, b=rprod: a(ctx) | b(ctx)
+        else:
+            base = lambda ctx, a=lprod, b=rprod: a(ctx) ^ b(ctx)
+        if lane == "i32":
+            return "i32", (lambda ctx, base=base: _wrap32(base(ctx)))
+        return "i64", base
+
+    # -- plan assembly -------------------------------------------------
+
+    def finish(self, n_body_stmts: int) -> Optional[Callable]:
+        if not self.ok or not self.stores:
+            return None
+        temps = tuple(self.temps.items())
+        loads = tuple(self.loads)
+        stores = tuple(self.stores)
+        invariants = tuple(self.invariants)
+        temp_slots = tuple((self.c.slots[name], name)
+                           for name, _ in temps)
+
+        def plan(env, rt, start: int, n: int,
+                 temps=temps, loads=loads, stores=stores,
+                 invariants=invariants, temp_slots=temp_slots,
+                 n_body_stmts=n_body_stmts) -> bool:
+            # Budget: the scalar loop would tick 1 per iteration plus
+            # the block charge, plus the final exit check.
+            ticks = n * (1 + n_body_stmts) + 1
+            if rt._steps + ticks > rt.max_steps:
+                return False  # let the scalar loop trap mid-flight
+            ctx: dict = {}
+            # Loop-invariant scalars: runtime types must match the
+            # declared lanes the closures were compiled against.
+            for slot, _name, lane in invariants:
+                value = env[slot]
+                if lane == "f":
+                    if type(value) is not float:
+                        return False
+                elif not isinstance(value, int) \
+                        or isinstance(value, bool):
+                    return False
+                ctx[("inv", slot)] = value
+            # Gather input segments with bounds/dtype verification.
+            arange = _np.arange(n, dtype=_np.int64)
+            backings = {}
+            for load_id, (slot, _pname, affine, lane) in enumerate(loads):
+                ptr = env[slot]
+                if not isinstance(ptr, CPointer):
+                    return False
+                a = _lin_value(affine[0], env)
+                bb = _lin_value(affine[1], env)
+                if a is None or bb is None:
+                    return False
+                b = bb + ptr.offset
+                lo = min(b, a * (n - 1) + b)
+                hi = max(b, a * (n - 1) + b)
+                if lo < 0 or hi >= len(ptr.backing):
+                    return False
+                seg = ptr.backing[lo:hi + 1]
+                try:
+                    arr = _np.asarray(seg)
+                except (TypeError, ValueError, OverflowError):
+                    return False
+                if lane == "f":
+                    if arr.dtype != _np.float64:
+                        return False
+                    for x in seg:
+                        if type(x) is not float:
+                            return False
+                elif arr.dtype != _np.int64:
+                    return False
+                idx = a * arange + (b - lo)
+                ctx[("load", load_id)] = arr[idx]
+                backings.setdefault(id(ptr.backing), ptr.backing)
+            ctx["iota"] = arange + start
+            # Evaluate temps in program order, then store producers.
+            try:
+                with _np.errstate(all="ignore"):
+                    for name, (_lane, producer) in temps:
+                        ctx[name] = producer(ctx)
+                    results = []
+                    store_backings: set = set()
+                    for slot, _pname, affine, lane, producer in stores:
+                        ptr = env[slot]
+                        if not isinstance(ptr, CPointer):
+                            return False
+                        a = _lin_value(affine[0], env)
+                        bb = _lin_value(affine[1], env)
+                        if a is None or bb is None or a <= 0:
+                            return False
+                        b = bb + ptr.offset
+                        hi = a * (n - 1) + b
+                        if b < 0 or hi >= len(ptr.backing):
+                            return False
+                        if id(ptr.backing) in backings \
+                                or id(ptr.backing) in store_backings:
+                            return False  # aliases another access
+                        store_backings.add(id(ptr.backing))
+                        value = producer(ctx)
+                        results.append((ptr, a, b, value, lane))
+            except (TypeError, ValueError, OverflowError,
+                    FloatingPointError):
+                return False
+            # Commit: all checks passed, write every store back.
+            rt._steps += ticks
+            for ptr, a, b, value, lane in results:
+                if _np.isscalar(value) or getattr(value, "ndim", 1) == 0:
+                    out = [_scalar_py(value, lane)] * n
+                else:
+                    out = value.tolist()
+                ptr.backing[b:a * (n - 1) + b + 1:a] = out
+            # Scalar temps keep their last-iteration value, like the
+            # tree engine's flat env.
+            for slot, name in temp_slots:
+                value = ctx[name]
+                if _np.isscalar(value) or getattr(value, "ndim", 1) == 0:
+                    env[slot] = _scalar_py(value,
+                                           dict(temps)[name][0])
+                else:
+                    env[slot] = value[-1].item()
+            return True
+        return plan
+
+
+def _scalar_py(value, lane):
+    if lane == "f":
+        return float(value)
+    return int(value)
+
+
+def _lane_type(ctype) -> str:
+    if ctype.is_float:
+        return "f"
+    return "i64" if ctype.base == "long" else "i32"
+
+
+def _lin_add(x, y):
+    if isinstance(x, int) and isinstance(y, int):
+        return x + y
+    return ("add", x, y)
+
+
+def _lin_sub(x, y):
+    if isinstance(x, int) and isinstance(y, int):
+        return x - y
+    return ("sub", x, y)
+
+
+def _lin_mul(x, y):
+    if isinstance(x, int) and isinstance(y, int):
+        return x * y
+    return ("mul", x, y)
+
+
+def _lin_value(term, env):
+    """Evaluate an affine term: int, ('inv', slot), or an op tuple.
+    Returns None when a runtime value is not a plain int."""
+    if isinstance(term, int):
+        return term
+    tag = term[0]
+    if tag == "inv":
+        value = env[term[1]]
+        if type(value) is not int:
+            return None
+        return value
+    a = _lin_value(term[1], env)
+    b = _lin_value(term[2], env)
+    if a is None or b is None:
+        return None
+    if tag == "add":
+        return a + b
+    if tag == "sub":
+        return a - b
+    return a * b
+
+
+def _np_add(a, b):
+    return a + b
+
+
+def _np_sub(a, b):
+    return a - b
+
+
+def _np_mul(a, b):
+    return a * b
+
+
+_CMP_FUNCS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_INF = float("inf")
+_NAN = float("nan")
+
+from math import fmod as _fmod, isfinite as _isfinite  # noqa: E402

@@ -72,9 +72,10 @@ def _func_owning(kernel: CKernel, label: str):
 def _run(kernel: CKernel, layout, tasks: list,
          max_steps: int = 5_000_000) -> list:
     from ..blaze import make_deserializer, make_serializer
-    from ..fpga import KernelExecutor
+    from ..engines import make_kernel_executor
     buffers = make_serializer(layout)(tasks)
-    KernelExecutor(kernel, max_steps=max_steps).run(buffers, len(tasks))
+    make_kernel_executor(kernel, max_steps=max_steps).run(buffers,
+                                                          len(tasks))
     return make_deserializer(layout)(buffers, len(tasks))
 
 

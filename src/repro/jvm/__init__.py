@@ -21,6 +21,12 @@ from .descriptors import (  # noqa: F401
 )
 from .disassembler import disassemble_class, disassemble_method  # noqa: F401
 from .interpreter import Interpreter, JArray, JObject  # noqa: F401
+from .tac import (  # noqa: F401
+    TACInterpreter,
+    class_tac_text,
+    lower_method,
+    program_tac_text,
+)
 from .stdlib import (  # noqa: F401
     is_tuple_class,
     make_tuple_class,

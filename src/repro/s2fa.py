@@ -362,7 +362,8 @@ class S2FASession:
 
         return BlazeRuntime(sc, fault_plan=plan,
                             policy=self.runtime_config.policy(),
-                            tracer=self.tracer)
+                            tracer=self.tracer,
+                            engine=self.runtime_config.engine)
 
     # ------------------------------------------------------------------
     # trace access

@@ -1,0 +1,200 @@
+"""Differential battery: flat C executor vs the tree-walking one.
+
+:class:`~repro.fpga.flat.FlatKernelExecutor` must be bit-identical to
+:class:`~repro.fpga.executor.KernelExecutor` — same buffer contents and
+the same trap type *and message* — on every app's functional kernel,
+the committed fuzz corpus, and hand-built trap-site kernels.  The flat
+engine's numpy vector plans are additionally checked against its own
+scalar fallback path.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.blaze import make_deserializer, make_serializer
+from repro.compiler import compile_kernel
+from repro.errors import S2FAError
+from repro.fpga import FlatKernelExecutor, KernelExecutor
+from repro.fpga import flat as flat_mod
+from repro.fuzz import load_regressions
+from repro.fuzz.oracle import bits_equal
+from repro.hlsc import INT, VOID, CKernel
+from repro.hlsc.ast import ExprStmt
+from repro.hlsc.builder import (
+    add,
+    assign,
+    call,
+    for_loop,
+    function,
+    idx,
+    lit,
+    mul,
+    param,
+    var,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+
+APP_NAMES = [spec.name for spec in ALL_APPS]
+
+
+def _run_both(kernel, buffers, n_tasks, *, max_steps=500_000_000):
+    """Run the same kernel through both engines on independent buffers.
+
+    Returns the (bit-identical) tree-engine buffers; asserts both
+    engines either succeed with equal buffers or trap with the exact
+    same error text.
+    """
+    import copy
+    tree_buffers = copy.deepcopy(buffers)
+    flat_buffers = copy.deepcopy(buffers)
+    tree_err = flat_err = None
+    try:
+        KernelExecutor(kernel, max_steps=max_steps).run(
+            tree_buffers, n_tasks)
+    except Exception as exc:
+        tree_err = f"{type(exc).__name__}: {exc}"
+    try:
+        FlatKernelExecutor(kernel, max_steps=max_steps).run(
+            flat_buffers, n_tasks)
+    except Exception as exc:
+        flat_err = f"{type(exc).__name__}: {exc}"
+    assert tree_err == flat_err, (
+        f"trap divergence: tree={tree_err!r} flat={flat_err!r}")
+    if tree_err is None:
+        for name in tree_buffers:
+            assert bits_equal(tree_buffers[name], flat_buffers[name]), (
+                f"buffer {name!r} diverges between engines")
+    return tree_buffers, tree_err
+
+
+# ----------------------------------------------------------------------
+# Applications: functional kernels on real serialized workloads
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_buffers_bit_identical(name):
+    spec = get_app(name)
+    compiled = spec.functional_compile()
+    tasks = spec.functional_tasks_for(8, seed=23)
+    buffers = make_serializer(compiled.layout)(tasks)
+    tree_buffers, err = _run_both(compiled.kernel, buffers, len(tasks))
+    assert err is None
+    outputs = make_deserializer(compiled.layout)(tree_buffers, len(tasks))
+    assert len(outputs) == len(tasks)
+
+
+# ----------------------------------------------------------------------
+# The committed fuzz corpus
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "entry", load_regressions(CORPUS_DIR),
+    ids=lambda e: e.path.stem if e.path else e.name)
+def test_corpus_entry_bit_identical(entry):
+    compiled = compile_kernel(entry.source,
+                              layout_config=entry.layout_config(),
+                              batch_size=entry.batch_size)
+    tasks = entry.host_tasks()
+    buffers = make_serializer(compiled.layout)(tasks)
+    _, err = _run_both(compiled.kernel, buffers, len(tasks))
+    assert err is None
+
+
+# ----------------------------------------------------------------------
+# Trap parity on hand-built kernels
+# ----------------------------------------------------------------------
+
+def _kernel(*fns, top="kernel"):
+    return CKernel(functions=list(fns), top=top)
+
+
+def _square_kernel():
+    return _kernel(function(
+        "kernel", VOID,
+        [param("N", INT), param("out", INT, pointer=True)],
+        for_loop("i", var("N"), assign(idx("out", "i"),
+                                       mul("i", "i")))))
+
+
+def test_out_of_bounds_trap_parity():
+    fn = function(
+        "kernel", VOID,
+        [param("N", INT), param("out", INT, pointer=True)],
+        for_loop("i", var("N"),
+                 assign(idx("out", add(var("i"), lit(10))), lit(1))))
+    _, err = _run_both(_kernel(fn), {"out": [0] * 4}, 4)
+    assert err is not None and "out-of-bounds" in err
+
+
+def test_step_budget_trap_parity():
+    _, err = _run_both(_square_kernel(), {"out": [0] * 64}, 64,
+                       max_steps=20)
+    assert err == "S2FAError: kernel exceeded 20 interpreted steps"
+
+
+def test_missing_buffer_trap_parity():
+    _, err = _run_both(_square_kernel(), {}, 4)
+    assert err == "S2FAError: missing kernel buffer 'out'"
+
+
+def test_division_by_zero_trap_parity():
+    from repro.hlsc.ast import BinOp
+    fn = function(
+        "kernel", VOID,
+        [param("N", INT), param("out", INT, pointer=True)],
+        for_loop("i", var("N"),
+                 assign(idx("out", "i"),
+                        BinOp("/", lit(7), var("i")))))
+    _, err = _run_both(_kernel(fn), {"out": [0] * 4}, 4)
+    assert err == "S2FAError: kernel divided by zero"
+
+
+def test_call_function_error_parity():
+    kernel = _square_kernel()
+    for engine_cls in (KernelExecutor, FlatKernelExecutor):
+        executor = engine_cls(kernel)
+        with pytest.raises(S2FAError,
+                           match="kernel has no function 'nope'"):
+            executor.call_function("nope", [])
+        with pytest.raises(S2FAError,
+                           match="kernel expects 2 args, got 1"):
+            executor.call_function("kernel", [3])
+
+
+def test_helper_call_parity():
+    inner = function(
+        "write", VOID, [param("p", INT, pointer=True)],
+        assign(idx("p", 0), lit(9)))
+    top = function(
+        "kernel", VOID,
+        [param("N", INT), param("out", INT, pointer=True)],
+        for_loop("i", var("N"),
+                 ExprStmt(call("write", add(var("out"), var("i"))))))
+    buffers, err = _run_both(_kernel(inner, top), {"out": [0] * 3}, 3)
+    assert err is None
+    assert buffers["out"] == [9, 9, 9]
+
+
+# ----------------------------------------------------------------------
+# Vector plans vs the scalar fallback
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_scalar_fallback_matches_vector_path(name, monkeypatch):
+    """With numpy disabled the flat engine must produce the same bits."""
+    spec = get_app(name)
+    compiled = spec.functional_compile()
+    tasks = spec.functional_tasks_for(6, seed=5)
+    vec_buffers = make_serializer(compiled.layout)(tasks)
+    FlatKernelExecutor(compiled.kernel).run(vec_buffers, len(tasks))
+
+    monkeypatch.setattr(flat_mod, "HAVE_NUMPY", False)
+    scalar_buffers = make_serializer(compiled.layout)(tasks)
+    FlatKernelExecutor(compiled.kernel).run(scalar_buffers, len(tasks))
+    for buf_name in vec_buffers:
+        assert bits_equal(vec_buffers[buf_name],
+                          scalar_buffers[buf_name]), (
+            f"{buf_name!r}: vector plan diverges from scalar fallback")

@@ -1,0 +1,18 @@
+"""Fuzz-suite fixtures: keep the oracle's engine LRU test-isolated.
+
+The differential oracle caches compiled kernels + engines across calls
+(the per-case setup hoist).  Tests that monkeypatch the compiler or an
+engine class must not poison later tests through that cache, so every
+test starts and ends with a clean one.
+"""
+
+import pytest
+
+from repro.fuzz import oracle
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine_cache():
+    oracle.clear_engine_cache()
+    yield
+    oracle.clear_engine_cache()

@@ -68,7 +68,13 @@ def test_planted_lifter_bug_caught_and_minimized(monkeypatch):
 
 
 def test_planted_executor_bug_caught(monkeypatch):
-    """Mutation test: break the C executor's shift masking."""
+    """Mutation test: break the *tree* C engine's shift masking.
+
+    The 2x2 oracle localizes a single-engine bug: the tree and flat
+    executors disagree with each other, so the failure is classified as
+    the "engine" stage (an interpreter bug), not "compare" (a compiler
+    bug).
+    """
     import repro.fpga.executor as exec_mod
 
     orig = exec_mod.KernelExecutor._binop
@@ -86,4 +92,4 @@ def test_planted_executor_bug_caught(monkeypatch):
                                      max_failures=1, minimize=False,
                                      check_metamorphic=False))
     assert report.failures, "planted executor bug went undetected"
-    assert report.failures[0].stage == "compare"
+    assert report.failures[0].stage == "engine"

@@ -31,15 +31,19 @@ def test_compile_failure_classified():
     assert outcome.signature[0] == "compile"
 
 
+class _Inert:
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def run(self, buffers, n):
+        return None  # leaves the zeroed output buffers untouched
+
+
 def test_mismatch_classified(monkeypatch):
-    class Inert:
-        def __init__(self, *args, **kwargs):
-            pass
-
-        def run(self, buffers, n):
-            return None  # leaves the zeroed output buffers untouched
-
-    monkeypatch.setattr(oracle_mod, "KernelExecutor", Inert)
+    # Both C engines inert: they agree with each other (zeroed outputs)
+    # but diverge from the JVM -> a cross-path "compare" failure.
+    monkeypatch.setattr(oracle_mod, "KernelExecutor", _Inert)
+    monkeypatch.setattr(oracle_mod, "FlatKernelExecutor", _Inert)
     outcome = run_differential(GOOD, [(1, 2)], batch_size=4)
     assert not outcome.ok
     assert outcome.stage == "compare"
@@ -47,6 +51,56 @@ def test_mismatch_classified(monkeypatch):
     assert outcome.expected == [3]
     assert outcome.actual == [0]
     assert "task 0" in outcome.detail
+
+
+def test_single_engine_divergence_classified(monkeypatch):
+    # Only the tree engine inert: the two C engines disagree with each
+    # other -> an "engine" failure, not a compiler bug.
+    monkeypatch.setattr(oracle_mod, "KernelExecutor", _Inert)
+    outcome = run_differential(GOOD, [(1, 2)], batch_size=4)
+    assert not outcome.ok
+    assert outcome.stage == "engine"
+    assert outcome.signature == ("engine", "c-divergence")
+
+
+def test_engine_construction_hoisted_per_case():
+    """Regression: repeat oracle runs of one case build engines once.
+
+    ``s2fa fuzz`` used to instantiate fresh interpreters inside the
+    per-case loop; the LRU in :mod:`repro.fuzz.oracle` now amortizes
+    compilation + engine construction across corpus replays, minimizer
+    predicates, and metamorphic re-runs of the same case.
+    """
+    from repro.fpga.flat import FlatKernelExecutor
+    from repro.jvm.tac import TACInterpreter
+
+    assert run_differential(GOOD, [(1, 2)], batch_size=4).ok
+    constructions = TACInterpreter.constructions
+    lowerings = TACInterpreter.lowerings
+    executors = FlatKernelExecutor.constructions
+    for _ in range(5):
+        assert run_differential(GOOD, [(3, 4)], batch_size=4).ok
+    # Per-case setup cost after the first run is pinned at zero.
+    assert TACInterpreter.constructions == constructions
+    assert TACInterpreter.lowerings == lowerings
+    assert FlatKernelExecutor.constructions == executors
+    stats = oracle_mod.engine_cache_stats()
+    assert stats["hits"] >= 5
+    assert stats["size"] >= 1
+
+
+def test_engine_cache_capacity_bounded(monkeypatch):
+    monkeypatch.setattr(oracle_mod, "ENGINE_CACHE_CAPACITY", 4)
+    template = """
+class K{i} extends Accelerator[(Int, Int), Int] {{
+  val id: String = "k{i}"
+  def call(in: (Int, Int)): Int = in._1 + in._2 + {i}
+}}
+"""
+    for i in range(8):
+        assert run_differential(template.format(i=i), [(1, 2)],
+                                batch_size=4).ok
+    assert oracle_mod.engine_cache_stats()["size"] <= 4
 
 
 def test_bits_equal_corner_cases():

@@ -1,0 +1,171 @@
+method LLS.<init>()V  regs=22 args=[0]
+  .block instrs=82 ns=83.40
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = const 'LLS'
+     4: putfield s0.id = s1
+     5: s0 = l0
+     6: s1 = const 16
+     7: s1 = newarray F[s1]
+     8: dup: s2 = s1
+     9: s3 = const 0
+    10: s4 = const 0.8028464032584224
+    11: fastore s2[s3] = s4
+    12: dup: s2 = s1
+    13: s3 = const 1
+    14: s4 = const 0.8382427571268076
+    15: fastore s2[s3] = s4
+    16: dup: s2 = s1
+    17: s3 = const 2
+    18: s4 = const 0.5662226280209981
+    19: s4 = fneg s4
+    20: fastore s2[s3] = s4
+    21: dup: s2 = s1
+    22: s3 = const 3
+    23: s4 = const 0.9205117945152372
+    24: s4 = fneg s4
+    25: fastore s2[s3] = s4
+    26: dup: s2 = s1
+    27: s3 = const 4
+    28: s4 = const 0.051419529903685035
+    29: s4 = fneg s4
+    30: fastore s2[s3] = s4
+    31: dup: s2 = s1
+    32: s3 = const 5
+    33: s4 = const 0.1769673097982878
+    34: fastore s2[s3] = s4
+    35: dup: s2 = s1
+    36: s3 = const 6
+    37: s4 = const 0.24181323454279924
+    38: fastore s2[s3] = s4
+    39: dup: s2 = s1
+    40: s3 = const 7
+    41: s4 = const 0.39339903080967553
+    42: s4 = fneg s4
+    43: fastore s2[s3] = s4
+    44: dup: s2 = s1
+    45: s3 = const 8
+    46: s4 = const 0.1629540119104942
+    47: fastore s2[s3] = s4
+    48: dup: s2 = s1
+    49: s3 = const 9
+    50: s4 = const 0.1511742547439876
+    51: fastore s2[s3] = s4
+    52: dup: s2 = s1
+    53: s3 = const 10
+    54: s4 = const 0.5855739232518573
+    55: s4 = fneg s4
+    56: fastore s2[s3] = s4
+    57: dup: s2 = s1
+    58: s3 = const 11
+    59: s4 = const 0.5145786579981853
+    60: s4 = fneg s4
+    61: fastore s2[s3] = s4
+    62: dup: s2 = s1
+    63: s3 = const 12
+    64: s4 = const 0.4314052306813576
+    65: fastore s2[s3] = s4
+    66: dup: s2 = s1
+    67: s3 = const 13
+    68: s4 = const 0.6184570468937922
+    69: fastore s2[s3] = s4
+    70: dup: s2 = s1
+    71: s3 = const 14
+    72: s4 = const 0.38715589260378014
+    73: s4 = fneg s4
+    74: fastore s2[s3] = s4
+    75: dup: s2 = s1
+    76: s3 = const 15
+    77: s4 = const 0.8121796388663858
+    78: s4 = fneg s4
+    79: fastore s2[s3] = s4
+    80: putfield s0.w = s1
+    81: return
+
+method LLS.call(Ls2fa/Tuple2_FAF;)[F  regs=22 args=[0, 1]
+  .block instrs=15 ns=40.80
+     0: s0 = l1
+     1: s0 = invokevirtual s2fa/Tuple2_FAF._1()F (s0)
+     2: l2 = s0
+     3: s0 = l1
+     4: s0 = invokevirtual s2fa/Tuple2_FAF._2()[F (s0)
+     5: l3 = s0
+     6: s0 = const 16
+     7: s0 = newarray F[s0]
+     8: l4 = s0
+     9: s0 = const 0.0
+    10: l5 = s0
+    11: s0 = const 0
+    12: l6 = s0
+    13: s0 = const 16
+    14: l7 = s0
+  .block instrs=3 ns=1.60
+    15: s0 = l6
+    16: s1 = l7
+    17: if_icmpge s0, s1 -> 31
+  .block instrs=13 ns=10.00
+    18: s0 = l5
+    19: s1 = l0
+    20: s1 = getfield s1.w
+    21: s2 = l6
+    22: s1 = faload s1[s2]
+    23: s2 = l3
+    24: s3 = l6
+    25: s2 = faload s2[s3]
+    26: s1 = fmul s1, s2
+    27: s0 = fadd s0, s1
+    28: l5 = s0
+    29: l6 = iinc l6, 1
+    30: goto -> 15
+  .block instrs=8 ns=3.60
+    31: s0 = l5
+    32: s1 = l2
+    33: s0 = fsub s0, s1
+    34: l8 = s0
+    35: s0 = const 0
+    36: l9 = s0
+    37: s0 = const 16
+    38: l10 = s0
+  .block instrs=3 ns=1.60
+    39: s0 = l9
+    40: s1 = l10
+    41: if_icmpge s0, s1 -> 52
+  .block instrs=10 ns=7.60
+    42: s0 = l4
+    43: s1 = l9
+    44: s2 = l8
+    45: s3 = l3
+    46: s4 = l9
+    47: s3 = faload s3[s4]
+    48: s2 = fmul s2, s3
+    49: fastore s0[s1] = s2
+    50: l9 = iinc l9, 1
+    51: goto -> 39
+  .block instrs=2 ns=1.40
+    52: s0 = l4
+    53: return s0
+
+method s2fa/Tuple2_FAF.<init>(F[F)V  regs=19 args=[0, 1, 2]
+  .block instrs=9 ns=11.40
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = l1
+     4: putfield s0._1 = s1
+     5: s0 = l0
+     6: s1 = l2
+     7: putfield s0._2 = s1
+     8: return
+
+method s2fa/Tuple2_FAF._1()F  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._1
+     2: return s0
+
+method s2fa/Tuple2_FAF._2()[F  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._2
+     2: return s0

@@ -1,0 +1,183 @@
+method LR.<init>()V  regs=22 args=[0]
+  .block instrs=79 ns=81.00
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = const 'LR'
+     4: putfield s0.id = s1
+     5: s0 = l0
+     6: s1 = const 16
+     7: s1 = newarray F[s1]
+     8: dup: s2 = s1
+     9: s3 = const 0
+    10: s4 = const 0.05123697516794001
+    11: s4 = fneg s4
+    12: fastore s2[s3] = s4
+    13: dup: s2 = s1
+    14: s3 = const 1
+    15: s4 = const 0.5517950983001767
+    16: fastore s2[s3] = s4
+    17: dup: s2 = s1
+    18: s3 = const 2
+    19: s4 = const 0.5451518805208855
+    20: fastore s2[s3] = s4
+    21: dup: s2 = s1
+    22: s3 = const 3
+    23: s4 = const 0.1051018477905663
+    24: s4 = fneg s4
+    25: fastore s2[s3] = s4
+    26: dup: s2 = s1
+    27: s3 = const 4
+    28: s4 = const 0.0733990388461987
+    29: fastore s2[s3] = s4
+    30: dup: s2 = s1
+    31: s3 = const 5
+    32: s4 = const 0.2556497501970951
+    33: s4 = fneg s4
+    34: fastore s2[s3] = s4
+    35: dup: s2 = s1
+    36: s3 = const 6
+    37: s4 = const 0.7426841158003101
+    38: fastore s2[s3] = s4
+    39: dup: s2 = s1
+    40: s3 = const 7
+    41: s4 = const 0.2619562683963286
+    42: s4 = fneg s4
+    43: fastore s2[s3] = s4
+    44: dup: s2 = s1
+    45: s3 = const 8
+    46: s4 = const 0.45640661216123735
+    47: fastore s2[s3] = s4
+    48: dup: s2 = s1
+    49: s3 = const 9
+    50: s4 = const 0.4350881257261956
+    51: fastore s2[s3] = s4
+    52: dup: s2 = s1
+    53: s3 = const 10
+    54: s4 = const 0.0030595249371712097
+    55: fastore s2[s3] = s4
+    56: dup: s2 = s1
+    57: s3 = const 11
+    58: s4 = const 0.7479279184850922
+    59: fastore s2[s3] = s4
+    60: dup: s2 = s1
+    61: s3 = const 12
+    62: s4 = const 0.5974031548922563
+    63: s4 = fneg s4
+    64: fastore s2[s3] = s4
+    65: dup: s2 = s1
+    66: s3 = const 13
+    67: s4 = const 0.4758539519543459
+    68: fastore s2[s3] = s4
+    69: dup: s2 = s1
+    70: s3 = const 14
+    71: s4 = const 0.3375349159569192
+    72: fastore s2[s3] = s4
+    73: dup: s2 = s1
+    74: s3 = const 15
+    75: s4 = const 0.5754204454761425
+    76: fastore s2[s3] = s4
+    77: putfield s0.w = s1
+    78: return
+
+method LR.call(Ls2fa/Tuple2_FAF;)[F  regs=23 args=[0, 1]
+  .block instrs=15 ns=40.80
+     0: s0 = l1
+     1: s0 = invokevirtual s2fa/Tuple2_FAF._1()F (s0)
+     2: l2 = s0
+     3: s0 = l1
+     4: s0 = invokevirtual s2fa/Tuple2_FAF._2()[F (s0)
+     5: l3 = s0
+     6: s0 = const 16
+     7: s0 = newarray F[s0]
+     8: l4 = s0
+     9: s0 = const 0.0
+    10: l5 = s0
+    11: s0 = const 0
+    12: l6 = s0
+    13: s0 = const 16
+    14: l7 = s0
+  .block instrs=3 ns=1.60
+    15: s0 = l6
+    16: s1 = l7
+    17: if_icmpge s0, s1 -> 31
+  .block instrs=13 ns=10.00
+    18: s0 = l5
+    19: s1 = l0
+    20: s1 = getfield s1.w
+    21: s2 = l6
+    22: s1 = faload s1[s2]
+    23: s2 = l3
+    24: s3 = l6
+    25: s2 = faload s2[s3]
+    26: s1 = fmul s1, s2
+    27: s0 = fadd s0, s1
+    28: l5 = s0
+    29: l6 = iinc l6, 1
+    30: goto -> 15
+  .block instrs=23 ns=28.20
+    31: s0 = l2
+    32: s1 = const 1.0
+    33: s0 = fadd s0, s1
+    34: s1 = const 2.0
+    35: s0 = fdiv s0, s1
+    36: l8 = s0
+    37: s0 = const 1.0
+    38: s2 = const 1.0
+    39: s4 = l5
+    40: s4 = fneg s4
+    41: s4 = f2d s4
+    42: s4 = invokestatic java/lang/Math.exp(D)D (s4)
+    43: s2 = dadd s2, s4
+    44: s0 = ddiv s0, s2
+    45: s2 = l8
+    46: s2 = f2d s2
+    47: s0 = dsub s0, s2
+    48: s0 = d2f s0
+    49: l9 = s0
+    50: s0 = const 0
+    51: l10 = s0
+    52: s0 = const 16
+    53: l11 = s0
+  .block instrs=3 ns=1.60
+    54: s0 = l10
+    55: s1 = l11
+    56: if_icmpge s0, s1 -> 67
+  .block instrs=10 ns=7.60
+    57: s0 = l4
+    58: s1 = l10
+    59: s2 = l9
+    60: s3 = l3
+    61: s4 = l10
+    62: s3 = faload s3[s4]
+    63: s2 = fmul s2, s3
+    64: fastore s0[s1] = s2
+    65: l10 = iinc l10, 1
+    66: goto -> 54
+  .block instrs=2 ns=1.40
+    67: s0 = l4
+    68: return s0
+
+method s2fa/Tuple2_FAF.<init>(F[F)V  regs=19 args=[0, 1, 2]
+  .block instrs=9 ns=11.40
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = l1
+     4: putfield s0._1 = s1
+     5: s0 = l0
+     6: s1 = l2
+     7: putfield s0._2 = s1
+     8: return
+
+method s2fa/Tuple2_FAF._1()F  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._1
+     2: return s0
+
+method s2fa/Tuple2_FAF._2()[F  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._2
+     2: return s0

@@ -1,0 +1,102 @@
+method PR.<init>()V  regs=19 args=[0]
+  .block instrs=6 ns=9.40
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = const 'PR'
+     4: putfield s0.id = s1
+     5: return
+
+method PR.call(Ls2fa/Tuple2_FAI;)[F  regs=21 args=[0, 1]
+  .block instrs=15 ns=40.80
+     0: s0 = l1
+     1: s0 = invokevirtual s2fa/Tuple2_FAI._1()F (s0)
+     2: l2 = s0
+     3: s0 = l1
+     4: s0 = invokevirtual s2fa/Tuple2_FAI._2()[I (s0)
+     5: l3 = s0
+     6: s0 = const 16
+     7: s0 = newarray F[s0]
+     8: l4 = s0
+     9: s0 = const 0
+    10: l5 = s0
+    11: s0 = const 0
+    12: l6 = s0
+    13: s0 = const 16
+    14: l7 = s0
+  .block instrs=3 ns=1.60
+    15: s0 = l6
+    16: s1 = l7
+    17: if_icmpge s0, s1 -> 29
+  .block instrs=5 ns=3.60
+    18: s0 = l3
+    19: s1 = l6
+    20: s0 = iaload s0[s1]
+    21: s1 = const 0
+    22: if_icmplt s0, s1 -> 27
+  .block instrs=4 ns=1.60
+    23: s0 = l5
+    24: s1 = const 1
+    25: s0 = iadd s0, s1
+    26: l5 = s0
+  .block instrs=2 ns=1.20
+    27: l6 = iinc l6, 1
+    28: goto -> 15
+  .block instrs=9 ns=9.40
+    29: s0 = l2
+    30: s1 = l5
+    31: s1 = i2f s1
+    32: s0 = fdiv s0, s1
+    33: l8 = s0
+    34: s0 = const 0
+    35: l9 = s0
+    36: s0 = const 16
+    37: l10 = s0
+  .block instrs=3 ns=1.60
+    38: s0 = l9
+    39: s1 = l10
+    40: if_icmpge s0, s1 -> 54
+  .block instrs=7 ns=4.40
+    41: s0 = l4
+    42: s1 = l9
+    43: s2 = l3
+    44: s3 = l9
+    45: s2 = iaload s2[s3]
+    46: s3 = const 0
+    47: if_icmplt s2, s3 -> 50
+  .block instrs=2 ns=1.20
+    48: s2 = l8
+    49: goto -> 51
+  .block instrs=1 ns=0.40
+    50: s2 = const 0.0
+  .block instrs=3 ns=2.80
+    51: fastore s0[s1] = s2
+    52: l9 = iinc l9, 1
+    53: goto -> 38
+  .block instrs=2 ns=1.40
+    54: s0 = l4
+    55: return s0
+
+method s2fa/Tuple2_FAI.<init>(F[I)V  regs=19 args=[0, 1, 2]
+  .block instrs=9 ns=11.40
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = l1
+     4: putfield s0._1 = s1
+     5: s0 = l0
+     6: s1 = l2
+     7: putfield s0._2 = s1
+     8: return
+
+method s2fa/Tuple2_FAI._1()F  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._1
+     2: return s0
+
+method s2fa/Tuple2_FAI._2()[I  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._2
+     2: return s0

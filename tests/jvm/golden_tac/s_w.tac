@@ -1,0 +1,206 @@
+method SW.<init>()V  regs=19 args=[0]
+  .block instrs=6 ns=9.40
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = const 'SW_kernel'
+     4: putfield s0.id = s1
+     5: return
+
+method SW.call(Ls2fa/Tuple2_ss;)Ls2fa/Tuple2_II;  regs=22 args=[0, 1]
+  .block instrs=21 ns=72.40
+     0: s0 = l1
+     1: s0 = invokevirtual s2fa/Tuple2_ss._1()Ljava/lang/String; (s0)
+     2: l2 = s0
+     3: s0 = l1
+     4: s0 = invokevirtual s2fa/Tuple2_ss._2()Ljava/lang/String; (s0)
+     5: l3 = s0
+     6: s0 = const 129
+     7: s0 = newarray I[s0]
+     8: l4 = s0
+     9: s0 = const 129
+    10: s0 = newarray I[s0]
+    11: l5 = s0
+    12: s0 = const 0
+    13: l6 = s0
+    14: s0 = const 0
+    15: l7 = s0
+    16: s0 = const 0
+    17: l8 = s0
+    18: s0 = l2
+    19: s0 = invokevirtual java/lang/String.length()I (s0)
+    20: l9 = s0
+  .block instrs=3 ns=1.60
+    21: s0 = l8
+    22: s1 = l9
+    23: if_icmpge s0, s1 -> 121
+  .block instrs=7 ns=8.40
+    24: s0 = const 0
+    25: l10 = s0
+    26: s0 = const 0
+    27: l11 = s0
+    28: s0 = l3
+    29: s0 = invokevirtual java/lang/String.length()I (s0)
+    30: l12 = s0
+  .block instrs=3 ns=1.60
+    31: s0 = l11
+    32: s1 = l12
+    33: if_icmpge s0, s1 -> 104
+  .block instrs=7 ns=14.40
+    34: s0 = l2
+    35: s1 = l8
+    36: s0 = invokevirtual java/lang/String.charAt(I)C (s0, s1)
+    37: s1 = l3
+    38: s2 = l11
+    39: s1 = invokevirtual java/lang/String.charAt(I)C (s1, s2)
+    40: if_icmpne s0, s1 -> 43
+  .block instrs=2 ns=1.20
+    41: s0 = const 2
+    42: goto -> 45
+  .block instrs=2 ns=0.80
+    43: s0 = const 1
+    44: s0 = ineg s0
+  .block instrs=16 ns=9.20
+    45: l13 = s0
+    46: s0 = l4
+    47: s1 = l11
+    48: s0 = iaload s0[s1]
+    49: s1 = l13
+    50: s0 = iadd s0, s1
+    51: l14 = s0
+    52: s0 = l4
+    53: s1 = l11
+    54: s2 = const 1
+    55: s1 = iadd s1, s2
+    56: s0 = iaload s0[s1]
+    57: s1 = const 1
+    58: s0 = isub s0, s1
+    59: s1 = l14
+    60: if_icmple s0, s1 -> 69
+  .block instrs=8 ns=4.40
+    61: s0 = l4
+    62: s1 = l11
+    63: s2 = const 1
+    64: s1 = iadd s1, s2
+    65: s0 = iaload s0[s1]
+    66: s1 = const 1
+    67: s0 = isub s0, s1
+    68: l14 = s0
+  .block instrs=5 ns=2.40
+    69: s0 = l10
+    70: s1 = const 1
+    71: s0 = isub s0, s1
+    72: s1 = l14
+    73: if_icmple s0, s1 -> 78
+  .block instrs=4 ns=1.60
+    74: s0 = l10
+    75: s1 = const 1
+    76: s0 = isub s0, s1
+    77: l14 = s0
+  .block instrs=3 ns=1.60
+    78: s0 = l14
+    79: s1 = const 0
+    80: if_icmpge s0, s1 -> 83
+  .block instrs=2 ns=0.80
+    81: s0 = const 0
+    82: l14 = s0
+  .block instrs=11 ns=6.00
+    83: s0 = l5
+    84: s1 = l11
+    85: s2 = const 1
+    86: s1 = iadd s1, s2
+    87: s2 = l14
+    88: iastore s0[s1] = s2
+    89: s0 = l14
+    90: l10 = s0
+    91: s0 = l14
+    92: s1 = l6
+    93: if_icmple s0, s1 -> 102
+  .block instrs=8 ns=4.00
+    94: s0 = l14
+    95: l6 = s0
+    96: s0 = l8
+    97: s1 = const 128
+    98: s0 = imul s0, s1
+    99: s1 = l11
+   100: s0 = iadd s0, s1
+   101: l7 = s0
+  .block instrs=2 ns=1.20
+   102: l11 = iinc l11, 1
+   103: goto -> 31
+  .block instrs=4 ns=1.60
+   104: s0 = const 0
+   105: l15 = s0
+   106: s0 = const 128
+   107: l16 = s0
+  .block instrs=3 ns=1.60
+   108: s0 = l15
+   109: s1 = l16
+   110: if_icmpgt s0, s1 -> 119
+  .block instrs=8 ns=6.00
+   111: s0 = l4
+   112: s1 = l15
+   113: s2 = l5
+   114: s3 = l15
+   115: s2 = iaload s2[s3]
+   116: iastore s0[s1] = s2
+   117: l15 = iinc l15, 1
+   118: goto -> 108
+  .block instrs=2 ns=1.20
+   119: l8 = iinc l8, 1
+   120: goto -> 21
+  .block instrs=6 ns=32.00
+   121: s0 = new s2fa/Tuple2_II
+   122: dup: s1 = s0
+   123: s2 = l6
+   124: s3 = l7
+   125: invokespecial s2fa/Tuple2_II.<init>(II)V (s1, s2, s3)
+   126: return s0
+
+method s2fa/Tuple2_II.<init>(II)V  regs=19 args=[0, 1, 2]
+  .block instrs=9 ns=11.40
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = l1
+     4: putfield s0._1 = s1
+     5: s0 = l0
+     6: s1 = l2
+     7: putfield s0._2 = s1
+     8: return
+
+method s2fa/Tuple2_II._1()I  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._1
+     2: return s0
+
+method s2fa/Tuple2_II._2()I  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._2
+     2: return s0
+
+method s2fa/Tuple2_ss.<init>(Ljava/lang/String;Ljava/lang/String;)V  regs=19 args=[0, 1, 2]
+  .block instrs=9 ns=11.40
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = l1
+     4: putfield s0._1 = s1
+     5: s0 = l0
+     6: s1 = l2
+     7: putfield s0._2 = s1
+     8: return
+
+method s2fa/Tuple2_ss._1()Ljava/lang/String;  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._1
+     2: return s0
+
+method s2fa/Tuple2_ss._2()Ljava/lang/String;  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._2
+     2: return s0

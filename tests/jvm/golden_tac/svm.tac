@@ -1,0 +1,178 @@
+method SVM.<init>()V  regs=22 args=[0]
+  .block instrs=79 ns=81.00
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = const 'SVM'
+     4: putfield s0.id = s1
+     5: s0 = l0
+     6: s1 = const 16
+     7: s1 = newarray F[s1]
+     8: dup: s2 = s1
+     9: s3 = const 0
+    10: s4 = const 0.2662596911335582
+    11: s4 = fneg s4
+    12: fastore s2[s3] = s4
+    13: dup: s2 = s1
+    14: s3 = const 1
+    15: s4 = const 0.6288242306926639
+    16: fastore s2[s3] = s4
+    17: dup: s2 = s1
+    18: s3 = const 2
+    19: s4 = const 0.25906547031410665
+    20: fastore s2[s3] = s4
+    21: dup: s2 = s1
+    22: s3 = const 3
+    23: s4 = const 0.9413755707140219
+    24: fastore s2[s3] = s4
+    25: dup: s2 = s1
+    26: s3 = const 4
+    27: s4 = const 0.17917356385004157
+    28: s4 = fneg s4
+    29: fastore s2[s3] = s4
+    30: dup: s2 = s1
+    31: s3 = const 5
+    32: s4 = const 0.8327655815922035
+    33: s4 = fneg s4
+    34: fastore s2[s3] = s4
+    35: dup: s2 = s1
+    36: s3 = const 6
+    37: s4 = const 0.3306205018680626
+    38: fastore s2[s3] = s4
+    39: dup: s2 = s1
+    40: s3 = const 7
+    41: s4 = const 0.5743835194795202
+    42: fastore s2[s3] = s4
+    43: dup: s2 = s1
+    44: s3 = const 8
+    45: s4 = const 0.4177125275627471
+    46: fastore s2[s3] = s4
+    47: dup: s2 = s1
+    48: s3 = const 9
+    49: s4 = const 0.7983399620675793
+    50: s4 = fneg s4
+    51: fastore s2[s3] = s4
+    52: dup: s2 = s1
+    53: s3 = const 10
+    54: s4 = const 0.08440704539433597
+    55: s4 = fneg s4
+    56: fastore s2[s3] = s4
+    57: dup: s2 = s1
+    58: s3 = const 11
+    59: s4 = const 0.45777844662963973
+    60: fastore s2[s3] = s4
+    61: dup: s2 = s1
+    62: s3 = const 12
+    63: s4 = const 0.02506752341894658
+    64: fastore s2[s3] = s4
+    65: dup: s2 = s1
+    66: s3 = const 13
+    67: s4 = const 0.4795321574332172
+    68: fastore s2[s3] = s4
+    69: dup: s2 = s1
+    70: s3 = const 14
+    71: s4 = const 0.6987969543201962
+    72: fastore s2[s3] = s4
+    73: dup: s2 = s1
+    74: s3 = const 15
+    75: s4 = const 0.2534272524265839
+    76: fastore s2[s3] = s4
+    77: putfield s0.w = s1
+    78: return
+
+method SVM.call(Ls2fa/Tuple2_FAF;)[F  regs=22 args=[0, 1]
+  .block instrs=15 ns=40.80
+     0: s0 = l1
+     1: s0 = invokevirtual s2fa/Tuple2_FAF._1()F (s0)
+     2: l2 = s0
+     3: s0 = l1
+     4: s0 = invokevirtual s2fa/Tuple2_FAF._2()[F (s0)
+     5: l3 = s0
+     6: s0 = const 16
+     7: s0 = newarray F[s0]
+     8: l4 = s0
+     9: s0 = const 0.0
+    10: l5 = s0
+    11: s0 = const 0
+    12: l6 = s0
+    13: s0 = const 16
+    14: l7 = s0
+  .block instrs=3 ns=1.60
+    15: s0 = l6
+    16: s1 = l7
+    17: if_icmpge s0, s1 -> 31
+  .block instrs=13 ns=10.00
+    18: s0 = l5
+    19: s1 = l0
+    20: s1 = getfield s1.w
+    21: s2 = l6
+    22: s1 = faload s1[s2]
+    23: s2 = l3
+    24: s3 = l6
+    25: s2 = faload s2[s3]
+    26: s1 = fmul s1, s2
+    27: s0 = fadd s0, s1
+    28: l5 = s0
+    29: l6 = iinc l6, 1
+    30: goto -> 15
+  .block instrs=8 ns=4.00
+    31: s0 = l2
+    32: s1 = l5
+    33: s0 = fmul s0, s1
+    34: l8 = s0
+    35: s0 = const 0
+    36: l9 = s0
+    37: s0 = const 16
+    38: l10 = s0
+  .block instrs=3 ns=1.60
+    39: s0 = l9
+    40: s1 = l10
+    41: if_icmpge s0, s1 -> 59
+  .block instrs=6 ns=3.20
+    42: s0 = l4
+    43: s1 = l9
+    44: s2 = l8
+    45: s3 = const 1.0
+    46: s2 = fcmpl s2, s3
+    47: ifge s2 -> 55
+  .block instrs=7 ns=5.60
+    48: s2 = l2
+    49: s2 = fneg s2
+    50: s3 = l3
+    51: s4 = l9
+    52: s3 = faload s3[s4]
+    53: s2 = fmul s2, s3
+    54: goto -> 56
+  .block instrs=1 ns=0.40
+    55: s2 = const 0.0
+  .block instrs=3 ns=2.80
+    56: fastore s0[s1] = s2
+    57: l9 = iinc l9, 1
+    58: goto -> 39
+  .block instrs=2 ns=1.40
+    59: s0 = l4
+    60: return s0
+
+method s2fa/Tuple2_FAF.<init>(F[F)V  regs=19 args=[0, 1, 2]
+  .block instrs=9 ns=11.40
+     0: s0 = l0
+     1: invokespecial java/lang/Object.<init>()V (s0)
+     2: s0 = l0
+     3: s1 = l1
+     4: putfield s0._1 = s1
+     5: s0 = l0
+     6: s1 = l2
+     7: putfield s0._2 = s1
+     8: return
+
+method s2fa/Tuple2_FAF._1()F  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._1
+     2: return s0
+
+method s2fa/Tuple2_FAF._2()[F  regs=18 args=[0]
+  .block instrs=3 ns=2.60
+     0: s0 = l0
+     1: s0 = getfield s0._2
+     2: return s0

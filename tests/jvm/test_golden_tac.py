@@ -1,0 +1,57 @@
+"""Golden-file snapshots of the lowered TAC IR for every app.
+
+Each registered application's JVM classes are lowered to three-address
+code and the textual listing is compared byte-for-byte against a
+committed snapshot under ``tests/jvm/golden_tac/``.  Any lowering
+change — intended or not — shows up as a readable IR-level diff in the
+test failure; intended changes are blessed with ``pytest
+--update-golden`` (the same flow as the HLS-C goldens).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.jvm.tac import program_tac_text
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden_tac"
+
+APP_NAMES = [spec.name for spec in ALL_APPS]
+
+
+def _snapshot_name(app_name: str) -> str:
+    return app_name.lower().replace("-", "_").replace(" ", "_") + ".tac"
+
+
+def _generate(app_name: str) -> str:
+    compiled = get_app(app_name).compile()
+    return program_tac_text(compiled.classes)
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_lowered_tac_matches_golden(name, update_golden):
+    path = GOLDEN_DIR / _snapshot_name(name)
+    generated = _generate(name)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(generated)
+        pytest.skip(f"golden snapshot regenerated: {path.name}")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; run "
+        f"`pytest tests/jvm/test_golden_tac.py --update-golden`")
+    assert generated == path.read_text(), (
+        f"{name}: lowered TAC differs from {path.name}; if the lowering "
+        f"change is intended, bless it with --update-golden")
+
+
+def test_every_snapshot_belongs_to_an_app():
+    """No stale snapshots: each committed file maps to a live app."""
+    expected = {_snapshot_name(name) for name in APP_NAMES}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.tac")}
+    assert actual == expected

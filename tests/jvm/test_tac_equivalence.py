@@ -1,0 +1,214 @@
+"""Differential battery: TAC engine vs the stack interpreter.
+
+The :class:`~repro.jvm.tac.TACInterpreter` must be bit-identical to the
+stack :class:`~repro.jvm.interpreter.Interpreter` — same outputs, same
+cost-model accounting, and the same trap type *and message* — on:
+
+* every registered application's real workload,
+* every committed fuzz-corpus regression entry,
+* 200 fresh seeded generator kernels (the acceptance battery),
+* the PR-5 edge cases (long-shift masking, float->int saturation) and
+  the classic trap sites (division by zero, step budget).
+"""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.blaze.runtime import _JVMTaskRunner
+from repro.compiler import compile_kernel
+from repro.engines import make_jvm_interpreter
+from repro.errors import JVMRuntimeError
+from repro.fuzz import KernelGenerator, load_regressions
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+
+APP_NAMES = [spec.name for spec in ALL_APPS]
+
+#: Fresh seeded kernels in the acceptance battery.
+FRESH_KERNELS = 200
+FRESH_SEED = 1234
+
+
+def _call_both(compiled, tasks):
+    """Run ``tasks`` on both engines; outputs and traps must agree.
+
+    Returns the stack engine's ``(outputs, runners)`` for further
+    assertions.
+    """
+    stack = _JVMTaskRunner(compiled, engine="stack")
+    tac = _JVMTaskRunner(compiled, engine="tac")
+    outputs = []
+    for task in tasks:
+        try:
+            expected = stack.call(task)
+            stack_err = None
+        except Exception as exc:
+            expected, stack_err = None, f"{type(exc).__name__}: {exc}"
+        try:
+            actual = tac.call(task)
+            tac_err = None
+        except Exception as exc:
+            actual, tac_err = None, f"{type(exc).__name__}: {exc}"
+        assert stack_err == tac_err, (
+            f"trap divergence on {task!r}: "
+            f"stack={stack_err!r} tac={tac_err!r}")
+        if stack_err is None:
+            assert _bits(expected) == _bits(actual), (
+                f"output divergence on {task!r}: "
+                f"{expected!r} != {actual!r}")
+            outputs.append(expected)
+    return outputs, (stack, tac)
+
+
+def _bits(value):
+    """A hashable bit-exact shadow (distinguishes 0.0 from -0.0, NaNs)."""
+    if isinstance(value, (tuple, list)):
+        return tuple(_bits(v) for v in value)
+    if isinstance(value, float):
+        return ("f", math.copysign(1.0, value),
+                "nan" if math.isnan(value) else value)
+    return (type(value).__name__, value)
+
+
+# ----------------------------------------------------------------------
+# Applications: outputs and cost-model parity on real workloads
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_bit_identical_with_cost_parity(name):
+    spec = get_app(name)
+    compiled = spec.compile()
+    tasks = spec.workload(min(spec.jvm_sample, 12), seed=17)
+    outputs, (stack, tac) = _call_both(compiled, tasks)
+    assert len(outputs) == len(tasks)
+    # The block-aggregated cost accounting must equal the per-op one.
+    assert tac.cost.counts == stack.cost.counts
+    assert tac.cost.instructions == stack.cost.instructions
+    assert math.isclose(tac.cost.total_ns, stack.cost.total_ns,
+                        rel_tol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# The committed fuzz corpus
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "entry", load_regressions(CORPUS_DIR),
+    ids=lambda e: e.path.stem if e.path else e.name)
+def test_corpus_entry_bit_identical(entry):
+    compiled = compile_kernel(entry.source,
+                              layout_config=entry.layout_config(),
+                              batch_size=entry.batch_size)
+    _call_both(compiled, entry.host_tasks())
+
+
+# ----------------------------------------------------------------------
+# Fresh seeded generator kernels (the acceptance battery)
+# ----------------------------------------------------------------------
+
+def test_fresh_seeded_kernels_bit_identical():
+    generator = KernelGenerator(FRESH_SEED)
+    for _ in range(FRESH_KERNELS):
+        kernel = generator.kernel()
+        tasks = generator.tasks(kernel, 3)
+        compiled = compile_kernel(kernel.scala(),
+                                  layout_config=kernel.layout_config(),
+                                  batch_size=16)
+        _call_both(compiled, tasks)
+
+
+# ----------------------------------------------------------------------
+# Edge cases: PR-5 semantics and trap parity
+# ----------------------------------------------------------------------
+
+SHIFT_KERNEL = """
+class Shifter extends Accelerator[(Long, Int), Long] {
+  val id: String = "shift"
+  def call(in: (Long, Int)): Long = {
+    val wide: Long = in._1 << in._2
+    val narrow: Int = in._1.toInt >> in._2
+    val logical: Int = in._1.toInt >>> in._2
+    val sar: Long = in._1 >> in._2
+    wide + narrow.toLong + logical.toLong + sar
+  }
+}
+"""
+
+
+def test_long_shift_masking_parity():
+    compiled = compile_kernel(SHIFT_KERNEL, batch_size=16)
+    tasks = [(1, 0), (1, 63), (1, 64), (1, 65), (-1, 1), (-1, 63),
+             ((1 << 62) + 7, 33), (-(1 << 61), 62), (123456789, 31),
+             (1, -1)]
+    _call_both(compiled, tasks)
+
+
+SATURATE_KERNEL = """
+class Saturate extends Accelerator[Double, Long] {
+  val id: String = "sat"
+  def call(in: Double): Long = {
+    val i: Int = in.toInt
+    val l: Long = in.toLong
+    i.toLong + l
+  }
+}
+"""
+
+
+def test_float_to_int_saturation_parity():
+    compiled = compile_kernel(SATURATE_KERNEL, batch_size=16)
+    tasks = [0.5, -0.5, 1e99, -1e99, float("inf"), float("-inf"),
+             float("nan"), 2147483647.99, -2147483648.99, 9.9e18]
+    _call_both(compiled, tasks)
+
+
+DIV_KERNEL = """
+class Divider extends Accelerator[(Int, Int), Int] {
+  val id: String = "div"
+  def call(in: (Int, Int)): Int = in._1 / in._2 + in._1 % in._2
+}
+"""
+
+
+def test_division_trap_parity():
+    compiled = compile_kernel(DIV_KERNEL, batch_size=16)
+    tasks = [(7, 2), (-7, 2), (7, -2), (1, 0), (-2147483648, -1)]
+    _call_both(compiled, tasks)
+
+
+LOOP_KERNEL = """
+class Spinner extends Accelerator[Int, Int] {
+  val id: String = "spin"
+  def call(in: Int): Int = {
+    var acc: Int = 0
+    var i: Int = 0
+    while (i < 100000) {
+      acc = acc + i
+      i = i + 1
+    }
+    acc + in
+  }
+}
+"""
+
+
+def test_max_steps_trap_message_parity():
+    """Both engines trap the step budget with the identical message.
+
+    The TAC engine charges at block granularity, so it may execute a
+    few instructions past the stack engine's trap point — but the
+    exception type and message must match exactly.
+    """
+    compiled = compile_kernel(LOOP_KERNEL, batch_size=16)
+    errors = []
+    for engine in ("stack", "tac"):
+        interp = make_jvm_interpreter(compiled.registry,
+                                      max_steps=5_000, engine=engine)
+        with pytest.raises(JVMRuntimeError) as exc_info:
+            interp.invoke(compiled.name, "call", [compiled.instance, 1])
+        errors.append(str(exc_info.value))
+    assert errors[0] == errors[1]
+    assert "exceeded max_steps=5000" in errors[0]

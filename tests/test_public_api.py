@@ -77,7 +77,8 @@ def test_runtime_config_fields():
     assert fields == {"partitions", "fault_plan", "fault_seed",
                       "max_attempts", "batch_deadline_seconds",
                       "backoff_base_seconds", "backoff_factor",
-                      "quarantine_base_seconds", "quarantine_factor"}
+                      "quarantine_base_seconds", "quarantine_factor",
+                      "engine"}
 
 
 def test_deprecated_shims_are_marked():
