@@ -97,12 +97,25 @@ class AcceleratorManager:
         self.engine = engine
         self._accelerators: dict[str, RegisteredAccelerator] = {}
 
+    #: Sentinel: "use the manager's fault plan" (``None`` is a real
+    #: override meaning "this board is fault-free").
+    _INHERIT_PLAN = object()
+
     def register(self, compiled: CompiledKernel,
-                 config: Optional[DesignConfig] = None,
-                 ) -> RegisteredAccelerator:
+                 config: Optional[DesignConfig] = None, *,
+                 accel_id: Optional[str] = None,
+                 fault_plan=_INHERIT_PLAN) -> RegisteredAccelerator:
         """Register a compiled kernel, deploying it when a design config
-        is supplied (software-fallback-only otherwise)."""
-        accel_id = compiled.accel_id
+        is supplied (software-fallback-only otherwise).
+
+        ``accel_id`` overrides the kernel's own id — the serve layer
+        registers one kernel several times as a board fleet
+        (``id#0 .. id#n-1``), each replica with its own id and hence its
+        own deterministic fault stream.  ``fault_plan`` overrides the
+        manager-wide plan for this entry only (pass ``None`` for a
+        fault-free board in an otherwise faulty fleet).
+        """
+        accel_id = accel_id or compiled.accel_id
         if accel_id in self._accelerators:
             raise BlazeError(f"accelerator {accel_id!r} already registered")
         entry = RegisteredAccelerator(accel_id=accel_id, compiled=compiled,
@@ -116,8 +129,10 @@ class AcceleratorManager:
             bytes_per_task = (
                 compiled.kernel.metadata.get("bytes_in_per_task", 0)
                 + compiled.kernel.metadata.get("bytes_out_per_task", 0))
-            faults = (FaultInjector(self.fault_plan, accel_id)
-                      if self.fault_plan is not None else None)
+            plan = (self.fault_plan if fault_plan is self._INHERIT_PLAN
+                    else fault_plan)
+            faults = (FaultInjector(plan, accel_id)
+                      if plan is not None else None)
             entry.hls = hls
             entry.board = FPGABoard(
                 kernel=compiled.kernel, hls=hls,

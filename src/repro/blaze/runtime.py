@@ -23,6 +23,7 @@ the pure-JVM run under any fault schedule; only timing and
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -54,16 +55,23 @@ from .serialization import verify_outputs
 class VirtualClock:
     """Monotonic virtual seconds: deadlines, backoff, and quarantine
     expiry all live on this clock, so fault handling is deterministic
-    and tests never sleep."""
+    and tests never sleep.
+
+    ``advance`` is a locked read-modify-write: two threads advancing the
+    same clock never lose time (reads of ``now`` stay plain attribute
+    reads — a float load is atomic in CPython).
+    """
 
     def __init__(self) -> None:
         self.now = 0.0
+        self._lock = threading.Lock()
 
     def advance(self, seconds: float) -> float:
         if seconds < 0:
             raise BlazeError(f"cannot advance the clock by {seconds}")
-        self.now += seconds
-        return self.now
+        with self._lock:
+            self.now += seconds
+            return self.now
 
 
 @dataclass(frozen=True)
@@ -140,6 +148,13 @@ class BlazeRuntime:
         self.metrics = BlazeMetrics()
         self.clock = VirtualClock()
         self.tracer = tracer
+        #: Serializes offload attempts and fallback accounting: board
+        #: health transitions (quarantine/probe/readmit/lost), clock
+        #: charges, and :class:`BlazeMetrics` updates are atomic per
+        #: batch, so concurrent callers can share one runtime (the
+        #: serve daemon does) without interleaving ``quarantined_until``
+        #: updates inconsistently.
+        self._lock = threading.RLock()
 
     def register(self, compiled: CompiledKernel,
                  config: Optional[DesignConfig] = None
@@ -154,7 +169,10 @@ class BlazeRuntime:
     # -- resilient offload ------------------------------------------------
 
     def offload_batch(self, entry: RegisteredAccelerator, tasks: list,
-                      n_results: Optional[int] = None) -> Optional[list]:
+                      n_results: Optional[int] = None, *,
+                      policy: Optional[OffloadPolicy] = None,
+                      deadline_at: Optional[float] = None
+                      ) -> Optional[list]:
         """Run one batch on ``entry``'s board; ``None`` means "fall back".
 
         Implements the full resilience discipline: quarantine gating and
@@ -163,16 +181,29 @@ class BlazeRuntime:
         permanent-loss handling.  All time is charged to the runtime's
         virtual clock.
 
+        ``policy`` overrides the runtime policy for this batch only, and
+        ``deadline_at`` is an absolute virtual-time budget: each attempt
+        deadline is capped to the remaining budget and the retry loop
+        gives up (falling back, without quarantining a healthy board)
+        once the budget is spent.  The serve layer uses both to
+        propagate per-request deadlines into the retry/backoff
+        discipline.
+
+        The whole batch runs under the runtime lock, so concurrent
+        callers see atomic health transitions and consistent metrics.
+
         Each call records one ``blaze.offload`` span carrying the batch
         failure accounting (retries, faults, timeouts, corrupt frames)
         and its outcome, so a trace shows exactly where hardware time
         and fallbacks went.
         """
-        with self.tracer.span("blaze.offload", accel=entry.accel_id,
-                              tasks=len(tasks)) as span:
+        with self._lock, \
+                self.tracer.span("blaze.offload", accel=entry.accel_id,
+                                 tasks=len(tasks)) as span:
             before = self.clock.now
             results = self._offload_attempts(entry, tasks, n_results,
-                                             span)
+                                             span, policy or self.policy,
+                                             deadline_at)
             span.set(vclock_seconds=self.clock.now - before)
             if results is not None:
                 span.set(outcome="accelerated")
@@ -181,7 +212,8 @@ class BlazeRuntime:
 
     def _offload_attempts(self, entry: RegisteredAccelerator,
                           tasks: list, n_results: Optional[int],
-                          span) -> Optional[list]:
+                          span, policy: OffloadPolicy,
+                          deadline_at: Optional[float]) -> Optional[list]:
         metrics = self.metrics
         if entry.board is None:
             metrics.no_hardware_batches += 1
@@ -201,7 +233,6 @@ class BlazeRuntime:
             metrics.probes += 1
             span.set(probe=True)
         n_out = len(tasks) if n_results is None else n_results
-        policy = self.policy
         for attempt in range(policy.max_attempts):
             span.set(attempts=attempt + 1)
             if attempt:
@@ -212,11 +243,22 @@ class BlazeRuntime:
                            * policy.backoff_factor ** (attempt - 1))
                 self.clock.advance(backoff)
                 metrics.wasted_seconds += backoff
+            attempt_deadline = policy.batch_deadline_seconds
+            if deadline_at is not None:
+                remaining = deadline_at - self.clock.now
+                if remaining <= 0:
+                    # Budget exhausted: fall back without quarantining —
+                    # the board may be healthy; the *request* ran out of
+                    # time (queueing, earlier retries, backoff).
+                    self._note_fault_fallback(len(tasks))
+                    span.set(outcome="deadline_budget_exhausted")
+                    return None
+                attempt_deadline = min(attempt_deadline, remaining)
             buffers = entry.serializer(tasks)
             try:
                 seconds = entry.board.run(
                     buffers, len(tasks),
-                    deadline_s=policy.batch_deadline_seconds)
+                    deadline_s=attempt_deadline)
                 verify_outputs(buffers, entry.output_names)
             except DeviceLostError as exc:
                 self._charge_waste(exc.seconds)
@@ -259,9 +301,10 @@ class BlazeRuntime:
 
     def record_fallback(self, n_tasks: int, seconds: float) -> None:
         """Account one JVM-fallback batch (time also drives the clock)."""
-        self.metrics.fallback_tasks += n_tasks
-        self.metrics.fallback_seconds += seconds
-        self.clock.advance(seconds)
+        with self._lock:
+            self.metrics.fallback_tasks += n_tasks
+            self.metrics.fallback_seconds += seconds
+            self.clock.advance(seconds)
 
     def _charge_waste(self, seconds: float) -> None:
         self.clock.advance(seconds)

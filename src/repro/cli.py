@@ -41,6 +41,17 @@ Subcommands
     Per-stage breakdown, top-N slowest spans, and flamegraph of a trace
     written by ``--trace`` (either format).
 
+``serve``
+    Multi-tenant accelerator daemon over a unix socket: bounded
+    admission queues with explicit ``OVERLOADED`` shedding, per-tenant
+    weighted-round-robin scheduling, per-request deadlines, per-kernel
+    circuit breaking, a content-addressed design cache, and graceful
+    drain on SIGTERM (in-flight work finishes, queued requests get a
+    clean retryable rejection, state is flushed, exit code
+    ``EXIT_INTERRUPTED``).  ``--simulate`` instead runs the
+    deterministic virtual-time load harness in-process and prints
+    p50/p99 latency, shed rate, and board utilization.
+
 ``fuzz``
     Differential fuzzing of the whole compiler: generate random
     well-typed kernels, run them through the JVM interpreter and the
@@ -342,6 +353,54 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return EXIT_FAILURE if (failed or report.failures) else EXIT_OK
 
 
+def _serve_config(args: argparse.Namespace):
+    from .config import ServeConfig
+
+    weights = {}
+    for pair in getattr(args, "tenant_weight", None) or []:
+        if "=" not in pair:
+            raise SystemExit(f"--tenant-weight expects TENANT=W, "
+                             f"got {pair!r}")
+        tenant, _, weight = pair.partition("=")
+        weights[tenant] = int(weight)
+    return ServeConfig(
+        queue_depth=args.queue_depth,
+        tenant_weights=weights,
+        replicas=args.replicas,
+        default_deadline_s=args.default_deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        runtime=_runtime_config(args))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``s2fa serve``: the multi-tenant daemon (or its load harness)."""
+    config = _serve_config(args)
+    if args.simulate:
+        from .serve.loadgen import LoadProfile, run_profile
+
+        profile = LoadProfile(
+            clients=args.clients, tenants=args.tenants,
+            requests_per_client=args.requests_per_client,
+            mean_interarrival_s=args.mean_interarrival,
+            n_tasks=args.tasks, deadline_s=args.deadline,
+            seed=args.seed)
+        _, report = run_profile(profile, config,
+                                verify=not args.no_verify)
+        print(report.summary())
+        broken = report.lost or report.duplicates or report.mismatches
+        return EXIT_FAILURE if broken else EXIT_OK
+    if not args.socket:
+        raise SystemExit("serve needs --socket PATH (or --simulate)")
+    from .serve.daemon import run_daemon
+
+    print(f"s2fa serve: listening on {args.socket} "
+          f"(queue depth {config.queue_depth}, "
+          f"{config.replicas} replicas/kernel)")
+    return run_daemon(args.socket, config, state_path=args.state,
+                      ready_path=args.ready)
+
+
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
     """``s2fa trace summarize``: per-stage breakdown of a trace file."""
     from .obs import load_trace, summarize
@@ -508,6 +567,70 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--no-minimize", action="store_true",
                         help="keep failing kernels unshrunk")
     fuzz_p.set_defaults(func=cmd_fuzz)
+
+    serve_p = sub.add_parser(
+        "serve", help="multi-tenant accelerator daemon (unix socket)")
+    serve_p.add_argument("--socket", metavar="PATH",
+                         help="unix socket path to listen on")
+    serve_p.add_argument("--state", metavar="FILE",
+                         help="flush the final state snapshot here on "
+                              "graceful drain")
+    serve_p.add_argument("--ready", metavar="FILE",
+                         help="touch FILE (with the daemon pid) once "
+                              "the socket is listening")
+    serve_p.add_argument("--queue-depth", type=int, default=64,
+                         help="bounded per-tenant queue depth; a full "
+                              "queue sheds OVERLOADED (default 64)")
+    serve_p.add_argument("--tenant-weight", action="append",
+                         metavar="TENANT=W",
+                         help="weighted-round-robin weight for a tenant "
+                              "(repeatable; others get weight 1)")
+    serve_p.add_argument("--replicas", type=int, default=2,
+                         help="virtual boards per kernel (default 2)")
+    serve_p.add_argument("--default-deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="default per-request deadline in virtual "
+                              "seconds (default: unbounded)")
+    serve_p.add_argument("--breaker-threshold", type=int, default=3,
+                         help="consecutive hardware failures before a "
+                              "kernel's circuit opens (default 3)")
+    serve_p.add_argument("--breaker-reset", type=float, default=0.5,
+                         help="circuit cooldown in virtual seconds "
+                              "before a half-open probe (default 0.5)")
+    serve_p.add_argument("--fault-plan", metavar="SPEC",
+                         help="device fault schedule for every board, "
+                              "e.g. 'transient=0.2,lose_after=40'")
+    serve_p.add_argument("--fault-seed", type=int, default=0,
+                         help="seed of the fault schedule (default 0)")
+    _add_engine_flag(serve_p)
+    sim = serve_p.add_argument_group(
+        "load simulation (--simulate: no daemon, no socket; replay a "
+        "deterministic multi-tenant trace on the virtual clock)")
+    sim.add_argument("--simulate", action="store_true",
+                     help="run the load harness in-process and print "
+                          "p50/p99 latency, shed rate, utilization")
+    sim.add_argument("--clients", type=int, default=100,
+                     help="synthetic clients (default 100)")
+    sim.add_argument("--tenants", type=int, default=4,
+                     help="tenants the clients spread across (default 4)")
+    sim.add_argument("--requests-per-client", type=int, default=2,
+                     help="requests each client issues (default 2)")
+    sim.add_argument("--mean-interarrival", type=float, default=0.05,
+                     metavar="SECONDS",
+                     help="mean virtual inter-arrival per client "
+                          "(default 0.05; smaller = heavier load)")
+    sim.add_argument("--tasks", type=int, default=6,
+                     help="tasks per offload request (default 6)")
+    sim.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-request deadline, virtual seconds")
+    sim.add_argument("--seed", type=int, default=0,
+                     help="trace seed: same seed, same trace, same "
+                          "report (default 0)")
+    sim.add_argument("--no-verify", action="store_true",
+                     help="skip the bit-identity check against the "
+                          "JVM oracle")
+    serve_p.set_defaults(func=cmd_serve)
 
     trace_p = sub.add_parser("trace",
                              help="inspect recorded span traces")

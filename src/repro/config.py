@@ -19,10 +19,10 @@ facade consumes them directly; both validate eagerly in
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
 
-from .errors import BlazeError, DSEError
+from .errors import BlazeError, DSEError, ServeError
 
 
 @dataclass(frozen=True)
@@ -149,3 +149,78 @@ class RuntimeConfig:
         from .fpga.faults import FaultPlan
 
         return FaultPlan.parse(self.fault_plan, seed=self.fault_seed)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the ``s2fa serve`` multi-tenant daemon.
+
+    The offload-path knobs (deadlines, backoff, quarantine, fault
+    schedule, engine) ride along in ``runtime``; everything else here is
+    the serving surface itself: admission bounds, fair-share weights,
+    the board fleet width, circuit breaking, and drain behaviour.
+    """
+
+    #: Bounded per-tenant queue depth; a full queue sheds (OVERLOADED).
+    queue_depth: int = 64
+    #: Per-tenant weighted-round-robin weights; unlisted tenants get
+    #: ``default_weight``.  (Do not mutate the mapping after
+    #: construction — the config is conceptually frozen.)
+    tenant_weights: Mapping[str, int] = field(default_factory=dict)
+    default_weight: int = 1
+    #: Virtual FPGA boards deployed per kernel (the fleet width).
+    replicas: int = 2
+    #: Default per-request deadline, virtual seconds (None: unbounded).
+    default_deadline_s: Optional[float] = None
+    #: Circuit breaker: consecutive hardware failures before a kernel's
+    #: circuit opens, and the virtual-seconds cooldown before a probe.
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 0.5
+    #: Virtual time budget for ``explore=True`` requests (DSE minutes).
+    explore_time_limit_minutes: float = 20.0
+    #: Grace period (real seconds) for the in-flight request to finish
+    #: during a drain before the daemon gives up and exits anyway.
+    drain_grace_s: float = 10.0
+    #: Offload-path configuration (fault schedule, policy, engine).
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ServeError(
+                f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.replicas < 1:
+            raise ServeError(
+                f"replicas must be >= 1, got {self.replicas}")
+        if self.default_weight < 1:
+            raise ServeError(
+                f"default_weight must be >= 1, got {self.default_weight}")
+        for tenant, weight in self.tenant_weights.items():
+            if weight < 1:
+                raise ServeError(
+                    f"tenant {tenant!r}: weight must be >= 1, "
+                    f"got {weight}")
+        if (self.default_deadline_s is not None
+                and self.default_deadline_s <= 0):
+            raise ServeError(
+                "default_deadline_s must be positive, got "
+                f"{self.default_deadline_s}")
+        if self.breaker_threshold < 1:
+            raise ServeError(
+                f"breaker_threshold must be >= 1, "
+                f"got {self.breaker_threshold}")
+        if self.breaker_reset_s <= 0:
+            raise ServeError(
+                f"breaker_reset_s must be positive, "
+                f"got {self.breaker_reset_s}")
+        if self.explore_time_limit_minutes <= 0:
+            raise ServeError(
+                "explore_time_limit_minutes must be positive, got "
+                f"{self.explore_time_limit_minutes}")
+        if self.drain_grace_s <= 0:
+            raise ServeError(
+                f"drain_grace_s must be positive, "
+                f"got {self.drain_grace_s}")
+
+    def replace(self, **changes) -> "ServeConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)

@@ -86,6 +86,24 @@ class ExplorationInterrupted(DSEError):
         self.rounds = rounds
 
 
+class ServeError(S2FAError):
+    """Serve-daemon failure surfaced to a client.
+
+    Carries the response ``status`` (one of the codes in
+    :mod:`repro.serve.request`), whether the request is ``retryable``
+    verbatim, and the backpressure hint ``retry_after_s`` (virtual
+    seconds before a retry has a chance) when the daemon provided one.
+    """
+
+    def __init__(self, message: str, status: str = "ERROR",
+                 retryable: bool = False,
+                 retry_after_s=None):
+        super().__init__(message)
+        self.status = status
+        self.retryable = retryable
+        self.retry_after_s = retry_after_s
+
+
 class BlazeError(S2FAError):
     """Blaze runtime integration failure (registration, serialization...)."""
 

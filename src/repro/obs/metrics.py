@@ -1,8 +1,11 @@
 """Process-wide metrics registry: counters, gauges, and observations.
 
-The registry is deliberately tiny — plain dicts, no locks (each pipeline
-run owns its registry; worker processes return snapshots that the host
-merges).  Three instrument kinds cover everything the pipeline needs:
+The registry is deliberately tiny — plain dicts behind one lock.  A
+single pipeline run owns its registry (worker *processes* return
+snapshots that the host merges), but the serve daemon mutates one
+registry from many threads at once, so every read-modify-write is
+atomic: concurrent ``incr``/``observe`` calls never lose updates.
+Three instrument kinds cover everything the pipeline needs:
 
 * **counters** — monotonically increasing event counts
   (``dse.cache.memory_hits``, ``blaze.retries``);
@@ -13,75 +16,85 @@ merges).  Three instrument kinds cover everything the pipeline needs:
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 
 class MetricsRegistry:
-    """Named counters, gauges, and observation summaries."""
+    """Named counters, gauges, and observation summaries (thread-safe)."""
 
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.observations: dict[str, dict] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
     def incr(self, name: str, amount: float = 1) -> None:
         """Add ``amount`` to the counter ``name`` (creating it at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Fold ``value`` into the ``count/sum/min/max`` summary."""
-        summary = self.observations.get(name)
-        if summary is None:
-            self.observations[name] = {
-                "count": 1, "sum": value, "min": value, "max": value}
-            return
-        summary["count"] += 1
-        summary["sum"] += value
-        summary["min"] = min(summary["min"], value)
-        summary["max"] = max(summary["max"], value)
+        with self._lock:
+            summary = self.observations.get(name)
+            if summary is None:
+                self.observations[name] = {
+                    "count": 1, "sum": value, "min": value, "max": value}
+                return
+            summary["count"] += 1
+            summary["sum"] += value
+            summary["min"] = min(summary["min"], value)
+            summary["max"] = max(summary["max"], value)
 
     # ------------------------------------------------------------------
 
     def counter(self, name: str) -> float:
         """Current value of a counter (0 if never incremented)."""
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     def snapshot(self) -> dict:
-        """JSON-serializable view of every instrument."""
-        return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "observations": {k: dict(v)
-                             for k, v in self.observations.items()},
-        }
+        """JSON-serializable, self-consistent view of every instrument."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "observations": {k: dict(v)
+                                 for k, v in self.observations.items()},
+            }
 
     def merge(self, snapshot: Optional[dict]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
         Counters add, gauges overwrite, observations combine their
         summaries.  Used to absorb worker-process metrics on the host.
+        The whole merge is one atomic section, so a concurrent
+        :meth:`snapshot` sees either none or all of it.
         """
         if not snapshot:
             return
-        for name, value in snapshot.get("counters", {}).items():
-            self.incr(name, value)
-        for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name, value)
-        for name, summary in snapshot.get("observations", {}).items():
-            mine = self.observations.get(name)
-            if mine is None:
-                self.observations[name] = dict(summary)
-                continue
-            mine["count"] += summary["count"]
-            mine["sum"] += summary["sum"]
-            mine["min"] = min(mine["min"], summary["min"])
-            mine["max"] = max(mine["max"], summary["max"])
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                self.gauges[name] = value
+            for name, summary in snapshot.get("observations", {}).items():
+                mine = self.observations.get(name)
+                if mine is None:
+                    self.observations[name] = dict(summary)
+                    continue
+                mine["count"] += summary["count"]
+                mine["sum"] += summary["sum"]
+                mine["min"] = min(mine["min"], summary["min"])
+                mine["max"] = max(mine["max"], summary["max"])
 
 
 class NullMetrics(MetricsRegistry):

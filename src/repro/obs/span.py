@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
@@ -127,10 +128,16 @@ class _SpanHandle:
         tracer = self._tracer
         span = Span(name=self._name, start=tracer._now(),
                     attrs=self._attrs)
-        parent = tracer._stack[-1] if tracer._stack else None
-        (parent.children if parent is not None
-         else tracer.roots).append(span)
-        tracer._stack.append(span)
+        stack = tracer._stack
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            # The parent span is still open on *this* thread's stack, so
+            # only this thread can be appending to its children.
+            parent.children.append(span)
+        else:
+            with tracer._forest_lock:
+                tracer.roots.append(span)
+        stack.append(span)
         self._span = span
         return span
 
@@ -148,7 +155,13 @@ _TRACE_IDS = itertools.count(1)
 
 
 class Tracer:
-    """Recording tracer: a span forest plus a metrics registry."""
+    """Recording tracer: a span forest plus a metrics registry.
+
+    Safe to share across threads: each thread keeps its *own* open-span
+    stack (spans opened on a thread nest under that thread's enclosing
+    span, never under another thread's), and appends to the shared root
+    forest are locked.  Single-threaded behaviour is unchanged.
+    """
 
     enabled = True
 
@@ -158,11 +171,20 @@ class Tracer:
         self._clock = clock or time.perf_counter
         self._epoch = self._clock()
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._forest_lock = threading.Lock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace_id = trace_id or f"{os.getpid()}-{next(_TRACE_IDS)}"
 
     # ------------------------------------------------------------------
+
+    @property
+    def _stack(self) -> list:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def _now(self) -> float:
         return self._clock() - self._epoch
@@ -216,11 +238,14 @@ class Tracer:
             for span in spans:
                 _shift(span, offset)
         parent = self.current
-        target = parent.children if parent is not None else self.roots
         for span in spans:
             if attrs:
                 span.set(**attrs)
-            target.append(span)
+        if parent is not None:
+            parent.children.extend(spans)
+        else:
+            with self._forest_lock:
+                self.roots.extend(spans)
         return spans
 
 

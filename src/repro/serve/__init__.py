@@ -1,0 +1,62 @@
+"""Multi-tenant accelerator serving: the ``s2fa serve`` daemon.
+
+The layers, bottom-up:
+
+* :mod:`repro.serve.request` — the typed request/response protocol and
+  its JSON-lines wire form (the client-facing failure taxonomy);
+* :mod:`repro.serve.scheduler` — bounded per-tenant queues with
+  weighted-round-robin fair dispatch (admission control + shedding);
+* :mod:`repro.serve.breaker` — per-kernel circuit breaking on the
+  virtual clock (graceful degradation to the JVM path);
+* :mod:`repro.serve.cache` — the content-addressed, singleflight design
+  cache (compile/DSE cost paid once per kernel, process-wide);
+* :mod:`repro.serve.core` — :class:`ServeCore`, the transport-free
+  engine tying those together over one :class:`~repro.blaze.runtime.
+  BlazeRuntime` board fleet;
+* :mod:`repro.serve.daemon` — the threaded unix-socket daemon
+  (``s2fa serve``) with SIGTERM graceful drain;
+* :mod:`repro.serve.client` — the blocking client used by tests, the
+  CLI, and the load harness;
+* :mod:`repro.serve.loadgen` — the deterministic virtual-time load
+  generator (hundreds of synthetic tenants, injected board faults,
+  p50/p99/shed-rate/utilization reporting).
+"""
+
+from .breaker import CircuitBreaker
+from .cache import DesignCache, DesignEntry, design_key
+from .core import ServeCore
+from .request import (
+    DEADLINE_EXCEEDED,
+    ERROR,
+    INVALID,
+    OK,
+    OVERLOADED,
+    RETRYABLE_STATUSES,
+    SHUTTING_DOWN,
+    ServeRequest,
+    ServeResponse,
+    request_from_wire,
+    response_from_wire,
+)
+from .scheduler import FairScheduler, TenantQueue
+
+__all__ = [
+    "CircuitBreaker",
+    "DesignCache",
+    "DesignEntry",
+    "design_key",
+    "ServeCore",
+    "FairScheduler",
+    "TenantQueue",
+    "ServeRequest",
+    "ServeResponse",
+    "request_from_wire",
+    "response_from_wire",
+    "OK",
+    "OVERLOADED",
+    "DEADLINE_EXCEEDED",
+    "SHUTTING_DOWN",
+    "INVALID",
+    "ERROR",
+    "RETRYABLE_STATUSES",
+]

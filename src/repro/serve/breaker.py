@@ -1,0 +1,111 @@
+"""Per-kernel circuit breaker on the virtual clock.
+
+A kernel whose offloads keep failing (faulty boards, corrupt frames)
+burns deadline budget on retries and backoff for every request that
+touches it.  The breaker cuts that waste off: after
+``failure_threshold`` *consecutive* hardware failures the kernel's
+circuit **opens** and requests skip the hardware entirely, completing
+on the JVM fallback path immediately (graceful degradation — answers
+stay bit-identical, only latency accounting changes).  After
+``reset_seconds`` of virtual time a single **half-open** probe is let
+through; success closes the circuit, failure re-opens it with the same
+cooldown.
+
+Deterministic by construction: state depends only on the sequence of
+``allow``/``record_*`` calls and the injected ``now()`` clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Circuit states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class _Circuit:
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    trips: int = 0
+
+
+@dataclass
+class CircuitBreaker:
+    """Keyed circuit breaker (one independent circuit per kernel)."""
+
+    failure_threshold: int = 3
+    reset_seconds: float = 1.0
+    now: Callable[[], float] = lambda: 0.0
+    _circuits: dict[str, _Circuit] = field(default_factory=dict)
+
+    def _circuit(self, key: str) -> _Circuit:
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            circuit = self._circuits[key] = _Circuit()
+        return circuit
+
+    # ------------------------------------------------------------------
+
+    def allow(self, key: str) -> bool:
+        """May the next request for ``key`` try the hardware?
+
+        ``False`` while the circuit is open and cooling down; the first
+        call after the cooldown flips to half-open and is allowed as the
+        probe.
+        """
+        circuit = self._circuit(key)
+        if circuit.state == CLOSED:
+            return True
+        if circuit.state == HALF_OPEN:
+            # One probe is already in flight this cooldown; further
+            # requests keep degrading until it reports back.
+            return False
+        if self.now() - circuit.opened_at >= self.reset_seconds:
+            circuit.state = HALF_OPEN
+            return True
+        return False
+
+    def record_success(self, key: str) -> None:
+        """A hardware offload for ``key`` succeeded."""
+        circuit = self._circuit(key)
+        circuit.state = CLOSED
+        circuit.consecutive_failures = 0
+
+    def record_failure(self, key: str) -> None:
+        """A hardware offload for ``key`` failed (fell back)."""
+        circuit = self._circuit(key)
+        if circuit.state == HALF_OPEN:
+            # Failed probe: straight back to open, restart the cooldown.
+            circuit.state = OPEN
+            circuit.opened_at = self.now()
+            circuit.trips += 1
+            return
+        circuit.consecutive_failures += 1
+        if (circuit.state == CLOSED
+                and circuit.consecutive_failures
+                >= self.failure_threshold):
+            circuit.state = OPEN
+            circuit.opened_at = self.now()
+            circuit.trips += 1
+
+    # ------------------------------------------------------------------
+
+    def state(self, key: str) -> str:
+        """Current state of ``key``'s circuit (CLOSED if never seen)."""
+        circuit = self._circuits.get(key)
+        return circuit.state if circuit else CLOSED
+
+    def trips(self, key: str) -> int:
+        circuit = self._circuits.get(key)
+        return circuit.trips if circuit else 0
+
+    def snapshot(self) -> dict:
+        """JSON-serializable per-key view (daemon stats/state flush)."""
+        return {key: {"state": c.state, "trips": c.trips,
+                      "consecutive_failures": c.consecutive_failures}
+                for key, c in sorted(self._circuits.items())}

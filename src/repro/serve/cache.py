@@ -1,0 +1,137 @@
+"""Content-addressed design cache shared by every tenant.
+
+The compile + DSE pipeline is a pure function of the kernel content
+(source, interface layout, pattern, batch size) and the target device —
+so the daemon memoizes it process-wide.  The address is the SHA-256 of
+exactly those inputs (:func:`design_key`); the cached entry carries the
+compiled kernel, the chosen design config, and the compiled-bytecode
+digest the DSE cache uses (:func:`repro.dse.cache.kernel_digest`), so
+the millionth request for a hot kernel pays zero compile/DSE cost.
+
+**Singleflight:** when many tenants miss on the same key at once, one
+caller builds while the rest wait on its in-flight marker — a thundering
+herd compiles once, not N times.  A failed build wakes the waiters and
+clears the marker so a later request can retry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..compiler.driver import CompiledKernel
+from ..merlin.config import DesignConfig
+
+
+def design_key(source: str, *, layout_repr: str = "", pattern: str = "map",
+               batch_size: int = 1024, device_name: str = "") -> str:
+    """The cache address: SHA-256 over the kernel content + device."""
+    hasher = hashlib.sha256()
+    for part in (source, layout_repr, pattern, str(batch_size),
+                 device_name):
+        hasher.update(part.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()[:24]
+
+
+@dataclass
+class DesignEntry:
+    """One cached design: compiled kernel + chosen configuration."""
+
+    key: str
+    compiled: CompiledKernel
+    config: DesignConfig
+    #: Digest of the compiled kernel (the DSE cache identity), recorded
+    #: so serve stats can be joined against DSE cache/checkpoint state.
+    kernel_digest: str = ""
+    #: Number of requests served from this entry (first build included).
+    uses: int = 0
+
+
+class _InFlight:
+    """Marker for a build in progress (singleflight rendezvous)."""
+
+    __slots__ = ("done", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.error: Optional[BaseException] = None
+
+
+class DesignCache:
+    """Thread-safe, singleflight, content-addressed design store."""
+
+    def __init__(self, metrics=None) -> None:
+        self._entries: dict[str, DesignEntry] = {}
+        self._building: dict[str, _InFlight] = {}
+        self._lock = threading.Lock()
+        self._metrics = metrics
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.incr(name)
+
+    # ------------------------------------------------------------------
+
+    def get_or_build(self, key: str,
+                     build: Callable[[], DesignEntry]) -> DesignEntry:
+        """The entry for ``key``, building it (once) on a miss.
+
+        Concurrent callers for the same missing key rendezvous: exactly
+        one runs ``build``, the rest block until it lands and then share
+        the result.  If the build raises, every waiter sees the same
+        exception and the key becomes buildable again.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    entry.uses += 1
+                    self._count("serve.cache.hits")
+                    return entry
+                flight = self._building.get(key)
+                if flight is None:
+                    flight = self._building[key] = _InFlight()
+                    builder = True
+                else:
+                    builder = False
+            if not builder:
+                flight.done.wait()
+                if flight.error is not None:
+                    raise flight.error
+                continue        # entry landed; re-read under the lock
+            try:
+                entry = build()
+            except BaseException as exc:
+                with self._lock:
+                    flight.error = exc
+                    del self._building[key]
+                flight.done.set()
+                raise
+            with self._lock:
+                entry.uses += 1
+                self._entries[key] = entry
+                del self._building[key]
+            self._count("serve.cache.misses")
+            flight.done.set()
+            return entry
+
+    def peek(self, key: str) -> Optional[DesignEntry]:
+        """The entry if present (no build, no hit accounting)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Per-entry use counts plus totals (daemon stats surface)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "uses": {key: entry.uses
+                         for key, entry in sorted(self._entries.items())},
+            }

@@ -1,0 +1,98 @@
+"""Blocking client of the serve daemon (tests, CLI, demos).
+
+One :class:`ServeClient` is one connection speaking the JSON-lines
+protocol of :mod:`repro.serve.request`.  Each call sends one request
+and blocks for its response; ``check=True`` raises
+:class:`~repro.errors.ServeError` on any non-``OK`` status (the error
+carries ``status``/``retryable``/``retry_after_s``, so callers can
+implement retry loops against the daemon's backpressure hints).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+from typing import Optional
+
+from ..errors import ServeError
+from .request import (
+    OP_COMPILE,
+    OP_OFFLOAD,
+    OP_PING,
+    OP_STATS,
+    ServeResponse,
+    decode_line,
+    encode_line,
+    response_from_wire,
+)
+
+_CLIENT_IDS = itertools.count(1)
+
+
+class ServeClient:
+    """One blocking connection to a serve daemon."""
+
+    def __init__(self, socket_path: str, *, tenant: str = "default",
+                 timeout: Optional[float] = 30.0):
+        self.tenant = tenant
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._reader = self._sock.makefile("rb")
+        self._prefix = f"c{os.getpid()}-{next(_CLIENT_IDS)}"
+        self._seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+
+    def call(self, op: str, *, check: bool = False,
+             **fields) -> ServeResponse:
+        """Send one request; block for (and return) its response."""
+        request = {"request_id": f"{self._prefix}-{next(self._seq)}",
+                   "op": op, "tenant": self.tenant}
+        request.update({k: v for k, v in fields.items()
+                        if v is not None})
+        self._sock.sendall(encode_line(request))
+        line = self._reader.readline()
+        if not line:
+            raise ServeError(
+                "the daemon closed the connection without answering")
+        response = response_from_wire(decode_line(line))
+        return response.raise_for_status() if check else response
+
+    # -- convenience verbs ---------------------------------------------
+
+    def ping(self, **fields) -> ServeResponse:
+        return self.call(OP_PING, **fields)
+
+    def compile(self, app: str, *, explore: bool = False,
+                **fields) -> ServeResponse:
+        return self.call(OP_COMPILE, app=app, explore=explore, **fields)
+
+    def offload(self, app: str, *, n_tasks: int, data_seed: int = 21,
+                deadline_s: Optional[float] = None,
+                **fields) -> ServeResponse:
+        return self.call(OP_OFFLOAD, app=app, n_tasks=n_tasks,
+                         data_seed=data_seed, deadline_s=deadline_s,
+                         **fields)
+
+    def stats(self, **fields) -> ServeResponse:
+        return self.call(OP_STATS, **fields)
+
+
+__all__ = ["ServeClient"]

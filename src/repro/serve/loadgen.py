@@ -1,0 +1,294 @@
+"""Deterministic load harness for the serve core.
+
+Simulates hundreds of synthetic clients against a :class:`ServeCore`
+**entirely on the virtual clock** — no threads, no sleeps, no wall
+time.  Arrivals are pre-scheduled from a seeded RNG (per-client Poisson
+inter-arrival times, a hot/cold kernel mix, per-tenant assignment);
+execution replays them through a textbook single-server queue
+simulation:
+
+* when the dispatcher is idle and the next arrival is in the future,
+  the clock jumps to the arrival;
+* when requests are queued, the dispatcher serves them back-to-back
+  (each ``core.step()`` advances the clock by the virtual service
+  time), and any arrival whose time passes while serving is admitted
+  with its *scheduled* arrival stamp — queueing delay is measured from
+  when the request arrived, not when the dispatcher noticed.
+
+Same seed + same profile ⇒ the identical request trace, the identical
+responses, and the identical latency distribution, under any fault
+plan.  The report (:class:`LoadReport`) carries p50/p99 latency, shed
+rate, board utilization, per-status counts, and the lost/duplicate
+accounting the acceptance harness asserts on; ``verify=True``
+additionally checks every completed offload bit-for-bit against the
+app's pure-Python oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import ServeConfig
+from ..errors import ServeError
+from .core import ServeCore
+from .request import (
+    DEADLINE_EXCEEDED,
+    OK,
+    OP_OFFLOAD,
+    RETRYABLE_STATUSES,
+    ServeRequest,
+    ServeResponse,
+)
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One synthetic traffic shape (fully determined by ``seed``)."""
+
+    #: Synthetic clients; client ``i`` belongs to tenant
+    #: ``t{i % tenants}``.
+    clients: int = 100
+    #: Tenants the clients are spread across.
+    tenants: int = 4
+    #: Requests issued per client.
+    requests_per_client: int = 2
+    #: Mean inter-arrival time per client, virtual seconds (Poisson).
+    mean_interarrival_s: float = 0.05
+    #: Kernel mix: ``hot_fraction`` of requests hit ``hot_app``, the
+    #: rest spread uniformly over ``cold_apps``.
+    hot_app: str = "KMeans"
+    cold_apps: tuple = ("PR", "LR")
+    hot_fraction: float = 0.8
+    #: Tasks per offload request.
+    n_tasks: int = 6
+    #: Per-request deadline, virtual seconds (None: unbounded).
+    deadline_s: Optional[float] = None
+    #: RNG seed for the whole trace.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ServeError(f"clients must be >= 1, got {self.clients}")
+        if self.tenants < 1:
+            raise ServeError(f"tenants must be >= 1, got {self.tenants}")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ServeError("hot_fraction must be in [0, 1], got "
+                             f"{self.hot_fraction}")
+        if self.mean_interarrival_s <= 0:
+            raise ServeError("mean_interarrival_s must be positive, "
+                             f"got {self.mean_interarrival_s}")
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run produced (the acceptance surface)."""
+
+    submitted: int = 0
+    responses: list[ServeResponse] = field(default_factory=list)
+    by_status: dict[str, int] = field(default_factory=dict)
+    #: Requests rejected at admission (OVERLOADED / SHUTTING_DOWN).
+    shed: int = 0
+    degraded: int = 0
+    cache_hits: int = 0
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    utilization: float = 0.0
+    virtual_duration_s: float = 0.0
+    #: Acceptance accounting: every submitted request must produce
+    #: exactly one response (no losses, no duplicates).
+    lost: int = 0
+    duplicates: int = 0
+    #: ``verify=True`` offload mismatches against the JVM oracle.
+    mismatches: int = 0
+    per_tenant: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return self.by_status.get(OK, 0)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"requests submitted      {self.submitted}",
+            f"completed OK            {self.completed}",
+            f"shed (admission)        {self.shed} "
+            f"({100 * self.shed_rate:.1f}%)",
+            f"deadline exceeded       "
+            f"{self.by_status.get(DEADLINE_EXCEEDED, 0)}",
+            f"degraded (JVM path)     {self.degraded}",
+            f"design cache hits       {self.cache_hits}",
+            f"p50 latency             {self.p50_latency_s * 1e3:.3f} ms "
+            f"(virtual)",
+            f"p99 latency             {self.p99_latency_s * 1e3:.3f} ms "
+            f"(virtual)",
+            f"board utilization       {100 * self.utilization:.1f}%",
+            f"virtual duration        {self.virtual_duration_s:.4f} s",
+            f"lost / duplicated       {self.lost} / {self.duplicates}",
+        ]
+        if self.mismatches:
+            lines.append(f"ORACLE MISMATCHES       {self.mismatches}")
+        return "\n".join(lines)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def build_trace(profile: LoadProfile) -> list[ServeRequest]:
+    """The deterministic arrival trace: requests sorted by arrival."""
+    rng = random.Random(profile.seed)
+    requests: list[ServeRequest] = []
+    for client in range(profile.clients):
+        tenant = f"t{client % profile.tenants}"
+        at = 0.0
+        for n in range(profile.requests_per_client):
+            at += rng.expovariate(1.0 / profile.mean_interarrival_s)
+            if rng.random() < profile.hot_fraction or \
+                    not profile.cold_apps:
+                app = profile.hot_app
+            else:
+                app = profile.cold_apps[
+                    rng.randrange(len(profile.cold_apps))]
+            requests.append(ServeRequest(
+                request_id=f"{tenant}-c{client}-{n}",
+                op=OP_OFFLOAD, tenant=tenant, app=app,
+                n_tasks=profile.n_tasks,
+                data_seed=profile.seed + client,
+                deadline_s=profile.deadline_s,
+                arrived_at=at))
+    requests.sort(key=lambda r: (r.arrived_at, r.request_id))
+    return requests
+
+
+def run_load(core: ServeCore, profile: LoadProfile, *,
+             verify: bool = False) -> LoadReport:
+    """Replay ``profile``'s trace through ``core`` and report.
+
+    Single-threaded single-server queue simulation on the core's
+    virtual clock (see the module docstring).  With ``verify`` every
+    ``OK`` offload response is checked bit-for-bit against the app's
+    pure-Python reference oracle.
+    """
+    trace = build_trace(profile)
+    report = LoadReport(submitted=len(trace))
+    clock = core.clock
+    seen: set[str] = set()
+    latencies: list[float] = []
+
+    def record(response: ServeResponse) -> None:
+        if response.request_id in seen:
+            report.duplicates += 1
+        seen.add(response.request_id)
+        report.responses.append(response)
+        report.by_status[response.status] = \
+            report.by_status.get(response.status, 0) + 1
+        if response.status in RETRYABLE_STATUSES:
+            report.shed += 1
+        if response.degraded:
+            report.degraded += 1
+        if response.cache_hit:
+            report.cache_hits += 1
+        if response.ok:
+            latencies.append(response.latency_seconds)
+
+    index = 0
+    while index < len(trace) or core.queued() > 0:
+        next_at = trace[index].arrived_at if index < len(trace) else None
+        if next_at is not None and \
+                (core.queued() == 0 or next_at <= clock.now):
+            request = trace[index]
+            index += 1
+            if clock.now < request.arrived_at:
+                clock.advance(request.arrived_at - clock.now)
+            report.per_tenant[request.tenant] = \
+                report.per_tenant.get(request.tenant, 0) + 1
+            rejection = core.submit(request)
+            if rejection is not None:
+                record(rejection)
+            continue
+        response = core.step()
+        if response is None:              # pragma: no cover — backstop
+            break
+        record(response)
+
+    report.lost = report.submitted - len(report.responses)
+    report.p50_latency_s = _percentile(latencies, 0.50)
+    report.p99_latency_s = _percentile(latencies, 0.99)
+    report.max_latency_s = max(latencies, default=0.0)
+    report.utilization = core.utilization()
+    report.virtual_duration_s = clock.now - core.started_at
+    if verify:
+        report.mismatches = _verify(
+            {request.request_id: request for request in trace}, report)
+    _publish(core, report)
+    return report
+
+
+def _verify(requests_by_id: dict[str, ServeRequest],
+            report: LoadReport) -> int:
+    """Count OK offload responses that differ from the JVM oracle.
+
+    The invariant under test: whatever the serving pipeline did —
+    accelerated, retried across faults, degraded to the JVM path — a
+    completed request's payload is bit-identical to the app's
+    pure-Python reference over the same deterministic workload.
+    """
+    from ..apps import get_app
+
+    oracle_cache: dict[tuple, list] = {}
+    mismatches = 0
+    for response in report.responses:
+        request = requests_by_id.get(response.request_id)
+        if request is None or not response.ok \
+                or request.op != OP_OFFLOAD:
+            continue
+        key = (request.app, request.n_tasks, request.data_seed)
+        expected = oracle_cache.get(key)
+        if expected is None:
+            spec = get_app(request.app)
+            tasks = spec.functional_tasks_for(request.n_tasks,
+                                              seed=request.data_seed)
+            if spec.pattern == "filter":
+                expected = [t for t in tasks if spec.reference(t)]
+            else:
+                expected = [spec.reference(t) for t in tasks]
+            oracle_cache[key] = expected
+        if response.result != expected:
+            mismatches += 1
+    return mismatches
+
+
+def _publish(core: ServeCore, report: LoadReport) -> None:
+    """Push the headline numbers into the core's metrics registry."""
+    metrics = core.metrics
+    metrics.gauge("serve.load.p50_latency_s", report.p50_latency_s)
+    metrics.gauge("serve.load.p99_latency_s", report.p99_latency_s)
+    metrics.gauge("serve.load.shed_rate", report.shed_rate)
+    metrics.gauge("serve.load.utilization", report.utilization)
+    metrics.gauge("serve.load.submitted", report.submitted)
+    metrics.gauge("serve.load.lost", report.lost)
+    metrics.gauge("serve.load.duplicates", report.duplicates)
+
+
+def run_profile(profile: LoadProfile,
+                config: Optional[ServeConfig] = None, *,
+                verify: bool = False,
+                tracer=None) -> tuple[ServeCore, LoadReport]:
+    """Build a fresh core, run ``profile``, return (core, report)."""
+    core = ServeCore(config, tracer=tracer)
+    report = run_load(core, profile, verify=verify)
+    return core, report
+
+
+__all__ = ["LoadProfile", "LoadReport", "build_trace", "run_load",
+           "run_profile"]

@@ -1,0 +1,222 @@
+"""Request/response protocol of the serve daemon.
+
+One :class:`ServeRequest` is a single unit of tenant work — a compile,
+an offload batch, or a control ping — and every request gets exactly one
+:class:`ServeResponse`, terminal and immutable.  Rejections are *typed*:
+each non-``OK`` status names one failure mode of the admission/queueing/
+execution pipeline, and ``retryable`` tells clients whether resubmitting
+the identical request can succeed (``OVERLOADED`` and ``SHUTTING_DOWN``
+are retryable; a blown deadline or a bad request is not).
+
+The wire form is JSON-lines (one object per line over the daemon's unix
+socket); :func:`request_from_wire` / :meth:`ServeResponse.to_wire` are
+the only places that shape is defined.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ServeError
+
+# ----------------------------------------------------------------------
+# Response status codes (the client-facing failure taxonomy).
+# ----------------------------------------------------------------------
+
+#: The request completed; ``result`` holds its payload.
+OK = "OK"
+#: Admission control shed the request: the tenant queue (or the global
+#: queue budget) is full.  Retryable after ``retry_after_s``.
+OVERLOADED = "OVERLOADED"
+#: The request's deadline expired before (or while) it was served.
+#: Not retryable as-is: the same deadline would expire again.
+DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
+#: The daemon is draining: it no longer admits or starts work.
+#: Retryable — against the next daemon instance.
+SHUTTING_DOWN = "SHUTTING_DOWN"
+#: The request itself is malformed (unknown op/app, bad payload).
+INVALID = "INVALID"
+#: The pipeline raised while serving the request (compile error, ...).
+ERROR = "ERROR"
+
+#: Statuses a client may retry verbatim.
+RETRYABLE_STATUSES = frozenset({OVERLOADED, SHUTTING_DOWN})
+
+#: Request operations.
+OP_PING = "ping"
+OP_COMPILE = "compile"
+OP_OFFLOAD = "offload"
+OP_STATS = "stats"
+ALL_OPS = (OP_PING, OP_COMPILE, OP_OFFLOAD, OP_STATS)
+
+
+@dataclass
+class ServeRequest:
+    """One unit of tenant work submitted to the serve core.
+
+    ``tasks`` carries an in-process task payload (the loadgen and tests
+    use this); over the wire, clients instead send ``n_tasks`` +
+    ``data_seed`` and the daemon generates the workload server-side from
+    the app's deterministic generator, so results stay bit-identical to
+    a local run without shipping task objects through JSON.
+    """
+
+    request_id: str
+    op: str = OP_PING
+    tenant: str = "default"
+    #: Built-in app name (or raw Scala source for ``compile``).
+    app: Optional[str] = None
+    #: In-process task payload (mutually exclusive with ``n_tasks``).
+    tasks: Optional[list] = None
+    #: Server-side workload: ``spec.functional_tasks_for(n_tasks, seed)``.
+    n_tasks: Optional[int] = None
+    data_seed: int = 21
+    #: Relative deadline in virtual seconds from admission (None: none).
+    deadline_s: Optional[float] = None
+    #: Raw-source kernels only: the offload pattern and batch size
+    #: (built-in apps carry their own; defaults: ``map`` / 1024).
+    pattern: Optional[str] = None
+    batch_size: Optional[int] = None
+    #: For ``compile``: also run design space exploration and cache the
+    #: explored design (the expensive path the design cache amortizes).
+    explore: bool = False
+    #: Virtual time of arrival.  Stamped by the core at admission unless
+    #: the caller pre-stamped it (the load generator schedules arrivals
+    #: on the virtual clock ahead of submission).
+    arrived_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPS:
+            raise ServeError(f"unknown op {self.op!r} "
+                             f"(expected one of {', '.join(ALL_OPS)})")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ServeError(
+                f"deadline_s must be positive, got {self.deadline_s}")
+
+    @property
+    def deadline_at(self) -> Optional[float]:
+        """Absolute virtual-time deadline (None when unbounded)."""
+        if self.deadline_s is None or self.arrived_at is None:
+            return None
+        return self.arrived_at + self.deadline_s
+
+
+@dataclass
+class ServeResponse:
+    """The terminal outcome of one request."""
+
+    request_id: str
+    status: str = OK
+    result: Any = None
+    error: str = ""
+    #: May an identical resubmission succeed?
+    retryable: bool = False
+    #: Backpressure hint: virtual seconds to wait before retrying.
+    retry_after_s: Optional[float] = None
+    #: Virtual seconds spent queued (admission -> dispatch).
+    queue_seconds: float = 0.0
+    #: Virtual seconds spent executing (dispatch -> completion).
+    service_seconds: float = 0.0
+    #: The design cache served this request's compile/DSE cost.
+    cache_hit: bool = False
+    #: The request completed via the degraded (JVM fallback) path —
+    #: e.g. its kernel's circuit breaker was open or the boards faulted.
+    degraded: bool = False
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end virtual latency (queueing + service)."""
+        return self.queue_seconds + self.service_seconds
+
+    def raise_for_status(self) -> "ServeResponse":
+        """Return self when ``OK``; raise the mapped error otherwise."""
+        if self.ok:
+            return self
+        raise ServeError(
+            f"{self.status}: {self.error or 'request failed'}",
+            status=self.status, retryable=self.retryable,
+            retry_after_s=self.retry_after_s)
+
+    def to_wire(self) -> dict:
+        """JSON-serializable wire form (inverse of
+        :func:`response_from_wire`)."""
+        return {
+            "request_id": self.request_id,
+            "status": self.status,
+            "result": self.result,
+            "error": self.error,
+            "retryable": self.retryable,
+            "retry_after_s": self.retry_after_s,
+            "queue_seconds": self.queue_seconds,
+            "service_seconds": self.service_seconds,
+            "cache_hit": self.cache_hit,
+            "degraded": self.degraded,
+            "extra": self.extra,
+        }
+
+
+def response_from_wire(data: dict) -> ServeResponse:
+    """Parse one wire-form response object."""
+    return ServeResponse(
+        request_id=str(data.get("request_id", "")),
+        status=str(data.get("status", ERROR)),
+        result=data.get("result"),
+        error=str(data.get("error", "")),
+        retryable=bool(data.get("retryable", False)),
+        retry_after_s=data.get("retry_after_s"),
+        queue_seconds=float(data.get("queue_seconds", 0.0)),
+        service_seconds=float(data.get("service_seconds", 0.0)),
+        cache_hit=bool(data.get("cache_hit", False)),
+        degraded=bool(data.get("degraded", False)),
+        extra=dict(data.get("extra", {})))
+
+
+def request_from_wire(data: dict) -> ServeRequest:
+    """Parse one wire-form request object (raises ServeError if bad)."""
+    if not isinstance(data, dict):
+        raise ServeError(f"request must be a JSON object, got "
+                         f"{type(data).__name__}", status=INVALID)
+    request_id = data.get("request_id")
+    if not request_id or not isinstance(request_id, str):
+        raise ServeError("request needs a string request_id",
+                         status=INVALID)
+    n_tasks = data.get("n_tasks")
+    deadline = data.get("deadline_s")
+    try:
+        return ServeRequest(
+            request_id=request_id,
+            op=str(data.get("op", OP_PING)),
+            tenant=str(data.get("tenant", "default")),
+            app=data.get("app"),
+            n_tasks=None if n_tasks is None else int(n_tasks),
+            data_seed=int(data.get("data_seed", 21)),
+            deadline_s=None if deadline is None else float(deadline),
+            pattern=data.get("pattern"),
+            batch_size=(None if data.get("batch_size") is None
+                        else int(data["batch_size"])),
+            explore=bool(data.get("explore", False)))
+    except (TypeError, ValueError) as exc:
+        raise ServeError(f"malformed request: {exc}",
+                         status=INVALID) from None
+
+
+def encode_line(obj: dict) -> bytes:
+    """One protocol frame: compact JSON + newline."""
+    return (json.dumps(obj, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode()
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one protocol frame (raises ServeError on garbage)."""
+    try:
+        return json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"undecodable protocol frame: {exc}",
+                         status=INVALID) from None

@@ -1,0 +1,93 @@
+"""Per-kernel circuit breaker state machine (virtual clock)."""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def _breaker(threshold=3, reset=1.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=threshold,
+                             reset_seconds=reset,
+                             now=lambda: clock.now)
+    return clock, breaker
+
+
+class TestOpening:
+    def test_closed_allows(self):
+        _, b = _breaker()
+        assert b.allow("k")
+        assert b.state("k") == CLOSED
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        _, b = _breaker(threshold=3)
+        for _ in range(2):
+            b.record_failure("k")
+        assert b.state("k") == CLOSED
+        b.record_failure("k")
+        assert b.state("k") == OPEN
+        assert not b.allow("k")
+        assert b.trips("k") == 1
+
+    def test_success_resets_the_failure_streak(self):
+        _, b = _breaker(threshold=3)
+        b.record_failure("k")
+        b.record_failure("k")
+        b.record_success("k")
+        b.record_failure("k")
+        b.record_failure("k")
+        assert b.state("k") == CLOSED    # streak broken, never tripped
+
+    def test_circuits_are_independent_per_kernel(self):
+        _, b = _breaker(threshold=1)
+        b.record_failure("bad")
+        assert not b.allow("bad")
+        assert b.allow("good")
+
+
+class TestHalfOpenProbe:
+    def test_cooldown_then_single_probe(self):
+        clock, b = _breaker(threshold=1, reset=2.0)
+        b.record_failure("k")
+        assert not b.allow("k")
+        clock.now = 1.9
+        assert not b.allow("k")          # still cooling down
+        clock.now = 2.0
+        assert b.allow("k")              # the probe
+        assert b.state("k") == HALF_OPEN
+        assert not b.allow("k")          # only one probe in flight
+
+    def test_probe_success_closes(self):
+        clock, b = _breaker(threshold=1, reset=1.0)
+        b.record_failure("k")
+        clock.now = 1.0
+        assert b.allow("k")
+        b.record_success("k")
+        assert b.state("k") == CLOSED
+        assert b.allow("k")
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        clock, b = _breaker(threshold=1, reset=1.0)
+        b.record_failure("k")
+        clock.now = 1.0
+        assert b.allow("k")              # probe
+        b.record_failure("k")            # probe failed
+        assert b.state("k") == OPEN
+        assert b.trips("k") == 2
+        clock.now = 1.5
+        assert not b.allow("k")          # cooldown restarted at 1.0
+        clock.now = 2.0
+        assert b.allow("k")
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        clock, b = _breaker(threshold=1)
+        b.record_failure("k")
+        snap = b.snapshot()
+        assert snap == {"k": {"state": OPEN, "trips": 1,
+                              "consecutive_failures": 1}}
+        del clock

@@ -1,0 +1,127 @@
+"""Content-addressed design cache: keying and singleflight builds."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve.cache import DesignCache, DesignEntry, design_key
+
+
+class TestDesignKey:
+    def test_same_inputs_same_key(self):
+        a = design_key("src", layout_repr="L", pattern="map",
+                       batch_size=64, device_name="vu9p")
+        b = design_key("src", layout_repr="L", pattern="map",
+                       batch_size=64, device_name="vu9p")
+        assert a == b
+
+    def test_any_input_changes_the_key(self):
+        base = dict(layout_repr="L", pattern="map", batch_size=64,
+                    device_name="vu9p")
+        key = design_key("src", **base)
+        assert design_key("src2", **base) != key
+        assert design_key("src", **{**base, "pattern": "filter"}) != key
+        assert design_key("src", **{**base, "batch_size": 128}) != key
+        assert design_key("src", **{**base, "device_name": "x"}) != key
+
+    def test_no_concatenation_collisions(self):
+        # "ab"+"c" must not collide with "a"+"bc" (field separator).
+        a = design_key("ab", layout_repr="c")
+        b = design_key("a", layout_repr="bc")
+        assert a != b
+
+
+def _entry(key):
+    return DesignEntry(key=key, compiled=object(), config=None)
+
+
+class TestGetOrBuild:
+    def test_builds_once_then_hits(self):
+        cache = DesignCache(metrics=MetricsRegistry())
+        builds = []
+
+        def build():
+            builds.append(1)
+            return _entry("k")
+
+        first = cache.get_or_build("k", build)
+        second = cache.get_or_build("k", build)
+        assert first is second
+        assert len(builds) == 1
+        assert second.uses == 2
+        assert cache._metrics.counter("serve.cache.hits") == 1
+        assert cache._metrics.counter("serve.cache.misses") == 1
+
+    def test_singleflight_under_contention(self):
+        cache = DesignCache()
+        builds = []
+        release = threading.Event()
+
+        def build():
+            builds.append(threading.get_ident())
+            release.wait(timeout=5)
+            return _entry("k")
+
+        results = []
+        threads = [threading.Thread(
+            target=lambda: results.append(cache.get_or_build("k", build)))
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1          # exactly one builder ran
+        assert len(results) == 8
+        assert all(r is results[0] for r in results)
+        assert results[0].uses == 8
+
+    def test_failed_build_propagates_and_clears(self):
+        cache = DesignCache()
+
+        def explode():
+            raise RuntimeError("synth failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build("k", explode)
+        # The key is buildable again after the failure.
+        entry = cache.get_or_build("k", lambda: _entry("k"))
+        assert entry.key == "k"
+        assert len(cache) == 1
+
+    def test_failed_build_wakes_waiters_with_the_error(self):
+        cache = DesignCache()
+        started = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        def slow_explode():
+            started.set()
+            release.wait(timeout=5)
+            raise RuntimeError("boom")
+
+        def waiter():
+            try:
+                cache.get_or_build("k", slow_explode)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=waiter) for _ in range(3)]
+        threads[0].start()
+        started.wait(timeout=5)
+        for t in threads[1:]:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join()
+        assert errors == ["boom"] * 3
+
+    def test_peek_and_stats(self):
+        cache = DesignCache()
+        assert cache.peek("k") is None
+        cache.get_or_build("k", lambda: _entry("k"))
+        assert cache.peek("k") is not None
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["uses"] == {"k": 1}

@@ -1,0 +1,175 @@
+"""The threaded daemon + client over a real unix socket (in-process)."""
+
+import json
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.config import RuntimeConfig, ServeConfig
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+from repro.serve.daemon import DRAIN_EXIT_CODE, ServeDaemon
+from repro.serve.request import encode_line
+
+
+@pytest.fixture
+def sock_path(tmp_path):
+    return str(tmp_path / "s2fa.sock")
+
+
+@pytest.fixture
+def daemon(sock_path, tmp_path):
+    d = ServeDaemon(sock_path, ServeConfig(replicas=2),
+                    state_path=str(tmp_path / "state.json"))
+    d.start()
+    yield d
+    d.shutdown()
+
+
+class TestProtocol:
+    def test_ping_roundtrip(self, daemon, sock_path):
+        with ServeClient(sock_path) as client:
+            response = client.ping()
+            assert response.ok
+            assert "virtual_now" in response.result
+
+    def test_offload_roundtrip(self, daemon, sock_path):
+        with ServeClient(sock_path, tenant="alice") as client:
+            response = client.offload("KMeans", n_tasks=5)
+            assert response.ok
+            assert len(response.result) == 5
+            assert response.extra["tasks"] == 5
+
+    def test_compile_then_cached(self, daemon, sock_path):
+        with ServeClient(sock_path) as client:
+            first = client.compile("KMeans")
+            second = client.compile("KMeans")
+            assert first.ok and second.ok
+            assert not first.cache_hit and second.cache_hit
+
+    def test_check_raises_typed_error(self, daemon, sock_path):
+        with ServeClient(sock_path) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.call("offload", app="KMeans", check=True)
+            assert excinfo.value.status == "INVALID"
+
+    def test_garbage_line_gets_invalid_response(self, daemon,
+                                                sock_path):
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.settimeout(10)
+        raw.connect(sock_path)
+        try:
+            raw.sendall(b"this is not json\n")
+            line = raw.makefile("rb").readline()
+            assert json.loads(line)["status"] == "INVALID"
+        finally:
+            raw.close()
+
+    def test_duplicate_in_flight_request_id_rejected(self, daemon,
+                                                     sock_path):
+        # Two *sequential* uses of one id are fine (the first mailbox
+        # is gone); the INVALID arm needs a concurrent duplicate, which
+        # we fake by pre-registering the mailbox.
+        from repro.serve.daemon import _Mailbox
+
+        daemon._mailboxes["dup"] = _Mailbox()
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.settimeout(10)
+        raw.connect(sock_path)
+        try:
+            raw.sendall(encode_line({"request_id": "dup", "op": "ping"}))
+            line = raw.makefile("rb").readline()
+            assert json.loads(line)["status"] == "INVALID"
+        finally:
+            raw.close()
+            daemon._mailboxes.pop("dup", None)
+
+
+class TestConcurrentClients:
+    def test_many_clients_all_served_exactly_once(self, daemon,
+                                                  sock_path):
+        results: list = []
+        errors: list = []
+
+        def worker(i):
+            try:
+                with ServeClient(sock_path,
+                                 tenant=f"t{i % 3}") as client:
+                    for _ in range(4):
+                        response = client.offload("KMeans", n_tasks=4)
+                        results.append(
+                            (response.request_id, response.status,
+                             json.dumps(response.result)))
+            except Exception as exc:      # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 40
+        assert all(status == "OK" for _, status, _ in results)
+        # exactly-once: every request id answered exactly once
+        ids = [rid for rid, _, _ in results]
+        assert len(set(ids)) == 40
+        # all clients got the identical payload for identical work
+        assert len({payload for _, _, payload in results}) == 1
+
+    def test_mixed_tenants_and_apps(self, daemon, sock_path):
+        statuses: list = []
+
+        def worker(i):
+            app = ("KMeans", "PR", "LR")[i % 3]
+            with ServeClient(sock_path, tenant=f"t{i}") as client:
+                statuses.append(client.offload(app, n_tasks=3).status)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert statuses == ["OK"] * 6
+
+
+class TestDrain:
+    def test_shutdown_flushes_state(self, sock_path, tmp_path):
+        state = str(tmp_path / "state.json")
+        daemon = ServeDaemon(sock_path, ServeConfig(replicas=1),
+                             state_path=state)
+        daemon.start()
+        with ServeClient(sock_path) as client:
+            assert client.offload("KMeans", n_tasks=4).ok
+        daemon.shutdown()
+        snapshot = json.load(open(state))
+        assert snapshot["drained"] is True
+        assert snapshot["metrics"]["counters"]["serve.completed"] >= 1
+        assert not os.path.exists(sock_path)      # socket cleaned up
+
+    def test_submissions_after_drain_are_rejected(self, sock_path):
+        daemon = ServeDaemon(sock_path, ServeConfig(replicas=1))
+        daemon.start()
+        daemon.shutdown()
+        from repro.serve.request import ServeRequest
+
+        rejection = daemon.core.submit(
+            ServeRequest(request_id="late", op="ping"))
+        assert rejection is not None
+        assert rejection.status == "SHUTTING_DOWN"
+        assert rejection.retryable
+
+    def test_shutdown_is_idempotent(self, sock_path):
+        daemon = ServeDaemon(sock_path, ServeConfig(replicas=1))
+        daemon.start()
+        daemon.shutdown()
+        daemon.shutdown()                          # no error
+
+    def test_drain_exit_code_matches_cli_contract(self):
+        from repro.cli import EXIT_INTERRUPTED
+
+        assert DRAIN_EXIT_CODE == EXIT_INTERRUPTED

@@ -1,0 +1,152 @@
+"""Deterministic load harness: determinism, shedding, fault injection.
+
+These are the acceptance checks of the serving tentpole: a fixed-seed
+multi-tenant load run — with board faults injected mid-traffic —
+completes with zero lost or duplicated requests, every completed
+result bit-identical to the single-client oracle, and sane latency /
+shed-rate / utilization accounting.
+"""
+
+import pytest
+
+from repro.config import RuntimeConfig, ServeConfig
+from repro.serve.loadgen import LoadProfile, build_trace, run_profile
+from repro.serve.request import DEADLINE_EXCEEDED, OK, OVERLOADED
+
+NOMINAL = LoadProfile(clients=100, tenants=4, requests_per_client=2,
+                      mean_interarrival_s=0.05, n_tasks=5, seed=7)
+
+#: 10x the nominal arrival rate into a single replica with tiny queues.
+OVERLOAD = LoadProfile(clients=100, tenants=4, requests_per_client=2,
+                       mean_interarrival_s=0.005, n_tasks=5, seed=7)
+
+
+class TestTrace:
+    def test_trace_is_deterministic(self):
+        a = build_trace(NOMINAL)
+        b = build_trace(NOMINAL)
+        assert [(r.request_id, r.arrived_at, r.app, r.tenant)
+                for r in a] \
+            == [(r.request_id, r.arrived_at, r.app, r.tenant)
+                for r in b]
+
+    def test_seed_changes_the_trace(self):
+        a = build_trace(NOMINAL)
+        b = build_trace(LoadProfile(clients=100, tenants=4,
+                                    requests_per_client=2,
+                                    mean_interarrival_s=0.05,
+                                    n_tasks=5, seed=8))
+        assert [r.arrived_at for r in a] != [r.arrived_at for r in b]
+
+    def test_trace_is_sorted_and_mixed(self):
+        trace = build_trace(NOMINAL)
+        assert len(trace) == 200
+        arrivals = [r.arrived_at for r in trace]
+        assert arrivals == sorted(arrivals)
+        apps = {r.app for r in trace}
+        assert NOMINAL.hot_app in apps
+        assert apps & set(NOMINAL.cold_apps)      # cold kernels appear
+        assert {r.tenant for r in trace} \
+            == {f"t{i}" for i in range(4)}
+
+
+class TestNominalLoad:
+    def test_zero_shed_all_verified(self):
+        core, report = run_profile(NOMINAL, ServeConfig(replicas=2),
+                                   verify=True)
+        assert report.submitted == 200
+        assert report.lost == 0
+        assert report.duplicates == 0
+        assert report.mismatches == 0
+        assert report.shed == 0
+        assert report.completed == 200
+        assert report.p50_latency_s > 0
+        assert report.p99_latency_s >= report.p50_latency_s
+        assert 0 <= report.utilization <= 1
+        # Headline numbers land in the metrics registry.
+        gauges = core.metrics.snapshot()["gauges"]
+        assert gauges["serve.load.shed_rate"] == 0.0
+        assert gauges["serve.load.lost"] == 0
+
+    def test_identical_runs_are_bit_identical(self):
+        _, a = run_profile(NOMINAL, ServeConfig(replicas=2))
+        _, b = run_profile(NOMINAL, ServeConfig(replicas=2))
+        assert [(r.request_id, r.status, r.result)
+                for r in a.responses] \
+            == [(r.request_id, r.status, r.result)
+                for r in b.responses]
+        assert a.p99_latency_s == b.p99_latency_s
+
+    def test_design_cache_amortizes_across_tenants(self):
+        _, report = run_profile(NOMINAL, ServeConfig(replicas=2))
+        # 3 distinct kernels -> at most 3 cold builds across 200 reqs.
+        assert report.cache_hits >= report.submitted - 3
+
+
+class TestOverload:
+    def test_overload_sheds_bounded_never_collapses(self):
+        _, report = run_profile(
+            OVERLOAD, ServeConfig(replicas=1, queue_depth=4),
+            verify=True)
+        assert report.lost == 0
+        assert report.duplicates == 0
+        assert report.mismatches == 0
+        assert report.shed > 0                     # load was shed...
+        assert report.by_status[OVERLOADED] == report.shed
+        assert report.completed > 0                # ...not everything
+        assert report.completed + report.shed == report.submitted
+
+    def test_deadlines_shed_stale_queued_work(self):
+        tight = LoadProfile(clients=100, tenants=4,
+                            requests_per_client=2,
+                            mean_interarrival_s=0.005, n_tasks=5,
+                            deadline_s=2e-4, seed=7)
+        _, report = run_profile(tight,
+                                ServeConfig(replicas=1, queue_depth=64),
+                                verify=True)
+        assert report.lost == 0 and report.mismatches == 0
+        assert report.by_status.get(DEADLINE_EXCEEDED, 0) > 0
+        assert report.by_status.get(OK, 0) > 0
+
+
+class TestFaultsMidTraffic:
+    def test_board_losses_do_not_lose_requests(self):
+        faulty = ServeConfig(replicas=2, runtime=RuntimeConfig(
+            fault_plan="transient=0.2,lose_after=12", fault_seed=3))
+        core, report = run_profile(NOMINAL, faulty, verify=True)
+        assert report.lost == 0
+        assert report.duplicates == 0
+        assert report.mismatches == 0              # bit-identical
+        assert report.completed == report.submitted
+        assert report.degraded > 0                 # faults did bite
+        lost_boards = [b for b in core.board_stats().values()
+                       if b["state"] == "lost"]
+        assert lost_boards                         # mid-traffic losses
+
+    def test_faulty_run_matches_clean_run_bitwise(self):
+        faulty = ServeConfig(replicas=2, runtime=RuntimeConfig(
+            fault_plan="transient=0.3,hang=0.1,lose_after=20",
+            fault_seed=5))
+        clean = ServeConfig(replicas=2)
+        _, a = run_profile(NOMINAL, faulty)
+        _, b = run_profile(NOMINAL, clean)
+        payload = lambda report: {r.request_id: r.result
+                                  for r in report.responses
+                                  if r.status == OK}
+        # Every request both runs completed has the identical payload.
+        done_a, done_b = payload(a), payload(b)
+        shared = set(done_a) & set(done_b)
+        assert shared
+        assert all(done_a[rid] == done_b[rid] for rid in shared)
+
+
+class TestProfileValidation:
+    def test_bad_profiles_rejected(self):
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError):
+            LoadProfile(clients=0)
+        with pytest.raises(ServeError):
+            LoadProfile(hot_fraction=1.5)
+        with pytest.raises(ServeError):
+            LoadProfile(mean_interarrival_s=0)
