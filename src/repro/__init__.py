@@ -8,6 +8,9 @@ The package mirrors the paper's architecture (Fig. 1):
 * :mod:`repro.hlsc` — the HLS-C intermediate representation.
 * :mod:`repro.merlin` — Merlin-style source-to-source transformation library.
 * :mod:`repro.hls` — simulated Xilinx SDx HLS estimation backend.
+* :mod:`repro.cost` — pluggable cost models (analytical estimator +
+  learned surrogate) behind one ``CostModel`` protocol.
+* :mod:`repro.dataset` — QoR dataset factory and surrogate trainer.
 * :mod:`repro.dse` — learning-based parallel design space exploration.
 * :mod:`repro.spark` / :mod:`repro.blaze` / :mod:`repro.fpga` — the runtime
   integration substrate (RDDs, accelerator service, device simulator).
@@ -24,7 +27,7 @@ one-shot shims kept for compatibility.
 
 __version__ = "1.1.0"
 
-from .config import ExploreConfig, RuntimeConfig
+from .config import DatasetConfig, ExploreConfig, RuntimeConfig
 from .errors import S2FAError
 from .s2fa import (
     AcceleratorBuild,
@@ -36,6 +39,7 @@ from .s2fa import (
 
 __all__ = [
     "AcceleratorBuild",
+    "DatasetConfig",
     "ExploreConfig",
     "RunOutcome",
     "RuntimeConfig",

@@ -37,6 +37,16 @@ Subcommands
     ``repro.fpga.faults``); the results must stay bit-identical, only the
     metrics change.
 
+``dataset build|train|eval``
+    The learned-cost-model pipeline: ``build`` sweeps kernels x sampled
+    Merlin configs through the analytical estimator into a versioned
+    JSONL dataset (deterministic per seed, resumable); ``train`` fits a
+    pure-python surrogate (ridge or gradient-boosted stumps) and writes
+    a model artifact with a rank-fidelity report; ``eval`` re-scores an
+    artifact against a dataset.  ``explore``/``dse`` accept
+    ``--surrogate MODEL.json`` to prune proposal batches with the
+    learned model (the reported optimum stays analytically verified).
+
 ``trace summarize FILE``
     Per-stage breakdown, top-N slowest spans, and flamegraph of a trace
     written by ``--trace`` (either format).
@@ -132,6 +142,22 @@ def _explore_config(args: argparse.Namespace):
         jobs=getattr(args, "jobs", 1),
         cache_dir=getattr(args, "cache_dir", None),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        resume=bool(getattr(args, "resume", False)),
+        surrogate=getattr(args, "surrogate", None),
+        prune_fraction=getattr(args, "prune_fraction", 0.5))
+
+
+def _dataset_config(args: argparse.Namespace):
+    from .config import DatasetConfig
+
+    return DatasetConfig(
+        out=args.out,
+        seed=getattr(args, "seed", 0),
+        kernels=getattr(args, "kernels", 4),
+        configs=getattr(args, "configs", 64),
+        apps=not getattr(args, "no_apps", False),
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
         resume=bool(getattr(args, "resume", False)))
 
 
@@ -191,6 +217,12 @@ def _print_explore_summary(build, run) -> None:
     print(f"HLS evaluations   : {run.evaluations} "
           f"({run.termination_minutes:.0f} virtual minutes, "
           f"{len(run.partitions)} partitions)")
+    stats = run.surrogate_stats
+    if stats:
+        print(f"surrogate         : {stats['model']} "
+              f"pruned {stats['pruned']} "
+              f"(revalidated {stats['revalidated']}, "
+              f"promoted {stats['promoted']})")
     print(f"best design       : {build.config.describe()}")
     hls = build.hls
     print(f"cycles/batch      : {hls.cycles} @ {hls.freq_mhz:.0f} MHz")
@@ -401,6 +433,81 @@ def cmd_serve(args: argparse.Namespace) -> int:
                       ready_path=args.ready)
 
 
+def _print_fidelity(report) -> None:
+    print(f"fidelity (holdout): spearman {report.spearman:.3f}, "
+          f"mse {report.mse:.3f} "
+          f"({report.count} records, {report.infeasible} infeasible)")
+    for k, recall in sorted(report.top_k_recall.items()):
+        print(f"  top-{k} recall   : {recall:.2f}")
+
+
+def cmd_dataset_build(args: argparse.Namespace) -> int:
+    """``s2fa dataset build``: sweep kernels x configs into JSONL."""
+    from .dataset import build_dataset
+
+    report = build_dataset(_dataset_config(args))
+    print(f"dataset           : {report.path}")
+    print(f"records written   : {report.records} "
+          f"({report.infeasible} infeasible, "
+          f"{report.minutes_total:.0f} virtual minutes)")
+    print(f"kernels swept     : {report.kernels}")
+    if report.skipped_existing:
+        print(f"resume            : {report.skipped_existing} records "
+              "already present, skipped")
+    for name, detail in report.failed_kernels:
+        print(f"kernel {name} skipped: {detail}")
+    return EXIT_OK
+
+
+def cmd_dataset_train(args: argparse.Namespace) -> int:
+    """``s2fa dataset train``: fit a surrogate, write the artifact."""
+    from .dataset import read_records, train_surrogate
+
+    records, skipped = read_records(args.dataset)
+    if skipped:
+        print(f"warning: skipped {skipped} corrupt records",
+              file=sys.stderr)
+    params = {}
+    if args.model == "ridge":
+        params["alpha"] = args.alpha
+    else:
+        params["n_trees"] = args.trees
+        params["max_depth"] = args.depth
+    surrogate, report = train_surrogate(records, model=args.model,
+                                        **params)
+    surrogate.save(args.out)
+    print(f"surrogate         : {args.out} ({surrogate.identity()})")
+    print(f"trained on        : {len(records)} records")
+    _print_fidelity(report)
+    if args.min_spearman is not None \
+            and report.spearman < args.min_spearman:
+        print(f"FAIL: spearman {report.spearman:.3f} < floor "
+              f"{args.min_spearman}", file=sys.stderr)
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
+def cmd_dataset_eval(args: argparse.Namespace) -> int:
+    """``s2fa dataset eval``: fidelity of an artifact on a dataset."""
+    from .cost import SurrogateCostModel
+    from .dataset import fidelity_of, read_records
+
+    surrogate = SurrogateCostModel.load(args.surrogate)
+    records, skipped = read_records(args.dataset)
+    if skipped:
+        print(f"warning: skipped {skipped} corrupt records",
+              file=sys.stderr)
+    report = fidelity_of(surrogate.model, records)
+    print(f"surrogate         : {surrogate.identity()}")
+    _print_fidelity(report)
+    if args.min_spearman is not None \
+            and report.spearman < args.min_spearman:
+        print(f"FAIL: spearman {report.spearman:.3f} < floor "
+              f"{args.min_spearman}", file=sys.stderr)
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
     """``s2fa trace summarize``: per-stage breakdown of a trace file."""
     from .obs import load_trace, summarize
@@ -450,6 +557,19 @@ def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
                              "fresh otherwise)")
 
 
+def _add_surrogate_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--surrogate", metavar="MODEL.json",
+                        help="learned cost-model artifact (from 's2fa "
+                             "dataset train'); the engine prunes each "
+                             "proposal batch by its predictions, but "
+                             "every reported design is still "
+                             "analytically scored")
+    parser.add_argument("--prune-fraction", type=float, default=0.5,
+                        help="fraction of each unseen batch the "
+                             "surrogate may prune, in [0, 1) "
+                             "(default 0.5)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line interface."""
     parser = argparse.ArgumentParser(
@@ -485,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="persistent evaluation cache directory "
                                 "(repeated runs skip re-estimation)")
     _add_checkpoint_flags(explore_p)
+    _add_surrogate_flags(explore_p)
     explore_p.add_argument("--emit-c", action="store_true",
                            help="print the annotated HLS C")
     explore_p.add_argument("--json", metavar="FILE",
@@ -505,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
     dse_p.add_argument("--cache-dir", metavar="DIR",
                        help="persistent evaluation cache directory")
     _add_checkpoint_flags(dse_p)
+    _add_surrogate_flags(dse_p)
     dse_p.add_argument("--tasks", type=int, default=64,
                        help="deployment workload size (default 64)")
     dse_p.add_argument("--data-seed", type=int, default=21,
@@ -631,6 +753,70 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip the bit-identity check against the "
                           "JVM oracle")
     serve_p.set_defaults(func=cmd_serve)
+
+    dataset_p = sub.add_parser(
+        "dataset", help="QoR dataset factory + surrogate training")
+    dataset_sub = dataset_p.add_subparsers(dest="dataset_command",
+                                           required=True)
+
+    ds_build = dataset_sub.add_parser(
+        "build", help="sweep kernels x sampled configs through the "
+                      "analytical estimator into a JSONL dataset")
+    ds_build.add_argument("--out", default="dataset.jsonl",
+                          metavar="FILE",
+                          help="output JSONL path "
+                               "(default dataset.jsonl)")
+    ds_build.add_argument("--seed", type=int, default=0,
+                          help="sweep seed: kernels and sampled "
+                               "configs are a pure function of it "
+                               "(default 0)")
+    ds_build.add_argument("--kernels", type=int, default=4,
+                          help="fuzz-generated kernels on top of the "
+                               "app suite (default 4)")
+    ds_build.add_argument("--configs", type=int, default=64,
+                          help="sampled design configs per kernel "
+                               "(default 64)")
+    ds_build.add_argument("--no-apps", action="store_true",
+                          help="skip the built-in application suite")
+    ds_build.add_argument("--jobs", type=int, default=1,
+                          help="process-pool width for HLS estimation")
+    ds_build.add_argument("--cache-dir", metavar="DIR",
+                          help="persistent evaluation cache directory")
+    ds_build.add_argument("--resume", action="store_true",
+                          help="keep records already in --out and "
+                               "continue after them")
+    ds_build.set_defaults(func=cmd_dataset_build)
+
+    ds_train = dataset_sub.add_parser(
+        "train", help="fit a surrogate on a dataset and write the "
+                      "model artifact")
+    ds_train.add_argument("dataset", help="JSONL dataset file")
+    ds_train.add_argument("--out", default="surrogate.json",
+                          metavar="FILE",
+                          help="artifact path (default surrogate.json)")
+    ds_train.add_argument("--model", choices=("ridge", "gbdt"),
+                          default="gbdt",
+                          help="learner (default gbdt)")
+    ds_train.add_argument("--alpha", type=float, default=1.0,
+                          help="ridge regularization (default 1.0)")
+    ds_train.add_argument("--trees", type=int, default=40,
+                          help="GBDT boosting rounds (default 40)")
+    ds_train.add_argument("--depth", type=int, default=3,
+                          help="GBDT tree depth (default 3)")
+    ds_train.add_argument("--min-spearman", type=float, default=None,
+                          metavar="R",
+                          help="fail (exit 1) if holdout spearman "
+                               "lands below this floor")
+    ds_train.set_defaults(func=cmd_dataset_train)
+
+    ds_eval = dataset_sub.add_parser(
+        "eval", help="fidelity of a trained artifact on a dataset")
+    ds_eval.add_argument("surrogate", help="model artifact (JSON)")
+    ds_eval.add_argument("dataset", help="JSONL dataset file")
+    ds_eval.add_argument("--min-spearman", type=float, default=None,
+                         metavar="R",
+                         help="fail (exit 1) below this floor")
+    ds_eval.set_defaults(func=cmd_dataset_eval)
 
     trace_p = sub.add_parser("trace",
                              help="inspect recorded span traces")

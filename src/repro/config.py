@@ -22,7 +22,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
-from .errors import BlazeError, DSEError, ServeError
+from .errors import BlazeError, DatasetError, DSEError, ServeError
 
 
 @dataclass(frozen=True)
@@ -56,10 +56,20 @@ class ExploreConfig:
     #: (otherwise start fresh — idempotent restart semantics for
     #: schedulers).
     resume: bool = False
+    #: Path to a trained surrogate artifact (``s2fa dataset train``).
+    #: When set, the engine scores each proposed batch with the
+    #: surrogate and skips the analytically-worst fraction; the reported
+    #: optimum is still always analytically verified.
+    surrogate: Optional[str] = None
+    #: Fraction of each unseen batch the surrogate may prune ([0, 1)).
+    prune_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise DSEError(f"jobs must be >= 1, got {self.jobs}")
+        if not 0.0 <= self.prune_fraction < 1.0:
+            raise DSEError("prune_fraction must be in [0, 1), got "
+                           f"{self.prune_fraction}")
         if self.resume and not self.checkpoint_dir:
             raise DSEError(
                 "resume=True needs checkpoint_dir (there is nowhere to "
@@ -74,6 +84,55 @@ class ExploreConfig:
                            f"{self.time_limit_minutes}")
 
     def replace(self, **changes) -> "ExploreConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Knobs of ``s2fa dataset build`` (the QoR dataset factory).
+
+    The factory sweeps kernels (the built-in app suite plus
+    fuzz-generated ones) crossed with sampled Merlin configurations
+    through the analytical estimator, and writes one versioned JSONL
+    record per (kernel, config) pair.  The sweep is deterministic in
+    ``seed``; with ``resume=True`` records already present in ``out``
+    are kept and the sweep continues after them.
+    """
+
+    #: Output JSONL path.
+    out: str = "dataset.jsonl"
+    #: Sweep RNG seed (kernel generation and config sampling).
+    seed: int = 0
+    #: Number of fuzz-generated kernels (on top of the app suite).
+    kernels: int = 4
+    #: Sampled design configurations per kernel.
+    configs: int = 64
+    #: Include the built-in application suite kernels.
+    apps: bool = True
+    #: Real process-pool width for HLS estimation.
+    jobs: int = 1
+    #: Persistent evaluation cache directory (``None`` disables).
+    cache_dir: Optional[str] = None
+    #: Keep existing records in ``out`` and continue after them.
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.out:
+            raise DatasetError("out must name an output file")
+        if self.kernels < 0:
+            raise DatasetError(
+                f"kernels must be >= 0, got {self.kernels}")
+        if self.configs < 1:
+            raise DatasetError(
+                f"configs must be >= 1, got {self.configs}")
+        if self.jobs < 1:
+            raise DatasetError(f"jobs must be >= 1, got {self.jobs}")
+        if not self.apps and self.kernels == 0:
+            raise DatasetError(
+                "nothing to sweep: apps=False and kernels=0")
+
+    def replace(self, **changes) -> "DatasetConfig":
         """A copy with the given fields changed (re-validated)."""
         return dataclasses.replace(self, **changes)
 

@@ -1,0 +1,55 @@
+"""Pluggable cost models: what a design point *costs*, asked abstractly.
+
+Everything in the DSE used to call :func:`repro.hls.estimator.estimate`
+directly.  This package turns that hard-coded dependency into a small
+protocol so the expensive analytical model and cheap learned surrogates
+are interchangeable:
+
+* :class:`CostModel` — the protocol: ``score(kernel, config, device)``
+  returns a :class:`QoR`, and ``identity()`` names the model + version
+  for cache keys (evaluations from different cost models must never mix);
+* :class:`AnalyticalCostModel` — wraps the analytical HLS estimator
+  (the default everywhere, behaviorally identical to the old free
+  functions);
+* :class:`SurrogateCostModel` — a trained ridge/GBDT artifact from
+  ``s2fa dataset train`` that predicts QoR from a
+  :class:`~repro.cost.features.FeatureVector` in microseconds; the DSE
+  uses it to *prune* candidate batches, never to report an optimum.
+"""
+
+from .base import QoR, CostModel  # noqa: F401
+from .analytical import AnalyticalCostModel  # noqa: F401
+from .features import (  # noqa: F401
+    FEATURE_NAMES,
+    FEATURE_SCHEMA_VERSION,
+    FeatureVector,
+    extract_features,
+)
+from .models import (  # noqa: F401
+    GBDTModel,
+    RidgeModel,
+    load_model,
+    train_gbdt,
+    train_ridge,
+)
+from .surrogate import (  # noqa: F401
+    SURROGATE_MINUTES,
+    SurrogateCostModel,
+)
+
+__all__ = [
+    "QoR",
+    "CostModel",
+    "AnalyticalCostModel",
+    "SurrogateCostModel",
+    "SURROGATE_MINUTES",
+    "FeatureVector",
+    "FEATURE_NAMES",
+    "FEATURE_SCHEMA_VERSION",
+    "extract_features",
+    "RidgeModel",
+    "GBDTModel",
+    "train_ridge",
+    "train_gbdt",
+    "load_model",
+]

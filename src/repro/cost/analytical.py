@@ -1,0 +1,40 @@
+"""The analytical HLS estimator wrapped as a :class:`CostModel`.
+
+This is the default cost model everywhere — behaviorally identical to the
+old direct ``hls.estimator.estimate`` calls, including the virtual
+synthesis minutes each evaluation charges to the clock.
+"""
+
+from __future__ import annotations
+
+from ..hls.device import Device, VU9P
+from ..hls.estimator import ESTIMATOR_VERSION, estimate
+from ..merlin.config import DesignConfig
+from ..obs.span import NULL_TRACER
+from .base import CostModel, QoR
+
+
+class AnalyticalCostModel(CostModel):
+    """Scores points with the full analytical model (the ground truth).
+
+    The only model whose results may enter the persistent DSE cache:
+    its numbers *are* the estimates other models approximate.
+    """
+
+    name = "analytical"
+    persistable = True
+
+    def identity(self) -> str:
+        return f"analytical:v{ESTIMATOR_VERSION}"
+
+    def score(self, kernel, config: DesignConfig,
+              device: Device = VU9P, *, tracer=NULL_TRACER) -> QoR:
+        result = estimate(kernel, config, device, tracer=tracer)
+        return QoR(
+            value=result.normalized_cycles,
+            cycles=float(result.cycles),
+            feasible=result.feasible,
+            minutes=result.synthesis_minutes,
+            result=result,
+            source=self.identity(),
+        )

@@ -1,0 +1,290 @@
+"""Pure-python regressors for the QoR surrogate: ridge and a small GBDT.
+
+No numpy, no sklearn — the container must not need them.  Both models
+
+* train on plain ``list[list[float]]`` feature rows and ``list[float]``
+  targets,
+* predict deterministically,
+* round-trip losslessly through JSON (``to_dict`` / ``from_dict``), so a
+  trained artifact is a portable text file.
+
+The ridge solves the L2-regularized normal equations with Gaussian
+elimination; the GBDT is least-squares gradient boosting over shallow
+regression trees with quantile-capped split candidates.  Training sets
+here are thousands of rows × ~25 features, where O(n·d·splits) python
+is perfectly adequate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CostModelError
+
+# ---------------------------------------------------------------------------
+# Shared plumbing
+# ---------------------------------------------------------------------------
+
+
+def _standardize_fit(rows: list[list[float]]) -> tuple[list, list]:
+    """Per-column mean and standard deviation (σ=1 for constants)."""
+    n, d = len(rows), len(rows[0])
+    means = [sum(r[j] for r in rows) / n for j in range(d)]
+    stds = []
+    for j in range(d):
+        var = sum((r[j] - means[j]) ** 2 for r in rows) / n
+        stds.append(var ** 0.5 if var > 1e-12 else 1.0)
+    return means, stds
+
+
+def _solve(matrix: list[list[float]], rhs: list[float]) -> list[float]:
+    """Gaussian elimination with partial pivoting (in-place copies)."""
+    n = len(rhs)
+    a = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+        if abs(a[pivot][col]) < 1e-12:
+            raise CostModelError("singular normal equations (is the "
+                                 "regularization strength zero?)")
+        a[col], a[pivot] = a[pivot], a[col]
+        for row in range(col + 1, n):
+            factor = a[row][col] / a[col][col]
+            if factor == 0.0:
+                continue
+            for k in range(col, n + 1):
+                a[row][k] -= factor * a[col][k]
+    x = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = a[row][n] - sum(a[row][k] * x[k] for k in range(row + 1, n))
+        x[row] = acc / a[row][row]
+    return x
+
+
+def _validate_training_set(rows, targets) -> None:
+    if not rows:
+        raise CostModelError("cannot train on an empty dataset")
+    if len(rows) != len(targets):
+        raise CostModelError(
+            f"{len(rows)} feature rows but {len(targets)} targets")
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise CostModelError("ragged feature rows")
+    if any(t != t or t in (float("inf"), float("-inf"))
+           for t in targets):
+        raise CostModelError(
+            "non-finite target — encode infeasibility before training")
+
+
+# ---------------------------------------------------------------------------
+# Ridge regression
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RidgeModel:
+    """Standardized linear model: ŷ = intercept + Σ wⱼ·(xⱼ−μⱼ)/σⱼ."""
+
+    weights: list = field(default_factory=list)
+    intercept: float = 0.0
+    means: list = field(default_factory=list)
+    stds: list = field(default_factory=list)
+    alpha: float = 1.0
+
+    kind = "ridge"
+
+    def predict_one(self, row: list[float]) -> float:
+        if len(row) != len(self.weights):
+            raise CostModelError(
+                f"row has {len(row)} features, model expects "
+                f"{len(self.weights)}")
+        return self.intercept + sum(
+            w * (x - m) / s for w, x, m, s
+            in zip(self.weights, row, self.means, self.stds))
+
+    def predict(self, rows: list[list[float]]) -> list[float]:
+        return [self.predict_one(r) for r in rows]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "weights": list(self.weights),
+                "intercept": self.intercept, "means": list(self.means),
+                "stds": list(self.stds), "alpha": self.alpha}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RidgeModel":
+        return cls(weights=[float(w) for w in data["weights"]],
+                   intercept=float(data["intercept"]),
+                   means=[float(m) for m in data["means"]],
+                   stds=[float(s) for s in data["stds"]],
+                   alpha=float(data.get("alpha", 1.0)))
+
+
+def train_ridge(rows: list[list[float]], targets: list[float],
+                alpha: float = 1.0) -> RidgeModel:
+    """Fit ridge regression via the regularized normal equations."""
+    _validate_training_set(rows, targets)
+    means, stds = _standardize_fit(rows)
+    n, d = len(rows), len(rows[0])
+    z = [[(r[j] - means[j]) / stds[j] for j in range(d)] for r in rows]
+    intercept = sum(targets) / n
+    y = [t - intercept for t in targets]
+    # Gram matrix ZᵀZ + αI and moment vector Zᵀy.
+    gram = [[sum(z[i][a] * z[i][b] for i in range(n))
+             + (alpha if a == b else 0.0)
+             for b in range(d)] for a in range(d)]
+    moment = [sum(z[i][a] * y[i] for i in range(n)) for a in range(d)]
+    weights = _solve(gram, moment)
+    return RidgeModel(weights=weights, intercept=intercept,
+                      means=means, stds=stds, alpha=alpha)
+
+
+# ---------------------------------------------------------------------------
+# Gradient-boosted regression trees
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _TreeNode:
+    """One node of a regression tree, stored flat-dict serializable."""
+
+    feature: int = -1           # -1 marks a leaf
+    threshold: float = 0.0
+    value: float = 0.0          # leaf prediction
+    left: "_TreeNode | None" = None
+    right: "_TreeNode | None" = None
+
+    def predict(self, row: list[float]) -> float:
+        node = self
+        while node.feature >= 0:
+            node = (node.left if row[node.feature] <= node.threshold
+                    else node.right)
+        return node.value
+
+    def to_dict(self) -> dict:
+        if self.feature < 0:
+            return {"value": self.value}
+        return {"feature": self.feature, "threshold": self.threshold,
+                "left": self.left.to_dict(),
+                "right": self.right.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_TreeNode":
+        if "feature" not in data:
+            return cls(value=float(data["value"]))
+        return cls(feature=int(data["feature"]),
+                   threshold=float(data["threshold"]),
+                   left=cls.from_dict(data["left"]),
+                   right=cls.from_dict(data["right"]))
+
+
+def _split_candidates(values: list[float], cap: int = 16) -> list[float]:
+    """At most ``cap`` thresholds at quantile midpoints."""
+    distinct = sorted(set(values))
+    if len(distinct) < 2:
+        return []
+    if len(distinct) <= cap:
+        return [(a + b) / 2.0
+                for a, b in zip(distinct, distinct[1:])]
+    step = len(distinct) / (cap + 1.0)
+    picks = {distinct[min(len(distinct) - 1, int(step * (i + 1)))]
+             for i in range(cap)}
+    ordered = sorted(picks)
+    return [(a + b) / 2.0 for a, b in zip(ordered, ordered[1:])] \
+        or [sum(distinct) / len(distinct)]
+
+
+def _fit_tree(rows: list[list[float]], residuals: list[float],
+              indices: list[int], depth: int, max_depth: int,
+              min_leaf: int) -> _TreeNode:
+    mean = sum(residuals[i] for i in indices) / len(indices)
+    if depth >= max_depth or len(indices) < 2 * min_leaf:
+        return _TreeNode(value=mean)
+    base_sse = sum((residuals[i] - mean) ** 2 for i in indices)
+    best = None  # (gain, feature, threshold, left_idx, right_idx)
+    d = len(rows[0])
+    for j in range(d):
+        for threshold in _split_candidates([rows[i][j] for i in indices]):
+            left = [i for i in indices if rows[i][j] <= threshold]
+            if len(left) < min_leaf or len(indices) - len(left) < min_leaf:
+                continue
+            right = [i for i in indices if rows[i][j] > threshold]
+            ml = sum(residuals[i] for i in left) / len(left)
+            mr = sum(residuals[i] for i in right) / len(right)
+            sse = (sum((residuals[i] - ml) ** 2 for i in left)
+                   + sum((residuals[i] - mr) ** 2 for i in right))
+            gain = base_sse - sse
+            if best is None or gain > best[0] + 1e-12:
+                best = (gain, j, threshold, left, right)
+    if best is None or best[0] <= 1e-9:
+        return _TreeNode(value=mean)
+    _, j, threshold, left, right = best
+    return _TreeNode(
+        feature=j, threshold=threshold,
+        left=_fit_tree(rows, residuals, left, depth + 1, max_depth,
+                       min_leaf),
+        right=_fit_tree(rows, residuals, right, depth + 1, max_depth,
+                        min_leaf))
+
+
+@dataclass
+class GBDTModel:
+    """Least-squares gradient boosting: ŷ = base + η·Σ treeₖ(x)."""
+
+    base: float = 0.0
+    learning_rate: float = 0.1
+    trees: list = field(default_factory=list)
+
+    kind = "gbdt"
+
+    def predict_one(self, row: list[float]) -> float:
+        return self.base + self.learning_rate * sum(
+            tree.predict(row) for tree in self.trees)
+
+    def predict(self, rows: list[list[float]]) -> list[float]:
+        return [self.predict_one(r) for r in rows]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "base": self.base,
+                "learning_rate": self.learning_rate,
+                "trees": [t.to_dict() for t in self.trees]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GBDTModel":
+        return cls(base=float(data["base"]),
+                   learning_rate=float(data["learning_rate"]),
+                   trees=[_TreeNode.from_dict(t)
+                          for t in data["trees"]])
+
+
+def train_gbdt(rows: list[list[float]], targets: list[float],
+               n_trees: int = 40, max_depth: int = 3,
+               learning_rate: float = 0.1,
+               min_leaf: int = 2) -> GBDTModel:
+    """Fit gradient-boosted trees on squared error."""
+    _validate_training_set(rows, targets)
+    n = len(rows)
+    base = sum(targets) / n
+    model = GBDTModel(base=base, learning_rate=learning_rate)
+    predictions = [base] * n
+    indices = list(range(n))
+    for _ in range(n_trees):
+        residuals = [targets[i] - predictions[i] for i in range(n)]
+        tree = _fit_tree(rows, residuals, indices, 0, max_depth, min_leaf)
+        model.trees.append(tree)
+        for i in range(n):
+            predictions[i] += learning_rate * tree.predict(rows[i])
+    return model
+
+
+# ---------------------------------------------------------------------------
+
+
+_MODEL_KINDS = {"ridge": RidgeModel, "gbdt": GBDTModel}
+
+
+def load_model(data: dict):
+    """Deserialize either model kind from its ``to_dict`` form."""
+    kind = data.get("kind")
+    if kind not in _MODEL_KINDS:
+        raise CostModelError(f"unknown model kind {kind!r} "
+                             f"(expected one of {sorted(_MODEL_KINDS)})")
+    return _MODEL_KINDS[kind].from_dict(data)

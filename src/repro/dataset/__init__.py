@@ -1,0 +1,50 @@
+"""The QoR dataset factory and surrogate trainer (``s2fa dataset``).
+
+* :mod:`repro.dataset.schema` — the versioned JSONL record format
+  (tolerant reader, per-record-durable writer);
+* :mod:`repro.dataset.build` — the deterministic, resumable sweep of
+  kernels x sampled configs through the analytical estimator;
+* :mod:`repro.dataset.train` — pure-python surrogate training (ridge /
+  gradient-boosted stumps) with rank-fidelity reporting.
+
+The products plug into the DSE through the pluggable cost-model API:
+``s2fa dataset train`` writes a :class:`~repro.cost.SurrogateCostModel`
+artifact that ``s2fa explore --surrogate MODEL.json`` loads to prune
+proposal batches (see :mod:`repro.dse.engine`).
+"""
+
+from .schema import (  # noqa: F401
+    DATASET_SCHEMA_VERSION,
+    DatasetRecord,
+    DatasetWriter,
+    read_records,
+)
+from .build import (  # noqa: F401
+    BuildReport,
+    build_dataset,
+    dataset_kernels,
+    sample_points,
+)
+from .train import (  # noqa: F401
+    FidelityReport,
+    fidelity_of,
+    spearman,
+    top_k_recall,
+    train_surrogate,
+)
+
+__all__ = [
+    "DATASET_SCHEMA_VERSION",
+    "DatasetRecord",
+    "DatasetWriter",
+    "read_records",
+    "BuildReport",
+    "build_dataset",
+    "dataset_kernels",
+    "sample_points",
+    "FidelityReport",
+    "fidelity_of",
+    "spearman",
+    "top_k_recall",
+    "train_surrogate",
+]

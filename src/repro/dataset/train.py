@@ -1,0 +1,222 @@
+"""Surrogate training and fidelity evaluation (``s2fa dataset train``).
+
+The target is ``log2(normalized cycles)`` — QoR spans orders of
+magnitude and the DSE only needs the surrogate to *rank* points, so a
+log target keeps the squared-error losses from being dominated by the
+slowest designs.  Infeasible points get a penalty target just above the
+worst feasible one, and the artifact records the cutoff so the
+surrogate can call a prediction above it infeasible.
+
+Fidelity is reported on a deterministic holdout (every fourth record)
+with rank metrics, because ranking is what the pruner consumes:
+
+* **Spearman** rank correlation (tie-averaged ranks) between predicted
+  and true targets — how well the surrogate orders the space;
+* **top-k recall** — of the truly best ``k`` points, the fraction the
+  surrogate also ranks in its best ``k`` (the pruner must not drop
+  these);
+* plain MSE on the log target, for trend watching.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..cost import (
+    FEATURE_SCHEMA_VERSION,
+    SurrogateCostModel,
+    train_gbdt,
+    train_ridge,
+)
+from ..errors import DatasetError
+from ..hls.estimator import ESTIMATOR_VERSION
+from .schema import DatasetRecord
+
+#: Penalty added to the worst feasible log-QoR to place infeasible
+#: targets; the infeasibility cutoff sits halfway, at ``+1.0``.
+INFEASIBLE_PENALTY = 2.0
+
+#: Holdout stride: every ``HOLDOUT_EVERY``-th record is held out.
+HOLDOUT_EVERY = 4
+
+_TRAINERS = {"ridge": train_ridge, "gbdt": train_gbdt}
+
+
+@dataclass
+class FidelityReport:
+    """How faithfully the surrogate ranks the holdout."""
+
+    spearman: float
+    top_k_recall: dict = field(default_factory=dict)
+    mse: float = 0.0
+    count: int = 0
+    infeasible: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "spearman": self.spearman,
+            "top_k_recall": {str(k): v
+                             for k, v in self.top_k_recall.items()},
+            "mse": self.mse,
+            "count": self.count,
+            "infeasible": self.infeasible,
+        }
+
+
+def _ranks(values: list) -> list:
+    """Tie-averaged ranks (1-based), the Spearman convention."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) \
+                and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: list, ys: list) -> float:
+    """Spearman rank correlation with tie-averaged ranks.
+
+    Returns 0.0 for degenerate inputs (fewer than two points, or a
+    constant series) rather than dividing by zero.
+    """
+    if len(xs) != len(ys):
+        raise DatasetError(
+            f"spearman needs equal-length series, got "
+            f"{len(xs)} and {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    rx, ry = _ranks(xs), _ranks(ys)
+    mx = sum(rx) / n
+    my = sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0.0 or vy == 0.0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)
+
+
+def top_k_recall(true_vals: list, pred_vals: list, k: int) -> float:
+    """Fraction of the truly best ``k`` also in the predicted best ``k``.
+
+    "Best" is *lowest* (QoR is minimized).  Degenerate inputs (k
+    larger than the series) clamp rather than fail.
+    """
+    n = len(true_vals)
+    if n == 0 or k < 1:
+        return 0.0
+    k = min(k, n)
+    true_top = set(sorted(range(n),
+                          key=lambda i: true_vals[i])[:k])
+    pred_top = set(sorted(range(n),
+                          key=lambda i: pred_vals[i])[:k])
+    return len(true_top & pred_top) / k
+
+
+def targets_for(records: list) -> tuple[list, float]:
+    """Per-record log2 targets and the infeasibility cutoff.
+
+    Feasible records map to ``log2(qor)``; infeasible ones to the worst
+    feasible target plus :data:`INFEASIBLE_PENALTY` (so regression has
+    a finite value to fit).  The returned cutoff sits between the two
+    bands; a prediction above it is read back as "infeasible".
+    """
+    finite = [math.log2(r.qor) for r in records
+              if r.feasible and r.qor and r.qor > 0]
+    worst = max(finite) if finite else 0.0
+    cutoff = worst + INFEASIBLE_PENALTY / 2.0
+    targets = []
+    for record in records:
+        if record.feasible and record.qor and record.qor > 0:
+            targets.append(math.log2(record.qor))
+        else:
+            targets.append(worst + INFEASIBLE_PENALTY)
+    return targets, cutoff
+
+
+def _check_records(records: list) -> None:
+    if not records:
+        raise DatasetError("the dataset has no usable records")
+    for record in records:
+        if record.feature_schema != FEATURE_SCHEMA_VERSION:
+            raise DatasetError(
+                f"record from feature schema v{record.feature_schema} "
+                f"(trainer expects v{FEATURE_SCHEMA_VERSION}); rebuild "
+                "the dataset")
+        if record.estimator_version != ESTIMATOR_VERSION:
+            raise DatasetError(
+                f"record from estimator v{record.estimator_version} "
+                f"(current is v{ESTIMATOR_VERSION}); rebuild the "
+                "dataset")
+
+
+def split_records(records: list) -> tuple[list, list]:
+    """Deterministic train/holdout split (every fourth record out)."""
+    train = [r for i, r in enumerate(records)
+             if i % HOLDOUT_EVERY != HOLDOUT_EVERY - 1]
+    hold = [r for i, r in enumerate(records)
+            if i % HOLDOUT_EVERY == HOLDOUT_EVERY - 1]
+    if not train:                       # tiny datasets: train on all
+        train = records
+    if not hold:
+        hold = records
+    return train, hold
+
+
+def fidelity_of(model, records: list, *,
+                ks: tuple = (5, 10)) -> FidelityReport:
+    """Rank fidelity of ``model`` against the analytical truth."""
+    _check_records(records)
+    targets, _ = targets_for(records)
+    rows = [list(r.features) for r in records]
+    preds = [model.predict_one(row) for row in rows]
+    mse = sum((p - t) ** 2 for p, t in zip(preds, targets)) \
+        / len(targets)
+    return FidelityReport(
+        spearman=spearman(targets, preds),
+        top_k_recall={k: top_k_recall(targets, preds, k) for k in ks},
+        mse=mse,
+        count=len(records),
+        infeasible=sum(1 for r in records if not r.feasible))
+
+
+def train_surrogate(records: list, *, model: str = "gbdt",
+                    **params) -> tuple[SurrogateCostModel, FidelityReport]:
+    """Train a surrogate on ``records``; fidelity is on the holdout.
+
+    ``model`` picks the learner (``"ridge"`` or ``"gbdt"``); ``params``
+    pass through to it (``alpha`` for ridge, ``n_trees``/``max_depth``/
+    ``learning_rate`` for GBDT).  Returns the ready-to-save
+    :class:`~repro.cost.SurrogateCostModel` and its
+    :class:`FidelityReport`.
+    """
+    _check_records(records)
+    trainer = _TRAINERS.get(model)
+    if trainer is None:
+        raise DatasetError(
+            f"unknown surrogate model {model!r} "
+            f"(known: {sorted(_TRAINERS)})")
+    train, hold = split_records(records)
+    targets, cutoff = targets_for(train)
+    fitted = trainer([list(r.features) for r in train], targets,
+                     **params)
+    report = fidelity_of(fitted, hold)
+    surrogate = SurrogateCostModel(
+        fitted, infeasible_cutoff=cutoff,
+        fidelity=report.to_dict(),
+        trained_on={
+            "records": len(train),
+            "holdout": len(hold),
+            "kernels": sorted({r.kernel for r in train}),
+            "model": model,
+        })
+    return surrogate, report

@@ -57,7 +57,10 @@ LOGGER = logging.getLogger("repro.dse.cache")
 
 #: Store format version; bumping it invalidates old stores (both through
 #: the per-record ``"v"`` field and through the kernel digest).
-FORMAT_VERSION = 2
+#: v3: the digest incorporates the cost-model identity, so evaluations
+#: produced under different cost models (or estimator versions) can
+#: never poison each other.
+FORMAT_VERSION = 3
 
 
 def canonical_key(point: dict) -> str:
@@ -76,12 +79,17 @@ def point_from_key(key: str) -> dict:
     return {name: value for name, value in json.loads(key)}
 
 
-def kernel_digest(kernel: CKernel, device: Device) -> str:
-    """Identity of an estimation context: generated C + batch + device.
+def kernel_digest(kernel: CKernel, device: Device,
+                  cost_model: str = "") -> str:
+    """Identity of an estimation context: C + batch + device + model.
 
     The digest is over the printed HLS C (which pins the full loop/op
-    structure), the kernel metadata, and the device name — everything
-    :func:`repro.hls.estimator.estimate` reads.
+    structure), the kernel metadata, the device name, and the identity
+    of the cost model that produced the numbers — everything that can
+    change what an evaluation returns.  ``cost_model`` is the model's
+    ``identity()`` string; the empty default means "the analytical
+    model, version unpinned" and exists for callers that only need a
+    kernel identity, not a cache namespace.
     """
     hasher = hashlib.sha256()
     hasher.update(kernel_to_c(kernel).encode())
@@ -89,6 +97,8 @@ def kernel_digest(kernel: CKernel, device: Device) -> str:
                              default=str).encode())
     hasher.update(device.name.encode())
     hasher.update(str(FORMAT_VERSION).encode())
+    if cost_model:
+        hasher.update(cost_model.encode())
     return hasher.hexdigest()[:24]
 
 

@@ -48,7 +48,10 @@ from .space import DesignSpace
 from .stopping import StoppingCriterion
 
 #: Checkpoint format version; bumping it invalidates old checkpoints.
-CHECKPOINT_VERSION = 1
+#: v2: samples are 5-tuples (the 5th element inlines the payload of a
+#: surrogate-pruned evaluation, null for real ones) and evaluations
+#: carry a ``pruned`` flag; the identity section names the cost model.
+CHECKPOINT_VERSION = 2
 
 #: ``kind`` marker distinguishing a checkpoint from other JSON files.
 CHECKPOINT_KIND = "s2fa-dse-checkpoint"
@@ -95,6 +98,7 @@ def evaluation_to_json(evaluation: Evaluation) -> dict:
         "qor": evaluation.qor,
         "minutes": evaluation.minutes,
         "cached": evaluation.cached,
+        "pruned": evaluation.pruned,
         "result": evaluation.result.to_dict(),
     }
 
@@ -104,7 +108,8 @@ def evaluation_from_json(data: dict) -> Evaluation:
         return Evaluation(
             point=dict(data["point"]), qor=data["qor"],
             result=HLSResult.from_dict(data["result"]),
-            minutes=data["minutes"], cached=bool(data.get("cached")))
+            minutes=data["minutes"], cached=bool(data.get("cached")),
+            pruned=bool(data.get("pruned")))
     except (KeyError, TypeError, ValueError) as exc:
         raise DSEError(
             f"malformed evaluation in checkpoint: {exc}") from exc
@@ -360,9 +365,10 @@ def validate_checkpoint(payload) -> list[str]:
             problems.append(f"{name} is missing or indexes out of range")
     samples = payload.get("samples")
     if not isinstance(samples, list) or not all(
-            isinstance(s, list) and len(s) == 4
+            isinstance(s, list) and len(s) == 5
             and isinstance(s[0], (int, float)) and isinstance(s[1], int)
             and isinstance(s[2], str) and isinstance(s[3], bool)
+            and (s[4] is None or isinstance(s[4], dict))
             for s in samples):
         problems.append("samples is missing or malformed")
     cache = payload.get("cache")

@@ -44,8 +44,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import DSEError, ExplorationInterrupted
-from ..hls.estimator import estimate
-from ..merlin.config import DesignConfig
 from ..obs.span import NULL_TRACER
 from .bandit import BanditTuner
 from .checkpoint import (
@@ -79,6 +77,24 @@ DEFAULT_TIME_LIMIT_MINUTES = 240.0
 #: Virtual minutes charged for re-visiting an already-evaluated point
 #: (the tuner only pays a bookkeeping cost, not an HLS run).
 CACHED_EVALUATION_MINUTES = 0.05
+
+#: Share of each batch's *unknown* points the surrogate may prune.
+DEFAULT_PRUNE_FRACTION = 0.5
+
+#: How many of the best-predicted pruned points are re-scored by the
+#: analytical model at finalize, so a surrogate mistake on a would-be
+#: optimum is caught instead of silently lost.
+REVALIDATE_TOP_K = 5
+
+#: Pruned points predicted within this factor of the incumbent best are
+#: revalidated too (the near-top band is where a ranking error hurts).
+REVALIDATE_MARGIN = 2.0
+
+#: Hard bound on finalize revalidations.  When the run pruned at most
+#: this many distinct points, *all* of them are revalidated — on an
+#: exhaustively-checkable micro space the pruned run therefore returns
+#: the identical optimum, by construction rather than by luck.
+REVALIDATE_CAP = 32
 
 #: Fault-injection hook for the chaos harness: ``boundary:N`` hard-kills
 #: the process right after checkpoint N is flushed, ``mid:N`` hard-kills
@@ -144,6 +160,8 @@ class S2FAEngine:
                  stopping_factory: Optional[
                      Callable[[], StoppingCriterion]] = None,
                  checkpoint_store: Optional[CheckpointStore] = None,
+                 surrogate=None,
+                 prune_fraction: float = DEFAULT_PRUNE_FRACTION,
                  tracer=NULL_TRACER):
         self.evaluator = evaluator
         self.space = space
@@ -156,6 +174,13 @@ class S2FAEngine:
         self.use_seeds = use_seeds
         self.stopping_factory = stopping_factory or EntropyStopping
         self.checkpoint_store = checkpoint_store
+        if not 0.0 <= prune_fraction < 1.0:
+            raise DSEError(
+                f"prune_fraction must be in [0, 1), got {prune_fraction}")
+        #: an optional :class:`~repro.cost.SurrogateCostModel` used to
+        #: prune each batch; never a source of truth for the optimum.
+        self.surrogate = surrogate
+        self.prune_fraction = prune_fraction
         self.tracer = tracer
         self._stop_requested = False
         self._chaos = _parse_chaos(os.environ.get(CHAOS_KILL_ENV))
@@ -164,10 +189,10 @@ class S2FAEngine:
 
     def _probe(self, point: dict) -> float:
         """Offline rule characterization: model-only, no virtual time."""
-        config = DesignConfig.from_point(point)
-        result = estimate(self.evaluator.compiled.kernel, config,
-                          self.evaluator.device, tracer=self.tracer)
-        return result.normalized_cycles
+        qor = self.evaluator.cost_model.safe_score(
+            self.evaluator.compiled.kernel, point, self.evaluator.device,
+            tracer=self.tracer)
+        return qor.value
 
     def _make_partitions(self) -> list[Partition]:
         if not self.use_partitioning:
@@ -282,6 +307,11 @@ class S2FAEngine:
             "stopping": type(self.stopping_factory()).__name__,
             "frequency_aware": bool(
                 getattr(self.evaluator, "frequency_aware", True)),
+            "cost_model": self.evaluator.cost_model.identity(),
+            "surrogate": (self.surrogate.identity()
+                          if self.surrogate is not None else None),
+            "prune_fraction": (self.prune_fraction
+                               if self.surrogate is not None else None),
         }
 
     def _snapshot(self, rs: _RunState) -> dict:
@@ -314,7 +344,11 @@ class S2FAEngine:
             ],
             "pending": [index[id(s)] for s in rs.pending],
             "running": [index[id(s)] for s in rs.running],
-            "samples": [[finish, order, canonical_key(e.point), e.cached]
+            # Pruned samples never enter the evaluator cache, so they
+            # carry their full payload inline (the 5th element); real
+            # samples are rebuilt from the cache section and carry null.
+            "samples": [[finish, order, canonical_key(e.point), e.cached,
+                         evaluation_to_json(e) if e.pruned else None]
                         for finish, order, e in rs.samples],
             "cache": [evaluation_to_json(e)
                       for e in self.evaluator.cache_snapshot()],
@@ -361,7 +395,12 @@ class S2FAEngine:
         restore_evaluator_counters(self.evaluator, payload["evaluator"])
 
         samples: list[tuple[float, int, Evaluation]] = []
-        for finish, order, key, cached in payload["samples"]:
+        for finish, order, key, cached, pruned_payload \
+                in payload["samples"]:
+            if pruned_payload is not None:
+                samples.append((finish, order,
+                                evaluation_from_json(pruned_payload)))
+                continue
             base = cache.get(key)
             if base is None:
                 raise DSEError(
@@ -417,6 +456,61 @@ class S2FAEngine:
             return
         os.kill(os.getpid(), signal.SIGKILL)
 
+    def _evaluate_proposals(self, points: list[dict]) -> list[Evaluation]:
+        """Evaluate one round's batch, surrogate-pruning the worst misses.
+
+        Without a surrogate this is ``evaluate_batch`` verbatim.  With
+        one, every point the caches do not already know is scored by the
+        surrogate, and the worst ``prune_fraction`` of those misses is
+        answered with the *prediction* (an ``Evaluation`` marked
+        ``pruned=True``, charged only the surrogate's virtual minutes)
+        instead of a real estimate.  Guarantees:
+
+        * already-known points are never pruned (their answer is paid
+          for — pruning would only discard information);
+        * at least one point per round survives to the analytical model,
+          so the search always makes real progress;
+        * pruned evaluations never enter the evaluator caches, and
+          :meth:`_finalize` both excludes them from the reported optimum
+          and re-scores the best few analytically.
+        """
+        if self.surrogate is None or not points:
+            return self.evaluator.evaluate_batch(points)
+        kernel = self.evaluator.compiled.kernel
+        device = self.evaluator.device
+        predictions: dict[int, object] = {}
+        for i, point in enumerate(points):
+            if not self.evaluator.is_known(point):
+                predictions[i] = self.surrogate.safe_score(
+                    kernel, point, device, tracer=self.tracer)
+        self.tracer.metrics.incr("dse.surrogate.scored",
+                                 len(predictions))
+        quota = min(int(len(predictions) * self.prune_fraction),
+                    len(points) - 1)
+        pruned_indices: set[int] = set()
+        if quota > 0:
+            # Worst predicted QoR first; the stable sort keeps proposal
+            # order among ties, so pruning is deterministic.
+            ranked = sorted(predictions,
+                            key=lambda i: predictions[i].value,
+                            reverse=True)
+            pruned_indices = set(ranked[:quota])
+            self.tracer.metrics.incr("dse.surrogate.pruned", quota)
+        survivors = [p for i, p in enumerate(points)
+                     if i not in pruned_indices]
+        real = iter(self.evaluator.evaluate_batch(survivors))
+        merged: list[Evaluation] = []
+        for i, point in enumerate(points):
+            if i in pruned_indices:
+                qor = predictions[i]
+                merged.append(Evaluation(
+                    point=dict(point), qor=qor.value,
+                    result=qor.to_result(device), minutes=qor.minutes,
+                    pruned=True))
+            else:
+                merged.append(next(real))
+        return merged
+
     def _loop(self, rs: _RunState) -> None:
         events: list[tuple[float, int, _PartitionState]] = []
         while rs.running:
@@ -433,11 +527,12 @@ class S2FAEngine:
                         name, point = state.tuner.step()
                         pspan.set(technique=name)
                     proposals.append((state, name, point))
-                evaluations = self.evaluator.evaluate_batch(
+                evaluations = self._evaluate_proposals(
                     [point for _, _, point in proposals])
                 bspan.set(
                     proposals=len(proposals),
                     cached=sum(1 for e in evaluations if e.cached),
+                    pruned=sum(1 for e in evaluations if e.pruned),
                     techniques=",".join(sorted(
                         {name for _, name, _ in proposals})))
                 self.tracer.metrics.incr("dse.batches")
@@ -511,6 +606,10 @@ class S2FAEngine:
         global_best = {"qor": float("inf"), "point": None, "eval": None}
         estimates = 0
         for minutes, _, evaluation in rs.samples:
+            if evaluation.pruned:
+                # A surrogate verdict: it fed the tuners, but it is not
+                # a real evaluation and can never be the optimum.
+                continue
             if not evaluation.cached:
                 estimates += 1
             if evaluation.qor < global_best["qor"]:
@@ -519,6 +618,8 @@ class S2FAEngine:
                 global_best["eval"] = evaluation
             trace.record(minutes, global_best["qor"], estimates)
         first_qor = rs.samples[0][2].qor if rs.samples else float("inf")
+
+        surrogate_stats = self._revalidate_pruned(rs, global_best)
 
         for state in rs.states:
             if state.started and state.end_minutes == 0.0:
@@ -553,5 +654,77 @@ class S2FAEngine:
             space_size=self.space.size(),
             evaluator_stats=self.evaluator.stats()
             if hasattr(self.evaluator, "stats") else None,
+            surrogate_stats=surrogate_stats,
             resumed=rs.resumed,
         )
+
+    def _revalidate_pruned(self, rs: _RunState,
+                           global_best: dict) -> Optional[dict]:
+        """Re-score the best-predicted pruned points analytically.
+
+        The surrogate's one dangerous failure mode is pruning the true
+        optimum.  Insurance at finalize: distinct pruned points are
+        ranked by prediction and re-scored analytically — all of them
+        when at most ``REVALIDATE_CAP`` exist (micro spaces keep their
+        exact-optimum guarantee), otherwise the ``REVALIDATE_TOP_K``
+        best plus the near-top band predicted within
+        ``REVALIDATE_MARGIN`` of the incumbent, capped.  Any point that
+        beats the current best is promoted.  Returns the run's
+        surrogate statistics (``None`` when no surrogate was used).
+
+        The revalidations go to the evaluator as one batch, and the
+        reported ``revalidation_minutes`` is the batch *makespan* over
+        the run's worker fleet (longest-processing-time assignment to
+        as many workers as partitions ran) — the same parallel virtual
+        clock the main loop charges, not a serial sum.
+        """
+        if self.surrogate is None:
+            return None
+        pruned = [e for _, _, e in rs.samples if e.pruned]
+        distinct: dict = {}
+        for evaluation in pruned:
+            key = canonical_key(evaluation.point)
+            kept = distinct.get(key)
+            if kept is None or evaluation.qor < kept.qor:
+                distinct[key] = evaluation
+        ranked = sorted(distinct.values(), key=lambda e: e.qor)
+        if len(ranked) <= REVALIDATE_CAP:
+            top = ranked
+        else:
+            margin = global_best["qor"] * REVALIDATE_MARGIN
+            band = sum(1 for e in ranked if e.qor <= margin)
+            top = ranked[:min(max(REVALIDATE_TOP_K, band),
+                              REVALIDATE_CAP)]
+        evaluations = self.evaluator.evaluate_batch(
+            [prediction.point for prediction in top]) if top else []
+        durations = [CACHED_EVALUATION_MINUTES if e.cached
+                     else e.minutes for e in evaluations]
+        workers = max(1, sum(1 for s in rs.states if s.started))
+        loads = [0.0] * workers
+        for duration in sorted(durations, reverse=True):
+            loads[loads.index(min(loads))] += duration
+        revalidation_minutes = max(loads) if durations else 0.0
+        promoted = 0
+        for evaluation in evaluations:
+            if evaluation.qor < global_best["qor"]:
+                global_best["qor"] = evaluation.qor
+                global_best["point"] = dict(evaluation.point)
+                global_best["eval"] = evaluation
+                promoted += 1
+        if promoted:
+            self.tracer.metrics.incr("dse.surrogate.promotions",
+                                     promoted)
+        self.tracer.metrics.gauge(
+            "dse.surrogate.prune_rate",
+            self.tracer.metrics.counter_ratio("dse.surrogate.pruned",
+                                              "dse.surrogate.scored"))
+        return {
+            "model": self.surrogate.identity(),
+            "prune_fraction": self.prune_fraction,
+            "pruned": len(pruned),
+            "pruned_distinct": len(distinct),
+            "revalidated": len(top),
+            "revalidation_minutes": round(revalidation_minutes, 4),
+            "promoted": promoted,
+            "fidelity": dict(self.surrogate.fidelity),
+        }

@@ -24,12 +24,13 @@ process pool that computes layer 3 out-of-process in batches.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..compiler.driver import CompiledKernel
+from ..cost import AnalyticalCostModel, CostModel
 from ..hls.device import Device, VU9P
-from ..hls.estimator import estimate
 from ..hls.result import HLSResult, Resources
 from ..merlin.config import DesignConfig
 from ..obs.span import NULL_TRACER
@@ -57,28 +58,38 @@ def error_result(reason: str, device: Device = VU9P) -> HLSResult:
 
 def safe_estimate(kernel, point: dict, device: Device,
                   tracer=NULL_TRACER) -> HLSResult:
-    """Estimate one point, converting exceptions to infeasible results.
+    """Deprecated shim over the pluggable cost-model API.
 
-    Both the in-process path and the pool workers go through this, so an
-    estimator bug degrades a single point identically at any ``--jobs``
-    instead of crashing the exploration.
+    .. deprecated::
+        Use ``AnalyticalCostModel().safe_score(kernel, point, device)``
+        (or any other :class:`~repro.cost.CostModel`); the QoR's
+        ``to_result()`` recovers the :class:`HLSResult`.
     """
-    try:
-        config = DesignConfig.from_point(point)
-        return estimate(kernel, config, device, tracer=tracer)
-    except Exception as exc:  # noqa: BLE001 - deliberate firewall
-        return error_result(f"evaluation error: {exc}", device)
+    warnings.warn(
+        "safe_estimate() is deprecated; use "
+        "repro.cost.AnalyticalCostModel().safe_score(...) instead",
+        DeprecationWarning, stacklevel=2)
+    qor = AnalyticalCostModel().safe_score(kernel, point, device,
+                                           tracer=tracer)
+    return qor.to_result(device)
 
 
 @dataclass
 class Evaluation:
-    """One evaluated design point."""
+    """One evaluated design point.
+
+    ``pruned`` marks a *surrogate verdict*, not a real evaluation: the
+    engine skipped the analytical model on the surrogate's say-so, and
+    ``qor``/``result`` hold the prediction.  Pruned evaluations never
+    enter the evaluator caches and never become the reported optimum.
+    """
 
     point: dict
     qor: float                  # normalized cycles; inf when infeasible
     result: HLSResult
     minutes: float              # synthesis cost charged to the clock
     cached: bool = False
+    pruned: bool = False
 
 
 @dataclass
@@ -100,6 +111,10 @@ class Evaluator:
     #: a :mod:`repro.obs` tracer; estimates and cache hits are recorded
     #: as ``hls.estimate`` spans and ``dse.cache.*`` counters.
     tracer: object = NULL_TRACER
+    #: the :class:`~repro.cost.CostModel` that produces fresh results.
+    #: Its ``identity()`` is part of the cache namespace, and only
+    #: ``persistable`` models may write to the persistent store.
+    cost_model: CostModel = field(default_factory=AnalyticalCostModel)
     evaluations: int = 0
     cache_hits: int = 0
     store_hits: int = 0
@@ -111,9 +126,10 @@ class Evaluator:
 
     @property
     def kernel_digest(self) -> str:
-        """Cache identity of this kernel/device estimation context."""
+        """Cache identity of this kernel/device/cost-model context."""
         if self._digest is None:
-            self._digest = kernel_digest(self.compiled.kernel, self.device)
+            self._digest = kernel_digest(self.compiled.kernel, self.device,
+                                         self.cost_model.identity())
         return self._digest
 
     def _qor(self, result) -> float:
@@ -131,8 +147,9 @@ class Evaluator:
         Overridden by the parallel evaluator to consume results computed
         out-of-process.
         """
-        return safe_estimate(self.compiled.kernel, point, self.device,
-                             tracer=self.tracer), True
+        qor = self.cost_model.safe_score(self.compiled.kernel, point,
+                                         self.device, tracer=self.tracer)
+        return qor.to_result(self.device), self.cost_model.persistable
 
     def _admit(self, point: dict, key: str, result: HLSResult,
                minutes: float, persist: bool) -> Evaluation:
@@ -145,6 +162,21 @@ class Evaluator:
                     FAILURE_PREFIXES):
             self.store.put(self.kernel_digest, key, minutes, result)
         return evaluation
+
+    def is_known(self, point: dict) -> bool:
+        """Would evaluating this point cost (almost) nothing?
+
+        True when the point is already in the in-run cache or the
+        persistent store.  Does not touch the hit/miss counters, so
+        callers (the surrogate pruning stage) can ask freely: pruning a
+        point whose answer is already paid for would only lose
+        information.
+        """
+        key = canonical_key(point)
+        if key in self._cache:
+            return True
+        return self.store is not None and self.store.contains(
+            self.kernel_digest, key)
 
     def evaluate(self, point: dict) -> Evaluation:
         key = canonical_key(point)

@@ -48,12 +48,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..compiler.driver import CompiledKernel
+from ..cost import AnalyticalCostModel, CostModel
 from ..errors import DSEError
 from ..hls.device import Device, VU9P
 from ..hls.result import HLSResult
 from ..obs.span import NULL_TRACER, TraceContext, worker_tracer
 from .cache import CacheStore, canonical_key
-from .evaluator import Evaluation, Evaluator, error_result, safe_estimate
+from .evaluator import Evaluation, Evaluator, error_result
 
 LOGGER = logging.getLogger("repro.dse.parallel")
 
@@ -81,9 +82,11 @@ CHAOS_HANG_ENV = "S2FA_CHAOS_HANG"
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(kernel, device: Device) -> None:
+def _init_worker(kernel, device: Device,
+                 cost_model: Optional[CostModel] = None) -> None:
     _WORKER_STATE["kernel"] = kernel
     _WORKER_STATE["device"] = device
+    _WORKER_STATE["cost_model"] = cost_model or AnalyticalCostModel()
 
 
 def _maybe_chaos_hang(point: dict) -> None:
@@ -105,8 +108,10 @@ def _maybe_chaos_hang(point: dict) -> None:
 def _worker_estimate(point: dict) -> HLSResult:
     """Pool task: estimate one point; never raises."""
     _maybe_chaos_hang(point)
-    return safe_estimate(_WORKER_STATE["kernel"], point,
-                         _WORKER_STATE["device"])
+    device = _WORKER_STATE["device"]
+    qor = _WORKER_STATE["cost_model"].safe_score(
+        _WORKER_STATE["kernel"], point, device)
+    return qor.to_result(device)
 
 
 def _worker_estimate_traced(point: dict, ctx: TraceContext
@@ -120,8 +125,10 @@ def _worker_estimate_traced(point: dict, ctx: TraceContext
     """
     _maybe_chaos_hang(point)
     tracer = worker_tracer(ctx)
-    result = safe_estimate(_WORKER_STATE["kernel"], point,
-                           _WORKER_STATE["device"], tracer=tracer)
+    device = _WORKER_STATE["device"]
+    result = _WORKER_STATE["cost_model"].safe_score(
+        _WORKER_STATE["kernel"], point, device,
+        tracer=tracer).to_result(device)
     payload = tracer.export()
     for span in payload:
         span["attrs"]["worker_pid"] = os.getpid()
@@ -183,9 +190,11 @@ class ParallelEvaluator(Evaluator):
                  worker_timeout: Optional[float] = None,
                  max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
                  max_pool_respawns: int = DEFAULT_MAX_POOL_RESPAWNS,
+                 cost_model: Optional[CostModel] = None,
                  tracer=NULL_TRACER):
         super().__init__(compiled=compiled, device=device,
                          frequency_aware=frequency_aware, store=store,
+                         cost_model=cost_model or AnalyticalCostModel(),
                          tracer=tracer)
         self.jobs = max(1, int(jobs))
         self.max_consecutive_failures = max(1, max_consecutive_failures)
@@ -211,7 +220,8 @@ class ParallelEvaluator(Evaluator):
         if self._pool is None:
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.jobs, initializer=_init_worker,
-                initargs=(self.compiled.kernel, self.device))
+                initargs=(self.compiled.kernel, self.device,
+                          self.cost_model))
         return self._pool
 
     def _discard_pool(self) -> None:

@@ -42,6 +42,9 @@ class DSERun:
     #: evaluation-backend statistics (pool size, batching, cache hits,
     #: worker failures) captured at the end of the run
     evaluator_stats: Optional[dict] = None
+    #: surrogate pruning statistics (model identity, points pruned,
+    #: finalize revalidation outcome); ``None`` when no surrogate ran
+    surrogate_stats: Optional[dict] = None
     #: whether this run was restored from a checkpoint.  Deliberately
     #: excluded from :meth:`to_dict`: a resumed run's report must be
     #: bit-identical to the uninterrupted run's.
@@ -83,6 +86,8 @@ class DSERun:
         }
         if self.evaluator_stats is not None:
             summary["evaluator_stats"] = self.evaluator_stats
+        if self.surrogate_stats is not None:
+            summary["surrogate_stats"] = self.surrogate_stats
         if self.best_result is not None:
             hls = self.best_result
             summary["best_design"] = {

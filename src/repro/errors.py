@@ -69,6 +69,19 @@ class DSEError(S2FAError):
     """Design space exploration misconfiguration."""
 
 
+class CostModelError(S2FAError):
+    """A cost model could not be constructed, loaded, or applied.
+
+    Raised for malformed surrogate artifacts, feature-schema mismatches,
+    and models asked to score a kernel they were never trained for —
+    never for an infeasible design (that is a result, not an error).
+    """
+
+
+class DatasetError(S2FAError):
+    """The QoR dataset pipeline hit a misconfiguration or a bad file."""
+
+
 class ExplorationInterrupted(DSEError):
     """The exploration stopped early on an operator/scheduler signal.
 

@@ -23,6 +23,7 @@ A Csmith-style standing adversary for every layer the compiler touches:
 from .gen import (  # noqa: F401
     FuzzKernel,
     KernelGenerator,
+    dataset_kernel,
     generate_kernel,
     make_tasks,
 )

@@ -449,6 +449,32 @@ def generate_kernel(rng: random.Random, name: str = "Fz") -> FuzzKernel:
     return builder.build(name)
 
 
+#: kernel features that give the DSE something to chew on: arrays turn
+#: into buffers (bitwidth knobs) and loop nests into tiling/unrolling
+#: candidates.
+_DATASET_FEATURES = frozenset(("array", "local_array", "nested_for"))
+
+
+def dataset_kernel(rng: random.Random, name: str = "Ds",
+                   attempts: int = 8) -> FuzzKernel:
+    """A generated kernel biased toward loops and arrays.
+
+    The QoR dataset factory wants kernels with non-trivial design
+    spaces; a pure scalar kernel has almost nothing for the Merlin
+    knobs to act on.  Draws up to ``attempts`` kernels from ``rng`` and
+    returns the first with an array or a nested loop, falling back to
+    the feature-richest draw.
+    """
+    best = None
+    for _ in range(attempts):
+        kernel = generate_kernel(rng, name=name)
+        if _DATASET_FEATURES & set(kernel.features):
+            return kernel
+        if best is None or len(kernel.features) > len(best.features):
+            best = kernel
+    return best
+
+
 def make_tasks(rng: random.Random, input_type: FuzzType, n: int) -> list:
     """Generate ``n`` random input tasks of ``input_type``."""
     def value(tpe: FuzzType):

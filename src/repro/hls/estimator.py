@@ -41,6 +41,13 @@ from .device import Device, VU9P
 from .optable import DEFAULT_ILP, LOOP_OVERHEAD, OP_COSTS, PIPELINE_FILL
 from .result import HLSResult, LoopReport, Resources
 
+#: Version of the analytical model itself.  Bump whenever a change makes
+#: the estimator return different numbers for the same (kernel, config,
+#: device): the version is part of every cost-model identity, so cached
+#: evaluations and trained surrogates from an older model are never mixed
+#: with fresh ones.
+ESTIMATOR_VERSION = 1
+
 #: Baseline (control logic, AXI shell adapters) as fractions of the device.
 _BASE_LUT_FRACTION = 0.03
 _BASE_FF_FRACTION = 0.02

@@ -61,6 +61,21 @@ class MetricsRegistry:
         with self._lock:
             return self.counters.get(name, 0)
 
+    def counter_ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` read atomically (0.0 when the
+        denominator is 0).
+
+        Rate-style derived metrics (``dse.surrogate.pruned`` over
+        ``dse.surrogate.scored``, hits over probes) need both counters
+        from the same instant; two separate :meth:`counter` calls can
+        interleave with a concurrent ``incr`` and report a ratio > 1.
+        """
+        with self._lock:
+            bottom = self.counters.get(denominator, 0)
+            if not bottom:
+                return 0.0
+            return self.counters.get(numerator, 0) / bottom
+
     def snapshot(self) -> dict:
         """JSON-serializable, self-consistent view of every instrument."""
         with self._lock:

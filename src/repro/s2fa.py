@@ -34,6 +34,7 @@ from .apps.base import AppSpec
 from .compiler.driver import CompiledKernel, compile_kernel
 from .compiler.interface import LayoutConfig
 from .config import ExploreConfig, RuntimeConfig
+from .cost import CostModel, SurrogateCostModel
 from .dse.cache import CacheStore
 from .dse.checkpoint import CheckpointStore
 from .dse.engine import S2FAEngine
@@ -139,6 +140,7 @@ class S2FASession:
                  explore: Optional[ExploreConfig] = None,
                  runtime: Optional[RuntimeConfig] = None, *,
                  device: Device = VU9P,
+                 cost_model: Optional[CostModel] = None,
                  tracer: Optional[Tracer] = None,
                  trace: bool = False):
         self.explore_config = explore if explore is not None \
@@ -146,6 +148,9 @@ class S2FASession:
         self.runtime_config = runtime if runtime is not None \
             else RuntimeConfig()
         self.device = device
+        #: the :class:`~repro.cost.CostModel` that scores design points
+        #: during ``explore`` (``None``: the analytical estimator).
+        self.cost_model = cost_model
         if tracer is None:
             tracer = Tracer() if trace else NULL_TRACER
         self.tracer = tracer
@@ -269,8 +274,11 @@ class S2FASession:
             store = CacheStore(cache_dir) if cache_dir else None
             checkpoints = (CheckpointStore(cfg.checkpoint_dir)
                            if cfg.checkpoint_dir else None)
+            surrogate = (SurrogateCostModel.load(cfg.surrogate)
+                         if cfg.surrogate else None)
             with ParallelEvaluator(compiled, self.device, store=store,
                                    jobs=cfg.jobs,
+                                   cost_model=self.cost_model,
                                    tracer=self.tracer) as evaluator:
                 engine = S2FAEngine(
                     evaluator, space, seed=cfg.seed,
@@ -278,6 +286,8 @@ class S2FASession:
                     workers=cfg.workers,
                     max_partitions=cfg.max_partitions,
                     checkpoint_store=checkpoints,
+                    surrogate=surrogate,
+                    prune_fraction=cfg.prune_fraction,
                     tracer=self.tracer)
                 resume = (cfg.resume and checkpoints is not None
                           and checkpoints.has(evaluator.kernel_digest))
@@ -289,8 +299,15 @@ class S2FASession:
                     "the DSE found no feasible design point "
                     f"(explored {run.evaluations} points)")
             config = DesignConfig.from_point(run.best_point)
-            hls = estimate(compiled.kernel, config, self.device,
-                           tracer=self.tracer)
+            if self.cost_model is None:
+                hls = estimate(compiled.kernel, config, self.device,
+                               tracer=self.tracer)
+            else:
+                # A custom cost model owns the notion of quality; report
+                # the design the way the model scored it.
+                hls = self.cost_model.score(
+                    compiled.kernel, config, self.device,
+                    tracer=self.tracer).to_result(self.device)
             span.set(evaluations=run.evaluations,
                      best_design=config.describe())
         return AcceleratorBuild(compiled=compiled, space=space, dse=run,

@@ -1,0 +1,116 @@
+"""The hand-rolled learners: fit quality, serialization, guardrails."""
+
+import math
+import random
+
+import pytest
+
+from repro.cost import (
+    GBDTModel,
+    RidgeModel,
+    load_model,
+    train_gbdt,
+    train_ridge,
+)
+from repro.errors import CostModelError
+
+
+def _linear_data(n=80, seed=7):
+    rng = random.Random(seed)
+    rows, targets = [], []
+    for _ in range(n):
+        x = [rng.uniform(-2, 2) for _ in range(4)]
+        rows.append(x)
+        targets.append(3.0 * x[0] - 1.5 * x[2] + 0.5)
+    return rows, targets
+
+
+def _nonlinear_data(n=120, seed=11):
+    rng = random.Random(seed)
+    rows, targets = [], []
+    for _ in range(n):
+        x = [rng.uniform(-2, 2) for _ in range(3)]
+        rows.append(x)
+        targets.append(x[0] * x[0] + (1.0 if x[1] > 0 else -1.0))
+    return rows, targets
+
+
+def _mse(model, rows, targets):
+    return sum((model.predict_one(r) - t) ** 2
+               for r, t in zip(rows, targets)) / len(rows)
+
+
+class TestRidge:
+    def test_recovers_linear_function(self):
+        rows, targets = _linear_data()
+        model = train_ridge(rows, targets, alpha=1e-6)
+        assert _mse(model, rows, targets) < 1e-6
+
+    def test_regularization_shrinks_weights(self):
+        rows, targets = _linear_data()
+        loose = train_ridge(rows, targets, alpha=1e-6)
+        tight = train_ridge(rows, targets, alpha=1e3)
+        assert sum(w * w for w in tight.weights) \
+            < sum(w * w for w in loose.weights)
+
+    def test_json_round_trip_is_lossless(self):
+        rows, targets = _linear_data()
+        model = train_ridge(rows, targets)
+        clone = RidgeModel.from_dict(model.to_dict())
+        for row in rows[:10]:
+            assert clone.predict_one(row) == model.predict_one(row)
+
+    def test_constant_feature_does_not_blow_up(self):
+        rows = [[1.0, float(i)] for i in range(10)]
+        targets = [2.0 * i for i in range(10)]
+        model = train_ridge(rows, targets)
+        assert math.isfinite(model.predict_one([1.0, 3.0]))
+
+
+class TestGBDT:
+    def test_fits_nonlinear_function(self):
+        rows, targets = _nonlinear_data()
+        model = train_gbdt(rows, targets, n_trees=60)
+        baseline = sum((t - sum(targets) / len(targets)) ** 2
+                       for t in targets) / len(targets)
+        assert _mse(model, rows, targets) < 0.25 * baseline
+
+    def test_json_round_trip_is_lossless(self):
+        rows, targets = _nonlinear_data(n=40)
+        model = train_gbdt(rows, targets, n_trees=10)
+        clone = GBDTModel.from_dict(model.to_dict())
+        for row in rows[:10]:
+            assert clone.predict_one(row) == model.predict_one(row)
+
+    def test_constant_target_predicts_constant(self):
+        rows = [[float(i)] for i in range(10)]
+        model = train_gbdt(rows, [5.0] * 10, n_trees=5)
+        assert model.predict_one([99.0]) == pytest.approx(5.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("trainer", [train_ridge, train_gbdt])
+    def test_empty_dataset_rejected(self, trainer):
+        with pytest.raises(CostModelError):
+            trainer([], [])
+
+    @pytest.mark.parametrize("trainer", [train_ridge, train_gbdt])
+    def test_ragged_rows_rejected(self, trainer):
+        with pytest.raises(CostModelError):
+            trainer([[1.0, 2.0], [1.0]], [0.0, 1.0])
+
+    @pytest.mark.parametrize("trainer", [train_ridge, train_gbdt])
+    def test_non_finite_target_rejected(self, trainer):
+        with pytest.raises(CostModelError):
+            trainer([[1.0], [2.0]], [0.0, float("inf")])
+
+    def test_load_model_dispatches_on_kind(self):
+        rows, targets = _linear_data(n=20)
+        ridge = train_ridge(rows, targets)
+        gbdt = train_gbdt(rows, targets, n_trees=5)
+        assert isinstance(load_model(ridge.to_dict()), RidgeModel)
+        assert isinstance(load_model(gbdt.to_dict()), GBDTModel)
+
+    def test_load_model_rejects_unknown_kind(self):
+        with pytest.raises(CostModelError, match="kind"):
+            load_model({"kind": "transformer"})

@@ -1,0 +1,92 @@
+"""Dataset JSONL schema: round-trip, corruption tolerance, durability."""
+
+import json
+
+import pytest
+
+from repro.dataset import (
+    DATASET_SCHEMA_VERSION,
+    DatasetRecord,
+    DatasetWriter,
+    read_records,
+)
+from repro.errors import DatasetError
+
+
+def _record(qor=123.0, feasible=True, kernel="K"):
+    return DatasetRecord(
+        kernel=kernel, digest="abc123", point={"L0.parallel": 4},
+        features=tuple(float(i) for i in range(24)),
+        feature_schema=1, feasible=feasible,
+        qor=qor if feasible else None, cycles=1000.0, minutes=4.5,
+        estimator_version=1)
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        record = _record()
+        clone = DatasetRecord.from_json(record.to_json())
+        assert clone == record
+
+    def test_infeasible_round_trip(self):
+        record = _record(feasible=False)
+        clone = DatasetRecord.from_json(record.to_json())
+        assert clone.qor is None and not clone.feasible
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        records = [_record(qor=float(i + 1)) for i in range(5)]
+        with DatasetWriter(path) as writer:
+            for record in records:
+                writer.write(record)
+        loaded, skipped = read_records(path)
+        assert loaded == records and skipped == 0
+
+    def test_append_mode_continues(self, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        with DatasetWriter(path) as writer:
+            writer.write(_record(qor=1.0))
+        with DatasetWriter(path, append=True) as writer:
+            writer.write(_record(qor=2.0))
+        loaded, _ = read_records(path)
+        assert [r.qor for r in loaded] == [1.0, 2.0]
+
+
+class TestCorruptionTolerance:
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        good = _record()
+        path.write_text(
+            json.dumps(good.to_json()) + "\n"
+            + "{torn json...\n"
+            + "not json at all\n"
+            + json.dumps(good.to_json()) + "\n")
+        loaded, skipped = read_records(path)
+        assert len(loaded) == 2 and skipped == 2
+
+    def test_unknown_version_is_skipped(self, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        stale = _record().to_json()
+        stale["v"] = DATASET_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(stale) + "\n"
+                        + json.dumps(_record().to_json()) + "\n")
+        loaded, skipped = read_records(path)
+        assert len(loaded) == 1 and skipped == 1
+
+    def test_missing_fields_are_skipped(self, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        bad = _record().to_json()
+        del bad["features"]
+        path.write_text(json.dumps(bad) + "\n")
+        loaded, skipped = read_records(path)
+        assert loaded == [] and skipped == 1
+
+    def test_strict_mode_raises(self, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        path.write_text("{torn\n")
+        with pytest.raises(DatasetError, match="bad record"):
+            read_records(path, strict=True)
+
+    def test_missing_file_always_raises(self, tmp_path):
+        with pytest.raises(DatasetError, match="no such"):
+            read_records(tmp_path / "absent.jsonl")

@@ -157,3 +157,11 @@ class TestMetricsRegistry:
         snap = a.snapshot()
         assert snap["counters"]["n"] == 5
         assert snap["observations"]["o"]["count"] == 2
+
+    def test_counter_ratio(self):
+        registry = MetricsRegistry()
+        assert registry.counter_ratio("hits", "probes") == 0.0
+        registry.incr("probes", 4)
+        registry.incr("hits", 3)
+        assert registry.counter_ratio("hits", "probes") == 0.75
+        assert registry.counter_ratio("missing", "probes") == 0.0

@@ -7,10 +7,13 @@ revert the change or update the snapshot *and* ``docs/api.md`` together.
 import inspect
 
 import repro
+import repro.cost
+import repro.dataset
 import repro.obs
 
 TOP_LEVEL = {
     "AcceleratorBuild",
+    "DatasetConfig",
     "ExploreConfig",
     "RunOutcome",
     "RuntimeConfig",
@@ -19,6 +22,39 @@ TOP_LEVEL = {
     "build_accelerator",
     "generate_hls_c",
     "__version__",
+}
+
+COST = {
+    "QoR",
+    "CostModel",
+    "AnalyticalCostModel",
+    "SurrogateCostModel",
+    "SURROGATE_MINUTES",
+    "FeatureVector",
+    "FEATURE_NAMES",
+    "FEATURE_SCHEMA_VERSION",
+    "extract_features",
+    "RidgeModel",
+    "GBDTModel",
+    "train_ridge",
+    "train_gbdt",
+    "load_model",
+}
+
+DATASET = {
+    "DATASET_SCHEMA_VERSION",
+    "DatasetRecord",
+    "DatasetWriter",
+    "read_records",
+    "BuildReport",
+    "build_dataset",
+    "dataset_kernels",
+    "sample_points",
+    "FidelityReport",
+    "fidelity_of",
+    "spearman",
+    "top_k_recall",
+    "train_surrogate",
 }
 
 OBS = {
@@ -65,11 +101,25 @@ def test_session_public_methods():
     assert SESSION_METHODS <= public
 
 
+def test_cost_all_snapshot():
+    assert set(repro.cost.__all__) == COST
+
+
+def test_dataset_all_snapshot():
+    assert set(repro.dataset.__all__) == DATASET
+
+
 def test_explore_config_fields():
     fields = set(repro.ExploreConfig.__dataclass_fields__)
     assert fields == {"seed", "time_limit_minutes", "workers", "jobs",
                       "cache_dir", "max_partitions", "checkpoint_dir",
-                      "resume"}
+                      "resume", "surrogate", "prune_fraction"}
+
+
+def test_dataset_config_fields():
+    fields = set(repro.DatasetConfig.__dataclass_fields__)
+    assert fields == {"out", "seed", "kernels", "configs", "apps",
+                      "jobs", "cache_dir", "resume"}
 
 
 def test_runtime_config_fields():
