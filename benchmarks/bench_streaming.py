@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""Streaming engine benchmark: throughput, latency, fault recovery.
+
+Runs every registered streaming app through three scenarios on the
+virtual clock and writes the result as JSON (``BENCH_streaming.json``
+at the repo root is the committed snapshot):
+
+* **clean** — fault-free, source-saturated (tiny interval): sustained
+  records per virtual second and p50/p99 micro-batch latency;
+* **faulted** — transient aborts, hangs, and a late board loss: the
+  sink rows must stay bit-identical to the clean run (content-time
+  separation) while throughput degrades;
+* **recovery** — every board hangs and is lost at the start: the
+  stream enters LAGGING, falls back to the JVM, and must catch back up
+  to its schedule; the report records how many batches the drain took.
+
+Determinism is part of the contract: all three scenarios must produce
+the same sink-row digest per app.  ``--floor`` / ``--p99-ceiling`` /
+``--recovery-ceiling`` turn the report into a CI gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py --json BENCH_streaming.json
+    PYTHONPATH=src python benchmarks/bench_streaming.py --floor 20000  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro import RuntimeConfig, S2FASession, StreamConfig
+from repro.apps import STREAM_APPS
+from repro.streaming import fingerprint
+
+APP_NAMES = [spec.name for spec in STREAM_APPS]
+
+#: Records / micro-batch geometry shared by every scenario.
+TOTAL_RECORDS = 2048
+BATCH_RECORDS = 32
+PARTITIONS = 2
+
+#: Clean/faulted runs are source-saturated: the interval is far below
+#: the per-batch compute cost's scale, so throughput measures the
+#: pipeline, not the admission schedule.
+SATURATED_INTERVAL = 0.001
+
+#: The recovery run leaves headroom (interval above the JVM-fallback
+#: batch cost) so a lagging stream *can* catch back up.
+RECOVERY_INTERVAL = 0.005
+
+#: Mixed fault schedule for the degradation scenario: enough noise to
+#: exercise retries and quarantine, plus a late permanent board loss.
+FAULT_PLAN = "transient=0.2,hang=0.1,lose_after=24"
+#: Worst-case schedule for the recovery scenario: every invocation
+#: hangs until the board is declared lost almost immediately.
+LOSS_PLAN = "hang=1.0,lose_after=2"
+FAULT_SEED = 11
+
+
+def _run(app: str, *, interval: float, plan: str | None = None,
+         max_lag_intervals: float = 2.0):
+    cfg = StreamConfig(
+        total_records=TOTAL_RECORDS, batch_records=BATCH_RECORDS,
+        interval_seconds=interval, max_lag_intervals=max_lag_intervals,
+        runtime=RuntimeConfig(partitions=PARTITIONS, fault_plan=plan,
+                              fault_seed=FAULT_SEED))
+    start = time.perf_counter()
+    outcome = S2FASession().stream(app, cfg)
+    wall = time.perf_counter() - start
+    return outcome, wall
+
+
+def _percentile(latencies: list, q: float) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _bench_app(name: str) -> dict:
+    row: dict = {"records": TOTAL_RECORDS, "batch_records": BATCH_RECORDS}
+
+    clean, wall = _run(name, interval=SATURATED_INTERVAL)
+    digest = fingerprint(clean.sink.rows)
+    row["clean"] = {
+        "throughput_rps": clean.throughput_rps,
+        "wall_rps": clean.records_in / wall if wall > 0 else 0.0,
+        "p50_ms": _percentile(clean.batch_latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(clean.batch_latencies, 0.99) * 1e3,
+        "rows_emitted": clean.rows_emitted,
+        "digest": digest,
+    }
+
+    faulted, _ = _run(name, interval=SATURATED_INTERVAL, plan=FAULT_PLAN)
+    row["faulted"] = {
+        "throughput_rps": faulted.throughput_rps,
+        "p99_ms": _percentile(faulted.batch_latencies, 0.99) * 1e3,
+        "transient_faults": faulted.metrics.transient_faults,
+        "timeouts": faulted.metrics.timeouts,
+        "devices_lost": faulted.metrics.devices_lost,
+        "bit_identical": fingerprint(faulted.sink.rows) == digest,
+    }
+
+    lost, _ = _run(name, interval=RECOVERY_INTERVAL, plan=LOSS_PLAN)
+    lagging = [s for s in lost.signals if s.state == "LAGGING"]
+    ok = [s for s in lost.signals if s.state == "OK"]
+    row["recovery"] = {
+        "recovered": bool(lost.recovery_seconds),
+        "recovery_seconds": (lost.recovery_seconds[0]
+                             if lost.recovery_seconds else None),
+        "recovery_batches": (ok[0].batch_id - lagging[0].batch_id
+                             if lagging and ok else None),
+        "lagging_batches": lost.lagging_batches,
+        "devices_lost": lost.metrics.devices_lost,
+        "bit_identical": fingerprint(lost.sink.rows) == digest,
+    }
+    return row
+
+
+def run_benchmark() -> dict:
+    report: dict = {
+        "benchmark": "micro-batched streaming (throughput/latency/recovery)",
+        "total_records": TOTAL_RECORDS,
+        "batch_records": BATCH_RECORDS,
+        "partitions": PARTITIONS,
+        "saturated_interval_seconds": SATURATED_INTERVAL,
+        "recovery_interval_seconds": RECOVERY_INTERVAL,
+        "fault_plan": FAULT_PLAN,
+        "loss_plan": LOSS_PLAN,
+        "fault_seed": FAULT_SEED,
+        "apps": {},
+    }
+    for name in APP_NAMES:
+        report["apps"][name] = _bench_app(name)
+    apps = report["apps"]
+    report["summary"] = {
+        "min_throughput_rps": min(
+            r["clean"]["throughput_rps"] for r in apps.values()),
+        "max_p99_ms": max(r["clean"]["p99_ms"] for r in apps.values()),
+        "max_recovery_batches": max(
+            r["recovery"]["recovery_batches"] or 10**9
+            for r in apps.values()),
+        "all_recovered": all(
+            r["recovery"]["recovered"] for r in apps.values()),
+        "deterministic": all(
+            r["faulted"]["bit_identical"]
+            and r["recovery"]["bit_identical"] for r in apps.values()),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full report as JSON")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="fail if the minimum clean throughput "
+                             "drops below this records/s")
+    parser.add_argument("--p99-ceiling", type=float, default=None,
+                        help="fail if any app's clean p99 batch latency "
+                             "exceeds this many milliseconds")
+    parser.add_argument("--recovery-ceiling", type=int, default=None,
+                        help="fail if catching up after total board "
+                             "loss takes more than this many batches")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark()
+    summary = report["summary"]
+
+    header = f"{'app':>12} {'clean rps':>11} {'p50 ms':>8} {'p99 ms':>8} " \
+             f"{'fault rps':>11} {'recover':>8}"
+    print(header)
+    print("-" * len(header))
+    for name in APP_NAMES:
+        row = report["apps"][name]
+        print(f"{name:>12} {row['clean']['throughput_rps']:>11.0f} "
+              f"{row['clean']['p50_ms']:>8.3f} "
+              f"{row['clean']['p99_ms']:>8.3f} "
+              f"{row['faulted']['throughput_rps']:>11.0f} "
+              f"{row['recovery']['recovery_batches'] or '-':>7} b")
+    print(f"\nmin clean throughput "
+          f"{summary['min_throughput_rps']:.0f} records/s, "
+          f"max recovery {summary['max_recovery_batches']} batches, "
+          f"deterministic={summary['deterministic']}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.json}")
+
+    failed = False
+    if not summary["deterministic"]:
+        print("FAIL: faulted/recovery sink rows diverge from the "
+              "fault-free run", file=sys.stderr)
+        failed = True
+    if not summary["all_recovered"]:
+        print("FAIL: a stream never caught back up after board loss",
+              file=sys.stderr)
+        failed = True
+    if args.floor is not None \
+            and summary["min_throughput_rps"] < args.floor:
+        print(f"FAIL: min clean throughput "
+              f"{summary['min_throughput_rps']:.0f} records/s below "
+              f"the pinned floor {args.floor:.0f}", file=sys.stderr)
+        failed = True
+    if args.p99_ceiling is not None \
+            and summary["max_p99_ms"] > args.p99_ceiling:
+        print(f"FAIL: clean p99 latency {summary['max_p99_ms']:.3f} ms "
+              f"above the pinned ceiling {args.p99_ceiling} ms",
+              file=sys.stderr)
+        failed = True
+    if args.recovery_ceiling is not None \
+            and summary["max_recovery_batches"] > args.recovery_ceiling:
+        print(f"FAIL: board-loss recovery took "
+              f"{summary['max_recovery_batches']} batches, above the "
+              f"pinned ceiling {args.recovery_ceiling}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ one-shot shims kept for compatibility.
 
 __version__ = "1.1.0"
 
-from .config import DatasetConfig, ExploreConfig, RuntimeConfig
+from .config import DatasetConfig, ExploreConfig, RuntimeConfig, StreamConfig
 from .errors import S2FAError
 from .s2fa import (
     AcceleratorBuild,
@@ -45,6 +45,7 @@ __all__ = [
     "RuntimeConfig",
     "S2FAError",
     "S2FASession",
+    "StreamConfig",
     "build_accelerator",
     "generate_hls_c",
     "__version__",

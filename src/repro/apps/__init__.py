@@ -1,4 +1,12 @@
 """The evaluation applications of the paper (Table 2 / Fig. 3 / Fig. 4)."""
 
 from .base import AppSpec  # noqa: F401
-from .registry import ALL_APPS, APPS_BY_NAME, get_app  # noqa: F401
+from .registry import (  # noqa: F401
+    ALL_APPS,
+    APPS_BY_NAME,
+    STREAM_APPS,
+    STREAM_APPS_BY_NAME,
+    get_app,
+    get_stream_app,
+)
+from .streaming import StreamAppSpec  # noqa: F401

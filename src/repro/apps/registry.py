@@ -1,4 +1,5 @@
-"""Registry of the eight evaluation applications (Section 5)."""
+"""Registry of the eight evaluation applications (Section 5) plus the
+streaming pipelines layered on top of them."""
 
 from __future__ import annotations
 
@@ -10,6 +11,7 @@ from .lls import SPEC as LLS
 from .logistic import SPEC as LR
 from .pagerank import SPEC as PR
 from .smith_waterman import SPEC as SW
+from .streaming import AES_WINDOW, LOG_FILTER, LR_STREAM, StreamAppSpec
 from .svm import SPEC as SVM
 
 #: Table 2 order.
@@ -42,3 +44,22 @@ def get_app(name: str) -> AppSpec:
         known = ", ".join(sorted(APPS_BY_NAME))
         raise KeyError(f"unknown app {name!r}; known apps: {known}") \
             from None
+
+
+#: The continuous pipelines of ``s2fa stream``.
+STREAM_APPS: list[StreamAppSpec] = [LR_STREAM, AES_WINDOW, LOG_FILTER]
+
+STREAM_APPS_BY_NAME: dict[str, StreamAppSpec] = {
+    spec.name: spec for spec in STREAM_APPS
+}
+
+
+def get_stream_app(name: str) -> StreamAppSpec:
+    """Look up a streaming pipeline spec (case-insensitive)."""
+    folded = {spec.name.casefold(): spec for spec in STREAM_APPS}
+    try:
+        return folded[name.casefold()]
+    except KeyError:
+        known = ", ".join(sorted(STREAM_APPS_BY_NAME))
+        raise KeyError(
+            f"unknown streaming app {name!r}; known: {known}") from None

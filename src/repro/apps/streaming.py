@@ -1,0 +1,178 @@
+"""Streaming application specs: continuous pipelines over the kernels.
+
+Three pipelines cover the three operator families the streaming layer
+offers, each riding an accelerated stage through the Blaze offload
+path:
+
+* ``lr-stream``   — stateless accelerated map: logistic-regression
+  gradient inference over a continuous stream of labeled points;
+* ``aes-window``  — windowed aggregation: AES-encrypted blocks folded
+  into a sliding-window XOR checksum (an empty window emits the
+  zero-seeded identity block, never an error);
+* ``log-filter``  — sustained accelerated filtering plus running state:
+  severity-filtered log records counted per code bucket with
+  ``update_state_by_key``.
+
+A :class:`StreamAppSpec` does not own a :class:`StreamContext` — the
+``build`` hook receives the source stream and the registered
+accelerator id and returns the terminal node, so the same spec runs
+under any batch geometry, fault schedule, or checkpoint discipline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..compiler.interface import LayoutConfig
+from ..merlin.config import DesignConfig, LoopConfig
+from .aes import SPEC as AES
+from .base import AppSpec
+from .logistic import SPEC as LR
+
+
+@dataclass
+class StreamAppSpec:
+    """Everything ``session.stream`` needs about one streaming app."""
+
+    name: str
+    kind: str
+    description: str
+    #: ``generator(n, seed)`` produces ``n`` source records.
+    generator: Callable[[int, int], list]
+    #: ``build(source_stream, accel_id)`` returns the terminal DStream.
+    build: Callable
+    #: pure-Python oracle for the accelerated stage (per record).
+    reference: Callable
+    #: batch app whose kernel the accelerated stage reuses ...
+    base: Optional[AppSpec] = None
+    #: ... or a standalone kernel of its own.
+    scala_source: Optional[str] = None
+    pattern: str = "map"
+    batch_size: int = 1024
+    layout_config: Optional[LayoutConfig] = None
+    #: deploy design (default: the base app's expert manual design).
+    design: Optional[Callable] = None
+    chunk_records: int = 64
+
+    def compile(self, session):
+        """Compile the accelerated stage's kernel via the session cache."""
+        if self.base is not None:
+            if self.base.functional_layout is not None:
+                return session.compile(
+                    self.base,
+                    layout_config=self.base.functional_layout)
+            return session.compile(self.base)
+        return session.compile(
+            self.scala_source, pattern=self.pattern,
+            batch_size=self.batch_size,
+            layout_config=self.layout_config)
+
+    def design_for(self, compiled) -> DesignConfig:
+        if self.design is not None:
+            return self.design(compiled)
+        return self.base.manual_config(compiled)
+
+
+# ----------------------------------------------------------------------
+# lr-stream: stateless accelerated inference
+# ----------------------------------------------------------------------
+
+LR_STREAM = StreamAppSpec(
+    name="lr-stream",
+    kind="inference",
+    description="logistic-regression gradient inference over a "
+                "continuous stream of labeled points",
+    generator=LR.workload,
+    build=lambda src, accel_id: src.map_acc(accel_id),
+    reference=LR.reference,
+    base=LR,
+)
+
+
+# ----------------------------------------------------------------------
+# aes-window: windowed accelerated aggregation
+# ----------------------------------------------------------------------
+
+#: XOR-fold identity: the checksum of an empty window.
+ZERO_BLOCK = [0] * 16
+
+#: sliding window geometry (batches)
+AES_WINDOW_SIZE = 4
+AES_WINDOW_SLIDE = 2
+
+
+def _xor_block(a: list, b: list) -> list:
+    return [x ^ y for x, y in zip(a, b)]
+
+
+AES_WINDOW = StreamAppSpec(
+    name="aes-window",
+    kind="string proc.",
+    description="AES-encrypted blocks folded into a sliding-window "
+                "XOR checksum (empty windows emit the identity block)",
+    generator=AES.workload,
+    build=lambda src, accel_id: src.map_acc(accel_id)
+        .window(AES_WINDOW_SIZE, AES_WINDOW_SLIDE)
+        .fold(ZERO_BLOCK, _xor_block),
+    reference=AES.reference,
+    base=AES,
+)
+
+
+# ----------------------------------------------------------------------
+# log-filter: sustained accelerated filtering + running per-key state
+# ----------------------------------------------------------------------
+
+#: records at or above this severity pass the filter
+LOG_SEVERITY_THRESHOLD = 3
+
+#: per-key counting buckets for the surviving records
+LOG_BUCKETS = 7
+
+_LOG_KEEP_SCALA = f"""
+class LogKeep extends Accelerator[Int, Boolean] {{
+  val id: String = "logkeep"
+  val threshold: Int = {LOG_SEVERITY_THRESHOLD}
+  def call(in: Int): Boolean = in / 1000 >= threshold
+}}
+"""
+
+
+def log_workload(n: int, seed: int = 0) -> list[int]:
+    """``n`` log records: ``severity * 1000 + code`` (severity 0..7)."""
+    rng = random.Random(seed)
+    return [rng.randrange(8) * 1000 + rng.randrange(997)
+            for _ in range(n)]
+
+
+def log_keep(record: int) -> bool:
+    return record // 1000 >= LOG_SEVERITY_THRESHOLD
+
+
+def _log_design(compiled) -> DesignConfig:
+    return DesignConfig(
+        loops={"L0": LoopConfig(pipeline="on", parallel=4)},
+        bitwidths={leaf.name: 64 for leaf in compiled.layout.leaves})
+
+
+def _count(values: list, old) -> int:
+    return (old or 0) + sum(values)
+
+
+LOG_FILTER = StreamAppSpec(
+    name="log-filter",
+    kind="log proc.",
+    description="sustained severity filtering of log records with "
+                "running per-bucket counts",
+    generator=log_workload,
+    build=lambda src, accel_id: src.filter_acc(accel_id)
+        .map(lambda record: (record % 1000 % LOG_BUCKETS, 1))
+        .update_state_by_key(_count),
+    reference=log_keep,
+    scala_source=_LOG_KEEP_SCALA,
+    pattern="filter",
+    batch_size=1024,
+    design=_log_design,
+)

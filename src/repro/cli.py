@@ -37,6 +37,16 @@ Subcommands
     ``repro.fpga.faults``); the results must stay bit-identical, only the
     metrics change.
 
+``stream APP``
+    Run a registered streaming pipeline (``lr-stream``, ``aes-window``,
+    ``log-filter``) as micro-batches on the virtual clock: accelerated
+    stages offload through the resilient Blaze path, the sink is
+    idempotent per ``(batch_id, partition)``, and with
+    ``--checkpoint-dir`` the run is crash-safe and exactly-once —
+    SIGINT/SIGTERM flush a boundary checkpoint and exit
+    ``EXIT_INTERRUPTED``, and ``--resume`` continues to a sink
+    byte-identical to an uninterrupted run, under any fault schedule.
+
 ``dataset build|train|eval``
     The learned-cost-model pipeline: ``build`` sweeps kernels x sampled
     Merlin configs through the analytical estimator into a versioned
@@ -82,7 +92,7 @@ import sys
 from pathlib import Path
 
 from .compiler.interface import LayoutConfig
-from .errors import ExplorationInterrupted, S2FAError
+from .errors import ExplorationInterrupted, S2FAError, StreamInterrupted
 
 # ----------------------------------------------------------------------
 # Process exit codes.  Pinned so schedulers and CI can distinguish
@@ -385,6 +395,66 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return EXIT_FAILURE if (failed or report.failures) else EXIT_OK
 
 
+def _stream_config(args: argparse.Namespace):
+    from .config import StreamConfig
+
+    return StreamConfig(
+        batch_records=args.batch_records,
+        interval_seconds=args.interval,
+        total_records=args.records,
+        max_batches=args.batches,
+        data_seed=args.data_seed,
+        max_lag_intervals=args.max_lag,
+        sink=args.sink,
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        resume=bool(getattr(args, "resume", False)),
+        runtime=_runtime_config(args))
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """``s2fa stream``: run a streaming pipeline to completion."""
+    from .apps import get_stream_app
+
+    try:
+        spec = get_stream_app(args.app)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    session = _session(args)
+    outcome = session.stream(spec, _stream_config(args))
+    latencies = sorted(outcome.batch_latencies)
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1,
+                             int(p * len(latencies)))]
+
+    print(f"{outcome.app}: {outcome.batches} micro-batches, "
+          f"{outcome.records_in} records in, "
+          f"{outcome.rows_emitted} sink rows"
+          + (" (resumed)" if outcome.resumed else ""))
+    print(f"throughput        : {outcome.throughput_rps:.0f} records/s "
+          f"(virtual)")
+    print(f"batch latency     : p50 {pct(0.50) * 1e3:.3f} ms, "
+          f"p99 {pct(0.99) * 1e3:.3f} ms")
+    if outcome.duplicates_skipped:
+        print(f"replayed rows     : {outcome.duplicates_skipped} "
+              "(skipped by the idempotent sink)")
+    if outcome.lagging_batches:
+        recovered = ", ".join(f"{r * 1e3:.1f} ms"
+                              for r in outcome.recovery_seconds)
+        print(f"backpressure      : {outcome.lagging_batches} LAGGING "
+              f"batches"
+              + (f", recovered in {recovered}" if recovered else ""))
+    if args.metrics:
+        from .report import blaze_metrics_table
+
+        print()
+        print(blaze_metrics_table(outcome.metrics))
+    _export_trace(session, args)
+    return EXIT_OK
+
+
 def _serve_config(args: argparse.Namespace):
     from .config import ServeConfig
 
@@ -666,6 +736,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(run_p)
     run_p.set_defaults(func=cmd_run)
 
+    stream_p = sub.add_parser(
+        "stream", help="run a streaming pipeline (micro-batched, "
+                       "exactly-once) on the Blaze runtime")
+    stream_p.add_argument("app",
+                          help="streaming app: lr-stream, aes-window, "
+                               "or log-filter")
+    stream_p.add_argument("--batch-records", type=int, default=32,
+                          help="source records per micro-batch "
+                               "(default 32)")
+    stream_p.add_argument("--interval", type=float, default=0.05,
+                          metavar="SECONDS",
+                          help="micro-batch interval, virtual seconds "
+                               "(default 0.05)")
+    stream_p.add_argument("--records", type=int, default=256,
+                          help="bounded source size (default 256)")
+    stream_p.add_argument("--batches", type=int, default=None,
+                          help="hard cap on micro-batches (default: "
+                               "until the source is exhausted)")
+    stream_p.add_argument("--data-seed", type=int, default=21,
+                          help="record generator seed (default 21)")
+    stream_p.add_argument("--max-lag", type=float, default=2.0,
+                          metavar="INTERVALS",
+                          help="LAGGING threshold in batch intervals "
+                               "(default 2.0)")
+    stream_p.add_argument("--sink", metavar="FILE",
+                          help="append sink rows to this JSONL file "
+                               "(default: in-memory)")
+    stream_p.add_argument("--partitions", type=int, default=4,
+                          help="Spark partitions (default 4)")
+    stream_p.add_argument("--fault-plan", metavar="SPEC",
+                          help="device fault schedule, e.g. "
+                               "'transient=0.2,hang=0.05,lose_after=40'")
+    stream_p.add_argument("--fault-seed", type=int, default=0,
+                          help="seed of the fault schedule (default 0)")
+    stream_p.add_argument("--checkpoint-dir", metavar="DIR",
+                          help="crash-safe exactly-once streaming: "
+                               "checkpoint source offsets + operator "
+                               "state here after every micro-batch "
+                               "(SIGINT/SIGTERM then exit "
+                               f"{EXIT_INTERRUPTED} resumable)")
+    stream_p.add_argument("--resume", action="store_true",
+                          help="resume from the checkpoint in "
+                               "--checkpoint-dir if one exists")
+    stream_p.add_argument("--metrics", action="store_true",
+                          help="print the Blaze runtime metrics table")
+    _add_engine_flag(stream_p)
+    _add_trace_flag(stream_p)
+    stream_p.set_defaults(func=cmd_stream)
+
     fuzz_p = sub.add_parser(
         "fuzz", help="differential + metamorphic compiler fuzzing")
     fuzz_p.add_argument("--iterations", type=int, default=200,
@@ -842,7 +961,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ExplorationInterrupted as exc:
+    except (ExplorationInterrupted, StreamInterrupted) as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
         return EXIT_INTERRUPTED
     except S2FAError as exc:

@@ -22,7 +22,13 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
-from .errors import BlazeError, DatasetError, DSEError, ServeError
+from .errors import (
+    BlazeError,
+    DatasetError,
+    DSEError,
+    ServeError,
+    StreamError,
+)
 
 
 @dataclass(frozen=True)
@@ -208,6 +214,83 @@ class RuntimeConfig:
         from .fpga.faults import FaultPlan
 
         return FaultPlan.parse(self.fault_plan, seed=self.fault_seed)
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs of ``session.stream`` / the ``s2fa stream`` CLI verb.
+
+    Batch *content* is pinned by ``(data_seed, batch_records)`` alone —
+    micro-batch ``n`` always covers source offsets
+    ``[n * batch_records, (n+1) * batch_records)`` — so every other knob
+    here (intervals, lag thresholds, fault schedules in ``runtime``)
+    changes only timing and placement, never what the sink records.
+    The offload-path knobs (fault schedule, deadlines, engine) ride
+    along in ``runtime``, like :class:`ServeConfig`.
+    """
+
+    #: Source records admitted per micro-batch.
+    batch_records: int = 32
+    #: Micro-batch interval, virtual seconds.
+    interval_seconds: float = 0.05
+    #: Bounded source size (``None`` = unbounded; ``max_batches`` must
+    #: then bound the run).
+    total_records: Optional[int] = 256
+    #: Hard cap on micro-batches this run (``None`` = until the source
+    #: is exhausted).
+    max_batches: Optional[int] = None
+    #: Seed of the deterministic record source.
+    data_seed: int = 21
+    #: Admission depth while keeping up (shrinks to 1 under LAGGING).
+    prefetch_batches: int = 2
+    #: LAGGING threshold: completion slip past the next batch's due
+    #: time, in batch intervals.
+    max_lag_intervals: float = 2.0
+    #: Sink JSONL path (``None`` = in-memory sink).
+    sink: Optional[str] = None
+    #: Streaming checkpoint directory (``None`` disables crash-safe
+    #: exactly-once recovery; the sink stays idempotent regardless).
+    checkpoint_dir: Optional[str] = None
+    #: Resume from the checkpoint in ``checkpoint_dir`` if one exists
+    #: (otherwise start fresh — idempotent restart semantics).
+    resume: bool = False
+    #: Offload-path configuration (fault schedule, policy, engine).
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+    def __post_init__(self) -> None:
+        if self.batch_records < 1:
+            raise StreamError(
+                f"batch_records must be >= 1, got {self.batch_records}")
+        if self.interval_seconds <= 0:
+            raise StreamError(
+                "interval_seconds must be positive, got "
+                f"{self.interval_seconds}")
+        if self.total_records is not None and self.total_records < 0:
+            raise StreamError(
+                f"total_records must be >= 0, got {self.total_records}")
+        if self.max_batches is not None and self.max_batches < 1:
+            raise StreamError(
+                f"max_batches must be >= 1, got {self.max_batches}")
+        if self.total_records is None and self.max_batches is None:
+            raise StreamError(
+                "an unbounded source (total_records=None) needs "
+                "max_batches to bound the run")
+        if self.prefetch_batches < 1:
+            raise StreamError(
+                "prefetch_batches must be >= 1, got "
+                f"{self.prefetch_batches}")
+        if self.max_lag_intervals <= 0:
+            raise StreamError(
+                "max_lag_intervals must be positive, got "
+                f"{self.max_lag_intervals}")
+        if self.resume and not self.checkpoint_dir:
+            raise StreamError(
+                "resume=True needs checkpoint_dir (there is nowhere to "
+                "resume from)")
+
+    def replace(self, **changes) -> "StreamConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(frozen=True)

@@ -117,6 +117,33 @@ class ServeError(S2FAError):
         self.retry_after_s = retry_after_s
 
 
+class StreamError(S2FAError):
+    """Streaming-layer misconfiguration or state/sink corruption.
+
+    Raised for bad :class:`~repro.config.StreamConfig` knobs, checkpoint
+    identity mismatches on resume, and sink files whose *complete* lines
+    fail to parse (a torn final line is repaired silently — only
+    acknowledged data is held to the integrity bar).
+    """
+
+
+class StreamInterrupted(StreamError):
+    """A streaming run stopped gracefully at a micro-batch boundary.
+
+    Raised after the boundary checkpoint was flushed, so the stream is
+    *resumable*: ``checkpoint_path`` names the checkpoint file (``None``
+    when checkpointing is disabled) and ``batches`` counts the completed
+    micro-batches.  The CLI maps this to the same "preempted but
+    resumable" exit code as :class:`ExplorationInterrupted`.
+    """
+
+    def __init__(self, message: str, checkpoint_path=None,
+                 batches: int = 0):
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+        self.batches = batches
+
+
 class BlazeError(S2FAError):
     """Blaze runtime integration failure (registration, serialization...)."""
 

@@ -33,7 +33,7 @@ from typing import Optional, Union
 from .apps.base import AppSpec
 from .compiler.driver import CompiledKernel, compile_kernel
 from .compiler.interface import LayoutConfig
-from .config import ExploreConfig, RuntimeConfig
+from .config import ExploreConfig, RuntimeConfig, StreamConfig
 from .cost import CostModel, SurrogateCostModel
 from .dse.cache import CacheStore
 from .dse.checkpoint import CheckpointStore
@@ -58,8 +58,11 @@ from .obs import (
 
 
 @contextlib.contextmanager
-def _graceful_shutdown(engine: S2FAEngine, enabled: bool):
+def _graceful_shutdown(engine, enabled: bool):
     """Route SIGINT/SIGTERM to the engine's graceful stop.
+
+    ``engine`` is anything with a ``request_stop`` method — the DSE
+    engine and the streaming context share the same stop contract.
 
     Installed only while checkpointing is on (the stop is only useful
     when it leaves something to resume) and only on the main thread
@@ -381,6 +384,75 @@ class S2FASession:
                             policy=self.runtime_config.policy(),
                             tracer=self.tracer,
                             engine=self.runtime_config.engine)
+
+    # ------------------------------------------------------------------
+    # stream
+    # ------------------------------------------------------------------
+
+    def stream(self, app, config: Optional[StreamConfig] = None):
+        """Run a streaming pipeline to completion (micro-batched).
+
+        ``app`` is a registered streaming application name
+        (``"lr-stream"``, case-insensitive) or a
+        :class:`~repro.apps.streaming.StreamAppSpec`.  ``config``
+        defaults to ``StreamConfig(runtime=self.runtime_config)``.
+
+        With ``checkpoint_dir`` set the stream is crash-safe and
+        exactly-once: every micro-batch's sink rows are made durable
+        before its checkpoint, SIGINT/SIGTERM turn into a graceful stop
+        raising :class:`~repro.errors.StreamInterrupted` after the
+        boundary checkpoint, and ``resume=True`` continues where the
+        previous run stopped — the recovered sink is byte-identical to
+        an uninterrupted run, with zero duplicate
+        ``(batch_id, partition)`` rows.
+        """
+        from .apps.streaming import StreamAppSpec
+        from .blaze import BlazeRuntime
+        from .spark import SparkContext
+        from .streaming import JSONLSink, MemorySink, StreamContext
+
+        if isinstance(app, StreamAppSpec):
+            spec = app
+        elif isinstance(app, str):
+            from .apps import get_stream_app
+
+            try:
+                spec = get_stream_app(app)
+            except KeyError as exc:
+                raise S2FAError(exc.args[0]) from None
+        else:
+            raise S2FAError(
+                f"expected a streaming app name or StreamAppSpec, "
+                f"got {type(app).__name__}")
+        cfg = config if config is not None \
+            else StreamConfig(runtime=self.runtime_config)
+        rcfg = cfg.runtime
+        with self.tracer.span("pipeline.stream", app=spec.name,
+                              batch_records=cfg.batch_records) as span:
+            compiled = spec.compile(self)
+            span.set(accel=compiled.accel_id)
+            sc = SparkContext(default_parallelism=rcfg.partitions)
+            runtime = BlazeRuntime(sc, fault_plan=rcfg.plan(),
+                                   policy=rcfg.policy(),
+                                   tracer=self.tracer,
+                                   engine=rcfg.engine)
+            runtime.register(compiled, spec.design_for(compiled))
+            ctx = StreamContext(runtime, cfg, tracer=self.tracer)
+            src = ctx.source(spec.generator, seed=cfg.data_seed,
+                             total=cfg.total_records,
+                             chunk_records=spec.chunk_records)
+            pipeline = spec.build(src, compiled.accel_id)
+            sink = JSONLSink(cfg.sink) if cfg.sink else MemorySink()
+            try:
+                with _graceful_shutdown(
+                        ctx, enabled=cfg.checkpoint_dir is not None):
+                    outcome = ctx.run(pipeline, sink, name=spec.name)
+            finally:
+                sink.close()
+            span.set(batches=outcome.batches,
+                     rows=outcome.rows_emitted)
+        outcome.sink = sink
+        return outcome
 
     # ------------------------------------------------------------------
     # trace access

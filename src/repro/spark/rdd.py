@@ -17,6 +17,10 @@ from ..errors import S2FAError
 T = TypeVar("T")
 U = TypeVar("U")
 
+#: Sentinel distinguishing "no fold seed" from an explicit ``None`` seed
+#: (mirrors the ``reduce_acc`` contract in :mod:`repro.blaze.runtime`).
+_NO_SEED = object()
+
 
 class RDD:
     """A lazily evaluated, partitioned dataset."""
@@ -121,16 +125,38 @@ class RDD:
             raise S2FAError(f"reduce on empty RDD {self.name}")
         return accumulator
 
+    def fold(self, zero, fn: Callable[[T, T], T]):
+        """Total fold: an empty RDD returns ``zero``.
+
+        Same contract ``reduce_acc(zero=...)`` follows on the Blaze
+        path: the streaming layer folds empty micro-batches/windows to
+        the zero-seeded identity instead of raising like :meth:`reduce`.
+        """
+        accumulator = zero
+        for p in range(self.num_partitions):
+            for item in self.partition_data(p):
+                accumulator = fn(accumulator, item)
+        return accumulator
+
     def sum(self):
         return sum(self.collect())
 
-    def reduce_by_key(self, fn: Callable) -> "RDD":
-        """Group (k, v) pairs and fold values per key (hash-combined)."""
+    def reduce_by_key(self, fn: Callable, zero=_NO_SEED) -> "RDD":
+        """Group (k, v) pairs and fold values per key (hash-combined).
+
+        With a ``zero`` seed the per-key fold is total (``fold_by_key``):
+        every key folds ``zero`` in first, and an empty RDD yields an
+        empty RDD rather than an error — the streaming empty-window
+        contract (an empty micro-batch emits the zero-seeded identity,
+        not a crash or a missing emission).
+        """
         combined: dict = {}
         for p in range(self.num_partitions):
             for key, value in self.partition_data(p):
                 if key in combined:
                     combined[key] = fn(combined[key], value)
+                elif zero is not _NO_SEED:
+                    combined[key] = fn(zero, value)
                 else:
                     combined[key] = value
         return self.context.parallelize(

@@ -1,0 +1,50 @@
+"""Micro-batched streaming over the Spark + Blaze substrate.
+
+The package extends every robustness guarantee in the repo to
+continuous traffic: deterministic seeded sources
+(:mod:`~repro.streaming.source`), windowed/stateful operators over the
+accelerated offload path (:mod:`~repro.streaming.ops`), idempotent
+sinks (:mod:`~repro.streaming.sink`), atomic per-batch checkpoints
+(:mod:`~repro.streaming.state`), and the virtual-clock micro-batch
+driver with typed backpressure (:mod:`~repro.streaming.context`).
+
+The user-facing entry point is
+:meth:`repro.s2fa.S2FASession.stream` / the ``s2fa stream`` CLI verb;
+this package is the machinery underneath.
+"""
+
+from .codec import decode, encode, fingerprint
+from .context import (
+    BACKPRESSURE_LAGGING,
+    BACKPRESSURE_OK,
+    BackpressureSignal,
+    StreamContext,
+    StreamOutcome,
+)
+from .ops import DStream, SourceStream
+from .sink import JSONLSink, MemorySink
+from .source import SeededSource
+from .state import (
+    STREAM_CHECKPOINT_KIND,
+    STREAM_CHECKPOINT_VERSION,
+    StreamCheckpointStore,
+)
+
+__all__ = [
+    "BACKPRESSURE_LAGGING",
+    "BACKPRESSURE_OK",
+    "BackpressureSignal",
+    "DStream",
+    "JSONLSink",
+    "MemorySink",
+    "SeededSource",
+    "SourceStream",
+    "STREAM_CHECKPOINT_KIND",
+    "STREAM_CHECKPOINT_VERSION",
+    "StreamCheckpointStore",
+    "StreamContext",
+    "StreamOutcome",
+    "decode",
+    "encode",
+    "fingerprint",
+]

@@ -1,0 +1,80 @@
+"""Lossless JSON codec for streaming state and sink records.
+
+Streaming operator state and sink payloads are built from the task
+objects the apps push through the pipeline: tuples (LR's
+``(label, features)`` pairs), lists, and dicts keyed by non-strings
+(``update_state_by_key`` counters keyed by ints or tuples).  Plain
+``json.dumps`` silently turns tuples into lists and int keys into
+strings, which breaks the bit-identity guarantee the recovery path
+depends on: a replayed batch must re-serialize to the *same bytes* as
+the original emission.
+
+The codec therefore tags the two lossy shapes:
+
+* tuples become ``{"__t__": [items...]}``;
+* dicts become ``{"__kv__": [[key, value], ...]}`` with the pairs
+  sorted by the canonical encoding of the key, so two dicts with the
+  same contents encode identically regardless of insertion order.
+
+Everything else (None, bool, int, float, str, list) passes through.
+Because *user* dicts always encode to the ``__kv__`` form, a user value
+that happens to contain the literal key ``"__t__"`` cannot collide with
+the tuple tag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..errors import StreamError
+
+_TUPLE_TAG = "__t__"
+_KV_TAG = "__kv__"
+
+_SCALARS = (type(None), bool, int, float, str)
+
+
+def encode(value):
+    """JSON-safe form of ``value`` (tuples and dict keys preserved)."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [encode(item) for item in value]}
+    if isinstance(value, list):
+        return [encode(item) for item in value]
+    if isinstance(value, dict):
+        pairs = [[encode(key), encode(val)] for key, val in value.items()]
+        pairs.sort(key=lambda pair: canonical_json(pair[0]))
+        return {_KV_TAG: pairs}
+    raise StreamError(
+        f"cannot encode {type(value).__name__} for streaming state")
+
+
+def decode(obj):
+    """Inverse of :func:`encode`."""
+    if isinstance(obj, _SCALARS):
+        return obj
+    if isinstance(obj, list):
+        return [decode(item) for item in obj]
+    if isinstance(obj, dict):
+        if len(obj) == 1 and _TUPLE_TAG in obj:
+            return tuple(decode(item) for item in obj[_TUPLE_TAG])
+        if len(obj) == 1 and _KV_TAG in obj:
+            return {decode(key): decode(val)
+                    for key, val in obj[_KV_TAG]}
+        raise StreamError(f"untagged object in encoded stream data: "
+                          f"{sorted(obj)[:4]!r}")
+    raise StreamError(
+        f"cannot decode {type(obj).__name__} from streaming state")
+
+
+def canonical_json(encoded) -> str:
+    """Byte-deterministic JSON text of an already-:func:`encode`d value."""
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(value) -> str:
+    """Short stable digest of a value (sink/recovery bit-identity checks)."""
+    return hashlib.sha256(
+        canonical_json(encode(value)).encode()).hexdigest()[:24]

@@ -1,0 +1,231 @@
+"""Windowed, stateful micro-batch operators (the DStream graph).
+
+A :class:`DStream` is one node of a linear dataflow chain: each
+micro-batch flows from the seeded source through every node, and the
+terminal node's output is what the sink records.  Stateless nodes
+(``map``/``filter`` and their accelerator-offloaded twins) are pure
+per-batch functions; stateful nodes (``window``,
+``update_state_by_key``) carry state *across* batches and expose
+``state_snapshot``/``state_restore`` so the context can checkpoint them
+atomically with the source offset — replaying batch ``n`` against the
+batch-``n-1`` state reproduces the original output bit for bit.
+
+The accelerator nodes route through the Blaze offload path
+(:meth:`~repro.blaze.runtime.BlazeRuntime.offload_batch` under the
+hood), so every resilience guarantee — retries, quarantine, transparent
+JVM fallback with bit-identical results — applies per micro-batch.
+
+Empty-window contract: an empty micro-batch or window emits the
+zero-seeded identity, never an error.  ``fold`` always emits its folded
+value (``zero`` for an empty window) and ``reduce_by_key`` with a
+``zero`` seed yields an empty batch for empty input — the same contract
+``reduce_acc(zero=...)`` follows on the Blaze path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from ..errors import StreamError
+from ..spark.rdd import _NO_SEED
+
+# re-exported sentinel: keyword-less reduce_by_key keeps Spark semantics
+NO_SEED = _NO_SEED
+
+
+class DStream:
+    """One node of the streaming dataflow chain."""
+
+    def __init__(self, ctx, parent: Optional["DStream"]):
+        self.ctx = ctx
+        self.parent = parent
+        self.node_id = ctx._register_node(self)
+
+    # -- combinators -----------------------------------------------------
+
+    def map(self, fn: Callable) -> "DStream":
+        return _Mapped(self.ctx, self, fn)
+
+    def filter(self, fn: Callable) -> "DStream":
+        return _Filtered(self.ctx, self, fn)
+
+    def map_acc(self, accel_id: str) -> "DStream":
+        """Per-batch accelerated map via the Blaze offload path."""
+        return _AccMapped(self.ctx, self, accel_id)
+
+    def filter_acc(self, accel_id: str) -> "DStream":
+        """Per-batch accelerated filter via the Blaze offload path."""
+        return _AccFiltered(self.ctx, self, accel_id)
+
+    def reduce_by_key(self, fn: Callable, zero=NO_SEED) -> "DStream":
+        return _ReducedByKey(self.ctx, self, fn, zero)
+
+    def fold(self, zero, fn: Callable) -> "DStream":
+        """Total per-batch fold: emits ``[folded]`` (``[zero]`` when
+        the batch is empty)."""
+        return _Folded(self.ctx, self, zero, fn)
+
+    def window(self, size: int, slide: Optional[int] = None) -> "DStream":
+        """Window of the last ``size`` batches, emitted every ``slide``
+        batches (tumbling when ``slide`` is omitted)."""
+        return _Windowed(self.ctx, self, size, slide)
+
+    def update_state_by_key(self, fn: Callable) -> "DStream":
+        """Running per-key state: ``fn(batch_values, old_state)`` maps
+        each key's values in this batch (plus its previous state,
+        ``None`` the first time) to its new state.  Emits the updated
+        ``(key, state)`` pairs in sorted key order."""
+        return _StateByKey(self.ctx, self, fn)
+
+    # -- evaluation ------------------------------------------------------
+
+    def evaluate(self, batch_id: int) -> list:
+        return self.apply(batch_id, self.parent.evaluate(batch_id))
+
+    def apply(self, batch_id: int, records: list) -> list:
+        raise NotImplementedError
+
+    # -- state (stateless by default) ------------------------------------
+
+    def state_snapshot(self):
+        """JSON-codec-encodable operator state (``None`` = stateless)."""
+        return None
+
+    def state_restore(self, data) -> None:
+        raise StreamError(
+            f"node {self.node_id} ({type(self).__name__}) is stateless "
+            f"but the checkpoint carries state for it")
+
+
+class SourceStream(DStream):
+    """Chain head: records come straight from the seeded source."""
+
+    def __init__(self, ctx, source):
+        super().__init__(ctx, None)
+        self.source = source
+
+    def evaluate(self, batch_id: int) -> list:
+        offset = batch_id * self.ctx.config.batch_records
+        return self.source.records(offset, self.ctx.config.batch_records)
+
+
+class _Mapped(DStream):
+    def __init__(self, ctx, parent, fn):
+        super().__init__(ctx, parent)
+        self.fn = fn
+
+    def apply(self, batch_id: int, records: list) -> list:
+        return [self.fn(record) for record in records]
+
+
+class _Filtered(DStream):
+    def __init__(self, ctx, parent, fn):
+        super().__init__(ctx, parent)
+        self.fn = fn
+
+    def apply(self, batch_id: int, records: list) -> list:
+        return [record for record in records if self.fn(record)]
+
+
+class _AccMapped(DStream):
+    def __init__(self, ctx, parent, accel_id):
+        super().__init__(ctx, parent)
+        self.accel_id = accel_id
+        # fail fast on an unknown id or a non-map kernel
+        self.ctx.shell_check(accel_id, "map")
+
+    def apply(self, batch_id: int, records: list) -> list:
+        if not records:
+            return []
+        return self.ctx.shell(records).map_acc(self.accel_id).collect()
+
+
+class _AccFiltered(DStream):
+    def __init__(self, ctx, parent, accel_id):
+        super().__init__(ctx, parent)
+        self.accel_id = accel_id
+        self.ctx.shell_check(accel_id, "filter")
+
+    def apply(self, batch_id: int, records: list) -> list:
+        if not records:
+            return []
+        return self.ctx.shell(records).filter_acc(self.accel_id).collect()
+
+
+class _ReducedByKey(DStream):
+    def __init__(self, ctx, parent, fn, zero):
+        super().__init__(ctx, parent)
+        self.fn = fn
+        self.zero = zero
+
+    def apply(self, batch_id: int, records: list) -> list:
+        return self.ctx.rdd(records).reduce_by_key(
+            self.fn, zero=self.zero).collect()
+
+
+class _Folded(DStream):
+    def __init__(self, ctx, parent, zero, fn):
+        super().__init__(ctx, parent)
+        self.zero = zero
+        self.fn = fn
+
+    def apply(self, batch_id: int, records: list) -> list:
+        return [self.ctx.rdd(records).fold(self.zero, self.fn)]
+
+
+class _Windowed(DStream):
+    """Buffers the last ``size`` parent batches; emits their
+    concatenation on slide boundaries, ``[]`` in between."""
+
+    def __init__(self, ctx, parent, size: int, slide: Optional[int]):
+        super().__init__(ctx, parent)
+        if size < 1:
+            raise StreamError(f"window size must be >= 1, got {size}")
+        slide = size if slide is None else slide
+        if slide < 1:
+            raise StreamError(f"window slide must be >= 1, got {slide}")
+        self.size = size
+        self.slide = slide
+        self._buffer: deque = deque(maxlen=size)
+
+    def apply(self, batch_id: int, records: list) -> list:
+        self._buffer.append([batch_id, list(records)])
+        if (batch_id + 1) % self.slide:
+            return []
+        out: list = []
+        for _, batch in self._buffer:
+            out.extend(batch)
+        return out
+
+    def state_snapshot(self):
+        return {"buffer": [[bid, batch] for bid, batch in self._buffer]}
+
+    def state_restore(self, data) -> None:
+        self._buffer.clear()
+        for bid, batch in data["buffer"]:
+            self._buffer.append([bid, batch])
+
+
+class _StateByKey(DStream):
+    def __init__(self, ctx, parent, fn):
+        super().__init__(ctx, parent)
+        self.fn = fn
+        self._state: dict = {}
+
+    def apply(self, batch_id: int, records: list) -> list:
+        grouped: dict = {}
+        for key, value in records:
+            grouped.setdefault(key, []).append(value)
+        out = []
+        for key in sorted(grouped):
+            self._state[key] = self.fn(grouped[key],
+                                       self._state.get(key))
+            out.append((key, self._state[key]))
+        return out
+
+    def state_snapshot(self):
+        return {"state": self._state}
+
+    def state_restore(self, data) -> None:
+        self._state = dict(data["state"])

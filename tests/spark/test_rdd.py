@@ -119,3 +119,45 @@ class TestCaching:
         rdd.unpersist()
         rdd.collect()
         assert calls == [1, 1]
+
+
+class TestZeroSeededFolds:
+    """The streaming empty-window contract (PR 9, mirroring PR 2's
+    ``reduce_acc`` fix): zero-seeded folds are total."""
+
+    def test_fold_empty_returns_zero(self, sc):
+        assert sc.parallelize([]).fold(0, lambda a, b: a + b) == 0
+        assert sc.parallelize([]).fold([0.0, 0.0],
+                                       lambda a, b: a) == [0.0, 0.0]
+
+    def test_fold_seeds_the_accumulator(self, sc):
+        assert sc.parallelize([1, 2, 3], 2).fold(
+            10, lambda a, b: a + b) == 16
+
+    def test_fold_single_element(self, sc):
+        assert sc.parallelize([5]).fold(1, lambda a, b: a * b) == 5
+
+    def test_reduce_by_key_zero_seeds_every_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        rdd = sc.parallelize(pairs, 2).reduce_by_key(
+            lambda a, b: a + b, zero=100)
+        assert rdd.collect() == [("a", 104), ("b", 102)]
+
+    def test_reduce_by_key_empty_with_zero_is_empty(self, sc):
+        rdd = sc.parallelize([]).reduce_by_key(lambda a, b: a + b,
+                                               zero=0)
+        assert rdd.collect() == []
+
+    def test_reduce_by_key_without_zero_unchanged(self, sc):
+        pairs = [("a", 1), ("a", 3)]
+        rdd = sc.parallelize(pairs, 2).reduce_by_key(lambda a, b: a + b)
+        assert rdd.collect() == [("a", 4)]
+
+    @given(hst.lists(hst.tuples(hst.integers(0, 4), hst.integers())))
+    def test_zero_seed_never_changes_sums(self, pairs):
+        sc = SparkContext(default_parallelism=3)
+        with_zero = sc.parallelize(pairs).reduce_by_key(
+            lambda a, b: a + b, zero=0).collect()
+        plain = sc.parallelize(pairs).reduce_by_key(
+            lambda a, b: a + b).collect()
+        assert with_zero == plain

@@ -1,0 +1,98 @@
+"""Lossless codec: round-trips, canonical bytes, tag discipline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StreamError
+from repro.streaming import decode, encode, fingerprint
+from repro.streaming.codec import canonical_json
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -7, 3.5, "text", "",
+        (1, 2, 3),
+        [1, (2, 3), [4, (5,)]],
+        {"a": 1, "b": [2, 3]},
+        {1: "int key", (2, 3): "tuple key"},
+        {"state": {("k", 0): [1.5, None], "plain": (True,)}},
+        (),
+        {},
+        [],
+    ])
+    def test_identity(self, value):
+        assert decode(encode(value)) == value
+
+    def test_tuples_survive_as_tuples(self):
+        out = decode(encode([(1, 2), [3, 4]]))
+        assert isinstance(out[0], tuple)
+        assert isinstance(out[1], list)
+
+    def test_int_dict_keys_survive(self):
+        out = decode(encode({1: "a", 2: "b"}))
+        assert set(out) == {1, 2}
+
+    def test_user_dict_with_tag_like_key_is_safe(self):
+        # A user dict containing the literal tag key must not be
+        # mistaken for a tagged tuple on the way back.
+        value = {"__t__": [1, 2]}
+        assert decode(encode(value)) == value
+
+
+class TestCanonicalBytes:
+    def test_dict_insertion_order_is_erased(self):
+        a = {"x": 1, "y": 2}
+        b = {}
+        b["y"] = 2
+        b["x"] = 1
+        assert canonical_json(encode(a)) == canonical_json(encode(b))
+
+    def test_non_string_key_order_is_erased(self):
+        a = {(1, 2): "a", (0, 9): "b"}
+        b = {(0, 9): "b", (1, 2): "a"}
+        assert canonical_json(encode(a)) == canonical_json(encode(b))
+
+    def test_fingerprint_stable_and_discriminating(self):
+        value = {"k": [(1, 2), 3.0]}
+        assert fingerprint(value) == fingerprint({"k": [(1, 2), 3.0]})
+        assert fingerprint(value) != fingerprint({"k": [(1, 2), 3.1]})
+        assert len(fingerprint(value)) == 24
+
+
+class TestErrors:
+    def test_encode_rejects_unsupported_type(self):
+        with pytest.raises(StreamError, match="cannot encode"):
+            encode({1, 2, 3})
+
+    def test_decode_rejects_untagged_object(self):
+        with pytest.raises(StreamError, match="untagged object"):
+            decode({"a": 1, "b": 2})
+
+    def test_decode_rejects_unsupported_type(self):
+        with pytest.raises(StreamError, match="cannot decode"):
+            decode(object())
+
+
+_VALUES = st.recursive(
+    st.none() | st.booleans() | st.integers(-2**31, 2**31)
+    | st.floats(allow_nan=False, allow_infinity=False) | st.text(),
+    lambda children: (
+        st.lists(children, max_size=4)
+        | st.tuples(children, children)
+        | st.dictionaries(
+            st.integers(-99, 99) | st.text(max_size=6)
+            | st.tuples(st.integers(-9, 9)),
+            children, max_size=4)),
+    max_leaves=20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_VALUES)
+def test_round_trip_property(value):
+    encoded = encode(value)
+    assert decode(encoded) == value
+    # canonical text survives a JSON round trip byte for byte
+    import json
+    assert canonical_json(json.loads(canonical_json(encoded))) \
+        == canonical_json(encoded)

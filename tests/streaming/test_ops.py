@@ -1,0 +1,165 @@
+"""DStream operators: per-batch semantics, windows, keyed state."""
+
+import pytest
+
+from repro.blaze import BlazeRuntime
+from repro.config import StreamConfig
+from repro.errors import S2FAError, StreamError
+from repro.spark import SparkContext
+from repro.streaming import StreamContext
+from repro.streaming import codec
+from repro.streaming.ops import (
+    _Filtered,
+    _Folded,
+    _Mapped,
+    _ReducedByKey,
+    _StateByKey,
+    _Windowed,
+)
+
+
+def gen(n, seed):
+    return [(seed + i) % (2 ** 31) for i in range(n)]
+
+
+def make_ctx(batch_records=4, partitions=2, total=64):
+    cfg = StreamConfig(batch_records=batch_records, total_records=total)
+    sc = SparkContext(default_parallelism=partitions)
+    return StreamContext(BlazeRuntime(sc), cfg)
+
+
+@pytest.fixture
+def ctx():
+    return make_ctx()
+
+
+class TestStatelessOps:
+    def test_map(self, ctx):
+        node = _Mapped(ctx, None, lambda x: x * 2)
+        assert node.apply(0, [1, 2, 3]) == [2, 4, 6]
+
+    def test_filter(self, ctx):
+        node = _Filtered(ctx, None, lambda x: x % 2 == 0)
+        assert node.apply(0, [1, 2, 3, 4]) == [2, 4]
+
+    def test_chain_evaluates_through_the_source(self, ctx):
+        src = ctx.source(gen, seed=9, total=16, chunk_records=4)
+        doubled = src.map(lambda x: x * 2)
+        assert doubled.evaluate(1) == [x * 2 for x in src.evaluate(1)]
+
+    def test_source_offsets_are_batch_sizing_independent(self):
+        # content-time separation at the source: re-batching the stream
+        # never changes which record lands at which offset
+        small, big = make_ctx(batch_records=4), make_ctx(batch_records=8)
+        src4 = small.source(gen, seed=3, total=32, chunk_records=4)
+        src8 = big.source(gen, seed=3, total=32, chunk_records=4)
+        assert src4.evaluate(0) + src4.evaluate(1) == src8.evaluate(0)
+
+    def test_acc_node_rejects_unknown_accelerator(self, ctx):
+        src = ctx.source(gen, seed=1, total=8)
+        with pytest.raises(S2FAError):
+            src.map_acc("no-such-kernel")
+
+    def test_stateless_restore_raises(self, ctx):
+        node = _Mapped(ctx, None, lambda x: x)
+        with pytest.raises(StreamError, match="stateless"):
+            node.state_restore({})
+        assert node.state_snapshot() is None
+
+
+class TestReductions:
+    def test_reduce_by_key_zero_seeds_every_key(self, ctx):
+        node = _ReducedByKey(ctx, None, lambda a, b: a + b, 10)
+        out = node.apply(0, [("a", 1), ("b", 2), ("a", 3)])
+        assert sorted(out) == [("a", 14), ("b", 12)]
+
+    def test_reduce_by_key_empty_batch_is_empty(self, ctx):
+        node = _ReducedByKey(ctx, None, lambda a, b: a + b, 0)
+        assert node.apply(0, []) == []
+
+    def test_fold_empty_batch_emits_zero(self, ctx):
+        node = _Folded(ctx, None, 42, lambda a, b: a + b)
+        assert node.apply(0, []) == [42]
+
+    def test_fold_seeds_the_accumulator(self, ctx):
+        node = _Folded(ctx, None, 100, lambda a, b: a + b)
+        assert node.apply(0, [1, 2, 3]) == [106]
+
+
+class TestWindow:
+    def batches(self):
+        return {0: [0, 1], 1: [10, 11], 2: [20, 21], 3: [30, 31],
+                4: [40, 41], 5: [50, 51]}
+
+    def test_tumbling_emits_on_boundaries_only(self, ctx):
+        w = _Windowed(ctx, None, 2, None)     # slide defaults to size
+        data = self.batches()
+        assert w.apply(0, data[0]) == []
+        assert w.apply(1, data[1]) == [0, 1, 10, 11]
+        assert w.apply(2, data[2]) == []
+        assert w.apply(3, data[3]) == [20, 21, 30, 31]
+
+    def test_sliding_window_overlaps(self, ctx):
+        w = _Windowed(ctx, None, 4, 2)
+        data = self.batches()
+        outs = [w.apply(n, data[n]) for n in range(6)]
+        assert outs[0] == outs[2] == outs[4] == []
+        assert outs[1] == [0, 1, 10, 11]
+        assert outs[3] == [0, 1, 10, 11, 20, 21, 30, 31]
+        # the deque evicts batches 0-1: only the last `size` remain
+        assert outs[5] == [20, 21, 30, 31, 40, 41, 50, 51]
+
+    def test_snapshot_restore_is_bit_exact(self, ctx):
+        data = self.batches()
+        w1 = _Windowed(ctx, None, 4, 2)
+        for n in range(3):
+            w1.apply(n, data[n])
+        snapshot = codec.decode(codec.encode(w1.state_snapshot()))
+
+        w2 = _Windowed(make_ctx(), None, 4, 2)
+        w2.state_restore(snapshot)
+        assert w2.apply(3, data[3]) == w1.apply(3, data[3])
+
+    def test_bad_geometry_rejected(self, ctx):
+        with pytest.raises(StreamError, match="window size"):
+            _Windowed(ctx, None, 0, None)
+        with pytest.raises(StreamError, match="window slide"):
+            _Windowed(ctx, None, 2, 0)
+
+
+class TestStateByKey:
+    @staticmethod
+    def count(values, old):
+        return (old or 0) + sum(values)
+
+    def test_state_accumulates_across_batches(self, ctx):
+        node = _StateByKey(ctx, None, self.count)
+        assert node.apply(0, [("a", 1), ("b", 2), ("a", 1)]) \
+            == [("a", 2), ("b", 2)]
+        # only keys present in the batch are emitted, state persists
+        assert node.apply(1, [("a", 5)]) == [("a", 7)]
+        assert node.apply(2, [("b", 1), ("c", 1)]) \
+            == [("b", 3), ("c", 1)]
+
+    def test_first_time_old_state_is_none(self, ctx):
+        seen = []
+
+        def probe(values, old):
+            seen.append(old)
+            return sum(values)
+
+        node = _StateByKey(ctx, None, probe)
+        node.apply(0, [("k", 1)])
+        node.apply(1, [("k", 2)])
+        assert seen == [None, 1]
+
+    def test_snapshot_restore_is_bit_exact(self, ctx):
+        node = _StateByKey(ctx, None, self.count)
+        node.apply(0, [("a", 1), ("b", 2)])
+        node.apply(1, [("a", 3)])
+        snapshot = codec.decode(codec.encode(node.state_snapshot()))
+
+        fresh = _StateByKey(make_ctx(), None, self.count)
+        fresh.state_restore(snapshot)
+        batch = [("a", 1), ("b", 1), ("c", 1)]
+        assert fresh.apply(2, list(batch)) == node.apply(2, list(batch))

@@ -1,0 +1,111 @@
+"""Idempotent sinks: replay dedupe, torn-tail repair, byte determinism."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming import JSONLSink, MemorySink
+
+ROWS = [
+    (0, 0, 0, [(1, 2), 3]),
+    (0, 1, 1, ["a", {"k": 4}]),
+    (1, 0, 2, []),
+    (1, 1, 3, [7.5]),
+]
+
+
+def fill(sink, rows=ROWS):
+    for batch, part, seq, records in rows:
+        sink.emit(batch, part, seq, records)
+        sink.flush_batch()
+
+
+class TestMemorySink:
+    def test_replay_is_refused(self):
+        sink = MemorySink()
+        assert sink.emit(0, 0, 0, [1]) is True
+        assert sink.emit(0, 0, 99, [2]) is False
+        assert sink.duplicates_skipped == 1
+        assert len(sink.rows) == 1
+        assert sink.rows[0]["records"] == [1]
+
+    def test_keys(self):
+        sink = MemorySink()
+        fill(sink)
+        assert sink.keys() == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestJSONLSink:
+    def test_byte_determinism_across_processes(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            sink = JSONLSink(path)
+            fill(sink)
+            sink.close()
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes().endswith(b"\n")
+
+    def test_reopen_indexes_existing_keys(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sink = JSONLSink(path)
+        fill(sink)
+        sink.close()
+        baseline = path.read_bytes()
+
+        reopened = JSONLSink(path)
+        assert reopened.keys() == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        # a full replay of every batch writes nothing new
+        fill(reopened)
+        assert reopened.duplicates_skipped == len(ROWS)
+        reopened.close()
+        assert path.read_bytes() == baseline
+
+    def test_torn_tail_is_repaired_and_replayable(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sink = JSONLSink(path)
+        fill(sink, ROWS[:3])
+        sink.close()
+        baseline_prefix = path.read_bytes()
+
+        # crash mid-write: the last line never got its newline
+        with open(path, "ab") as fh:
+            fh.write(b'{"batch":1,"part":1,"seq":3,"rec')
+
+        repaired = JSONLSink(path)
+        # the unacknowledged torn row is gone...
+        assert repaired.keys() == {(0, 0), (0, 1), (1, 0)}
+        # ...and replaying it produces the bytes a clean run would have
+        assert repaired.emit(*ROWS[3]) is True
+        repaired.flush_batch()
+        repaired.close()
+
+        clean = JSONLSink(tmp_path / "clean.jsonl")
+        fill(clean)
+        clean.close()
+        assert path.read_bytes() == (tmp_path / "clean.jsonl").read_bytes()
+        assert path.read_bytes()[:len(baseline_prefix)] == baseline_prefix
+
+    def test_corrupt_complete_line_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_bytes(b'not json at all\n')
+        with pytest.raises(StreamError, match="corrupt sink line 1"):
+            JSONLSink(path)
+
+    def test_missing_key_field_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_bytes(b'{"seq": 0}\n')
+        with pytest.raises(StreamError, match="corrupt sink line"):
+            JSONLSink(path)
+
+    def test_duplicate_key_on_disk_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        line = b'{"batch":0,"part":0,"seq":0,"records":[]}\n'
+        path.write_bytes(line + line)
+        with pytest.raises(StreamError, match="duplicate sink key"):
+            JSONLSink(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        sink = JSONLSink(tmp_path / "deep" / "nested" / "s.jsonl")
+        sink.emit(0, 0, 0, [1])
+        sink.flush_batch()
+        sink.close()
+        assert (tmp_path / "deep" / "nested" / "s.jsonl").exists()

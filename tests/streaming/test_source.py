@@ -1,0 +1,79 @@
+"""Seeded source: batch-sizing independence, bounds, validation."""
+
+import random
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming import SeededSource
+
+
+def workload(n, seed):
+    rng = random.Random(seed)
+    return [rng.randrange(1000) for _ in range(n)]
+
+
+def make(total=None, chunk=8, seed=5):
+    return SeededSource(workload, seed=seed, total=total,
+                        chunk_records=chunk)
+
+
+class TestBatchSizingIndependence:
+    def test_record_i_is_independent_of_read_pattern(self):
+        # The exactly-once core: however the offsets are sliced into
+        # micro-batches, the assembled records are identical.
+        flat = make().records(0, 48)
+        chunked = []
+        for off in range(0, 48, 5):
+            chunked.extend(make().records(off, min(5, 48 - off)))
+        assert chunked == flat
+
+    def test_unaligned_reads_cross_chunk_boundaries(self):
+        src = make(chunk=8)
+        assert src.records(6, 4) == src.records(0, 16)[6:10]
+
+    def test_restart_reproduces_the_same_records(self):
+        assert make().records(0, 40) == make().records(0, 40)
+
+    def test_different_seeds_differ(self):
+        assert make(seed=1).records(0, 32) != make(seed=2).records(0, 32)
+
+
+class TestBounds:
+    def test_total_clips_the_final_batch(self):
+        src = make(total=20, chunk=8)
+        assert len(src.records(16, 8)) == 4
+        assert src.records(16, 8) == src.records(0, 20)[16:]
+
+    def test_reads_past_total_are_empty(self):
+        src = make(total=20)
+        assert src.records(20, 8) == []
+        assert src.records(99, 8) == []
+
+    def test_exhausted(self):
+        src = make(total=20)
+        assert not src.exhausted(19)
+        assert src.exhausted(20)
+        assert src.exhausted(21)
+        assert not make(total=None).exhausted(10**9)
+
+
+class TestValidation:
+    def test_negative_range_rejected(self):
+        with pytest.raises(StreamError, match="bad source range"):
+            make().records(-1, 4)
+        with pytest.raises(StreamError, match="bad source range"):
+            make().records(0, -4)
+
+    def test_bad_chunk_records_rejected(self):
+        with pytest.raises(StreamError, match="chunk_records"):
+            SeededSource(workload, chunk_records=0)
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(StreamError, match="total"):
+            SeededSource(workload, total=-1)
+
+    def test_short_generator_rejected(self):
+        src = SeededSource(lambda n, seed: [seed], chunk_records=4)
+        with pytest.raises(StreamError, match="expected 4"):
+            src.records(0, 4)

@@ -10,6 +10,7 @@ import repro
 import repro.cost
 import repro.dataset
 import repro.obs
+import repro.streaming
 
 TOP_LEVEL = {
     "AcceleratorBuild",
@@ -19,9 +20,29 @@ TOP_LEVEL = {
     "RuntimeConfig",
     "S2FAError",
     "S2FASession",
+    "StreamConfig",
     "build_accelerator",
     "generate_hls_c",
     "__version__",
+}
+
+STREAMING = {
+    "BACKPRESSURE_LAGGING",
+    "BACKPRESSURE_OK",
+    "BackpressureSignal",
+    "DStream",
+    "JSONLSink",
+    "MemorySink",
+    "SeededSource",
+    "SourceStream",
+    "STREAM_CHECKPOINT_KIND",
+    "STREAM_CHECKPOINT_VERSION",
+    "StreamCheckpointStore",
+    "StreamContext",
+    "StreamOutcome",
+    "decode",
+    "encode",
+    "fingerprint",
 }
 
 COST = {
@@ -78,8 +99,8 @@ OBS = {
     "summarize",
 }
 
-SESSION_METHODS = {"compile", "explore", "run", "hls_c", "resolve",
-                   "export_trace", "trace_summary"}
+SESSION_METHODS = {"compile", "explore", "run", "stream", "hls_c",
+                   "resolve", "export_trace", "trace_summary"}
 
 
 def test_top_level_all_snapshot():
@@ -120,6 +141,18 @@ def test_dataset_config_fields():
     fields = set(repro.DatasetConfig.__dataclass_fields__)
     assert fields == {"out", "seed", "kernels", "configs", "apps",
                       "jobs", "cache_dir", "resume"}
+
+
+def test_streaming_all_snapshot():
+    assert set(repro.streaming.__all__) == STREAMING
+
+
+def test_stream_config_fields():
+    fields = set(repro.StreamConfig.__dataclass_fields__)
+    assert fields == {"batch_records", "interval_seconds",
+                      "total_records", "max_batches", "data_seed",
+                      "prefetch_batches", "max_lag_intervals", "sink",
+                      "checkpoint_dir", "resume", "runtime"}
 
 
 def test_runtime_config_fields():
