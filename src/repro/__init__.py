@@ -28,9 +28,11 @@ one-shot shims kept for compatibility.
 __version__ = "1.1.0"
 
 from .config import DatasetConfig, ExploreConfig, RuntimeConfig, StreamConfig
-from .errors import S2FAError
+from .errors import S2FAError, UnknownDeviceError
+from .hls.device import Device, DeviceRegistry, device_names, get_device
 from .s2fa import (
     AcceleratorBuild,
+    DeviceSweep,
     RunOutcome,
     S2FASession,
     build_accelerator,
@@ -40,13 +42,19 @@ from .s2fa import (
 __all__ = [
     "AcceleratorBuild",
     "DatasetConfig",
+    "Device",
+    "DeviceRegistry",
+    "DeviceSweep",
     "ExploreConfig",
     "RunOutcome",
     "RuntimeConfig",
     "S2FAError",
     "S2FASession",
     "StreamConfig",
+    "UnknownDeviceError",
     "build_accelerator",
     "generate_hls_c",
+    "device_names",
+    "get_device",
     "__version__",
 ]

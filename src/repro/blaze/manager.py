@@ -42,9 +42,16 @@ class RegisteredAccelerator:
     config: Optional[DesignConfig] = None
     hls: Optional[HLSResult] = None
     board: Optional[FPGABoard] = None
+    #: the device model this board runs on (``None`` until deployed;
+    #: heterogeneous fleets register per-board overrides).
+    device: Optional[Device] = None
     state: str = ACTIVE
     quarantined_until: float = 0.0
     quarantine_count: int = 0
+    #: per-board multiplier on quarantine durations — a board type that
+    #: recovers slowly (edge parts behind thin links) sits out longer.
+    #: Timing/placement only; results are bit-identical regardless.
+    quarantine_scale: float = 1.0
     _serializer: Optional[Callable] = field(
         default=None, repr=False, compare=False)
     _deserializer: Optional[Callable] = field(
@@ -104,7 +111,9 @@ class AcceleratorManager:
     def register(self, compiled: CompiledKernel,
                  config: Optional[DesignConfig] = None, *,
                  accel_id: Optional[str] = None,
-                 fault_plan=_INHERIT_PLAN) -> RegisteredAccelerator:
+                 fault_plan=_INHERIT_PLAN,
+                 device: Optional[Device] = None,
+                 quarantine_scale: float = 1.0) -> RegisteredAccelerator:
         """Register a compiled kernel, deploying it when a design config
         is supplied (software-fallback-only otherwise).
 
@@ -113,19 +122,31 @@ class AcceleratorManager:
         (``id#0 .. id#n-1``), each replica with its own id and hence its
         own deterministic fault stream.  ``fault_plan`` overrides the
         manager-wide plan for this entry only (pass ``None`` for a
-        fault-free board in an otherwise faulty fleet).
+        fault-free board in an otherwise faulty fleet).  ``device``
+        overrides the manager-wide device model for this board only —
+        a heterogeneous fleet registers each board with its own model,
+        which sets that board's per-batch timing (and feasibility gate)
+        while results stay bit-identical across any mix.
+        ``quarantine_scale`` stretches this board's quarantine windows.
         """
         accel_id = accel_id or compiled.accel_id
         if accel_id in self._accelerators:
             raise BlazeError(f"accelerator {accel_id!r} already registered")
+        if quarantine_scale <= 0:
+            raise BlazeError(
+                f"quarantine_scale must be positive, "
+                f"got {quarantine_scale}")
+        board_device = device if device is not None else self.device
         entry = RegisteredAccelerator(accel_id=accel_id, compiled=compiled,
-                                      config=config)
+                                      config=config,
+                                      quarantine_scale=quarantine_scale)
         if config is not None:
-            hls = estimate(compiled.kernel, config, self.device)
+            hls = estimate(compiled.kernel, config, board_device)
             if not hls.feasible:
                 raise BlazeError(
-                    f"design for {accel_id!r} is infeasible: "
-                    f"{hls.infeasible_reason}")
+                    f"design for {accel_id!r} is infeasible on "
+                    f"{board_device.name}: {hls.infeasible_reason}")
+            entry.device = board_device
             bytes_per_task = (
                 compiled.kernel.metadata.get("bytes_in_per_task", 0)
                 + compiled.kernel.metadata.get("bytes_out_per_task", 0))

@@ -291,7 +291,8 @@ class BlazeRuntime:
                     span.set(readmitted=True)
                 return entry.deserializer(buffers, n_out)
         duration = (policy.quarantine_base_seconds
-                    * policy.quarantine_factor ** entry.quarantine_count)
+                    * policy.quarantine_factor ** entry.quarantine_count
+                    * entry.quarantine_scale)
         entry.quarantine(self.clock.now + duration)
         metrics.quarantines += 1
         self.tracer.metrics.incr("blaze.quarantines")

@@ -132,6 +132,15 @@ def _parse_lengths(pairs: list[str]) -> LayoutConfig:
                         default_string_length=string_length)
 
 
+def _parse_device_list(spec) -> tuple:
+    """``"a,b,c"`` -> ``("a", "b", "c")`` (names validated downstream
+    against the device registry, which raises the typed
+    :class:`~repro.errors.UnknownDeviceError` listing valid names)."""
+    if not spec:
+        return ()
+    return tuple(name.strip() for name in spec.split(",") if name.strip())
+
+
 def _read_source(path: str) -> str:
     source = Path(path)
     if not source.exists():
@@ -154,7 +163,8 @@ def _explore_config(args: argparse.Namespace):
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         resume=bool(getattr(args, "resume", False)),
         surrogate=getattr(args, "surrogate", None),
-        prune_fraction=getattr(args, "prune_fraction", 0.5))
+        prune_fraction=getattr(args, "prune_fraction", 0.5),
+        device=getattr(args, "device", None) or "xcvu9p")
 
 
 def _dataset_config(args: argparse.Namespace):
@@ -267,14 +277,55 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_device_sweep(sweep) -> None:
+    from .hls.device import get_device
+
+    explored = sorted(set(sweep.builds) | set(sweep.failures),
+                      key=lambda n: (get_device(n).unit_price, n))
+    print("device sweep      :")
+    for name in explored:
+        device = get_device(name)
+        build = sweep.builds.get(name)
+        if build is None:
+            detail = f"no feasible design ({sweep.failures[name]})"
+        elif sweep.qualifies(name):
+            detail = (f"{build.hls.normalized_cycles:,.0f} norm-cycles "
+                      f"(meets target)")
+        else:
+            detail = (f"{build.hls.normalized_cycles:,.0f} norm-cycles "
+                      f"(misses target)")
+        marker = "  <- cheapest" if name == sweep.chosen else ""
+        print(f"  {name:12s} price {device.unit_price:4.2f} : "
+              f"{detail}{marker}")
+
+
 def cmd_dse(args: argparse.Namespace) -> int:
-    """``s2fa dse``: explore + deploy the explored design on Blaze."""
+    """``s2fa dse``: explore + deploy the explored design on Blaze.
+
+    With ``--devices a,b,c`` the device becomes a DSE dimension: every
+    named board is explored independently and the *cheapest* board whose
+    best design meets ``--qor-target`` (any feasible design when no
+    target is given) wins the deployment.
+    """
     spec = _require_app(args.app)
     session = _session(args)
-    build = session.explore(spec)
+    device = None
+    devices = _parse_device_list(getattr(args, "devices", None))
+    if devices:
+        sweep = session.explore_devices(
+            spec, list(devices),
+            qor_target=getattr(args, "qor_target", None))
+        _print_device_sweep(sweep)
+        build = sweep.best          # DSEError when nothing qualified
+        device = build.device
+        print(f"selected device   : {device.name} "
+              f"(price {device.unit_price:g})")
+    else:
+        build = session.explore(spec)
     _print_explore_summary(build, build.dse)
     outcome = session.run(spec, tasks=args.tasks,
-                          data_seed=args.data_seed, config=build.config)
+                          data_seed=args.data_seed, config=build.config,
+                          device=device)
     print(f"deployment        : {outcome.task_count} tasks on "
           f"{outcome.partitions} partitions")
     print(f"results match JVM : "
@@ -472,6 +523,9 @@ def _serve_config(args: argparse.Namespace):
         default_deadline_s=args.default_deadline,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_s=args.breaker_reset,
+        device=getattr(args, "device", None) or "xcvu9p",
+        fleet_devices=_parse_device_list(
+            getattr(args, "fleet_devices", None)),
         runtime=_runtime_config(args))
 
 
@@ -606,6 +660,16 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
                              "also settable via $S2FA_ENGINE")
 
 
+def _add_device_flag(parser: argparse.ArgumentParser) -> None:
+    from .hls.device import device_names
+
+    parser.add_argument("--device", metavar="NAME",
+                        help="target device model (registered: "
+                             + ", ".join(device_names())
+                             + "; default xcvu9p); an unknown name "
+                             "fails with the registered list")
+
+
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="FILE",
                         help="record a span trace of the whole run "
@@ -674,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore_p.add_argument("--cache-dir", metavar="DIR",
                            help="persistent evaluation cache directory "
                                 "(repeated runs skip re-estimation)")
+    _add_device_flag(explore_p)
     _add_checkpoint_flags(explore_p)
     _add_surrogate_flags(explore_p)
     explore_p.add_argument("--emit-c", action="store_true",
@@ -695,6 +760,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool width for HLS estimation")
     dse_p.add_argument("--cache-dir", metavar="DIR",
                        help="persistent evaluation cache directory")
+    _add_device_flag(dse_p)
+    dse_p.add_argument("--devices", metavar="A,B,C",
+                       help="comma-separated registered device names: "
+                            "explore (device x config) and deploy on "
+                            "the cheapest board meeting --qor-target")
+    dse_p.add_argument("--qor-target", type=float, default=None,
+                       metavar="CYCLES",
+                       help="QoR bar for --devices: best design must "
+                            "reach this normalized cycle count or "
+                            "better (default: any feasible design)")
     _add_checkpoint_flags(dse_p)
     _add_surrogate_flags(dse_p)
     dse_p.add_argument("--tasks", type=int, default=64,
@@ -732,6 +807,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "lose_after=40'")
     run_p.add_argument("--fault-seed", type=int, default=0,
                        help="seed of the fault schedule (default 0)")
+    _add_device_flag(run_p)
     _add_engine_flag(run_p)
     _add_trace_flag(run_p)
     run_p.set_defaults(func=cmd_run)
@@ -843,6 +919,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "e.g. 'transient=0.2,lose_after=40'")
     serve_p.add_argument("--fault-seed", type=int, default=0,
                          help="seed of the fault schedule (default 0)")
+    _add_device_flag(serve_p)
+    serve_p.add_argument("--fleet-devices", metavar="A,B,C",
+                         help="heterogeneous board fleet: comma-separated "
+                              "registered device names assigned to "
+                              "replicas round-robin (placement/timing "
+                              "only; results stay bit-identical)")
     _add_engine_flag(serve_p)
     sim = serve_p.add_argument_group(
         "load simulation (--simulate: no daemon, no socket; replay a "

@@ -69,8 +69,13 @@ class ExploreConfig:
     surrogate: Optional[str] = None
     #: Fraction of each unseen batch the surrogate may prune ([0, 1)).
     prune_fraction: float = 0.5
+    #: Registered device name the exploration targets (the envelope the
+    #: estimator scores against).  Unknown names fail eagerly with
+    #: :class:`~repro.errors.UnknownDeviceError`.
+    device: str = "xcvu9p"
 
     def __post_init__(self) -> None:
+        self.resolve_device()           # fail on a bad name eagerly
         if self.jobs < 1:
             raise DSEError(f"jobs must be >= 1, got {self.jobs}")
         if not 0.0 <= self.prune_fraction < 1.0:
@@ -92,6 +97,13 @@ class ExploreConfig:
     def replace(self, **changes) -> "ExploreConfig":
         """A copy with the given fields changed (re-validated)."""
         return dataclasses.replace(self, **changes)
+
+    def resolve_device(self):
+        """The registered :class:`~repro.hls.device.Device` for
+        ``device`` (typed error on an unknown name)."""
+        from .hls.device import get_device
+
+        return get_device(self.device)
 
 
 @dataclass(frozen=True)
@@ -312,6 +324,15 @@ class ServeConfig:
     default_weight: int = 1
     #: Virtual FPGA boards deployed per kernel (the fleet width).
     replicas: int = 2
+    #: Registered device name the serve core compiles and explores
+    #: against (and the board model of a homogeneous fleet).
+    device: str = "xcvu9p"
+    #: Heterogeneous fleet: registered device names assigned to the
+    #: replicas of every kernel round-robin (replica ``i`` runs on
+    #: ``fleet_devices[i % len]``).  Empty = homogeneous on ``device``.
+    #: Placement is device-aware (fastest board first) but results stay
+    #: bit-identical to a homogeneous fleet under any fault schedule.
+    fleet_devices: tuple = ()
     #: Default per-request deadline, virtual seconds (None: unbounded).
     default_deadline_s: Optional[float] = None
     #: Circuit breaker: consecutive hardware failures before a kernel's
@@ -327,6 +348,11 @@ class ServeConfig:
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
 
     def __post_init__(self) -> None:
+        from .hls.device import get_device
+
+        get_device(self.device)         # fail on a bad name eagerly
+        for name in self.fleet_devices:
+            get_device(name)
         if self.queue_depth < 1:
             raise ServeError(
                 f"queue_depth must be >= 1, got {self.queue_depth}")

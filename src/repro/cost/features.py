@@ -18,12 +18,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..hls.device import Device, VU9P
 from ..hlsc.analysis import LoopInfo, flatten_loop_tree, kernel_loop_tree
 from ..merlin.config import DesignConfig
 from ..errors import CostModelError
 
 #: Bump when features are added or their meaning changes.
-FEATURE_SCHEMA_VERSION = 1
+#: v2: the device envelope joined the feature row (``d_*`` features) —
+#: the device is a first-class DSE dimension, so a surrogate must see
+#: which envelope a point was scored against.
+FEATURE_SCHEMA_VERSION = 2
 
 #: Names, in vector order.  ``k_*`` are static kernel facts, ``c_*``
 #: describe the (effective) config, ``p_*`` are physics proxies that
@@ -57,6 +61,12 @@ FEATURE_NAMES = (
     "p_recurrence",       # worst recurrence depth under a pipeline (II)
     "p_log_bram_tiles",   # log2(1 + Σ tile · arrays touched) (BRAM)
     "p_flatten_unroll",   # log2 of iterations forced by flattening
+    # -- device envelope (appended in schema v2) ---------------------
+    "d_log_luts",         # log2 of the usable LUT budget
+    "d_log_dsps",         # log2 of the usable DSP budget
+    "d_log_bram",         # log2 of the usable BRAM-18k budget
+    "d_log_mem_bw",       # log2 of off-chip bytes per kernel cycle
+    "d_mhz",              # target clock / 100 MHz
 )
 
 _FLOAT_OPS = ("fadd", "fmul", "fdiv", "fspec")
@@ -148,8 +158,9 @@ def profile_kernel(kernel) -> KernelProfile:
 
 
 def extract_features(kernel, config: DesignConfig,
+                     device: Device = VU9P,
                      profile: KernelProfile | None = None) -> FeatureVector:
-    """Extract the full feature row for one (kernel, config) pair."""
+    """Extract the full feature row for one (kernel, config, device)."""
     if profile is None:
         profile = profile_kernel(kernel)
     effective = config.effective(profile.roots)
@@ -222,5 +233,11 @@ def extract_features(kernel, config: DesignConfig,
     values["p_recurrence"] = recurrence
     values["p_log_bram_tiles"] = _log2p(bram_tiles)
     values["p_flatten_unroll"] = flatten_unroll
+
+    values["d_log_luts"] = _log2p(device.usable("lut"))
+    values["d_log_dsps"] = _log2p(device.usable("dsp"))
+    values["d_log_bram"] = _log2p(device.usable("bram"))
+    values["d_log_mem_bw"] = _log2p(device.mem_bytes_per_cycle)
+    values["d_mhz"] = device.target_mhz / 100.0
 
     return FeatureVector(tuple(values[name] for name in FEATURE_NAMES))

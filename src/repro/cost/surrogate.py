@@ -90,7 +90,7 @@ class SurrogateCostModel(CostModel):
 
     def score(self, kernel, config: DesignConfig,
               device: Device = VU9P, *, tracer=NULL_TRACER) -> QoR:
-        features = extract_features(kernel, config,
+        features = extract_features(kernel, config, device,
                                     profile=self._profile(kernel))
         predicted = self.model.predict_one(features.as_list())
         feasible = (self.infeasible_cutoff is None

@@ -142,7 +142,7 @@ def build_dataset(cfg: DatasetConfig, *, device: Device = VU9P,
                 result = evaluation.result
                 features = extract_features(
                     compiled.kernel, DesignConfig.from_point(point),
-                    profile)
+                    device, profile=profile)
                 writer.write(DatasetRecord(
                     kernel=name,
                     digest=digest,

@@ -84,18 +84,20 @@ def kernel_digest(kernel: CKernel, device: Device,
     """Identity of an estimation context: C + batch + device + model.
 
     The digest is over the printed HLS C (which pins the full loop/op
-    structure), the kernel metadata, the device name, and the identity
-    of the cost model that produced the numbers — everything that can
-    change what an evaluation returns.  ``cost_model`` is the model's
-    ``identity()`` string; the empty default means "the analytical
-    model, version unpinned" and exists for callers that only need a
-    kernel identity, not a cache namespace.
+    structure), the kernel metadata, the device's *full envelope
+    identity* (:meth:`~repro.hls.device.Device.identity` — not just the
+    name, so two scaled devices sharing a name can never collide), and
+    the identity of the cost model that produced the numbers —
+    everything that can change what an evaluation returns.
+    ``cost_model`` is the model's ``identity()`` string; the empty
+    default means "the analytical model, version unpinned" and exists
+    for callers that only need a kernel identity, not a cache namespace.
     """
     hasher = hashlib.sha256()
     hasher.update(kernel_to_c(kernel).encode())
     hasher.update(json.dumps(kernel.metadata, sort_keys=True,
                              default=str).encode())
-    hasher.update(device.name.encode())
+    hasher.update(device.identity().encode())
     hasher.update(str(FORMAT_VERSION).encode())
     if cost_model:
         hasher.update(cost_model.encode())

@@ -65,6 +65,23 @@ class InfeasibleDesignError(HLSError):
     """A design point exceeds the device envelope or fails routing."""
 
 
+class UnknownDeviceError(HLSError):
+    """A device name is not in the :class:`~repro.hls.device.DeviceRegistry`.
+
+    Carries the offending ``name`` and the sorted tuple of ``known``
+    registered names, which the message lists so a typo is a one-glance
+    fix at the CLI.
+    """
+
+    def __init__(self, name: str, known=()):
+        known = tuple(sorted(known))
+        listing = ", ".join(known) if known else "<none>"
+        super().__init__(
+            f"unknown device {name!r}; registered devices: {listing}")
+        self.name = name
+        self.known = known
+
+
 class DSEError(S2FAError):
     """Design space exploration misconfiguration."""
 

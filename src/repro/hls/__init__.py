@@ -1,6 +1,16 @@
 """Simulated HLS backend: device models, scheduling, estimation."""
 
-from .device import Device, KU060, VU9P  # noqa: F401
+from .device import (  # noqa: F401
+    Device,
+    DeviceRegistry,
+    KC705,
+    KU060,
+    REGISTRY,
+    VU13P,
+    VU9P,
+    device_names,
+    get_device,
+)
 from .estimator import estimate  # noqa: F401
 from .optable import OP_COSTS, OpCost  # noqa: F401
 from .result import HLSResult, LoopReport, Resources  # noqa: F401

@@ -1,19 +1,40 @@
-"""FPGA device models.
+"""FPGA device models: envelopes, a scaling constructor, and a registry.
 
 The paper evaluates on an AWS F1 ``f1.2xlarge`` with one Xilinx Virtex
 UltraScale+ VU9P (three SLR dies).  Resource totals below are the public
-VU9P numbers; the usable fraction is capped at 75% because the remainder
-is consumed by the vendor shell / control logic (paper, footnote 5).
+datasheet numbers; the usable fraction is capped at 75% because the
+remainder is consumed by the vendor shell / control logic (paper,
+footnote 5).
+
+This module generalizes the original single-device model into a small
+parameterized family (in the lumos budget style): every :class:`Device`
+is a frozen envelope of resource / bandwidth / frequency budgets plus a
+relative ``unit_price``, :meth:`Device.scaled` derives new envelopes
+from budget multipliers, and the module-level :data:`REGISTRY` names the
+supported boards from an edge Kintex-7 up to a four-SLR datacenter part.
+
+Two identity notions matter downstream:
+
+* :meth:`Device.identity` is the *full envelope* — it is hashed into
+  DSE cache keys and checkpoint signatures, so two scaled devices that
+  happen to share a ``name`` can never poison each other's caches;
+* :meth:`Device.covers` is the partial order the cross-device test
+  battery enforces: if ``big.covers(small)``, any design feasible on
+  ``small`` is feasible on ``big`` with QoR no worse.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import UnknownDeviceError
 
 
 @dataclass(frozen=True)
 class Device:
-    """Resource envelope and clocking of one FPGA."""
+    """Resource envelope, clocking, and relative price of one FPGA."""
 
     name: str
     luts: int
@@ -29,14 +50,104 @@ class Device:
     mem_bytes_per_cycle: int = 64
     #: number of SLR dies (crossing them costs frequency)
     slr_count: int = 3
+    #: relative board price (VU9P = 1.0); the multi-device DSE reports
+    #: the cheapest board meeting the QoR target on this axis.
+    unit_price: float = 1.0
 
     def usable(self, kind: str) -> int:
         totals = {"lut": self.luts, "ff": self.ffs, "dsp": self.dsps,
                   "bram": self.bram_18k}
         return int(totals[kind] * self.usable_fraction)
 
+    def identity(self) -> str:
+        """The full envelope as a stable string (part of cache keys).
 
-#: Xilinx Virtex UltraScale+ VU9P (AWS EC2 F1).
+        Everything that can change an estimate is in here — two devices
+        with equal identities are interchangeable for caching, and two
+        devices that merely share a ``name`` are not.
+        """
+        return (f"{self.name}"
+                f":l{self.luts}:f{self.ffs}:d{self.dsps}"
+                f":b{self.bram_18k}:m{self.target_mhz:g}"
+                f":u{self.usable_fraction:g}:w{self.mem_bytes_per_cycle}"
+                f":s{self.slr_count}")
+
+    def covers(self, other: "Device") -> bool:
+        """Is every budget of ``other`` within this device's envelope?
+
+        This is the monotonicity partial order: the estimator guarantees
+        that when ``big.covers(small)``, feasibility and normalized QoR
+        on ``big`` are no worse than on ``small`` for any design point.
+        """
+        return (self.luts >= other.luts
+                and self.ffs >= other.ffs
+                and self.dsps >= other.dsps
+                and self.bram_18k >= other.bram_18k
+                and self.target_mhz >= other.target_mhz
+                and self.usable_fraction >= other.usable_fraction
+                and self.mem_bytes_per_cycle >= other.mem_bytes_per_cycle)
+
+    def scaled(self, name: str, *, area: float = 1.0,
+               bandwidth: float = 1.0, frequency: float = 1.0,
+               price: Optional[float] = None) -> "Device":
+        """A derived envelope from budget multipliers (lumos style).
+
+        ``area`` scales the silicon budgets (LUT/FF/DSP/BRAM), while
+        ``bandwidth`` and ``frequency`` scale the off-chip byte rate and
+        the target clock.  ``price`` pins the relative board price; by
+        default it tracks the area budget (bigger silicon costs more).
+        All multipliers must be positive; resource counts floor at 1 so
+        a tiny budget still yields a well-formed device.
+        """
+        for label, value in (("area", area), ("bandwidth", bandwidth),
+                             ("frequency", frequency)):
+            if value <= 0:
+                raise ValueError(
+                    f"scaled() {label} budget must be positive, "
+                    f"got {value}")
+        return dataclasses.replace(
+            self,
+            name=name,
+            luts=max(1, int(self.luts * area)),
+            ffs=max(1, int(self.ffs * area)),
+            dsps=max(1, int(self.dsps * area)),
+            bram_18k=max(1, int(self.bram_18k * area)),
+            target_mhz=self.target_mhz * frequency,
+            mem_bytes_per_cycle=max(
+                1, int(self.mem_bytes_per_cycle * bandwidth)),
+            unit_price=(price if price is not None
+                        else self.unit_price * area))
+
+
+#: Xilinx Kintex-7 325T (KC705 board): the edge-class device.  One die,
+#: a narrow DDR3 interface, and a conservative clock — the registry's
+#: smallest envelope, where infeasibility and saturation edges live.
+KC705 = Device(
+    name="xc7k325t",
+    luts=203_800,
+    ffs=407_600,
+    dsps=840,
+    bram_18k=890,
+    target_mhz=200.0,
+    mem_bytes_per_cycle=16,
+    slr_count=1,
+    unit_price=0.25,
+)
+
+#: Xilinx Kintex UltraScale KU060: the mid-range part (and the
+#: feasibility-edge device of the original test suite, now a
+#: first-class registry citizen).
+KU060 = Device(
+    name="xcku060",
+    luts=331_680,
+    ffs=663_360,
+    dsps=2_760,
+    bram_18k=2_160,
+    target_mhz=250.0,
+    unit_price=0.45,
+)
+
+#: Xilinx Virtex UltraScale+ VU9P (AWS EC2 F1): the paper's device.
 VU9P = Device(
     name="xcvu9p",
     luts=1_182_240,
@@ -46,12 +157,86 @@ VU9P = Device(
     target_mhz=250.0,
 )
 
-#: A smaller Kintex-class device, useful in tests for feasibility edges.
-KU060 = Device(
-    name="xcku060",
-    luts=331_680,
-    ffs=663_360,
-    dsps=2_760,
-    bram_18k=2_160,
+#: Xilinx Virtex UltraScale+ VU13P: the four-SLR datacenter part.
+VU13P = Device(
+    name="xcvu13p",
+    luts=1_728_000,
+    ffs=3_456_000,
+    dsps=12_288,
+    bram_18k=5_376,
     target_mhz=250.0,
+    slr_count=4,
+    unit_price=1.6,
 )
+
+
+class DeviceRegistry:
+    """Named device envelopes, looked up by exact name.
+
+    The registry is the single authority the CLI, configs, and the serve
+    fleet consult to turn a ``--device`` string into an envelope; an
+    unknown name raises :class:`~repro.errors.UnknownDeviceError`
+    listing every registered device.
+    """
+
+    def __init__(self, devices: tuple[Device, ...] = ()):
+        self._devices: dict[str, Device] = {}
+        for device in devices:
+            self.register(device)
+
+    def register(self, device: Device) -> Device:
+        """Add ``device`` under its name (re-registering the same name
+        with a different envelope is an error — names must stay
+        unambiguous)."""
+        existing = self._devices.get(device.name)
+        if existing is not None and existing != device:
+            raise ValueError(
+                f"device {device.name!r} already registered with a "
+                f"different envelope")
+        self._devices[device.name] = device
+        return device
+
+    def get(self, name: str) -> Device:
+        """The device registered as ``name`` (exact match)."""
+        device = self._devices.get(name)
+        if device is None:
+            raise UnknownDeviceError(name, self._devices)
+        return device
+
+    def names(self) -> list[str]:
+        return sorted(self._devices)
+
+    def devices(self) -> list[Device]:
+        """All devices, cheapest first (price, then name — the
+        deterministic sweep order of the multi-device DSE)."""
+        return sorted(self._devices.values(),
+                      key=lambda d: (d.unit_price, d.name))
+
+    def smallest(self) -> Device:
+        """The device with the smallest usable LUT budget (the
+        feasibility-edge device the fuzz battery sweeps)."""
+        return min(self._devices.values(),
+                   key=lambda d: (d.usable("lut"), d.name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices
+
+    def __iter__(self) -> Iterator[Device]:
+        return iter(self.devices())
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+
+#: The process-wide registry of supported boards, edge to datacenter.
+REGISTRY = DeviceRegistry((KC705, KU060, VU9P, VU13P))
+
+
+def get_device(name: str) -> Device:
+    """Look up a registered device by name (typed error on a miss)."""
+    return REGISTRY.get(name)
+
+
+def device_names() -> list[str]:
+    """Sorted names of every registered device."""
+    return REGISTRY.names()

@@ -41,8 +41,13 @@ from .dse.engine import S2FAEngine
 from .dse.parallel import ParallelEvaluator
 from .dse.result import DSERun
 from .dse.space import DesignSpace, build_space
-from .errors import BlazeError, DSEError, S2FAError
-from .hls.device import Device, VU9P
+from .errors import (
+    BlazeError,
+    DSEError,
+    ExplorationInterrupted,
+    S2FAError,
+)
+from .hls.device import Device, REGISTRY, VU9P, get_device
 from .hls.estimator import estimate
 from .hls.result import HLSResult
 from .hlsc.printer import kernel_to_c
@@ -96,6 +101,8 @@ class AcceleratorBuild:
     dse: DSERun
     config: DesignConfig
     hls: HLSResult
+    #: the device envelope the exploration targeted.
+    device: Optional[Device] = None
 
     @property
     def accel_id(self) -> str:
@@ -104,6 +111,43 @@ class AcceleratorBuild:
     def hls_c_source(self) -> str:
         """Pragma-annotated HLS C of the chosen design."""
         return kernel_to_c(apply_config(self.compiled.kernel, self.config))
+
+
+@dataclass
+class DeviceSweep:
+    """Outcome of one multi-device exploration (``s2fa dse --devices``).
+
+    ``builds`` maps device name -> :class:`AcceleratorBuild` for every
+    device whose exploration found a feasible design; ``failures`` maps
+    device name -> reason for the rest.  ``chosen`` is the *cheapest*
+    qualifying device: among devices whose best design is feasible and
+    (when ``qor_target`` is set) meets the normalized-cycles target,
+    the one with the lowest ``unit_price`` (ties broken by name) —
+    a fully deterministic selection.
+    """
+
+    builds: dict = field(default_factory=dict)
+    failures: dict = field(default_factory=dict)
+    chosen: Optional[str] = None
+    qor_target: Optional[float] = None
+
+    def qualifies(self, name: str) -> bool:
+        """Does ``name``'s best design meet the QoR bar?"""
+        build = self.builds.get(name)
+        if build is None or not build.hls.feasible:
+            return False
+        return (self.qor_target is None
+                or build.hls.normalized_cycles <= self.qor_target)
+
+    @property
+    def best(self) -> "AcceleratorBuild":
+        """The chosen device's build (raises when nothing qualified)."""
+        if self.chosen is None:
+            explored = sorted(set(self.builds) | set(self.failures))
+            raise DSEError(
+                "no explored device met the QoR target "
+                f"(explored: {', '.join(explored) or 'none'})")
+        return self.builds[self.chosen]
 
 
 @dataclass
@@ -142,7 +186,7 @@ class S2FASession:
     def __init__(self,
                  explore: Optional[ExploreConfig] = None,
                  runtime: Optional[RuntimeConfig] = None, *,
-                 device: Device = VU9P,
+                 device: Optional[Device] = None,
                  cost_model: Optional[CostModel] = None,
                  tracer: Optional[Tracer] = None,
                  trace: bool = False):
@@ -150,7 +194,12 @@ class S2FASession:
             else ExploreConfig()
         self.runtime_config = runtime if runtime is not None \
             else RuntimeConfig()
-        self.device = device
+        #: the session's device model.  ``None`` resolves the explore
+        #: config's registered device name (default: the paper's VU9P);
+        #: an explicit :class:`~repro.hls.device.Device` wins, so tests
+        #: can pass scaled envelopes that have no registry name.
+        self.device = device if device is not None \
+            else self.explore_config.resolve_device()
         #: the :class:`~repro.cost.CostModel` that scores design points
         #: during ``explore`` (``None``: the analytical estimator).
         self.cost_model = cost_model
@@ -250,7 +299,8 @@ class S2FASession:
                 kernel_class: Optional[str] = None,
                 layout_config: Optional[LayoutConfig] = None,
                 pattern: Optional[str] = None,
-                batch_size: Optional[int] = None) -> AcceleratorBuild:
+                batch_size: Optional[int] = None,
+                device: Optional[Device] = None) -> AcceleratorBuild:
         """Compile + DSE: pick the best design under the session config.
 
         With ``checkpoint_dir`` set the exploration is crash-safe: the
@@ -259,10 +309,16 @@ class S2FASession:
         :class:`~repro.errors.ExplorationInterrupted`, and
         ``resume=True`` continues a previously interrupted run (or
         starts fresh if no checkpoint exists).
+
+        ``device`` explores against a different envelope than the
+        session's (the multi-device sweep passes each candidate board
+        here); caches and checkpoints are keyed by the device identity,
+        so per-device explorations can share one directory safely.
         """
         cfg = self.explore_config
+        device = device if device is not None else self.device
         with self.tracer.span("pipeline.explore", seed=cfg.seed,
-                              jobs=cfg.jobs) as span:
+                              jobs=cfg.jobs, device=device.name) as span:
             compiled = self.compile(
                 app, kernel_class=kernel_class,
                 layout_config=layout_config, pattern=pattern,
@@ -279,7 +335,7 @@ class S2FASession:
                            if cfg.checkpoint_dir else None)
             surrogate = (SurrogateCostModel.load(cfg.surrogate)
                          if cfg.surrogate else None)
-            with ParallelEvaluator(compiled, self.device, store=store,
+            with ParallelEvaluator(compiled, device, store=store,
                                    jobs=cfg.jobs,
                                    cost_model=self.cost_model,
                                    tracer=self.tracer) as evaluator:
@@ -303,18 +359,71 @@ class S2FASession:
                     f"(explored {run.evaluations} points)")
             config = DesignConfig.from_point(run.best_point)
             if self.cost_model is None:
-                hls = estimate(compiled.kernel, config, self.device,
+                hls = estimate(compiled.kernel, config, device,
                                tracer=self.tracer)
             else:
                 # A custom cost model owns the notion of quality; report
                 # the design the way the model scored it.
                 hls = self.cost_model.score(
-                    compiled.kernel, config, self.device,
-                    tracer=self.tracer).to_result(self.device)
+                    compiled.kernel, config, device,
+                    tracer=self.tracer).to_result(device)
             span.set(evaluations=run.evaluations,
                      best_design=config.describe())
         return AcceleratorBuild(compiled=compiled, space=space, dse=run,
-                                config=config, hls=hls)
+                                config=config, hls=hls, device=device)
+
+    # ------------------------------------------------------------------
+    # explore across devices
+    # ------------------------------------------------------------------
+
+    def explore_devices(self, app: Union[str, AppSpec],
+                        devices: Optional[list] = None, *,
+                        qor_target: Optional[float] = None,
+                        kernel_class: Optional[str] = None,
+                        layout_config: Optional[LayoutConfig] = None,
+                        pattern: Optional[str] = None,
+                        batch_size: Optional[int] = None) -> DeviceSweep:
+        """Explore ``app`` on every candidate device, pick the cheapest.
+
+        The device is a first-class DSE dimension: each candidate board
+        gets its own full (device x Merlin config) exploration — cache
+        and checkpoint entries are namespaced by the device's envelope
+        identity, so the sweeps share one directory without cross-talk.
+        ``devices`` is a list of registered names or
+        :class:`~repro.hls.device.Device` objects (default: the whole
+        registry); the sweep visits them cheapest-first and the
+        selection is deterministic (price, then name).
+        """
+        if not devices:
+            candidates = list(REGISTRY)
+        else:
+            candidates = [d if isinstance(d, Device) else get_device(d)
+                          for d in devices]
+        candidates.sort(key=lambda d: (d.unit_price, d.name))
+        if qor_target is not None and qor_target <= 0:
+            raise DSEError(
+                f"qor_target must be positive, got {qor_target}")
+        sweep = DeviceSweep(qor_target=qor_target)
+        with self.tracer.span("pipeline.explore_devices",
+                              devices=len(candidates)) as span:
+            for dev in candidates:
+                try:
+                    sweep.builds[dev.name] = self.explore(
+                        app, kernel_class=kernel_class,
+                        layout_config=layout_config, pattern=pattern,
+                        batch_size=batch_size, device=dev)
+                except ExplorationInterrupted:
+                    raise       # resumable; never mask as a board miss
+                except DSEError as exc:
+                    # "No feasible design on this board" is a sweep
+                    # result, not a sweep failure.
+                    sweep.failures[dev.name] = str(exc)
+            for dev in candidates:     # cheapest-first, deterministic
+                if sweep.qualifies(dev.name):
+                    sweep.chosen = dev.name
+                    break
+            span.set(chosen=sweep.chosen or "<none>")
+        return sweep
 
     # ------------------------------------------------------------------
     # run
@@ -323,12 +432,15 @@ class S2FASession:
     def run(self, app: Union[str, AppSpec], *,
             tasks: int = 64,
             data_seed: int = 21,
-            config: Optional[DesignConfig] = None) -> RunOutcome:
+            config: Optional[DesignConfig] = None,
+            device: Optional[Device] = None) -> RunOutcome:
         """Deploy ``app`` on Spark + Blaze and verify against the JVM.
 
         ``config`` picks the registered design (default: the expert
         manual design); pass ``session.explore(app).config`` to deploy
-        the explored one.  Requires a built-in application (the raw
+        the explored one.  ``device`` deploys on a different board
+        model than the session's (the multi-device DSE deploys on the
+        board it selected).  Requires a built-in application (the raw
         Scala path has no workload/oracle).
         """
         from .spark import SparkContext
@@ -354,7 +466,7 @@ class S2FASession:
 
             plan = cfg.plan()
             sc = SparkContext(default_parallelism=cfg.partitions)
-            runtime = self._make_runtime(sc, plan)
+            runtime = self._make_runtime(sc, plan, device=device)
             runtime.register(compiled,
                              config or spec.manual_config(compiled))
             shell = runtime.wrap(sc.parallelize(workload))
@@ -377,10 +489,11 @@ class S2FASession:
             span.set(matched=outcome.matched)
         return outcome
 
-    def _make_runtime(self, sc, plan):
+    def _make_runtime(self, sc, plan, device: Optional[Device] = None):
         from .blaze import BlazeRuntime
 
-        return BlazeRuntime(sc, fault_plan=plan,
+        return BlazeRuntime(sc, device=device or self.device,
+                            fault_plan=plan,
                             policy=self.runtime_config.policy(),
                             tracer=self.tracer,
                             engine=self.runtime_config.engine)
@@ -432,7 +545,8 @@ class S2FASession:
             compiled = spec.compile(self)
             span.set(accel=compiled.accel_id)
             sc = SparkContext(default_parallelism=rcfg.partitions)
-            runtime = BlazeRuntime(sc, fault_plan=rcfg.plan(),
+            runtime = BlazeRuntime(sc, device=self.device,
+                                   fault_plan=rcfg.plan(),
                                    policy=rcfg.policy(),
                                    tracer=self.tracer,
                                    engine=rcfg.engine)

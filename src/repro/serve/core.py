@@ -40,7 +40,7 @@ from ..blaze.runtime import BlazeRuntime, _JVMTaskRunner
 from ..compiler.driver import compile_kernel
 from ..config import ServeConfig
 from ..errors import S2FAError, ServeError
-from ..hls.device import Device, VU9P
+from ..hls.device import Device, get_device
 from ..obs import MetricsRegistry
 from ..obs.span import resolve_tracer
 from ..spark.rdd import SparkContext
@@ -86,9 +86,15 @@ class ServeCore:
     """Multi-tenant serving engine over one virtual board fleet."""
 
     def __init__(self, config: Optional[ServeConfig] = None, *,
-                 device: Device = VU9P, tracer=None):
+                 device: Optional[Device] = None, tracer=None):
         self.config = config if config is not None else ServeConfig()
-        self.device = device
+        #: the design-target device (compile/DSE and homogeneous boards).
+        self.device = device if device is not None \
+            else get_device(self.config.device)
+        #: per-replica board models of a heterogeneous fleet (empty:
+        #: every replica runs on ``device``).
+        self.fleet_devices: tuple[Device, ...] = tuple(
+            get_device(name) for name in self.config.fleet_devices)
         self.tracer = resolve_tracer(tracer)
         self.metrics: MetricsRegistry = (
             self.tracer.metrics if self.tracer.enabled
@@ -96,6 +102,7 @@ class ServeCore:
         runtime_cfg = self.config.runtime
         self.runtime = BlazeRuntime(
             SparkContext(default_parallelism=1),
+            device=self.device,
             fault_plan=runtime_cfg.plan(),
             policy=runtime_cfg.policy(),
             tracer=self.tracer,
@@ -404,22 +411,52 @@ class ServeCore:
         fleet = Fleet(key=entry.key)
         base_id = entry.compiled.accel_id
         with self.tracer.span("serve.deploy_fleet", accel=base_id,
-                              replicas=self.config.replicas):
+                              replicas=self.config.replicas,
+                              devices=len(self.fleet_devices) or 1):
             for i in range(self.config.replicas):
+                board = self._board_device(i)
                 fleet.entries.append(self.runtime.manager.register(
                     entry.compiled, entry.config,
-                    accel_id=f"{base_id}#{entry.key[:8]}#{i}"))
+                    accel_id=f"{base_id}#{entry.key[:8]}#{i}",
+                    device=board,
+                    quarantine_scale=self._quarantine_scale(board)))
         self._fleets[entry.key] = fleet
         self.metrics.incr("serve.boards_deployed",
                           len(fleet.entries))
         return fleet
 
+    def _board_device(self, i: int) -> Optional[Device]:
+        """The device model replica ``i`` runs on (``None`` = the
+        manager default, i.e. a homogeneous fleet)."""
+        if not self.fleet_devices:
+            return None
+        return self.fleet_devices[i % len(self.fleet_devices)]
+
+    def _quarantine_scale(self, board: Optional[Device]) -> float:
+        """Per-type quarantine stretch: cheaper boards (relative to the
+        design-target device) sit out longer after faults — they are
+        assumed to recover more slowly.  1.0 for homogeneous fleets, so
+        existing timelines are untouched."""
+        if board is None or board.unit_price >= self.device.unit_price:
+            return 1.0
+        return self.device.unit_price / board.unit_price
+
     def _pick_replica(self, fleet: Fleet):
-        """Next usable board, round-robin: ACTIVE first, then a
-        quarantined board whose re-admission time has come (the probe).
-        ``None`` when no board can usefully take the batch now."""
+        """Next usable board: ACTIVE first, then a quarantined board
+        whose re-admission time has come (the probe).  ``None`` when no
+        board can usefully take the batch now.
+
+        Placement is device-aware in a heterogeneous fleet: candidates
+        are visited fastest board first (lowest estimated seconds per
+        batch).  The sort is *stable* over the round-robin rotation, so
+        a homogeneous fleet — where every board estimates identically —
+        degenerates to the original pure round-robin, and placement can
+        only ever move work between bit-identical executions.
+        """
         n = len(fleet.entries)
         order = [fleet.entries[(fleet.cursor + i) % n] for i in range(n)]
+        order.sort(key=lambda e: (e.hls.seconds_per_batch
+                                  if e.hls is not None else float("inf")))
         pick = None
         for entry in order:
             if entry.board is None or entry.state == LOST:

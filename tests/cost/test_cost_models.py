@@ -13,6 +13,7 @@ from repro.cost import (
     SurrogateCostModel,
     train_ridge,
 )
+from repro.cost.features import FEATURE_NAMES
 from repro.cost.surrogate import ARTIFACT_FORMAT, ARTIFACT_VERSION
 from repro.dse.evaluator import safe_estimate
 from repro.dse.space import build_space
@@ -33,7 +34,8 @@ def default_point(kmeans):
 
 
 def _toy_surrogate(**kwargs):
-    model = train_ridge([[float(i)] * 24 for i in range(8)],
+    width = len(FEATURE_NAMES)
+    model = train_ridge([[float(i)] * width for i in range(8)],
                         [float(i) for i in range(8)])
     return SurrogateCostModel(model, **kwargs)
 
@@ -76,7 +78,8 @@ class TestSurrogate:
 
     def test_identity_changes_with_the_model(self):
         a = _toy_surrogate()
-        other = train_ridge([[float(i)] * 24 for i in range(8)],
+        other = train_ridge([[float(i)] * len(FEATURE_NAMES)
+                             for i in range(8)],
                             [float(2 * i) for i in range(8)])
         b = SurrogateCostModel(other)
         assert a.identity() != b.identity()

@@ -14,6 +14,7 @@ from repro.cost import (
 from repro.cost.features import profile_kernel
 from repro.dse.space import build_space
 from repro.errors import CostModelError
+from repro.hls.device import KC705, VU9P
 from repro.merlin.config import DesignConfig
 
 
@@ -28,13 +29,21 @@ def default_config(kmeans):
 
 
 class TestSchema:
-    def test_schema_is_version_one(self):
-        assert FEATURE_SCHEMA_VERSION == 1
+    def test_schema_is_version_two(self):
+        assert FEATURE_SCHEMA_VERSION == 2
 
     def test_names_are_unique_and_prefixed(self):
         assert len(set(FEATURE_NAMES)) == len(FEATURE_NAMES)
-        assert all(n.split("_")[0] in ("k", "c", "p")
+        assert all(n.split("_")[0] in ("k", "c", "p", "d")
                    for n in FEATURE_NAMES)
+
+    def test_device_features_are_appended_last(self):
+        # Schema rule: append, never reorder — the v1 prefix must be
+        # intact, with the device block at the tail.
+        d_idx = [i for i, n in enumerate(FEATURE_NAMES)
+                 if n.startswith("d_")]
+        assert d_idx == list(range(len(FEATURE_NAMES) - len(d_idx),
+                                   len(FEATURE_NAMES)))
 
     def test_vector_length_is_validated(self):
         with pytest.raises(CostModelError):
@@ -55,9 +64,21 @@ class TestExtraction:
 
     def test_profile_reuse_matches_fresh(self, kmeans, default_config):
         profile = profile_kernel(kmeans.kernel)
-        a = extract_features(kmeans.kernel, default_config, profile)
+        a = extract_features(kmeans.kernel, default_config,
+                             profile=profile)
         b = extract_features(kmeans.kernel, default_config)
         assert a.values == b.values
+
+    def test_device_moves_only_device_features(self, kmeans,
+                                               default_config):
+        big = extract_features(kmeans.kernel, default_config, VU9P)
+        small = extract_features(kmeans.kernel, default_config, KC705)
+        assert big.values != small.values
+        for i, name in enumerate(FEATURE_NAMES):
+            if name.startswith("d_"):
+                assert big.values[i] > small.values[i]
+            else:
+                assert big.values[i] == small.values[i]
 
     def test_parallel_knob_moves_config_features(self, kmeans):
         space = build_space(kmeans)

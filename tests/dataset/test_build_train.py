@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.config import DatasetConfig
+from repro.cost import FEATURE_NAMES, FEATURE_SCHEMA_VERSION
 from repro.dataset import (
     build_dataset,
     read_records,
@@ -47,9 +48,9 @@ class TestBuild:
     def test_records_carry_provenance(self, built):
         _, _, records = built
         for record in records:
-            assert record.feature_schema == 1
+            assert record.feature_schema == FEATURE_SCHEMA_VERSION
             assert record.estimator_version == 1
-            assert len(record.features) == 24
+            assert len(record.features) == len(FEATURE_NAMES)
             if record.feasible:
                 assert record.qor and math.isfinite(record.qor)
             else:

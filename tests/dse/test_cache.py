@@ -18,7 +18,7 @@ from repro.dse import (
 )
 from repro.dse.cache import FORMAT_VERSION
 from repro.hls import estimate
-from repro.hls.device import VU9P
+from repro.hls.device import KC705, REGISTRY, VU9P
 from repro.hls.result import HLSResult
 from repro.merlin import DesignConfig
 
@@ -259,3 +259,61 @@ class TestConcurrentAppends:
             minutes, loaded = store.get(digest, f"point-{index}")
             assert minutes == float(index)
             assert loaded == result
+
+
+# ----------------------------------------------------------------------
+# Device-dimension isolation (the stale-skip guarantee's sibling: an
+# entry keyed under one device is never served for another)
+# ----------------------------------------------------------------------
+
+class TestDeviceIsolation:
+    def test_digest_differs_per_device(self, kmeans):
+        digests = {kernel_digest(kmeans.kernel, d) for d in REGISTRY}
+        assert len(digests) == len(REGISTRY)
+
+    def test_same_name_different_envelope_differs(self, kmeans):
+        # Two scaled devices sharing a name must not collide: the
+        # digest hashes the full envelope identity, not the name.
+        impostor = VU9P.scaled(VU9P.name, area=0.5)
+        assert impostor.name == VU9P.name
+        assert kernel_digest(kmeans.kernel, impostor) \
+            != kernel_digest(kmeans.kernel, VU9P)
+
+    def test_equal_envelope_shares_the_digest(self, kmeans):
+        clone = VU9P.scaled(VU9P.name)
+        assert kernel_digest(kmeans.kernel, clone) \
+            == kernel_digest(kmeans.kernel, VU9P)
+
+    def test_store_entry_invisible_under_other_device(
+            self, tmp_path, kmeans, kmeans_result):
+        point, result = kmeans_result
+        key = canonical_key(point)
+        store = CacheStore(tmp_path)
+        store.put(kernel_digest(kmeans.kernel, KC705), key,
+                  result.synthesis_minutes, result)
+        fresh = CacheStore(tmp_path)
+        assert fresh.get(kernel_digest(kmeans.kernel, KC705), key) \
+            is not None
+        for other in REGISTRY:
+            if other.name == KC705.name:
+                continue
+            assert fresh.get(
+                kernel_digest(kmeans.kernel, other), key) is None
+
+    def test_evaluators_on_distinct_devices_share_a_store(
+            self, tmp_path, kmeans):
+        point = {"L0.pipeline": "on", "L0.parallel": 2,
+                 "bw.in_1": 128, "bw.out": 128}
+        small = Evaluator(kmeans, device=KC705,
+                          store=CacheStore(tmp_path))
+        big = Evaluator(kmeans, device=VU9P,
+                        store=CacheStore(tmp_path))
+        assert small.kernel_digest != big.kernel_digest
+        a = small.evaluate(point)
+        b = big.evaluate(point)
+        # One directory, no cross-talk: the second device re-estimates
+        # instead of inheriting the first device's numbers.
+        assert not b.cached
+        assert big.store_hits == 0
+        assert b.result.freq_mhz != a.result.freq_mhz \
+            or b.qor != a.qor

@@ -36,6 +36,7 @@ from repro.dse.checkpoint import (
 )
 from repro.dse.evaluator import Evaluation
 from repro.errors import DSEError, ExplorationInterrupted
+from repro.hls.device import KC705, REGISTRY, VU9P
 
 SEED = 5
 TIME_LIMIT = 60.0
@@ -302,3 +303,46 @@ class TestEvaluatorCachePriming:
         replay = fresh.evaluate(point)
         assert replay.cached
         assert replay.result == first.result
+
+
+# ----------------------------------------------------------------------
+# Device-dimension isolation: a checkpoint written for one device is
+# invisible to every other device sharing the directory
+# ----------------------------------------------------------------------
+
+
+class TestDeviceIsolation:
+    def test_checkpoint_keyed_by_device_envelope(self, kmeans,
+                                                 kmeans_space, tmp_path):
+        checkpoints = CheckpointStore(tmp_path)
+        with ParallelEvaluator(kmeans, device=KC705) as evaluator:
+            engine = S2FAEngine(evaluator, kmeans_space, seed=SEED,
+                                time_limit_minutes=TIME_LIMIT,
+                                checkpoint_store=checkpoints)
+            engine.request_stop()
+            with pytest.raises(ExplorationInterrupted):
+                engine.run()
+            small_digest = evaluator.kernel_digest
+        assert checkpoints.has(small_digest)
+        # The same kernel on any other registry device keys elsewhere:
+        # no resumable state exists, so exploration starts fresh
+        # instead of replaying another device's trajectory.
+        for device in REGISTRY:
+            if device.name == KC705.name:
+                continue
+            with ParallelEvaluator(kmeans, device=device) as other:
+                assert other.kernel_digest != small_digest
+                assert not checkpoints.has(other.kernel_digest)
+                engine = S2FAEngine(other, kmeans_space, seed=SEED,
+                                    time_limit_minutes=TIME_LIMIT,
+                                    checkpoint_store=checkpoints)
+                with pytest.raises(DSEError, match="no checkpoint"):
+                    engine.resume()
+
+    def test_scaled_same_name_device_keys_elsewhere(self, kmeans,
+                                                    kmeans_space,
+                                                    tmp_path):
+        impostor = VU9P.scaled(VU9P.name, area=0.5)
+        with ParallelEvaluator(kmeans, device=VU9P) as a, \
+                ParallelEvaluator(kmeans, device=impostor) as b:
+            assert a.kernel_digest != b.kernel_digest

@@ -1,0 +1,93 @@
+"""Fuzz battery on the smallest registry device.
+
+The committed corpus (plus a slice of generated kernels) is re-estimated
+on :meth:`DeviceRegistry.smallest` — the edge Kintex-7, where the
+infeasible / bandwidth-saturation edges of the estimator actually
+trigger.  Every verdict must be well-formed (an infeasible result always
+names its reason) and monotone against the paper's VU9P.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.dse.space import build_space
+from repro.fuzz import load_regressions
+from repro.fuzz.gen import KernelGenerator
+from repro.hls.device import KC705, REGISTRY, VU9P
+from repro.hls.estimator import estimate
+from repro.merlin.config import DesignConfig
+from repro.s2fa import S2FASession
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+
+SMALLEST = REGISTRY.smallest()
+
+
+def _corpus_kernels():
+    session = S2FASession()
+    compiled = []
+    for entry in load_regressions(CORPUS_DIR):
+        compiled.append(pytest.param(
+            session.compile(entry.source,
+                            layout_config=entry.layout_config(),
+                            batch_size=entry.batch_size),
+            id=entry.path.stem if entry.path else entry.name))
+    return compiled
+
+
+def _stress_points(compiled, count=4, seed=23):
+    """The default plus the most aggressive corners of the space."""
+    space = build_space(compiled)
+    points = [space.default_point()]
+    import random
+    rng = random.Random(seed)
+    points += [space.random_point(rng) for _ in range(count)]
+    maxed = {p.name: max(p.values,
+                         key=lambda v: (isinstance(v, int), v))
+             for p in space.parameters}
+    points.append(maxed)
+    return points
+
+
+def test_smallest_is_the_edge_kintex():
+    assert SMALLEST is KC705
+    for device in REGISTRY:
+        assert device.usable("lut") >= SMALLEST.usable("lut")
+
+
+@pytest.mark.parametrize("compiled", _corpus_kernels())
+def test_corpus_verdicts_well_formed_and_monotone(compiled):
+    for point in _stress_points(compiled):
+        config = DesignConfig.from_point(point)
+        small = estimate(compiled.kernel, config, SMALLEST)
+        if not small.feasible:
+            assert small.infeasible_reason, point
+            assert small.normalized_cycles == float("inf")
+        else:
+            big = estimate(compiled.kernel, config, VU9P)
+            assert big.feasible, point
+            assert big.normalized_cycles \
+                <= small.normalized_cycles + 1e-9, point
+
+
+def test_generated_slice_saturates_the_edge_device():
+    """The slice must exercise the infeasible edge, not skate past it."""
+    session = S2FASession()
+    feasible = infeasible = 0
+    for seed in range(6):
+        gen = KernelGenerator(seed)
+        kernel = gen.kernel()
+        compiled = session.compile(kernel.scala(),
+                                   layout_config=kernel.layout_config())
+        for point in _stress_points(compiled, count=2, seed=seed):
+            result = estimate(compiled.kernel,
+                              DesignConfig.from_point(point), SMALLEST)
+            if result.feasible:
+                feasible += 1
+            else:
+                infeasible += 1
+                assert result.infeasible_reason
+    assert feasible > 0
+    assert infeasible > 0, \
+        "no generated design saturated the smallest device"

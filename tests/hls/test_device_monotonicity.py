@@ -1,0 +1,105 @@
+"""Cross-device differential battery: feasibility/QoR monotonicity.
+
+The contract under test is :meth:`repro.hls.device.Device.covers`: for
+any design point, if ``big.covers(small)`` then
+
+* feasible on ``small``  =>  feasible on ``big``, and
+* ``normalized_cycles`` on ``big`` is no worse than on ``small``
+
+(``normalized_cycles`` rescales to the fixed 250 MHz reference clock, so
+the comparison is meaningful across device clocks).  The battery sweeps
+real app kernels times sampled Merlin configs times every adjacent pair
+of the registry chain, plus scaled off-registry variants.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import get_app
+from repro.dse.space import build_space
+from repro.hls.device import KC705, KU060, REGISTRY, VU13P, VU9P
+from repro.hls.estimator import estimate
+from repro.merlin.config import DesignConfig
+
+#: Adjacent pairs of the registry chain (each device covers the last)
+#: plus scaled variants exercising the budget axes independently.
+DEVICE_PAIRS = [
+    pytest.param(KC705, KU060, id="kc705->ku060"),
+    pytest.param(KU060, VU9P, id="ku060->vu9p"),
+    pytest.param(VU9P, VU13P, id="vu9p->vu13p"),
+    pytest.param(KC705, VU13P, id="kc705->vu13p"),
+    pytest.param(VU9P.scaled("vu9p-half", area=0.5), VU9P,
+                 id="scaled-area"),
+    pytest.param(KC705, KC705.scaled("kc705-fat", bandwidth=4.0),
+                 id="scaled-bandwidth"),
+    pytest.param(KC705, KC705.scaled("kc705-fast", frequency=1.25),
+                 id="scaled-frequency"),
+]
+
+APPS = ["KMeans", "LR", "S-W"]
+
+
+def _sampled_points(compiled, count=6, seed=11):
+    space = build_space(compiled)
+    rng = random.Random(seed)
+    points = [space.default_point()]
+    points += [space.random_point(rng) for _ in range(count)]
+    return points
+
+
+@pytest.fixture(scope="module", params=APPS)
+def compiled(request):
+    return get_app(request.param).compile()
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("small,big", DEVICE_PAIRS)
+    def test_bigger_device_never_worse(self, compiled, small, big):
+        assert big.covers(small)
+        for point in _sampled_points(compiled):
+            config = DesignConfig.from_point(point)
+            on_small = estimate(compiled.kernel, config, small)
+            on_big = estimate(compiled.kernel, config, big)
+            if on_small.feasible:
+                assert on_big.feasible, (
+                    f"{point} feasible on {small.name} but infeasible "
+                    f"on the covering {big.name}: "
+                    f"{on_big.infeasible_reason}")
+                assert on_big.normalized_cycles \
+                    <= on_small.normalized_cycles + 1e-9, point
+            # Infeasible results compare as +inf on both sides, which
+            # the covering device is always allowed to improve on.
+            assert on_big.normalized_cycles \
+                <= on_small.normalized_cycles + 1e-9
+
+    def test_edge_device_actually_rejects_big_designs(self, compiled):
+        """The battery is vacuous unless the small end saturates."""
+        space = build_space(compiled)
+        rng = random.Random(3)
+        verdicts = set()
+        for _ in range(24):
+            config = DesignConfig.from_point(space.random_point(rng))
+            verdicts.add(
+                estimate(compiled.kernel, config, KC705).feasible)
+            if verdicts == {True, False}:
+                break
+        assert False in verdicts, \
+            "no sampled design saturated the edge device"
+
+
+class TestChainTransitivity:
+    def test_registry_chain_is_totally_ordered(self):
+        chain = [KC705, KU060, VU9P, VU13P]
+        for i, small in enumerate(chain):
+            for big in chain[i:]:
+                assert big.covers(small)
+
+    def test_estimates_improve_up_the_whole_chain(self):
+        compiled = get_app("KMeans").compile()
+        config = DesignConfig.from_point(
+            _sampled_points(compiled, count=0)[0])
+        chain = sorted(REGISTRY, key=lambda d: d.usable("lut"))
+        results = [estimate(compiled.kernel, config, d) for d in chain]
+        cycles = [r.normalized_cycles for r in results]
+        assert cycles == sorted(cycles, reverse=True)

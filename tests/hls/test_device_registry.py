@@ -1,0 +1,147 @@
+"""The device zoo: envelopes, scaling, identity, and the registry."""
+
+import pytest
+
+from repro.errors import UnknownDeviceError
+from repro.hls.device import (
+    KC705,
+    KU060,
+    REGISTRY,
+    VU13P,
+    VU9P,
+    Device,
+    DeviceRegistry,
+    device_names,
+    get_device,
+)
+
+CHAIN = (KC705, KU060, VU9P, VU13P)
+
+
+class TestEnvelopes:
+    def test_registry_contents(self):
+        assert device_names() == ["xc7k325t", "xcku060", "xcvu13p",
+                                  "xcvu9p"]
+        assert len(REGISTRY) == 4
+
+    def test_chain_is_strictly_increasing(self):
+        for small, big in zip(CHAIN, CHAIN[1:]):
+            assert big.covers(small)
+            assert not small.covers(big)
+
+    def test_covers_is_reflexive(self):
+        for device in CHAIN:
+            assert device.covers(device)
+
+    def test_prices_increase_with_size(self):
+        prices = [d.unit_price for d in CHAIN]
+        assert prices == sorted(prices)
+        assert prices[0] < prices[-1]
+
+    def test_ku060_envelope_is_the_historical_one(self):
+        # Promoting KU060 into the registry must not move the
+        # feasibility edge the estimator suite pins.
+        assert KU060.luts == 331_680
+        assert KU060.dsps == 2_760
+        assert KU060.target_mhz == 250.0
+
+
+class TestIdentity:
+    def test_identities_distinct_across_registry(self):
+        identities = {d.identity() for d in REGISTRY}
+        assert len(identities) == len(REGISTRY)
+
+    def test_identity_covers_the_full_envelope(self):
+        # Same name, different envelope -> different identity; a scaled
+        # variant can never alias its parent in a cache key.
+        shrunk = VU9P.scaled(VU9P.name, area=0.5)
+        assert shrunk.name == VU9P.name
+        assert shrunk.identity() != VU9P.identity()
+
+    def test_equal_devices_share_identity(self):
+        clone = VU9P.scaled(VU9P.name)
+        assert clone == VU9P
+        assert clone.identity() == VU9P.identity()
+
+
+class TestScaled:
+    def test_area_scales_silicon_and_price(self):
+        half = VU9P.scaled("half", area=0.5)
+        assert half.luts == VU9P.luts // 2
+        assert half.dsps == VU9P.dsps // 2
+        assert half.bram_18k == VU9P.bram_18k // 2
+        assert half.unit_price == pytest.approx(VU9P.unit_price * 0.5)
+        # Non-area budgets are untouched.
+        assert half.target_mhz == VU9P.target_mhz
+        assert half.mem_bytes_per_cycle == VU9P.mem_bytes_per_cycle
+
+    def test_bandwidth_and_frequency_budgets(self):
+        fast = KC705.scaled("fast", bandwidth=4.0, frequency=1.25)
+        assert fast.mem_bytes_per_cycle == KC705.mem_bytes_per_cycle * 4
+        assert fast.target_mhz == pytest.approx(250.0)
+        assert fast.luts == KC705.luts
+
+    def test_price_pin_overrides_area_tracking(self):
+        cheap = VU13P.scaled("cheap", area=2.0, price=0.1)
+        assert cheap.unit_price == 0.1
+
+    def test_tiny_budgets_floor_at_one(self):
+        speck = KC705.scaled("speck", area=1e-9, bandwidth=1e-9)
+        assert speck.luts == 1
+        assert speck.mem_bytes_per_cycle == 1
+
+    @pytest.mark.parametrize("budget", ["area", "bandwidth", "frequency"])
+    def test_non_positive_budgets_rejected(self, budget):
+        with pytest.raises(ValueError, match=budget):
+            VU9P.scaled("bad", **{budget: 0.0})
+
+    def test_bigger_scaled_covers_parent(self):
+        double = VU9P.scaled("double", area=2.0, bandwidth=2.0)
+        assert double.covers(VU9P)
+        assert not VU9P.covers(double)
+
+
+class TestRegistry:
+    def test_get_returns_the_registered_object(self):
+        assert get_device("xcvu9p") is VU9P
+        assert REGISTRY.get("xc7k325t") is KC705
+
+    def test_unknown_name_lists_registered_devices(self):
+        with pytest.raises(UnknownDeviceError) as exc_info:
+            get_device("xcnope")
+        message = str(exc_info.value)
+        for name in device_names():
+            assert name in message
+        assert exc_info.value.name == "xcnope"
+
+    def test_contains(self):
+        assert "xcku060" in REGISTRY
+        assert "xcnope" not in REGISTRY
+
+    def test_devices_sorted_cheapest_first(self):
+        names = [d.name for d in REGISTRY.devices()]
+        assert names == ["xc7k325t", "xcku060", "xcvu9p", "xcvu13p"]
+        assert names == [d.name for d in REGISTRY]
+
+    def test_smallest_is_the_edge_part(self):
+        assert REGISTRY.smallest() is KC705
+
+    def test_reregistering_same_envelope_is_idempotent(self):
+        registry = DeviceRegistry((VU9P,))
+        registry.register(VU9P)
+        assert len(registry) == 1
+
+    def test_name_collision_with_new_envelope_rejected(self):
+        registry = DeviceRegistry((VU9P,))
+        with pytest.raises(ValueError, match="different envelope"):
+            registry.register(VU9P.scaled(VU9P.name, area=0.5))
+
+    def test_fresh_registry_is_independent(self):
+        registry = DeviceRegistry()
+        assert len(registry) == 0
+        custom = Device(name="toy", luts=1000, ffs=2000, dsps=10,
+                        bram_18k=20, target_mhz=100.0)
+        registry.register(custom)
+        assert registry.get("toy") is custom
+        with pytest.raises(UnknownDeviceError):
+            get_device("toy")    # the module registry is untouched

@@ -1,0 +1,175 @@
+"""Heterogeneous board fleets: placement, health knobs, bit-identity.
+
+The serve layer can register each replica against its own device model
+(``ServeConfig.fleet_devices``, assigned round-robin).  Placement only
+moves *where* a batch runs — results must stay byte-identical to a
+homogeneous fleet under any mix and any fault schedule.
+"""
+
+import pytest
+
+from repro.config import RuntimeConfig, ServeConfig
+from repro.errors import UnknownDeviceError
+from repro.hls.device import get_device
+from repro.serve import ServeCore, ServeRequest
+from repro.serve.request import OP_OFFLOAD
+
+INC = """
+class Inc extends Accelerator[Int, Int] {
+  val id: String = "inc"
+  def call(in: Int): Int = in + 1
+}
+"""
+
+
+def _core(**overrides):
+    defaults = dict(replicas=4)
+    defaults.update(overrides)
+    return ServeCore(ServeConfig(**defaults))
+
+
+def _offload(rid, app="KMeans", n_tasks=6, **kw):
+    return ServeRequest(request_id=rid, op=OP_OFFLOAD, tenant="default",
+                        app=app, n_tasks=n_tasks, **kw)
+
+
+def _serve_one(core, request):
+    rejection = core.submit(request)
+    assert rejection is None, rejection
+    response = core.step()
+    assert response.request_id == request.request_id
+    return response
+
+
+def _fleet_entries(core):
+    [fleet] = core._fleets.values()
+    return fleet.entries
+
+
+class TestPlacement:
+    def test_boards_assigned_round_robin(self):
+        core = _core(fleet_devices=("xcku060", "xcvu9p"))
+        assert _serve_one(core, _offload("o")).ok
+        names = [e.device.name for e in _fleet_entries(core)]
+        assert names == ["xcku060", "xcvu9p", "xcku060", "xcvu9p"]
+
+    def test_homogeneous_fleet_uses_the_session_device(self):
+        core = _core()
+        assert _serve_one(core, _offload("o")).ok
+        entries = _fleet_entries(core)
+        assert {e.device.name for e in entries} == {"xcvu9p"}
+        assert {e.quarantine_scale for e in entries} == {1.0}
+
+    #: An aggressive KMeans design whose routing pressure costs the
+    #: mid-range KU060 clock (180 MHz) but not the VU9P (220 MHz) —
+    #: the same design, genuinely different per-board timing.
+    SKEWED_POINT = {
+        "L0.tile": 128, "L0.parallel": 32, "L0.pipeline": "off",
+        "call_L0.tile": 4, "call_L0.parallel": 1,
+        "call_L0.pipeline": "on",
+        "call_L0_0.tile": 16, "call_L0_0.parallel": 4,
+        "call_L0_0.pipeline": "off",
+        "bw.in_1": 64, "bw.out_1": 32,
+    }
+
+    def _skewed_fleet(self, core):
+        from repro.apps import get_app
+        from repro.merlin.config import DesignConfig
+        from repro.serve.core import Fleet
+
+        compiled = get_app("KMeans").compile()
+        config = DesignConfig.from_point(self.SKEWED_POINT)
+        manager = core.runtime.manager
+        slow = manager.register(compiled, config, accel_id="k#0",
+                                device=get_device("xcku060"))
+        fast = manager.register(compiled, config, accel_id="k#1",
+                                device=get_device("xcvu9p"))
+        fleet = Fleet(key="k")
+        fleet.entries = [slow, fast]
+        return fleet, slow, fast
+
+    def test_fastest_board_is_preferred(self):
+        core = _core()
+        fleet, slow, fast = self._skewed_fleet(core)
+        assert slow.hls.seconds_per_batch > fast.hls.seconds_per_batch
+        # Placement keeps choosing the fast board while it is healthy,
+        # regardless of where the round-robin cursor points.
+        assert core._pick_replica(fleet) is fast
+        assert core._pick_replica(fleet) is fast
+        # Once it quarantines, work shifts to the slower board instead
+        # of stalling.
+        fast.quarantine(until=1e9)
+        assert core._pick_replica(fleet) is slow
+
+    def test_cheap_boards_quarantine_longer(self):
+        core = _core(replicas=2, fleet_devices=("xcku060", "xcvu9p"))
+        assert _serve_one(core, _offload("o")).ok
+        scale = {e.device.name: e.quarantine_scale
+                 for e in _fleet_entries(core)}
+        # session device is the VU9P (price 1.0); the 0.45-priced
+        # KU060 sits out 1/0.45 times longer, the VU9P is unscaled.
+        assert scale["xcvu9p"] == 1.0
+        assert scale["xcku060"] == pytest.approx(1.0 / 0.45)
+
+    def test_board_too_small_for_the_design_is_an_error(self):
+        core = _core(fleet_devices=("xc7k325t",))
+        response = _serve_one(core, _offload("o"))    # KMeans: too big
+        assert not response.ok
+
+    def test_unknown_fleet_device_rejected_eagerly(self):
+        with pytest.raises(UnknownDeviceError, match="registered"):
+            ServeConfig(fleet_devices=("xcnope",))
+        with pytest.raises(UnknownDeviceError):
+            ServeConfig(device="xcnope")
+
+
+class TestBitIdentity:
+    REQUESTS = 5
+
+    def _results(self, **config):
+        core = _core(**config)
+        out = []
+        for i in range(self.REQUESTS):
+            response = _serve_one(core, _offload(f"o{i}", n_tasks=6))
+            assert response.ok
+            out.append(response.result)
+        return out
+
+    def test_mixed_fleet_matches_homogeneous(self):
+        want = self._results()
+        got = self._results(
+            fleet_devices=("xcku060", "xcvu9p", "xcvu13p"))
+        assert got == want
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_identical_under_faults(self, seed):
+        runtime = RuntimeConfig(fault_plan="transient=0.4,lose_after=60",
+                                fault_seed=seed)
+        want = self._results(runtime=runtime)
+        got = self._results(
+            runtime=runtime,
+            fleet_devices=("xcku060", "xcvu9p", "xcvu13p"))
+        assert got == want
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_identical_when_the_whole_fleet_dies(self, seed):
+        runtime = RuntimeConfig(fault_plan="lose_after=0",
+                                fault_seed=seed)
+        want = self._results(runtime=runtime)
+        got = self._results(runtime=runtime,
+                            fleet_devices=("xcku060", "xcvu9p"))
+        assert got == want
+
+    def test_any_single_device_fleet_matches(self):
+        want = self._results()
+        for name in ("xcku060", "xcvu13p"):
+            assert self._results(fleet_devices=(name,)) == want, name
+
+
+class TestSessionDevice:
+    def test_serve_config_device_retargets_the_manager(self):
+        core = _core(device="xcku060")
+        assert core.device is get_device("xcku060")
+        assert _serve_one(core, _offload("o")).ok
+        assert {e.device.name for e in _fleet_entries(core)} \
+            == {"xcku060"}

@@ -187,6 +187,65 @@ class TestDseCommand:
             main(["dse", "Nope"])
 
 
+class TestDeviceFlags:
+    def test_run_on_a_named_device(self, capsys):
+        code = main(["run", "KMeans", "--tasks", "16",
+                     "--device", "xcku060"])
+        assert code == 0
+        assert "results match JVM : yes" in capsys.readouterr().out
+
+    def test_unknown_device_is_a_typed_error(self, capsys):
+        assert main(["run", "KMeans", "--device", "xcnope"]) \
+            == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "unknown device 'xcnope'" in err
+        # The error names every registered board.
+        for name in ("xc7k325t", "xcku060", "xcvu9p", "xcvu13p"):
+            assert name in err
+
+    def test_explore_on_a_named_device(self, kernel_file, capsys):
+        assert main(["explore", kernel_file, "--time-limit", "20",
+                     "--device", "xc7k325t"]) == 0
+        assert "best design" in capsys.readouterr().out
+
+    def test_dse_device_sweep_selects_cheapest(self, capsys):
+        code = main(["dse", "kmeans", "--time-limit", "20",
+                     "--tasks", "8",
+                     "--devices", "xcvu9p,xcku060"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "device sweep" in out
+        assert "<- cheapest" in out
+        assert "selected device   : xcku060 (price 0.45)" in out
+        assert "results match JVM : yes" in out
+
+    def test_dse_sweep_finds_the_edge_board_viable(self, capsys):
+        # KMeans' *default* design overflows the edge Kintex, but the
+        # DSE finds configs that fit — so the cheap board still wins
+        # the sweep, which is exactly the cost argument for making the
+        # device an exploration dimension.
+        code = main(["dse", "kmeans", "--time-limit", "20",
+                     "--tasks", "8",
+                     "--devices", "xc7k325t,xcku060"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selected device   : xc7k325t (price 0.25)" in out
+
+    def test_dse_unmeetable_qor_target_is_an_error(self, capsys):
+        code = main(["dse", "kmeans", "--time-limit", "20",
+                     "--devices", "xcku060,xcvu9p",
+                     "--qor-target", "0.000001"])
+        assert code == EXIT_ERROR
+        captured = capsys.readouterr()
+        assert "misses target" in captured.out
+        assert "no explored device met the QoR target" in captured.err
+
+    def test_dse_unknown_sweep_device(self, capsys):
+        assert main(["dse", "kmeans", "--devices",
+                     "xcvu9p,xcnope"]) == EXIT_ERROR
+        assert "unknown device 'xcnope'" in capsys.readouterr().err
+
+
 class TestTraceCommands:
     def _record(self, kernel_file, tmp_path, suffix):
         trace = tmp_path / f"trace{suffix}"

@@ -15,14 +15,20 @@ import repro.streaming
 TOP_LEVEL = {
     "AcceleratorBuild",
     "DatasetConfig",
+    "Device",
+    "DeviceRegistry",
+    "DeviceSweep",
     "ExploreConfig",
     "RunOutcome",
     "RuntimeConfig",
     "S2FAError",
     "S2FASession",
     "StreamConfig",
+    "UnknownDeviceError",
     "build_accelerator",
     "generate_hls_c",
+    "device_names",
+    "get_device",
     "__version__",
 }
 
@@ -99,8 +105,9 @@ OBS = {
     "summarize",
 }
 
-SESSION_METHODS = {"compile", "explore", "run", "stream", "hls_c",
-                   "resolve", "export_trace", "trace_summary"}
+SESSION_METHODS = {"compile", "explore", "explore_devices", "run",
+                   "stream", "hls_c", "resolve", "export_trace",
+                   "trace_summary"}
 
 
 def test_top_level_all_snapshot():
@@ -134,7 +141,7 @@ def test_explore_config_fields():
     fields = set(repro.ExploreConfig.__dataclass_fields__)
     assert fields == {"seed", "time_limit_minutes", "workers", "jobs",
                       "cache_dir", "max_partitions", "checkpoint_dir",
-                      "resume", "surrogate", "prune_fraction"}
+                      "resume", "surrogate", "prune_fraction", "device"}
 
 
 def test_dataset_config_fields():

@@ -1,0 +1,129 @@
+"""Multi-device DSE: the device as a first-class exploration dimension.
+
+``S2FASession.explore_devices`` sweeps (device x Merlin config) and
+picks the *cheapest* board whose best design is feasible and meets the
+QoR target — deterministically (price, then name).
+"""
+
+import pytest
+
+from repro import ExploreConfig, S2FASession
+from repro.errors import DSEError, UnknownDeviceError
+from repro.hls.device import KC705, VU9P, device_names, get_device
+
+KERNEL = """
+class Inc extends Accelerator[Int, Int] {
+  val id: String = "inc"
+  def call(in: Int): Int = in + 1
+}
+"""
+
+EXPLORE = ExploreConfig(seed=3, time_limit_minutes=60.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    session = S2FASession(explore=EXPLORE)
+    return session.explore_devices(KERNEL, ["xc7k325t", "xcvu9p"])
+
+
+class TestSweep:
+    def test_cheapest_feasible_device_wins(self, sweep):
+        # The tiny kernel fits the edge part, which is far cheaper.
+        assert sweep.chosen == "xc7k325t"
+        assert set(sweep.builds) == {"xc7k325t", "xcvu9p"}
+        assert not sweep.failures
+
+    def test_builds_carry_their_device(self, sweep):
+        assert sweep.builds["xc7k325t"].device is KC705
+        assert sweep.builds["xcvu9p"].device is VU9P
+        assert sweep.best is sweep.builds["xc7k325t"]
+
+    def test_selection_is_deterministic(self, sweep):
+        again = S2FASession(explore=EXPLORE).explore_devices(
+            KERNEL, ["xcvu9p", "xc7k325t"])     # reversed input order
+        assert again.chosen == sweep.chosen
+        for name, build in sweep.builds.items():
+            assert again.builds[name].config == build.config
+            assert again.builds[name].hls.cycles == build.hls.cycles
+
+    def test_default_sweep_covers_the_registry(self):
+        session = S2FASession(explore=EXPLORE)
+        full = session.explore_devices(KERNEL)
+        assert set(full.builds) | set(full.failures) \
+            == set(device_names())
+        assert full.chosen == "xc7k325t"
+
+
+class TestQorTarget:
+    def test_tight_target_skips_the_slow_edge_board(self, sweep):
+        # Between the two boards' normalized QoR there is a bar only
+        # the faster silicon clears; the sweep must then pick it even
+        # though it costs more.
+        small = sweep.builds["xc7k325t"].hls.normalized_cycles
+        big = sweep.builds["xcvu9p"].hls.normalized_cycles
+        assert big < small
+        bar = (big + small) / 2.0
+        targeted = S2FASession(explore=EXPLORE).explore_devices(
+            KERNEL, ["xc7k325t", "xcvu9p"], qor_target=bar)
+        assert targeted.chosen == "xcvu9p"
+        assert not targeted.qualifies("xc7k325t")
+
+    def test_impossible_target_chooses_nothing(self):
+        sweep = S2FASession(explore=EXPLORE).explore_devices(
+            KERNEL, ["xc7k325t", "xcvu9p"], qor_target=1e-9)
+        assert sweep.chosen is None
+        with pytest.raises(DSEError, match="xc7k325t.*xcvu9p"):
+            sweep.best
+
+    def test_non_positive_target_rejected(self):
+        session = S2FASession(explore=EXPLORE)
+        with pytest.raises(DSEError, match="positive"):
+            session.explore_devices(KERNEL, ["xcvu9p"], qor_target=0.0)
+
+
+class TestDeviceArguments:
+    def test_unknown_device_name_is_typed(self):
+        session = S2FASession(explore=EXPLORE)
+        with pytest.raises(UnknownDeviceError, match="registered"):
+            session.explore_devices(KERNEL, ["xcnope"])
+
+    def test_infeasible_board_becomes_a_sweep_failure(self):
+        # A speck of a device fits nothing: its exploration fails, the
+        # sweep records why, and selection falls to the next candidate.
+        speck = VU9P.scaled("speck", area=1e-6)
+        sweep = S2FASession(explore=EXPLORE).explore_devices(
+            KERNEL, [speck, VU9P])
+        assert "speck" in sweep.failures
+        assert "no feasible design" in sweep.failures["speck"]
+        assert sweep.chosen == "xcvu9p"
+
+    def test_device_objects_accepted(self):
+        shrunk = VU9P.scaled("vu9p-half", area=0.5)
+        sweep = S2FASession(explore=EXPLORE).explore_devices(
+            KERNEL, [shrunk])
+        assert set(sweep.builds) | set(sweep.failures) == {"vu9p-half"}
+
+    def test_explore_config_device_sets_the_session_default(self):
+        session = S2FASession(
+            explore=ExploreConfig(seed=3, time_limit_minutes=60.0,
+                                  device="xc7k325t"))
+        assert session.device is KC705
+        build = session.explore(KERNEL)
+        assert build.device is KC705
+
+    def test_unknown_config_device_rejected_eagerly(self):
+        with pytest.raises(UnknownDeviceError):
+            ExploreConfig(device="xcnope")
+
+    def test_run_on_an_explicit_device(self):
+        outcome = S2FASession().run("KMeans", tasks=4,
+                                    device=get_device("xcku060"))
+        assert outcome.matched
+
+    def test_run_rejects_a_board_too_small_for_the_design(self):
+        from repro.errors import BlazeError
+
+        with pytest.raises(BlazeError, match="infeasible on xc7k325t"):
+            S2FASession().run("KMeans", tasks=4,
+                              device=get_device("xc7k325t"))
